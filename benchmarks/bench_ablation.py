@@ -1,0 +1,51 @@
+"""Ablation bench: the addition-budget extension (paper §6 future work).
+
+Sweeps a per-row nonzero budget on the ternary W_b transforms of
+ST-HybridNet's conv layers and asserts the designed trade-off: tighter
+budgets monotonically reduce deployed additions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import record_table
+from repro.autodiff.tensor import Tensor, no_grad
+from repro.experiments import addition_budget
+from repro.experiments.common import get_dataset, trained
+
+
+@pytest.fixture(scope="module")
+def result():
+    res = addition_budget.run("ci")
+    record_table(res.table())
+    return res
+
+
+def test_benchmark_budget_reduces_adds(result):
+    """W_b nonzeros (deployed additions) shrink monotonically with budget."""
+    nonzeros = [int(row["wb_nonzeros"]) for row in result.rows]
+    assert nonzeros == sorted(nonzeros, reverse=True)
+    assert nonzeros[-1] < 0.7 * nonzeros[0]
+
+
+def test_benchmark_budget_accuracy_cost_bounded(result):
+    """A 0.5x fan-in budget costs only a few accuracy points at CI scale."""
+    accs = {row["wb_budget"]: float(row["acc%"]) for row in result.rows}
+    assert accs["0.5x fan-in"] >= accs["dense"] - 12.0
+
+
+def test_benchmark_budgeted_inference(benchmark, result):
+    """Throughput of the 0.25x-budget ST-HybridNet on a 32-clip batch."""
+    model = trained("st-hybrid-budget-0.25x fan-in", lambda: None, scale="ci").model
+    features = get_dataset("ci").features("test")[:32]
+    model.eval()
+
+    def infer():
+        with no_grad():
+            return model(Tensor(features)).data
+
+    logits = benchmark(infer)
+    assert logits.shape == (32, 12)
+    assert np.isfinite(logits).all()

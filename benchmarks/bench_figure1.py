@@ -1,0 +1,53 @@
+"""Figure 1 bench: the hybrid architecture's evaluation semantics.
+
+Regenerates the architecture walk and verifies the branch-free tree
+evaluation the paper highlights for SIMD friendliness, then benchmarks the
+tree head alone (the compute-efficient classifier).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import record_table
+from repro.autodiff.tensor import Tensor, no_grad
+from repro.core.bonsai.tree import BonsaiTree
+from repro.experiments import figure1
+
+
+@pytest.fixture(scope="module")
+def result():
+    res = figure1.run("ci")
+    record_table(res.table())
+    return res
+
+
+def test_benchmark_figure1_stage_walk(result):
+    """The per-stage walk covers input → conv ×3 → pool → tree."""
+    stages = [row["stage"] for row in result.rows]
+    assert stages[0] == "MFCC input"
+    assert "Bonsai tree" in stages[-1]
+    total_ops = sum(int(str(row["ops"]).replace(",", "")) for row in result.rows)
+    assert abs(total_ops - 1.54e6) / 1.54e6 < 0.02  # Table 3's 1.5M
+
+
+def test_benchmark_figure1_branch_free(result):
+    """All nodes evaluated; exactly depth+1 carry weight (from the notes)."""
+    note = result.notes[0]
+    assert "all 7 node scores" in note
+    assert "3 nodes/sample" in note
+
+
+def test_benchmark_figure1_tree_inference(benchmark, result):
+    """Throughput of a depth-2 Bonsai head on 64-dim features (batch 256)."""
+    tree = BonsaiTree(input_dim=64, num_labels=12, depth=2, rng=0)
+    tree.eval()
+    features = Tensor(np.random.default_rng(0).standard_normal((256, 64)).astype(np.float32))
+
+    def infer():
+        with no_grad():
+            return tree(features).data
+
+    scores = benchmark(infer)
+    assert scores.shape == (256, 12)

@@ -1,0 +1,96 @@
+"""Micro-benchmarks of the substrate kernels.
+
+Not a paper table — these keep the building blocks honest: MFCC extraction,
+conv forward/backward, strassenified vs dense matmul layers, and the
+synthetic-corpus generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.audio.mfcc import MFCC
+from repro.autodiff.ops_conv import conv2d, depthwise_conv2d
+from repro.autodiff.tensor import Tensor, no_grad
+from repro.core.strassen.layers import StrassenLinear
+from repro.datasets.synthesizer import keyword_spec, synthesize
+from repro.nn.linear import Linear
+
+RNG = np.random.default_rng(0)
+
+
+def test_benchmark_mfcc(benchmark):
+    """MFCC pipeline on a 1-second clip."""
+    extractor = MFCC()
+    wave = RNG.standard_normal(16_000)
+    features = benchmark(extractor, wave)
+    assert features.shape == (49, 10)
+
+
+def test_benchmark_synthesizer(benchmark):
+    """Formant synthesis of one keyword utterance."""
+    spec = keyword_spec("seven")
+    wave = benchmark(lambda: synthesize(spec, 0))
+    assert wave.shape == (16_000,)
+
+
+def test_benchmark_conv2d_forward(benchmark):
+    """DS-CNN-shaped conv forward (batch 32)."""
+    x = Tensor(RNG.standard_normal((32, 1, 49, 10)).astype(np.float32))
+    w = Tensor(RNG.standard_normal((64, 1, 10, 4)).astype(np.float32) * 0.1)
+
+    def forward():
+        with no_grad():
+            return conv2d(x, w, stride=(2, 2), padding=(5, 1)).data
+
+    out = benchmark(forward)
+    assert out.shape == (32, 64, 25, 5)
+
+
+def test_benchmark_depthwise_forward(benchmark):
+    """Depthwise 3x3 forward on the DS-CNN feature map (batch 32)."""
+    x = Tensor(RNG.standard_normal((32, 64, 25, 5)).astype(np.float32))
+    w = Tensor(RNG.standard_normal((64, 3, 3)).astype(np.float32) * 0.1)
+
+    def forward():
+        with no_grad():
+            return depthwise_conv2d(x, w, stride=1, padding=1).data
+
+    out = benchmark(forward)
+    assert out.shape == (32, 64, 25, 5)
+
+
+def test_benchmark_conv2d_backward(benchmark):
+    """Conv forward+backward (training-step cost driver)."""
+    x = Tensor(RNG.standard_normal((16, 1, 49, 10)).astype(np.float32), requires_grad=True)
+    w = Tensor(RNG.standard_normal((64, 1, 10, 4)).astype(np.float32) * 0.1, requires_grad=True)
+
+    def step():
+        x.zero_grad()
+        w.zero_grad()
+        out = conv2d(x, w, stride=(2, 2), padding=(5, 1))
+        out.sum().backward()
+        return w.grad
+
+    grad = benchmark(step)
+    assert grad.shape == (64, 1, 10, 4)
+
+
+@pytest.mark.parametrize("layer_kind", ["dense", "strassen"])
+def test_benchmark_linear_kinds(benchmark, layer_kind):
+    """Dense vs strassenified 64→12 matmul layer (batch 256)."""
+    x = Tensor(RNG.standard_normal((256, 64)).astype(np.float32))
+    if layer_kind == "dense":
+        layer = Linear(64, 12, rng=0)
+    else:
+        layer = StrassenLinear(64, 12, r=12, rng=0)
+        layer.freeze()
+    layer.eval()
+
+    def forward():
+        with no_grad():
+            return layer(x).data
+
+    out = benchmark(forward)
+    assert out.shape == (256, 12)

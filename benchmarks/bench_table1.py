@@ -1,0 +1,64 @@
+"""Table 1 bench: ST-DS-CNN hidden-width sweep.
+
+Regenerates the table (training at CI scale, analytic costs at paper scale),
+asserts its qualitative shape — strassenifying a DS-dominated network slashes
+multiplications but *grows total ops* past the uncompressed baseline — and
+benchmarks ST-DS-CNN inference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import record_table
+from repro.autodiff.tensor import Tensor, no_grad
+from repro.experiments import table1
+from repro.experiments.common import get_dataset, trained
+from repro.models.ds_cnn import DSCNN
+from repro.models.st_ds_cnn import STDSCNN
+
+
+@pytest.fixture(scope="module")
+def result():
+    res = table1.run("ci")
+    record_table(res.table())
+    return res
+
+
+def test_benchmark_table1_shape(result):
+    """Muls collapse ≥95 %; ops at r≥0.75 exceed the DS-CNN baseline."""
+    ds = DSCNN().cost_report()
+    for r_fraction in (0.75, 1.0, 2.0):
+        st = STDSCNN(r_fraction=r_fraction).cost_report()
+        assert st.ops.muls < 0.05 * ds.ops.macs, "muls should nearly vanish"
+        assert st.ops.ops > ds.ops.ops, "additions overhead should exceed baseline ops"
+    # monotone in r
+    ops = [STDSCNN(r_fraction=r).cost_report().ops.ops for r in table1.R_SWEEP]
+    assert ops == sorted(ops)
+    sizes = [STDSCNN(r_fraction=r).cost_report().model_kb for r in table1.R_SWEEP]
+    assert sizes == sorted(sizes)
+    assert len(result.rows) == 5
+
+
+def test_benchmark_table1_accuracy_recovers(result):
+    """Wider strassen layers recover accuracy (r=2 ≥ r=0.5, CI-scale)."""
+    accs = {row["network"]: float(row["acc%"]) for row in result.rows}
+    assert accs["ST-DS-CNN (r=2c_out)"] >= accs["ST-DS-CNN (r=0.5c_out)"] - 3.0
+
+
+def test_benchmark_table1_inference(benchmark, result):
+    """Throughput of the trained r=0.75 ST-DS-CNN on a 32-clip batch."""
+    model = trained(
+        "st-ds-cnn-r0.75", lambda: STDSCNN(width=24, r_fraction=0.75, rng=0), scale="ci"
+    ).model
+    features = get_dataset("ci").features("test")[:32]
+    model.eval()
+
+    def infer():
+        with no_grad():
+            return model(Tensor(features)).data
+
+    logits = benchmark(infer)
+    assert logits.shape == (32, 12)
+    assert np.isfinite(logits).all()

@@ -1,0 +1,83 @@
+"""Table 3 bench: baseline zoo vs the uncompressed HybridNet.
+
+Asserts the headline ordering — HybridNet matches DS-CNN accuracy with ~44 %
+fewer ops — and benchmarks HybridNet inference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import record_table
+from repro.autodiff.tensor import Tensor, no_grad
+from repro.core.hybrid.config import HybridConfig
+from repro.core.hybrid.network import HybridNet
+from repro.experiments import table3
+from repro.experiments.common import get_dataset, trained
+from repro.models.ds_cnn import DSCNN
+
+
+@pytest.fixture(scope="module")
+def result():
+    res = table3.run("ci")
+    record_table(res.table())
+    return res
+
+
+def test_benchmark_table3_hybrid_matches_dscnn(result):
+    """HybridNet accuracy close to DS-CNN (paper: +0.14; CI scale: −3)."""
+    rows = {row["network"]: row for row in result.rows}
+    assert float(rows["HybridNet"]["acc%"]) >= float(rows["DS-CNN"]["acc%"]) - 4.0
+
+
+def test_benchmark_table3_hybrid_ops_win():
+    """HybridNet cuts ≈44 % of DS-CNN's operations (analytic, paper scale)."""
+    ds = DSCNN().cost_report().ops.ops
+    hybrid = HybridNet().cost_report().ops.ops
+    reduction = 1.0 - hybrid / ds
+    assert 0.35 < reduction < 0.52, f"ops reduction {reduction:.2%} out of band"
+
+
+@pytest.mark.xfail(
+    strict=False,
+    reason=(
+        "known substitution artifact: the paper's DNN trails conv models by "
+        "7+ points on real speech, but the synthetic corpus lacks the "
+        "speaker/channel variability that sinks flat MLPs, so the DNN can "
+        "match conv models at CI scale (recorded in EXPERIMENTS.md)"
+    ),
+)
+def test_benchmark_table3_dnn_is_weak(result):
+    """The DNN trails every conv/recurrent model (paper: 84.6 vs 91+)."""
+    rows = {row["network"]: float(row["acc%"]) for row in result.rows}
+    assert rows["DNN"] <= min(rows["DS-CNN"], rows["HybridNet"], rows["CRNN"]) + 1.0
+
+
+def test_benchmark_table3_paper_costs():
+    """Analytic MACs/model-size land on Table 3 for every baseline."""
+    for name, (_acc, ops_m, kb) in table3.PAPER_ROWS.items():
+        report = table3.paper_builders()[name]().cost_report()
+        assert abs(report.ops.ops / 1e6 - ops_m) / ops_m < 0.12, (
+            name,
+            report.ops.ops / 1e6,
+            ops_m,
+        )
+        assert abs(report.model_kb - kb) / kb < 0.18, (name, report.model_kb, kb)
+
+
+def test_benchmark_table3_inference(benchmark, result):
+    """Throughput of the trained HybridNet on a 32-clip batch."""
+    model = trained(
+        "table3-HybridNet", lambda: HybridNet(HybridConfig(width=24), rng=0), scale="ci"
+    ).model
+    features = get_dataset("ci").features("test")[:32]
+    model.eval()
+
+    def infer():
+        with no_grad():
+            return model(Tensor(features)).data
+
+    logits = benchmark(infer)
+    assert logits.shape == (32, 12)
+    assert np.isfinite(logits).all()

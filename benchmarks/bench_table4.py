@@ -1,0 +1,84 @@
+"""Table 4 bench: the headline ST-HybridNet comparison.
+
+Asserts the paper's main claims analytically (98.89 % fewer muls, ~12 %
+fewer adds, smaller model) and behaviourally (accuracy parity at CI scale),
+then benchmarks ST-HybridNet inference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import record_table
+from repro.autodiff.tensor import Tensor, no_grad
+from repro.core.hybrid.config import HybridConfig
+from repro.core.hybrid.strassenified import STHybridNet
+from repro.experiments import table4
+from repro.experiments.common import get_dataset, trained
+from repro.models.ds_cnn import DSCNN
+from repro.models.st_ds_cnn import STDSCNN
+
+
+@pytest.fixture(scope="module")
+def result():
+    res = table4.run("ci")
+    record_table(res.table())
+    return res
+
+
+def test_benchmark_table4_headline_claims():
+    """The abstract's numbers from our cost model (paper scale).
+
+    98.89 % fewer multiplications, ~12 % fewer additions, fewer total ops
+    than DS-CNN; fewer additions than ST-DS-CNN.
+    """
+    ds = DSCNN().cost_report()
+    st_ds = STDSCNN(r_fraction=0.75).cost_report()
+    st_hybrid = STHybridNet().cost_report()
+
+    mult_reduction = 1.0 - st_hybrid.ops.muls / ds.ops.macs
+    assert mult_reduction > 0.985, f"muls reduction {mult_reduction:.4f}"
+    assert st_hybrid.ops.ops < ds.ops.ops, "total ops must beat DS-CNN"
+    assert st_hybrid.ops.adds < st_ds.ops.adds, "adds must beat ST-DS-CNN"
+    assert st_hybrid.ops.ops < st_ds.ops.ops < 2 * st_hybrid.ops.ops + ds.ops.ops
+
+
+def test_benchmark_table4_model_size_ordering():
+    """ST-HybridNet < DS-CNN(8b) < HybridNet(fp32) in bytes."""
+    from repro.core.hybrid.network import HybridNet
+
+    st = STHybridNet().cost_report().model_kb
+    ds = DSCNN().cost_report().model_kb
+    hybrid = HybridNet().cost_report().model_kb
+    assert st < ds < hybrid
+
+
+def test_benchmark_table4_accuracy_parity(result):
+    """ST-HybridNet (either KD setting) within 6 pts of DS-CNN at CI scale.
+
+    The paper reports near-parity after 3x135 epochs; our 13-epoch CI
+    schedule under-trains the ternary phases, so the margin is wider.
+    """
+    rows = {row["network"]: float(row["acc%"]) for row in result.rows}
+    best_st = max(
+        rows["ST-HybridNet (without KD)"], rows["ST-HybridNet (with KD)"]
+    )
+    assert best_st >= rows["DS-CNN"] - 6.0
+
+
+def test_benchmark_table4_inference(benchmark, result):
+    """Throughput of the trained ST-HybridNet on a 32-clip batch."""
+    model = trained(
+        "st-hybrid", lambda: STHybridNet(HybridConfig(width=24), rng=0), scale="ci"
+    ).model
+    features = get_dataset("ci").features("test")[:32]
+    model.eval()
+
+    def infer():
+        with no_grad():
+            return model(Tensor(features)).data
+
+    logits = benchmark(infer)
+    assert logits.shape == (32, 12)
+    assert np.isfinite(logits).all()

@@ -1,0 +1,28 @@
+"""Benchmark-suite plumbing.
+
+Each bench module renders its paper-vs-measured table; we collect the
+rendered text here and print everything in the terminal summary so
+``pytest benchmarks/ --benchmark-only`` shows the reproduced tables even
+with output capture on.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+RENDERED_TABLES: List[str] = []
+
+
+def record_table(text: str) -> None:
+    """Register a rendered experiment table for the end-of-run summary."""
+    RENDERED_TABLES.append(text)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):  # noqa: D103
+    if not RENDERED_TABLES:
+        return
+    terminalreporter.write_sep("=", "reproduced paper tables")
+    for text in RENDERED_TABLES:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

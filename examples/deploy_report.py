@@ -1,0 +1,60 @@
+"""Deployment cost sheet: every paper-scale architecture, no training.
+
+Prints the analytic muls/adds/MACs/ops, model size and total memory
+footprint for all networks of Tables 1-6 — the numbers a microcontroller
+deployment decision needs.  Runs in about a second.
+
+Run:  python examples/deploy_report.py
+"""
+
+from __future__ import annotations
+
+from repro.core.hybrid import HybridConfig, HybridNet, STHybridNet, TABLE5_CONFIGS
+from repro.costmodel.report import format_table
+from repro.models import CNN, DNN, BonsaiKWS, CRNN, DSCNN, GRUModel, STDSCNN
+from repro.models.rnn_models import basic_lstm, projected_lstm
+
+
+def main() -> None:
+    reports = [
+        DSCNN().cost_report(),
+        CRNN().cost_report(),
+        GRUModel().cost_report(),
+        projected_lstm().cost_report(),
+        basic_lstm().cost_report(),
+        CNN().cost_report(),
+        DNN().cost_report(),
+        BonsaiKWS(projection_dim=64, depth=2).cost_report(input_dim=392),
+        HybridNet().cost_report(),
+    ]
+    for r_fraction in (0.5, 0.75, 1.0, 2.0):
+        reports.append(STDSCNN(r_fraction=r_fraction).cost_report())
+    reports.append(STHybridNet().cost_report(name="ST-HybridNet (fp32 a^)"))
+    reports.append(
+        STHybridNet().cost_report(
+            a_hat_bits=16, bias_bits=8, act_bits=8, name="ST-HybridNet (PTQ, 8b acts)"
+        )
+    )
+    reports.append(
+        STHybridNet().cost_report(
+            a_hat_bits=16, bias_bits=8, act_bits=8, dw_intermediate_bits=16,
+            name="ST-HybridNet (PTQ, mixed 8/16b)",
+        )
+    )
+
+    print(format_table([r.row() for r in reports], title="Paper-scale deployment costs"))
+
+    print("\nTable-5 ablation (ST-HybridNet hyperparameters):")
+    rows = []
+    for description, cfg in TABLE5_CONFIGS.items():
+        report = STHybridNet(cfg).cost_report()
+        rows.append({
+            "hyperparameters": description,
+            "ops": f"{report.ops.ops / 1e6:.2f}M",
+            "model": f"{report.model_kb:.2f}KB",
+        })
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

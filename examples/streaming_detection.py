@@ -1,0 +1,69 @@
+"""Always-on streaming keyword detection with a trained HybridNet.
+
+Trains a small HybridNet on the synthetic corpus, synthesises a continuous
+audio stream with embedded keywords and distractors, and runs the
+sliding-window detector over it, reporting the miss-rate / false-alarms-per-
+hour operating point at a few thresholds — the deployment-facing view of
+the paper's "always-on IoT device" motivation.
+
+Run:  python examples/streaming_detection.py    (~1-2 minutes on CPU)
+"""
+
+from __future__ import annotations
+
+from repro.core.bonsai import BonsaiAnnealingSchedule
+from repro.core.hybrid import HybridConfig, HybridNet
+from repro.costmodel.report import format_table
+from repro.datasets import speech_commands as sc
+from repro.evaluation import StreamingConfig, StreamingDetector, make_stream, score_detections
+from repro.training import TrainConfig, Trainer
+
+
+def main() -> None:
+    dataset = sc.SpeechCommandsDataset.cached(sc.small_config(utterances_per_word=40))
+    print(dataset.summary())
+
+    print("\n== train the clip-level model ==")
+    model = HybridNet(HybridConfig(width=24), rng=0)
+    epochs = 12
+    trainer = Trainer(
+        model,
+        TrainConfig(epochs=epochs, batch_size=32, lr=2e-3, loss="hinge", lr_drop_every=None),
+        callbacks=[BonsaiAnnealingSchedule(1.0, 8.0, epochs)],
+    )
+    trainer.fit(*dataset.arrays("train"), *dataset.arrays("val"))
+    print(f"clip-level test accuracy: {trainer.evaluate(*dataset.arrays('test')):.3f}")
+
+    print("\n== synthesise a continuous stream ==")
+    script = ["yes", "bed", "stop", "no", "marvin", "go", "left", "cat", "right"]
+    wave, truth = make_stream(script, rng=7)
+    seconds = len(wave) / 16000.0
+    targets = [w for w, _ in truth if w in sc.TARGET_WORDS]
+    print(f"{seconds:.1f}s stream; {len(targets)} target keywords, "
+          f"{len(script) - len(targets)} distractors")
+
+    print("\n== sweep the detection threshold ==")
+    rows = []
+    for threshold in (0.4, 0.6, 0.8):
+        detector = StreamingDetector(
+            model,
+            StreamingConfig(hop_ms=250.0, threshold=threshold, smoothing_windows=3),
+            feature_mean=dataset.feature_mean,
+            feature_std=dataset.feature_std,
+        )
+        events = detector.detect(wave)
+        metrics = score_detections(events, truth, stream_seconds=seconds)
+        rows.append({
+            "threshold": threshold,
+            "detections": len(events),
+            "hits": metrics.hits,
+            "miss_rate": f"{metrics.miss_rate:.2f}",
+            "false_alarms/h": f"{metrics.false_alarms_per_hour:.0f}",
+        })
+    print(format_table(rows, title="Streaming operating points"))
+    print("\nhigher thresholds trade misses for fewer false alarms — pick the")
+    print("operating point the deployment's battery/annoyance budget allows.")
+
+
+if __name__ == "__main__":
+    main()

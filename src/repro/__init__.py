@@ -1,0 +1,22 @@
+"""repro — reproduction of *Ternary Hybrid Neural-Tree Networks for Highly
+Constrained IoT Applications* (Gope, Dasika, Mattina — SysML 2019).
+
+The package provides, from scratch on NumPy:
+
+* :mod:`repro.autodiff` / :mod:`repro.nn` — the training substrate,
+* :mod:`repro.audio` / :mod:`repro.datasets` — MFCC frontend and a synthetic
+  speech-commands corpus,
+* :mod:`repro.core` — the paper's contribution: StrassenNets, Bonsai trees
+  and the (strassenified) hybrid neural-tree network,
+* :mod:`repro.models` — every Table-3 baseline,
+* :mod:`repro.quantization`, :mod:`repro.pruning` — the comparative-analysis
+  compression techniques,
+* :mod:`repro.costmodel` — analytic muls/adds/ops/size/footprint accounting,
+* :mod:`repro.experiments` — one runner per paper table/figure.
+
+See DESIGN.md for the full inventory and EXPERIMENTS.md for results.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,28 @@
+"""Audio frontend: waveform → MFCC features.
+
+Implements the exact preprocessing of Zhang et al. (2017) that the paper
+reuses: 1-second 16 kHz clips, 40 ms analysis frames with 20 ms stride,
+40 mel filters, 10 cepstral coefficients — yielding the 49x10 input
+"image" every model in the paper consumes.
+"""
+
+from repro.audio.signal import frame_signal, hamming_window, preemphasis, rms_normalize
+from repro.audio.mel import hz_to_mel, mel_filterbank, mel_to_hz
+from repro.audio.dct import dct_matrix
+from repro.audio.mfcc import MFCC, MFCCConfig
+from repro.audio.augment import add_background_noise, random_time_shift
+
+__all__ = [
+    "preemphasis",
+    "frame_signal",
+    "hamming_window",
+    "rms_normalize",
+    "hz_to_mel",
+    "mel_to_hz",
+    "mel_filterbank",
+    "dct_matrix",
+    "MFCCConfig",
+    "MFCC",
+    "add_background_noise",
+    "random_time_shift",
+]

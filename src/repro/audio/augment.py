@@ -1,0 +1,64 @@
+"""Training-time waveform augmentation.
+
+The paper (following Zhang et al. 2017 / Warden 2018) augments training
+samples "by applying background noise and random timing jitter to provide
+robustness against noise and alignment errors"; these two functions are that
+augmentation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+
+def random_time_shift(
+    waveform: np.ndarray, max_shift_ms: float, sample_rate: int, rng: SeedLike = None
+) -> np.ndarray:
+    """Shift the clip by up to ±``max_shift_ms``, zero-padding the gap.
+
+    Matches the Speech-Commands training recipe (default ±100 ms).
+    """
+    rng = new_rng(rng)
+    waveform = np.asarray(waveform)
+    max_shift = int(round(max_shift_ms * sample_rate / 1000.0))
+    if max_shift == 0:
+        return waveform.copy()
+    shift = int(rng.integers(-max_shift, max_shift + 1))
+    out = np.zeros_like(waveform)
+    if shift > 0:
+        out[shift:] = waveform[: len(waveform) - shift]
+    elif shift < 0:
+        out[:shift] = waveform[-shift:]
+    else:
+        out[:] = waveform
+    return out
+
+
+def add_background_noise(
+    waveform: np.ndarray,
+    noise: np.ndarray,
+    volume: float,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Mix a random crop of ``noise`` into the clip at the given volume.
+
+    ``volume`` scales the noise relative to its own RMS; 0 returns the clip
+    unchanged.  When the noise clip is longer than the waveform a random
+    aligned crop is used, as in the Speech-Commands pipeline.
+    """
+    rng = new_rng(rng)
+    waveform = np.asarray(waveform, dtype=np.float64)
+    if volume <= 0.0:
+        return waveform.copy()
+    noise = np.asarray(noise, dtype=np.float64)
+    if len(noise) < len(waveform):
+        reps = int(np.ceil(len(waveform) / len(noise)))
+        noise = np.tile(noise, reps)
+    start = int(rng.integers(0, len(noise) - len(waveform) + 1))
+    crop = noise[start : start + len(waveform)]
+    rms = float(np.sqrt(np.mean(crop**2)))
+    if rms < 1e-12:
+        return waveform.copy()
+    return waveform + volume * crop / rms * 0.1

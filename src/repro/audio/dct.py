@@ -1,0 +1,23 @@
+"""Type-II discrete cosine transform matrix (orthonormal)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def dct_matrix(num_coefficients: int, num_inputs: int) -> np.ndarray:
+    """Orthonormal DCT-II matrix of shape (num_coefficients, num_inputs).
+
+    ``coeffs = M @ log_mel_energies`` gives the cepstral coefficients; the
+    orthonormal scaling matches ``scipy.fft.dct(..., norm='ortho')``.
+    """
+    if num_coefficients > num_inputs:
+        raise ValueError(
+            f"cannot take {num_coefficients} DCT coefficients from {num_inputs} inputs"
+        )
+    n = np.arange(num_inputs)
+    k = np.arange(num_coefficients)[:, None]
+    matrix = np.cos(np.pi * k * (2 * n + 1) / (2.0 * num_inputs))
+    matrix *= np.sqrt(2.0 / num_inputs)
+    matrix[0] /= np.sqrt(2.0)
+    return matrix

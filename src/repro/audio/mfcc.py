@@ -1,0 +1,116 @@
+"""MFCC feature extraction pipeline.
+
+The default configuration reproduces the input representation used by the
+paper and by Zhang et al. (2017): 1-second 16 kHz audio, 40 ms frames with
+20 ms stride (→ 49 frames), 40 mel filters, 10 cepstral coefficients —
+a 49x10 time-frequency "image".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.audio.dct import dct_matrix
+from repro.audio.mel import mel_filterbank
+from repro.audio.signal import frame_signal, hamming_window, preemphasis
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class MFCCConfig:
+    """Configuration of the MFCC frontend.
+
+    Attributes
+    ----------
+    sample_rate: input sampling rate in Hz.
+    frame_ms / stride_ms: analysis window length and hop, in milliseconds.
+    num_mel_filters: triangular filters on the mel scale.
+    num_coefficients: cepstral coefficients kept after the DCT.
+    fft_length: FFT size; 0 selects the next power of two ≥ frame length.
+    preemphasis_coefficient: high-pass coefficient; 0 disables.
+    log_floor: lower clamp on filterbank energies before the log.
+    """
+
+    sample_rate: int = 16_000
+    frame_ms: float = 40.0
+    stride_ms: float = 20.0
+    num_mel_filters: int = 40
+    num_coefficients: int = 10
+    fft_length: int = 0
+    preemphasis_coefficient: float = 0.97
+    log_floor: float = 1e-10
+
+    @property
+    def frame_length(self) -> int:
+        """Frame length in samples."""
+        return int(round(self.sample_rate * self.frame_ms / 1000.0))
+
+    @property
+    def frame_step(self) -> int:
+        """Hop length in samples."""
+        return int(round(self.sample_rate * self.stride_ms / 1000.0))
+
+    @property
+    def effective_fft_length(self) -> int:
+        """FFT size actually used."""
+        if self.fft_length:
+            return self.fft_length
+        n = 1
+        while n < self.frame_length:
+            n *= 2
+        return n
+
+    def num_frames(self, num_samples: int) -> int:
+        """Frames produced for a clip of ``num_samples`` samples."""
+        return 1 + (num_samples - self.frame_length) // self.frame_step
+
+
+class MFCC:
+    """Stateful MFCC extractor (precomputes window / filterbank / DCT).
+
+    >>> extractor = MFCC()
+    >>> features = extractor(np.zeros(16000))
+    >>> features.shape
+    (49, 10)
+    """
+
+    def __init__(self, config: MFCCConfig | None = None) -> None:
+        self.config = config or MFCCConfig()
+        cfg = self.config
+        if cfg.num_coefficients > cfg.num_mel_filters:
+            raise ConfigError(
+                f"num_coefficients {cfg.num_coefficients} exceeds "
+                f"num_mel_filters {cfg.num_mel_filters}"
+            )
+        self._window = hamming_window(cfg.frame_length)
+        self._filterbank = mel_filterbank(
+            cfg.num_mel_filters, cfg.effective_fft_length, cfg.sample_rate
+        )
+        self._dct = dct_matrix(cfg.num_coefficients, cfg.num_mel_filters)
+
+    @property
+    def feature_shape_for(self) -> tuple:
+        """(frames, coefficients) for a 1-second clip."""
+        cfg = self.config
+        return (cfg.num_frames(cfg.sample_rate), cfg.num_coefficients)
+
+    def __call__(self, waveform: np.ndarray) -> np.ndarray:
+        """Extract MFCCs: returns (num_frames, num_coefficients) float32."""
+        cfg = self.config
+        signal = np.asarray(waveform, dtype=np.float64)
+        if cfg.preemphasis_coefficient > 0:
+            signal = preemphasis(signal, cfg.preemphasis_coefficient)
+        frames = frame_signal(signal, cfg.frame_length, cfg.frame_step)
+        frames = frames * self._window
+        spectrum = np.fft.rfft(frames, n=cfg.effective_fft_length, axis=1)
+        power = (spectrum.real**2 + spectrum.imag**2) / cfg.effective_fft_length
+        mel_energies = power @ self._filterbank.T
+        log_mel = np.log(np.maximum(mel_energies, cfg.log_floor))
+        coefficients = log_mel @ self._dct.T
+        return coefficients.astype(np.float32)
+
+    def batch(self, waveforms: np.ndarray) -> np.ndarray:
+        """Extract MFCCs for a (N, num_samples) batch → (N, frames, coeffs)."""
+        return np.stack([self(w) for w in np.asarray(waveforms)])

@@ -1,0 +1,61 @@
+"""Time-domain signal utilities: pre-emphasis, framing, windowing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def preemphasis(signal: np.ndarray, coefficient: float = 0.97) -> np.ndarray:
+    """High-pass pre-emphasis filter ``y[t] = x[t] − coeff·x[t−1]``.
+
+    Standard speech-frontend step that flattens the spectral tilt before
+    the filterbank.
+    """
+    signal = np.asarray(signal, dtype=np.float64)
+    if signal.ndim != 1:
+        raise ShapeError(f"preemphasis expects a 1-D signal, got {signal.shape}")
+    out = np.empty_like(signal)
+    out[0] = signal[0]
+    out[1:] = signal[1:] - coefficient * signal[:-1]
+    return out
+
+
+def frame_signal(signal: np.ndarray, frame_length: int, frame_step: int) -> np.ndarray:
+    """Slice a 1-D signal into overlapping frames (num_frames, frame_length).
+
+    Frames that would run past the end are dropped (no padding), matching
+    the 49-frame count for 1 s of 16 kHz audio at 40 ms / 20 ms.
+    """
+    signal = np.asarray(signal)
+    if signal.ndim != 1:
+        raise ShapeError(f"frame_signal expects a 1-D signal, got {signal.shape}")
+    if frame_length <= 0 or frame_step <= 0:
+        raise ValueError("frame_length and frame_step must be positive")
+    if len(signal) < frame_length:
+        raise ShapeError(
+            f"signal of length {len(signal)} shorter than frame {frame_length}"
+        )
+    num_frames = 1 + (len(signal) - frame_length) // frame_step
+    indices = (
+        np.arange(frame_length)[None, :] + frame_step * np.arange(num_frames)[:, None]
+    )
+    return signal[indices]
+
+
+def hamming_window(length: int) -> np.ndarray:
+    """Hamming window of the given length."""
+    return np.hamming(length)
+
+
+def rms_normalize(signal: np.ndarray, target_rms: float = 0.1) -> np.ndarray:
+    """Scale a waveform to the target root-mean-square level.
+
+    Silent inputs are returned unchanged (no division blow-up).
+    """
+    signal = np.asarray(signal, dtype=np.float64)
+    rms = float(np.sqrt(np.mean(signal**2)))
+    if rms < 1e-12:
+        return signal
+    return signal * (target_rms / rms)

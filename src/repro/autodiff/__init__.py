@@ -1,0 +1,54 @@
+"""A small reverse-mode automatic-differentiation engine over NumPy.
+
+This is the training substrate for the whole reproduction: the paper trains
+its networks with TensorFlow; offline we provide an equivalent define-by-run
+tape.  The design goals, in order:
+
+1. **Correctness** — every op's backward pass is checked against numerical
+   gradients in the test suite.
+2. **Vectorisation** — convolutions use ``sliding_window_view`` + ``einsum``;
+   there are no per-element Python loops on the hot path.
+3. **Smallness** — only the ops the paper's models need.
+
+Public API
+----------
+:class:`Tensor`           autodiff array
+:func:`tensor`            convenience constructor
+:func:`no_grad`           context manager disabling graph recording
+ops                       ``matmul``, ``conv2d``, ``depthwise_conv2d``,
+                          activations, reductions, ``ternary_ste`` …
+:func:`check_gradients`   numerical gradient checker (tests / debugging)
+"""
+
+from repro.autodiff.tensor import (
+    Tensor,
+    concatenate,
+    is_grad_enabled,
+    maximum,
+    no_grad,
+    stack,
+    tensor,
+    where,
+)
+from repro.autodiff.ops_conv import avg_pool2d, conv2d, depthwise_conv2d, pad2d
+from repro.autodiff.ste import clipped_ste, sign_ste, ternary_ste
+from repro.autodiff.grad_check import check_gradients
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "concatenate",
+    "stack",
+    "where",
+    "maximum",
+    "conv2d",
+    "depthwise_conv2d",
+    "avg_pool2d",
+    "pad2d",
+    "ternary_ste",
+    "sign_ste",
+    "clipped_ste",
+    "check_gradients",
+]

@@ -1,0 +1,67 @@
+"""Numerical gradient checking for autodiff ops (used by the test suite)."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+
+
+def numerical_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    index: int,
+    eps: float = 1e-3,
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input.
+
+    Inputs are perturbed in float64 for accuracy and restored afterwards.
+    """
+    target = inputs[index]
+    base = target.data.astype(np.float64).copy()
+    grad = np.zeros_like(base)
+    flat = base.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        target.data = base.reshape(target.shape).astype(target.dtype)
+        plus = float(fn(*inputs).data.sum())
+        flat[i] = original - eps
+        target.data = base.reshape(target.shape).astype(target.dtype)
+        minus = float(fn(*inputs).data.sum())
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    target.data = base.reshape(target.shape).astype(target.dtype)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    atol: float = 1e-2,
+    rtol: float = 5e-2,
+    eps: float = 1e-3,
+) -> None:
+    """Assert analytic gradients of ``sum(fn(*inputs))`` match numerics.
+
+    Raises ``AssertionError`` naming the offending input on mismatch.
+    Intended for small tensors (the check is O(size) forward passes each).
+    """
+    for t in inputs:
+        t.zero_grad()
+    out = fn(*inputs)
+    out.sum().backward()
+    for i, t in enumerate(inputs):
+        if not t.requires_grad:
+            continue
+        expected = numerical_gradient(fn, inputs, i, eps=eps)
+        actual = np.zeros_like(expected) if t.grad is None else t.grad.astype(np.float64)
+        if not np.allclose(actual, expected, atol=atol, rtol=rtol):
+            worst = float(np.abs(actual - expected).max())
+            raise AssertionError(
+                f"gradient mismatch on input {i} (max abs err {worst:.3e});\n"
+                f"analytic:\n{actual}\nnumeric:\n{expected}"
+            )

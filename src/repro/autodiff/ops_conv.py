@@ -1,0 +1,189 @@
+"""Convolution, pooling and padding primitives (NCHW layout).
+
+Forward passes are expressed with ``numpy.lib.stride_tricks.sliding_window_view``
+plus ``einsum`` so the hot loop stays inside BLAS; backward passes scatter
+through a small ``KH*KW`` Python loop (kernel sizes in this paper are at most
+10x4, so the loop body dominates and stays vectorised over N/C/H/W).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.autodiff.tensor import Tensor
+from repro.errors import ShapeError
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntPair) -> Tuple[int, int]:
+    """Normalise an int-or-pair argument to a pair."""
+    if isinstance(value, tuple):
+        return value
+    return (int(value), int(value))
+
+
+def _pad_input(x: np.ndarray, ph: int, pw: int) -> np.ndarray:
+    if ph == 0 and pw == 0:
+        return x
+    return np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a convolution along one axis."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"convolution produces empty output (size={size}, kernel={kernel}, "
+            f"stride={stride}, pad={pad})"
+        )
+    return out
+
+
+def pad2d(x: Tensor, pad: IntPair) -> Tensor:
+    """Zero-pad the two trailing spatial axes of an NCHW tensor."""
+    ph, pw = _pair(pad)
+    if ph == 0 and pw == 0:
+        return x
+    out = _pad_input(x.data, ph, pw)
+    h, w = x.shape[2], x.shape[3]
+
+    def backward(g: np.ndarray):
+        return ((x, np.ascontiguousarray(g[:, :, ph : ph + h, pw : pw + w])),)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+) -> Tensor:
+    """2-D cross-correlation: ``x`` NCHW, ``weight`` (F, C, KH, KW).
+
+    Returns an (N, F, OH, OW) tensor.  This is the standard deep-learning
+    "convolution" (no kernel flip), matching TensorFlow's ``conv2d``.
+    """
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    n, c, h, w = x.shape
+    f, cw, kh, kw = weight.shape
+    if cw != c:
+        raise ShapeError(f"conv2d channel mismatch: input {c} vs weight {cw}")
+    oh = conv_output_size(h, kh, sh, ph)
+    ow = conv_output_size(w, kw, sw, pw)
+
+    xp = _pad_input(x.data, ph, pw)
+    windows = sliding_window_view(xp, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
+    # windows: (N, C, OH, OW, KH, KW)
+    out = np.einsum("nchwkl,fckl->nfhw", windows, weight.data, optimize=True)
+    out = np.ascontiguousarray(out, dtype=x.dtype)
+    if bias is not None:
+        out += bias.data.reshape(1, f, 1, 1)
+
+    padded_shape = xp.shape
+
+    def backward(g: np.ndarray):
+        grads = []
+        g = np.ascontiguousarray(g)
+        dw = np.einsum("nfhw,nchwkl->fckl", g, windows, optimize=True)
+        dxp = np.zeros(padded_shape, dtype=g.dtype)
+        for i in range(kh):
+            hi = i + sh * oh
+            for j in range(kw):
+                wj = j + sw * ow
+                dxp[:, :, i:hi:sh, j:wj:sw] += np.einsum(
+                    "nfhw,fc->nchw", g, weight.data[:, :, i, j], optimize=True
+                )
+        dx = dxp[:, :, ph : ph + h, pw : pw + w] if (ph or pw) else dxp
+        grads.append((x, np.ascontiguousarray(dx)))
+        grads.append((weight, dw))
+        if bias is not None:
+            grads.append((bias, g.sum(axis=(0, 2, 3))))
+        return grads
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor._make(out, parents, backward)
+
+
+def depthwise_conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+) -> Tensor:
+    """Depthwise 2-D convolution with channel multiplier 1.
+
+    ``x`` is NCHW, ``weight`` is (C, KH, KW); channel ``c`` of the output is
+    channel ``c`` of the input filtered by ``weight[c]``.
+    """
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    n, c, h, w = x.shape
+    cw, kh, kw = weight.shape
+    if cw != c:
+        raise ShapeError(f"depthwise channel mismatch: input {c} vs weight {cw}")
+    oh = conv_output_size(h, kh, sh, ph)
+    ow = conv_output_size(w, kw, sw, pw)
+
+    xp = _pad_input(x.data, ph, pw)
+    windows = sliding_window_view(xp, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
+    out = np.einsum("nchwkl,ckl->nchw", windows, weight.data, optimize=True)
+    out = np.ascontiguousarray(out, dtype=x.dtype)
+    if bias is not None:
+        out += bias.data.reshape(1, c, 1, 1)
+
+    padded_shape = xp.shape
+
+    def backward(g: np.ndarray):
+        grads = []
+        g = np.ascontiguousarray(g)
+        dw = np.einsum("nchw,nchwkl->ckl", g, windows, optimize=True)
+        dxp = np.zeros(padded_shape, dtype=g.dtype)
+        for i in range(kh):
+            hi = i + sh * oh
+            for j in range(kw):
+                wj = j + sw * ow
+                dxp[:, :, i:hi:sh, j:wj:sw] += g * weight.data[:, i, j].reshape(1, c, 1, 1)
+        dx = dxp[:, :, ph : ph + h, pw : pw + w] if (ph or pw) else dxp
+        grads.append((x, np.ascontiguousarray(dx)))
+        grads.append((weight, dw))
+        if bias is not None:
+            grads.append((bias, g.sum(axis=(0, 2, 3))))
+        return grads
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor._make(out, parents, backward)
+
+
+def avg_pool2d(x: Tensor, kernel: Optional[IntPair] = None) -> Tensor:
+    """Non-overlapping average pooling; ``kernel=None`` pools globally.
+
+    Global pooling returns shape (N, C, 1, 1) so downstream flatten logic is
+    uniform with windowed pooling.
+    """
+    n, c, h, w = x.shape
+    if kernel is None:
+        kh, kw = h, w
+    else:
+        kh, kw = _pair(kernel)
+    if h % kh or w % kw:
+        raise ShapeError(f"avg_pool2d kernel ({kh},{kw}) must divide input ({h},{w})")
+    oh, ow = h // kh, w // kw
+    reshaped = x.data.reshape(n, c, oh, kh, ow, kw)
+    out = reshaped.mean(axis=(3, 5))
+    scale = 1.0 / (kh * kw)
+
+    def backward(g: np.ndarray):
+        expanded = np.broadcast_to(
+            g[:, :, :, None, :, None] * scale, (n, c, oh, kh, ow, kw)
+        ).reshape(n, c, h, w)
+        return ((x, np.ascontiguousarray(expanded)),)
+
+    return Tensor._make(np.ascontiguousarray(out), (x,), backward)

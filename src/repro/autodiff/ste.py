@@ -1,0 +1,121 @@
+"""Straight-through estimators (STE) used by ternary / binary training.
+
+Quantisation functions are piecewise constant, so their true gradient is zero
+almost everywhere.  Training with quantised weights (StrassenNets phase 2,
+TWN baselines) instead keeps full-precision *shadow* weights and passes the
+output gradient straight through the quantiser, optionally masked to the
+clipping region — exactly the scheme of Courbariaux et al. / Li & Liu that
+the paper's training procedure builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+
+
+def ternary_threshold(weights: np.ndarray, ratio: float = 0.7) -> float:
+    """TWN threshold Δ = ``ratio`` · mean(|w|) (Li & Liu 2016, eq. 6)."""
+    return float(ratio * np.abs(weights).mean()) if weights.size else 0.0
+
+
+def ternarize_array(
+    weights: np.ndarray, ratio: float = 0.7
+) -> Tuple[np.ndarray, float]:
+    """Quantise an array to {-1, 0, +1} · α.
+
+    Returns ``(ternary, alpha)`` where ``ternary`` contains {-1, 0, 1} and
+    ``alpha`` is the optimal scaling factor: the mean magnitude of the
+    surviving (above-threshold) weights.  ``alpha`` is 0 when everything
+    quantises to zero.
+    """
+    delta = ternary_threshold(weights, ratio)
+    ternary = np.zeros_like(weights)
+    mask = np.abs(weights) > delta
+    ternary[mask] = np.sign(weights[mask])
+    alpha = float(np.abs(weights[mask]).mean()) if mask.any() else 0.0
+    return ternary, alpha
+
+
+def ternarize_array_topk(
+    weights: np.ndarray, max_nonzeros_per_row: int, ratio: float = 0.7
+) -> Tuple[np.ndarray, float]:
+    """Ternarise with an explicit per-row nonzero budget.
+
+    Implements the paper's future-work direction ("explore different
+    algorithmic ways to constrain the number of additions in a strassenified
+    network"): each row of the ternary transform keeps at most
+    ``max_nonzeros_per_row`` entries — the row's addition budget — chosen by
+    magnitude (intersected with the usual TWN threshold).  The first axis is
+    treated as the row axis; higher-rank tensors are flattened per row.
+    """
+    if max_nonzeros_per_row < 1:
+        raise ValueError("max_nonzeros_per_row must be >= 1")
+    flat = weights.reshape(weights.shape[0], -1)
+    ternary, _ = ternarize_array(weights, ratio)
+    ternary_flat = ternary.reshape(flat.shape)
+    k = min(max_nonzeros_per_row, flat.shape[1])
+    # keep exactly the top-k magnitudes per row (ties broken by position)
+    top_indices = np.argsort(-np.abs(flat), axis=1, kind="stable")[:, :k]
+    keep = np.zeros(flat.shape, dtype=bool)
+    np.put_along_axis(keep, top_indices, True, axis=1)
+    ternary_flat[~keep] = 0.0
+    mask = ternary_flat.reshape(weights.shape) != 0
+    alpha = float(np.abs(weights[mask]).mean()) if mask.any() else 0.0
+    return ternary_flat.reshape(weights.shape), alpha
+
+
+def ternary_ste(w: Tensor, ratio: float = 0.7, max_nonzeros_per_row: int | None = None) -> Tensor:
+    """Forward: ``α · ternarize(w)``;  backward: identity (straight-through).
+
+    The returned tensor participates in the graph; gradients w.r.t. the
+    quantised weights flow unchanged into the full-precision shadow ``w``.
+    ``max_nonzeros_per_row`` additionally caps each row's nonzeros (the
+    addition-budget extension; see :func:`ternarize_array_topk`).
+    """
+    if max_nonzeros_per_row is None:
+        ternary, alpha = ternarize_array(w.data, ratio)
+    else:
+        ternary, alpha = ternarize_array_topk(w.data, max_nonzeros_per_row, ratio)
+    out = (alpha * ternary).astype(w.dtype)
+
+    def backward(g: np.ndarray):
+        return ((w, g),)
+
+    return Tensor._make(out, (w,), backward)
+
+
+def sign_ste(w: Tensor, clip: float = 1.0) -> Tensor:
+    """Binary STE: forward ``sign(w)``, backward identity inside ``|w|<=clip``.
+
+    Used by the BinaryConnect-style comparison utilities.
+    """
+    out = np.sign(w.data).astype(w.dtype)
+    out[out == 0] = 1.0
+    mask = np.abs(w.data) <= clip
+
+    def backward(g: np.ndarray):
+        return ((w, g * mask),)
+
+    return Tensor._make(out, (w,), backward)
+
+
+def clipped_ste(w: Tensor, quantised: np.ndarray, clip: float | None = None) -> Tensor:
+    """Generic STE: forward an externally-computed ``quantised`` array.
+
+    ``clip`` bounds the pass-through region (gradients outside are zeroed);
+    ``None`` passes everything.  This is the building block the fixed-point
+    quantisation-aware utilities use.
+    """
+    out = np.asarray(quantised, dtype=w.dtype)
+    if out.shape != w.shape:
+        raise ValueError(f"quantised shape {out.shape} != weight shape {w.shape}")
+    mask = None if clip is None else (np.abs(w.data) <= clip)
+
+    def backward(g: np.ndarray):
+        return ((w, g if mask is None else g * mask),)
+
+    return Tensor._make(out, (w,), backward)

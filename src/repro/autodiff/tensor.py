@@ -1,0 +1,618 @@
+"""Reverse-mode autodiff :class:`Tensor` and its primitive operations.
+
+The engine is a classic define-by-run tape: every operation returns a new
+``Tensor`` holding references to its parents and a closure that, given the
+output gradient, accumulates gradients into the parents.  ``backward()``
+topologically sorts the tape and runs the closures in reverse.
+
+All arithmetic is performed in ``float32`` by default (``DEFAULT_DTYPE``) —
+the same precision the paper's "full-precision" weights use.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import GraphError, ShapeError
+
+DEFAULT_DTYPE = np.float32
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad() -> Iterator[None]:
+    """Disable graph recording inside the ``with`` block (inference mode)."""
+    global _GRAD_ENABLED
+    previous, _GRAD_ENABLED = _GRAD_ENABLED, False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """True when operations record the autodiff tape."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` after NumPy broadcasting.
+
+    Sums over the leading axes NumPy inserted and over axes of size 1 that
+    were stretched, so ``x + y`` works for every broadcastable pair.
+    """
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy array with reverse-mode automatic differentiation.
+
+    Parameters
+    ----------
+    data:
+        Anything ``np.asarray`` accepts.  Floating inputs are kept in their
+        dtype; ints are promoted to ``DEFAULT_DTYPE`` so gradients exist.
+    requires_grad:
+        Whether gradients should be accumulated into ``.grad`` on backward.
+    name:
+        Optional debugging label shown in ``repr``.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "name", "_parents", "_backward")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        name: Optional[str] = None,
+        _parents: Tuple["Tensor", ...] = (),
+        _backward: Optional[Callable[[np.ndarray], None]] = None,
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data)
+        if not np.issubdtype(arr.dtype, np.floating):
+            arr = arr.astype(DEFAULT_DTYPE)
+        self.data: np.ndarray = arr
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self.name = name
+        self._parents = _parents
+        self._backward = _backward
+
+    # ------------------------------------------------------------------ #
+    # basic protocol
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Element dtype."""
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """The raw ndarray (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        """Python scalar for a 1-element tensor."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else self._raise_item()
+
+    def _raise_item(self) -> float:
+        raise ShapeError(f"item() on tensor of shape {self.shape}")
+
+    def detach(self) -> "Tensor":
+        """A view of the same data cut off from the tape."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        """A leaf tensor with copied data."""
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = f" name={self.name!r}" if self.name else ""
+        grad = ", grad" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, dtype={self.data.dtype}{grad}{tag})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------ #
+    # graph machinery
+    # ------------------------------------------------------------------ #
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into ``self.grad`` (allocating on first use)."""
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data, dtype=self.data.dtype)
+        self.grad += grad.astype(self.data.dtype, copy=False)
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        ``grad`` defaults to 1 for scalar outputs (the loss); non-scalar
+        roots must supply the output gradient explicitly.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise GraphError(
+                    "backward() without an explicit gradient requires a scalar "
+                    f"output; got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+        if grad.shape != self.data.shape:
+            raise ShapeError(
+                f"gradient shape {grad.shape} != tensor shape {self.data.shape}"
+            )
+
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:  # iterative DFS: deep graphs (RNNs) overflow recursion
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in seen:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            node._accumulate(node_grad)
+            if node._backward is None:
+                continue
+            for parent, parent_grad in node._backward(node_grad):
+                if parent_grad is None:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + parent_grad
+                else:
+                    grads[key] = parent_grad
+
+    # ------------------------------------------------------------------ #
+    # op construction helper
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], Iterable[tuple["Tensor", Optional[np.ndarray]]]],
+    ) -> "Tensor":
+        """Build an op output, recording the tape only when needed."""
+        if _GRAD_ENABLED and any(p.requires_grad or p._parents for p in parents):
+            return Tensor(data, requires_grad=False, _parents=parents, _backward=backward)
+        return Tensor(data)
+
+    # ------------------------------------------------------------------ #
+    # arithmetic
+    # ------------------------------------------------------------------ #
+
+    def _coerce(self, other: ArrayLike) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(np.asarray(other, dtype=self.data.dtype))
+
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        out = self.data + other.data
+
+        def backward(g: np.ndarray):
+            return (
+                (self, _unbroadcast(g, self.shape)),
+                (other, _unbroadcast(g, other.shape)),
+            )
+
+        return Tensor._make(out, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        out = self.data - other.data
+
+        def backward(g: np.ndarray):
+            return (
+                (self, _unbroadcast(g, self.shape)),
+                (other, _unbroadcast(-g, other.shape)),
+            )
+
+        return Tensor._make(out, (self, other), backward)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return self._coerce(other) - self
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        out = self.data * other.data
+        a_data, b_data = self.data, other.data
+
+        def backward(g: np.ndarray):
+            return (
+                (self, _unbroadcast(g * b_data, self.shape)),
+                (other, _unbroadcast(g * a_data, other.shape)),
+            )
+
+        return Tensor._make(out, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        out = self.data / other.data
+        a_data, b_data = self.data, other.data
+
+        def backward(g: np.ndarray):
+            return (
+                (self, _unbroadcast(g / b_data, self.shape)),
+                (other, _unbroadcast(-g * a_data / (b_data * b_data), other.shape)),
+            )
+
+        return Tensor._make(out, (self, other), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return self._coerce(other) / self
+
+    def __neg__(self) -> "Tensor":
+        out = -self.data
+
+        def backward(g: np.ndarray):
+            return ((self, -g),)
+
+        return Tensor._make(out, (self,), backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out = self.data**exponent
+        base = self.data
+
+        def backward(g: np.ndarray):
+            return ((self, g * exponent * base ** (exponent - 1)),)
+
+        return Tensor._make(out, (self,), backward)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        out = self.data @ other.data
+        a_data, b_data = self.data, other.data
+
+        def backward(g: np.ndarray):
+            if a_data.ndim == 1 and b_data.ndim == 1:  # inner product
+                ga = g * b_data
+                gb = g * a_data
+            elif b_data.ndim == 1:
+                ga = np.expand_dims(g, -1) * b_data
+                gb = _unbroadcast(
+                    np.swapaxes(a_data, -1, -2) @ np.expand_dims(g, -1), b_data.shape + (1,)
+                ).reshape(b_data.shape)
+            elif a_data.ndim == 1:
+                ga = (g[..., None, :] * b_data).sum(axis=-1)
+                ga = _unbroadcast(ga, a_data.shape)
+                gb = _unbroadcast(np.expand_dims(a_data, -1) @ g[..., None, :], b_data.shape)
+            else:
+                ga = _unbroadcast(g @ np.swapaxes(b_data, -1, -2), a_data.shape)
+                gb = _unbroadcast(np.swapaxes(a_data, -1, -2) @ g, b_data.shape)
+            return ((self, ga), (other, gb))
+
+        return Tensor._make(out, (self, other), backward)
+
+    # ------------------------------------------------------------------ #
+    # shape ops
+    # ------------------------------------------------------------------ #
+
+    def reshape(self, *shape: int) -> "Tensor":
+        """Reshape (supports a single tuple argument or varargs)."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = self.data.reshape(shape)
+        original = self.data.shape
+
+        def backward(g: np.ndarray):
+            return ((self, g.reshape(original)),)
+
+        return Tensor._make(out, (self,), backward)
+
+    def flatten(self, start_axis: int = 1) -> "Tensor":
+        """Flatten all axes from ``start_axis`` onward (batch-preserving)."""
+        lead = self.data.shape[:start_axis]
+        return self.reshape(*lead, -1)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        """Permute axes; with no arguments reverses them (like NumPy)."""
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        perm = axes if axes else tuple(reversed(range(self.data.ndim)))
+        out = self.data.transpose(perm)
+        inverse = tuple(np.argsort(perm))
+
+        def backward(g: np.ndarray):
+            return ((self, g.transpose(inverse)),)
+
+        return Tensor._make(out, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        """2-D transpose."""
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        out = self.data[index]
+        shape = self.data.shape
+        dtype = self.data.dtype
+
+        def backward(g: np.ndarray):
+            full = np.zeros(shape, dtype=dtype)
+            np.add.at(full, index, g)
+            return ((self, full),)
+
+        return Tensor._make(np.ascontiguousarray(out), (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # reductions
+    # ------------------------------------------------------------------ #
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Sum over ``axis`` (all axes when ``None``)."""
+        out = self.data.sum(axis=axis, keepdims=keepdims)
+        shape = self.data.shape
+
+        def backward(g: np.ndarray):
+            if axis is None:
+                return ((self, np.broadcast_to(g, shape).astype(g.dtype)),)
+            g_expanded = g if keepdims else np.expand_dims(g, axis)
+            return ((self, np.broadcast_to(g_expanded, shape).copy()),)
+
+        return Tensor._make(np.asarray(out), (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Arithmetic mean over ``axis``."""
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Maximum over ``axis``; gradient flows to (all) argmax positions."""
+        out = self.data.max(axis=axis, keepdims=keepdims)
+        data = self.data
+
+        def backward(g: np.ndarray):
+            if axis is None:
+                mask = (data == out).astype(data.dtype)
+                scale = mask.sum()
+                return ((self, mask * (g / scale)),)
+            out_keep = out if keepdims else np.expand_dims(out, axis)
+            g_keep = g if keepdims else np.expand_dims(g, axis)
+            mask = (data == out_keep).astype(data.dtype)
+            mask /= mask.sum(axis=axis, keepdims=True)
+            return ((self, mask * g_keep),)
+
+        return Tensor._make(np.asarray(out), (self,), backward)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Biased variance (divides by N, like batch-norm statistics)."""
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    # ------------------------------------------------------------------ #
+    # element-wise nonlinearities
+    # ------------------------------------------------------------------ #
+
+    def relu(self) -> "Tensor":
+        """Rectified linear unit."""
+        out = np.maximum(self.data, 0)
+        mask = self.data > 0
+
+        def backward(g: np.ndarray):
+            return ((self, g * mask),)
+
+        return Tensor._make(out, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        """Hyperbolic tangent."""
+        out = np.tanh(self.data)
+
+        def backward(g: np.ndarray):
+            return ((self, g * (1.0 - out * out)),)
+
+        return Tensor._make(out, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        """Logistic sigmoid, computed stably for both signs."""
+        x = self.data
+        out = np.empty_like(x)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        expx = np.exp(x[~pos])
+        out[~pos] = expx / (1.0 + expx)
+
+        def backward(g: np.ndarray):
+            return ((self, g * out * (1.0 - out)),)
+
+        return Tensor._make(out, (self,), backward)
+
+    def exp(self) -> "Tensor":
+        """Element-wise exponential."""
+        out = np.exp(self.data)
+
+        def backward(g: np.ndarray):
+            return ((self, g * out),)
+
+        return Tensor._make(out, (self,), backward)
+
+    def log(self) -> "Tensor":
+        """Natural logarithm."""
+        out = np.log(self.data)
+        data = self.data
+
+        def backward(g: np.ndarray):
+            return ((self, g / data),)
+
+        return Tensor._make(out, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        """Element-wise square root."""
+        out = np.sqrt(self.data)
+
+        def backward(g: np.ndarray):
+            return ((self, g / (2.0 * out)),)
+
+        return Tensor._make(out, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        """Element-wise absolute value; subgradient 0 at 0."""
+        out = np.abs(self.data)
+        sign = np.sign(self.data)
+
+        def backward(g: np.ndarray):
+            return ((self, g * sign),)
+
+        return Tensor._make(out, (self,), backward)
+
+    def clip(self, lo: float, hi: float) -> "Tensor":
+        """Clamp values; gradient is passed only inside the range."""
+        out = np.clip(self.data, lo, hi)
+        mask = (self.data >= lo) & (self.data <= hi)
+
+        def backward(g: np.ndarray):
+            return ((self, g * mask),)
+
+        return Tensor._make(out, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # softmax family
+    # ------------------------------------------------------------------ #
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        """Numerically stable log-softmax along ``axis``."""
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out = shifted - logsumexp
+        softmax = np.exp(out)
+
+        def backward(g: np.ndarray):
+            return ((self, g - softmax * g.sum(axis=axis, keepdims=True)),)
+
+        return Tensor._make(out, (self,), backward)
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        """Softmax along ``axis`` (via :meth:`log_softmax` for stability)."""
+        return self.log_softmax(axis=axis).exp()
+
+
+# ---------------------------------------------------------------------- #
+# free functions
+# ---------------------------------------------------------------------- #
+
+
+def tensor(data: ArrayLike, requires_grad: bool = False, name: Optional[str] = None) -> Tensor:
+    """Construct a :class:`Tensor` (convenience mirror of the class)."""
+    return Tensor(data, requires_grad=requires_grad, name=name)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Join tensors along an existing axis."""
+    parts = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    out = np.concatenate([p.data for p in parts], axis=axis)
+    sizes = [p.data.shape[axis] for p in parts]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g: np.ndarray):
+        grads = []
+        slicer: list = [slice(None)] * g.ndim
+        for part, start, stop in zip(parts, offsets[:-1], offsets[1:]):
+            slicer[axis] = slice(int(start), int(stop))
+            grads.append((part, np.ascontiguousarray(g[tuple(slicer)])))
+        return grads
+
+    return Tensor._make(out, tuple(parts), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Join tensors along a new axis."""
+    parts = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    out = np.stack([p.data for p in parts], axis=axis)
+
+    def backward(g: np.ndarray):
+        pieces = np.moveaxis(g, axis, 0)
+        return [(part, np.ascontiguousarray(pieces[i])) for i, part in enumerate(parts)]
+
+    return Tensor._make(out, tuple(parts), backward)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Element-wise select: ``condition`` is a plain boolean array."""
+    cond = np.asarray(condition, dtype=bool)
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    b = b if isinstance(b, Tensor) else Tensor(b)
+    out = np.where(cond, a.data, b.data)
+
+    def backward(g: np.ndarray):
+        return (
+            (a, _unbroadcast(np.where(cond, g, 0.0), a.shape)),
+            (b, _unbroadcast(np.where(cond, 0.0, g), b.shape)),
+        )
+
+    return Tensor._make(out, (a, b), backward)
+
+
+def maximum(a: Tensor, b: Tensor) -> Tensor:
+    """Element-wise maximum with ties splitting the gradient equally."""
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    b = b if isinstance(b, Tensor) else Tensor(b)
+    out = np.maximum(a.data, b.data)
+    a_wins = a.data > b.data
+    tie = a.data == b.data
+
+    def backward(g: np.ndarray):
+        ga = np.where(a_wins, g, np.where(tie, 0.5 * g, 0.0))
+        gb = np.where(~a_wins & ~tie, g, np.where(tie, 0.5 * g, 0.0))
+        return ((a, _unbroadcast(ga, a.shape)), (b, _unbroadcast(gb, b.shape)))
+
+    return Tensor._make(out, (a, b), backward)

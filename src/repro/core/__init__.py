@@ -1,0 +1,5 @@
+"""The paper's contribution: StrassenNets, Bonsai trees, hybrid networks."""
+
+from repro.core import bonsai, distillation, hybrid, strassen
+
+__all__ = ["strassen", "bonsai", "hybrid", "distillation"]

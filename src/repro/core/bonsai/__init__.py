@@ -1,0 +1,28 @@
+"""Bonsai decision trees (Kumar et al. 2017).
+
+A Bonsai model is a single shallow binary tree whose every node — internal
+and leaf — owns two matrices ``W_k, V_k`` and predicts the non-linear score
+``W_kᵀ ẑ ∘ tanh(σ V_kᵀ ẑ)`` on the projected input ``ẑ = Z x``; internal
+nodes additionally own a branching hyperplane ``θ_k``.  The model output is
+the sum of node scores along the root-to-leaf path the input traverses.
+
+Training relaxes the discontinuous path indicator to a product of smooth
+branching probabilities whose sharpness is annealed upward until points
+"gradually start traversing at most a single path" (the paper's wording);
+:class:`BonsaiAnnealingSchedule` drives that.  Inference is hard and
+branch-free: all nodes are evaluated, off-path nodes weighted zero — the
+data-parallel pattern the paper highlights for SIMD microcontrollers.
+"""
+
+from repro.core.bonsai.tree import BonsaiTree, tree_num_internal, tree_num_nodes
+from repro.core.bonsai.schedule import BonsaiAnnealingSchedule
+from repro.core.bonsai.sparsity import BonsaiIHTCallback, hard_threshold
+
+__all__ = [
+    "BonsaiTree",
+    "tree_num_nodes",
+    "tree_num_internal",
+    "BonsaiAnnealingSchedule",
+    "BonsaiIHTCallback",
+    "hard_threshold",
+]

@@ -1,0 +1,35 @@
+"""Branching-sharpness annealing for Bonsai training."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bonsai.tree import BonsaiTree
+from repro.training.trainer import Callback, Trainer
+
+
+@dataclass
+class BonsaiAnnealingSchedule(Callback):
+    """Geometrically anneal every tree's ``branch_sharpness``.
+
+    Starts at ``start`` and reaches ``end`` at the final epoch, so inputs
+    move from traversing many paths softly to effectively one path — the
+    trick that makes the discontinuous tree differentiable (paper §3,
+    "End-to-end training").
+    """
+
+    start: float = 1.0
+    end: float = 16.0
+    total_epochs: int = 1
+
+    def _sharpness(self, epoch: int) -> float:
+        if self.total_epochs <= 1:
+            return self.end
+        t = min(epoch / (self.total_epochs - 1), 1.0)
+        return float(self.start * (self.end / self.start) ** t)
+
+    def on_epoch_begin(self, trainer: Trainer, epoch: int) -> None:
+        sharpness = self._sharpness(epoch)
+        for module in trainer.model.modules():
+            if isinstance(module, BonsaiTree):
+                module.branch_sharpness = sharpness

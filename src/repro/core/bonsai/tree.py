@@ -1,0 +1,179 @@
+"""The Bonsai tree module.
+
+Node matmuls are built through a pluggable ``linear_factory`` so the same
+tree runs dense (``nn.Linear``) in HybridNet and strassenified
+(``StrassenLinear``) in ST-HybridNet — the paper strassenifies "the matrix
+multiplications associated with the entire hybrid network", tree included.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+from repro.errors import ConfigError
+from repro.nn import init
+from repro.nn.linear import Linear
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import SeedLike, new_rng
+
+LinearFactory = Callable[[int, int], Module]
+
+
+def tree_num_nodes(depth: int) -> int:
+    """Total nodes of a complete binary tree of the given depth (7 for T=2)."""
+    return 2 ** (depth + 1) - 1
+
+
+def tree_num_internal(depth: int) -> int:
+    """Internal (branching) nodes (3 for T=2)."""
+    return 2**depth - 1
+
+
+class BonsaiTree(Module):
+    """Single shallow Bonsai tree classifier.
+
+    Parameters
+    ----------
+    input_dim:
+        Dimension ``D`` of the raw input vector.
+    num_labels:
+        Number of classes ``L``.
+    depth:
+        Tree depth ``T``; nodes = ``2^(T+1) − 1``.
+    projection_dim:
+        Low dimension ``D̂`` of the learned projection ``Z``; ``None`` uses
+        the input directly (identity projection — the hybrid network's conv
+        stack already produced a low-dimensional feature).
+    prediction_sigma:
+        The σ inside ``tanh(σ Vᵀẑ)``.
+    branch_sharpness:
+        Initial sharpness of the soft branching sigmoid; annealed upward by
+        :class:`~repro.core.bonsai.schedule.BonsaiAnnealingSchedule`.
+        Inference always branches hard.
+    linear_factory:
+        ``f(din, dout) -> Module`` building each node matmul (``W_k``,
+        ``V_k`` and ``θ_k``).  Defaults to a dense bias-free ``Linear``.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        num_labels: int,
+        depth: int = 2,
+        projection_dim: Optional[int] = None,
+        prediction_sigma: float = 1.0,
+        branch_sharpness: float = 1.0,
+        linear_factory: Optional[LinearFactory] = None,
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        if depth < 1:
+            raise ConfigError(f"tree depth must be >= 1; got {depth}")
+        rng = new_rng(rng)
+        self.input_dim = input_dim
+        self.num_labels = num_labels
+        self.depth = depth
+        self.projection_dim = projection_dim
+        self.prediction_sigma = prediction_sigma
+        self.branch_sharpness = branch_sharpness
+
+        effective_dim = projection_dim if projection_dim is not None else input_dim
+        self.effective_dim = effective_dim
+
+        if projection_dim is not None:
+            self.projection: Optional[Parameter] = Parameter(
+                init.glorot_uniform((projection_dim, input_dim), input_dim, projection_dim, rng),
+                name="bonsai.Z",
+            )
+        else:
+            self.projection = None
+
+        if linear_factory is None:
+            def linear_factory(din: int, dout: int, _rng=rng) -> Module:
+                return Linear(din, dout, bias=False, rng=_rng)
+
+        self.num_nodes = tree_num_nodes(depth)
+        self.num_internal = tree_num_internal(depth)
+        for k in range(self.num_nodes):
+            setattr(self, f"w{k}", linear_factory(effective_dim, num_labels))
+            setattr(self, f"v{k}", linear_factory(effective_dim, num_labels))
+        for k in range(self.num_internal):
+            setattr(self, f"theta{k}", linear_factory(effective_dim, 1))
+
+    # ------------------------------------------------------------------ #
+
+    def project(self, x: Tensor) -> Tensor:
+        """``ẑ = Z x`` (or identity when no projection is learned)."""
+        if self.projection is None:
+            return x
+        return x @ self.projection.T
+
+    def path_weights(self, z: Tensor) -> List[Tensor]:
+        """Per-node path weights ``p_k`` of shape (N, 1).
+
+        Training: products of smooth branch sigmoids with the current
+        ``branch_sharpness``.  Evaluation: hard 0/1 indicators of the
+        traversed root-to-leaf path.
+        """
+        n = z.shape[0]
+        weights: List[Optional[Tensor]] = [None] * self.num_nodes
+        weights[0] = Tensor(np.ones((n, 1), dtype=z.dtype))
+        for k in range(self.num_internal):
+            theta_score = getattr(self, f"theta{k}")(z)  # (N, 1)
+            if self.training:
+                go_left = (theta_score * (2.0 * self.branch_sharpness)).sigmoid()
+            else:
+                go_left = Tensor((theta_score.data > 0).astype(z.dtype))
+            weights[2 * k + 1] = weights[k] * go_left
+            weights[2 * k + 2] = weights[k] * (1.0 - go_left)
+        return weights  # type: ignore[return-value]
+
+    def node_score(self, k: int, z: Tensor) -> Tensor:
+        """Non-linear prediction of node ``k``: ``W_kᵀẑ ∘ tanh(σ V_kᵀẑ)``."""
+        w_score = getattr(self, f"w{k}")(z)
+        v_score = getattr(self, f"v{k}")(z)
+        return w_score * (v_score * self.prediction_sigma).tanh()
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Class scores: path-weighted sum of all node predictions."""
+        if x.ndim > 2:
+            x = x.flatten(1)
+        z = self.project(x)
+        weights = self.path_weights(z)
+        out: Optional[Tensor] = None
+        for k in range(self.num_nodes):
+            term = self.node_score(k, z) * weights[k]
+            out = term if out is None else out + term
+        return out
+
+    # ------------------------------------------------------------------ #
+
+    def traversed_paths(self, x: Tensor) -> np.ndarray:
+        """Leaf index reached by each sample under hard branching.
+
+        Diagnostic / test helper; shape (N,), values in ``[0, 2^depth)``.
+        """
+        was_training = self.training
+        self.eval()
+        try:
+            if x.ndim > 2:
+                x = x.flatten(1)
+            z = self.project(x)
+            weights = self.path_weights(z)
+        finally:
+            self.train(was_training)
+        first_leaf = self.num_internal
+        leaf_weights = np.concatenate(
+            [weights[k].data for k in range(first_leaf, self.num_nodes)], axis=1
+        )
+        return np.argmax(leaf_weights, axis=1)
+
+    def extra_repr(self) -> str:
+        proj = self.projection_dim if self.projection is not None else "identity"
+        return (
+            f"D={self.input_dim}, D_hat={proj}, L={self.num_labels}, "
+            f"depth={self.depth}, nodes={self.num_nodes}"
+        )

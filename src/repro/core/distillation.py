@@ -1,0 +1,40 @@
+"""Knowledge distillation between uncompressed and strassenified networks.
+
+The paper uses the uncompressed hybrid network as the teacher and the
+ST-HybridNet as the student (and likewise DS-CNN → ST-DS-CNN in §2).  All
+heavy lifting lives in :func:`repro.training.losses.distillation_loss`; this
+module provides the convenience constructor wiring a teacher into a
+:class:`~repro.training.trainer.Trainer`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.nn.module import Module
+from repro.training.trainer import Callback, Trainer, TrainConfig
+
+
+def make_distillation_trainer(
+    student: Module,
+    teacher: Module,
+    config: TrainConfig,
+    callbacks: Optional[List[Callback]] = None,
+    temperature: float = 4.0,
+    alpha: float = 0.7,
+) -> Trainer:
+    """Build a Trainer that distils ``teacher`` into ``student``.
+
+    The teacher runs in inference mode on every batch; its logits feed the
+    soft term of the distillation loss.  ``alpha`` and ``temperature``
+    follow the StrassenNets defaults.
+    """
+    teacher.eval()
+    return Trainer(
+        student,
+        config,
+        callbacks=callbacks,
+        teacher=teacher,
+        distill_temperature=temperature,
+        distill_alpha=alpha,
+    )

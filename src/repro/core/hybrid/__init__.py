@@ -1,0 +1,23 @@
+"""The hybrid neural-tree architecture (paper §3) and its strassenified form.
+
+``HybridNet`` = a few DS-convolutional layers for local feature extraction
+(Conv + 2 DS blocks at paper scale) → global average pool → a single shallow
+Bonsai tree for global interaction and classification.  ``STHybridNet``
+strassenifies every matrix multiplication in the network — convolutions and
+tree nodes alike — with hidden widths ``r = 0.75·c_out`` (convs) and
+``r = L`` (tree node matmuls), per the paper.
+"""
+
+from repro.core.hybrid.config import HybridConfig, PAPER_HYBRID, TABLE5_CONFIGS
+from repro.core.hybrid.blocks import StrassenDSConvBlock
+from repro.core.hybrid.network import HybridNet
+from repro.core.hybrid.strassenified import STHybridNet
+
+__all__ = [
+    "HybridConfig",
+    "PAPER_HYBRID",
+    "TABLE5_CONFIGS",
+    "StrassenDSConvBlock",
+    "HybridNet",
+    "STHybridNet",
+]

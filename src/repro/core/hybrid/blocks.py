@@ -1,0 +1,44 @@
+"""Strassenified depthwise-separable block."""
+
+from __future__ import annotations
+
+from repro.autodiff.ops_conv import IntPair
+from repro.autodiff.tensor import Tensor
+from repro.core.strassen.layers import StrassenConv2d, StrassenDepthwiseConv2d
+from repro.nn import BatchNorm2d, Module
+from repro.utils.rng import SeedLike, new_rng
+
+
+class StrassenDSConvBlock(Module):
+    """DS block with both halves strassenified.
+
+    Mirrors :class:`~repro.nn.conv.DSConvBlock` — DW → BN → ReLU → PW → BN →
+    ReLU — with the depthwise conv replaced by a grouped-SPN
+    :class:`StrassenDepthwiseConv2d` and the pointwise conv by a
+    :class:`StrassenConv2d` of hidden width ``r``.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        r: int,
+        kernel_size: IntPair = 3,
+        stride: IntPair = 1,
+        padding: IntPair = 1,
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.depthwise = StrassenDepthwiseConv2d(
+            in_channels, kernel_size, stride=stride, padding=padding, bias=False, rng=rng
+        )
+        self.bn_dw = BatchNorm2d(in_channels)
+        self.pointwise = StrassenConv2d(
+            in_channels, out_channels, 1, r=r, stride=1, padding=0, bias=False, rng=rng
+        )
+        self.bn_pw = BatchNorm2d(out_channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.bn_dw(self.depthwise(x)).relu()
+        return self.bn_pw(self.pointwise(x)).relu()

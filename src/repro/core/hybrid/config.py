@@ -1,0 +1,63 @@
+"""Hybrid-network hyperparameter configurations (paper §4, Table 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class HybridConfig:
+    """Architecture hyperparameters of (ST-)HybridNet.
+
+    ``num_conv_layers`` counts the standard conv plus DS blocks (the paper's
+    Table 5 speaks of "2/3 convolutional layers" = Conv1 + 1 or 2 DS
+    blocks).  ``r_fraction`` is the strassen hidden-width rule for conv
+    layers (``r = r_fraction · c_out``); tree matmuls always use ``r = L``.
+    """
+
+    num_labels: int = 12
+    width: int = 64
+    num_conv_layers: int = 3
+    tree_depth: int = 2
+    input_shape: Tuple[int, int] = (49, 10)
+    r_fraction: float = 0.75
+    prediction_sigma: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_conv_layers < 1:
+            raise ConfigError("need at least the standard conv layer")
+        if self.tree_depth < 1:
+            raise ConfigError("tree depth must be >= 1")
+
+    @property
+    def num_ds_blocks(self) -> int:
+        """DS blocks following the standard convolution."""
+        return self.num_conv_layers - 1
+
+    @property
+    def conv_r(self) -> int:
+        """Strassen hidden width of standard/pointwise conv layers."""
+        return max(1, round(self.r_fraction * self.width))
+
+    @property
+    def tree_r(self) -> int:
+        """Strassen hidden width of tree-node matmuls (= L, per the paper)."""
+        return self.num_labels
+
+    def scaled(self, width: int) -> "HybridConfig":
+        """Same architecture at a different channel width (CI scale)."""
+        return replace(self, width=width)
+
+
+#: the configuration the paper converges on (3 conv layers, depth-2 tree)
+PAPER_HYBRID = HybridConfig()
+
+#: Table 5's ablation grid, keyed by its row description
+TABLE5_CONFIGS: Dict[str, HybridConfig] = {
+    "2 conv layers, D=2, N=7": replace(PAPER_HYBRID, num_conv_layers=2, tree_depth=2),
+    "3 conv layers, D=1, N=3": replace(PAPER_HYBRID, num_conv_layers=3, tree_depth=1),
+    "3 conv layers, D=2, N=7": PAPER_HYBRID,
+}

@@ -1,0 +1,115 @@
+"""HybridNet — the uncompressed hybrid neural-tree network (paper Fig. 1).
+
+Conv(width, 10x4, s2x2) → BN → ReLU → ``num_ds_blocks`` DS blocks → global
+average pool → Bonsai tree (identity projection: the conv stack *is* the
+projection into the low-dimensional space, replacing Bonsai's FC matrix Z).
+
+At paper scale (width 64, 2 DS blocks, depth-2 tree) the analytic costs are
+1.50 M MACs and ≈24 K fp32 parameters ≈ 94 KB — Table 3's HybridNet row.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.autodiff.tensor import Tensor
+from repro.core.bonsai.tree import BonsaiTree, tree_num_internal, tree_num_nodes
+from repro.core.hybrid.config import HybridConfig
+from repro.costmodel.counts import OpCounts
+from repro.costmodel.layers import (
+    bonsai_counts,
+    conv2d_counts,
+    depthwise_conv2d_counts,
+)
+from repro.costmodel.memory import SizeBreakdown
+from repro.costmodel.report import CostReport
+from repro.nn import BatchNorm2d, Conv2d, DSConvBlock, GlobalAvgPool2d, Module
+from repro.utils.rng import SeedLike, new_rng
+
+
+class HybridNet(Module):
+    """Uncompressed hybrid neural-tree KWS network."""
+
+    def __init__(self, config: Optional[HybridConfig] = None, rng: SeedLike = None) -> None:
+        super().__init__()
+        self.config = config or HybridConfig()
+        cfg = self.config
+        rng = new_rng(rng)
+
+        self.conv1 = Conv2d(
+            1, cfg.width, (10, 4), stride=(2, 2), padding=(5, 1), bias=False, rng=rng
+        )
+        self.bn1 = BatchNorm2d(cfg.width)
+        for i in range(cfg.num_ds_blocks):
+            setattr(self, f"ds{i}", DSConvBlock(cfg.width, cfg.width, 3, padding=1, rng=rng))
+        self.pool = GlobalAvgPool2d()
+        self.tree = BonsaiTree(
+            input_dim=cfg.width,
+            num_labels=cfg.num_labels,
+            depth=cfg.tree_depth,
+            projection_dim=None,
+            prediction_sigma=cfg.prediction_sigma,
+            rng=rng,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def feature_hw(self) -> Tuple[int, int]:
+        """Spatial size after conv1 (preserved by the stride-1 DS blocks)."""
+        t, f = self.config.input_shape
+        return ((t + 2 * 5 - 10) // 2 + 1, (f + 2 * 1 - 4) // 2 + 1)
+
+    def features(self, x: Tensor) -> Tensor:
+        """The conv feature extractor: (N, 49, 10) → (N, width)."""
+        if x.ndim == 3:
+            x = x.reshape(x.shape[0], 1, x.shape[1], x.shape[2])
+        x = self.bn1(self.conv1(x)).relu()
+        for i in range(self.config.num_ds_blocks):
+            x = getattr(self, f"ds{i}")(x)
+        return self.pool(x)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.tree(self.features(x))
+
+    # ------------------------------------------------------------------ #
+
+    def cost_report(
+        self,
+        weight_bits: int = 32,
+        act_bits: int = 32,
+        name: Optional[str] = None,
+    ) -> CostReport:
+        """Analytic cost; Table 3 prices the uncompressed hybrid at fp32."""
+        cfg = self.config
+        oh, ow = self.feature_hw
+        w = cfg.width
+        nodes = tree_num_nodes(cfg.tree_depth)
+        internal = tree_num_internal(cfg.tree_depth)
+
+        ops = conv2d_counts(1, w, (10, 4), (oh, ow))
+        for _ in range(cfg.num_ds_blocks):
+            ops = ops + depthwise_conv2d_counts(w, (3, 3), (oh, ow))
+            ops = ops + conv2d_counts(w, w, (1, 1), (oh, ow))
+        ops = ops + bonsai_counts(w, w, cfg.num_labels, nodes, internal, project=False)
+
+        size = SizeBreakdown()
+        size.add("conv1.w", w * 40, weight_bits)
+        size.add("conv1.b", w, weight_bits)
+        for i in range(cfg.num_ds_blocks):
+            size.add(f"ds{i}.dw.w", w * 9, weight_bits)
+            size.add(f"ds{i}.dw.b", w, weight_bits)
+            size.add(f"ds{i}.pw.w", w * w, weight_bits)
+            size.add(f"ds{i}.pw.b", w, weight_bits)
+        size.add("tree.W", nodes * w * cfg.num_labels, weight_bits)
+        size.add("tree.V", nodes * w * cfg.num_labels, weight_bits)
+        size.add("tree.theta", internal * w, weight_bits)
+
+        t, f = cfg.input_shape
+        acts = [t * f * act_bits / 8.0, oh * ow * w * act_bits / 8.0]
+        for _ in range(cfg.num_ds_blocks):
+            acts.append(oh * ow * w * act_bits / 8.0)
+            acts.append(oh * ow * w * act_bits / 8.0)
+        acts.append(w * act_bits / 8.0)
+        acts.append(cfg.num_labels * act_bits / 8.0)
+        return CostReport(name or "HybridNet", ops, size, acts)

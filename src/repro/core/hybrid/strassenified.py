@@ -1,0 +1,163 @@
+"""ST-HybridNet — the strassenified hybrid network (the paper's headline).
+
+Every matrix multiplication of :class:`~repro.core.hybrid.network.HybridNet`
+is replaced by a ternary sum-product network: the standard conv and the
+pointwise convs with hidden width ``r = 0.75·c_out``, the depthwise convs
+with the grouped SPN (``r = c``), and all 2·nodes + internal tree matmuls
+with ``r = L``.  At paper scale the analytic costs are ≈0.03 M muls +
+≈2.3 M adds ≈ 2.4 M ops — Table 4's ST-HybridNet row.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.autodiff.tensor import Tensor
+from repro.core.bonsai.tree import BonsaiTree, tree_num_internal, tree_num_nodes
+from repro.core.hybrid.blocks import StrassenDSConvBlock
+from repro.core.hybrid.config import HybridConfig
+from repro.core.strassen.layers import StrassenConv2d, StrassenLinear
+from repro.costmodel.counts import OpCounts
+from repro.costmodel.layers import (
+    strassen_bonsai_counts,
+    strassen_conv2d_counts,
+    strassen_depthwise_counts,
+)
+from repro.costmodel.memory import SizeBreakdown
+from repro.costmodel.report import CostReport
+from repro.nn import BatchNorm2d, GlobalAvgPool2d, Module
+from repro.utils.rng import SeedLike, new_rng
+
+TERNARY_BITS = 2
+
+
+class STHybridNet(Module):
+    """Strassenified hybrid neural-tree KWS network."""
+
+    def __init__(self, config: Optional[HybridConfig] = None, rng: SeedLike = None) -> None:
+        super().__init__()
+        self.config = config or HybridConfig()
+        cfg = self.config
+        rng = new_rng(rng)
+
+        self.conv1 = StrassenConv2d(
+            1,
+            cfg.width,
+            (10, 4),
+            r=cfg.conv_r,
+            stride=(2, 2),
+            padding=(5, 1),
+            bias=False,
+            rng=rng,
+        )
+        self.bn1 = BatchNorm2d(cfg.width)
+        for i in range(cfg.num_ds_blocks):
+            setattr(
+                self,
+                f"ds{i}",
+                StrassenDSConvBlock(cfg.width, cfg.width, r=cfg.conv_r, padding=1, rng=rng),
+            )
+        self.pool = GlobalAvgPool2d()
+
+        tree_r = cfg.tree_r
+
+        def strassen_factory(din: int, dout: int) -> StrassenLinear:
+            return StrassenLinear(din, dout, r=tree_r, bias=False, rng=rng)
+
+        self.tree = BonsaiTree(
+            input_dim=cfg.width,
+            num_labels=cfg.num_labels,
+            depth=cfg.tree_depth,
+            projection_dim=None,
+            prediction_sigma=cfg.prediction_sigma,
+            linear_factory=strassen_factory,
+            rng=rng,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def feature_hw(self) -> Tuple[int, int]:
+        """Spatial size after conv1."""
+        t, f = self.config.input_shape
+        return ((t + 2 * 5 - 10) // 2 + 1, (f + 2 * 1 - 4) // 2 + 1)
+
+    def features(self, x: Tensor) -> Tensor:
+        """Strassenified conv feature extractor: (N, 49, 10) → (N, width)."""
+        if x.ndim == 3:
+            x = x.reshape(x.shape[0], 1, x.shape[1], x.shape[2])
+        x = self.bn1(self.conv1(x)).relu()
+        for i in range(self.config.num_ds_blocks):
+            x = getattr(self, f"ds{i}")(x)
+        return self.pool(x)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.tree(self.features(x))
+
+    # ------------------------------------------------------------------ #
+
+    def cost_report(
+        self,
+        a_hat_bits: int = 32,
+        bias_bits: int = 32,
+        act_bits: int = 32,
+        dw_intermediate_bits: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> CostReport:
+        """Analytic cost of the deployed (collapsed, BN-folded) network.
+
+        ``dw_intermediate_bits`` prices the W_b-intermediate activations of
+        the strassenified depthwise layers separately (Table 6 keeps them at
+        16 bits while everything else drops to 8).
+        """
+        cfg = self.config
+        oh, ow = self.feature_hw
+        w, r = cfg.width, cfg.conv_r
+        nodes = tree_num_nodes(cfg.tree_depth)
+        internal = tree_num_internal(cfg.tree_depth)
+        if dw_intermediate_bits is None:
+            dw_intermediate_bits = act_bits
+
+        ops = strassen_conv2d_counts(1, w, (10, 4), (oh, ow), r)
+        for _ in range(cfg.num_ds_blocks):
+            ops = ops + strassen_depthwise_counts(w, (3, 3), (oh, ow))
+            ops = ops + strassen_conv2d_counts(w, w, (1, 1), (oh, ow), r)
+        ops = ops + strassen_bonsai_counts(w, cfg.num_labels, nodes, internal, cfg.tree_r)
+
+        size = SizeBreakdown()
+        size.add("conv1.wb", r * 40, TERNARY_BITS)
+        size.add("conv1.wc", w * r, TERNARY_BITS)
+        size.add("conv1.a_hat", r, a_hat_bits)
+        size.add("conv1.bias", w, bias_bits)  # folded batch norm
+        for i in range(cfg.num_ds_blocks):
+            size.add(f"ds{i}.dw.wb", w * 9, TERNARY_BITS)
+            size.add(f"ds{i}.dw.wc", w, TERNARY_BITS)
+            size.add(f"ds{i}.dw.a_hat", w, a_hat_bits)
+            size.add(f"ds{i}.dw.bias", w, bias_bits)
+            size.add(f"ds{i}.pw.wb", r * w, TERNARY_BITS)
+            size.add(f"ds{i}.pw.wc", w * r, TERNARY_BITS)
+            size.add(f"ds{i}.pw.a_hat", r, a_hat_bits)
+            size.add(f"ds{i}.pw.bias", w, bias_bits)
+        tree_r = cfg.tree_r
+        size.add("tree.WV.wb", 2 * nodes * tree_r * w, TERNARY_BITS)
+        size.add("tree.WV.wc", 2 * nodes * cfg.num_labels * tree_r, TERNARY_BITS)
+        size.add("tree.WV.a_hat", 2 * nodes * tree_r, a_hat_bits)
+        size.add("tree.theta.wb", internal * tree_r * w, TERNARY_BITS)
+        size.add("tree.theta.wc", internal * tree_r, TERNARY_BITS)
+        size.add("tree.theta.a_hat", internal * tree_r, a_hat_bits)
+
+        t, f = cfg.input_shape
+        plane = oh * ow
+        acts = [
+            t * f * act_bits / 8.0,
+            plane * r * act_bits / 8.0,  # conv1 SPN hidden
+            plane * w * act_bits / 8.0,  # conv1 output
+        ]
+        for _ in range(cfg.num_ds_blocks):
+            acts.append(plane * w * dw_intermediate_bits / 8.0)  # dw W_b intermediate
+            acts.append(plane * w * dw_intermediate_bits / 8.0)  # dw ⊙â product
+            acts.append(plane * r * act_bits / 8.0)  # pw SPN hidden
+            acts.append(plane * w * act_bits / 8.0)  # pw output
+        acts.append(w * act_bits / 8.0)
+        acts.append(cfg.num_labels * act_bits / 8.0)
+        return CostReport(name or "ST-HybridNet", ops, size, acts)

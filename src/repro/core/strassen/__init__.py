@@ -1,0 +1,49 @@
+"""StrassenNets (Tschannen et al. 2018): ternary sum-product matmuls.
+
+A strassenified matrix multiplication replaces ``C = A·B`` with the 2-layer
+sum-product network ``vec(C) = W_c[(W_b vec(B)) ⊙ (W_a vec(A))]`` where
+``W_a, W_b, W_c`` are ternary.  In a DNN layer ``A`` is the (fixed) weight
+tensor, so ``â = W_a vec(A)`` collapses to an ``r``-vector of full-precision
+weights at inference; following the paper, ``â`` is *learned directly* ("they
+are learned jointly as collapsed full-precision â from scratch").
+
+Training follows the paper's three phases:
+
+1. ``full``      — â, W_b, W_c all full-precision;
+2. ``quantize``  — W_b/W_c pass through a ternary straight-through
+   estimator (full-precision shadows keep accumulating gradients);
+3. ``frozen``    — W_b/W_c fixed to their ternary values, their TWN scaling
+   factors absorbed into â, and only â (+ biases, batch norm) keep training.
+
+:class:`StrassenSchedule` drives those transitions from epoch numbers.
+"""
+
+from repro.core.strassen.exact import (
+    exact_strassen_2x2,
+    spn_matmul,
+)
+from repro.core.strassen.layers import (
+    PHASES,
+    StrassenConv2d,
+    StrassenDepthwiseConv2d,
+    StrassenLinear,
+    StrassenModule,
+    freeze_all,
+    set_phase,
+    strassen_modules,
+)
+from repro.core.strassen.schedule import StrassenSchedule
+
+__all__ = [
+    "exact_strassen_2x2",
+    "spn_matmul",
+    "PHASES",
+    "StrassenModule",
+    "StrassenLinear",
+    "StrassenConv2d",
+    "StrassenDepthwiseConv2d",
+    "strassen_modules",
+    "set_phase",
+    "freeze_all",
+    "StrassenSchedule",
+]

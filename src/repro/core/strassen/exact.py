@@ -1,0 +1,78 @@
+"""Exact Strassen sum-product matrices (reference / validation).
+
+Strassen's classical algorithm multiplies two 2×2 matrices with 7 products.
+Expressed as the paper's equation (1), it is a sum-product network with
+ternary ``W_a, W_b ∈ K^{7×4}`` and ``W_c ∈ K^{4×7}``.  These exact matrices
+anchor the test suite: the generic SPN evaluator applied to them must
+reproduce dense matmul to machine precision, which validates both the SPN
+algebra and the layer implementations built on it.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def exact_strassen_2x2() -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The ternary (W_a, W_b, W_c) of Strassen's 2×2 algorithm.
+
+    Conventions: matrices are vectorised row-major,
+    ``vec([[a11, a12], [a21, a22]]) = [a11, a12, a21, a22]``, and
+    ``vec(C) = W_c [(W_b vec(B)) ⊙ (W_a vec(A))]`` computes ``C = A @ B``.
+    """
+    # M1..M7 in terms of A = [[a11,a12],[a21,a22]]
+    wa = np.array(
+        [
+            [1, 0, 0, 1],    # M1: (a11 + a22)
+            [0, 0, 1, 1],    # M2: (a21 + a22)
+            [1, 0, 0, 0],    # M3: a11
+            [0, 0, 0, 1],    # M4: a22
+            [1, 1, 0, 0],    # M5: (a11 + a12)
+            [-1, 0, 1, 0],   # M6: (a21 - a11)
+            [0, 1, 0, -1],   # M7: (a12 - a22)
+        ],
+        dtype=np.float64,
+    )
+    wb = np.array(
+        [
+            [1, 0, 0, 1],    # M1: (b11 + b22)
+            [1, 0, 0, 0],    # M2: b11
+            [0, 1, 0, -1],   # M3: (b12 - b22)
+            [-1, 0, 1, 0],   # M4: (b21 - b11)
+            [0, 0, 0, 1],    # M5: b22
+            [1, 1, 0, 0],    # M6: (b11 + b12)
+            [0, 0, 1, 1],    # M7: (b21 + b22)
+        ],
+        dtype=np.float64,
+    )
+    wc = np.array(
+        [
+            [1, 0, 0, 1, -1, 0, 1],   # c11 = M1 + M4 - M5 + M7
+            [0, 0, 1, 0, 1, 0, 0],    # c12 = M3 + M5
+            [0, 1, 0, 1, 0, 0, 0],    # c21 = M2 + M4
+            [1, -1, 1, 0, 0, 1, 0],   # c22 = M1 - M2 + M3 + M6
+        ],
+        dtype=np.float64,
+    )
+    return wa, wb, wc
+
+
+def spn_matmul(
+    wa: np.ndarray,
+    wb: np.ndarray,
+    wc: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    out_shape: Tuple[int, int],
+) -> np.ndarray:
+    """Evaluate ``C = unvec(W_c[(W_b vec(B)) ⊙ (W_a vec(A))])``.
+
+    Pure-NumPy reference evaluator (no autodiff) used by tests and by the
+    documentation examples; vectorisation is row-major.
+    """
+    a_vec = np.asarray(a, dtype=np.float64).reshape(-1)
+    b_vec = np.asarray(b, dtype=np.float64).reshape(-1)
+    hidden = (wb @ b_vec) * (wa @ a_vec)
+    return (wc @ hidden).reshape(out_shape)

@@ -1,0 +1,339 @@
+"""Strassenified network layers (linear / conv / depthwise).
+
+Each layer holds the collapsed full-precision vector ``â`` plus ternary
+transforms ``W_b`` (input side) and ``W_c`` (output side), trained through
+the three-phase schedule described in :mod:`repro.core.strassen`.  The
+``phase`` attribute selects behaviour:
+
+* ``"full"``     — W_b / W_c used at full precision,
+* ``"quantize"`` — W_b / W_c pass through :func:`ternary_ste`,
+* ``"frozen"``   — W_b / W_c hold literal ternary values (scales already
+  absorbed into â) and no longer receive gradients.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.autodiff.ops_conv import IntPair, _pair, conv2d, depthwise_conv2d
+from repro.autodiff.ste import ternarize_array, ternarize_array_topk, ternary_ste
+from repro.autodiff.tensor import Tensor
+from repro.costmodel.memory import SizeBreakdown
+from repro.errors import ConfigError
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import SeedLike, new_rng
+
+PHASES = ("full", "quantize", "frozen")
+
+#: bit-width of a packed ternary weight in deployment size accounting
+TERNARY_BITS = 2
+
+
+class StrassenModule(Module):
+    """Shared phase machinery for strassenified layers.
+
+    ``quant_hidden`` / ``quant_output`` are optional callables (e.g.
+    :class:`~repro.quantization.fixedpoint.FixedPointQuantizer`) applied to
+    the SPN hidden activations and the layer output during *evaluation* —
+    the hook the post-training-quantisation experiments (Table 6) use to
+    price 8-bit vs mixed 8/16-bit activations.
+    """
+
+    #: optional cap on nonzeros per W_b row — the paper's future-work
+    #: "constrain the number of additions" extension.  ``None`` = unlimited.
+    addition_budget = None
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.phase = "full"
+        self.quant_hidden = None
+        self.quant_output = None
+
+    def _ternarize_wb(self):
+        """Ternary (values, alpha) of W_b honouring the addition budget."""
+        if self.addition_budget is None:
+            return ternarize_array(self.wb.data)
+        return ternarize_array_topk(self.wb.data, self.addition_budget)
+
+    def _maybe_quant(self, tensor: Tensor, quantizer) -> Tensor:
+        if quantizer is None or self.training:
+            return tensor
+        return Tensor(quantizer(tensor.data))
+
+    # subclasses expose (wb, wc, a_hat) parameters
+    wb: Parameter
+    wc: Parameter
+    a_hat: Parameter
+
+    def set_phase(self, phase: str) -> None:
+        """Switch training phase; entering ``frozen`` quantises in place."""
+        if phase not in PHASES:
+            raise ConfigError(f"unknown strassen phase {phase!r}; valid: {PHASES}")
+        if phase == "frozen" and self.phase != "frozen":
+            self.freeze()
+            return
+        if self.phase == "frozen" and phase != "frozen":
+            raise ConfigError("cannot leave the frozen phase (ternary values fixed)")
+        self.phase = phase
+
+    def freeze(self) -> None:
+        """Fix W_b/W_c to ternary values and absorb their scales into â.
+
+        After freezing only â (and bias / batch norm) keep training — the
+        paper's final phase ("we fix the strassen matrices to their learned
+        ternary values and continue training… so the scaling factors can be
+        absorbed by the full-precision vec(A)").
+        """
+        ternary_b, alpha_b = self._ternarize_wb()
+        ternary_c, alpha_c = ternarize_array(self.wc.data)
+        self.wb.data = ternary_b.astype(self.wb.dtype)
+        self.wc.data = ternary_c.astype(self.wc.dtype)
+        self.wb.requires_grad = False
+        self.wc.requires_grad = False
+        self.a_hat.data = (self.a_hat.data * alpha_b * alpha_c).astype(self.a_hat.dtype)
+        self.phase = "frozen"
+
+    def _effective_transforms(self) -> Tuple[Tensor, Tensor]:
+        """(W_b, W_c) as seen by the forward pass in the current phase."""
+        if self.phase == "quantize":
+            wb = ternary_ste(self.wb, max_nonzeros_per_row=self.addition_budget)
+            return wb, ternary_ste(self.wc)
+        return self.wb, self.wc
+
+    def ternary_values(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Deployment ternary matrices (quantising on the fly if needed)."""
+        if self.phase == "frozen":
+            return self.wb.data.copy(), self.wc.data.copy()
+        return self._ternarize_wb()[0], ternarize_array(self.wc.data)[0]
+
+    def wb_nonzeros(self) -> int:
+        """Nonzero count of the (deployment) ternary W_b — the adds it costs."""
+        return int(np.count_nonzero(self.ternary_values()[0]))
+
+    def extra_repr(self) -> str:
+        return f"phase={self.phase}"
+
+
+class StrassenLinear(StrassenModule):
+    """Strassenified affine layer: ``y = W_c(â ⊙ (W_b x)) + b``.
+
+    ``r`` is the SPN hidden width — the number of multiplications per
+    forward pass and the length of ``â``.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        r: int,
+        bias: bool = True,
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        if r <= 0:
+            raise ConfigError(f"hidden width r must be positive; got {r}")
+        rng = new_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.r = r
+        self.wb = Parameter(
+            init.glorot_uniform((r, in_features), in_features, r, rng), name="st.wb"
+        )
+        self.wc = Parameter(
+            init.glorot_uniform((out_features, r), r, out_features, rng), name="st.wc"
+        )
+        self.a_hat = Parameter(init.ones(r), name="st.a_hat")
+        self.bias: Optional[Parameter] = (
+            Parameter(init.zeros(out_features), name="st.bias") if bias else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        wb, wc = self._effective_transforms()
+        hidden = self._maybe_quant(x @ wb.T, self.quant_hidden)
+        out = (hidden * self.a_hat) @ wc.T
+        if self.bias is not None:
+            out = out + self.bias
+        return self._maybe_quant(out, self.quant_output)
+
+    def size_breakdown(self, a_hat_bits: int = 32, bias_bits: int = 32) -> SizeBreakdown:
+        """Deployment storage: ternary transforms + â + bias."""
+        sb = SizeBreakdown()
+        sb.add("wb", self.wb.size, TERNARY_BITS)
+        sb.add("wc", self.wc.size, TERNARY_BITS)
+        sb.add("a_hat", self.a_hat.size, a_hat_bits)
+        if self.bias is not None:
+            sb.add("bias", self.bias.size, bias_bits)
+        return sb
+
+    def extra_repr(self) -> str:
+        return (
+            f"in={self.in_features}, out={self.out_features}, r={self.r}, "
+            f"phase={self.phase}"
+        )
+
+
+class StrassenConv2d(StrassenModule):
+    """Strassenified standard (or pointwise) convolution.
+
+    ``W_b`` is a ternary convolution with ``r`` output channels and the
+    original receptive field; ``W_c`` is a ternary 1×1 convolution mapping
+    ``r → c_out``; ``â`` scales the ``r`` hidden channels.  With
+    ``r = c_out`` on a 1×1 layer this is literally the paper's "two
+    equal-sized 1×1 convolutions with ternary weight filters".
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: IntPair,
+        r: int,
+        stride: IntPair = 1,
+        padding: IntPair = 0,
+        bias: bool = True,
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        if r <= 0:
+            raise ConfigError(f"hidden width r must be positive; got {r}")
+        rng = new_rng(rng)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride)
+        self.padding = _pair(padding)
+        self.r = r
+        kh, kw = self.kernel_size
+        fan_in = in_channels * kh * kw
+        self.wb = Parameter(
+            init.kaiming_uniform((r, in_channels, kh, kw), fan_in, rng), name="st.wb"
+        )
+        self.wc = Parameter(
+            init.kaiming_uniform((out_channels, r, 1, 1), r, rng), name="st.wc"
+        )
+        self.a_hat = Parameter(init.ones(r), name="st.a_hat")
+        self.bias: Optional[Parameter] = (
+            Parameter(init.zeros(out_channels), name="st.bias") if bias else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        wb, wc = self._effective_transforms()
+        hidden = conv2d(x, wb, None, stride=self.stride, padding=self.padding)
+        hidden = self._maybe_quant(hidden, self.quant_hidden)
+        hidden = hidden * self.a_hat.reshape(1, self.r, 1, 1)
+        out = conv2d(hidden, wc, self.bias, stride=1, padding=0)
+        return self._maybe_quant(out, self.quant_output)
+
+    def size_breakdown(self, a_hat_bits: int = 32, bias_bits: int = 32) -> SizeBreakdown:
+        """Deployment storage: ternary transforms + â + bias."""
+        sb = SizeBreakdown()
+        sb.add("wb", self.wb.size, TERNARY_BITS)
+        sb.add("wc", self.wc.size, TERNARY_BITS)
+        sb.add("a_hat", self.a_hat.size, a_hat_bits)
+        if self.bias is not None:
+            sb.add("bias", self.bias.size, bias_bits)
+        return sb
+
+    def extra_repr(self) -> str:
+        return (
+            f"{self.in_channels}->{self.out_channels}, k={self.kernel_size}, "
+            f"r={self.r}, s={self.stride}, p={self.padding}, phase={self.phase}"
+        )
+
+
+class StrassenDepthwiseConv2d(StrassenModule):
+    """Strassenified depthwise convolution (grouped SPN, one unit/channel).
+
+    ``W_b`` is a ternary depthwise filter (C, KH, KW), ``â`` scales each
+    channel, and the block-diagonal ``W_c`` degenerates to one ternary value
+    per channel.  This is the structure implied by the paper's Table-6
+    accounting (the 16-bit "intermediate activations … post-convolution with
+    strassen matrix W_b" have exactly C channels).
+    """
+
+    def __init__(
+        self,
+        channels: int,
+        kernel_size: IntPair,
+        stride: IntPair = 1,
+        padding: IntPair = 1,
+        bias: bool = True,
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.channels = channels
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride)
+        self.padding = _pair(padding)
+        self.r = channels
+        kh, kw = self.kernel_size
+        self.wb = Parameter(
+            init.kaiming_uniform((channels, kh, kw), kh * kw, rng), name="st.wb"
+        )
+        self.wc = Parameter(init.ones(channels), name="st.wc")
+        self.a_hat = Parameter(init.ones(channels), name="st.a_hat")
+        self.bias: Optional[Parameter] = (
+            Parameter(init.zeros(channels), name="st.bias") if bias else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        wb, wc = self._effective_transforms()
+        hidden = depthwise_conv2d(x, wb, None, stride=self.stride, padding=self.padding)
+        hidden = self._maybe_quant(hidden, self.quant_hidden)
+        scale = (self.a_hat * wc).reshape(1, self.channels, 1, 1)
+        out = hidden * scale
+        if self.bias is not None:
+            out = out + self.bias.reshape(1, self.channels, 1, 1)
+        return self._maybe_quant(out, self.quant_output)
+
+    def size_breakdown(self, a_hat_bits: int = 32, bias_bits: int = 32) -> SizeBreakdown:
+        """Deployment storage: ternary transforms + â + bias."""
+        sb = SizeBreakdown()
+        sb.add("wb", self.wb.size, TERNARY_BITS)
+        sb.add("wc", self.wc.size, TERNARY_BITS)
+        sb.add("a_hat", self.a_hat.size, a_hat_bits)
+        if self.bias is not None:
+            sb.add("bias", self.bias.size, bias_bits)
+        return sb
+
+    def extra_repr(self) -> str:
+        return (
+            f"ch={self.channels}, k={self.kernel_size}, s={self.stride}, "
+            f"p={self.padding}, phase={self.phase}"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# model-tree helpers
+# ---------------------------------------------------------------------- #
+
+
+def strassen_modules(model: Module) -> Iterator[StrassenModule]:
+    """Yield every strassenified layer in ``model`` (depth-first)."""
+    for module in model.modules():
+        if isinstance(module, StrassenModule):
+            yield module
+
+
+def set_phase(model: Module, phase: str) -> int:
+    """Set the phase of every strassen layer; returns how many changed."""
+    count = 0
+    for module in strassen_modules(model):
+        if module.phase != phase:
+            module.set_phase(phase)
+            count += 1
+    return count
+
+
+def freeze_all(model: Module) -> int:
+    """Freeze every strassen layer (idempotent); returns how many froze."""
+    count = 0
+    for module in strassen_modules(model):
+        if module.phase != "frozen":
+            module.freeze()
+            count += 1
+    return count

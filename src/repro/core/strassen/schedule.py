@@ -1,0 +1,39 @@
+"""Three-phase StrassenNets training schedule as a Trainer callback."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.strassen.layers import set_phase
+from repro.training.trainer import Callback, History, Trainer
+from repro.utils.logging import get_logger
+
+logger = get_logger("strassen")
+
+
+@dataclass
+class StrassenSchedule(Callback):
+    """Switch every strassen layer between phases at epoch boundaries.
+
+    Epochs ``[0, full_epochs)`` run full-precision; ``[full_epochs,
+    full_epochs + quantize_epochs)`` run with the ternary STE; everything
+    after freezes the ternary matrices (absorbing scales into â) and
+    fine-tunes â / biases / batch-norm.  Mirrors the paper's 135 + 135 + 135
+    epoch recipe at any scale.
+    """
+
+    full_epochs: int
+    quantize_epochs: int
+
+    def on_epoch_begin(self, trainer: Trainer, epoch: int) -> None:
+        if epoch < self.full_epochs:
+            changed = set_phase(trainer.model, "full")
+        elif epoch < self.full_epochs + self.quantize_epochs:
+            changed = set_phase(trainer.model, "quantize")
+        else:
+            changed = set_phase(trainer.model, "frozen")
+        if changed:
+            logger.info("epoch %d: switched %d strassen layers", epoch, changed)
+
+    def on_epoch_end(self, trainer: Trainer, epoch: int, history: History) -> None:
+        pass

@@ -1,0 +1,53 @@
+"""Analytic inference-cost accounting (operations, bytes, memory footprint).
+
+The paper's tables report *analytic* counts — multiplications, additions,
+MACs, "Ops" (their sum), model size in KB, and total memory footprint — not
+measured hardware numbers.  This package recomputes all of them from
+architecture hyperparameters under the paper's counting conventions
+(documented per function and in DESIGN.md §5):
+
+* a float layer's fused multiply-accumulate = 1 MAC = 1 op;
+* a strassenified layer counts its ternary matmuls **dense** as additions
+  and contributes ``r`` multiplications per output position (the ⊙â);
+* Bonsai evaluates every node, branch-free;
+* ternary weights pack to 2 bits, deployed batch-norm is folded,
+  1 KB = 1024 bytes;
+* total memory footprint = model size + the maximum over consecutive layer
+  pairs of (output activations of layer i) + (input activations of layer
+  i+1), since buffers are reused across layers.
+"""
+
+from repro.costmodel.counts import OpCounts
+from repro.costmodel.layers import (
+    bonsai_counts,
+    conv2d_counts,
+    depthwise_conv2d_counts,
+    linear_counts,
+    strassen_conv2d_counts,
+    strassen_depthwise_counts,
+    strassen_linear_counts,
+)
+from repro.costmodel.memory import (
+    SizeBreakdown,
+    SizeEntry,
+    activation_footprint_bytes,
+    kib,
+)
+from repro.costmodel.report import CostReport, format_table
+
+__all__ = [
+    "OpCounts",
+    "conv2d_counts",
+    "depthwise_conv2d_counts",
+    "linear_counts",
+    "strassen_conv2d_counts",
+    "strassen_depthwise_counts",
+    "strassen_linear_counts",
+    "bonsai_counts",
+    "SizeEntry",
+    "SizeBreakdown",
+    "activation_footprint_bytes",
+    "kib",
+    "CostReport",
+    "format_table",
+]

@@ -1,0 +1,50 @@
+"""Operation-count bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OpCounts:
+    """Multiplications, additions and fused MACs per inference.
+
+    The paper counts MACs for full-precision layers and separate muls/adds
+    for strassenified (ternary) layers, then aggregates everything into an
+    "Ops" column: ``ops = muls + adds + macs`` ("Multiply, addition, and
+    multiply-accumulate (MAC) operations typically incur similar execution
+    latencies…  They are, therefore, counted individually and aggregated").
+    """
+
+    muls: int = 0
+    adds: int = 0
+    macs: int = 0
+
+    @property
+    def ops(self) -> int:
+        """Total operations under the paper's aggregation."""
+        return self.muls + self.adds + self.macs
+
+    def __add__(self, other: "OpCounts") -> "OpCounts":
+        return OpCounts(
+            muls=self.muls + other.muls,
+            adds=self.adds + other.adds,
+            macs=self.macs + other.macs,
+        )
+
+    def scaled(self, factor: int) -> "OpCounts":
+        """Counts repeated ``factor`` times (e.g. per tree node)."""
+        return OpCounts(self.muls * factor, self.adds * factor, self.macs * factor)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OpCounts(muls={self.muls}, adds={self.adds}, macs={self.macs}, ops={self.ops})"
+
+
+def fmt_count(value: int | float) -> str:
+    """Format a count the way the paper prints it: 2.7M, 0.06M, 768, …"""
+    value = float(value)
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}M"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f}K"
+    return f"{value:.0f}"

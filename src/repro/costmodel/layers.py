@@ -1,0 +1,164 @@
+"""Per-layer operation counts under the paper's conventions.
+
+All functions return an :class:`OpCounts` for ONE inference (batch size 1).
+``positions`` always means the number of spatial output positions
+``OH * OW`` of the layer under consideration.
+
+Strassenified-layer convention (verified against Tables 1 and 4; see
+DESIGN.md §5): a strassenified matmul ``W(m×k) · b(k)`` with hidden width
+``r`` executes
+
+* ``r·k``  additions for the ternary ``W_b`` transform (counted dense),
+* ``r``    multiplications for the element-wise product with ``â``,
+* ``m·r``  additions for the ternary ``W_c`` combine,
+
+per output position.  A strassenified *depthwise* convolution uses one
+hidden unit per channel (``r = c``, grouped ``W_b``, block-diagonal ``W_c``)
+— the structure implied by the paper's 16-bit intermediate-activation
+accounting in Table 6.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.counts import OpCounts
+
+
+def conv2d_counts(
+    in_channels: int,
+    out_channels: int,
+    kernel_hw: tuple,
+    out_hw: tuple,
+    bias: bool = True,
+) -> OpCounts:
+    """Standard convolution: one MAC per weight per output position.
+
+    Bias (or folded batch-norm) adds are bundled into the MACs, matching the
+    paper's DS-CNN total of 2.7 M "MACs" for the full network.
+    """
+    kh, kw = kernel_hw
+    oh, ow = out_hw
+    macs = out_channels * oh * ow * in_channels * kh * kw
+    if bias:
+        macs += out_channels * oh * ow
+    return OpCounts(macs=macs)
+
+
+def depthwise_conv2d_counts(
+    channels: int, kernel_hw: tuple, out_hw: tuple, bias: bool = True
+) -> OpCounts:
+    """Depthwise convolution (channel multiplier 1)."""
+    kh, kw = kernel_hw
+    oh, ow = out_hw
+    macs = channels * oh * ow * kh * kw
+    if bias:
+        macs += channels * oh * ow
+    return OpCounts(macs=macs)
+
+
+def linear_counts(in_features: int, out_features: int, bias: bool = True) -> OpCounts:
+    """Fully-connected layer."""
+    macs = out_features * in_features
+    if bias:
+        macs += out_features
+    return OpCounts(macs=macs)
+
+
+def strassen_linear_counts(
+    in_features: int, out_features: int, r: int, bias: bool = True
+) -> OpCounts:
+    """Strassenified matmul on a single vector (one 'output position')."""
+    adds = r * in_features + out_features * r
+    muls = r
+    if bias:
+        adds += out_features
+    return OpCounts(muls=muls, adds=adds)
+
+
+def strassen_conv2d_counts(
+    in_channels: int,
+    out_channels: int,
+    kernel_hw: tuple,
+    out_hw: tuple,
+    r: int,
+    bias: bool = True,
+) -> OpCounts:
+    """Strassenified standard / pointwise convolution.
+
+    Per output position: ternary ``W_b`` conv (``r·c_in·KH·KW`` adds),
+    ⊙â (``r`` muls), ternary 1×1 ``W_c`` (``c_out·r`` adds).  For a
+    pointwise layer with ``r = c_out`` this is exactly the paper's "two
+    equal-sized 1×1 convolutions with ternary weight filters".
+    """
+    kh, kw = kernel_hw
+    oh, ow = out_hw
+    positions = oh * ow
+    adds = positions * (r * in_channels * kh * kw + out_channels * r)
+    muls = positions * r
+    if bias:
+        adds += positions * out_channels
+    return OpCounts(muls=muls, adds=adds)
+
+
+def strassen_depthwise_counts(
+    channels: int, kernel_hw: tuple, out_hw: tuple, bias: bool = True
+) -> OpCounts:
+    """Strassenified depthwise convolution (grouped SPN, r = channels).
+
+    Per output position: ternary depthwise ``W_b`` (``c·KH·KW`` adds), ⊙â
+    (``c`` muls) and the block-diagonal ternary ``W_c`` (``c`` adds).
+    """
+    kh, kw = kernel_hw
+    oh, ow = out_hw
+    positions = oh * ow
+    adds = positions * (channels * kh * kw + channels)
+    muls = positions * channels
+    if bias:
+        adds += positions * channels
+    return OpCounts(muls=muls, adds=adds)
+
+
+def bonsai_counts(
+    input_dim: int,
+    projected_dim: int,
+    num_labels: int,
+    num_nodes: int,
+    num_internal: int,
+    project: bool = True,
+) -> OpCounts:
+    """Uncompressed Bonsai tree evaluating **all** nodes (branch-free).
+
+    Counts: the ``Ẑx`` projection (when present), per-node ``Wᵀẑ`` and
+    ``Vᵀẑ`` (two ``projected_dim × num_labels`` matmuls), the ``L`` tanh
+    products per node, and the internal-node branching functions ``θᵀẑ``.
+    """
+    macs = 0
+    if project:
+        macs += projected_dim * input_dim
+    macs += num_nodes * 2 * projected_dim * num_labels
+    macs += num_internal * projected_dim
+    # element-wise W ∘ tanh(V) products and the path accumulation
+    muls = num_nodes * num_labels
+    adds = num_nodes * num_labels
+    return OpCounts(muls=muls, adds=adds, macs=macs)
+
+
+def strassen_bonsai_counts(
+    projected_dim: int,
+    num_labels: int,
+    num_nodes: int,
+    num_internal: int,
+    r: int,
+) -> OpCounts:
+    """Strassenified Bonsai head: every node matmul becomes an SPN.
+
+    ``W``/``V`` matmuls (``projected_dim → num_labels``) and branching
+    functions (``projected_dim → 1``) are strassenified with hidden width
+    ``r`` (the paper sets ``r = L``, the number of classes).  Projection is
+    assumed identity (the hybrid network's conv stack replaces it).
+    """
+    per_node_matmul = strassen_linear_counts(projected_dim, num_labels, r, bias=False)
+    theta = strassen_linear_counts(projected_dim, 1, r, bias=False)
+    total = per_node_matmul.scaled(2 * num_nodes) + theta.scaled(num_internal)
+    # tanh products and path accumulation stay element-wise full precision
+    total = total + OpCounts(muls=num_nodes * num_labels, adds=num_nodes * num_labels)
+    return total

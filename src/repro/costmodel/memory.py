@@ -1,0 +1,92 @@
+"""Model-size and memory-footprint accounting.
+
+Sizes are reported in KB with 1 KB = 1024 bytes (the paper's footnote).
+A :class:`SizeBreakdown` is a list of named tensors with element counts and
+bit-widths, so one architecture can be priced under several deployment
+precisions (fp32 / int8 / ternary-2bit / mixed) without re-deriving shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SizeEntry:
+    """One stored tensor: ``elements`` values at ``bits`` bits each."""
+
+    name: str
+    elements: int
+    bits: int
+
+    @property
+    def bytes(self) -> float:
+        """Storage in bytes (fractional for sub-byte packings)."""
+        return self.elements * self.bits / 8.0
+
+
+@dataclass
+class SizeBreakdown:
+    """A named collection of stored tensors (one model's parameters)."""
+
+    entries: List[SizeEntry] = field(default_factory=list)
+
+    def add(self, name: str, elements: int, bits: int) -> "SizeBreakdown":
+        """Append an entry (chainable)."""
+        if elements < 0 or bits <= 0:
+            raise ValueError(f"invalid size entry {name}: {elements} x {bits}b")
+        self.entries.append(SizeEntry(name, int(elements), int(bits)))
+        return self
+
+    def extend(self, other: "SizeBreakdown", prefix: str = "") -> "SizeBreakdown":
+        """Append all entries of ``other`` (chainable)."""
+        for e in other.entries:
+            self.entries.append(SizeEntry(prefix + e.name, e.elements, e.bits))
+        return self
+
+    @property
+    def total_bytes(self) -> float:
+        """Total storage in bytes."""
+        return sum(e.bytes for e in self.entries)
+
+    @property
+    def total_elements(self) -> int:
+        """Total parameter count."""
+        return sum(e.elements for e in self.entries)
+
+    def kb(self) -> float:
+        """Total storage in KB (1024 bytes)."""
+        return self.total_bytes / 1024.0
+
+    def filter(self, predicate) -> "SizeBreakdown":
+        """Sub-breakdown of entries matching ``predicate(entry)``."""
+        return SizeBreakdown([e for e in self.entries if predicate(e)])
+
+    def with_bits(self, bits_for) -> "SizeBreakdown":
+        """Re-price every entry with ``bits_for(entry) -> int``."""
+        return SizeBreakdown(
+            [SizeEntry(e.name, e.elements, int(bits_for(e))) for e in self.entries]
+        )
+
+
+def kib(num_bytes: float) -> float:
+    """Bytes → KB (1024)."""
+    return num_bytes / 1024.0
+
+
+def activation_footprint_bytes(activation_bytes: Sequence[float]) -> float:
+    """Peak activation memory under the paper's buffer-reuse assumption.
+
+    "the memory requirement for the activations uses the maximum of two
+    consecutive layers (output activations from a preceding layer and input
+    activations to the following layer)" — i.e. the maximum over adjacent
+    pairs of the sum of their buffer sizes.  A single-layer list returns its
+    own size.
+    """
+    sizes = list(activation_bytes)
+    if not sizes:
+        return 0.0
+    if len(sizes) == 1:
+        return float(sizes[0])
+    return float(max(a + b for a, b in zip(sizes[:-1], sizes[1:])))

@@ -1,0 +1,77 @@
+"""Cost reports and text-table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.costmodel.counts import OpCounts, fmt_count
+from repro.costmodel.memory import SizeBreakdown, activation_footprint_bytes
+
+
+@dataclass
+class CostReport:
+    """Complete analytic cost picture of one network configuration.
+
+    Attributes
+    ----------
+    name: display name ("DS-CNN", "ST-HybridNet", …).
+    ops: aggregate operation counts.
+    size: parameter storage breakdown (deployment precision).
+    activation_bytes: per-layer activation buffer sizes, in order, used for
+        the total-memory-footprint column of Table 6.
+    """
+
+    name: str
+    ops: OpCounts
+    size: SizeBreakdown
+    activation_bytes: List[float] = field(default_factory=list)
+
+    @property
+    def model_kb(self) -> float:
+        """Model size in KB."""
+        return self.size.kb()
+
+    @property
+    def footprint_kb(self) -> float:
+        """Model size plus peak activation memory, in KB."""
+        return (
+            self.size.total_bytes + activation_footprint_bytes(self.activation_bytes)
+        ) / 1024.0
+
+    def row(self) -> Dict[str, str]:
+        """Formatted table row (paper column conventions)."""
+        return {
+            "network": self.name,
+            "muls": fmt_count(self.ops.muls),
+            "adds": fmt_count(self.ops.adds),
+            "macs": fmt_count(self.ops.macs),
+            "ops": fmt_count(self.ops.ops),
+            "model_kb": f"{self.model_kb:.2f}KB",
+            "footprint_kb": f"{self.footprint_kb:.2f}KB",
+        }
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict rows as an aligned text table (for bench output)."""
+    if not rows:
+        return title or ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[str(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(str(c)), *(len(row[i]) for row in cells)) for i, c in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).upper().ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Datasets: a synthetic stand-in for the Google Speech Commands corpus.
+
+The paper evaluates on Google Speech Commands (Warden 2018): 65 K one-second
+clips of 30 keywords, classified into 10 target words + *silence* +
+*unknown*.  That corpus cannot be downloaded offline, so this package
+synthesises an equivalent task: each keyword is a deterministic sequence of
+formant targets rendered by a source-filter vocal synthesiser with
+per-utterance speaker variation, plus background-noise / timing-jitter
+augmentation.  The label set, split protocol (80/10/10) and feature pipeline
+are identical to the paper's; see DESIGN.md §2 for the substitution record.
+"""
+
+from repro.datasets.synthesizer import KeywordSpec, PhonemeSpec, keyword_spec, synthesize
+from repro.datasets.noise import pink_noise, white_noise
+from repro.datasets.speech_commands import (
+    ALL_KEYWORDS,
+    LABELS,
+    TARGET_WORDS,
+    SpeechCommandsConfig,
+    SpeechCommandsDataset,
+    label_index,
+)
+from repro.datasets.loader import iterate_minibatches
+
+__all__ = [
+    "PhonemeSpec",
+    "KeywordSpec",
+    "keyword_spec",
+    "synthesize",
+    "white_noise",
+    "pink_noise",
+    "ALL_KEYWORDS",
+    "TARGET_WORDS",
+    "LABELS",
+    "label_index",
+    "SpeechCommandsConfig",
+    "SpeechCommandsDataset",
+    "iterate_minibatches",
+]

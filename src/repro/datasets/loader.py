@@ -1,0 +1,33 @@
+"""Minibatch iteration over in-memory arrays."""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+
+def iterate_minibatches(
+    features: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int,
+    rng: SeedLike = None,
+    shuffle: bool = True,
+    drop_last: bool = False,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield (features, labels) minibatches.
+
+    ``shuffle`` permutes once per epoch using ``rng``; ``drop_last`` skips a
+    trailing partial batch (keeps batch-norm statistics stable).
+    """
+    if len(features) != len(labels):
+        raise ValueError(f"length mismatch: {len(features)} features vs {len(labels)} labels")
+    count = len(features)
+    order = new_rng(rng).permutation(count) if shuffle else np.arange(count)
+    for start in range(0, count, batch_size):
+        index = order[start : start + batch_size]
+        if drop_last and len(index) < batch_size:
+            return
+        yield features[index], labels[index]

@@ -1,0 +1,30 @@
+"""Background-noise generators for augmentation and *silence* clips."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+
+def white_noise(num_samples: int, rng: SeedLike = None) -> np.ndarray:
+    """Unit-variance Gaussian white noise."""
+    rng = new_rng(rng)
+    return rng.standard_normal(num_samples)
+
+
+def pink_noise(num_samples: int, rng: SeedLike = None) -> np.ndarray:
+    """Approximate 1/f noise via the Voss–McCartney octave-sum construction.
+
+    Spectrally closer to real room/background recordings than white noise,
+    which matters for the *silence* class statistics.
+    """
+    rng = new_rng(rng)
+    octaves = max(int(np.ceil(np.log2(max(num_samples, 2)))), 1)
+    total = np.zeros(num_samples)
+    for octave in range(octaves):
+        step = 2**octave
+        values = rng.standard_normal(num_samples // step + 2)
+        total += np.repeat(values, step)[:num_samples]
+    total /= np.sqrt(octaves)
+    return total

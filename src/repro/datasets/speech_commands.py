@@ -1,0 +1,253 @@
+"""Synthetic Speech-Commands task assembly (12-label KWS classification).
+
+Mirrors the protocol of Warden (2018) / Zhang et al. (2017) used by the
+paper: 30 keywords; models classify into the 10 target words plus
+``silence`` (background noise only) and ``unknown`` (any of the remaining 20
+keywords); 80/10/10 train/validation/test split decided by a stable hash of
+the utterance identity; training samples augmented with background noise and
+random timing jitter.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.audio.augment import add_background_noise, random_time_shift
+from repro.audio.mfcc import MFCC, MFCCConfig
+from repro.datasets.noise import pink_noise, white_noise
+from repro.datasets.synthesizer import keyword_spec, synthesize
+from repro.errors import DatasetError
+from repro.utils.rng import new_rng
+
+#: the 30 words of Speech Commands v1
+ALL_KEYWORDS: Tuple[str, ...] = (
+    "yes", "no", "up", "down", "left", "right", "on", "off", "stop", "go",
+    "bed", "bird", "cat", "dog", "eight", "five", "four", "happy", "house",
+    "marvin", "nine", "one", "seven", "sheila", "six", "three", "tree",
+    "two", "wow", "zero",
+)
+
+#: the 10 classification targets used by the paper
+TARGET_WORDS: Tuple[str, ...] = (
+    "yes", "no", "up", "down", "left", "right", "on", "off", "stop", "go",
+)
+
+#: model output labels, in index order
+LABELS: Tuple[str, ...] = ("silence", "unknown") + TARGET_WORDS
+
+
+def label_index(word: str) -> int:
+    """Map a keyword (or 'silence') to its classification label index."""
+    if word == "silence":
+        return 0
+    if word in TARGET_WORDS:
+        return LABELS.index(word)
+    if word in ALL_KEYWORDS or word == "unknown":
+        return 1
+    raise DatasetError(f"unknown keyword {word!r}")
+
+
+def _split_of(identity: str, val_pct: float = 10.0, test_pct: float = 10.0) -> str:
+    """Stable train/val/test assignment via SHA-1 of the utterance identity.
+
+    Same scheme as Warden (2018): the hash, not the iteration order, decides
+    membership, so splits never leak when the corpus is regrown.
+    """
+    digest = hashlib.sha1(identity.encode("utf-8")).hexdigest()
+    percent = (int(digest, 16) % 10_000) / 100.0
+    if percent < val_pct:
+        return "val"
+    if percent < val_pct + test_pct:
+        return "test"
+    return "train"
+
+
+@dataclass(frozen=True)
+class SpeechCommandsConfig:
+    """Synthetic corpus configuration.
+
+    ``utterances_per_word`` is the count per *target* word.  As in the
+    Warden/Zhang training pipeline, the *unknown* class (the other 20
+    keywords) and *silence* are rebalanced to roughly 10 % of the corpus
+    each rather than appearing at their natural 20/30 frequency —
+    ``unknown_fraction`` / ``silence_fraction`` control that, expressed
+    relative to the total number of target utterances.
+
+    ``noise_volume`` / ``time_shift_ms`` control train-split augmentation;
+    val/test are rendered with a light fixed noise floor only.
+    """
+
+    utterances_per_word: int = 120
+    unknown_fraction: float = 0.15
+    silence_fraction: float = 0.15
+    sample_rate: int = 16_000
+    clip_seconds: float = 1.0
+    seed: int = 2019
+    noise_volume: float = 0.25
+    augment_probability: float = 0.8
+    time_shift_ms: float = 100.0
+    mfcc: MFCCConfig = field(default_factory=MFCCConfig)
+
+    @property
+    def clip_samples(self) -> int:
+        """Samples per clip."""
+        return int(round(self.sample_rate * self.clip_seconds))
+
+    @property
+    def unknown_per_word(self) -> int:
+        """Utterances generated per non-target keyword."""
+        total_targets = len(TARGET_WORDS) * self.utterances_per_word
+        pool = len(ALL_KEYWORDS) - len(TARGET_WORDS)
+        return max(1, int(round(total_targets * self.unknown_fraction / pool)))
+
+    @property
+    def silence_clips(self) -> int:
+        """Number of silence clips generated."""
+        total_targets = len(TARGET_WORDS) * self.utterances_per_word
+        return max(4, int(round(total_targets * self.silence_fraction)))
+
+
+class SpeechCommandsDataset:
+    """Materialised synthetic corpus with MFCC features.
+
+    Builds all splits eagerly on first use and caches them; repeated
+    experiment runs share one build.  Returned arrays:
+
+    * ``features(split)`` → (N, frames, coeffs) float32
+    * ``labels(split)``   → (N,) int64 in ``range(len(LABELS))``
+    """
+
+    _cache: Dict[SpeechCommandsConfig, "SpeechCommandsDataset"] = {}
+
+    def __init__(self, config: Optional[SpeechCommandsConfig] = None) -> None:
+        self.config = config or SpeechCommandsConfig()
+        self._extractor = MFCC(self.config.mfcc)
+        self._splits: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        self._build()
+
+    @classmethod
+    def cached(cls, config: Optional[SpeechCommandsConfig] = None) -> "SpeechCommandsDataset":
+        """Return a process-wide cached dataset for ``config``."""
+        config = config or SpeechCommandsConfig()
+        if config not in cls._cache:
+            cls._cache[config] = cls(config)
+        return cls._cache[config]
+
+    # ------------------------------------------------------------------ #
+
+    def _build(self) -> None:
+        cfg = self.config
+        rng = new_rng(cfg.seed)
+        noise_bank = [
+            pink_noise(cfg.clip_samples * 4, rng),
+            white_noise(cfg.clip_samples * 4, rng),
+        ]
+        rows: Dict[str, list] = {"train": [], "val": [], "test": []}
+
+        for word in ALL_KEYWORDS:
+            spec = keyword_spec(word)
+            count = (
+                cfg.utterances_per_word if word in TARGET_WORDS else cfg.unknown_per_word
+            )
+            for i in range(count):
+                identity = f"{word}/{i}"
+                split = _split_of(identity)
+                utt_rng = new_rng(
+                    int.from_bytes(hashlib.sha256(identity.encode()).digest()[:8], "little")
+                    ^ cfg.seed
+                )
+                wave = synthesize(
+                    spec, utt_rng, sample_rate=cfg.sample_rate, clip_seconds=cfg.clip_seconds
+                )
+                wave = self._augment(wave, split, utt_rng, noise_bank)
+                rows[split].append((self._extractor(wave), label_index(word)))
+
+        for i in range(cfg.silence_clips):
+            identity = f"silence/{i}"
+            split = _split_of(identity)
+            utt_rng = new_rng(
+                int.from_bytes(hashlib.sha256(identity.encode()).digest()[:8], "little")
+                ^ cfg.seed
+            )
+            base = noise_bank[int(utt_rng.integers(len(noise_bank)))]
+            start = int(utt_rng.integers(0, len(base) - cfg.clip_samples + 1))
+            level = float(utt_rng.uniform(0.0, 0.05))
+            wave = base[start : start + cfg.clip_samples] * level
+            rows[split].append((self._extractor(wave), label_index("silence")))
+
+        for split, pairs in rows.items():
+            if not pairs:
+                raise DatasetError(
+                    f"empty split {split!r}; increase utterances_per_word"
+                )
+            # stable per-split stream: Python's hash() is salted per process
+            split_tag = int.from_bytes(hashlib.sha256(split.encode()).digest()[:2], "little")
+            order = new_rng(cfg.seed + split_tag).permutation(len(pairs))
+            feats = np.stack([pairs[i][0] for i in order]).astype(np.float32)
+            labels = np.array([pairs[i][1] for i in order], dtype=np.int64)
+            self._splits[split] = (feats, labels)
+
+        # Standardise per cepstral coefficient over the train split: c0 has an
+        # order of magnitude more variance than c9 and would otherwise dominate
+        # every distance and every first-layer filter.
+        train_feats = self._splits["train"][0]
+        mean = train_feats.mean(axis=(0, 1), keepdims=True)
+        std = train_feats.std(axis=(0, 1), keepdims=True) + 1e-6
+        for split, (feats, labels) in self._splits.items():
+            self._splits[split] = (((feats - mean) / std).astype(np.float32), labels)
+        self.feature_mean, self.feature_std = mean.reshape(-1), std.reshape(-1)
+
+    def _augment(self, wave, split, rng, noise_bank):
+        cfg = self.config
+        if split != "train":
+            # evaluation clips get a fixed light noise floor only
+            noise = noise_bank[int(rng.integers(len(noise_bank)))]
+            return add_background_noise(wave, noise, volume=0.05, rng=rng)
+        if rng.random() < cfg.augment_probability:
+            wave = random_time_shift(wave, cfg.time_shift_ms, cfg.sample_rate, rng)
+            noise = noise_bank[int(rng.integers(len(noise_bank)))]
+            volume = float(rng.uniform(0.0, cfg.noise_volume))
+            wave = add_background_noise(wave, noise, volume=volume, rng=rng)
+        return wave
+
+    # ------------------------------------------------------------------ #
+
+    def features(self, split: str) -> np.ndarray:
+        """MFCC features of a split: (N, frames, coefficients) float32."""
+        return self._splits[split][0]
+
+    def labels(self, split: str) -> np.ndarray:
+        """Integer labels of a split."""
+        return self._splits[split][1]
+
+    def arrays(self, split: str) -> Tuple[np.ndarray, np.ndarray]:
+        """(features, labels) pair for a split."""
+        return self._splits[split]
+
+    @property
+    def num_labels(self) -> int:
+        """Number of classification targets (12)."""
+        return len(LABELS)
+
+    @property
+    def feature_shape(self) -> Tuple[int, int]:
+        """(frames, coefficients) of one example."""
+        return self._splits["train"][0].shape[1:]
+
+    def summary(self) -> str:
+        """Human-readable corpus description."""
+        sizes = {s: len(self._splits[s][1]) for s in ("train", "val", "test")}
+        return (
+            f"SyntheticSpeechCommands(words={len(ALL_KEYWORDS)}, labels={self.num_labels}, "
+            f"train={sizes['train']}, val={sizes['val']}, test={sizes['test']}, "
+            f"features={self.feature_shape})"
+        )
+
+
+def small_config(seed: int = 2019, utterances_per_word: int = 24) -> SpeechCommandsConfig:
+    """A reduced corpus for CI-scale experiments and tests."""
+    return SpeechCommandsConfig(utterances_per_word=utterances_per_word, seed=seed)

@@ -1,0 +1,27 @@
+"""Microcontroller deployment artifacts for strassenified networks.
+
+The paper's size claims assume ternary weights are *actually stored* at
+2 bits.  This package makes that concrete:
+
+* :mod:`repro.deploy.packing` — bit-exact 2-bit packing/unpacking of ternary
+  matrices (4 weights per byte);
+* :mod:`repro.deploy.image`   — serialise a trained, frozen ST-HybridNet
+  into a flat binary *model image* (header + packed ternary transforms +
+  fixed-point â/bias tables), the artifact a microcontroller would flash;
+* :mod:`repro.deploy.interpreter` — a NumPy reference interpreter that runs
+  inference **directly from the packed image** using only integer/fixed-
+  point-friendly operations, validating that the image is complete and the
+  byte count of the headline size claims is real.
+"""
+
+from repro.deploy.packing import pack_ternary, unpack_ternary
+from repro.deploy.image import ModelImage, build_image
+from repro.deploy.interpreter import ImageInterpreter
+
+__all__ = [
+    "pack_ternary",
+    "unpack_ternary",
+    "ModelImage",
+    "build_image",
+    "ImageInterpreter",
+]

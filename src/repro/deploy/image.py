@@ -1,0 +1,258 @@
+"""Binary model images for frozen ST-HybridNets.
+
+A *model image* is the flat artifact a microcontroller would flash: a JSON
+header describing the architecture, followed by, per layer, the 2-bit packed
+ternary transforms and little-endian float32 tables (â, output scale/shift).
+
+One honest deviation from the paper's byte accounting: each conv layer
+carries an output *scale* in addition to the shift (bias), because the
+batch-norm per-channel scale cannot be absorbed into a ternary ``W_c``.  In
+a real integer pipeline this scale rides along with the requantization
+multiplier that exists anyway; the paper's size tables count only the shift.
+:meth:`ModelImage.total_bytes` reports both views.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.hybrid.strassenified import STHybridNet
+from repro.core.strassen.layers import (
+    StrassenConv2d,
+    StrassenDepthwiseConv2d,
+    StrassenLinear,
+)
+from repro.deploy.packing import pack_ternary, unpack_ternary
+from repro.errors import ConfigError
+from repro.nn.norm import bn_scale_shift
+
+_MAGIC = b"STHY"
+_VERSION = 1
+
+
+@dataclass
+class LayerRecord:
+    """One deployed layer: packed ternary transforms + float tables."""
+
+    name: str
+    kind: str  # "conv" | "dw" | "pw" | "linear"
+    meta: Dict[str, object]
+    wb_blob: bytes
+    wb_shape: Tuple[int, ...]
+    wc_blob: bytes
+    wc_shape: Tuple[int, ...]
+    a_hat: np.ndarray
+    out_scale: np.ndarray
+    out_shift: np.ndarray
+
+    def wb(self) -> np.ndarray:
+        """Unpacked ternary W_b."""
+        return unpack_ternary(self.wb_blob, self.wb_shape)
+
+    def wc(self) -> np.ndarray:
+        """Unpacked ternary W_c."""
+        return unpack_ternary(self.wc_blob, self.wc_shape)
+
+    @property
+    def ternary_bytes(self) -> int:
+        """Packed ternary storage."""
+        return len(self.wb_blob) + len(self.wc_blob)
+
+    @property
+    def float_bytes(self) -> int:
+        """Float-table storage (â + scale + shift at fp32)."""
+        return 4 * (self.a_hat.size + self.out_scale.size + self.out_shift.size)
+
+
+@dataclass
+class ModelImage:
+    """A complete serialised ST-HybridNet."""
+
+    header: Dict[str, object]
+    layers: List[LayerRecord] = field(default_factory=list)
+
+    def layer(self, name: str) -> LayerRecord:
+        """Look up a layer record by name."""
+        for record in self.layers:
+            if record.name == name:
+                return record
+        raise KeyError(name)
+
+    def total_bytes(self, count_scales: bool = True) -> int:
+        """Image payload size; ``count_scales=False`` mirrors the paper's
+        accounting (scale vectors folded into requantization)."""
+        total = 0
+        for record in self.layers:
+            total += record.ternary_bytes + 4 * record.a_hat.size
+            total += 4 * record.out_shift.size
+            if count_scales:
+                total += 4 * record.out_scale.size
+        return total
+
+    # -- flat serialisation ------------------------------------------------ #
+
+    def to_bytes(self) -> bytes:
+        """Serialise to a flat binary blob (magic + header + payload)."""
+        manifest = {"header": self.header, "layers": []}
+        payload = bytearray()
+
+        def append(blob: bytes) -> Tuple[int, int]:
+            offset = len(payload)
+            payload.extend(blob)
+            return offset, len(blob)
+
+        for record in self.layers:
+            entry: Dict[str, object] = {
+                "name": record.name,
+                "kind": record.kind,
+                "meta": record.meta,
+                "wb_shape": list(record.wb_shape),
+                "wc_shape": list(record.wc_shape),
+            }
+            entry["wb_span"] = append(record.wb_blob)
+            entry["wc_span"] = append(record.wc_blob)
+            entry["a_hat_span"] = append(record.a_hat.astype("<f4").tobytes())
+            entry["scale_span"] = append(record.out_scale.astype("<f4").tobytes())
+            entry["shift_span"] = append(record.out_shift.astype("<f4").tobytes())
+            manifest["layers"].append(entry)
+
+        manifest_bytes = json.dumps(manifest).encode("utf-8")
+        return (
+            _MAGIC
+            + struct.pack("<HI", _VERSION, len(manifest_bytes))
+            + manifest_bytes
+            + bytes(payload)
+        )
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "ModelImage":
+        """Parse a blob produced by :meth:`to_bytes`."""
+        if blob[:4] != _MAGIC:
+            raise ConfigError("not an ST-HybridNet model image (bad magic)")
+        version, manifest_len = struct.unpack("<HI", blob[4:10])
+        if version != _VERSION:
+            raise ConfigError(f"unsupported image version {version}")
+        manifest = json.loads(blob[10 : 10 + manifest_len].decode("utf-8"))
+        payload = blob[10 + manifest_len :]
+
+        def cut(span) -> bytes:
+            offset, length = span
+            return payload[offset : offset + length]
+
+        layers = []
+        for entry in manifest["layers"]:
+            layers.append(
+                LayerRecord(
+                    name=entry["name"],
+                    kind=entry["kind"],
+                    meta=entry["meta"],
+                    wb_blob=cut(entry["wb_span"]),
+                    wb_shape=tuple(entry["wb_shape"]),
+                    wc_blob=cut(entry["wc_span"]),
+                    wc_shape=tuple(entry["wc_shape"]),
+                    a_hat=np.frombuffer(cut(entry["a_hat_span"]), dtype="<f4").copy(),
+                    out_scale=np.frombuffer(cut(entry["scale_span"]), dtype="<f4").copy(),
+                    out_shift=np.frombuffer(cut(entry["shift_span"]), dtype="<f4").copy(),
+                )
+            )
+        return cls(header=manifest["header"], layers=layers)
+
+
+def _conv_record(name: str, kind: str, layer, bn, meta: Dict[str, object]) -> LayerRecord:
+    """Build a record for a frozen strassen layer followed by ``bn``."""
+    if layer.phase != "frozen":
+        raise ConfigError(f"layer {name} must be frozen before imaging")
+    if bn is not None:
+        scale, shift = bn_scale_shift(bn)
+    else:
+        channels = layer.out_features if isinstance(layer, StrassenLinear) else (
+            layer.channels if isinstance(layer, StrassenDepthwiseConv2d) else layer.out_channels
+        )
+        scale = np.ones(channels)
+        shift = np.zeros(channels)
+        if layer.bias is not None:
+            shift = layer.bias.data.astype(np.float64)
+    wb_blob, wb_shape = pack_ternary(layer.wb.data)
+    wc_blob, wc_shape = pack_ternary(layer.wc.data)
+    return LayerRecord(
+        name=name,
+        kind=kind,
+        meta=meta,
+        wb_blob=wb_blob,
+        wb_shape=wb_shape,
+        wc_blob=wc_blob,
+        wc_shape=wc_shape,
+        a_hat=layer.a_hat.data.astype(np.float32),
+        out_scale=scale.astype(np.float32),
+        out_shift=shift.astype(np.float32),
+    )
+
+
+def build_image(model: STHybridNet) -> ModelImage:
+    """Serialise a trained, frozen :class:`STHybridNet` into a model image.
+
+    Batch-norm layers are folded into per-layer (scale, shift) tables; the
+    tree's node matmuls are stored as plain strassen linear records plus
+    tree topology in the header.
+    """
+    cfg = model.config
+    header = {
+        "arch": "st-hybrid",
+        "width": cfg.width,
+        "num_conv_layers": cfg.num_conv_layers,
+        "tree_depth": cfg.tree_depth,
+        "num_labels": cfg.num_labels,
+        "input_shape": list(cfg.input_shape),
+        "conv_r": cfg.conv_r,
+        "tree_r": cfg.tree_r,
+        "prediction_sigma": cfg.prediction_sigma,
+    }
+    image = ModelImage(header=header)
+
+    image.layers.append(
+        _conv_record(
+            "conv1",
+            "conv",
+            model.conv1,
+            model.bn1,
+            {"stride": [2, 2], "padding": [5, 1], "relu": True},
+        )
+    )
+    for i in range(cfg.num_ds_blocks):
+        block = getattr(model, f"ds{i}")
+        image.layers.append(
+            _conv_record(
+                f"ds{i}.dw",
+                "dw",
+                block.depthwise,
+                block.bn_dw,
+                {"stride": [1, 1], "padding": [1, 1], "relu": True},
+            )
+        )
+        image.layers.append(
+            _conv_record(
+                f"ds{i}.pw",
+                "pw",
+                block.pointwise,
+                block.bn_pw,
+                {"stride": [1, 1], "padding": [0, 0], "relu": True},
+            )
+        )
+    tree = model.tree
+    for k in range(tree.num_nodes):
+        for role in ("w", "v"):
+            layer = getattr(tree, f"{role}{k}")
+            image.layers.append(
+                _conv_record(f"tree.{role}{k}", "linear", layer, None, {"relu": False})
+            )
+    for k in range(tree.num_internal):
+        layer = getattr(tree, f"theta{k}")
+        image.layers.append(
+            _conv_record(f"tree.theta{k}", "linear", layer, None, {"relu": False})
+        )
+    return image

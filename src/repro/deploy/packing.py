@@ -1,0 +1,58 @@
+"""2-bit packing of ternary weight tensors (4 weights per byte).
+
+Encoding: each weight maps to a 2-bit code — ``0 -> 0b00``, ``+1 -> 0b01``,
+``-1 -> 0b10`` (``0b11`` is reserved).  Codes fill each byte little-end
+first, so weight ``i`` lives at bits ``2*(i % 4)`` of byte ``i // 4``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+_CODE_ZERO, _CODE_PLUS, _CODE_MINUS = 0b00, 0b01, 0b10
+
+
+def pack_ternary(values: np.ndarray) -> Tuple[bytes, Tuple[int, ...]]:
+    """Pack a {-1, 0, +1} tensor into bytes; returns ``(blob, shape)``.
+
+    Raises :class:`QuantizationError` on non-ternary input — packing is the
+    last step after freezing, nothing should quantise here.
+    """
+    flat = np.asarray(values).reshape(-1)
+    if flat.size and not np.isin(flat, (-1.0, 0.0, 1.0)).all():
+        bad = flat[~np.isin(flat, (-1.0, 0.0, 1.0))][:4]
+        raise QuantizationError(f"non-ternary values cannot be packed: {bad}")
+    codes = np.full(flat.shape, _CODE_ZERO, dtype=np.uint8)
+    codes[flat == 1.0] = _CODE_PLUS
+    codes[flat == -1.0] = _CODE_MINUS
+    pad = (-flat.size) % 4
+    if pad:
+        codes = np.concatenate([codes, np.zeros(pad, dtype=np.uint8)])
+    quads = codes.reshape(-1, 4)
+    packed = quads[:, 0] | (quads[:, 1] << 2) | (quads[:, 2] << 4) | (quads[:, 3] << 6)
+    return packed.astype(np.uint8).tobytes(), tuple(np.shape(values))
+
+
+def unpack_ternary(blob: bytes, shape: Tuple[int, ...]) -> np.ndarray:
+    """Inverse of :func:`pack_ternary`; returns a float32 {-1, 0, 1} array."""
+    count = int(np.prod(shape)) if shape else 0
+    raw = np.frombuffer(blob, dtype=np.uint8)
+    expected_bytes = (count + 3) // 4
+    if len(raw) != expected_bytes:
+        raise QuantizationError(
+            f"blob holds {len(raw)} bytes but shape {shape} needs {expected_bytes}"
+        )
+    codes = np.empty(len(raw) * 4, dtype=np.uint8)
+    codes[0::4] = raw & 0b11
+    codes[1::4] = (raw >> 2) & 0b11
+    codes[2::4] = (raw >> 4) & 0b11
+    codes[3::4] = (raw >> 6) & 0b11
+    codes = codes[:count]
+    out = np.zeros(count, dtype=np.float32)
+    out[codes == _CODE_PLUS] = 1.0
+    out[codes == _CODE_MINUS] = -1.0
+    return out.reshape(shape)

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An operation received tensors whose shapes are incompatible."""
+
+
+class GraphError(ReproError, RuntimeError):
+    """The autodiff graph was used incorrectly (e.g. backward on a leaf)."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A model or experiment configuration is inconsistent."""
+
+
+class QuantizationError(ReproError, ValueError):
+    """A quantizer was asked to do something unrepresentable."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset was configured or consumed incorrectly."""

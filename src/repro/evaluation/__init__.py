@@ -1,0 +1,28 @@
+"""Deployment-style evaluation: streaming keyword detection.
+
+The paper's models are "always-on" detectors; in deployment they do not see
+pre-segmented 1-second clips but a continuous microphone stream.  This
+package provides the standard streaming harness for that setting: a
+synthetic continuous stream with embedded keywords, sliding-window MFCC +
+model inference, posterior smoothing, thresholded detection with refractory
+suppression, and the detection metrics (miss rate, false alarms per hour)
+used by the small-footprint KWS literature the paper builds on.
+"""
+
+from repro.evaluation.streaming import (
+    DetectionEvent,
+    StreamingConfig,
+    StreamingDetector,
+    StreamingMetrics,
+    make_stream,
+    score_detections,
+)
+
+__all__ = [
+    "StreamingConfig",
+    "StreamingDetector",
+    "DetectionEvent",
+    "StreamingMetrics",
+    "make_stream",
+    "score_detections",
+]

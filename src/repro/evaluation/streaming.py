@@ -1,0 +1,231 @@
+"""Streaming keyword-spotting evaluation.
+
+Pipeline: a long waveform is analysed with a sliding 1-second window
+(``hop_ms`` apart); each window runs through the MFCC frontend and the
+classifier; per-label posteriors are smoothed over ``smoothing_windows``
+consecutive windows (Chen et al. 2014's posterior smoothing); a detection
+fires when a smoothed keyword posterior exceeds ``threshold``, after which
+the detector is refractory for ``refractory_ms``.  Detections are scored
+against ground-truth keyword placements with a tolerance, yielding the
+(miss rate, false alarms per hour) operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.audio.mfcc import MFCC, MFCCConfig
+from repro.autodiff.tensor import Tensor, no_grad
+from repro.datasets.noise import pink_noise
+from repro.datasets.speech_commands import LABELS, label_index
+from repro.datasets.synthesizer import keyword_spec, synthesize
+from repro.errors import ConfigError
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass(frozen=True)
+class StreamingConfig:
+    """Sliding-window detection parameters."""
+
+    hop_ms: float = 250.0
+    smoothing_windows: int = 3
+    threshold: float = 0.6
+    refractory_ms: float = 750.0
+    sample_rate: int = 16_000
+    window_seconds: float = 1.0
+    mfcc: MFCCConfig = field(default_factory=MFCCConfig)
+
+    @property
+    def hop_samples(self) -> int:
+        """Hop between consecutive analysis windows, in samples."""
+        return int(round(self.hop_ms * self.sample_rate / 1000.0))
+
+    @property
+    def window_samples(self) -> int:
+        """Analysis window length in samples."""
+        return int(round(self.window_seconds * self.sample_rate))
+
+
+@dataclass(frozen=True)
+class DetectionEvent:
+    """One fired detection: label index + time of the window centre."""
+
+    label: int
+    time_seconds: float
+    score: float
+
+
+@dataclass
+class StreamingMetrics:
+    """Detection scoring result."""
+
+    hits: int
+    misses: int
+    false_alarms: int
+    stream_hours: float
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of ground-truth keywords not detected."""
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+    @property
+    def false_alarms_per_hour(self) -> float:
+        """False detections normalised per streamed hour."""
+        return self.false_alarms / self.stream_hours if self.stream_hours else 0.0
+
+
+def make_stream(
+    keywords: Sequence[str],
+    gap_seconds: Tuple[float, float] = (1.0, 2.5),
+    noise_level: float = 0.005,
+    rng: SeedLike = 0,
+    sample_rate: int = 16_000,
+) -> Tuple[np.ndarray, List[Tuple[str, float]]]:
+    """Synthesise a continuous stream with the given keywords embedded.
+
+    Returns ``(waveform, truth)`` where ``truth`` lists each keyword and the
+    time (seconds) of its utterance centre.  Keywords are separated by
+    random noise-only gaps so both detection and rejection are exercised.
+    """
+    rng = new_rng(rng)
+    pieces: List[np.ndarray] = []
+    truth: List[Tuple[str, float]] = []
+    cursor = 0
+
+    def push_gap() -> None:
+        nonlocal cursor
+        seconds = float(rng.uniform(*gap_seconds))
+        samples = int(seconds * sample_rate)
+        pieces.append(pink_noise(samples, rng) * noise_level)
+        cursor += samples
+
+    push_gap()
+    for word in keywords:
+        clip = synthesize(keyword_spec(word), rng, sample_rate=sample_rate)
+        centre = (cursor + len(clip) // 2) / sample_rate
+        truth.append((word, centre))
+        pieces.append(clip)
+        cursor += len(clip)
+        push_gap()
+    return np.concatenate(pieces), truth
+
+
+class StreamingDetector:
+    """Sliding-window detector wrapping any clip-level KWS model.
+
+    ``model`` maps (N, frames, coeffs) MFCC batches to (N, len(LABELS))
+    scores; the detector handles windowing, feature normalisation (using the
+    training statistics), posterior smoothing, thresholding and refractory
+    suppression.
+    """
+
+    def __init__(
+        self,
+        model,
+        config: Optional[StreamingConfig] = None,
+        feature_mean: Optional[np.ndarray] = None,
+        feature_std: Optional[np.ndarray] = None,
+    ) -> None:
+        self.model = model
+        self.config = config or StreamingConfig()
+        if self.config.smoothing_windows < 1:
+            raise ConfigError("smoothing_windows must be >= 1")
+        self._extractor = MFCC(self.config.mfcc)
+        self.feature_mean = feature_mean
+        self.feature_std = feature_std
+
+    def posteriors(self, waveform: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Smoothed per-window posteriors.
+
+        Returns ``(times, probs)`` with ``times`` the window-centre seconds
+        and ``probs`` of shape (num_windows, len(LABELS)).
+        """
+        cfg = self.config
+        waveform = np.asarray(waveform, dtype=np.float64)
+        if len(waveform) < cfg.window_samples:
+            raise ConfigError("stream shorter than one analysis window")
+        starts = np.arange(0, len(waveform) - cfg.window_samples + 1, cfg.hop_samples)
+        features = np.stack(
+            [self._extractor(waveform[s : s + cfg.window_samples]) for s in starts]
+        )
+        if self.feature_mean is not None:
+            features = (features - self.feature_mean) / self.feature_std
+        self.model.eval()
+        with no_grad():
+            logits = self.model(Tensor(features.astype(np.float32))).data
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        probs = np.exp(shifted)
+        probs /= probs.sum(axis=1, keepdims=True)
+        # moving average over the trailing smoothing_windows windows
+        k = min(cfg.smoothing_windows, len(probs))
+        kernel = np.ones(k) / k
+        smoothed = np.apply_along_axis(
+            lambda col: np.convolve(col, kernel)[: len(col)], 0, probs
+        )
+        times = (starts + cfg.window_samples / 2) / cfg.sample_rate
+        return times, smoothed
+
+    def detect(self, waveform: np.ndarray) -> List[DetectionEvent]:
+        """Run detection over a stream; returns fired events in time order.
+
+        Only target-keyword labels fire (``silence`` / ``unknown`` never
+        produce events).
+        """
+        cfg = self.config
+        times, probs = self.posteriors(waveform)
+        refractory = cfg.refractory_ms / 1000.0
+        events: List[DetectionEvent] = []
+        last_fire = -np.inf
+        for t, row in zip(times, probs):
+            if t - last_fire < refractory:
+                continue
+            label = int(np.argmax(row[2:]) + 2)  # skip silence/unknown
+            score = float(row[label])
+            if score >= cfg.threshold:
+                events.append(DetectionEvent(label=label, time_seconds=float(t), score=score))
+                last_fire = t
+        return events
+
+
+def score_detections(
+    events: Sequence[DetectionEvent],
+    truth: Sequence[Tuple[str, float]],
+    stream_seconds: float,
+    tolerance_seconds: float = 0.75,
+) -> StreamingMetrics:
+    """Match detections to ground truth and compute the operating point.
+
+    A detection is a *hit* when a ground-truth instance of the same label
+    lies within ``tolerance_seconds`` and has not been claimed yet; every
+    unmatched detection is a false alarm; every unclaimed ground-truth
+    keyword is a miss.  Non-target ground-truth words (labelled *unknown*)
+    are excluded from miss counting but detections on them still count as
+    false alarms — the deployment-relevant convention.
+    """
+    remaining: List[Tuple[int, float]] = [
+        (label_index(word), t) for word, t in truth if label_index(word) >= 2
+    ]
+    hits = 0
+    false_alarms = 0
+    for event in events:
+        match = None
+        for i, (label, t) in enumerate(remaining):
+            if label == event.label and abs(t - event.time_seconds) <= tolerance_seconds:
+                match = i
+                break
+        if match is None:
+            false_alarms += 1
+        else:
+            hits += 1
+            remaining.pop(match)
+    return StreamingMetrics(
+        hits=hits,
+        misses=len(remaining),
+        false_alarms=false_alarms,
+        stream_hours=stream_seconds / 3600.0,
+    )

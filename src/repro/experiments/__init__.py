@@ -1,0 +1,54 @@
+"""Experiment runners — one per paper table / figure.
+
+Every module exposes ``run(scale="ci", seed=0) -> ExperimentResult`` whose
+rows pair the paper's published numbers with this reproduction's measured
+(trained) accuracy and analytically recomputed costs.  Cost columns are
+always computed at *paper* scale from the architecture definitions (they are
+deterministic); accuracy columns are measured at the requested scale
+("ci" trains reduced-width models on the reduced synthetic corpus in
+seconds-to-minutes, "paper" runs the full recipe).
+"""
+
+from repro.experiments.common import (
+    CI_SCALE,
+    PAPER_SCALE,
+    ExperimentResult,
+    Scale,
+    get_dataset,
+    get_scale,
+    trained,
+)
+from repro.experiments import (
+    addition_budget,
+    figure1,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+
+ALL_EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "table6": table6,
+    "table7": table7,
+    "figure1": figure1,
+    "addition_budget": addition_budget,
+}
+
+__all__ = [
+    "Scale",
+    "CI_SCALE",
+    "PAPER_SCALE",
+    "get_scale",
+    "get_dataset",
+    "trained",
+    "ExperimentResult",
+    "ALL_EXPERIMENTS",
+]

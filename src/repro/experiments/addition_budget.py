@@ -1,0 +1,73 @@
+"""Ablation — the paper's future-work direction: constraining additions.
+
+§6 of the paper: "we will explore different algorithmic ways to constrain
+the number of additions in a strassenified network dominated with DS layers
+or specifically pointwise convolutions".  This experiment implements the
+simplest such algorithm — a per-row nonzero budget on the ternary ``W_b``
+transforms (top-magnitude selection inside the TWN threshold) — and sweeps
+the budget on ST-HybridNet's conv layers, reporting measured additions
+(actual nonzeros of the deployed ternary matrices) against accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.hybrid.config import HybridConfig
+from repro.core.hybrid.strassenified import STHybridNet
+from repro.core.strassen.layers import StrassenConv2d, strassen_modules
+from repro.experiments.common import ExperimentResult, get_scale, pct, trained
+
+#: W_b row-budget sweep, as a fraction of the dense row fan-in
+BUDGET_FRACTIONS = (None, 0.5, 0.25)
+
+
+def _apply_budget(model: STHybridNet, fraction: Optional[float]) -> None:
+    """Set each conv/pointwise layer's addition budget to ``fraction`` of
+    its dense W_b row fan-in (depthwise and tree layers stay unbudgeted —
+    they are already cheap)."""
+    if fraction is None:
+        return
+    for layer in strassen_modules(model):
+        if isinstance(layer, StrassenConv2d):
+            fan_in = int(layer.wb.size // layer.wb.shape[0])
+            layer.addition_budget = max(1, int(round(fraction * fan_in)))
+
+
+def _measured_wb_adds(model: STHybridNet) -> int:
+    """Total nonzeros across deployed W_b matrices (adds per output pos.)."""
+    return sum(layer.wb_nonzeros() for layer in strassen_modules(model))
+
+
+def run(scale: str | None = None, seed: int = 0) -> ExperimentResult:
+    """Sweep the addition budget and assemble the rows."""
+    s = get_scale(scale)
+    result = ExperimentResult(
+        "addition_budget",
+        "Ablation (paper §6 future work): W_b addition budget vs accuracy",
+    )
+    cfg = HybridConfig(width=s.width)
+    for fraction in BUDGET_FRACTIONS:
+        label = "dense" if fraction is None else f"{fraction:g}x fan-in"
+
+        def build(f=fraction):
+            model = STHybridNet(cfg, rng=seed)
+            _apply_budget(model, f)
+            return model
+
+        model = trained(
+            f"st-hybrid-budget-{label}", build, scale=s, loss="hinge", seed=seed
+        )
+        result.rows.append(
+            {
+                "wb_budget": label,
+                "acc%": pct(model.test_accuracy),
+                "wb_nonzeros": _measured_wb_adds(model.model),
+            }
+        )
+    result.notes.append(
+        "expected shape: halving the W_b budget trims ternary nonzeros "
+        "(deployed additions) with modest accuracy cost; aggressive budgets "
+        "start to hurt — the trade-off the paper defers to future work"
+    )
+    return result

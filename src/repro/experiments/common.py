@@ -1,0 +1,191 @@
+"""Shared experiment infrastructure: scales, dataset/model caches, training."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.bonsai import BonsaiAnnealingSchedule
+from repro.core.bonsai.tree import BonsaiTree
+from repro.core.strassen import StrassenSchedule, strassen_modules
+from repro.costmodel.report import format_table
+from repro.datasets import speech_commands as sc
+from repro.nn.module import Module
+from repro.training import Callback, TrainConfig, Trainer
+from repro.utils.logging import get_logger
+
+logger = get_logger("experiments")
+
+
+@dataclass(frozen=True)
+class Scale:
+    """How big an experiment run is.
+
+    ``ci`` keeps every architecture shape-identical to the paper but narrows
+    channel widths and shortens schedules so the full bench suite trains in
+    minutes on a laptop CPU; ``paper`` uses the published recipe (width 64,
+    135-epoch phases, batch 20).
+    """
+
+    name: str
+    utterances_per_word: int
+    epochs: int
+    st_phases: Tuple[int, int, int]  # full / quantize / frozen epochs
+    width: int
+    batch_size: int
+    lr: float = 2e-3
+    lr_drop_every: Optional[int] = None
+    seed: int = 2019
+
+    @property
+    def st_epochs(self) -> int:
+        """Total epochs of a three-phase strassen run."""
+        return sum(self.st_phases)
+
+
+CI_SCALE = Scale(
+    name="ci",
+    utterances_per_word=60,
+    epochs=12,
+    st_phases=(5, 4, 4),
+    width=24,
+    batch_size=32,
+)
+
+PAPER_SCALE = Scale(
+    name="paper",
+    utterances_per_word=120,
+    epochs=135,
+    st_phases=(135, 135, 135),
+    width=64,
+    batch_size=20,
+    lr=1e-3,
+    lr_drop_every=45,
+)
+
+_SCALES = {"ci": CI_SCALE, "paper": PAPER_SCALE}
+
+
+def get_scale(scale: str | Scale | None = None) -> Scale:
+    """Resolve a scale name (or the REPRO_SCALE env var; default "ci")."""
+    if isinstance(scale, Scale):
+        return scale
+    if scale is None:
+        scale = os.environ.get("REPRO_SCALE", "ci")
+    return _SCALES[scale]
+
+
+def get_dataset(scale: str | Scale | None = None) -> sc.SpeechCommandsDataset:
+    """The synthetic speech-commands corpus for a scale (process-cached)."""
+    s = get_scale(scale)
+    return sc.SpeechCommandsDataset.cached(
+        sc.SpeechCommandsConfig(utterances_per_word=s.utterances_per_word, seed=s.seed)
+    )
+
+
+@dataclass
+class TrainedModel:
+    """A trained model plus its evaluation metrics."""
+
+    name: str
+    model: Module
+    test_accuracy: float
+    val_accuracy: float
+    trainer: Trainer
+
+
+_TRAIN_CACHE: Dict[Tuple, TrainedModel] = {}
+
+
+def trained(
+    key: str,
+    build: Callable[[], Module],
+    scale: str | Scale | None = None,
+    loss: str = "cross_entropy",
+    epochs: Optional[int] = None,
+    callbacks: Optional[Callable[[Scale], List[Callback]]] = None,
+    teacher: Optional[Module] = None,
+    seed: int = 0,
+) -> TrainedModel:
+    """Train-or-fetch a model for an experiment (process-wide cache).
+
+    ``key`` must uniquely identify the configuration; experiments share
+    trained models across tables (e.g. Table 4 reuses Table 1's ST-DS-CNN
+    and Table 3's DS-CNN) exactly like the paper does.
+
+    ``callbacks`` is a factory so each run gets fresh schedule state.
+    Models containing strassen layers automatically get the three-phase
+    :class:`StrassenSchedule`; models containing a Bonsai tree get the
+    sharpness annealing.
+    """
+    s = get_scale(scale)
+    cache_key = (key, s.name, seed)
+    if cache_key in _TRAIN_CACHE:
+        return _TRAIN_CACHE[cache_key]
+
+    dataset = get_dataset(s)
+    model = build()
+    cbs: List[Callback] = list(callbacks(s)) if callbacks else []
+
+    has_strassen = any(True for _ in strassen_modules(model))
+    has_tree = any(isinstance(m, BonsaiTree) for m in model.modules())
+    total_epochs = epochs if epochs is not None else (s.st_epochs if has_strassen else s.epochs)
+    if has_strassen and not any(isinstance(cb, StrassenSchedule) for cb in cbs):
+        cbs.append(StrassenSchedule(s.st_phases[0], s.st_phases[1]))
+    if has_tree and not any(isinstance(cb, BonsaiAnnealingSchedule) for cb in cbs):
+        cbs.append(BonsaiAnnealingSchedule(1.0, 8.0, total_epochs))
+
+    config = TrainConfig(
+        epochs=total_epochs,
+        batch_size=s.batch_size,
+        lr=s.lr,
+        loss=loss,
+        lr_drop_every=s.lr_drop_every,
+        lr_drop_factor=0.2 if s.name == "paper" else 0.3,
+        seed=seed,
+    )
+    trainer = Trainer(model, config, callbacks=cbs, teacher=teacher)
+    x_train, y_train = dataset.arrays("train")
+    x_val, y_val = dataset.arrays("val")
+    logger.info("training %s (%s scale, %d epochs)", key, s.name, total_epochs)
+    history = trainer.fit(x_train, y_train, x_val, y_val)
+    x_test, y_test = dataset.arrays("test")
+    result = TrainedModel(
+        name=key,
+        model=model,
+        test_accuracy=trainer.evaluate(x_test, y_test),
+        val_accuracy=history.best_val_accuracy,
+        trainer=trainer,
+    )
+    _TRAIN_CACHE[cache_key] = result
+    return result
+
+
+def clear_train_cache() -> None:
+    """Drop all cached trained models (tests use this)."""
+    _TRAIN_CACHE.clear()
+
+
+@dataclass
+class ExperimentResult:
+    """Rows + notes produced by one experiment run."""
+
+    experiment: str
+    title: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def table(self, columns: Optional[Sequence[str]] = None) -> str:
+        """Render the result as an aligned text table."""
+        body = format_table(self.rows, columns=columns, title=self.title)
+        if self.notes:
+            body += "\n" + "\n".join(f"note: {n}" for n in self.notes)
+        return body
+
+
+def pct(value: float) -> str:
+    """Format an accuracy fraction as the paper's percent convention."""
+    return f"{100.0 * value:.2f}"

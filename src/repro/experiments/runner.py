@@ -1,0 +1,47 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments.runner table4            # one experiment
+    python -m repro.experiments.runner all               # everything
+    REPRO_SCALE=paper python -m repro.experiments.runner table3
+
+Each experiment trains its models (cached within the process), prints the
+paper-vs-measured table and any notes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.utils.logging import enable_console_logging
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiment",
+        choices=sorted(ALL_EXPERIMENTS) + ["all"],
+        help="which paper table/figure to regenerate",
+    )
+    parser.add_argument("--scale", default=None, choices=["ci", "paper"])
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    enable_console_logging()
+
+    names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.time()
+        result = ALL_EXPERIMENTS[name].run(args.scale, seed=args.seed)
+        print()
+        print(result.table())
+        print(f"[{name} regenerated in {time.time() - start:.0f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,85 @@
+"""Table 2 — standalone Bonsai trees on KWS: the expressiveness ceiling.
+
+Reproduces §2.2.1: Bonsai with a dense FC projection saturates far below the
+DS-CNN even as D̂ and depth grow, because the flat projection cannot absorb
+the timing variation of speech.  Bonsai models are cheap, so they train at
+the paper's own (D̂, T) grid even at CI scale.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, get_scale, pct, trained
+from repro.models.bonsai_kws import BonsaiKWS
+from repro.models.ds_cnn import DSCNN
+
+#: (D̂, T) -> (acc %, ops M, model KB) from the paper
+PAPER_ROWS = {
+    None: (94.4, 2.7, 22.07),
+    (64, 2): (80.20, 0.02, 140.75),
+    (64, 4): (82.92, 0.04, 287.75),
+    (128, 2): (81.56, 0.04, 281.5),
+    (128, 4): (84.38, 0.07, 575.5),
+}
+
+GRID = ((64, 2), (64, 4), (128, 2), (128, 4))
+
+#: Table 2's model sizes imply the authors' input dimensionality (see DESIGN.md)
+PAPER_INPUT_DIM = 392
+
+
+def run(scale: str | None = None, seed: int = 0) -> ExperimentResult:
+    """Train the Bonsai grid and assemble paper-vs-measured rows."""
+    s = get_scale(scale)
+    result = ExperimentResult(
+        "table2", "Table 2: DS-CNN vs standalone Bonsai tree variants on KWS"
+    )
+
+    baseline = trained("ds-cnn", lambda: DSCNN(width=s.width, rng=seed), scale=s, seed=seed)
+    ds_report = DSCNN().cost_report()
+    paper = PAPER_ROWS[None]
+    result.rows.append(
+        {
+            "network": "DS-CNN",
+            "acc%": pct(baseline.test_accuracy),
+            "paper_acc%": paper[0],
+            "ops": f"{ds_report.ops.ops / 1e6:.2f}M",
+            "paper_ops": f"{paper[1]}M",
+            "model": f"{ds_report.model_kb:.2f}KB",
+            "paper_model": f"{paper[2]}KB",
+        }
+    )
+
+    for d_hat, depth in GRID:
+        bonsai = trained(
+            f"bonsai-d{d_hat}-t{depth}",
+            lambda dh=d_hat, t=depth: BonsaiKWS(projection_dim=dh, depth=t, rng=seed),
+            scale=s,
+            loss="hinge",
+            seed=seed,
+        )
+        report = BonsaiKWS(projection_dim=d_hat, depth=depth).cost_report(
+            input_dim=PAPER_INPUT_DIM
+        )
+        paper = PAPER_ROWS[(d_hat, depth)]
+        result.rows.append(
+            {
+                "network": f"Bonsai (D^={d_hat}, T={depth})",
+                "acc%": pct(bonsai.test_accuracy),
+                "paper_acc%": paper[0],
+                "ops": f"{report.ops.ops / 1e6:.2f}M",
+                "paper_ops": f"{paper[1]}M",
+                "model": f"{report.model_kb:.2f}KB",
+                "paper_model": f"{paper[2]}KB",
+            }
+        )
+
+    result.notes.append(
+        f"model sizes priced at the paper's implied input dim D={PAPER_INPUT_DIM} "
+        "(exact match); our measured ops count both W and V matmuls per node, "
+        "~2x the paper's looser accounting"
+    )
+    result.notes.append(
+        "expected shape: Bonsai saturates well below DS-CNN despite much "
+        "larger models, while using >30x fewer ops"
+    )
+    return result

@@ -1,0 +1,114 @@
+"""Table 7 + §5 — gradual pruning and ternary quantization of the DS-CNN.
+
+The comparative analysis: Zhu & Gupta gradual magnitude pruning at
+{0, 50, 75, 90} % sparsity trades accuracy for nonzero parameters, and
+post-training TWN ternarisation shrinks the model to ~10 KB at a ~2 %+
+accuracy cost — both worse deals than ST-HybridNet.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.experiments.common import ExperimentResult, get_dataset, get_scale, pct, trained
+from repro.models.ds_cnn import DSCNN
+from repro.pruning.gradual import GradualPruningCallback
+from repro.pruning.masks import PruningMasks
+from repro.quantization.twn import ternarize_module_weights, twn_size_breakdown
+from repro.training.trainer import evaluate_model
+
+#: sparsity -> (nonzero params K, acc %) from the paper
+PAPER_ROWS = {
+    0.0: (23.18, 94.4),
+    0.5: (11.59, 94.03),
+    0.75: (5.79, 92.37),
+    0.9: (2.31, 87.41),
+}
+
+#: §5: TWN DS-CNN model size and accuracy drop
+PAPER_TWN = {"model_kb": 9.92, "acc_drop": 2.27}
+
+SPARSITIES = (0.0, 0.5, 0.75, 0.9)
+
+
+def _paper_nonzero(sparsity: float) -> float:
+    """Nonzero parameters (K) of the paper-scale DS-CNN at a sparsity."""
+    masks = PruningMasks(DSCNN(rng=0))
+    total_prunable = masks.total_parameters()
+    unprunable = DSCNN(rng=0).num_parameters() - total_prunable
+    return (unprunable + total_prunable * (1.0 - sparsity)) / 1e3
+
+
+def run(scale: str | None = None, seed: int = 0) -> ExperimentResult:
+    """Run the pruning sweep plus the TWN comparison."""
+    s = get_scale(scale)
+    dataset = get_dataset(s)
+    result = ExperimentResult(
+        "table7", "Table 7: DS-CNN model-size vs accuracy under gradual pruning"
+    )
+
+    dense = trained("ds-cnn", lambda: DSCNN(width=s.width, rng=seed), scale=s, seed=seed)
+
+    for sparsity in SPARSITIES:
+        if sparsity == 0.0:
+            accuracy = dense.test_accuracy
+            model = dense.model
+        else:
+            steps_per_epoch = max(len(dataset.labels("train")) // s.batch_size, 1)
+            end_step = max(2 * s.epochs * steps_per_epoch // 3, 10)
+            pruned = trained(
+                f"ds-cnn-pruned-{sparsity:g}",
+                lambda: DSCNN(width=s.width, rng=seed),
+                scale=s,
+                seed=seed,
+                callbacks=lambda _s, sp=sparsity, es=end_step: [
+                    GradualPruningCallback(
+                        final_sparsity=sp, begin_step=0, end_step=es, frequency=5
+                    )
+                ],
+            )
+            accuracy = pruned.test_accuracy
+            model = pruned.model
+        # count surviving weights directly off the parameters (cache-safe)
+        measured_nonzero = sum(int((p.data != 0).sum()) for p in model.parameters()) / 1e3
+        paper = PAPER_ROWS[sparsity]
+        result.rows.append(
+            {
+                "sparsity": f"{sparsity * 100:.0f}%",
+                "acc%": pct(accuracy),
+                "paper_acc%": paper[1],
+                "nonzero(meas)": f"{measured_nonzero:.2f}K",
+                "nonzero(paper-scale)": f"{_paper_nonzero(sparsity):.2f}K",
+                "paper_nonzero": f"{paper[0]}K",
+            }
+        )
+
+    # §5 ternary-quantization comparison on the same trained DS-CNN
+    twn_model = copy.deepcopy(dense.model)
+    alphas = ternarize_module_weights(twn_model)
+    x_test, y_test = dataset.arrays("test")
+    twn_accuracy = evaluate_model(twn_model, x_test, y_test)
+    paper_alphas = {  # paper-scale size: every conv/fc weight ternarised
+        name: 1.0
+        for name, p in DSCNN(rng=0).named_parameters()
+        if not name.endswith(("bias", "gamma", "beta")) and p.size >= 32
+    }
+    twn_kb = twn_size_breakdown(DSCNN(rng=0), paper_alphas).kb()
+    twn_nonzero = sum(int((p.data != 0).sum()) for p in twn_model.parameters())
+    result.rows.append(
+        {
+            "sparsity": "TWN (ternary)",
+            "acc%": pct(twn_accuracy),
+            "paper_acc%": f"{PAPER_ROWS[0.0][1] - PAPER_TWN['acc_drop']:.2f}",
+            "nonzero(meas)": f"{twn_nonzero / 1e3:.2f}K",
+            "nonzero(paper-scale)": f"{twn_kb:.2f}KB",
+            "paper_nonzero": f"{PAPER_TWN['model_kb']}KB",
+        }
+    )
+    result.notes.append(
+        "expected shape: 50% sparsity nearly free, 75%/90% increasingly "
+        "costly; TWN drops accuracy by multiple points — and (paper §5) "
+        "50% sparse models do not beat ST-HybridNet once index overhead "
+        "and sparse-kernel inefficiency are accounted"
+    )
+    return result

@@ -1,0 +1,31 @@
+"""The KWS model zoo: every baseline of the paper's Table 3.
+
+Architecture constants follow Zhang et al. (2017) where published and are
+otherwise reverse-engineered so the analytic cost model reproduces Table 3's
+parameter counts and operation counts (see each module's docstring for the
+derivation).  All models consume the (N, 49, 10) MFCC tensor and emit 12
+logits; all expose ``cost_report()``.
+"""
+
+from repro.models.ds_cnn import DSCNN
+from repro.models.st_ds_cnn import STDSCNN
+from repro.models.cnn import CNN
+from repro.models.dnn import DNN
+from repro.models.rnn_models import CRNN, GRUModel, LSTMModel, basic_lstm, projected_lstm
+from repro.models.bonsai_kws import BonsaiKWS
+from repro.models.zoo import MODELS, build_model
+
+__all__ = [
+    "DSCNN",
+    "STDSCNN",
+    "CNN",
+    "DNN",
+    "LSTMModel",
+    "basic_lstm",
+    "projected_lstm",
+    "GRUModel",
+    "CRNN",
+    "BonsaiKWS",
+    "MODELS",
+    "build_model",
+]

@@ -1,0 +1,101 @@
+"""CNN baseline (Table 3: 2.5 M ops, 67.6 KB, 91.6 %).
+
+Follows the cnn-trad-fpool3 lineage used by Zhang et al.: two standard
+convolutions followed by a low-rank linear layer and a small FC stack.
+Constants are chosen so the analytic costs land on Table 3's row
+(≈2.5 M MACs, ≈69 K 8-bit parameters).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.autodiff.tensor import Tensor
+from repro.costmodel.layers import conv2d_counts, linear_counts
+from repro.costmodel.memory import SizeBreakdown
+from repro.costmodel.report import CostReport
+from repro.nn import BatchNorm2d, Conv2d, GlobalAvgPool2d, Linear, Module
+from repro.utils.rng import SeedLike, new_rng
+
+
+class CNN(Module):
+    """Two-conv KWS baseline."""
+
+    def __init__(
+        self,
+        num_labels: int = 12,
+        conv1_filters: int = 28,
+        conv2_filters: int = 30,
+        linear_dim: int = 16,
+        dnn_dim: int = 128,
+        input_shape: Tuple[int, int] = (49, 10),
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.num_labels = num_labels
+        self.input_shape = input_shape
+        self.conv1_filters = conv1_filters
+        self.conv2_filters = conv2_filters
+        self.linear_dim = linear_dim
+        self.dnn_dim = dnn_dim
+
+        self.conv1 = Conv2d(1, conv1_filters, (10, 4), stride=1, padding=0, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(conv1_filters)
+        self.conv2 = Conv2d(
+            conv1_filters, conv2_filters, (10, 4), stride=(2, 1), padding=0, bias=False, rng=rng
+        )
+        self.bn2 = BatchNorm2d(conv2_filters)
+        h2, w2 = self._conv_out_hw()
+        self.flat_dim = conv2_filters * h2 * w2
+        self.linear = Linear(self.flat_dim, linear_dim, rng=rng)
+        self.dnn = Linear(linear_dim, dnn_dim, rng=rng)
+        self.fc = Linear(dnn_dim, num_labels, rng=rng)
+
+    def _conv_out_hw(self) -> Tuple[int, int]:
+        t, f = self.input_shape
+        h1, w1 = t - 10 + 1, f - 4 + 1
+        return (h1 - 10) // 2 + 1, w1 - 4 + 1
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim == 3:
+            x = x.reshape(x.shape[0], 1, x.shape[1], x.shape[2])
+        x = self.bn1(self.conv1(x)).relu()
+        x = self.bn2(self.conv2(x)).relu()
+        x = x.flatten(1)
+        x = self.linear(x)
+        x = self.dnn(x).relu()
+        return self.fc(x)
+
+    def cost_report(self, weight_bits: int = 8, act_bits: int = 8, name: Optional[str] = None) -> CostReport:
+        """Analytic inference cost."""
+        t, f = self.input_shape
+        h1, w1 = t - 10 + 1, f - 4 + 1
+        h2, w2 = self._conv_out_hw()
+        ops = conv2d_counts(1, self.conv1_filters, (10, 4), (h1, w1))
+        ops = ops + conv2d_counts(self.conv1_filters, self.conv2_filters, (10, 4), (h2, w2))
+        ops = ops + linear_counts(self.flat_dim, self.linear_dim)
+        ops = ops + linear_counts(self.linear_dim, self.dnn_dim)
+        ops = ops + linear_counts(self.dnn_dim, self.num_labels)
+
+        size = SizeBreakdown()
+        size.add("conv1.w", self.conv1_filters * 40, weight_bits)
+        size.add("conv1.b", self.conv1_filters, weight_bits)
+        size.add("conv2.w", self.conv2_filters * self.conv1_filters * 40, weight_bits)
+        size.add("conv2.b", self.conv2_filters, weight_bits)
+        size.add("linear.w", self.flat_dim * self.linear_dim, weight_bits)
+        size.add("linear.b", self.linear_dim, weight_bits)
+        size.add("dnn.w", self.linear_dim * self.dnn_dim, weight_bits)
+        size.add("dnn.b", self.dnn_dim, weight_bits)
+        size.add("fc.w", self.dnn_dim * self.num_labels, weight_bits)
+        size.add("fc.b", self.num_labels, weight_bits)
+
+        acts = [
+            t * f * act_bits / 8.0,
+            h1 * w1 * self.conv1_filters * act_bits / 8.0,
+            h2 * w2 * self.conv2_filters * act_bits / 8.0,
+            self.linear_dim * act_bits / 8.0,
+            self.dnn_dim * act_bits / 8.0,
+            self.num_labels * act_bits / 8.0,
+        ]
+        return CostReport(name or "CNN", ops, size, acts)

@@ -1,0 +1,59 @@
+"""DNN baseline (Table 3: 0.08 M ops, 77.8 KB, 84.6 %).
+
+A plain MLP over the flattened MFCC "image": 490 → 128 → 128 → 12, giving
+≈80.6 K parameters ≈ 0.08 M MACs — Table 3's DNN row (for an MLP,
+parameters ≈ MACs, which is why the paper's DNN is tiny in ops but large in
+bytes).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.autodiff.tensor import Tensor
+from repro.costmodel.layers import linear_counts
+from repro.costmodel.memory import SizeBreakdown
+from repro.costmodel.report import CostReport
+from repro.nn import Linear, Module
+from repro.utils.rng import SeedLike, new_rng
+
+
+class DNN(Module):
+    """Fully-connected KWS baseline."""
+
+    def __init__(
+        self,
+        num_labels: int = 12,
+        hidden: Sequence[int] = (128, 128),
+        input_shape: Tuple[int, int] = (49, 10),
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.num_labels = num_labels
+        self.hidden = tuple(hidden)
+        self.input_shape = input_shape
+        self.input_dim = input_shape[0] * input_shape[1]
+        dims = [self.input_dim, *self.hidden]
+        for i, (din, dout) in enumerate(zip(dims[:-1], dims[1:])):
+            setattr(self, f"fc{i}", Linear(din, dout, rng=rng))
+        self.out = Linear(dims[-1], num_labels, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x.flatten(1)
+        for i in range(len(self.hidden)):
+            x = getattr(self, f"fc{i}")(x).relu()
+        return self.out(x)
+
+    def cost_report(self, weight_bits: int = 8, act_bits: int = 8, name: Optional[str] = None) -> CostReport:
+        """Analytic inference cost."""
+        dims = [self.input_dim, *self.hidden, self.num_labels]
+        ops = linear_counts(dims[0], dims[1])
+        for din, dout in zip(dims[1:-1], dims[2:]):
+            ops = ops + linear_counts(din, dout)
+        size = SizeBreakdown()
+        for i, (din, dout) in enumerate(zip(dims[:-1], dims[1:])):
+            size.add(f"fc{i}.w", din * dout, weight_bits)
+            size.add(f"fc{i}.b", dout, weight_bits)
+        acts = [d * act_bits / 8.0 for d in dims]
+        return CostReport(name or "DNN", ops, size, acts)

@@ -1,0 +1,112 @@
+"""DS-CNN — the paper's state-of-the-art KWS baseline (Zhang et al. 2017).
+
+Paper-scale architecture (``width=64``, ``num_ds_blocks=4``) on the 49x10
+MFCC input:
+
+    Conv(64, 10x4, s2x2, p5x1) → BN → ReLU
+    4 x [DWConv 3x3 → BN → ReLU → PWConv 1x1 → BN → ReLU]
+    global average pool → FC(12)
+
+Analytic costs: 2.73 M MACs and 22 604 8-bit parameters = 22.07 KB — the
+exact Table 3 row.  ``width`` scales the experiment down for CI runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.autodiff.tensor import Tensor
+from repro.costmodel.counts import OpCounts
+from repro.costmodel.layers import conv2d_counts, depthwise_conv2d_counts, linear_counts
+from repro.costmodel.memory import SizeBreakdown
+from repro.costmodel.report import CostReport
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    DSConvBlock,
+    GlobalAvgPool2d,
+    Linear,
+    Module,
+)
+from repro.utils.rng import SeedLike, new_rng
+
+
+class DSCNN(Module):
+    """Depthwise-separable CNN for keyword spotting."""
+
+    def __init__(
+        self,
+        num_labels: int = 12,
+        width: int = 64,
+        num_ds_blocks: int = 4,
+        input_shape: Tuple[int, int] = (49, 10),
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.num_labels = num_labels
+        self.width = width
+        self.num_ds_blocks = num_ds_blocks
+        self.input_shape = input_shape
+
+        self.conv1 = Conv2d(
+            1, width, (10, 4), stride=(2, 2), padding=(5, 1), bias=False, rng=rng
+        )
+        self.bn1 = BatchNorm2d(width)
+        for i in range(num_ds_blocks):
+            setattr(self, f"ds{i}", DSConvBlock(width, width, 3, padding=1, rng=rng))
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(width, num_labels, rng=rng)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def feature_hw(self) -> Tuple[int, int]:
+        """Spatial size after conv1 (and every DS block, stride 1)."""
+        t, f = self.input_shape
+        return ((t + 2 * 5 - 10) // 2 + 1, (f + 2 * 1 - 4) // 2 + 1)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim == 3:
+            x = x.reshape(x.shape[0], 1, x.shape[1], x.shape[2])
+        x = self.bn1(self.conv1(x)).relu()
+        for i in range(self.num_ds_blocks):
+            x = getattr(self, f"ds{i}")(x)
+        return self.fc(self.pool(x))
+
+    # ------------------------------------------------------------------ #
+
+    def cost_report(
+        self,
+        weight_bits: int = 8,
+        act_bits: int = 8,
+        name: Optional[str] = None,
+    ) -> CostReport:
+        """Analytic inference cost (deployed: batch norm folded into bias)."""
+        oh, ow = self.feature_hw
+        w = self.width
+        ops = conv2d_counts(1, w, (10, 4), (oh, ow))
+        for _ in range(self.num_ds_blocks):
+            ops = ops + depthwise_conv2d_counts(w, (3, 3), (oh, ow))
+            ops = ops + conv2d_counts(w, w, (1, 1), (oh, ow))
+        ops = ops + linear_counts(w, self.num_labels)
+
+        size = SizeBreakdown()
+        size.add("conv1.w", w * 1 * 10 * 4, weight_bits)
+        size.add("conv1.b", w, weight_bits)
+        for i in range(self.num_ds_blocks):
+            size.add(f"ds{i}.dw.w", w * 3 * 3, weight_bits)
+            size.add(f"ds{i}.dw.b", w, weight_bits)
+            size.add(f"ds{i}.pw.w", w * w, weight_bits)
+            size.add(f"ds{i}.pw.b", w, weight_bits)
+        size.add("fc.w", w * self.num_labels, weight_bits)
+        size.add("fc.b", self.num_labels, weight_bits)
+
+        t, f = self.input_shape
+        acts = [t * f * act_bits / 8.0, oh * ow * w * act_bits / 8.0]
+        for _ in range(self.num_ds_blocks):
+            acts.append(oh * ow * w * act_bits / 8.0)  # depthwise output
+            acts.append(oh * ow * w * act_bits / 8.0)  # pointwise output
+        acts.append(w * act_bits / 8.0)
+        acts.append(self.num_labels * act_bits / 8.0)
+        return CostReport(name or "DS-CNN", ops, size, acts)

@@ -1,0 +1,215 @@
+"""Recurrent KWS baselines: Basic LSTM, LSTM (projected), GRU, CRNN.
+
+The paper takes these rows from Zhang et al. (2017) without republishing
+hyperparameters, so the constants below are reverse-engineered from Table 3
+itself (parameters ≈ model-size bytes at 8 bits; ops ≈ per-step MACs x
+steps):
+
+* **Basic LSTM** — H=118 over all 49 frames: 4·118·(10+118) ≈ 60.4 K params,
+  x49 ≈ 2.96 M ops (paper: 2.95 M / 60.9 KB).
+* **LSTM** (with recurrent projection) — H=188, P=78, frame stride 2
+  (25 steps): ≈80.8 K params, ≈2.0 M ops (paper: 1.95 M / 76.8 KB).
+* **GRU** — H=154, stride 2: 3·154·(10+154) ≈ 75.8 K params, x25 ≈ 1.89 M
+  ops (paper: 1.9 M / 76.3 KB — exact).
+* **CRNN** — Conv(48, 10x4, s3x2) → GRU(H=80) over the 17 conv frames →
+  FC: ≈1.5 M ops (paper: 1.5 M / 73.7 KB).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.autodiff.tensor import Tensor
+from repro.costmodel.counts import OpCounts
+from repro.costmodel.layers import conv2d_counts, linear_counts
+from repro.costmodel.memory import SizeBreakdown
+from repro.costmodel.report import CostReport
+from repro.nn import GRU, LSTM, BatchNorm2d, Conv2d, Linear, Module
+from repro.utils.rng import SeedLike, new_rng
+
+
+class LSTMModel(Module):
+    """LSTM baseline; ``proj_size=None`` gives the "Basic LSTM" row."""
+
+    def __init__(
+        self,
+        num_labels: int = 12,
+        hidden_size: int = 118,
+        proj_size: Optional[int] = None,
+        frame_stride: int = 1,
+        input_shape: Tuple[int, int] = (49, 10),
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.num_labels = num_labels
+        self.hidden_size = hidden_size
+        self.proj_size = proj_size
+        self.frame_stride = frame_stride
+        self.input_shape = input_shape
+        self.lstm = LSTM(input_shape[1], hidden_size, proj_size=proj_size, rng=rng)
+        self.fc = Linear(proj_size or hidden_size, num_labels, rng=rng)
+
+    @property
+    def num_steps(self) -> int:
+        """Recurrent steps after frame subsampling."""
+        return (self.input_shape[0] + self.frame_stride - 1) // self.frame_stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.frame_stride > 1:
+            x = x[:, :: self.frame_stride, :]
+        return self.fc(self.lstm(x))
+
+    def cost_report(self, weight_bits: int = 8, act_bits: int = 8, name: Optional[str] = None) -> CostReport:
+        """Analytic inference cost."""
+        h, p, i = self.hidden_size, self.proj_size, self.input_shape[1]
+        out_size = p or h
+        per_step = 4 * h * (i + out_size) + 4 * h  # gates + biases
+        if p:
+            per_step += p * h  # recurrent projection
+        macs = per_step * self.num_steps
+        ops = OpCounts(macs=macs) + linear_counts(out_size, self.num_labels)
+
+        size = SizeBreakdown()
+        size.add("lstm.w_ih", 4 * h * i, weight_bits)
+        size.add("lstm.w_hh", 4 * h * out_size, weight_bits)
+        size.add("lstm.bias", 4 * h, weight_bits)
+        if p:
+            size.add("lstm.projection", p * h, weight_bits)
+        size.add("fc.w", out_size * self.num_labels, weight_bits)
+        size.add("fc.b", self.num_labels, weight_bits)
+
+        acts = [
+            self.input_shape[0] * i * act_bits / 8.0,
+            (out_size + h) * act_bits / 8.0,  # recurrent state
+            self.num_labels * act_bits / 8.0,
+        ]
+        default = "LSTM" if p else "Basic LSTM"
+        return CostReport(name or default, ops, size, acts)
+
+
+def basic_lstm(num_labels: int = 12, rng: SeedLike = None, **kwargs) -> LSTMModel:
+    """Table 3 "Basic LSTM" row configuration."""
+    kwargs.setdefault("hidden_size", 118)
+    return LSTMModel(num_labels=num_labels, proj_size=None, frame_stride=1, rng=rng, **kwargs)
+
+
+def projected_lstm(num_labels: int = 12, rng: SeedLike = None, **kwargs) -> LSTMModel:
+    """Table 3 "LSTM" (projected) row configuration."""
+    kwargs.setdefault("hidden_size", 188)
+    kwargs.setdefault("proj_size", 78)
+    return LSTMModel(num_labels=num_labels, frame_stride=2, rng=rng, **kwargs)
+
+
+class GRUModel(Module):
+    """GRU baseline (Table 3 "GRU" row)."""
+
+    def __init__(
+        self,
+        num_labels: int = 12,
+        hidden_size: int = 154,
+        frame_stride: int = 2,
+        input_shape: Tuple[int, int] = (49, 10),
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.num_labels = num_labels
+        self.hidden_size = hidden_size
+        self.frame_stride = frame_stride
+        self.input_shape = input_shape
+        self.gru = GRU(input_shape[1], hidden_size, rng=rng)
+        self.fc = Linear(hidden_size, num_labels, rng=rng)
+
+    @property
+    def num_steps(self) -> int:
+        """Recurrent steps after frame subsampling."""
+        return (self.input_shape[0] + self.frame_stride - 1) // self.frame_stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.frame_stride > 1:
+            x = x[:, :: self.frame_stride, :]
+        return self.fc(self.gru(x))
+
+    def cost_report(self, weight_bits: int = 8, act_bits: int = 8, name: Optional[str] = None) -> CostReport:
+        """Analytic inference cost."""
+        h, i = self.hidden_size, self.input_shape[1]
+        per_step = 3 * h * (i + h) + 3 * h
+        ops = OpCounts(macs=per_step * self.num_steps) + linear_counts(h, self.num_labels)
+        size = SizeBreakdown()
+        size.add("gru.w_ih", 3 * h * i, weight_bits)
+        size.add("gru.w_hh", 3 * h * h, weight_bits)
+        size.add("gru.bias", 3 * h, weight_bits)
+        size.add("fc.w", h * self.num_labels, weight_bits)
+        size.add("fc.b", self.num_labels, weight_bits)
+        acts = [
+            self.input_shape[0] * i * act_bits / 8.0,
+            h * act_bits / 8.0,
+            self.num_labels * act_bits / 8.0,
+        ]
+        return CostReport(name or "GRU", ops, size, acts)
+
+
+class CRNN(Module):
+    """Convolutional-recurrent baseline (Table 3 "CRNN" row).
+
+    One strided convolution compresses the spectrogram into 17 frames of
+    ``conv_filters x 5`` features, a GRU summarises them, an FC classifies.
+    """
+
+    def __init__(
+        self,
+        num_labels: int = 12,
+        conv_filters: int = 48,
+        gru_hidden: int = 80,
+        input_shape: Tuple[int, int] = (49, 10),
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.num_labels = num_labels
+        self.conv_filters = conv_filters
+        self.gru_hidden = gru_hidden
+        self.input_shape = input_shape
+        self.conv1 = Conv2d(
+            1, conv_filters, (10, 4), stride=(3, 2), padding=(5, 1), bias=False, rng=rng
+        )
+        self.bn1 = BatchNorm2d(conv_filters)
+        t, f = input_shape
+        self.out_t = (t + 2 * 5 - 10) // 3 + 1
+        self.out_f = (f + 2 * 1 - 4) // 2 + 1
+        self.gru = GRU(conv_filters * self.out_f, gru_hidden, rng=rng)
+        self.fc = Linear(gru_hidden, num_labels, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim == 3:
+            x = x.reshape(x.shape[0], 1, x.shape[1], x.shape[2])
+        x = self.bn1(self.conv1(x)).relu()  # (N, C, T', F')
+        n, c, t, f = x.shape
+        x = x.transpose(0, 2, 1, 3).reshape(n, t, c * f)
+        return self.fc(self.gru(x))
+
+    def cost_report(self, weight_bits: int = 8, act_bits: int = 8, name: Optional[str] = None) -> CostReport:
+        """Analytic inference cost."""
+        c, h = self.conv_filters, self.gru_hidden
+        feat = c * self.out_f
+        ops = conv2d_counts(1, c, (10, 4), (self.out_t, self.out_f))
+        per_step = 3 * h * (feat + h) + 3 * h
+        ops = ops + OpCounts(macs=per_step * self.out_t)
+        ops = ops + linear_counts(h, self.num_labels)
+        size = SizeBreakdown()
+        size.add("conv1.w", c * 40, weight_bits)
+        size.add("conv1.b", c, weight_bits)
+        size.add("gru.w_ih", 3 * h * feat, weight_bits)
+        size.add("gru.w_hh", 3 * h * h, weight_bits)
+        size.add("gru.bias", 3 * h, weight_bits)
+        size.add("fc.w", h * self.num_labels, weight_bits)
+        size.add("fc.b", self.num_labels, weight_bits)
+        t, f = self.input_shape
+        acts = [
+            t * f * act_bits / 8.0,
+            self.out_t * self.out_f * c * act_bits / 8.0,
+            h * act_bits / 8.0,
+            self.num_labels * act_bits / 8.0,
+        ]
+        return CostReport(name or "CRNN", ops, size, acts)

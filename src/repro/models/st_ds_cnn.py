@@ -1,0 +1,133 @@
+"""ST-DS-CNN — the strassenified DS-CNN of paper §2.1 (Table 1).
+
+Every conv layer (and the final FC) of the DS-CNN baseline is replaced with
+a ternary SPN: the standard/pointwise convs at hidden width
+``r = r_fraction·c_out``, the depthwise convs with the grouped SPN, the FC
+with ``r = r_fraction·L``.  Table 1 sweeps ``r_fraction`` ∈
+{0.5, 0.75, 1, 2}; the analytic adds explode with r — the paper's central
+observation about strassenifying DS-dominated networks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.autodiff.tensor import Tensor
+from repro.core.hybrid.blocks import StrassenDSConvBlock
+from repro.core.strassen.layers import StrassenConv2d, StrassenLinear
+from repro.costmodel.counts import OpCounts
+from repro.costmodel.layers import (
+    strassen_conv2d_counts,
+    strassen_depthwise_counts,
+    strassen_linear_counts,
+)
+from repro.costmodel.memory import SizeBreakdown
+from repro.costmodel.report import CostReport
+from repro.nn import BatchNorm2d, GlobalAvgPool2d, Module
+from repro.utils.rng import SeedLike, new_rng
+
+TERNARY_BITS = 2
+
+
+class STDSCNN(Module):
+    """Strassenified DS-CNN with configurable hidden-width fraction."""
+
+    def __init__(
+        self,
+        num_labels: int = 12,
+        width: int = 64,
+        num_ds_blocks: int = 4,
+        r_fraction: float = 0.75,
+        input_shape: Tuple[int, int] = (49, 10),
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.num_labels = num_labels
+        self.width = width
+        self.num_ds_blocks = num_ds_blocks
+        self.r_fraction = r_fraction
+        self.input_shape = input_shape
+        r = self.conv_r
+
+        self.conv1 = StrassenConv2d(
+            1, width, (10, 4), r=r, stride=(2, 2), padding=(5, 1), bias=False, rng=rng
+        )
+        self.bn1 = BatchNorm2d(width)
+        for i in range(num_ds_blocks):
+            setattr(self, f"ds{i}", StrassenDSConvBlock(width, width, r=r, padding=1, rng=rng))
+        self.pool = GlobalAvgPool2d()
+        self.fc = StrassenLinear(width, num_labels, r=self.fc_r, rng=rng)
+
+    @property
+    def conv_r(self) -> int:
+        """Strassen hidden width of standard/pointwise conv layers."""
+        return max(1, round(self.r_fraction * self.width))
+
+    @property
+    def fc_r(self) -> int:
+        """Strassen hidden width of the classifier FC."""
+        return max(1, round(self.r_fraction * self.num_labels))
+
+    @property
+    def feature_hw(self) -> Tuple[int, int]:
+        """Spatial size after conv1."""
+        t, f = self.input_shape
+        return ((t + 2 * 5 - 10) // 2 + 1, (f + 2 * 1 - 4) // 2 + 1)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim == 3:
+            x = x.reshape(x.shape[0], 1, x.shape[1], x.shape[2])
+        x = self.bn1(self.conv1(x)).relu()
+        for i in range(self.num_ds_blocks):
+            x = getattr(self, f"ds{i}")(x)
+        return self.fc(self.pool(x))
+
+    def cost_report(
+        self,
+        a_hat_bits: int = 32,
+        bias_bits: int = 32,
+        act_bits: int = 8,
+        name: Optional[str] = None,
+    ) -> CostReport:
+        """Analytic cost of the deployed (collapsed, BN-folded) network."""
+        oh, ow = self.feature_hw
+        w, r = self.width, self.conv_r
+
+        ops = strassen_conv2d_counts(1, w, (10, 4), (oh, ow), r)
+        for _ in range(self.num_ds_blocks):
+            ops = ops + strassen_depthwise_counts(w, (3, 3), (oh, ow))
+            ops = ops + strassen_conv2d_counts(w, w, (1, 1), (oh, ow), r)
+        ops = ops + strassen_linear_counts(w, self.num_labels, self.fc_r)
+
+        size = SizeBreakdown()
+        size.add("conv1.wb", r * 40, TERNARY_BITS)
+        size.add("conv1.wc", w * r, TERNARY_BITS)
+        size.add("conv1.a_hat", r, a_hat_bits)
+        size.add("conv1.bias", w, bias_bits)
+        for i in range(self.num_ds_blocks):
+            size.add(f"ds{i}.dw.wb", w * 9, TERNARY_BITS)
+            size.add(f"ds{i}.dw.wc", w, TERNARY_BITS)
+            size.add(f"ds{i}.dw.a_hat", w, a_hat_bits)
+            size.add(f"ds{i}.dw.bias", w, bias_bits)
+            size.add(f"ds{i}.pw.wb", r * w, TERNARY_BITS)
+            size.add(f"ds{i}.pw.wc", w * r, TERNARY_BITS)
+            size.add(f"ds{i}.pw.a_hat", r, a_hat_bits)
+            size.add(f"ds{i}.pw.bias", w, bias_bits)
+        size.add("fc.wb", self.fc_r * w, TERNARY_BITS)
+        size.add("fc.wc", self.num_labels * self.fc_r, TERNARY_BITS)
+        size.add("fc.a_hat", self.fc_r, a_hat_bits)
+        size.add("fc.bias", self.num_labels, bias_bits)
+
+        t, f = self.input_shape
+        plane = oh * ow
+        acts = [t * f * act_bits / 8.0, plane * r * act_bits / 8.0, plane * w * act_bits / 8.0]
+        for _ in range(self.num_ds_blocks):
+            acts.append(plane * w * act_bits / 8.0)
+            acts.append(plane * w * act_bits / 8.0)
+            acts.append(plane * r * act_bits / 8.0)
+            acts.append(plane * w * act_bits / 8.0)
+        acts.append(w * act_bits / 8.0)
+        acts.append(self.num_labels * act_bits / 8.0)
+        label = name or f"ST-DS-CNN (r={self.r_fraction:g}c_out)"
+        return CostReport(label, ops, size, acts)

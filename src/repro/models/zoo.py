@@ -1,0 +1,77 @@
+"""Model registry: every network of Tables 1–5 by name."""
+
+from __future__ import annotations
+
+from repro.core.hybrid.config import HybridConfig
+from repro.core.hybrid.network import HybridNet
+from repro.core.hybrid.strassenified import STHybridNet
+from repro.models.bonsai_kws import BonsaiKWS
+from repro.models.cnn import CNN
+from repro.models.dnn import DNN
+from repro.models.ds_cnn import DSCNN
+from repro.models.rnn_models import CRNN, GRUModel, basic_lstm, projected_lstm
+from repro.models.st_ds_cnn import STDSCNN
+from repro.nn.module import Module
+from repro.utils.registry import Registry
+
+MODELS: Registry[Module] = Registry("model")
+
+
+@MODELS.register("ds-cnn")
+def _ds_cnn(**kwargs) -> DSCNN:
+    return DSCNN(**kwargs)
+
+
+@MODELS.register("st-ds-cnn")
+def _st_ds_cnn(**kwargs) -> STDSCNN:
+    return STDSCNN(**kwargs)
+
+
+@MODELS.register("cnn")
+def _cnn(**kwargs) -> CNN:
+    return CNN(**kwargs)
+
+
+@MODELS.register("dnn")
+def _dnn(**kwargs) -> DNN:
+    return DNN(**kwargs)
+
+
+@MODELS.register("basic-lstm")
+def _basic_lstm(**kwargs):
+    return basic_lstm(**kwargs)
+
+
+@MODELS.register("lstm")
+def _lstm(**kwargs):
+    return projected_lstm(**kwargs)
+
+
+@MODELS.register("gru")
+def _gru(**kwargs) -> GRUModel:
+    return GRUModel(**kwargs)
+
+
+@MODELS.register("crnn")
+def _crnn(**kwargs) -> CRNN:
+    return CRNN(**kwargs)
+
+
+@MODELS.register("bonsai")
+def _bonsai(**kwargs) -> BonsaiKWS:
+    return BonsaiKWS(**kwargs)
+
+
+@MODELS.register("hybrid")
+def _hybrid(config: HybridConfig | None = None, **kwargs) -> HybridNet:
+    return HybridNet(config=config, **kwargs)
+
+
+@MODELS.register("st-hybrid")
+def _st_hybrid(config: HybridConfig | None = None, **kwargs) -> STHybridNet:
+    return STHybridNet(config=config, **kwargs)
+
+
+def build_model(name: str, **kwargs) -> Module:
+    """Instantiate a registered model by name."""
+    return MODELS.get(name)(**kwargs)

@@ -1,0 +1,45 @@
+"""Neural-network layers on top of :mod:`repro.autodiff`.
+
+Mirrors the small subset of a torch-like ``nn`` API that the paper's models
+need: parameter/module management, dense and (depthwise-separable)
+convolutional layers, batch normalisation with inference-time folding,
+recurrent cells for the KWS baselines, and containers.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.linear import Linear
+from repro.nn.conv import Conv2d, DepthwiseConv2d, DSConvBlock, PointwiseConv2d
+from repro.nn.norm import BatchNorm1d, BatchNorm2d, fold_bn_into_conv
+from repro.nn.activations import Identity, ReLU, Sigmoid, Softmax, Tanh
+from repro.nn.pooling import AvgPool2d, GlobalAvgPool2d
+from repro.nn.dropout import Dropout
+from repro.nn.rnn import GRU, LSTM, GRUCell, LSTMCell
+from repro.nn.sequential import Sequential
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Conv2d",
+    "DepthwiseConv2d",
+    "PointwiseConv2d",
+    "DSConvBlock",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "fold_bn_into_conv",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Softmax",
+    "Identity",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Dropout",
+    "LSTMCell",
+    "GRUCell",
+    "LSTM",
+    "GRU",
+    "Sequential",
+    "init",
+]

@@ -1,0 +1,45 @@
+"""Activation-function modules (thin wrappers over Tensor methods)."""
+
+from __future__ import annotations
+
+from repro.autodiff.tensor import Tensor
+from repro.nn.module import Module
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Softmax(Module):
+    """Softmax along ``axis`` (default last)."""
+
+    def __init__(self, axis: int = -1) -> None:
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.softmax(axis=self.axis)
+
+
+class Identity(Module):
+    """No-op module (placeholder in configurable architectures)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x

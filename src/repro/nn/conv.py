@@ -1,0 +1,143 @@
+"""Convolutional layers: standard, depthwise, pointwise, and the DS block.
+
+A *depthwise-separable (DS) convolution* — the workhorse of the paper's
+DS-CNN baseline and of the hybrid network's feature extractor — factorises a
+standard convolution into a per-channel ``KxK`` depthwise filter followed by
+a ``1x1`` pointwise (channel-mixing) convolution, each followed by batch norm
+and ReLU as in Zhang et al. (2017).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from repro.autodiff.ops_conv import IntPair, _pair, conv2d, depthwise_conv2d
+from repro.autodiff.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.norm import BatchNorm2d
+from repro.utils.rng import SeedLike, new_rng
+
+
+class Conv2d(Module):
+    """Standard 2-D convolution over NCHW tensors.
+
+    ``weight`` has shape (out_channels, in_channels, KH, KW).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: IntPair,
+        stride: IntPair = 1,
+        padding: IntPair = 0,
+        bias: bool = True,
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride)
+        self.padding = _pair(padding)
+        kh, kw = self.kernel_size
+        fan_in = in_channels * kh * kw
+        self.weight = Parameter(
+            init.kaiming_uniform((out_channels, in_channels, kh, kw), fan_in, rng=rng),
+            name="conv.weight",
+        )
+        self.bias: Optional[Parameter] = (
+            Parameter(init.zeros(out_channels), name="conv.bias") if bias else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def extra_repr(self) -> str:
+        return (
+            f"{self.in_channels}->{self.out_channels}, k={self.kernel_size}, "
+            f"s={self.stride}, p={self.padding}, bias={self.bias is not None}"
+        )
+
+
+class DepthwiseConv2d(Module):
+    """Depthwise convolution (channel multiplier 1); weight (C, KH, KW)."""
+
+    def __init__(
+        self,
+        channels: int,
+        kernel_size: IntPair,
+        stride: IntPair = 1,
+        padding: IntPair = 1,
+        bias: bool = True,
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.channels = channels
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride)
+        self.padding = _pair(padding)
+        kh, kw = self.kernel_size
+        self.weight = Parameter(
+            init.kaiming_uniform((channels, kh, kw), fan_in=kh * kw, rng=rng),
+            name="dwconv.weight",
+        )
+        self.bias: Optional[Parameter] = (
+            Parameter(init.zeros(channels), name="dwconv.bias") if bias else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return depthwise_conv2d(
+            x, self.weight, self.bias, stride=self.stride, padding=self.padding
+        )
+
+    def extra_repr(self) -> str:
+        return f"ch={self.channels}, k={self.kernel_size}, s={self.stride}, p={self.padding}"
+
+
+class PointwiseConv2d(Conv2d):
+    """1x1 convolution — the channel-mixing half of a DS convolution."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        bias: bool = True,
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__(
+            in_channels, out_channels, kernel_size=1, stride=1, padding=0, bias=bias, rng=rng
+        )
+
+
+class DSConvBlock(Module):
+    """Depthwise-separable block: DW conv → BN → ReLU → PW conv → BN → ReLU.
+
+    Matches the DS-CNN building block of Zhang et al. (2017) exactly; the
+    paper's hybrid network reuses it for feature extraction.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: IntPair = 3,
+        stride: IntPair = 1,
+        padding: IntPair = 1,
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.depthwise = DepthwiseConv2d(
+            in_channels, kernel_size, stride=stride, padding=padding, bias=False, rng=rng
+        )
+        self.bn_dw = BatchNorm2d(in_channels)
+        self.pointwise = PointwiseConv2d(in_channels, out_channels, bias=False, rng=rng)
+        self.bn_pw = BatchNorm2d(out_channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.bn_dw(self.depthwise(x)).relu()
+        return self.bn_pw(self.pointwise(x)).relu()

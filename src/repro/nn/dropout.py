@@ -1,0 +1,34 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+from repro.nn.module import Module
+from repro.utils.rng import SeedLike, new_rng
+
+
+class Dropout(Module):
+    """Zero each activation with probability ``p`` during training.
+
+    Uses inverted scaling (kept activations multiplied by ``1/(1-p)``) so
+    evaluation is the identity.
+    """
+
+    def __init__(self, p: float = 0.5, rng: SeedLike = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1); got {p}")
+        self.p = p
+        self._rng = new_rng(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(x.dtype) / keep
+        return x * Tensor(mask)
+
+    def extra_repr(self) -> str:
+        return f"p={self.p}"

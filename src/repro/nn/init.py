@@ -1,0 +1,44 @@
+"""Weight initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.tensor import DEFAULT_DTYPE
+from repro.utils.rng import SeedLike, new_rng
+
+
+def kaiming_uniform(shape, fan_in: int, rng: SeedLike = None) -> np.ndarray:
+    """He/Kaiming uniform: U(-sqrt(6/fan_in), +sqrt(6/fan_in)).
+
+    The default for layers followed by ReLU.
+    """
+    rng = new_rng(rng)
+    bound = float(np.sqrt(6.0 / max(fan_in, 1)))
+    return rng.uniform(-bound, bound, size=shape).astype(DEFAULT_DTYPE)
+
+
+def glorot_uniform(shape, fan_in: int, fan_out: int, rng: SeedLike = None) -> np.ndarray:
+    """Glorot/Xavier uniform: U(±sqrt(6/(fan_in+fan_out))).
+
+    Used for tanh/sigmoid-activated layers (Bonsai nodes, RNN gates).
+    """
+    rng = new_rng(rng)
+    bound = float(np.sqrt(6.0 / max(fan_in + fan_out, 1)))
+    return rng.uniform(-bound, bound, size=shape).astype(DEFAULT_DTYPE)
+
+
+def normal(shape, std: float = 0.01, rng: SeedLike = None) -> np.ndarray:
+    """Zero-mean Gaussian with standard deviation ``std``."""
+    rng = new_rng(rng)
+    return (rng.standard_normal(size=shape) * std).astype(DEFAULT_DTYPE)
+
+
+def zeros(shape) -> np.ndarray:
+    """All-zero array in the default dtype (bias initialisation)."""
+    return np.zeros(shape, dtype=DEFAULT_DTYPE)
+
+
+def ones(shape) -> np.ndarray:
+    """All-one array in the default dtype (batch-norm scale)."""
+    return np.ones(shape, dtype=DEFAULT_DTYPE)

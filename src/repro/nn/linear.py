@@ -1,0 +1,52 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.autodiff.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import SeedLike, new_rng
+
+
+class Linear(Module):
+    """Affine map ``y = x Wᵀ + b`` with ``W`` of shape (out, in).
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output widths.
+    bias:
+        Whether to learn an additive bias.
+    rng:
+        Seed or generator for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.kaiming_uniform((out_features, in_features), fan_in=in_features, rng=rng),
+            name="linear.weight",
+        )
+        self.bias: Optional[Parameter] = (
+            Parameter(init.zeros(out_features), name="linear.bias") if bias else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def extra_repr(self) -> str:
+        return f"in={self.in_features}, out={self.out_features}, bias={self.bias is not None}"

@@ -1,0 +1,168 @@
+"""``Module``/``Parameter`` base classes (torch-style, minimal)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable :class:`Tensor`; always ``requires_grad=True``."""
+
+    def __init__(self, data, name: Optional[str] = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Attribute assignment is introspected: assigning a :class:`Parameter`,
+    a :class:`Tensor` (registered as a non-trainable *buffer*, e.g. batch-norm
+    running statistics) or another :class:`Module` registers it under that
+    attribute name, which makes ``parameters()`` / ``state_dict()`` /
+    ``train()`` recurse automatically.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_buffers", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    # -- registration --------------------------------------------------- #
+
+    def __setattr__(self, name: str, value) -> None:
+        params: Dict[str, Parameter] = self.__dict__.get("_parameters", {})
+        buffers: Dict[str, Tensor] = self.__dict__.get("_buffers", {})
+        modules: Dict[str, Module] = self.__dict__.get("_modules", {})
+        for table in (params, buffers, modules):
+            table.pop(name, None)
+        if isinstance(value, Parameter):
+            params[name] = value
+        elif isinstance(value, Tensor):
+            buffers[name] = value
+        elif isinstance(value, Module):
+            modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: Tensor) -> None:
+        """Register a persistent non-trainable tensor (saved in state_dict)."""
+        setattr(self, name, value if isinstance(value, Tensor) else Tensor(value))
+
+    # -- traversal ------------------------------------------------------ #
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` over the whole subtree."""
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix + name + ".")
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield every trainable parameter in the subtree."""
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
+        """Yield ``(dotted_name, buffer)`` over the whole subtree."""
+        for name, buf in self._buffers.items():
+            yield prefix + name, buf
+        for name, module in self._modules.items():
+            yield from module.named_buffers(prefix + name + ".")
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """Yield ``(dotted_name, module)`` including ``self`` (empty name)."""
+        yield prefix.rstrip("."), self
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix + name + ".")
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield every module in the subtree, including ``self``."""
+        for _, module in self.named_modules():
+            yield module
+
+    def children(self) -> Iterator["Module"]:
+        """Immediate child modules."""
+        return iter(self._modules.values())
+
+    # -- state ----------------------------------------------------------- #
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Flat name → array mapping of parameters and buffers."""
+        state = {name: p.data.copy() for name, p in self.named_parameters()}
+        state.update({name: b.data.copy() for name, b in self.named_buffers()})
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load arrays saved by :meth:`state_dict` (shapes must match)."""
+        own = {name: p for name, p in self.named_parameters()}
+        own.update({name: b for name, b in self.named_buffers()})
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if strict and (missing or unexpected):
+            raise KeyError(
+                f"state_dict mismatch; missing={sorted(missing)} "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, tensor in own.items():
+            if name not in state:
+                continue
+            value = np.asarray(state[name], dtype=tensor.dtype)
+            if value.shape != tensor.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: checkpoint {value.shape} "
+                    f"vs model {tensor.shape}"
+                )
+            tensor.data = value.copy()
+
+    def num_parameters(self, trainable_only: bool = True) -> int:
+        """Total parameter count (buffers excluded when ``trainable_only``)."""
+        total = sum(p.size for p in self.parameters())
+        if not trainable_only:
+            total += sum(b.size for _, b in self.named_buffers())
+        return total
+
+    # -- modes ------------------------------------------------------------ #
+
+    def train(self, mode: bool = True) -> "Module":
+        """Switch the subtree to training (or eval) mode."""
+        object.__setattr__(self, "training", mode)
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch the subtree to inference mode."""
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter in the subtree."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # -- forward ----------------------------------------------------------- #
+
+    def forward(self, *args, **kwargs):
+        """Compute the module output; subclasses must override."""
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def extra_repr(self) -> str:
+        """One-line parameter summary used by ``__repr__``; override freely."""
+        return ""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        head = f"{type(self).__name__}({self.extra_repr()})"
+        if not self._modules:
+            return head
+        body = "\n".join(
+            "  " + line
+            for name, mod in self._modules.items()
+            for line in f"({name}): {mod!r}".splitlines()
+        )
+        return f"{head}\n{body}"

@@ -1,0 +1,105 @@
+"""Batch normalisation (1-D and 2-D) and inference-time folding.
+
+The paper folds batch-norm parameters "into the full-precision bias
+parameters of the preceding convolution layers and/or into the full-precision
+vec(A) parameters" for deployment (Table 6, footnote 5);
+:func:`fold_bn_into_conv` implements that transformation and the cost model
+relies on it when counting deployed parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+class _BatchNorm(Module):
+    """Shared machinery for 1-D/2-D batch norm over the channel axis."""
+
+    #: axes reduced when computing batch statistics; set by subclasses
+    _reduce_axes: Tuple[int, ...] = (0,)
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(init.ones(num_features), name="bn.gamma")
+        self.beta = Parameter(init.zeros(num_features), name="bn.beta")
+        self.register_buffer("running_mean", Tensor(init.zeros(num_features)))
+        self.register_buffer("running_var", Tensor(init.ones(num_features)))
+
+    def _reshape(self, vec: Tensor, ndim: int) -> Tensor:
+        """Broadcast a per-channel vector against an N{C}… tensor."""
+        shape = [1] * ndim
+        shape[1] = self.num_features
+        return vec.reshape(*shape)
+
+    def forward(self, x: Tensor) -> Tensor:
+        axes = self._reduce_axes
+        if self.training:
+            mean = x.mean(axis=axes, keepdims=True)
+            var = x.var(axis=axes, keepdims=True)
+            m = self.momentum
+            self.running_mean.data = (
+                (1 - m) * self.running_mean.data + m * mean.data.reshape(-1)
+            ).astype(self.running_mean.dtype)
+            self.running_var.data = (
+                (1 - m) * self.running_var.data + m * var.data.reshape(-1)
+            ).astype(self.running_var.dtype)
+            x_hat = (x - mean) / (var + self.eps).sqrt()
+        else:
+            mean_t = self._reshape(self.running_mean.detach(), x.ndim)
+            var_t = self._reshape(self.running_var.detach(), x.ndim)
+            x_hat = (x - mean_t) / (var_t + self.eps).sqrt()
+        return x_hat * self._reshape(self.gamma, x.ndim) + self._reshape(self.beta, x.ndim)
+
+    def extra_repr(self) -> str:
+        return f"features={self.num_features}, eps={self.eps}"
+
+
+class BatchNorm2d(_BatchNorm):
+    """Batch norm over (N, H, W) for NCHW inputs."""
+
+    _reduce_axes = (0, 2, 3)
+
+
+class BatchNorm1d(_BatchNorm):
+    """Batch norm over the batch axis for (N, C) inputs."""
+
+    _reduce_axes = (0,)
+
+
+def bn_scale_shift(bn: _BatchNorm) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-channel affine (scale, shift) equivalent to ``bn`` in eval mode.
+
+    ``y = scale * x + shift`` with
+    ``scale = γ / sqrt(σ² + ε)`` and ``shift = β − scale·μ``.
+    """
+    scale = bn.gamma.data / np.sqrt(bn.running_var.data + bn.eps)
+    shift = bn.beta.data - scale * bn.running_mean.data
+    return scale.astype(np.float64), shift.astype(np.float64)
+
+
+def fold_bn_into_conv(
+    weight: np.ndarray, bias: Optional[np.ndarray], bn: _BatchNorm, depthwise: bool = False
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fold an eval-mode batch norm into the preceding conv's weight/bias.
+
+    Returns new ``(weight, bias)`` arrays such that
+    ``conv(x, w', b') == bn(conv(x, w, b))`` for fixed running statistics.
+    ``depthwise`` selects weight layout (C, KH, KW) instead of (F, C, KH, KW).
+    """
+    scale, shift = bn_scale_shift(bn)
+    if depthwise:
+        new_weight = weight * scale[:, None, None]
+    else:
+        new_weight = weight * scale[:, None, None, None]
+    old_bias = np.zeros(len(scale)) if bias is None else bias
+    new_bias = scale * old_bias + shift
+    return new_weight.astype(weight.dtype), new_bias.astype(weight.dtype)

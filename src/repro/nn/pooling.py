@@ -1,0 +1,35 @@
+"""Pooling modules."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.autodiff.ops_conv import IntPair, avg_pool2d
+from repro.autodiff.tensor import Tensor
+from repro.nn.module import Module
+
+
+class AvgPool2d(Module):
+    """Non-overlapping average pooling with the given kernel."""
+
+    def __init__(self, kernel: IntPair) -> None:
+        super().__init__()
+        self.kernel = kernel
+
+    def forward(self, x: Tensor) -> Tensor:
+        return avg_pool2d(x, self.kernel)
+
+    def extra_repr(self) -> str:
+        return f"kernel={self.kernel}"
+
+
+class GlobalAvgPool2d(Module):
+    """Average over all spatial positions; optionally flattens to (N, C)."""
+
+    def __init__(self, flatten: bool = True) -> None:
+        super().__init__()
+        self.flatten = flatten
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = avg_pool2d(x, None)
+        return out.reshape(out.shape[0], out.shape[1]) if self.flatten else out

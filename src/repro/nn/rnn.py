@@ -1,0 +1,166 @@
+"""Recurrent cells and sequence wrappers for the KWS RNN baselines.
+
+Zhang et al. (2017) — the source of the paper's Table 3 baselines — evaluate
+"Basic LSTM" (a vanilla LSTM), "LSTM" (LSTM with a recurrent projection
+layer) and "GRU" models that consume the MFCC spectrogram frame by frame.
+These cells implement exactly those recurrences on (N, T, F) inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.autodiff.tensor import Tensor, concatenate, stack
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import SeedLike, new_rng
+
+
+class LSTMCell(Module):
+    """Standard LSTM cell; optionally with a recurrent projection.
+
+    With ``proj_size`` set, the hidden state fed back into the recurrence is
+    ``h = P·o∘tanh(c)`` (the "LSTMP" architecture used by Zhang et al.'s
+    "LSTM" baseline); without it this is the "Basic LSTM".
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        proj_size: Optional[int] = None,
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.proj_size = proj_size
+        out_size = proj_size if proj_size else hidden_size
+        self.w_ih = Parameter(
+            init.glorot_uniform((4 * hidden_size, input_size), input_size, hidden_size, rng),
+            name="lstm.w_ih",
+        )
+        self.w_hh = Parameter(
+            init.glorot_uniform((4 * hidden_size, out_size), out_size, hidden_size, rng),
+            name="lstm.w_hh",
+        )
+        self.bias = Parameter(init.zeros(4 * hidden_size), name="lstm.bias")
+        # Forget-gate bias of 1 is the standard trick for gradient flow.
+        self.bias.data[hidden_size : 2 * hidden_size] = 1.0
+        self.projection: Optional[Parameter] = (
+            Parameter(
+                init.glorot_uniform((proj_size, hidden_size), hidden_size, proj_size, rng),
+                name="lstm.projection",
+            )
+            if proj_size
+            else None
+        )
+
+    @property
+    def state_size(self) -> Tuple[int, int]:
+        """Sizes of (h, c) state vectors."""
+        return (self.proj_size or self.hidden_size, self.hidden_size)
+
+    def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]) -> Tuple[Tensor, Tuple[Tensor, Tensor]]:
+        h_prev, c_prev = state
+        gates = x @ self.w_ih.T + h_prev @ self.w_hh.T + self.bias
+        hs = self.hidden_size
+        i = gates[:, 0 * hs : 1 * hs].sigmoid()
+        f = gates[:, 1 * hs : 2 * hs].sigmoid()
+        g = gates[:, 2 * hs : 3 * hs].tanh()
+        o = gates[:, 3 * hs : 4 * hs].sigmoid()
+        c = f * c_prev + i * g
+        h = o * c.tanh()
+        if self.projection is not None:
+            h = h @ self.projection.T
+        return h, (h, c)
+
+
+class GRUCell(Module):
+    """Gated recurrent unit (Cho et al. formulation)."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: SeedLike = None) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_ih = Parameter(
+            init.glorot_uniform((3 * hidden_size, input_size), input_size, hidden_size, rng),
+            name="gru.w_ih",
+        )
+        self.w_hh = Parameter(
+            init.glorot_uniform((3 * hidden_size, hidden_size), hidden_size, hidden_size, rng),
+            name="gru.w_hh",
+        )
+        self.bias = Parameter(init.zeros(3 * hidden_size), name="gru.bias")
+
+    def forward(self, x: Tensor, h_prev: Tensor) -> Tensor:
+        hs = self.hidden_size
+        gi = x @ self.w_ih.T + self.bias
+        gh = h_prev @ self.w_hh.T
+        r = (gi[:, 0:hs] + gh[:, 0:hs]).sigmoid()
+        z = (gi[:, hs : 2 * hs] + gh[:, hs : 2 * hs]).sigmoid()
+        n = (gi[:, 2 * hs :] + r * gh[:, 2 * hs :]).tanh()
+        return (1.0 - z) * n + z * h_prev
+
+
+class LSTM(Module):
+    """Run an :class:`LSTMCell` over a (N, T, F) sequence.
+
+    Returns either the final hidden state (``return_sequences=False``) or the
+    stacked per-step outputs (N, T, H).
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        proj_size: Optional[int] = None,
+        return_sequences: bool = False,
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, proj_size=proj_size, rng=rng)
+        self.return_sequences = return_sequences
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, t, _ = x.shape
+        h_size, c_size = self.cell.state_size
+        import numpy as np
+
+        h = Tensor(np.zeros((n, h_size), dtype=x.dtype))
+        c = Tensor(np.zeros((n, c_size), dtype=x.dtype))
+        outputs = []
+        for step in range(t):
+            out, (h, c) = self.cell(x[:, step, :], (h, c))
+            if self.return_sequences:
+                outputs.append(out)
+        return stack(outputs, axis=1) if self.return_sequences else h
+
+
+class GRU(Module):
+    """Run a :class:`GRUCell` over a (N, T, F) sequence."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        return_sequences: bool = False,
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        self.cell = GRUCell(input_size, hidden_size, rng=rng)
+        self.return_sequences = return_sequences
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, t, _ = x.shape
+        import numpy as np
+
+        h = Tensor(np.zeros((n, self.cell.hidden_size), dtype=x.dtype))
+        outputs = []
+        for step in range(t):
+            h = self.cell(x[:, step, :], h)
+            if self.return_sequences:
+                outputs.append(h)
+        return stack(outputs, axis=1) if self.return_sequences else h

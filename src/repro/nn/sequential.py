@@ -1,0 +1,32 @@
+"""Sequential container."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.autodiff.tensor import Tensor
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Applies child modules in order; indexable like a list."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        for i, layer in enumerate(layers):
+            setattr(self, f"layer{i}", layer)
+        self._order = [f"layer{i}" for i in range(len(layers))]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for name in self._order:
+            x = getattr(self, name)(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, index: int) -> Module:
+        return getattr(self, self._order[index])
+
+    def __iter__(self) -> Iterator[Module]:
+        return (getattr(self, name) for name in self._order)

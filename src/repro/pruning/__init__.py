@@ -1,0 +1,17 @@
+"""Gradual magnitude pruning (Zhu & Gupta 2017) — the Table-7 comparison.
+
+The paper prunes the DS-CNN baseline to 50/75/90 % sparsity with the
+"to prune or not to prune" schedule: sparsity ramps from 0 to the target
+following ``s_t = s_f·(1 − (1 − t/T)³)`` while training continues, masking
+the smallest-magnitude weights per layer.
+"""
+
+from repro.pruning.masks import PruningMasks, sparsity_report
+from repro.pruning.gradual import GradualPruningCallback, zhu_gupta_sparsity
+
+__all__ = [
+    "PruningMasks",
+    "sparsity_report",
+    "GradualPruningCallback",
+    "zhu_gupta_sparsity",
+]

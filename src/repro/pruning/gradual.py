@@ -1,0 +1,68 @@
+"""The Zhu & Gupta gradual pruning schedule as a Trainer callback."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.pruning.masks import PruningMasks
+from repro.training.trainer import Callback, Trainer
+from repro.utils.logging import get_logger
+
+logger = get_logger("pruning")
+
+
+def zhu_gupta_sparsity(
+    step: int, final_sparsity: float, begin_step: int, end_step: int, initial_sparsity: float = 0.0
+) -> float:
+    """Target sparsity at ``step``: cubic ramp from initial to final.
+
+    ``s_t = s_f + (s_i − s_f)·(1 − (t − t₀)/(t₁ − t₀))³`` clamped to the
+    ramp window (Zhu & Gupta 2017, eq. 1).
+    """
+    if step <= begin_step:
+        return initial_sparsity
+    if step >= end_step:
+        return final_sparsity
+    progress = (step - begin_step) / float(end_step - begin_step)
+    return final_sparsity + (initial_sparsity - final_sparsity) * (1.0 - progress) ** 3
+
+
+class GradualPruningCallback(Callback):
+    """Prune toward ``final_sparsity`` during training.
+
+    Every ``frequency`` steps inside the ramp window the masks are
+    recomputed at the scheduled sparsity; after *every* step the masks are
+    re-applied so pruned weights cannot be resurrected by the optimiser.
+    """
+
+    def __init__(
+        self,
+        final_sparsity: float,
+        begin_step: int = 0,
+        end_step: Optional[int] = None,
+        frequency: int = 20,
+    ) -> None:
+        self.final_sparsity = final_sparsity
+        self.begin_step = begin_step
+        self.end_step = end_step
+        self.frequency = max(1, frequency)
+        self.masks: Optional[PruningMasks] = None
+
+    def on_train_begin(self, trainer: Trainer) -> None:
+        self.masks = PruningMasks(trainer.model)
+        if self.end_step is None:
+            # default: ramp over the first two thirds of training
+            steps_per_epoch = max(trainer._step, 1)
+            self.end_step = max(2 * trainer.config.epochs * 20 // 3, 60)
+
+    def on_step_end(self, trainer: Trainer, step: int) -> None:
+        assert self.masks is not None and self.end_step is not None
+        if step <= self.end_step and (step - self.begin_step) % self.frequency == 0:
+            target = zhu_gupta_sparsity(step, self.final_sparsity, self.begin_step, self.end_step)
+            self.masks.update_to_sparsity(target)
+        self.masks.apply()
+
+    @property
+    def nonzero_parameters(self) -> int:
+        """Surviving weights (0 before training starts)."""
+        return self.masks.nonzero_parameters() if self.masks else 0

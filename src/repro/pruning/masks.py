@@ -1,0 +1,73 @@
+"""Per-parameter binary pruning masks."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+
+class PruningMasks:
+    """Holds one binary mask per prunable parameter and applies them.
+
+    Prunable = any parameter whose name does not end in a skipped suffix
+    (biases and batch-norm parameters are never pruned, as in Zhu & Gupta).
+    """
+
+    SKIP_SUFFIXES: Tuple[str, ...] = ("bias", "gamma", "beta")
+
+    def __init__(self, model: Module) -> None:
+        self.targets: Dict[str, Parameter] = {}
+        self.masks: Dict[str, np.ndarray] = {}
+        for name, param in model.named_parameters():
+            leaf = name.rsplit(".", 1)[-1]
+            if leaf in self.SKIP_SUFFIXES or param.size < 32:
+                continue
+            self.targets[name] = param
+            self.masks[name] = np.ones_like(param.data, dtype=bool)
+
+    def update_to_sparsity(self, sparsity: float) -> None:
+        """Re-derive every mask to keep the largest (1−s) fraction per layer.
+
+        Masks are monotone in practice because weights under a zeroed mask
+        stay zero (they are re-zeroed after every optimiser step).
+        """
+        if not 0.0 <= sparsity < 1.0:
+            raise ValueError(f"sparsity must be in [0, 1); got {sparsity}")
+        for name, param in self.targets.items():
+            drop = int(round(sparsity * param.size))
+            if drop == 0:
+                self.masks[name] = np.ones_like(param.data, dtype=bool)
+                continue
+            flat = np.abs(param.data).reshape(-1)
+            cutoff = np.partition(flat, drop - 1)[drop - 1]
+            self.masks[name] = np.abs(param.data) > cutoff
+
+    def apply(self) -> None:
+        """Zero masked weights in place."""
+        for name, param in self.targets.items():
+            param.data = param.data * self.masks[name]
+
+    def nonzero_parameters(self) -> int:
+        """Surviving weights across all masked tensors."""
+        return int(sum(mask.sum() for mask in self.masks.values()))
+
+    def total_parameters(self) -> int:
+        """Total weights across all masked tensors."""
+        return int(sum(mask.size for mask in self.masks.values()))
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of masked (zero) weights."""
+        total = self.total_parameters()
+        return 1.0 - self.nonzero_parameters() / total if total else 0.0
+
+
+def sparsity_report(model: Module) -> Dict[str, float]:
+    """Fraction of exactly-zero entries per parameter (diagnostics)."""
+    return {
+        name: float(np.mean(param.data == 0.0))
+        for name, param in model.named_parameters()
+    }

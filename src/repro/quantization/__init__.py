@@ -1,0 +1,30 @@
+"""Post-training quantization and ternary weight networks.
+
+Implements the two quantisation flavours the paper uses:
+
+* **Fixed-point post-training quantization** (Qiu et al. 2016 procedure, as
+  in Zhang et al.): weights and activations of the *pre-trained* network are
+  converted layer by layer to Qm.n fixed point, choosing each layer's
+  fractional length to minimise quantisation error; no retraining (Table 6).
+* **Ternary weight networks** (Li & Liu 2016): per-layer ternarisation with
+  an optimal scaling factor, applied to the DS-CNN baseline in the paper's
+  comparative analysis (§5) where it costs 2.27 % accuracy.
+"""
+
+from repro.quantization.fixedpoint import FixedPointQuantizer, quantize_array
+from repro.quantization.post_training import (
+    attach_activation_quantizers,
+    quantize_model_weights,
+    quantize_st_model,
+)
+from repro.quantization.twn import ternarize_module_weights, twn_report
+
+__all__ = [
+    "FixedPointQuantizer",
+    "quantize_array",
+    "quantize_model_weights",
+    "attach_activation_quantizers",
+    "quantize_st_model",
+    "ternarize_module_weights",
+    "twn_report",
+]

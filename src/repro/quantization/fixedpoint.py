@@ -1,0 +1,83 @@
+"""Symmetric Qm.n fixed-point quantisation.
+
+A value is represented as an integer of ``bits`` bits times ``2^-frac_bits``.
+Calibration picks ``frac_bits`` per tensor by minimising mean-squared error
+over a sample — the "optimal min/max range for each layer that minimizes the
+loss in accuracy because of quantization" search of the paper, using MSE as
+the per-layer proxy (a greedy accuracy search is available in
+:mod:`repro.quantization.post_training`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+
+def quantize_array(values: np.ndarray, bits: int, frac_bits: int) -> np.ndarray:
+    """Round to Qm.n fixed point and clip to the representable range."""
+    if bits < 2:
+        raise QuantizationError(f"need at least 2 bits; got {bits}")
+    scale = float(2.0**frac_bits)
+    lo = -(2 ** (bits - 1))
+    hi = 2 ** (bits - 1) - 1
+    q = np.clip(np.round(values * scale), lo, hi)
+    return (q / scale).astype(values.dtype)
+
+
+def best_frac_bits(
+    values: np.ndarray, bits: int, candidates: Optional[Iterable[int]] = None
+) -> int:
+    """Fractional length minimising MSE for ``values`` at ``bits`` bits."""
+    values = np.asarray(values)
+    if candidates is None:
+        # centre the search on the magnitude of the data
+        peak = float(np.abs(values).max()) if values.size else 1.0
+        if peak <= 0:
+            return bits - 1
+        int_bits = int(np.ceil(np.log2(peak + 1e-12))) + 1
+        centre = bits - 1 - int_bits
+        candidates = range(centre - 2, centre + 3)
+    best, best_err = None, np.inf
+    for frac in candidates:
+        err = float(np.mean((quantize_array(values, bits, frac) - values) ** 2))
+        if err < best_err:
+            best, best_err = frac, err
+    assert best is not None
+    return best
+
+
+class FixedPointQuantizer:
+    """A calibrated Qm.n quantiser for one tensor stream.
+
+    >>> q = FixedPointQuantizer(bits=8)
+    >>> q.calibrate(samples)      # choose frac_bits from data
+    >>> y = q(x)                  # quantise
+    """
+
+    def __init__(self, bits: int, frac_bits: Optional[int] = None) -> None:
+        self.bits = bits
+        self.frac_bits = frac_bits
+
+    def calibrate(self, samples: np.ndarray) -> "FixedPointQuantizer":
+        """Pick ``frac_bits`` minimising MSE on ``samples`` (chainable)."""
+        self.frac_bits = best_frac_bits(np.asarray(samples), self.bits)
+        return self
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        if self.frac_bits is None:
+            raise QuantizationError("quantizer used before calibration")
+        return quantize_array(values, self.bits, self.frac_bits)
+
+    @property
+    def step(self) -> float:
+        """Quantisation step size (LSB value)."""
+        if self.frac_bits is None:
+            raise QuantizationError("quantizer used before calibration")
+        return float(2.0**-self.frac_bits)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FixedPointQuantizer(bits={self.bits}, frac_bits={self.frac_bits})"

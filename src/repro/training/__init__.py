@@ -1,0 +1,30 @@
+"""Training infrastructure: optimisers, losses, schedules, the Trainer."""
+
+from repro.training.optim import SGD, Adam, Optimizer
+from repro.training.lr_schedule import ConstantLR, StepDecay
+from repro.training.losses import (
+    cross_entropy,
+    distillation_loss,
+    multiclass_hinge,
+    LOSSES,
+)
+from repro.training.metrics import accuracy, confusion_matrix
+from repro.training.trainer import Callback, History, Trainer, TrainConfig
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "StepDecay",
+    "ConstantLR",
+    "cross_entropy",
+    "multiclass_hinge",
+    "distillation_loss",
+    "LOSSES",
+    "accuracy",
+    "confusion_matrix",
+    "Trainer",
+    "TrainConfig",
+    "History",
+    "Callback",
+]

@@ -1,0 +1,73 @@
+"""Classification losses.
+
+The paper uses multi-class hinge loss for the hybrid network and for the
+Bonsai baselines ("The Adam optimizer with hinge loss achieves marginally
+better accuracy for the hybrid network"), standard cross-entropy for the
+strassenified DS-CNN baselines, and knowledge distillation (Hinton-style)
+when training strassenified students against uncompressed teachers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood of integer ``labels`` under ``logits``."""
+    labels = np.asarray(labels)
+    log_probs = logits.log_softmax(axis=-1)
+    picked = log_probs[np.arange(len(labels)), labels]
+    return -picked.mean()
+
+
+def multiclass_hinge(logits: Tensor, labels: np.ndarray, margin: float = 1.0) -> Tensor:
+    """Weston–Watkins multi-class hinge loss.
+
+    ``mean_i Σ_{j≠y_i} max(0, margin + s_ij − s_iy)`` — the multi-class SVM
+    objective Bonsai (Kumar et al. 2017) trains with.
+    """
+    labels = np.asarray(labels)
+    n = len(labels)
+    true_scores = logits[np.arange(n), labels]  # (N,)
+    margins = logits - true_scores.reshape(n, 1) + margin
+    hinged = margins.relu()
+    # the true class contributes exactly ``margin`` after the ReLU; remove it
+    return hinged.sum(axis=1).mean() - margin
+
+
+def distillation_loss(
+    student_logits: Tensor,
+    teacher_logits: np.ndarray,
+    labels: np.ndarray,
+    temperature: float = 4.0,
+    alpha: float = 0.7,
+    hard_loss: Callable[[Tensor, np.ndarray], Tensor] = cross_entropy,
+) -> Tensor:
+    """Knowledge-distillation objective (Hinton et al.), as used by
+    StrassenNets and by this paper when training ST networks.
+
+    ``alpha`` weights the soft (teacher-matching) term; the usual ``T²``
+    factor keeps soft-gradient magnitudes comparable across temperatures.
+    Teacher logits are constants (no gradient flows to the teacher).
+    """
+    teacher_logits = np.asarray(teacher_logits, dtype=np.float64)
+    shifted = teacher_logits / temperature
+    shifted -= shifted.max(axis=-1, keepdims=True)
+    teacher_probs = np.exp(shifted)
+    teacher_probs /= teacher_probs.sum(axis=-1, keepdims=True)
+
+    student_log_probs = (student_logits * (1.0 / temperature)).log_softmax(axis=-1)
+    soft = -(student_log_probs * Tensor(teacher_probs.astype(np.float32))).sum(axis=-1).mean()
+    hard = hard_loss(student_logits, labels)
+    return soft * (alpha * temperature * temperature) + hard * (1.0 - alpha)
+
+
+#: registry used by TrainConfig.loss
+LOSSES: Dict[str, Callable[[Tensor, np.ndarray], Tensor]] = {
+    "cross_entropy": cross_entropy,
+    "hinge": multiclass_hinge,
+}

@@ -1,0 +1,40 @@
+"""Learning-rate schedules.
+
+The paper's recipe: "initial learning rate of 0.001 and progressively
+smaller learning rates after every 45 epochs" — a step decay.
+"""
+
+from __future__ import annotations
+
+
+class ConstantLR:
+    """Fixed learning rate."""
+
+    def __init__(self, lr: float) -> None:
+        self.lr = float(lr)
+
+    def __call__(self, epoch: int) -> float:
+        """Learning rate for ``epoch`` (0-based)."""
+        return self.lr
+
+
+class StepDecay:
+    """Multiply the rate by ``factor`` every ``drop_every`` epochs.
+
+    ``StepDecay(1e-3, 45, 0.2)`` reproduces the paper's schedule over the
+    135-epoch budget: 1e-3 → 2e-4 → 4e-5.
+    """
+
+    def __init__(self, initial_lr: float, drop_every: int, factor: float = 0.2) -> None:
+        if drop_every <= 0:
+            raise ValueError("drop_every must be positive")
+        if not 0 < factor <= 1:
+            raise ValueError("factor must be in (0, 1]")
+        self.initial_lr = float(initial_lr)
+        self.drop_every = int(drop_every)
+        self.factor = float(factor)
+
+    def __call__(self, epoch: int) -> float:
+        """Learning rate for ``epoch`` (0-based)."""
+        drops = epoch // self.drop_every
+        return self.initial_lr * (self.factor**drops)

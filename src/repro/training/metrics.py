@@ -1,0 +1,28 @@
+"""Evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy of raw scores against integer labels."""
+    predictions = np.argmax(np.asarray(logits), axis=-1)
+    return float(np.mean(predictions == np.asarray(labels)))
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 3) -> float:
+    """Fraction of rows whose true label is within the top-``k`` scores."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    top = np.argsort(-logits, axis=-1)[:, :k]
+    return float(np.mean([label in row for label, row in zip(labels, top)]))
+
+
+def confusion_matrix(logits: np.ndarray, labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """(num_classes, num_classes) count matrix, rows = true class."""
+    predictions = np.argmax(np.asarray(logits), axis=-1)
+    labels = np.asarray(labels)
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix

@@ -1,0 +1,108 @@
+"""Gradient-descent optimisers.
+
+The paper trains everything with Adam ("We use the Adam optimization
+algorithm…"); SGD with momentum is provided for ablations and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimiser over an explicit parameter list."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float) -> None:
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        """Clear all parameter gradients."""
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the stored gradients."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for p in self.params:
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                v = self._velocity.get(id(p))
+                if v is None:
+                    v = np.zeros_like(p.data)
+                v = self.momentum * v + grad
+                self._velocity[id(p)] = v
+                grad = v
+            p.data -= (self.lr * grad).astype(p.dtype)
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015) with optional decoupled weight decay."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1**self._t
+        bias2 = 1.0 - b2**self._t
+        for p in self.params:
+            if p.grad is None:
+                continue
+            grad = p.grad
+            m = self._m.get(id(p))
+            if m is None:
+                m = np.zeros_like(p.data)
+                self._m[id(p)] = m
+                self._v[id(p)] = np.zeros_like(p.data)
+            v = self._v[id(p)]
+            m *= b1
+            m += (1 - b1) * grad
+            v *= b2
+            v += (1 - b2) * grad * grad
+            update = (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            if self.weight_decay:
+                update = update + self.weight_decay * p.data
+            p.data -= (self.lr * update).astype(p.dtype)

@@ -1,0 +1,219 @@
+"""A generic minibatch trainer with callbacks.
+
+The callback hooks are how the paper's multi-phase procedures attach to
+training: the StrassenNets quantisation schedule flips layer phases at epoch
+boundaries, Bonsai anneals its path-smoothing σ, gradual pruning updates
+masks after each step, and distillation swaps the loss for a teacher-aware
+one.  The trainer itself stays oblivious to all of that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor, no_grad
+from repro.datasets.loader import iterate_minibatches
+from repro.errors import ConfigError
+from repro.nn.module import Module
+from repro.training.losses import LOSSES, distillation_loss
+from repro.training.lr_schedule import ConstantLR, StepDecay
+from repro.training.metrics import accuracy
+from repro.training.optim import SGD, Adam
+from repro.utils.logging import get_logger
+from repro.utils.rng import new_rng
+
+logger = get_logger("training")
+
+
+@dataclass
+class TrainConfig:
+    """Hyperparameters for one training run.
+
+    Defaults follow the paper's recipe (Adam, lr 1e-3, batch 20, step decay
+    every 45 epochs) scaled down in ``epochs`` — experiment configs override
+    per scale.
+    """
+
+    epochs: int = 30
+    batch_size: int = 20
+    lr: float = 1e-3
+    optimizer: str = "adam"
+    loss: str = "cross_entropy"
+    lr_drop_every: Optional[int] = 45
+    lr_drop_factor: float = 0.2
+    weight_decay: float = 0.0
+    seed: int = 0
+    shuffle: bool = True
+    log_every: int = 0  # epochs between log lines; 0 silences
+
+
+@dataclass
+class History:
+    """Per-epoch training curves."""
+
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    val_accuracy: List[float] = field(default_factory=list)
+
+    @property
+    def best_val_accuracy(self) -> float:
+        """Best validation accuracy seen (0 when no validation set)."""
+        return max(self.val_accuracy, default=0.0)
+
+
+class Callback:
+    """Training hooks; subclass and override what you need."""
+
+    def on_train_begin(self, trainer: "Trainer") -> None:
+        """Called once before the first epoch."""
+
+    def on_epoch_begin(self, trainer: "Trainer", epoch: int) -> None:
+        """Called before each epoch's batches."""
+
+    def on_step_end(self, trainer: "Trainer", step: int) -> None:
+        """Called after each optimiser step."""
+
+    def on_epoch_end(self, trainer: "Trainer", epoch: int, history: History) -> None:
+        """Called after validation for the epoch."""
+
+
+class Trainer:
+    """Minibatch gradient trainer for any :class:`~repro.nn.Module`.
+
+    ``teacher`` (plus ``distill_*``) turns on knowledge distillation: the
+    teacher's logits are computed per batch (inference mode) and the
+    configured loss is replaced with :func:`distillation_loss`.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        config: TrainConfig,
+        callbacks: Optional[List[Callback]] = None,
+        teacher: Optional[Module] = None,
+        distill_temperature: float = 4.0,
+        distill_alpha: float = 0.7,
+    ) -> None:
+        self.model = model
+        self.config = config
+        self.callbacks = list(callbacks or [])
+        self.teacher = teacher
+        self.distill_temperature = distill_temperature
+        self.distill_alpha = distill_alpha
+
+        if config.loss not in LOSSES:
+            raise ConfigError(f"unknown loss {config.loss!r}; known: {sorted(LOSSES)}")
+        self._hard_loss = LOSSES[config.loss]
+
+        params = list(model.parameters())
+        if config.optimizer == "adam":
+            self.optimizer = Adam(params, lr=config.lr, weight_decay=config.weight_decay)
+        elif config.optimizer == "sgd":
+            self.optimizer = SGD(
+                params, lr=config.lr, momentum=0.9, weight_decay=config.weight_decay
+            )
+        else:
+            raise ConfigError(f"unknown optimizer {config.optimizer!r}")
+
+        if config.lr_drop_every:
+            self.schedule = StepDecay(config.lr, config.lr_drop_every, config.lr_drop_factor)
+        else:
+            self.schedule = ConstantLR(config.lr)
+        self._rng = new_rng(config.seed)
+        self._step = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _batch_loss(self, features: np.ndarray, labels: np.ndarray) -> Tuple[Tensor, Tensor]:
+        logits = self.model(Tensor(features))
+        if self.teacher is None:
+            return self._hard_loss(logits, labels), logits
+        with no_grad():
+            self.teacher.eval()
+            teacher_logits = self.teacher(Tensor(features)).data
+        loss = distillation_loss(
+            logits,
+            teacher_logits,
+            labels,
+            temperature=self.distill_temperature,
+            alpha=self.distill_alpha,
+            hard_loss=self._hard_loss,
+        )
+        return loss, logits
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        val_features: Optional[np.ndarray] = None,
+        val_labels: Optional[np.ndarray] = None,
+    ) -> History:
+        """Train for ``config.epochs`` epochs; returns per-epoch curves."""
+        cfg = self.config
+        history = History()
+        for cb in self.callbacks:
+            cb.on_train_begin(self)
+        for epoch in range(cfg.epochs):
+            self.optimizer.lr = self.schedule(epoch)
+            for cb in self.callbacks:
+                cb.on_epoch_begin(self, epoch)
+            self.model.train()
+            epoch_loss, epoch_correct, epoch_count = 0.0, 0.0, 0
+            for batch_x, batch_y in iterate_minibatches(
+                features, labels, cfg.batch_size, rng=self._rng, shuffle=cfg.shuffle
+            ):
+                loss, logits = self._batch_loss(batch_x, batch_y)
+                self.optimizer.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+                self._step += 1
+                for cb in self.callbacks:
+                    cb.on_step_end(self, self._step)
+                epoch_loss += float(loss.data) * len(batch_y)
+                epoch_correct += accuracy(logits.data, batch_y) * len(batch_y)
+                epoch_count += len(batch_y)
+            history.train_loss.append(epoch_loss / epoch_count)
+            history.train_accuracy.append(epoch_correct / epoch_count)
+            if val_features is not None and val_labels is not None:
+                history.val_accuracy.append(self.evaluate(val_features, val_labels))
+            for cb in self.callbacks:
+                cb.on_epoch_end(self, epoch, history)
+            if cfg.log_every and (epoch + 1) % cfg.log_every == 0:
+                val = history.val_accuracy[-1] if history.val_accuracy else float("nan")
+                logger.info(
+                    "epoch %d/%d loss=%.4f train_acc=%.3f val_acc=%.3f lr=%.2e",
+                    epoch + 1,
+                    cfg.epochs,
+                    history.train_loss[-1],
+                    history.train_accuracy[-1],
+                    val,
+                    self.optimizer.lr,
+                )
+        return history
+
+    def predict(self, features: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Model logits for ``features`` in inference mode."""
+        self.model.eval()
+        outputs = []
+        with no_grad():
+            for start in range(0, len(features), batch_size):
+                batch = Tensor(features[start : start + batch_size])
+                outputs.append(self.model(batch).data)
+        return np.concatenate(outputs, axis=0)
+
+    def evaluate(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Top-1 accuracy on a split."""
+        return accuracy(self.predict(features), labels)
+
+
+def evaluate_model(model: Module, features: np.ndarray, labels: np.ndarray, batch_size: int = 256) -> float:
+    """Accuracy of ``model`` without constructing a Trainer."""
+    model.eval()
+    outputs = []
+    with no_grad():
+        for start in range(0, len(features), batch_size):
+            outputs.append(model(Tensor(features[start : start + batch_size])).data)
+    return accuracy(np.concatenate(outputs, axis=0), labels)

@@ -1,0 +1,16 @@
+"""Small shared utilities: seeded RNG handling, logging, serialization."""
+
+from repro.utils.rng import new_rng, spawn_rng, temp_seed
+from repro.utils.logging import get_logger
+from repro.utils.registry import Registry
+from repro.utils.serialization import load_state_dict, save_state_dict
+
+__all__ = [
+    "new_rng",
+    "spawn_rng",
+    "temp_seed",
+    "get_logger",
+    "Registry",
+    "save_state_dict",
+    "load_state_dict",
+]

@@ -1,0 +1,47 @@
+"""Library logging setup.
+
+We use the stdlib :mod:`logging` module with a package-level namespace so
+applications can silence or redirect the library with one call.  The library
+never configures the root logger.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_PACKAGE = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    ``get_logger("training")`` returns the ``repro.training`` logger.
+    A ``NullHandler`` is attached to the package root so importing the
+    library never prints anything unless the host application opts in.
+    """
+    root = logging.getLogger(_PACKAGE)
+    if not root.handlers:
+        root.addHandler(logging.NullHandler())
+    if name is None or name == _PACKAGE:
+        return root
+    if name.startswith(_PACKAGE + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_PACKAGE}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a simple stderr handler to the package logger.
+
+    Convenience for scripts and examples; libraries should not call this.
+    """
+    root = logging.getLogger(_PACKAGE)
+    for handler in root.handlers:
+        if isinstance(handler, logging.StreamHandler) and not isinstance(
+            handler, logging.NullHandler
+        ):
+            root.setLevel(level)
+            return
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter("[%(name)s] %(levelname)s: %(message)s"))
+    root.addHandler(handler)
+    root.setLevel(level)

@@ -1,0 +1,59 @@
+"""A tiny name → factory registry used for the model zoo and experiments."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Iterator, TypeVar
+
+from repro.errors import ConfigError
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """Maps string names to factories.
+
+    >>> models = Registry("models")
+    >>> @models.register("ds-cnn")
+    ... def build():
+    ...     return "the model"
+    >>> models.get("ds-cnn")()
+    'the model'
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, Callable[..., T]] = {}
+
+    def register(self, name: str) -> Callable[[Callable[..., T]], Callable[..., T]]:
+        """Decorator registering ``fn`` under ``name``; duplicate names raise."""
+
+        def deco(fn: Callable[..., T]) -> Callable[..., T]:
+            if name in self._entries:
+                raise ConfigError(f"duplicate {self.kind} registration: {name!r}")
+            self._entries[name] = fn
+            return fn
+
+        return deco
+
+    def get(self, name: str) -> Callable[..., T]:
+        """Look up a factory; raises :class:`ConfigError` with suggestions."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(sorted(self._entries)) or "<empty>"
+            raise ConfigError(
+                f"unknown {self.kind} {name!r}; known: {known}"
+            ) from None
+
+    def names(self) -> list[str]:
+        """All registered names, sorted."""
+        return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._entries))
+
+    def __len__(self) -> int:
+        return len(self._entries)

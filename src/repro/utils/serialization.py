@@ -1,0 +1,24 @@
+"""Saving and loading flat ``state_dict`` mappings as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Mapping
+
+import numpy as np
+
+
+def save_state_dict(path: str | os.PathLike, state: Mapping[str, np.ndarray]) -> None:
+    """Write a flat name → array mapping to ``path`` (numpy ``.npz``).
+
+    Keys may contain ``/`` and ``.``; they are stored verbatim.
+    """
+    arrays = {key: np.asarray(value) for key, value in state.items()}
+    with open(path, "wb") as fh:
+        np.savez(fh, **arrays)
+
+
+def load_state_dict(path: str | os.PathLike) -> Dict[str, np.ndarray]:
+    """Read a mapping previously written by :func:`save_state_dict`."""
+    with np.load(path, allow_pickle=False) as archive:
+        return {key: archive[key] for key in archive.files}

@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.speech_commands import SpeechCommandsConfig, SpeechCommandsDataset
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> SpeechCommandsDataset:
+    """A minimal synthetic corpus shared by integration tests (~200 clips)."""
+    return SpeechCommandsDataset.cached(
+        SpeechCommandsConfig(utterances_per_word=16, seed=77)
+    )
+
+
+def make_tensor(shape, rng, scale=1.0, requires_grad=True):
+    """Small float32 tensor helper used across gradcheck tests."""
+    from repro.autodiff.tensor import Tensor
+
+    data = (rng.standard_normal(shape) * scale).astype(np.float32)
+    return Tensor(data, requires_grad=requires_grad)

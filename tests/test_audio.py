@@ -1,0 +1,148 @@
+"""Audio frontend: signal utilities, mel filterbank, DCT, MFCC, augmentation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.audio import (
+    MFCC,
+    MFCCConfig,
+    add_background_noise,
+    dct_matrix,
+    frame_signal,
+    hz_to_mel,
+    mel_filterbank,
+    mel_to_hz,
+    preemphasis,
+    random_time_shift,
+    rms_normalize,
+)
+from repro.errors import ConfigError, ShapeError
+
+
+class TestSignal:
+    def test_preemphasis_flattens_dc(self):
+        signal = np.ones(100)
+        out = preemphasis(signal, 0.97)
+        np.testing.assert_allclose(out[1:], 0.03, atol=1e-12)
+
+    def test_preemphasis_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            preemphasis(np.ones((2, 3)))
+
+    def test_frame_count_formula(self):
+        frames = frame_signal(np.arange(16000), 640, 320)
+        assert frames.shape == (49, 640)  # the paper's 49 frames
+        np.testing.assert_array_equal(frames[1][:10], np.arange(320, 330))
+
+    def test_frame_too_short_raises(self):
+        with pytest.raises(ShapeError):
+            frame_signal(np.arange(10), 64, 32)
+
+    def test_rms_normalize(self, rng):
+        signal = rng.standard_normal(1000) * 5
+        out = rms_normalize(signal, 0.1)
+        np.testing.assert_allclose(np.sqrt(np.mean(out**2)), 0.1, rtol=1e-6)
+        np.testing.assert_array_equal(rms_normalize(np.zeros(10)), np.zeros(10))
+
+
+class TestMel:
+    @given(st.floats(min_value=1.0, max_value=8000.0, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_mel_roundtrip(self, hz):
+        np.testing.assert_allclose(mel_to_hz(hz_to_mel(hz)), hz, rtol=1e-9)
+
+    def test_filterbank_shape_and_coverage(self):
+        bank = mel_filterbank(40, 1024, 16000)
+        assert bank.shape == (40, 513)
+        assert (bank >= 0).all()
+        # triangles peak near 1 (exact unity only when a bin hits the centre)
+        assert (bank.max(axis=1) > 0.5).all()
+        assert (bank.max(axis=1) <= 1.0).all()
+        # centres increase monotonically
+        centres = bank.argmax(axis=1)
+        assert (np.diff(centres) > 0).all()
+
+    def test_filterbank_invalid_range(self):
+        with pytest.raises(ConfigError):
+            mel_filterbank(10, 512, 16000, low_hz=9000.0)
+
+
+class TestDCT:
+    def test_orthonormal_rows(self):
+        m = dct_matrix(40, 40)
+        np.testing.assert_allclose(m @ m.T, np.eye(40), atol=1e-10)
+
+    def test_truncated(self):
+        m = dct_matrix(10, 40)
+        assert m.shape == (10, 40)
+        np.testing.assert_allclose(m @ m.T, np.eye(10), atol=1e-10)
+
+    def test_too_many_coefficients(self):
+        with pytest.raises(ValueError):
+            dct_matrix(41, 40)
+
+
+class TestMFCC:
+    def test_paper_shape(self):
+        extractor = MFCC()
+        feats = extractor(np.random.default_rng(0).standard_normal(16000))
+        assert feats.shape == (49, 10)  # the paper's 49x10 input
+        assert feats.dtype == np.float32
+
+    def test_batch(self):
+        extractor = MFCC()
+        waves = np.random.default_rng(0).standard_normal((3, 16000))
+        assert extractor.batch(waves).shape == (3, 49, 10)
+
+    def test_distinguishes_tones(self):
+        t = np.arange(16000) / 16000.0
+        low = MFCC()(np.sin(2 * np.pi * 300 * t))
+        high = MFCC()(np.sin(2 * np.pi * 3000 * t))
+        assert np.abs(low - high).mean() > 0.5
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            MFCC(MFCCConfig(num_coefficients=50, num_mel_filters=40))
+
+    def test_config_derived_sizes(self):
+        cfg = MFCCConfig()
+        assert cfg.frame_length == 640
+        assert cfg.frame_step == 320
+        assert cfg.effective_fft_length == 1024
+        assert cfg.num_frames(16000) == 49
+
+
+class TestAugment:
+    def test_time_shift_preserves_content(self, rng):
+        wave = rng.standard_normal(1000)
+        out = random_time_shift(wave, max_shift_ms=10, sample_rate=16000, rng=0)
+        assert out.shape == wave.shape
+        # energy approximately preserved (zeros pad at most max_shift samples)
+        assert np.abs(out).sum() >= 0.7 * np.abs(wave).sum()
+
+    def test_time_shift_zero(self, rng):
+        wave = rng.standard_normal(100)
+        np.testing.assert_array_equal(
+            random_time_shift(wave, 0.0, 16000, rng=0), wave
+        )
+
+    def test_noise_mixing_raises_energy(self, rng):
+        wave = np.zeros(1000)
+        noise = rng.standard_normal(5000)
+        out = add_background_noise(wave, noise, volume=0.5, rng=0)
+        assert np.abs(out).sum() > 0
+
+    def test_zero_volume_is_identity(self, rng):
+        wave = rng.standard_normal(100)
+        np.testing.assert_array_equal(
+            add_background_noise(wave, rng.standard_normal(200), 0.0, rng=0), wave
+        )
+
+    def test_short_noise_is_tiled(self, rng):
+        wave = rng.standard_normal(1000)
+        out = add_background_noise(wave, rng.standard_normal(100), 0.3, rng=0)
+        assert out.shape == wave.shape

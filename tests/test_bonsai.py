@@ -1,0 +1,162 @@
+"""Bonsai tree: structure, path semantics, annealing, sparsity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import make_tensor
+from repro.core.bonsai import (
+    BonsaiAnnealingSchedule,
+    BonsaiIHTCallback,
+    BonsaiTree,
+    hard_threshold,
+    tree_num_internal,
+    tree_num_nodes,
+)
+from repro.core.strassen import StrassenLinear
+from repro.errors import ConfigError
+
+
+class TestStructure:
+    @pytest.mark.parametrize("depth,nodes,internal", [(1, 3, 1), (2, 7, 3), (4, 31, 15)])
+    def test_node_counts(self, depth, nodes, internal):
+        assert tree_num_nodes(depth) == nodes
+        assert tree_num_internal(depth) == internal
+        tree = BonsaiTree(input_dim=8, num_labels=3, depth=depth, rng=0)
+        assert tree.num_nodes == nodes
+        assert tree.num_internal == internal
+
+    def test_invalid_depth(self):
+        with pytest.raises(ConfigError):
+            BonsaiTree(input_dim=4, num_labels=2, depth=0)
+
+    def test_projection_optional(self, rng):
+        with_proj = BonsaiTree(input_dim=20, num_labels=3, depth=2, projection_dim=5, rng=0)
+        assert with_proj.projection.shape == (5, 20)
+        without = BonsaiTree(input_dim=20, num_labels=3, depth=2, rng=0)
+        assert without.projection is None
+
+    def test_parameter_count_matches_formula(self):
+        d_hat, d, l, depth = 6, 20, 4, 2
+        tree = BonsaiTree(input_dim=d, num_labels=l, depth=depth, projection_dim=d_hat, rng=0)
+        nodes, internal = tree_num_nodes(depth), tree_num_internal(depth)
+        expected = d_hat * d + nodes * 2 * d_hat * l + internal * d_hat
+        assert tree.num_parameters() == expected
+
+
+class TestPathSemantics:
+    def test_soft_weights_sum_to_one_per_level(self, rng):
+        tree = BonsaiTree(input_dim=8, num_labels=3, depth=2, rng=0)
+        tree.train()
+        z = make_tensor((5, 8), rng, requires_grad=False)
+        weights = tree.path_weights(z)
+        leaf_sum = sum(w.data for w in weights[tree.num_internal :])
+        np.testing.assert_allclose(leaf_sum, 1.0, rtol=1e-5)  # leaves partition mass
+        level1 = weights[1].data + weights[2].data
+        np.testing.assert_allclose(level1, 1.0, rtol=1e-5)
+
+    def test_hard_weights_select_single_path(self, rng):
+        tree = BonsaiTree(input_dim=8, num_labels=3, depth=2, rng=0)
+        tree.eval()
+        z = make_tensor((6, 8), rng, requires_grad=False)
+        weights = tree.path_weights(z)
+        stacked = np.concatenate([w.data for w in weights], axis=1)
+        assert set(np.unique(stacked)).issubset({0.0, 1.0})
+        # exactly depth+1 nodes active per sample (root + one per level)
+        np.testing.assert_array_equal(stacked.sum(axis=1), 3.0)
+
+    def test_traversed_paths_valid_leaves(self, rng):
+        tree = BonsaiTree(input_dim=8, num_labels=3, depth=2, rng=0)
+        z = make_tensor((10, 8), rng, requires_grad=False)
+        leaves = tree.traversed_paths(z)
+        assert leaves.shape == (10,)
+        assert ((leaves >= 0) & (leaves < 4)).all()
+
+    def test_sharpness_approaches_hard_routing(self, rng):
+        tree = BonsaiTree(input_dim=8, num_labels=3, depth=2, rng=0)
+        z = make_tensor((4, 8), rng, requires_grad=False)
+        tree.train()
+        tree.branch_sharpness = 1000.0
+        soft = tree(z).data
+        tree.eval()
+        hard = tree(z).data
+        np.testing.assert_allclose(soft, hard, rtol=1e-3, atol=1e-4)
+
+    def test_forward_shape_and_gradients(self, rng):
+        tree = BonsaiTree(input_dim=12, num_labels=5, depth=2, projection_dim=6, rng=0)
+        x = make_tensor((4, 12), rng)
+        out = tree(x)
+        assert out.shape == (4, 5)
+        out.sum().backward()
+        assert tree.projection.grad is not None
+        assert tree.w0.weight.grad is not None
+        assert tree.theta0.weight.grad is not None
+
+    def test_flattens_3d_input(self, rng):
+        tree = BonsaiTree(input_dim=20, num_labels=3, depth=1, projection_dim=4, rng=0)
+        x = make_tensor((2, 4, 5), rng, requires_grad=False)
+        assert tree(x).shape == (2, 3)
+
+
+class TestFactories:
+    def test_strassen_node_factory(self, rng):
+        tree = BonsaiTree(
+            input_dim=8,
+            num_labels=3,
+            depth=1,
+            linear_factory=lambda din, dout: StrassenLinear(din, dout, r=3, bias=False, rng=0),
+            rng=0,
+        )
+        x = make_tensor((2, 8), rng, requires_grad=False)
+        assert tree(x).shape == (2, 3)
+        assert isinstance(tree.w0, StrassenLinear)
+        assert isinstance(tree.theta0, StrassenLinear)
+
+
+class TestAnnealing:
+    def test_schedule_geometric_ramp(self):
+        sched = BonsaiAnnealingSchedule(start=1.0, end=16.0, total_epochs=5)
+        assert sched._sharpness(0) == pytest.approx(1.0)
+        assert sched._sharpness(4) == pytest.approx(16.0)
+        mid = sched._sharpness(2)
+        assert 1.0 < mid < 16.0
+        assert sched._sharpness(9) == pytest.approx(16.0)  # clamped
+
+    def test_schedule_applies_to_trees(self, rng):
+        from repro.training import TrainConfig, Trainer
+
+        tree = BonsaiTree(input_dim=4, num_labels=2, depth=1, rng=0)
+        trainer = Trainer(tree, TrainConfig(epochs=3, batch_size=8, lr_drop_every=None),
+                          callbacks=[BonsaiAnnealingSchedule(1.0, 9.0, 3)])
+        x = rng.standard_normal((16, 4)).astype(np.float32)
+        y = (x[:, 0] > 0).astype(np.int64)
+        trainer.fit(x, y)
+        assert tree.branch_sharpness == pytest.approx(9.0)
+
+
+class TestSparsity:
+    def test_hard_threshold_keeps_top_fraction(self, rng):
+        values = rng.standard_normal(100)
+        out = hard_threshold(values, 0.25)
+        assert np.count_nonzero(out) <= 26
+        kept = np.abs(out[out != 0])
+        dropped = np.abs(values[out == 0])
+        assert kept.min() >= dropped.max() - 1e-12
+
+    def test_hard_threshold_validation(self):
+        with pytest.raises(ValueError):
+            hard_threshold(np.ones(4), 0.0)
+
+    def test_iht_callback_sparsifies(self, rng):
+        from repro.training import TrainConfig, Trainer
+
+        tree = BonsaiTree(input_dim=10, num_labels=2, depth=1, projection_dim=4, rng=0)
+        callback = BonsaiIHTCallback(keep_fractions={"projection": 0.3, "w": 0.5}, warmup_steps=0)
+        trainer = Trainer(tree, TrainConfig(epochs=2, batch_size=8, lr_drop_every=None),
+                          callbacks=[callback])
+        x = rng.standard_normal((32, 10)).astype(np.float32)
+        y = (x[:, 0] > 0).astype(np.int64)
+        trainer.fit(x, y)
+        z_sparsity = float(np.mean(tree.projection.data == 0))
+        assert z_sparsity >= 0.6  # kept 30 %

@@ -1,0 +1,87 @@
+"""Per-model cost-report structure: activation chains and size entries.
+
+Complements test_costmodel_paper.py (which pins the paper's totals) by
+checking the *internal structure* every CostReport must have: activation
+chains that start at the input and end at the logits, all-positive buffer
+sizes, and size entries that cover every deployed tensor exactly once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hybrid import HybridConfig, HybridNet, STHybridNet
+from repro.models import CNN, DNN, BonsaiKWS, CRNN, DSCNN, GRUModel, STDSCNN
+from repro.models.rnn_models import basic_lstm, projected_lstm
+
+ALL_REPORTS = [
+    ("ds-cnn", lambda: DSCNN().cost_report()),
+    ("st-ds-cnn", lambda: STDSCNN().cost_report()),
+    ("cnn", lambda: CNN().cost_report()),
+    ("dnn", lambda: DNN().cost_report()),
+    ("basic-lstm", lambda: basic_lstm().cost_report()),
+    ("lstm", lambda: projected_lstm().cost_report()),
+    ("gru", lambda: GRUModel().cost_report()),
+    ("crnn", lambda: CRNN().cost_report()),
+    ("bonsai", lambda: BonsaiKWS().cost_report()),
+    ("hybrid", lambda: HybridNet().cost_report()),
+    ("st-hybrid", lambda: STHybridNet().cost_report()),
+]
+
+
+@pytest.mark.parametrize("name,make", ALL_REPORTS, ids=[n for n, _ in ALL_REPORTS])
+class TestReportStructure:
+    def test_activation_chain_endpoints(self, name, make):
+        report = make()
+        acts = report.activation_bytes
+        assert len(acts) >= 3
+        assert all(a > 0 for a in acts)
+        # ends at the 12 logits (bits vary by report; logits are smallest)
+        assert acts[-1] <= min(acts) + 1e-9 or acts[-1] < acts[0]
+
+    def test_footprint_exceeds_model_size(self, name, make):
+        report = make()
+        assert report.footprint_kb > report.model_kb
+
+    def test_size_entries_unique_names(self, name, make):
+        report = make()
+        names = [entry.name for entry in report.size.entries]
+        assert len(names) == len(set(names)), "duplicate size entries"
+
+    def test_row_renders_all_columns(self, name, make):
+        row = make().row()
+        assert set(row) == {
+            "network", "muls", "adds", "macs", "ops", "model_kb", "footprint_kb",
+        }
+
+
+class TestScalingBehaviour:
+    def test_ds_cnn_costs_scale_with_width(self):
+        small = DSCNN(width=32).cost_report()
+        large = DSCNN(width=64).cost_report()
+        assert large.ops.ops > 2 * small.ops.ops  # pointwise terms are quadratic
+        assert large.model_kb > small.model_kb
+
+    def test_st_hybrid_costs_scale_with_r(self):
+        import dataclasses
+
+        base = HybridConfig()
+        lean = STHybridNet(dataclasses.replace(base, r_fraction=0.5)).cost_report()
+        fat = STHybridNet(dataclasses.replace(base, r_fraction=2.0)).cost_report()
+        assert fat.ops.adds > lean.ops.adds
+        assert fat.ops.muls > lean.ops.muls
+        assert fat.model_kb > lean.model_kb
+
+    def test_hybrid_cheaper_than_dscnn_at_every_width(self):
+        for width in (16, 32, 64):
+            hybrid = HybridNet(HybridConfig(width=width)).cost_report()
+            ds = DSCNN(width=width).cost_report()
+            assert hybrid.ops.ops < ds.ops.ops
+
+    def test_tree_depth_barely_moves_st_hybrid_ops(self):
+        import dataclasses
+
+        base = HybridConfig()
+        d1 = STHybridNet(dataclasses.replace(base, tree_depth=1)).cost_report()
+        d2 = STHybridNet(base).cost_report()
+        assert abs(d2.ops.ops - d1.ops.ops) / d2.ops.ops < 0.02

@@ -1,0 +1,141 @@
+"""Cost model: count algebra, layer formulas, memory accounting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costmodel import (
+    OpCounts,
+    SizeBreakdown,
+    activation_footprint_bytes,
+    bonsai_counts,
+    conv2d_counts,
+    depthwise_conv2d_counts,
+    format_table,
+    linear_counts,
+    strassen_conv2d_counts,
+    strassen_depthwise_counts,
+    strassen_linear_counts,
+)
+from repro.costmodel.counts import fmt_count
+
+COUNTS = st.builds(
+    OpCounts,
+    muls=st.integers(min_value=0, max_value=10**9),
+    adds=st.integers(min_value=0, max_value=10**9),
+    macs=st.integers(min_value=0, max_value=10**9),
+)
+
+
+class TestOpCounts:
+    @given(COUNTS, COUNTS)
+    @settings(max_examples=50, deadline=None)
+    def test_addition_is_componentwise(self, a, b):
+        c = a + b
+        assert c.muls == a.muls + b.muls
+        assert c.adds == a.adds + b.adds
+        assert c.macs == a.macs + b.macs
+        assert c.ops == a.ops + b.ops
+
+    @given(COUNTS, st.integers(min_value=0, max_value=100))
+    @settings(max_examples=50, deadline=None)
+    def test_scaling(self, a, k):
+        scaled = a.scaled(k)
+        assert scaled.ops == a.ops * k
+
+    def test_fmt_count(self):
+        assert fmt_count(2_700_000) == "2.70M"
+        assert fmt_count(768) == "768"
+        assert fmt_count(23_180) == "23.2K"
+
+
+class TestLayerFormulas:
+    def test_conv_hand_example(self):
+        # DS-CNN conv1: 64 filters of 10x4 over 1 channel on a 25x5 output
+        counts = conv2d_counts(1, 64, (10, 4), (25, 5))
+        assert counts.macs == 64 * 25 * 5 * 40 + 64 * 25 * 5
+
+    def test_depthwise_hand_example(self):
+        counts = depthwise_conv2d_counts(64, (3, 3), (25, 5))
+        assert counts.macs == 64 * 125 * 9 + 64 * 125
+
+    def test_linear(self):
+        assert linear_counts(64, 12).macs == 64 * 12 + 12
+        assert linear_counts(64, 12, bias=False).macs == 64 * 12
+
+    def test_strassen_pointwise_equals_two_convs(self):
+        """With r = c_out a strassenified pointwise layer costs exactly two
+        ternary 1x1 convs of the original size — the paper's observation."""
+        standard = conv2d_counts(64, 64, (1, 1), (25, 5), bias=False)
+        strassen = strassen_conv2d_counts(64, 64, (1, 1), (25, 5), r=64, bias=False)
+        assert strassen.adds == 2 * standard.macs
+        assert strassen.muls == 64 * 125
+
+    def test_strassen_linear(self):
+        counts = strassen_linear_counts(64, 12, r=12)
+        assert counts.muls == 12
+        assert counts.adds == 12 * 64 + 12 * 12 + 12
+
+    def test_strassen_depthwise(self):
+        counts = strassen_depthwise_counts(64, (3, 3), (25, 5))
+        assert counts.muls == 125 * 64
+        assert counts.adds == 125 * (64 * 9 + 64) + 125 * 64
+
+    def test_bonsai_counts_with_and_without_projection(self):
+        with_proj = bonsai_counts(392, 64, 12, 7, 3, project=True)
+        without = bonsai_counts(392, 64, 12, 7, 3, project=False)
+        assert with_proj.macs - without.macs == 64 * 392
+
+
+class TestMemory:
+    def test_size_breakdown_bytes(self):
+        size = SizeBreakdown().add("w", 1024, 8).add("t", 1024, 2)
+        assert size.total_bytes == 1024 + 256
+        assert size.kb() == pytest.approx((1024 + 256) / 1024)
+        assert size.total_elements == 2048
+
+    def test_size_breakdown_validation(self):
+        with pytest.raises(ValueError):
+            SizeBreakdown().add("w", -1, 8)
+        with pytest.raises(ValueError):
+            SizeBreakdown().add("w", 1, 0)
+
+    def test_with_bits_reprices(self):
+        size = SizeBreakdown().add("w", 100, 32)
+        repriced = size.with_bits(lambda e: 8)
+        assert repriced.total_bytes == 100
+
+    def test_filter(self):
+        size = SizeBreakdown().add("a.w", 10, 8).add("b.w", 20, 8)
+        assert size.filter(lambda e: e.name.startswith("a")).total_elements == 10
+
+    def test_footprint_max_consecutive_pair(self):
+        # the paper's example: two adjacent 8000-byte buffers -> 16000
+        acts = [490, 8000, 8000, 8000, 64, 12]
+        assert activation_footprint_bytes(acts) == 16000
+
+    def test_footprint_edges(self):
+        assert activation_footprint_bytes([]) == 0.0
+        assert activation_footprint_bytes([100]) == 100.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=2, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_footprint_bounds(self, sizes):
+        footprint = activation_footprint_bytes(sizes)
+        assert footprint >= max(sizes)
+        assert footprint <= 2 * max(sizes)
+
+
+class TestReportTable:
+    def test_format_table_alignment(self):
+        rows = [{"name": "a", "value": 1}, {"name": "bbbb", "value": 22}]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "NAME" in lines[1]
+        assert len(lines) == 5
+
+    def test_empty_rows(self):
+        assert format_table([], title="T") == "T"

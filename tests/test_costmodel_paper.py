@@ -1,0 +1,110 @@
+"""Regression tests: the cost model must land on the paper's numbers.
+
+These encode the paper's published cost columns; if an architecture
+definition or counting convention drifts, these fail.  Accuracy columns are
+not tested here (they need training) — see the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hybrid.config import TABLE5_CONFIGS
+from repro.core.hybrid.network import HybridNet
+from repro.core.hybrid.strassenified import STHybridNet
+from repro.models.bonsai_kws import BonsaiKWS
+from repro.models.ds_cnn import DSCNN
+from repro.models.st_ds_cnn import STDSCNN
+
+
+class TestDSCNN:
+    def test_macs_and_size(self):
+        report = DSCNN().cost_report()
+        assert report.ops.macs == pytest.approx(2.7e6, rel=0.02)  # paper: 2.7M
+        assert report.model_kb == pytest.approx(22.07, abs=0.05)  # paper: 22.07KB
+
+    def test_footprint(self):
+        report = DSCNN().cost_report(weight_bits=8, act_bits=8)
+        assert report.footprint_kb == pytest.approx(37.7, abs=0.1)  # paper: 37.7KB
+
+
+class TestSTDSCNN:
+    @pytest.mark.parametrize(
+        "r_fraction,muls_m,adds_m",
+        [(0.5, 0.05, 2.85), (0.75, 0.06, 4.09), (1.0, 0.07, 5.32), (2.0, 0.11, 10.25)],
+    )
+    def test_table1_muls_adds(self, r_fraction, muls_m, adds_m):
+        """Table 1's mult/add columns, matched to the printed precision."""
+        report = STDSCNN(r_fraction=r_fraction).cost_report()
+        assert report.ops.muls / 1e6 == pytest.approx(muls_m, abs=0.02)
+        assert report.ops.adds / 1e6 == pytest.approx(adds_m, rel=0.02)
+
+    def test_sizes_monotone_in_r(self):
+        sizes = [STDSCNN(r_fraction=r).cost_report().model_kb for r in (0.5, 0.75, 1.0, 2.0)]
+        assert sizes == sorted(sizes)
+
+
+class TestHybrid:
+    def test_hybridnet_macs(self):
+        report = HybridNet().cost_report()
+        assert report.ops.macs / 1e6 == pytest.approx(1.5, abs=0.05)  # paper: 1.5M
+
+    def test_hybridnet_fp32_size(self):
+        report = HybridNet().cost_report(weight_bits=32)
+        assert report.model_kb == pytest.approx(94.25, rel=0.05)  # paper: 94.25KB
+
+    def test_st_hybrid_table4(self):
+        report = STHybridNet().cost_report()
+        assert report.ops.muls / 1e6 == pytest.approx(0.03, abs=0.01)  # paper: 0.03M
+        assert report.ops.adds / 1e6 == pytest.approx(2.37, rel=0.03)  # paper: 2.37M
+        assert report.ops.ops / 1e6 == pytest.approx(2.4, rel=0.03)  # paper: 2.4M
+
+    def test_table5_ops(self):
+        expected = {
+            "2 conv layers, D=2, N=7": 1.53,
+            "3 conv layers, D=1, N=3": 2.39,
+            "3 conv layers, D=2, N=7": 2.4,
+        }
+        for description, cfg in TABLE5_CONFIGS.items():
+            ops = STHybridNet(cfg).cost_report().ops.ops / 1e6
+            assert ops == pytest.approx(expected[description], rel=0.04), description
+
+    def test_table6_footprints(self):
+        """Fully-8b and mixed-8/16b activation accounting."""
+        st = STHybridNet()
+        fully = st.cost_report(a_hat_bits=16, bias_bits=8, act_bits=8)
+        mixed = st.cost_report(a_hat_bits=16, bias_bits=8, act_bits=8, dw_intermediate_bits=16)
+        ds = DSCNN().cost_report(weight_bits=8, act_bits=8)
+        # paper: 26.17KB vs 37.7KB vs 41.8KB (ours shifted by the ~1KB model-size delta)
+        assert fully.footprint_kb < ds.footprint_kb < mixed.footprint_kb
+        # the mixed mode's peak pair is the two 16-bit dw intermediates: 31.25KB
+        from repro.costmodel.memory import activation_footprint_bytes
+
+        peak = activation_footprint_bytes(mixed.activation_bytes) / 1024.0
+        assert peak == pytest.approx(31.25, abs=0.01)
+
+    def test_headline_claims(self):
+        """Abstract: 98.89% fewer muls, 12.22% fewer adds, 11.1% fewer ops."""
+        ds = DSCNN().cost_report()
+        st = STHybridNet().cost_report()
+        assert 1 - st.ops.muls / ds.ops.macs > 0.985
+        adds_reduction = 1 - st.ops.adds / ds.ops.macs
+        assert adds_reduction == pytest.approx(0.1222, abs=0.03)
+        ops_reduction = 1 - st.ops.ops / ds.ops.ops
+        assert ops_reduction == pytest.approx(0.111, abs=0.03)
+
+
+class TestBonsaiTable2:
+    @pytest.mark.parametrize(
+        "d_hat,depth,kb",
+        [(64, 2, 140.75), (64, 4, 287.75), (128, 2, 281.5), (128, 4, 575.5)],
+    )
+    def test_exact_model_sizes_at_d392(self, d_hat, depth, kb):
+        report = BonsaiKWS(projection_dim=d_hat, depth=depth).cost_report(input_dim=392)
+        assert report.model_kb == pytest.approx(kb, abs=0.01)
+
+    def test_projection_dominates(self):
+        """Paper: 69.63% of the D^=64/T=2 model is the FC projection."""
+        report = BonsaiKWS(projection_dim=64, depth=2).cost_report(input_dim=392)
+        z_bytes = report.size.filter(lambda e: e.name == "Z").total_bytes
+        assert z_bytes / report.size.total_bytes == pytest.approx(0.6963, abs=0.001)

@@ -1,0 +1,143 @@
+"""Synthetic corpus: synthesiser, task assembly, splits, loader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    ALL_KEYWORDS,
+    LABELS,
+    TARGET_WORDS,
+    SpeechCommandsConfig,
+    iterate_minibatches,
+    keyword_spec,
+    label_index,
+    synthesize,
+)
+from repro.datasets.noise import pink_noise, white_noise
+from repro.datasets.speech_commands import _split_of
+from repro.datasets.synthesizer import distinctness_score, phoneme_inventory
+from repro.errors import DatasetError
+
+
+class TestSynthesizer:
+    def test_spec_determinism(self):
+        a, b = keyword_spec("yes"), keyword_spec("yes")
+        assert a == b
+        assert keyword_spec("no") != a
+
+    def test_inventory_is_shared(self):
+        inventory = phoneme_inventory()
+        assert len(inventory) == 10
+        # at least one keyword reuses an inventory phoneme's formant ratios
+        spec = keyword_spec("yes")
+        assert 3 <= len(spec.phonemes) <= 4
+
+    def test_waveform_properties(self):
+        wave = synthesize(keyword_spec("go"), rng=0)
+        assert wave.shape == (16000,)
+        assert np.isfinite(wave).all()
+        np.testing.assert_allclose(np.sqrt(np.mean(wave**2)), 0.08, rtol=1e-6)
+
+    def test_utterances_vary(self):
+        spec = keyword_spec("stop")
+        w1 = synthesize(spec, rng=1)
+        w2 = synthesize(spec, rng=2)
+        assert np.abs(w1 - w2).max() > 1e-3
+
+    def test_classes_are_separable(self):
+        score = distinctness_score(["yes", "no", "up", "down"], utterances_per_word=4)
+        assert score > 1.2, f"synthetic classes not separable (score={score:.2f})"
+
+
+class TestNoise:
+    def test_white_noise_statistics(self):
+        noise = white_noise(10000, rng=0)
+        assert abs(noise.mean()) < 0.05
+        assert abs(noise.std() - 1.0) < 0.05
+
+    def test_pink_noise_low_frequency_heavy(self):
+        noise = pink_noise(16384, rng=0)
+        spectrum = np.abs(np.fft.rfft(noise)) ** 2
+        low = spectrum[1:100].mean()
+        high = spectrum[-100:].mean()
+        assert low > 5 * high  # 1/f-ish tilt
+
+
+class TestTaskAssembly:
+    def test_label_mapping(self):
+        assert label_index("silence") == 0
+        assert label_index("bed") == 1  # non-target keyword -> unknown
+        for word in TARGET_WORDS:
+            assert LABELS[label_index(word)] == word
+        with pytest.raises(DatasetError):
+            label_index("not-a-word")
+
+    def test_thirty_keywords_twelve_labels(self):
+        assert len(ALL_KEYWORDS) == 30
+        assert len(LABELS) == 12
+
+    def test_split_hash_stable_and_distributed(self):
+        ids = [f"yes/{i}" for i in range(600)]
+        splits = [_split_of(identity) for identity in ids]
+        assert splits == [_split_of(identity) for identity in ids]  # stable
+        fractions = {name: splits.count(name) / len(splits) for name in ("train", "val", "test")}
+        assert 0.7 < fractions["train"] < 0.9
+        assert 0.05 < fractions["val"] < 0.16
+        assert 0.05 < fractions["test"] < 0.16
+
+    def test_dataset_arrays(self, tiny_dataset):
+        x, y = tiny_dataset.arrays("train")
+        assert x.ndim == 3 and x.shape[1:] == (49, 10)
+        assert x.dtype == np.float32
+        assert y.dtype == np.int64
+        assert set(np.unique(y)).issubset(set(range(12)))
+        assert tiny_dataset.num_labels == 12
+
+    def test_rebalanced_label_distribution(self, tiny_dataset):
+        y = tiny_dataset.labels("train")
+        counts = np.bincount(y, minlength=12)
+        # unknown (label 1) must not dominate: the rebalancing is the point
+        assert counts[1] < 0.3 * counts.sum()
+
+    def test_normalisation_is_per_coefficient(self, tiny_dataset):
+        x = tiny_dataset.features("train")
+        stds = x.std(axis=(0, 1))
+        np.testing.assert_allclose(stds, 1.0, atol=0.1)
+
+    def test_config_derived_counts(self):
+        cfg = SpeechCommandsConfig(utterances_per_word=100)
+        assert cfg.silence_clips == 150
+        assert cfg.unknown_per_word == 8  # 1000*0.15/20 rounded
+
+    def test_summary_mentions_sizes(self, tiny_dataset):
+        text = tiny_dataset.summary()
+        assert "train=" in text and "labels=12" in text
+
+
+class TestLoader:
+    def test_batches_cover_everything(self, rng):
+        x = np.arange(25).reshape(25, 1)
+        y = np.arange(25)
+        seen = []
+        for bx, by in iterate_minibatches(x, y, 8, rng=0, shuffle=True):
+            np.testing.assert_array_equal(bx.reshape(-1), by)
+            seen.extend(by.tolist())
+        assert sorted(seen) == list(range(25))
+
+    def test_drop_last(self):
+        x, y = np.zeros((25, 1)), np.zeros(25)
+        batches = list(iterate_minibatches(x, y, 8, shuffle=False, drop_last=True))
+        assert len(batches) == 3
+        assert all(len(b[1]) == 8 for b in batches)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            next(iterate_minibatches(np.zeros((3, 1)), np.zeros(4), 2))
+
+    def test_shuffle_determinism(self):
+        x, y = np.arange(10).reshape(10, 1), np.arange(10)
+        a = [b[1].tolist() for b in iterate_minibatches(x, y, 4, rng=5)]
+        b = [b[1].tolist() for b in iterate_minibatches(x, y, 4, rng=5)]
+        assert a == b

@@ -1,0 +1,131 @@
+"""Deployment artifacts: 2-bit packing, model image, reference interpreter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.autodiff.tensor import Tensor, no_grad
+from repro.core.hybrid import HybridConfig, STHybridNet
+from repro.core.strassen import freeze_all
+from repro.deploy import ImageInterpreter, ModelImage, build_image, pack_ternary, unpack_ternary
+from repro.errors import ConfigError, QuantizationError
+
+TERNARY_ARRAYS = arrays(
+    dtype=np.float32,
+    shape=array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=9),
+    elements=st.sampled_from([-1.0, 0.0, 1.0]),
+)
+
+
+class TestPacking:
+    @given(TERNARY_ARRAYS)
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip(self, values):
+        blob, shape = pack_ternary(values)
+        restored = unpack_ternary(blob, shape)
+        np.testing.assert_array_equal(restored, values)
+
+    @given(TERNARY_ARRAYS)
+    @settings(max_examples=80, deadline=None)
+    def test_four_weights_per_byte(self, values):
+        blob, _ = pack_ternary(values)
+        assert len(blob) == (values.size + 3) // 4
+
+    def test_rejects_non_ternary(self):
+        with pytest.raises(QuantizationError):
+            pack_ternary(np.array([0.5, 1.0]))
+
+    def test_unpack_validates_length(self):
+        blob, _ = pack_ternary(np.ones(8, dtype=np.float32))
+        with pytest.raises(QuantizationError):
+            unpack_ternary(blob, (16,))
+
+
+@pytest.fixture(scope="module")
+def frozen_model():
+    model = STHybridNet(HybridConfig(width=8), rng=0)
+    freeze_all(model)
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="module")
+def image(frozen_model):
+    return build_image(frozen_model)
+
+
+class TestImage:
+    def test_layer_inventory(self, image):
+        names = [record.name for record in image.layers]
+        assert "conv1" in names
+        assert "ds0.dw" in names and "ds1.pw" in names
+        assert "tree.w0" in names and "tree.theta2" in names
+        # conv1 + 2x(dw+pw) + 14 node matmuls + 3 thetas
+        assert len(names) == 1 + 4 + 14 + 3
+
+    def test_requires_frozen(self):
+        model = STHybridNet(HybridConfig(width=8), rng=0)  # still full-precision
+        with pytest.raises(ConfigError):
+            build_image(model)
+
+    def test_serialisation_roundtrip(self, image):
+        blob = image.to_bytes()
+        restored = ModelImage.from_bytes(blob)
+        assert restored.header == image.header
+        assert len(restored.layers) == len(image.layers)
+        original = image.layer("conv1")
+        parsed = restored.layer("conv1")
+        np.testing.assert_array_equal(parsed.wb(), original.wb())
+        np.testing.assert_array_equal(parsed.a_hat, original.a_hat)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ConfigError):
+            ModelImage.from_bytes(b"XXXX" + b"\x00" * 16)
+
+    def test_size_accounting(self, image):
+        with_scales = image.total_bytes(count_scales=True)
+        without = image.total_bytes(count_scales=False)
+        assert with_scales > without > 0
+        # ternary payload dominates neither view at width 8, but both are
+        # well under the fp32 parameter size
+        fp32_bytes = 4 * sum(
+            int(np.prod(r.wb_shape)) + int(np.prod(r.wc_shape)) for r in image.layers
+        )
+        assert with_scales < fp32_bytes
+
+
+class TestInterpreter:
+    def test_matches_live_model(self, frozen_model, image, rng):
+        x = rng.standard_normal((5, 49, 10)).astype(np.float32)
+        with no_grad():
+            reference = frozen_model(Tensor(x)).data
+        interp = ImageInterpreter(image)
+        got = interp(x)
+        np.testing.assert_allclose(got, reference, rtol=1e-3, atol=1e-4)
+
+    def test_matches_after_serialisation(self, frozen_model, image, rng):
+        x = rng.standard_normal((3, 49, 10)).astype(np.float32)
+        interp = ImageInterpreter(ModelImage.from_bytes(image.to_bytes()))
+        with no_grad():
+            reference = frozen_model(Tensor(x)).data
+        np.testing.assert_allclose(interp(x), reference, rtol=1e-3, atol=1e-4)
+
+    def test_predict_labels(self, image, rng):
+        interp = ImageInterpreter(image)
+        labels = interp.predict(rng.standard_normal((4, 49, 10)).astype(np.float32))
+        assert labels.shape == (4,)
+        assert ((labels >= 0) & (labels < 12)).all()
+
+    def test_features_shape(self, image, rng):
+        interp = ImageInterpreter(image)
+        feats = interp.features(rng.standard_normal((2, 49, 10)).astype(np.float32))
+        assert feats.shape == (2, 8)
+
+    def test_rejects_unknown_arch(self, image):
+        bad = ModelImage(header={"arch": "mystery"}, layers=image.layers)
+        with pytest.raises(ConfigError):
+            ImageInterpreter(bad)

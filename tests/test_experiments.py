@@ -1,0 +1,108 @@
+"""Experiment harness: scales, caching, result rendering, figure-1 runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS, CI_SCALE, PAPER_SCALE, get_scale
+from repro.experiments.common import (
+    ExperimentResult,
+    clear_train_cache,
+    get_dataset,
+    pct,
+    trained,
+)
+from repro.models import DNN
+
+
+def test_scales():
+    assert get_scale("ci") is CI_SCALE
+    assert get_scale("paper") is PAPER_SCALE
+    assert get_scale(CI_SCALE) is CI_SCALE
+    assert CI_SCALE.st_epochs == sum(CI_SCALE.st_phases)
+    with pytest.raises(KeyError):
+        get_scale("huge")
+
+
+def test_all_experiments_registered():
+    assert set(ALL_EXPERIMENTS) == {
+        "table1", "table2", "table3", "table4", "table5", "table6", "table7",
+        "figure1", "addition_budget",
+    }
+    for module in ALL_EXPERIMENTS.values():
+        assert hasattr(module, "run")
+
+
+def test_result_table_renders():
+    result = ExperimentResult("t", "Title", rows=[{"a": 1, "b": "x"}], notes=["n1"])
+    text = result.table()
+    assert "Title" in text and "note: n1" in text and "x" in text
+
+
+def test_pct_formatting():
+    assert pct(0.9451) == "94.51"
+
+
+def test_trained_cache_hits(tiny_dataset, monkeypatch):
+    """Same key returns the same object without retraining."""
+    import dataclasses
+
+    clear_train_cache()
+    scale = dataclasses.replace(CI_SCALE, utterances_per_word=16, seed=77, epochs=2)
+    calls = []
+
+    def build():
+        calls.append(1)
+        return DNN(hidden=(8,), rng=0)
+
+    first = trained("cache-test", build, scale=scale)
+    second = trained("cache-test", build, scale=scale)
+    assert first is second
+    assert len(calls) == 1
+    assert 0.0 <= first.test_accuracy <= 1.0
+    clear_train_cache()
+
+
+def test_figure1_runs_tiny(monkeypatch):
+    """The figure-1 runner works end to end at a tiny scale."""
+    import dataclasses
+
+    from repro.experiments import figure1
+
+    tiny = dataclasses.replace(CI_SCALE, utterances_per_word=16, seed=77, width=8)
+    result = figure1.run(tiny)
+    assert len(result.rows) == 6
+    assert any("node scores" in n for n in result.notes)
+
+
+def test_get_dataset_is_cached():
+    import dataclasses
+
+    scale = dataclasses.replace(CI_SCALE, utterances_per_word=16, seed=77)
+    assert get_dataset(scale) is get_dataset(scale)
+
+
+def test_runner_cli_rejects_unknown_experiment(capsys):
+    from repro.experiments import runner
+
+    with pytest.raises(SystemExit):
+        runner.main(["table99"])
+
+
+def test_runner_cli_runs_figure1(capsys, monkeypatch):
+    """The CLI renders figure1 end to end (cheapest experiment)."""
+    import dataclasses
+
+    from repro.experiments import figure1, runner
+
+    tiny = dataclasses.replace(CI_SCALE, utterances_per_word=16, seed=77, width=8)
+    original_run = figure1.run
+    monkeypatch.setattr(
+        runner.ALL_EXPERIMENTS["figure1"],
+        "run",
+        lambda scale, seed=0: original_run(tiny, seed=seed),
+    )
+    assert runner.main(["figure1"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out and "regenerated" in out

@@ -1,0 +1,131 @@
+"""End-to-end integration tests on the tiny synthetic corpus.
+
+These exercise the full pipeline — waveform synthesis → MFCC → model
+training → compression — at a scale that runs in seconds, asserting the
+behavioural properties the paper's tables rest on.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core.bonsai import BonsaiAnnealingSchedule
+from repro.core.hybrid import HybridConfig, HybridNet, STHybridNet
+from repro.core.strassen import StrassenSchedule, strassen_modules
+from repro.models import BonsaiKWS, DSCNN
+from repro.quantization import quantize_st_model
+from repro.training import TrainConfig, Trainer
+from repro.training.trainer import evaluate_model
+
+CFG = HybridConfig(width=16)
+
+
+def _fit(model, dataset, epochs=6, loss="cross_entropy", callbacks=None, teacher=None):
+    trainer = Trainer(
+        model,
+        TrainConfig(epochs=epochs, batch_size=16, lr=3e-3, loss=loss, lr_drop_every=None, seed=0),
+        callbacks=callbacks,
+        teacher=teacher,
+    )
+    x, y = dataset.arrays("train")
+    xv, yv = dataset.arrays("val")
+    history = trainer.fit(x, y, xv, yv)
+    return trainer, history
+
+
+@pytest.fixture(scope="module")
+def corpus(tiny_dataset):
+    return tiny_dataset
+
+
+def test_hybrid_learns_above_chance(corpus):
+    model = HybridNet(CFG, rng=0)
+    trainer, history = _fit(model, corpus, epochs=12, loss="hinge",
+                            callbacks=[BonsaiAnnealingSchedule(1.0, 8.0, 12)])
+    x, y = corpus.arrays("test")
+    acc = trainer.evaluate(x, y)
+    assert acc > 0.4, f"hybrid failed to learn (acc={acc:.2f})"
+    assert history.train_loss[-1] < history.train_loss[0]
+
+
+def test_st_hybrid_three_phase_pipeline(corpus):
+    model = STHybridNet(CFG, rng=1)
+    trainer, _ = _fit(
+        model,
+        corpus,
+        epochs=14,
+        loss="hinge",
+        callbacks=[StrassenSchedule(5, 4), BonsaiAnnealingSchedule(1.0, 8.0, 14)],
+    )
+    # after the schedule, everything is frozen ternary
+    for layer in strassen_modules(model):
+        assert layer.phase == "frozen"
+        assert set(np.unique(layer.wb.data)).issubset({-1.0, 0.0, 1.0})
+    x, y = corpus.arrays("test")
+    assert trainer.evaluate(x, y) > 0.25
+
+
+def test_distillation_from_hybrid_teacher(corpus):
+    teacher = HybridNet(CFG, rng=0)
+    t_trainer, _ = _fit(teacher, corpus, epochs=12, loss="hinge",
+                        callbacks=[BonsaiAnnealingSchedule(1.0, 8.0, 12)])
+    student = STHybridNet(CFG, rng=1)
+    s_trainer, _ = _fit(
+        student,
+        corpus,
+        epochs=14,
+        loss="hinge",
+        callbacks=[StrassenSchedule(5, 4), BonsaiAnnealingSchedule(1.0, 8.0, 14)],
+        teacher=teacher,
+    )
+    x, y = corpus.arrays("test")
+    assert s_trainer.evaluate(x, y) > 0.25
+
+
+def test_ptq_preserves_most_accuracy(corpus):
+    model = STHybridNet(CFG, rng=1)
+    trainer, _ = _fit(
+        model, corpus, epochs=14, loss="hinge",
+        callbacks=[StrassenSchedule(5, 4), BonsaiAnnealingSchedule(1.0, 8.0, 14)],
+    )
+    x, y = corpus.arrays("test")
+    baseline = trainer.evaluate(x, y)
+    quantized = copy.deepcopy(model)
+    quantize_st_model(quantized, corpus.features("val")[:32], act_bits=8, dw_hidden_bits=16)
+    q_acc = evaluate_model(quantized, x, y)
+    assert q_acc >= baseline - 0.15, f"PTQ lost too much ({baseline:.2f} -> {q_acc:.2f})"
+
+
+def test_conv_features_beat_flat_projection(corpus):
+    """The paper's central §2.2 claim at miniature scale: conv features >
+    Bonsai's flat projection, on average over seeds."""
+    hybrid_accs, bonsai_accs = [], []
+    x, y = corpus.arrays("test")
+    for seed in (0, 1):
+        hybrid = HybridNet(CFG, rng=seed)
+        trainer, _ = _fit(hybrid, corpus, epochs=12, loss="hinge",
+                          callbacks=[BonsaiAnnealingSchedule(1.0, 8.0, 12)])
+        hybrid_accs.append(trainer.evaluate(x, y))
+        bonsai = BonsaiKWS(projection_dim=16, depth=2, rng=seed)
+        b_trainer, _ = _fit(bonsai, corpus, epochs=12, loss="hinge",
+                            callbacks=[BonsaiAnnealingSchedule(1.0, 8.0, 12)])
+        bonsai_accs.append(b_trainer.evaluate(x, y))
+    assert np.mean(hybrid_accs) > np.mean(bonsai_accs) - 0.05
+
+
+def test_save_load_trained_model(corpus, tmp_path):
+    from repro.utils import load_state_dict, save_state_dict
+
+    model = DSCNN(width=8, rng=0)
+    trainer, _ = _fit(model, corpus, epochs=3)
+    x, y = corpus.arrays("test")
+    logits_before = trainer.predict(x)
+    path = tmp_path / "dscnn.npz"
+    save_state_dict(path, model.state_dict())
+    clone = DSCNN(width=8, rng=99)
+    clone.load_state_dict(load_state_dict(path))
+    logits_after = Trainer(clone, TrainConfig(epochs=1)).predict(x)
+    np.testing.assert_allclose(logits_before, logits_after, rtol=1e-4, atol=1e-5)

@@ -1,0 +1,116 @@
+"""Model zoo: forward/backward shapes, registry, cost-report sanity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import make_tensor
+from repro.autodiff import Tensor
+from repro.core.hybrid import HybridConfig, HybridNet, STHybridNet
+from repro.errors import ConfigError
+from repro.models import (
+    CNN,
+    DNN,
+    MODELS,
+    BonsaiKWS,
+    CRNN,
+    DSCNN,
+    GRUModel,
+    STDSCNN,
+    basic_lstm,
+    build_model,
+    projected_lstm,
+)
+
+SMALL_KWARGS = {
+    "ds-cnn": {"width": 8},
+    "st-ds-cnn": {"width": 8},
+    "cnn": {"conv1_filters": 4, "conv2_filters": 4, "linear_dim": 4, "dnn_dim": 8},
+    "dnn": {"hidden": (16,)},
+    "basic-lstm": {"hidden_size": 8},
+    "lstm": {"hidden_size": 8, "proj_size": 4},
+    "gru": {"hidden_size": 8},
+    "crnn": {"conv_filters": 4, "gru_hidden": 8},
+    "bonsai": {"projection_dim": 8},
+    "hybrid": {"config": HybridConfig(width=8)},
+    "st-hybrid": {"config": HybridConfig(width=8)},
+}
+
+
+@pytest.mark.parametrize("name", sorted(SMALL_KWARGS))
+def test_every_model_forward_backward(name, rng):
+    model = build_model(name, rng=0, **SMALL_KWARGS[name])
+    x = make_tensor((2, 49, 10), rng, requires_grad=False)
+    out = model(x)
+    assert out.shape == (2, 12)
+    assert np.isfinite(out.data).all()
+    out.sum().backward()
+    grads = [p.grad for p in model.parameters() if p.requires_grad]
+    assert any(g is not None for g in grads)
+
+
+def test_registry_lists_all_models():
+    assert set(MODELS.names()) == set(SMALL_KWARGS)
+
+
+def test_registry_unknown_name():
+    with pytest.raises(ConfigError):
+        build_model("resnet-152")
+
+
+def test_ds_cnn_feature_hw():
+    assert DSCNN().feature_hw == (25, 5)
+
+
+def test_cost_reports_have_positive_costs():
+    for model in (DSCNN(), CNN(), DNN(), basic_lstm(), projected_lstm(), GRUModel(), CRNN(), BonsaiKWS(), HybridNet(), STDSCNN(), STHybridNet()):
+        report = model.cost_report()
+        assert report.ops.ops > 0
+        assert report.model_kb > 0
+        assert len(report.activation_bytes) >= 2
+
+
+def test_rnn_frame_stride_subsamples(rng):
+    model = GRUModel(hidden_size=8, frame_stride=2, rng=0)
+    assert model.num_steps == 25
+    x = make_tensor((1, 49, 10), rng, requires_grad=False)
+    assert model(x).shape == (1, 12)
+
+
+def test_hybrid_config_validation():
+    with pytest.raises(ConfigError):
+        HybridConfig(num_conv_layers=0)
+    with pytest.raises(ConfigError):
+        HybridConfig(tree_depth=0)
+
+
+def test_hybrid_config_derived():
+    cfg = HybridConfig(width=64, r_fraction=0.75, num_labels=12)
+    assert cfg.conv_r == 48
+    assert cfg.tree_r == 12
+    assert cfg.num_ds_blocks == 2
+    assert cfg.scaled(24).width == 24
+
+
+def test_hybrid_feature_extractor_shape(rng):
+    net = HybridNet(HybridConfig(width=8), rng=0)
+    x = make_tensor((3, 49, 10), rng, requires_grad=False)
+    feats = net.features(x)
+    assert feats.shape == (3, 8)
+
+
+def test_st_hybrid_uses_strassen_everywhere():
+    from repro.core.strassen import strassen_modules
+
+    net = STHybridNet(HybridConfig(width=8), rng=0)
+    layers = list(strassen_modules(net))
+    # conv1 + 2x(dw+pw) + 7 nodes x 2 matmuls + 3 thetas = 1+4+17 = 22
+    assert len(layers) == 22
+
+
+def test_models_deterministic_given_seed(rng):
+    x = Tensor(rng.standard_normal((2, 49, 10)).astype(np.float32))
+    a = DSCNN(width=8, rng=7)(x).data
+    b = DSCNN(width=8, rng=7)(x).data
+    np.testing.assert_array_equal(a, b)

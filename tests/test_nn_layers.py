@@ -1,0 +1,104 @@
+"""Layer modules: shapes, gradients, containers, dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import make_tensor
+from repro import nn
+from repro.autodiff import Tensor, check_gradients
+
+
+def test_linear_shapes_and_gradcheck(rng):
+    layer = nn.Linear(5, 3, rng=0)
+    x = make_tensor((4, 5), rng)
+    out = layer(x)
+    assert out.shape == (4, 3)
+    check_gradients(lambda x, w, b: layer(x), [x, layer.weight, layer.bias])
+
+
+def test_linear_no_bias(rng):
+    layer = nn.Linear(5, 3, bias=False, rng=0)
+    assert layer.bias is None
+    assert layer(make_tensor((2, 5), rng)).shape == (2, 3)
+
+
+def test_conv2d_module(rng):
+    layer = nn.Conv2d(3, 8, (3, 3), stride=2, padding=1, rng=0)
+    x = make_tensor((2, 3, 9, 9), rng)
+    out = layer(x)
+    assert out.shape == (2, 8, 5, 5)
+    out.sum().backward()
+    assert layer.weight.grad is not None
+
+
+def test_pointwise_is_1x1(rng):
+    layer = nn.PointwiseConv2d(4, 6, rng=0)
+    assert layer.kernel_size == (1, 1)
+    x = make_tensor((1, 4, 3, 3), rng)
+    assert layer(x).shape == (1, 6, 3, 3)
+
+
+def test_ds_block_preserves_spatial(rng):
+    block = nn.DSConvBlock(4, 8, 3, padding=1, rng=0)
+    x = make_tensor((2, 4, 6, 5), rng)
+    out = block(x)
+    assert out.shape == (2, 8, 6, 5)
+    assert (out.data >= 0).all()  # ends in ReLU
+    out.sum().backward()
+    assert block.pointwise.weight.grad is not None
+    assert block.depthwise.weight.grad is not None
+
+
+def test_sequential_container(rng):
+    seq = nn.Sequential(nn.Linear(4, 8, rng=0), nn.ReLU(), nn.Linear(8, 2, rng=1))
+    x = make_tensor((3, 4), rng)
+    assert seq(x).shape == (3, 2)
+    assert len(seq) == 3
+    assert isinstance(seq[1], nn.ReLU)
+    assert len(list(seq.parameters())) == 4
+
+
+def test_global_avg_pool(rng):
+    pool = nn.GlobalAvgPool2d()
+    x = make_tensor((2, 5, 4, 4), rng)
+    out = pool(x)
+    assert out.shape == (2, 5)
+    np.testing.assert_allclose(out.data, x.data.mean(axis=(2, 3)), rtol=1e-5)
+
+
+def test_dropout_train_vs_eval(rng):
+    drop = nn.Dropout(0.5, rng=0)
+    x = Tensor(np.ones((100, 100), dtype=np.float32))
+    out = drop(x)
+    zero_fraction = float(np.mean(out.data == 0))
+    assert 0.35 < zero_fraction < 0.65
+    # inverted scaling keeps the expectation
+    assert abs(out.data.mean() - 1.0) < 0.1
+    drop.eval()
+    np.testing.assert_array_equal(drop(x).data, x.data)
+
+
+def test_dropout_validates_probability():
+    with pytest.raises(ValueError):
+        nn.Dropout(1.0)
+
+
+def test_activation_modules(rng):
+    x = make_tensor((3, 4), rng)
+    assert (nn.ReLU()(x).data >= 0).all()
+    np.testing.assert_allclose(nn.Tanh()(x).data, np.tanh(x.data), rtol=1e-5)
+    probs = nn.Softmax()(x).data
+    np.testing.assert_allclose(probs.sum(axis=-1), 1.0, rtol=1e-5)
+    assert nn.Identity()(x) is x
+
+
+def test_init_schemes_bounds(rng):
+    w = nn.init.kaiming_uniform((64, 32), fan_in=32, rng=rng)
+    bound = np.sqrt(6.0 / 32)
+    assert np.abs(w).max() <= bound
+    g = nn.init.glorot_uniform((16, 16), 16, 16, rng=rng)
+    assert np.abs(g).max() <= np.sqrt(6.0 / 32)
+    assert nn.init.zeros(4).sum() == 0
+    assert nn.init.ones(4).sum() == 4

@@ -1,0 +1,101 @@
+"""Module/Parameter registration, state_dict, modes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autodiff import Tensor
+from repro.nn.module import Module, Parameter
+
+
+class Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.lin = nn.Linear(4, 3, rng=0)
+        self.scale = Parameter(np.ones(3, dtype=np.float32))
+        self.register_buffer("running", Tensor(np.zeros(3, dtype=np.float32)))
+
+    def forward(self, x):
+        return self.lin(x) * self.scale
+
+
+def test_parameter_registration_and_names():
+    toy = Toy()
+    names = dict(toy.named_parameters())
+    assert set(names) == {"lin.weight", "lin.bias", "scale"}
+    assert all(isinstance(p, Parameter) for p in names.values())
+
+
+def test_buffer_registration():
+    toy = Toy()
+    buffers = dict(toy.named_buffers())
+    assert "running" in buffers
+    # buffers appear in state_dict but not in parameters
+    assert "running" in toy.state_dict()
+    assert "running" not in dict(toy.named_parameters())
+
+
+def test_state_dict_roundtrip():
+    toy = Toy()
+    state = toy.state_dict()
+    toy2 = Toy()
+    for p in toy2.parameters():
+        p.data = p.data + 1.0
+    toy2.load_state_dict(state)
+    for name, p in toy2.named_parameters():
+        np.testing.assert_array_equal(p.data, state[name])
+
+
+def test_load_state_dict_strict_errors():
+    toy = Toy()
+    state = toy.state_dict()
+    del state["scale"]
+    with pytest.raises(KeyError):
+        toy.load_state_dict(state)
+    toy.load_state_dict(state, strict=False)  # tolerated when not strict
+
+
+def test_load_state_dict_shape_mismatch():
+    toy = Toy()
+    state = toy.state_dict()
+    state["scale"] = np.ones(7)
+    with pytest.raises(ValueError):
+        toy.load_state_dict(state)
+
+
+def test_train_eval_recurses():
+    toy = Toy()
+    assert toy.training and toy.lin.training
+    toy.eval()
+    assert not toy.training and not toy.lin.training
+    toy.train()
+    assert toy.training and toy.lin.training
+
+
+def test_num_parameters():
+    toy = Toy()
+    assert toy.num_parameters() == 4 * 3 + 3 + 3
+    assert toy.num_parameters(trainable_only=False) == 4 * 3 + 3 + 3 + 3
+
+
+def test_zero_grad_clears_all(rng):
+    toy = Toy()
+    out = toy(Tensor(rng.standard_normal((2, 4)).astype(np.float32)))
+    out.sum().backward()
+    assert any(p.grad is not None for p in toy.parameters())
+    toy.zero_grad()
+    assert all(p.grad is None for p in toy.parameters())
+
+
+def test_reassignment_replaces_registration():
+    toy = Toy()
+    toy.scale = Parameter(np.zeros(3, dtype=np.float32))
+    assert len(list(toy.named_parameters())) == 3  # no duplicate entry
+
+
+def test_named_modules_walks_tree():
+    toy = Toy()
+    names = [name for name, _ in toy.named_modules()]
+    assert "" in names and "lin" in names

@@ -1,0 +1,91 @@
+"""Batch normalisation: statistics, modes, folding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import make_tensor
+from repro import nn
+from repro.autodiff import Tensor, no_grad
+from repro.autodiff.ops_conv import conv2d, depthwise_conv2d
+from repro.nn.norm import bn_scale_shift, fold_bn_into_conv
+
+
+def test_bn2d_normalises_batch(rng):
+    bn = nn.BatchNorm2d(3)
+    x = make_tensor((8, 3, 5, 5), rng, scale=3.0)
+    x.data += 7.0
+    out = bn(x)
+    mean = out.data.mean(axis=(0, 2, 3))
+    std = out.data.std(axis=(0, 2, 3))
+    np.testing.assert_allclose(mean, 0.0, atol=1e-4)
+    np.testing.assert_allclose(std, 1.0, atol=1e-2)
+
+
+def test_bn_running_stats_update_and_eval(rng):
+    bn = nn.BatchNorm2d(2, momentum=0.5)
+    x = make_tensor((16, 2, 4, 4), rng, requires_grad=False)
+    x.data += 5.0
+    bn(x)
+    assert bn.running_mean.data.mean() > 1.0  # moved toward the batch mean
+    bn.eval()
+    out1 = bn(x).data
+    out2 = bn(x).data
+    np.testing.assert_array_equal(out1, out2)  # eval is deterministic
+
+
+def test_bn1d(rng):
+    bn = nn.BatchNorm1d(4)
+    x = make_tensor((32, 4), rng, scale=2.0)
+    out = bn(x)
+    np.testing.assert_allclose(out.data.mean(axis=0), 0.0, atol=1e-4)
+
+
+def test_bn_gradients_flow(rng):
+    bn = nn.BatchNorm2d(2)
+    x = make_tensor((4, 2, 3, 3), rng)
+    bn(x).sum().backward()
+    assert bn.gamma.grad is not None
+    assert bn.beta.grad is not None
+    assert x.grad is not None
+
+
+def test_scale_shift_equivalence(rng):
+    bn = nn.BatchNorm2d(3)
+    bn.running_mean.data = rng.standard_normal(3).astype(np.float32)
+    bn.running_var.data = (rng.random(3).astype(np.float32) + 0.5)
+    bn.gamma.data = rng.standard_normal(3).astype(np.float32)
+    bn.beta.data = rng.standard_normal(3).astype(np.float32)
+    bn.eval()
+    x = make_tensor((2, 3, 4, 4), rng, requires_grad=False)
+    scale, shift = bn_scale_shift(bn)
+    expected = x.data * scale[None, :, None, None] + shift[None, :, None, None]
+    np.testing.assert_allclose(bn(x).data, expected, rtol=1e-4, atol=1e-5)
+
+
+def test_fold_bn_into_conv_preserves_output(rng):
+    conv = nn.Conv2d(2, 3, (3, 3), padding=1, bias=True, rng=0)
+    bn = nn.BatchNorm2d(3)
+    bn.running_mean.data = rng.standard_normal(3).astype(np.float32)
+    bn.running_var.data = (rng.random(3).astype(np.float32) + 0.5)
+    bn.gamma.data = rng.standard_normal(3).astype(np.float32)
+    bn.eval()
+    x = make_tensor((2, 2, 5, 5), rng, requires_grad=False)
+    with no_grad():
+        reference = bn(conv(x)).data
+        w, b = fold_bn_into_conv(conv.weight.data, conv.bias.data, bn)
+        folded = conv2d(x, Tensor(w), Tensor(b), stride=1, padding=1).data
+    np.testing.assert_allclose(folded, reference, rtol=1e-3, atol=1e-4)
+
+
+def test_fold_bn_into_depthwise(rng):
+    dw = nn.DepthwiseConv2d(3, 3, padding=1, bias=False, rng=0)
+    bn = nn.BatchNorm2d(3)
+    bn.running_var.data = (rng.random(3).astype(np.float32) + 0.5)
+    bn.eval()
+    x = make_tensor((1, 3, 4, 4), rng, requires_grad=False)
+    with no_grad():
+        reference = bn(dw(x)).data
+        w, b = fold_bn_into_conv(dw.weight.data, None, bn, depthwise=True)
+        folded = depthwise_conv2d(x, Tensor(w), Tensor(b), stride=1, padding=1).data
+    np.testing.assert_allclose(folded, reference, rtol=1e-3, atol=1e-4)

@@ -1,0 +1,75 @@
+"""Recurrent cells and sequence wrappers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import make_tensor
+from repro import nn
+from repro.autodiff import Tensor
+
+
+def test_lstm_cell_step(rng):
+    cell = nn.LSTMCell(5, 7, rng=0)
+    x = make_tensor((3, 5), rng, requires_grad=False)
+    h = Tensor(np.zeros((3, 7), dtype=np.float32))
+    c = Tensor(np.zeros((3, 7), dtype=np.float32))
+    out, (h2, c2) = cell(x, (h, c))
+    assert out.shape == (3, 7)
+    assert c2.shape == (3, 7)
+    assert np.abs(out.data).max() <= 1.0  # o * tanh(c) is bounded
+
+
+def test_lstm_projection_shrinks_state(rng):
+    cell = nn.LSTMCell(5, 8, proj_size=3, rng=0)
+    assert cell.state_size == (3, 8)
+    x = make_tensor((2, 5), rng, requires_grad=False)
+    h = Tensor(np.zeros((2, 3), dtype=np.float32))
+    c = Tensor(np.zeros((2, 8), dtype=np.float32))
+    out, _ = cell(x, (h, c))
+    assert out.shape == (2, 3)
+
+
+def test_forget_gate_bias_initialised_to_one():
+    cell = nn.LSTMCell(4, 6, rng=0)
+    np.testing.assert_array_equal(cell.bias.data[6:12], np.ones(6, dtype=np.float32))
+
+
+def test_gru_cell_interpolates(rng):
+    cell = nn.GRUCell(4, 6, rng=0)
+    x = make_tensor((2, 4), rng, requires_grad=False)
+    h = Tensor(rng.standard_normal((2, 6)).astype(np.float32))
+    out = cell(x, h)
+    assert out.shape == (2, 6)
+
+
+def test_lstm_sequence_final_and_sequences(rng):
+    seq = make_tensor((3, 7, 5), rng)
+    final = nn.LSTM(5, 6, rng=0)(seq)
+    assert final.shape == (3, 6)
+    all_steps = nn.LSTM(5, 6, return_sequences=True, rng=0)(seq)
+    assert all_steps.shape == (3, 7, 6)
+
+
+def test_gru_sequence_gradients_reach_input(rng):
+    seq = make_tensor((2, 6, 4), rng)
+    out = nn.GRU(4, 5, rng=0)(seq)
+    out.sum().backward()
+    assert seq.grad is not None
+    assert np.abs(seq.grad).sum() > 0  # gradient flows through all steps
+
+
+def test_lstm_gradients_to_parameters(rng):
+    lstm = nn.LSTM(4, 5, proj_size=3, rng=0)
+    seq = make_tensor((2, 5, 4), rng, requires_grad=False)
+    lstm(seq).sum().backward()
+    assert lstm.cell.w_ih.grad is not None
+    assert lstm.cell.projection.grad is not None
+
+
+def test_rnn_determinism(rng):
+    seq_data = rng.standard_normal((2, 5, 4)).astype(np.float32)
+    gru = nn.GRU(4, 5, rng=0)
+    out1 = gru(Tensor(seq_data)).data
+    out2 = gru(Tensor(seq_data)).data
+    np.testing.assert_array_equal(out1, out2)

@@ -1,0 +1,146 @@
+"""Convolution / pooling / padding ops: shapes and gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_tensor
+from repro.autodiff import Tensor, avg_pool2d, check_gradients, conv2d, depthwise_conv2d, pad2d
+from repro.autodiff.ops_conv import conv_output_size
+from repro.errors import ShapeError
+
+
+class TestConv2d:
+    def test_output_shape_matches_formula(self, rng):
+        x = make_tensor((2, 3, 9, 7), rng, requires_grad=False)
+        w = make_tensor((5, 3, 3, 3), rng, requires_grad=False)
+        out = conv2d(x, w, stride=(2, 1), padding=(1, 0))
+        assert out.shape == (2, 5, conv_output_size(9, 3, 2, 1), conv_output_size(7, 3, 1, 0))
+
+    def test_gradients_strided_padded(self, rng):
+        x = make_tensor((2, 2, 6, 5), rng, scale=0.5)
+        w = make_tensor((3, 2, 3, 2), rng, scale=0.3)
+        b = make_tensor((3,), rng)
+        check_gradients(lambda x, w, b: conv2d(x, w, b, stride=(2, 2), padding=(1, 1)), [x, w, b])
+
+    def test_matches_naive_loop(self, rng):
+        x = make_tensor((1, 2, 5, 5), rng, requires_grad=False)
+        w = make_tensor((3, 2, 3, 3), rng, requires_grad=False)
+        out = conv2d(x, w).data
+        naive = np.zeros_like(out)
+        for f in range(3):
+            for i in range(3):
+                for j in range(3):
+                    patch = x.data[0, :, i : i + 3, j : j + 3]
+                    naive[0, f, i, j] = (patch * w.data[f]).sum()
+        np.testing.assert_allclose(out, naive, rtol=1e-4, atol=1e-5)
+
+    def test_channel_mismatch_raises(self, rng):
+        x = make_tensor((1, 2, 5, 5), rng, requires_grad=False)
+        w = make_tensor((3, 4, 3, 3), rng, requires_grad=False)
+        with pytest.raises(ShapeError):
+            conv2d(x, w)
+
+    def test_empty_output_raises(self):
+        with pytest.raises(ShapeError):
+            conv_output_size(2, 5, 1, 0)
+
+    @given(
+        st.integers(min_value=1, max_value=3),   # channels
+        st.integers(min_value=1, max_value=3),   # filters
+        st.integers(min_value=1, max_value=3),   # kernel
+        st.integers(min_value=1, max_value=2),   # stride
+        st.integers(min_value=0, max_value=1),   # padding
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_naive_on_random_shapes(self, c, f, k, s, p, seed):
+        """Vectorised conv == explicit loop, for random small configs."""
+        rng = np.random.default_rng(seed)
+        h = w = k + 2  # always big enough for one output
+        x = rng.standard_normal((1, c, h, w)).astype(np.float32)
+        weight = rng.standard_normal((f, c, k, k)).astype(np.float32)
+        out = conv2d(Tensor(x), Tensor(weight), stride=s, padding=p).data
+        xp = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)))
+        oh = (h + 2 * p - k) // s + 1
+        ow = (w + 2 * p - k) // s + 1
+        naive = np.zeros((1, f, oh, ow), dtype=np.float64)
+        for ff in range(f):
+            for i in range(oh):
+                for j in range(ow):
+                    patch = xp[0, :, i * s : i * s + k, j * s : j * s + k]
+                    naive[0, ff, i, j] = float((patch * weight[ff]).sum())
+        np.testing.assert_allclose(out, naive, rtol=1e-4, atol=1e-4)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_conv_linearity(self, seed):
+        """conv(x, w1 + w2) == conv(x, w1) + conv(x, w2)."""
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.standard_normal((1, 2, 5, 5)).astype(np.float32))
+        w1 = rng.standard_normal((3, 2, 3, 3)).astype(np.float32)
+        w2 = rng.standard_normal((3, 2, 3, 3)).astype(np.float32)
+        combined = conv2d(x, Tensor(w1 + w2)).data
+        separate = conv2d(x, Tensor(w1)).data + conv2d(x, Tensor(w2)).data
+        np.testing.assert_allclose(combined, separate, rtol=1e-3, atol=1e-4)
+
+
+class TestDepthwise:
+    def test_shape_and_gradients(self, rng):
+        x = make_tensor((2, 4, 6, 5), rng, scale=0.5)
+        w = make_tensor((4, 3, 3), rng, scale=0.3)
+        b = make_tensor((4,), rng)
+        check_gradients(
+            lambda x, w, b: depthwise_conv2d(x, w, b, stride=(1, 2), padding=1), [x, w, b]
+        )
+
+    def test_channels_stay_separate(self, rng):
+        x = make_tensor((1, 2, 4, 4), rng, requires_grad=False)
+        w = Tensor(np.stack([np.zeros((3, 3)), np.ones((3, 3))]).astype(np.float32))
+        out = depthwise_conv2d(x, w, padding=1)
+        assert np.abs(out.data[:, 0]).max() == 0.0  # zero filter kills channel 0 only
+        assert np.abs(out.data[:, 1]).max() > 0.0
+
+    def test_channel_mismatch_raises(self, rng):
+        x = make_tensor((1, 2, 5, 5), rng, requires_grad=False)
+        w = make_tensor((3, 3, 3), rng, requires_grad=False)
+        with pytest.raises(ShapeError):
+            depthwise_conv2d(x, w)
+
+
+class TestPooling:
+    def test_global_average(self, rng):
+        x = make_tensor((2, 3, 4, 5), rng)
+        out = avg_pool2d(x, None)
+        assert out.shape == (2, 3, 1, 1)
+        np.testing.assert_allclose(
+            out.data.reshape(2, 3), x.data.mean(axis=(2, 3)), rtol=1e-5
+        )
+        check_gradients(lambda x: avg_pool2d(x, None), [x])
+
+    def test_windowed(self, rng):
+        x = make_tensor((1, 2, 4, 6), rng)
+        out = avg_pool2d(x, (2, 3))
+        assert out.shape == (1, 2, 2, 2)
+        check_gradients(lambda x: avg_pool2d(x, (2, 3)), [x])
+
+    def test_non_dividing_kernel_raises(self, rng):
+        x = make_tensor((1, 2, 5, 5), rng, requires_grad=False)
+        with pytest.raises(ShapeError):
+            avg_pool2d(x, (2, 2))
+
+
+class TestPad:
+    def test_pad_and_gradient(self, rng):
+        x = make_tensor((2, 3, 4, 4), rng)
+        out = pad2d(x, (1, 2))
+        assert out.shape == (2, 3, 6, 8)
+        assert np.abs(out.data[:, :, 0, :]).max() == 0.0
+        check_gradients(lambda x: pad2d(x, (1, 2)), [x])
+
+    def test_zero_pad_is_identity(self, rng):
+        x = make_tensor((1, 1, 3, 3), rng, requires_grad=False)
+        assert pad2d(x, 0) is x

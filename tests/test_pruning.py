@@ -1,0 +1,95 @@
+"""Gradual pruning: schedule maths, masks, training integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.models import DSCNN
+from repro.pruning import GradualPruningCallback, PruningMasks, sparsity_report, zhu_gupta_sparsity
+from repro.training import TrainConfig, Trainer
+
+
+class TestSchedule:
+    def test_endpoints(self):
+        assert zhu_gupta_sparsity(0, 0.9, 10, 110) == 0.0
+        assert zhu_gupta_sparsity(10, 0.9, 10, 110) == 0.0
+        assert zhu_gupta_sparsity(110, 0.9, 10, 110) == 0.9
+        assert zhu_gupta_sparsity(500, 0.9, 10, 110) == 0.9
+
+    @given(
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=1, max_value=199),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_and_monotone(self, step, extra):
+        begin, end = 10, 10 + extra + 1
+        value = zhu_gupta_sparsity(step, 0.75, begin, end)
+        assert 0.0 <= value <= 0.75
+        later = zhu_gupta_sparsity(step + 1, 0.75, begin, end)
+        assert later >= value - 1e-12
+
+    def test_cubic_shape_front_loaded(self):
+        # most pruning happens early in the ramp (cubic property)
+        halfway = zhu_gupta_sparsity(60, 0.8, 10, 110)
+        assert halfway > 0.8 * 0.8  # more than 80% of target at midpoint
+
+
+class TestMasks:
+    def test_targets_exclude_bias_and_bn(self):
+        masks = PruningMasks(DSCNN(width=8, rng=0))
+        assert all(not n.endswith(("bias", "gamma", "beta")) for n in masks.targets)
+
+    def test_update_and_apply(self):
+        model = DSCNN(width=8, rng=0)
+        masks = PruningMasks(model)
+        masks.update_to_sparsity(0.5)
+        masks.apply()
+        assert masks.sparsity == pytest.approx(0.5, abs=0.05)
+        report = sparsity_report(model)
+        pruned_layers = [v for k, v in report.items() if k in masks.targets]
+        assert all(0.3 < v < 0.7 for v in pruned_layers)  # per-layer pruning
+
+    def test_zero_sparsity_keeps_everything(self):
+        model = DSCNN(width=8, rng=0)
+        masks = PruningMasks(model)
+        masks.update_to_sparsity(0.0)
+        masks.apply()
+        assert masks.nonzero_parameters() == masks.total_parameters()
+
+    def test_invalid_sparsity(self):
+        masks = PruningMasks(DSCNN(width=8, rng=0))
+        with pytest.raises(ValueError):
+            masks.update_to_sparsity(1.0)
+
+
+class TestCallbackIntegration:
+    def test_training_reaches_target_sparsity(self, rng):
+        x = rng.standard_normal((64, 10)).astype(np.float32)
+        y = (x[:, 0] > 0).astype(np.int64)
+        model = nn.Sequential(nn.Linear(10, 32, rng=0), nn.ReLU(), nn.Linear(32, 2, rng=1))
+        callback = GradualPruningCallback(final_sparsity=0.75, begin_step=0, end_step=12, frequency=2)
+        trainer = Trainer(
+            model, TrainConfig(epochs=5, batch_size=16, lr_drop_every=None), callbacks=[callback]
+        )
+        trainer.fit(x, y)
+        assert callback.masks is not None
+        assert callback.masks.sparsity == pytest.approx(0.75, abs=0.05)
+        # pruned weights are actually zero in the model
+        report = sparsity_report(model)
+        assert max(report.values()) > 0.5
+
+    def test_pruned_weights_stay_dead(self, rng):
+        x = rng.standard_normal((32, 16)).astype(np.float32)
+        y = (x[:, 0] > 0).astype(np.int64)
+        model = nn.Linear(16, 4, rng=0)  # 64 weights: above the prune floor
+        callback = GradualPruningCallback(final_sparsity=0.5, begin_step=0, end_step=4, frequency=1)
+        trainer = Trainer(
+            model, TrainConfig(epochs=4, batch_size=16, lr_drop_every=None), callbacks=[callback]
+        )
+        trainer.fit(x, y)
+        mask = callback.masks.masks["weight"]
+        assert (model.weight.data[~mask] == 0).all()

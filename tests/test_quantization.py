@@ -1,0 +1,144 @@
+"""Fixed-point quantisation, post-training quantization, TWN."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.hybrid import HybridConfig, STHybridNet
+from repro.core.strassen import freeze_all, strassen_modules
+from repro.errors import QuantizationError
+from repro.models import DSCNN
+from repro.quantization import (
+    FixedPointQuantizer,
+    attach_activation_quantizers,
+    quantize_array,
+    quantize_model_weights,
+    quantize_st_model,
+    ternarize_module_weights,
+    twn_report,
+)
+from repro.quantization.fixedpoint import best_frac_bits
+from repro.quantization.post_training import detach_activation_quantizers
+
+VALUES = arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=64),
+    elements=st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+)
+
+
+class TestFixedPoint:
+    @given(VALUES, st.integers(min_value=4, max_value=16))
+    @settings(max_examples=60, deadline=None)
+    def test_quantize_error_bounded_by_step_or_clip(self, values, bits):
+        frac = best_frac_bits(values, bits)
+        out = quantize_array(values, bits, frac)
+        step = 2.0**-frac
+        hi = (2 ** (bits - 1) - 1) * step
+        inside = np.abs(values) <= hi
+        assert np.all(np.abs(out[inside] - values[inside]) <= step / 2 + 1e-12)
+
+    @given(VALUES)
+    @settings(max_examples=60, deadline=None)
+    def test_idempotent(self, values):
+        out1 = quantize_array(values, 8, 4)
+        out2 = quantize_array(out1, 8, 4)
+        np.testing.assert_array_equal(out1, out2)
+
+    def test_more_bits_less_error(self, rng):
+        values = rng.standard_normal(1000)
+        err8 = np.abs(quantize_array(values, 8, best_frac_bits(values, 8)) - values).mean()
+        err16 = np.abs(quantize_array(values, 16, best_frac_bits(values, 16)) - values).mean()
+        assert err16 < err8
+
+    def test_quantizer_requires_calibration(self):
+        q = FixedPointQuantizer(8)
+        with pytest.raises(QuantizationError):
+            q(np.ones(3))
+
+    def test_quantizer_calibrate_and_step(self, rng):
+        q = FixedPointQuantizer(8).calibrate(rng.standard_normal(100))
+        assert q.step == 2.0**-q.frac_bits
+        out = q(np.array([0.123]))
+        assert np.abs(out - 0.123) < q.step
+
+    def test_invalid_bits(self):
+        with pytest.raises(QuantizationError):
+            quantize_array(np.ones(3), 1, 0)
+
+
+class TestWeightPTQ:
+    def test_quantize_model_weights_plan(self):
+        model = DSCNN(width=8, rng=0)
+        applied = quantize_model_weights(
+            model, lambda name, values: 8 if name.endswith("weight") else None
+        )
+        assert applied and all(bits == 8 for bits in applied.values())
+        # quantised weights take few distinct values
+        weights = model.conv1.weight.data
+        assert len(np.unique(weights)) <= 256
+
+
+class TestActivationPTQ:
+    def _trained_free_st(self):
+        model = STHybridNet(HybridConfig(width=8), rng=0)
+        freeze_all(model)
+        return model
+
+    def test_attach_and_detach(self, rng):
+        model = self._trained_free_st()
+        calibration = rng.standard_normal((8, 49, 10)).astype(np.float32)
+        installed = attach_activation_quantizers(model, calibration, act_bits=8)
+        n_layers = len(list(strassen_modules(model)))
+        assert len(installed) == 2 * n_layers
+        detach_activation_quantizers(model)
+        assert all(m.quant_hidden is None for m in strassen_modules(model))
+
+    def test_dw_hidden_bits_override(self, rng):
+        model = self._trained_free_st()
+        calibration = rng.standard_normal((4, 49, 10)).astype(np.float32)
+        installed = attach_activation_quantizers(
+            model, calibration, act_bits=8, dw_hidden_bits=16
+        )
+        dw_hidden = [q for name, q in installed.items() if "depthwise" in name and name.endswith("hidden")]
+        assert dw_hidden and all(q.bits == 16 for q in dw_hidden)
+        others = [q for name, q in installed.items() if "depthwise" not in name]
+        assert all(q.bits == 8 for q in others)
+
+    def test_quantized_model_output_close(self, rng):
+        model = self._trained_free_st()
+        model.eval()
+        x = rng.standard_normal((4, 49, 10)).astype(np.float32)
+        from repro.autodiff import Tensor, no_grad
+
+        with no_grad():
+            before = model(Tensor(x)).data.copy()
+        quantize_st_model(model, x, act_bits=8, a_hat_bits=16, bias_bits=8)
+        with no_grad():
+            after = model(Tensor(x)).data
+        assert np.isfinite(after).all()
+        # outputs change slightly but agree broadly
+        assert np.abs(after - before).mean() < max(0.5, 0.5 * np.abs(before).mean())
+
+
+class TestTWN:
+    def test_ternarize_skips_small_and_norm_params(self):
+        model = DSCNN(width=8, rng=0)
+        alphas = ternarize_module_weights(model)
+        assert any("conv1.weight" in name for name in alphas)
+        assert not any("gamma" in name or "bias" in name for name in alphas)
+        for name, param in model.named_parameters():
+            if name in alphas:
+                values = np.unique(np.round(np.abs(param.data[param.data != 0]), 5))
+                assert len(values) == 1  # single alpha per tensor
+
+    def test_twn_report_size_below_8bit(self):
+        model = DSCNN(rng=0)
+        alphas = ternarize_module_weights(model)
+        report = twn_report(model, alphas)
+        assert report["model_kb"] < DSCNN().cost_report(weight_bits=8).model_kb
+        assert all(0.0 <= s <= 1.0 for s in report["zero_fractions"].values())

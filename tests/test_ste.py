@@ -1,0 +1,139 @@
+"""Straight-through estimators and the TWN ternariser."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.autodiff import Tensor
+from repro.autodiff.ste import (
+    clipped_ste,
+    sign_ste,
+    ternarize_array,
+    ternarize_array_topk,
+    ternary_ste,
+    ternary_threshold,
+)
+
+WEIGHTS = arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=64),
+    elements=st.floats(min_value=-5.0, max_value=5.0, allow_nan=False),
+)
+
+
+class TestTernarize:
+    @given(WEIGHTS)
+    @settings(max_examples=60, deadline=None)
+    def test_values_are_ternary_and_alpha_nonnegative(self, w):
+        ternary, alpha = ternarize_array(w)
+        assert set(np.unique(ternary)).issubset({-1.0, 0.0, 1.0})
+        assert alpha >= 0.0
+
+    @given(WEIGHTS)
+    @settings(max_examples=60, deadline=None)
+    def test_signs_preserved_above_threshold(self, w):
+        ternary, _ = ternarize_array(w)
+        delta = ternary_threshold(w)
+        above = np.abs(w) > delta
+        np.testing.assert_array_equal(ternary[above], np.sign(w[above]))
+        assert (ternary[~above] == 0).all()
+
+    @given(WEIGHTS, st.floats(min_value=0.5, max_value=4.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_scale_invariance(self, w, factor):
+        t1, a1 = ternarize_array(w)
+        t2, a2 = ternarize_array(w * factor)
+        np.testing.assert_array_equal(t1, t2)
+        np.testing.assert_allclose(a2, a1 * factor, rtol=1e-6, atol=1e-9)
+
+    def test_alpha_is_mean_of_survivors(self):
+        w = np.array([0.1, -2.0, 3.0, 0.05])
+        ternary, alpha = ternarize_array(w)
+        survivors = np.abs(w)[ternary != 0]
+        np.testing.assert_allclose(alpha, survivors.mean())
+
+    def test_all_zero_input(self):
+        ternary, alpha = ternarize_array(np.zeros(5))
+        assert (ternary == 0).all()
+        assert alpha == 0.0
+
+
+class TestTopKTernarize:
+    @given(
+        arrays(dtype=np.float64, shape=(6, 10),
+               elements=st.floats(min_value=-5.0, max_value=5.0, allow_nan=False)),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_row_budget_respected(self, w, budget):
+        ternary, alpha = ternarize_array_topk(w, budget)
+        assert set(np.unique(ternary)).issubset({-1.0, 0.0, 1.0})
+        assert (np.count_nonzero(ternary, axis=1) <= budget).all()
+        assert alpha >= 0.0
+
+    def test_budget_is_subset_of_dense_ternary(self, rng):
+        w = rng.standard_normal((4, 8))
+        dense, _ = ternarize_array(w)
+        budgeted, _ = ternarize_array_topk(w, 3)
+        # budgeted support is contained in the dense ternary support
+        assert ((budgeted != 0) <= (dense != 0)).all()
+
+    def test_large_budget_equals_dense(self, rng):
+        w = rng.standard_normal((4, 8))
+        dense, alpha_d = ternarize_array(w)
+        budgeted, alpha_b = ternarize_array_topk(w, 8)
+        np.testing.assert_array_equal(dense, budgeted)
+        np.testing.assert_allclose(alpha_d, alpha_b)
+
+    def test_conv_weight_rows_flattened(self, rng):
+        w = rng.standard_normal((5, 3, 3, 3))  # conv-shaped W_b
+        ternary, _ = ternarize_array_topk(w, 4)
+        per_filter = np.count_nonzero(ternary.reshape(5, -1), axis=1)
+        assert (per_filter <= 4).all()
+
+    def test_invalid_budget(self, rng):
+        with pytest.raises(ValueError):
+            ternarize_array_topk(rng.standard_normal((2, 4)), 0)
+
+    def test_layer_addition_budget(self, rng):
+        from repro.core.strassen import StrassenLinear
+
+        layer = StrassenLinear(16, 4, r=6, rng=0)
+        layer.addition_budget = 4
+        layer.freeze()
+        assert (np.count_nonzero(layer.wb.data, axis=1) <= 4).all()
+        assert layer.wb_nonzeros() <= 6 * 4
+
+
+class TestSTE:
+    def test_ternary_ste_forward_and_identity_grad(self, rng):
+        w = Tensor(rng.standard_normal(20).astype(np.float32), requires_grad=True)
+        out = ternary_ste(w)
+        values = np.unique(np.abs(out.data[out.data != 0]))
+        assert len(values) == 1  # single alpha magnitude
+        out.sum().backward()
+        np.testing.assert_array_equal(w.grad, np.ones(20, dtype=np.float32))
+
+    def test_sign_ste_clips_gradient(self):
+        w = Tensor(np.array([-2.0, -0.5, 0.5, 2.0], dtype=np.float32), requires_grad=True)
+        out = sign_ste(w, clip=1.0)
+        assert set(np.unique(out.data)) <= {-1.0, 1.0}
+        out.sum().backward()
+        np.testing.assert_array_equal(w.grad, [0.0, 1.0, 1.0, 0.0])
+
+    def test_clipped_ste_passes_external_values(self, rng):
+        w = Tensor(rng.standard_normal(6).astype(np.float32), requires_grad=True)
+        q = np.round(w.data * 4) / 4
+        out = clipped_ste(w, q)
+        np.testing.assert_array_equal(out.data, q.astype(np.float32))
+        out.sum().backward()
+        np.testing.assert_array_equal(w.grad, np.ones(6, dtype=np.float32))
+
+    def test_clipped_ste_shape_mismatch(self, rng):
+        w = Tensor(rng.standard_normal(6).astype(np.float32), requires_grad=True)
+        with pytest.raises(ValueError):
+            clipped_ste(w, np.zeros(5))

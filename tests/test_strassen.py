@@ -1,0 +1,215 @@
+"""StrassenNets core: exact SPN algebra, layers, phases, schedule."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from conftest import make_tensor
+from repro.autodiff import Tensor, no_grad
+from repro.core.strassen import (
+    StrassenConv2d,
+    StrassenDepthwiseConv2d,
+    StrassenLinear,
+    StrassenSchedule,
+    exact_strassen_2x2,
+    freeze_all,
+    set_phase,
+    spn_matmul,
+    strassen_modules,
+)
+from repro.errors import ConfigError
+
+MATS = arrays(
+    dtype=np.float64,
+    shape=(2, 2),
+    elements=st.floats(min_value=-10, max_value=10, allow_nan=False),
+)
+
+
+class TestExactStrassen:
+    @given(MATS, MATS)
+    @settings(max_examples=60, deadline=None)
+    def test_spn_reproduces_matmul(self, a, b):
+        """The paper's equation (1) with the classical ternary matrices."""
+        wa, wb, wc = exact_strassen_2x2()
+        got = spn_matmul(wa, wb, wc, a, b, (2, 2))
+        np.testing.assert_allclose(got, a @ b, rtol=1e-9, atol=1e-8)
+
+    def test_matrices_are_ternary_with_seven_products(self):
+        wa, wb, wc = exact_strassen_2x2()
+        for m in (wa, wb, wc):
+            assert set(np.unique(m)).issubset({-1.0, 0.0, 1.0})
+        assert wa.shape == (7, 4) and wb.shape == (7, 4) and wc.shape == (4, 7)
+
+
+class TestStrassenLinear:
+    def test_forward_matches_manual(self, rng):
+        layer = StrassenLinear(6, 4, r=5, rng=0)
+        x = make_tensor((3, 6), rng, requires_grad=False)
+        manual = (
+            (x.data @ layer.wb.data.T) * layer.a_hat.data
+        ) @ layer.wc.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(x).data, manual, rtol=1e-5)
+
+    def test_gradients_flow_in_full_phase(self, rng):
+        layer = StrassenLinear(5, 3, r=4, rng=0)
+        x = make_tensor((2, 5), rng)
+        layer(x).sum().backward()
+        for p in (layer.wb, layer.wc, layer.a_hat, layer.bias):
+            assert p.grad is not None
+
+    def test_quantize_phase_uses_ternary_forward(self, rng):
+        layer = StrassenLinear(5, 3, r=4, rng=0)
+        layer.set_phase("quantize")
+        x = make_tensor((2, 5), rng, requires_grad=False)
+        out_q = layer(x).data
+        layer.phase = "full"
+        out_f = layer(x).data
+        assert np.abs(out_q - out_f).max() > 1e-6  # quantisation changes output
+
+    def test_quantize_phase_ste_gradients(self, rng):
+        layer = StrassenLinear(5, 3, r=4, rng=0)
+        layer.set_phase("quantize")
+        x = make_tensor((2, 5), rng, requires_grad=False)
+        layer(x).sum().backward()
+        assert layer.wb.grad is not None  # STE passes gradients to shadows
+
+    def test_freeze_absorbs_scales(self, rng):
+        layer = StrassenLinear(5, 3, r=4, bias=False, rng=0)
+        x = make_tensor((2, 5), rng, requires_grad=False)
+        layer.set_phase("quantize")
+        with no_grad():
+            out_quantized = layer(x).data.copy()
+        layer.freeze()
+        assert layer.phase == "frozen"
+        assert set(np.unique(layer.wb.data)).issubset({-1.0, 0.0, 1.0})
+        assert set(np.unique(layer.wc.data)).issubset({-1.0, 0.0, 1.0})
+        assert not layer.wb.requires_grad and not layer.wc.requires_grad
+        with no_grad():
+            out_frozen = layer(x).data
+        # freezing + scale absorption preserves the quantised-phase function
+        np.testing.assert_allclose(out_frozen, out_quantized, rtol=1e-4, atol=1e-5)
+
+    def test_frozen_only_a_hat_trains(self, rng):
+        layer = StrassenLinear(5, 3, r=4, rng=0)
+        layer.freeze()
+        x = make_tensor((2, 5), rng, requires_grad=False)
+        layer(x).sum().backward()
+        assert layer.wb.grad is None and layer.wc.grad is None
+        assert layer.a_hat.grad is not None
+
+    def test_cannot_leave_frozen(self):
+        layer = StrassenLinear(4, 2, r=3, rng=0)
+        layer.freeze()
+        with pytest.raises(ConfigError):
+            layer.set_phase("full")
+
+    def test_invalid_phase_and_r(self):
+        layer = StrassenLinear(4, 2, r=3, rng=0)
+        with pytest.raises(ConfigError):
+            layer.set_phase("bogus")
+        with pytest.raises(ConfigError):
+            StrassenLinear(4, 2, r=0)
+
+    def test_size_breakdown_bits(self):
+        layer = StrassenLinear(8, 4, r=6, rng=0)
+        size = layer.size_breakdown(a_hat_bits=16, bias_bits=8)
+        by_name = {e.name: e for e in size.entries}
+        assert by_name["wb"].bits == 2 and by_name["wb"].elements == 48
+        assert by_name["a_hat"].bits == 16
+        assert by_name["bias"].bits == 8
+
+
+class TestStrassenConv:
+    def test_shapes(self, rng):
+        layer = StrassenConv2d(3, 8, (3, 3), r=6, stride=2, padding=1, rng=0)
+        x = make_tensor((2, 3, 9, 9), rng, requires_grad=False)
+        assert layer(x).shape == (2, 8, 5, 5)
+
+    def test_freeze_preserves_quantized_function(self, rng):
+        layer = StrassenConv2d(2, 4, (3, 3), r=3, padding=1, bias=False, rng=0)
+        x = make_tensor((1, 2, 5, 5), rng, requires_grad=False)
+        layer.set_phase("quantize")
+        with no_grad():
+            before = layer(x).data.copy()
+        layer.freeze()
+        with no_grad():
+            after = layer(x).data
+        np.testing.assert_allclose(after, before, rtol=1e-4, atol=1e-5)
+
+    def test_depthwise_shapes_and_freeze(self, rng):
+        layer = StrassenDepthwiseConv2d(4, 3, padding=1, rng=0)
+        x = make_tensor((2, 4, 6, 6), rng, requires_grad=False)
+        assert layer(x).shape == (2, 4, 6, 6)
+        layer.freeze()
+        assert set(np.unique(layer.wb.data)).issubset({-1.0, 0.0, 1.0})
+
+
+class TestTreeHelpers:
+    def _model(self):
+        from repro import nn
+
+        class M(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.a = StrassenLinear(4, 4, r=3, rng=0)
+                self.b = StrassenLinear(4, 2, r=3, rng=1)
+
+            def forward(self, x):
+                return self.b(self.a(x))
+
+        return M()
+
+    def test_strassen_modules_finds_all(self):
+        model = self._model()
+        assert len(list(strassen_modules(model))) == 2
+
+    def test_set_phase_counts_changes(self):
+        model = self._model()
+        assert set_phase(model, "quantize") == 2
+        assert set_phase(model, "quantize") == 0  # idempotent
+
+    def test_freeze_all(self):
+        model = self._model()
+        assert freeze_all(model) == 2
+        assert freeze_all(model) == 0
+        assert all(m.phase == "frozen" for m in strassen_modules(model))
+
+
+class TestSchedule:
+    def test_phase_transitions(self, rng):
+        from repro.training import TrainConfig, Trainer
+
+        model = self._make_model()
+        schedule = StrassenSchedule(full_epochs=2, quantize_epochs=2)
+        trainer = Trainer(model, TrainConfig(epochs=6, batch_size=8, lr_drop_every=None), callbacks=[schedule])
+        x = rng.standard_normal((16, 4)).astype(np.float32)
+        y = (x[:, 0] > 0).astype(np.int64)
+
+        phases_seen = []
+
+        class Recorder(StrassenSchedule.__mro__[1]):  # Callback
+            def on_epoch_begin(self, trainer, epoch):
+                phases_seen.append(next(strassen_modules(trainer.model)).phase)
+
+        trainer.callbacks.append(Recorder())
+        trainer.fit(x, y)
+        assert phases_seen == ["full", "full", "quantize", "quantize", "frozen", "frozen"]
+
+    @staticmethod
+    def _make_model():
+        from repro import nn
+
+        class M(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.layer = StrassenLinear(4, 2, r=3, rng=0)
+
+            def forward(self, x):
+                return self.layer(x)
+
+        return M()

@@ -1,0 +1,144 @@
+"""Streaming keyword detection: stream synthesis, detector, scoring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bonsai import BonsaiAnnealingSchedule
+from repro.core.hybrid import HybridConfig, HybridNet
+from repro.errors import ConfigError
+from repro.evaluation import (
+    DetectionEvent,
+    StreamingConfig,
+    StreamingDetector,
+    StreamingMetrics,
+    make_stream,
+    score_detections,
+)
+from repro.training import TrainConfig, Trainer
+
+
+class TestStreamSynthesis:
+    def test_stream_contains_keywords_with_truth(self):
+        wave, truth = make_stream(["yes", "no", "stop"], rng=0)
+        assert len(truth) == 3
+        assert [w for w, _ in truth] == ["yes", "no", "stop"]
+        times = [t for _, t in truth]
+        assert times == sorted(times)
+        assert len(wave) > 3 * 16000  # keywords + gaps
+        assert np.isfinite(wave).all()
+
+    def test_stream_deterministic(self):
+        w1, t1 = make_stream(["go"], rng=5)
+        w2, t2 = make_stream(["go"], rng=5)
+        np.testing.assert_array_equal(w1, w2)
+        assert t1 == t2
+
+
+class TestConfig:
+    def test_derived_sizes(self):
+        cfg = StreamingConfig(hop_ms=250.0)
+        assert cfg.hop_samples == 4000
+        assert cfg.window_samples == 16000
+
+    def test_smoothing_validation(self):
+        class Dummy:
+            def eval(self):
+                pass
+
+        with pytest.raises(ConfigError):
+            StreamingDetector(Dummy(), StreamingConfig(smoothing_windows=0))
+
+
+class TestScoring:
+    def test_hits_misses_false_alarms(self):
+        truth = [("yes", 2.0), ("no", 5.0), ("bed", 8.0)]  # bed -> unknown
+        events = [
+            DetectionEvent(label=2, time_seconds=2.1, score=0.9),  # hit "yes"
+            DetectionEvent(label=3, time_seconds=9.0, score=0.8),  # FA (wrong place)
+        ]
+        metrics = score_detections(events, truth, stream_seconds=10.0)
+        assert metrics.hits == 1
+        assert metrics.misses == 1  # "no" missed; "bed" excluded (unknown)
+        assert metrics.false_alarms == 1
+        assert metrics.miss_rate == pytest.approx(0.5)
+        assert metrics.false_alarms_per_hour == pytest.approx(360.0)
+
+    def test_each_truth_claimed_once(self):
+        truth = [("yes", 2.0)]
+        events = [
+            DetectionEvent(label=2, time_seconds=2.0, score=0.9),
+            DetectionEvent(label=2, time_seconds=2.2, score=0.9),
+        ]
+        metrics = score_detections(events, truth, stream_seconds=10.0)
+        assert metrics.hits == 1
+        assert metrics.false_alarms == 1
+
+    def test_empty_everything(self):
+        metrics = score_detections([], [], stream_seconds=0.0)
+        assert metrics.miss_rate == 0.0
+        assert metrics.false_alarms_per_hour == 0.0
+
+
+class TestDetectorEndToEnd:
+    @pytest.fixture(scope="class")
+    def trained_model(self, tiny_dataset):
+        model = HybridNet(HybridConfig(width=16), rng=0)
+        trainer = Trainer(
+            model,
+            TrainConfig(epochs=10, batch_size=16, lr=3e-3, loss="hinge", lr_drop_every=None, seed=0),
+            callbacks=[BonsaiAnnealingSchedule(1.0, 8.0, 10)],
+        )
+        trainer.fit(*tiny_dataset.arrays("train"), *tiny_dataset.arrays("val"))
+        return model, tiny_dataset
+
+    def test_posterior_shape_and_normalisation(self, trained_model):
+        model, dataset = trained_model
+        wave, _ = make_stream(["yes"], rng=1)
+        detector = StreamingDetector(
+            model,
+            StreamingConfig(hop_ms=500.0),
+            feature_mean=dataset.feature_mean,
+            feature_std=dataset.feature_std,
+        )
+        times, probs = detector.posteriors(wave)
+        assert probs.shape == (len(times), 12)
+        np.testing.assert_allclose(probs[-1].sum(), 1.0, rtol=1e-4)
+        assert (np.diff(times) > 0).all()
+
+    def test_detect_fires_fewer_than_windows(self, trained_model):
+        model, dataset = trained_model
+        wave, truth = make_stream(["yes", "stop"], rng=2)
+        detector = StreamingDetector(
+            model,
+            StreamingConfig(hop_ms=250.0, threshold=0.5),
+            feature_mean=dataset.feature_mean,
+            feature_std=dataset.feature_std,
+        )
+        events = detector.detect(wave)
+        times, _ = detector.posteriors(wave)
+        assert len(events) <= len(times)
+        for event in events:
+            assert event.label >= 2  # never fires on silence/unknown
+        metrics = score_detections(events, truth, stream_seconds=len(wave) / 16000.0)
+        assert isinstance(metrics, StreamingMetrics)
+
+    def test_refractory_suppresses_bursts(self, trained_model):
+        model, dataset = trained_model
+        wave, _ = make_stream(["yes"], rng=3)
+        detector = StreamingDetector(
+            model,
+            StreamingConfig(hop_ms=125.0, threshold=0.2, refractory_ms=2000.0),
+            feature_mean=dataset.feature_mean,
+            feature_std=dataset.feature_std,
+        )
+        events = detector.detect(wave)
+        gaps = np.diff([e.time_seconds for e in events])
+        assert (gaps >= 2.0 - 1e-9).all() if len(events) > 1 else True
+
+    def test_short_stream_rejected(self, trained_model):
+        model, dataset = trained_model
+        detector = StreamingDetector(model)
+        with pytest.raises(ConfigError):
+            detector.posteriors(np.zeros(1000))

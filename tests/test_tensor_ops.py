@@ -1,0 +1,208 @@
+"""Arithmetic / shape / reduction ops of the autodiff Tensor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import make_tensor
+from repro.autodiff import Tensor, check_gradients, concatenate, maximum, stack, where
+from repro.errors import GraphError, ShapeError
+
+
+class TestArithmetic:
+    def test_add_broadcast_gradients(self, rng):
+        a = make_tensor((3, 4), rng)
+        b = make_tensor((4,), rng)
+        check_gradients(lambda a, b: a + b, [a, b])
+
+    def test_sub_and_rsub(self, rng):
+        a = make_tensor((2, 3), rng)
+        check_gradients(lambda a: 1.5 - a, [a])
+        check_gradients(lambda a: a - 0.5, [a])
+
+    def test_mul_broadcast_gradients(self, rng):
+        a = make_tensor((2, 3, 4), rng)
+        b = make_tensor((3, 1), rng)
+        check_gradients(lambda a, b: a * b, [a, b])
+
+    def test_div_gradients(self, rng):
+        a = make_tensor((3, 3), rng)
+        b = make_tensor((3, 3), rng, scale=1.0)
+        b.data += 3.0  # keep away from zero
+        check_gradients(lambda a, b: a / b, [a, b])
+
+    def test_neg_pow(self, rng):
+        a = make_tensor((4,), rng)
+        a.data = np.abs(a.data) + 0.5
+        check_gradients(lambda a: (-a) ** 3, [a])
+
+    def test_pow_rejects_tensor_exponent(self, rng):
+        a = make_tensor((2,), rng)
+        with pytest.raises(TypeError):
+            a ** a  # noqa: B018
+
+    def test_values_match_numpy(self, rng):
+        a = make_tensor((3, 4), rng)
+        b = make_tensor((3, 4), rng)
+        np.testing.assert_allclose((a + b * 2 - 1).data, a.data + b.data * 2 - 1, rtol=1e-6)
+
+
+class TestMatmul:
+    def test_2d(self, rng):
+        a = make_tensor((3, 4), rng)
+        b = make_tensor((4, 5), rng)
+        check_gradients(lambda a, b: a @ b, [a, b])
+
+    def test_batched(self, rng):
+        a = make_tensor((2, 3, 4), rng)
+        b = make_tensor((2, 4, 5), rng)
+        check_gradients(lambda a, b: a @ b, [a, b])
+
+    def test_matrix_vector(self, rng):
+        a = make_tensor((3, 4), rng)
+        v = make_tensor((4,), rng)
+        check_gradients(lambda a, v: a @ v, [a, v])
+
+    def test_vector_matrix(self, rng):
+        v = make_tensor((3,), rng)
+        b = make_tensor((3, 4), rng)
+        check_gradients(lambda v, b: v @ b, [v, b])
+
+    def test_inner_product(self, rng):
+        a = make_tensor((5,), rng)
+        b = make_tensor((5,), rng)
+        check_gradients(lambda a, b: a @ b, [a, b])
+
+    def test_broadcast_batch(self, rng):
+        a = make_tensor((2, 2, 3, 4), rng)
+        b = make_tensor((4, 5), rng)
+        check_gradients(lambda a, b: a @ b, [a, b])
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip(self, rng):
+        a = make_tensor((2, 6), rng)
+        check_gradients(lambda a: a.reshape(3, 4), [a])
+        assert a.reshape((4, 3)).shape == (4, 3)
+
+    def test_flatten(self, rng):
+        a = make_tensor((2, 3, 4), rng)
+        assert a.flatten(1).shape == (2, 12)
+        check_gradients(lambda a: a.flatten(1), [a])
+
+    def test_transpose(self, rng):
+        a = make_tensor((2, 3, 4), rng)
+        assert a.transpose(2, 0, 1).shape == (4, 2, 3)
+        check_gradients(lambda a: a.transpose(2, 0, 1), [a])
+        assert a.T.shape == (4, 3, 2)
+
+    def test_getitem_slice_and_fancy(self, rng):
+        a = make_tensor((5, 4), rng)
+        check_gradients(lambda a: a[1:4, ::2], [a])
+        idx = np.array([0, 2, 2])
+        check_gradients(lambda a: a[idx], [a])  # repeated index accumulates
+
+    def test_concatenate_and_stack(self, rng):
+        a = make_tensor((2, 3), rng)
+        b = make_tensor((4, 3), rng)
+        check_gradients(lambda a, b: concatenate([a, b], axis=0), [a, b])
+        c = make_tensor((2, 3), rng)
+        check_gradients(lambda a, c: stack([a, c], axis=1), [a, c])
+
+
+class TestReductions:
+    def test_sum_axes(self, rng):
+        a = make_tensor((2, 3, 4), rng)
+        check_gradients(lambda a: a.sum(), [a])
+        check_gradients(lambda a: a.sum(axis=1), [a])
+        check_gradients(lambda a: a.sum(axis=(0, 2), keepdims=True), [a])
+
+    def test_mean_matches_sum(self, rng):
+        a = make_tensor((3, 4), rng)
+        np.testing.assert_allclose(a.mean(axis=0).data, a.data.mean(axis=0), rtol=1e-6)
+        check_gradients(lambda a: a.mean(axis=1), [a])
+
+    def test_max_gradient_to_argmax(self, rng):
+        a = make_tensor((3, 5), rng)
+        a.data = np.arange(15, dtype=np.float32).reshape(3, 5)  # unique maxima
+        out = a.max(axis=1)
+        out.sum().backward()
+        expected = np.zeros((3, 5), dtype=np.float32)
+        expected[:, -1] = 1.0
+        np.testing.assert_array_equal(a.grad, expected)
+
+    def test_var_biased(self, rng):
+        a = make_tensor((4, 6), rng)
+        np.testing.assert_allclose(a.var(axis=0).data, a.data.var(axis=0), rtol=1e-4, atol=1e-5)
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize("op", ["relu", "tanh", "sigmoid", "exp", "abs", "sqrt"])
+    def test_elementwise_gradients(self, rng, op):
+        a = make_tensor((3, 4), rng)
+        if op == "sqrt":
+            a.data = np.abs(a.data) + 0.5
+        if op in ("relu", "abs"):
+            a.data += 0.05 * np.sign(a.data)  # keep away from the kink
+        check_gradients(lambda a: getattr(a, op)(), [a])
+
+    def test_log_gradients(self, rng):
+        a = make_tensor((3, 3), rng)
+        a.data = np.abs(a.data) + 0.5
+        check_gradients(lambda a: a.log(), [a])
+
+    def test_clip_gradient_mask(self, rng):
+        a = Tensor(np.array([-2.0, -0.5, 0.5, 2.0], dtype=np.float32), requires_grad=True)
+        a.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_array_equal(a.grad, [0.0, 1.0, 1.0, 0.0])
+
+    def test_softmax_normalises(self, rng):
+        a = make_tensor((4, 7), rng, scale=5.0)
+        probs = a.softmax(axis=-1).data
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, rtol=1e-5)
+        assert (probs >= 0).all()
+
+    def test_log_softmax_stability(self):
+        a = Tensor(np.array([[1000.0, 1000.0, 999.0]], dtype=np.float32), requires_grad=True)
+        out = a.log_softmax()
+        assert np.isfinite(out.data).all()
+        check_gradients(lambda a: a.log_softmax(), [a])
+
+    def test_sigmoid_extremes_stable(self):
+        a = Tensor(np.array([-500.0, 0.0, 500.0], dtype=np.float32))
+        out = a.sigmoid().data
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0], atol=1e-6)
+
+
+class TestSelectOps:
+    def test_where_routes_gradients(self, rng):
+        a = make_tensor((3, 4), rng)
+        b = make_tensor((3, 4), rng)
+        cond = rng.random((3, 4)) > 0.5
+        check_gradients(lambda a, b: where(cond, a, b), [a, b])
+
+    def test_maximum_gradients(self, rng):
+        a = make_tensor((3, 4), rng)
+        b = make_tensor((3, 4), rng)
+        # keep away from exact ties for the numeric check
+        b.data += 0.1 * np.sign(b.data - a.data + 1e-3)
+        check_gradients(lambda a, b: maximum(a, b), [a, b])
+
+
+class TestErrors:
+    def test_backward_needs_scalar(self, rng):
+        a = make_tensor((3,), rng)
+        with pytest.raises(GraphError):
+            (a * 2).backward()
+
+    def test_item_requires_single_element(self, rng):
+        a = make_tensor((3,), rng)
+        with pytest.raises(ShapeError):
+            a.item()
+
+    def test_gradient_shape_mismatch(self, rng):
+        a = make_tensor((3,), rng)
+        out = a * 2
+        with pytest.raises(ShapeError):
+            out.backward(np.ones(4, dtype=np.float32))

@@ -1,0 +1,87 @@
+"""Property-based tests of the autodiff core (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.autodiff import Tensor
+
+FLOATS = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, width=32)
+
+
+def small_arrays(max_dims=3, max_side=5):
+    return arrays(
+        dtype=np.float32,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, min_side=1, max_side=max_side),
+        elements=FLOATS,
+    )
+
+
+@given(small_arrays())
+@settings(max_examples=40, deadline=None)
+def test_softmax_rows_sum_to_one(data):
+    probs = Tensor(data).softmax(axis=-1).data
+    np.testing.assert_allclose(probs.sum(axis=-1), 1.0, rtol=1e-4, atol=1e-4)
+    assert (probs >= 0).all()
+
+
+@given(small_arrays())
+@settings(max_examples=40, deadline=None)
+def test_add_backward_is_ones(data):
+    t = Tensor(data, requires_grad=True)
+    (t + 1.0).sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(data))
+
+
+@given(small_arrays(), st.floats(min_value=0.1, max_value=5.0, allow_nan=False))
+@settings(max_examples=40, deadline=None)
+def test_scalar_mul_backward(data, scalar):
+    t = Tensor(data, requires_grad=True)
+    (t * scalar).sum().backward()
+    np.testing.assert_allclose(t.grad, np.full_like(data, scalar), rtol=1e-5)
+
+
+@given(small_arrays())
+@settings(max_examples=40, deadline=None)
+def test_reshape_preserves_values_and_grads(data):
+    t = Tensor(data, requires_grad=True)
+    flat = t.reshape(-1)
+    np.testing.assert_array_equal(np.sort(flat.data), np.sort(data.reshape(-1)))
+    flat.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(data))
+
+
+@given(small_arrays(max_dims=2))
+@settings(max_examples=40, deadline=None)
+def test_relu_output_nonnegative_and_sparse_grad(data):
+    t = Tensor(data, requires_grad=True)
+    out = t.relu()
+    assert (out.data >= 0).all()
+    out.sum().backward()
+    # gradient is exactly the positive-input indicator
+    np.testing.assert_array_equal(t.grad != 0, data > 0)
+
+
+@given(small_arrays(max_dims=2), small_arrays(max_dims=2))
+@settings(max_examples=40, deadline=None)
+def test_add_commutes(a, b):
+    try:
+        shape = np.broadcast_shapes(a.shape, b.shape)
+    except ValueError:
+        return  # incompatible shapes — nothing to test
+    left = (Tensor(a) + Tensor(b)).data
+    right = (Tensor(b) + Tensor(a)).data
+    np.testing.assert_array_equal(left, right)
+    assert left.shape == shape
+
+
+@given(small_arrays(max_dims=2))
+@settings(max_examples=40, deadline=None)
+def test_sum_then_mean_consistency(data):
+    t = Tensor(data)
+    np.testing.assert_allclose(
+        t.mean().data, t.sum().data / data.size, rtol=1e-4, atol=1e-5
+    )

@@ -1,0 +1,216 @@
+"""Losses, optimisers, schedules, metrics, and the Trainer loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import make_tensor
+from repro import nn
+from repro.autodiff import Tensor, check_gradients
+from repro.errors import ConfigError
+from repro.nn.module import Parameter
+from repro.training import (
+    Adam,
+    SGD,
+    Callback,
+    ConstantLR,
+    StepDecay,
+    TrainConfig,
+    Trainer,
+    accuracy,
+    confusion_matrix,
+    cross_entropy,
+    distillation_loss,
+    multiclass_hinge,
+)
+from repro.training.metrics import top_k_accuracy
+
+
+class TestLosses:
+    def test_cross_entropy_matches_manual(self, rng):
+        logits = make_tensor((4, 3), rng, requires_grad=False)
+        labels = np.array([0, 2, 1, 1])
+        loss = cross_entropy(logits, labels)
+        shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+        probs = np.exp(shifted) / np.exp(shifted).sum(axis=1, keepdims=True)
+        manual = -np.log(probs[np.arange(4), labels]).mean()
+        np.testing.assert_allclose(float(loss.data), manual, rtol=1e-5)
+
+    def test_cross_entropy_gradcheck(self, rng):
+        logits = make_tensor((3, 4), rng)
+        labels = np.array([1, 0, 3])
+        check_gradients(lambda t: cross_entropy(t, labels), [logits])
+
+    def test_hinge_zero_when_margin_met(self):
+        logits = Tensor(np.array([[10.0, 0.0, 0.0], [0.0, 10.0, 0.0]], dtype=np.float32))
+        loss = multiclass_hinge(logits, np.array([0, 1]))
+        np.testing.assert_allclose(float(loss.data), 0.0, atol=1e-6)
+
+    def test_hinge_penalises_violations(self):
+        logits = Tensor(np.array([[0.0, 1.0]], dtype=np.float32))
+        loss = multiclass_hinge(logits, np.array([0]), margin=1.0)
+        np.testing.assert_allclose(float(loss.data), 2.0, atol=1e-6)  # 1 + 1 - 0
+
+    def test_hinge_gradcheck(self, rng):
+        logits = make_tensor((4, 5), rng)
+        labels = np.array([0, 1, 2, 3])
+        check_gradients(lambda t: multiclass_hinge(t, labels), [logits])
+
+    def test_distillation_mixes_soft_and_hard(self, rng):
+        student = make_tensor((4, 3), rng)
+        teacher = rng.standard_normal((4, 3))
+        labels = np.array([0, 1, 2, 0])
+        loss_soft = distillation_loss(student, teacher, labels, alpha=1.0)
+        loss_hard = distillation_loss(student, teacher, labels, alpha=0.0)
+        hard_only = cross_entropy(student, labels)
+        np.testing.assert_allclose(float(loss_hard.data), float(hard_only.data), rtol=1e-5)
+        assert float(loss_soft.data) != float(loss_hard.data)
+
+    def test_distillation_gradcheck(self, rng):
+        student = make_tensor((3, 4), rng)
+        teacher = rng.standard_normal((3, 4))
+        labels = np.array([0, 1, 2])
+        check_gradients(lambda t: distillation_loss(t, teacher, labels), [student])
+
+
+class TestOptimizers:
+    def _quadratic(self, optimizer_cls, **kwargs):
+        target = np.array([3.0, -2.0], dtype=np.float32)
+        p = Parameter(np.zeros(2, dtype=np.float32))
+        opt = optimizer_cls([p], **kwargs)
+        for _ in range(300):
+            opt.zero_grad()
+            loss = (((p - Tensor(target)) ** 2)).sum()
+            loss.backward()
+            opt.step()
+        return p.data, target
+
+    def test_sgd_converges(self):
+        got, want = self._quadratic(SGD, lr=0.05, momentum=0.9)
+        np.testing.assert_allclose(got, want, atol=1e-2)
+
+    def test_adam_converges(self):
+        got, want = self._quadratic(Adam, lr=0.1)
+        np.testing.assert_allclose(got, want, atol=1e-2)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.full(3, 10.0, dtype=np.float32))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.zeros(3, dtype=np.float32)
+        opt.step()
+        assert (np.abs(p.data) < 10.0).all()
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_skips_params_without_grad(self):
+        p = Parameter(np.ones(2, dtype=np.float32))
+        before = p.data.copy()
+        Adam([p], lr=0.1).step()
+        np.testing.assert_array_equal(p.data, before)
+
+
+class TestSchedules:
+    def test_step_decay(self):
+        sched = StepDecay(1e-3, 45, 0.2)
+        assert sched(0) == pytest.approx(1e-3)
+        assert sched(44) == pytest.approx(1e-3)
+        assert sched(45) == pytest.approx(2e-4)
+        assert sched(90) == pytest.approx(4e-5)
+
+    def test_constant(self):
+        assert ConstantLR(0.01)(123) == 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepDecay(1e-3, 0)
+        with pytest.raises(ValueError):
+            StepDecay(1e-3, 10, 1.5)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        logits = np.array([[1, 0], [0, 1], [1, 0]])
+        assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_confusion_matrix(self):
+        logits = np.array([[1, 0], [0, 1], [1, 0]])
+        cm = confusion_matrix(logits, np.array([0, 1, 1]), 2)
+        np.testing.assert_array_equal(cm, [[1, 0], [1, 1]])
+
+    def test_top_k(self):
+        logits = np.array([[3, 2, 1], [1, 2, 3]])
+        assert top_k_accuracy(logits, np.array([1, 0]), k=2) == pytest.approx(0.5)
+
+
+class _CountingCallback(Callback):
+    def __init__(self):
+        self.epochs = 0
+        self.steps = 0
+        self.began = False
+
+    def on_train_begin(self, trainer):
+        self.began = True
+
+    def on_epoch_begin(self, trainer, epoch):
+        self.epochs += 1
+
+    def on_step_end(self, trainer, step):
+        self.steps += 1
+
+
+class TestTrainer:
+    def _toy_problem(self, rng, n=120):
+        x = rng.standard_normal((n, 6)).astype(np.float32)
+        y = (x[:, 0] + x[:, 1] > 0).astype(np.int64)
+        return x, y
+
+    def test_fit_improves_and_history(self, rng):
+        x, y = self._toy_problem(rng)
+        model = nn.Sequential(nn.Linear(6, 16, rng=0), nn.ReLU(), nn.Linear(16, 2, rng=1))
+        trainer = Trainer(model, TrainConfig(epochs=8, batch_size=16, lr=5e-3, lr_drop_every=None))
+        history = trainer.fit(x, y, x, y)
+        assert len(history.train_loss) == 8
+        assert history.val_accuracy[-1] > 0.85
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_callbacks_invoked(self, rng):
+        x, y = self._toy_problem(rng, n=32)
+        model = nn.Linear(6, 2, rng=0)
+        cb = _CountingCallback()
+        trainer = Trainer(model, TrainConfig(epochs=3, batch_size=16, lr_drop_every=None), callbacks=[cb])
+        trainer.fit(x, y)
+        assert cb.began and cb.epochs == 3 and cb.steps == 6
+
+    def test_distillation_path(self, rng):
+        x, y = self._toy_problem(rng, n=64)
+        teacher = nn.Sequential(nn.Linear(6, 16, rng=0), nn.ReLU(), nn.Linear(16, 2, rng=1))
+        Trainer(teacher, TrainConfig(epochs=5, batch_size=16, lr=5e-3, lr_drop_every=None)).fit(x, y)
+        teacher_before = teacher.state_dict()
+        student = nn.Linear(6, 2, rng=2)
+        trainer = Trainer(
+            student,
+            TrainConfig(epochs=12, batch_size=16, lr=1e-2, lr_drop_every=None),
+            teacher=teacher,
+        )
+        trainer.fit(x, y)
+        assert trainer.evaluate(x, y) > 0.7
+        for name, value in teacher.state_dict().items():  # teacher untouched
+            np.testing.assert_array_equal(value, teacher_before[name])
+
+    def test_unknown_loss_and_optimizer(self, rng):
+        model = nn.Linear(4, 2, rng=0)
+        with pytest.raises(ConfigError):
+            Trainer(model, TrainConfig(loss="nope"))
+        with pytest.raises(ConfigError):
+            Trainer(model, TrainConfig(optimizer="nope"))
+
+    def test_predict_batches_match(self, rng):
+        x, y = self._toy_problem(rng, n=40)
+        model = nn.Linear(6, 2, rng=0)
+        trainer = Trainer(model, TrainConfig(epochs=1, batch_size=8, lr_drop_every=None))
+        full = trainer.predict(x, batch_size=7)
+        assert full.shape == (40, 2)
+        np.testing.assert_allclose(full, trainer.predict(x, batch_size=40), rtol=1e-5)

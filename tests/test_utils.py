@@ -1,0 +1,100 @@
+"""Utilities: rng, registry, serialization, logging, errors."""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ReproError, ShapeError
+from repro.utils import Registry, get_logger, load_state_dict, new_rng, save_state_dict, spawn_rng
+from repro.utils.logging import enable_console_logging
+from repro.utils.rng import temp_seed
+
+
+class TestRng:
+    def test_new_rng_from_int_is_deterministic(self):
+        assert new_rng(42).random() == new_rng(42).random()
+
+    def test_new_rng_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert new_rng(gen) is gen
+
+    def test_spawn_independent_streams(self):
+        children = spawn_rng(new_rng(0), 3)
+        values = [c.random() for c in children]
+        assert len(set(values)) == 3
+
+    def test_temp_seed_restores_state(self):
+        np.random.seed(1)
+        before = np.random.get_state()[1][:5].copy()
+        with temp_seed(99):
+            np.random.random()
+        np.testing.assert_array_equal(np.random.get_state()[1][:5], before)
+
+
+class TestRegistry:
+    def test_register_get_and_names(self):
+        reg = Registry("thing")
+
+        @reg.register("a")
+        def make_a():
+            return "A"
+
+        assert reg.get("a")() == "A"
+        assert "a" in reg and reg.names() == ["a"]
+        assert len(reg) == 1
+
+    def test_duplicate_rejected(self):
+        reg = Registry("thing")
+        reg.register("x")(lambda: 1)
+        with pytest.raises(ConfigError):
+            reg.register("x")(lambda: 2)
+
+    def test_unknown_mentions_known(self):
+        reg = Registry("thing")
+        reg.register("alpha")(lambda: 1)
+        with pytest.raises(ConfigError, match="alpha"):
+            reg.get("beta")
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        state = {"a.b": np.arange(6).reshape(2, 3).astype(np.float32), "c": np.ones(4)}
+        path = tmp_path / "model.npz"
+        save_state_dict(path, state)
+        loaded = load_state_dict(path)
+        assert set(loaded) == set(state)
+        for key in state:
+            np.testing.assert_array_equal(loaded[key], state[key])
+
+    def test_model_roundtrip(self, tmp_path):
+        from repro import nn
+
+        model = nn.Linear(4, 3, rng=0)
+        path = tmp_path / "lin.npz"
+        save_state_dict(path, model.state_dict())
+        model2 = nn.Linear(4, 3, rng=1)
+        model2.load_state_dict(load_state_dict(path))
+        np.testing.assert_array_equal(model.weight.data, model2.weight.data)
+
+
+class TestLogging:
+    def test_namespacing(self):
+        assert get_logger("training").name == "repro.training"
+        assert get_logger("repro.x").name == "repro.x"
+        assert get_logger().name == "repro"
+
+    def test_console_logging_idempotent(self):
+        enable_console_logging(logging.INFO)
+        handlers_before = len(logging.getLogger("repro").handlers)
+        enable_console_logging(logging.INFO)
+        assert len(logging.getLogger("repro").handlers) == handlers_before
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(ShapeError, ReproError)
+        assert issubclass(ShapeError, ValueError)
+        assert issubclass(ConfigError, ReproError)
