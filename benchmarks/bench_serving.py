@@ -1,0 +1,142 @@
+"""Serving-path benchmarks: micro-batching and cached bit-plane decode.
+
+Not a paper table — this measures the two wins of the serving subsystem:
+
+* **micro-batching**: throughput of 32 requests served one-at-a-time vs
+  coalesced by the :class:`~repro.serving.batching.BatchingEngine` into a
+  single vectorised forward (acceptance floor: >= 3x);
+* **plan caching**: per-call latency of the cached
+  :class:`~repro.serving.packed.PackedModel` vs the ``cache=False`` mode
+  that re-decodes every 2-bit blob on every call.
+
+Runs standalone (``python benchmarks/bench_serving.py [--quick]``) and as
+pytest assertions guarding the speedups in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from repro.core.hybrid import HybridConfig, STHybridNet
+from repro.core.strassen import freeze_all
+from repro.deploy import build_image
+from repro.deploy.image import ModelImage
+from repro.serving import BatchingEngine, MicroBatchConfig, PackedModel
+
+REQUESTS = 32
+
+
+def demo_image(width: int = 8) -> ModelImage:
+    """A small frozen ST-Hybrid image (weights random, arithmetic real)."""
+    model = STHybridNet(HybridConfig(width=width), rng=0)
+    freeze_all(model)
+    model.eval()
+    return build_image(model)
+
+
+def _best_seconds(fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-N wall time of ``fn`` (min is the noise-robust estimator)."""
+    times: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def measure_microbatch_speedup(
+    image: ModelImage, repeats: int = 5
+) -> Tuple[float, float, float]:
+    """(single req/s, micro-batched req/s, speedup) for REQUESTS requests."""
+    model = PackedModel(image, cache=True)
+    rng = np.random.default_rng(0)
+    requests = [rng.standard_normal((49, 10)).astype(np.float32) for _ in range(REQUESTS)]
+    model(requests[0][None])  # warm up
+
+    def serve_singles() -> None:
+        for x in requests:
+            model(x[None])
+
+    def serve_microbatched() -> None:
+        engine = BatchingEngine(model, MicroBatchConfig(max_batch_size=REQUESTS))
+        futures = engine.submit_many(requests)
+        engine.flush()
+        for future in futures:
+            future.result()
+
+    single = REQUESTS / _best_seconds(serve_singles, repeats)
+    batched = REQUESTS / _best_seconds(serve_microbatched, repeats)
+    return single, batched, batched / single
+
+
+def measure_cache_speedup(
+    image: ModelImage, batch: int = 16, repeats: int = 5
+) -> Tuple[float, float, float]:
+    """(uncached s/call, cached s/call, speedup) on a ``batch``-row forward."""
+    cached = PackedModel(image, cache=True)
+    uncached = PackedModel(image, cache=False)
+    x = np.random.default_rng(1).standard_normal((batch, 49, 10)).astype(np.float32)
+    cached(x)  # warm up
+    uncached_s = _best_seconds(lambda: uncached(x), repeats)
+    cached_s = _best_seconds(lambda: cached(x), repeats)
+    return uncached_s, cached_s, uncached_s / cached_s
+
+
+# -- pytest entry points ----------------------------------------------------- #
+
+
+def test_microbatch_throughput() -> None:
+    """Coalescing 32 requests into one forward must be >= 3x faster."""
+    single, batched, speedup = measure_microbatch_speedup(demo_image())
+    assert speedup >= 3.0, (
+        f"micro-batch {REQUESTS} served {batched:.0f} req/s vs {single:.0f} req/s "
+        f"single — only {speedup:.2f}x"
+    )
+
+
+def test_cached_decode_faster() -> None:
+    """Decoding bit planes once must beat per-call unpacking."""
+    uncached_s, cached_s, speedup = measure_cache_speedup(demo_image())
+    assert speedup > 1.0, (
+        f"cached forward {cached_s * 1e3:.2f} ms vs uncached {uncached_s * 1e3:.2f} ms"
+    )
+
+
+# -- standalone report ------------------------------------------------------- #
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="fewer repeats (CI smoke)")
+    parser.add_argument("--width", type=int, default=8, help="model channel width")
+    args = parser.parse_args()
+    if args.width < 1:
+        parser.error("--width must be >= 1")
+    repeats = 2 if args.quick else 7
+
+    image = demo_image(args.width)
+    print(f"ST-Hybrid width={args.width}; image payload {image.total_bytes():,} bytes")
+
+    single, batched, speedup = measure_microbatch_speedup(image, repeats=repeats)
+    print(f"\nserving {REQUESTS} requests:")
+    print(f"  one-at-a-time      {single:10.0f} req/s")
+    print(f"  micro-batch {REQUESTS:>2d}     {batched:10.0f} req/s")
+    print(f"  speedup            {speedup:10.2f}x  (floor: 3x)")
+
+    uncached_s, cached_s, cache_speedup = measure_cache_speedup(image, repeats=repeats)
+    print("\nbatch-16 forward latency:")
+    print(f"  cache=False (per-call unpack) {uncached_s * 1e3:8.2f} ms")
+    print(f"  cache=True  (bit-plane plans) {cached_s * 1e3:8.2f} ms")
+    print(f"  speedup                       {cache_speedup:8.2f}x")
+
+    if speedup < 3.0:
+        raise SystemExit("FAIL: micro-batch speedup below the 3x acceptance floor")
+    print("\nOK: micro-batch speedup meets the 3x acceptance floor")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Batched packed-ternary serving: registry + micro-batching walkthrough.
+
+Freezes two ST-HybridNets at different widths, registers their model images
+in a :class:`ModelRegistry` (LRU-bounded decoded-plan cache), and serves a
+burst of single-utterance requests through the :class:`BatchingEngine`,
+comparing one-at-a-time serving against coalesced micro-batches — the
+serving-side complement of the paper's tiny-image deployment story.
+
+Run:  python examples/serving_engine.py    (a few seconds on CPU)
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.hybrid import HybridConfig, STHybridNet
+from repro.core.strassen import freeze_all
+from repro.costmodel.report import format_table
+from repro.deploy import build_image
+from repro.serving import BatchingEngine, MicroBatchConfig, ModelRegistry
+
+REQUESTS = 256
+
+
+def frozen_image(width: int, rng: int = 0):
+    """A frozen (random-weight) ST-Hybrid image at the given channel width."""
+    model = STHybridNet(HybridConfig(width=width), rng=rng)
+    freeze_all(model)
+    model.eval()
+    return build_image(model)
+
+
+def main() -> None:
+    print("== register two model tiers ==")
+    registry = ModelRegistry(capacity=2)
+    for name, width in (("kws-small", 8), ("kws-large", 16)):
+        image = frozen_image(width)
+        registry.register(name, image)
+        print(f"  {name}: width {width}, image {image.total_bytes():,} bytes")
+
+    model = registry.get("kws-small")
+    print(f"decoded plans resident: {registry.decoded_names()} "
+          f"({registry.decoded_bytes():,} bytes)")
+
+    rng = np.random.default_rng(7)
+    requests = [rng.standard_normal((49, 10)).astype(np.float32) for _ in range(REQUESTS)]
+
+    print(f"\n== serve {REQUESTS} requests ==")
+    rows = []
+    for batch_size in (1, 8, 32):
+        engine = BatchingEngine(model, MicroBatchConfig(max_batch_size=batch_size))
+        start = time.perf_counter()
+        futures = engine.submit_many(requests)
+        engine.flush()
+        labels = [int(np.argmax(f.result())) for f in futures]
+        elapsed = time.perf_counter() - start
+        rows.append({
+            "micro-batch": batch_size,
+            "batches": engine.stats.batches,
+            "throughput (req/s)": f"{REQUESTS / elapsed:,.0f}",
+            "distinct labels": len(set(labels)),
+        })
+    print(format_table(rows, title="Micro-batching throughput"))
+
+    print("\n== LRU behaviour under a third model ==")
+    registry.register("kws-xl", frozen_image(24))
+    registry.get("kws-large")
+    registry.get("kws-xl")  # capacity 2 -> evicts the LRU decoded plan
+    stats = registry.stats
+    print(f"resident after traffic shift: {registry.decoded_names()}")
+    print(f"decode cache: {stats.hits} hits, {stats.misses} misses, "
+          f"{stats.evictions} evictions")
+    print("\nevicted models re-decode transparently on their next request —")
+    print("the packed images themselves always stay resident at 2 bits/weight.")
+
+
+if __name__ == "__main__":
+    main()

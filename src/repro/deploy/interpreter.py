@@ -1,128 +1,50 @@
 """Reference interpreter executing inference from a packed model image.
 
 Independent of the training stack on purpose: it consumes only the bytes of
-a :class:`~repro.deploy.image.ModelImage` (unpacking ternary transforms on
-the fly) and NumPy primitives, so agreement with the live
-:class:`~repro.core.hybrid.strassenified.STHybridNet` is a real end-to-end
-check that the image contains everything a device needs.
+a :class:`~repro.deploy.image.ModelImage` and NumPy primitives, so agreement
+with the live :class:`~repro.core.hybrid.strassenified.STHybridNet` is a
+real end-to-end check that the image contains everything a device needs.
 
 The arithmetic mirrors a microcontroller kernel: ternary transforms are
-applied as gathers/adds (here vectorised as matmuls against {-1,0,1}
-matrices), the only multiplications are the per-hidden-unit ⊙â and the
-per-channel output scale — exactly the operation census of the cost model.
+applied as gather-accumulate passes over the +1/−1 bit planes (TNN-style
+packed execution), the only multiplications are the per-hidden-unit ⊙â and
+the per-channel output scale — exactly the operation census of the cost
+model.  The hot path is the shared packed runtime in
+:mod:`repro.serving.packed`: by default (``cache=True``) each layer's
+2-bit blobs are decoded once and the bit planes are reused across calls;
+``cache=False`` re-decodes on every call — the original on-the-fly
+semantics, with nothing resident beyond the image bytes.  Both modes run
+the identical kernels, so their outputs are bitwise equal.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
-
 import numpy as np
-from numpy.lib.stride_tricks import sliding_window_view
 
-from repro.deploy.image import LayerRecord, ModelImage
-from repro.errors import ConfigError
-
-
-def _conv_positions(x: np.ndarray, kh: int, kw: int, stride, padding) -> np.ndarray:
-    """Extract (N, OH, OW, C*KH*KW) patch matrix with zero padding."""
-    sh, sw = stride
-    ph, pw = padding
-    if ph or pw:
-        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
-    windows = sliding_window_view(x, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
-    # (N, C, OH, OW, KH, KW) -> (N, OH, OW, C*KH*KW)
-    return np.ascontiguousarray(windows.transpose(0, 2, 3, 1, 4, 5)).reshape(
-        x.shape[0], windows.shape[2], windows.shape[3], -1
-    )
+from repro.deploy.image import ModelImage
 
 
 class ImageInterpreter:
     """Runs a (batch, 49, 10) MFCC tensor through a packed model image."""
 
-    def __init__(self, image: ModelImage) -> None:
-        if image.header.get("arch") != "st-hybrid":
-            raise ConfigError(f"unsupported arch {image.header.get('arch')!r}")
+    def __init__(self, image: ModelImage, cache: bool = True) -> None:
+        # Deferred import: repro.serving.packed imports repro.deploy.image,
+        # so a module-level import would cycle through the package inits.
+        from repro.serving.packed import PackedModel
+
+        self._packed = PackedModel(image, cache=cache)
         self.image = image
         self.header = image.header
-        self._records: Dict[str, LayerRecord] = {r.name: r for r in image.layers}
-
-    # -- layer kernels --------------------------------------------------- #
-
-    def _strassen_conv(self, record: LayerRecord, x: np.ndarray) -> np.ndarray:
-        """Strassen conv/pointwise: patches → ternary W_b → ⊙â → ternary W_c."""
-        wb = record.wb()  # (r, C, KH, KW)
-        wc = record.wc().reshape(record.wc_shape[0], -1)  # (cout, r)
-        r, c, kh, kw = wb.shape
-        meta = record.meta
-        patches = _conv_positions(x, kh, kw, meta["stride"], meta["padding"])
-        hidden = patches @ wb.reshape(r, -1).T  # additions only (ternary)
-        hidden *= record.a_hat  # the r multiplications
-        out = hidden @ wc.T  # additions only (ternary)
-        out = out * record.out_scale + record.out_shift
-        out = out.transpose(0, 3, 1, 2)
-        return np.maximum(out, 0.0) if meta.get("relu") else out
-
-    def _strassen_dw(self, record: LayerRecord, x: np.ndarray) -> np.ndarray:
-        """Grouped-SPN depthwise: ternary per-channel filter → ⊙(â·w_c)."""
-        wb = record.wb()  # (C, KH, KW)
-        wc = record.wc()  # (C,)
-        c, kh, kw = wb.shape
-        meta = record.meta
-        sh, sw = meta["stride"]
-        ph, pw = meta["padding"]
-        xp = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw))) if (ph or pw) else x
-        windows = sliding_window_view(xp, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
-        hidden = np.einsum("nchwkl,ckl->nchw", windows, wb)  # ternary adds
-        scale = (record.a_hat * wc * record.out_scale).reshape(1, c, 1, 1)
-        out = hidden * scale + record.out_shift.reshape(1, c, 1, 1)
-        return np.maximum(out, 0.0) if record.meta.get("relu") else out
-
-    def _strassen_linear(self, record: LayerRecord, z: np.ndarray) -> np.ndarray:
-        """Strassen matmul on feature vectors (tree nodes)."""
-        wb = record.wb()  # (r, din)
-        wc = record.wc()  # (dout, r)
-        hidden = (z @ wb.T) * record.a_hat
-        out = hidden @ wc.T
-        return out * record.out_scale + record.out_shift
-
-    # -- full network ------------------------------------------------------ #
+        self.cache = cache
 
     def features(self, x: np.ndarray) -> np.ndarray:
         """Conv feature extractor: (N, T, F) → (N, width)."""
-        x = np.asarray(x, dtype=np.float32)
-        if x.ndim == 2:
-            x = x[None]
-        x = x[:, None, :, :]  # NCHW
-        x = self._strassen_conv(self._records["conv1"], x)
-        for i in range(self.header["num_conv_layers"] - 1):
-            x = self._strassen_dw(self._records[f"ds{i}.dw"], x)
-            x = self._strassen_conv(self._records[f"ds{i}.pw"], x)
-        return x.mean(axis=(2, 3))
+        return self._packed.features(x)
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         """Full inference: MFCC batch → (N, num_labels) class scores."""
-        z = self.features(x)
-        depth = self.header["tree_depth"]
-        num_nodes = 2 ** (depth + 1) - 1
-        num_internal = 2**depth - 1
-        sigma = self.header["prediction_sigma"]
-        n = z.shape[0]
-
-        weights: List[np.ndarray] = [np.zeros((n, 1))] * num_nodes
-        weights[0] = np.ones((n, 1), dtype=np.float32)
-        for k in range(num_internal):
-            theta = self._strassen_linear(self._records[f"tree.theta{k}"], z)
-            go_left = (theta > 0).astype(np.float32)
-            weights[2 * k + 1] = weights[k] * go_left
-            weights[2 * k + 2] = weights[k] * (1.0 - go_left)
-
-        scores = np.zeros((n, self.header["num_labels"]), dtype=np.float32)
-        for k in range(num_nodes):
-            w_score = self._strassen_linear(self._records[f"tree.w{k}"], z)
-            v_score = self._strassen_linear(self._records[f"tree.v{k}"], z)
-            scores += weights[k] * w_score * np.tanh(sigma * v_score)
-        return scores
+        return self._packed(x)
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         """Argmax labels for a batch."""
-        return np.argmax(self(x), axis=-1)
+        return self._packed.predict(x)

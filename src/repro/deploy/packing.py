@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.errors import QuantizationError
 
-_CODE_ZERO, _CODE_PLUS, _CODE_MINUS = 0b00, 0b01, 0b10
+CODE_ZERO, CODE_PLUS, CODE_MINUS, CODE_RESERVED = 0b00, 0b01, 0b10, 0b11
 
 
 def pack_ternary(values: np.ndarray) -> Tuple[bytes, Tuple[int, ...]]:
@@ -26,9 +26,9 @@ def pack_ternary(values: np.ndarray) -> Tuple[bytes, Tuple[int, ...]]:
     if flat.size and not np.isin(flat, (-1.0, 0.0, 1.0)).all():
         bad = flat[~np.isin(flat, (-1.0, 0.0, 1.0))][:4]
         raise QuantizationError(f"non-ternary values cannot be packed: {bad}")
-    codes = np.full(flat.shape, _CODE_ZERO, dtype=np.uint8)
-    codes[flat == 1.0] = _CODE_PLUS
-    codes[flat == -1.0] = _CODE_MINUS
+    codes = np.full(flat.shape, CODE_ZERO, dtype=np.uint8)
+    codes[flat == 1.0] = CODE_PLUS
+    codes[flat == -1.0] = CODE_MINUS
     pad = (-flat.size) % 4
     if pad:
         codes = np.concatenate([codes, np.zeros(pad, dtype=np.uint8)])
@@ -37,14 +37,18 @@ def pack_ternary(values: np.ndarray) -> Tuple[bytes, Tuple[int, ...]]:
     return packed.astype(np.uint8).tobytes(), tuple(np.shape(values))
 
 
-def unpack_ternary(blob: bytes, shape: Tuple[int, ...]) -> np.ndarray:
-    """Inverse of :func:`pack_ternary`; returns a float32 {-1, 0, 1} array."""
-    count = int(np.prod(shape)) if shape else 0
+def unpack_codes(blob: bytes, count: int) -> np.ndarray:
+    """Extract the first ``count`` 2-bit codes from ``blob`` as uint8.
+
+    Validates the blob length and rejects the reserved ``0b11`` code — a
+    reserved code in live weight positions means the blob is corrupt (or was
+    produced by a future encoding this decoder does not understand).
+    """
     raw = np.frombuffer(blob, dtype=np.uint8)
     expected_bytes = (count + 3) // 4
     if len(raw) != expected_bytes:
         raise QuantizationError(
-            f"blob holds {len(raw)} bytes but shape {shape} needs {expected_bytes}"
+            f"blob holds {len(raw)} bytes but {count} weights need {expected_bytes}"
         )
     codes = np.empty(len(raw) * 4, dtype=np.uint8)
     codes[0::4] = raw & 0b11
@@ -52,7 +56,19 @@ def unpack_ternary(blob: bytes, shape: Tuple[int, ...]) -> np.ndarray:
     codes[2::4] = (raw >> 4) & 0b11
     codes[3::4] = (raw >> 6) & 0b11
     codes = codes[:count]
+    if (codes == CODE_RESERVED).any():
+        bad = int(np.argmax(codes == CODE_RESERVED))
+        raise QuantizationError(
+            f"reserved code 0b11 at weight {bad}: blob is not valid 2-bit ternary"
+        )
+    return codes
+
+
+def unpack_ternary(blob: bytes, shape: Tuple[int, ...]) -> np.ndarray:
+    """Inverse of :func:`pack_ternary`; returns a float32 {-1, 0, 1} array."""
+    count = int(np.prod(shape)) if shape else 0
+    codes = unpack_codes(blob, count)
     out = np.zeros(count, dtype=np.float32)
-    out[codes == _CODE_PLUS] = 1.0
-    out[codes == _CODE_MINUS] = -1.0
+    out[codes == CODE_PLUS] = 1.0
+    out[codes == CODE_MINUS] = -1.0
     return out.reshape(shape)

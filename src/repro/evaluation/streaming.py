@@ -119,25 +119,48 @@ class StreamingDetector:
     """Sliding-window detector wrapping any clip-level KWS model.
 
     ``model`` maps (N, frames, coeffs) MFCC batches to (N, len(LABELS))
-    scores; the detector handles windowing, feature normalisation (using the
-    training statistics), posterior smoothing, thresholding and refractory
-    suppression.
+    scores — a live (Tensor-based) network, a packed-image runtime such as
+    :class:`~repro.serving.packed.PackedModel`, or ``None`` when ``engine``
+    is given.  With an ``engine``
+    (:class:`~repro.serving.batching.BatchingEngine`), each analysis window
+    is submitted as an individual serving request and the engine coalesces
+    them into micro-batches — the deployment data path, instead of one
+    monolithic evaluation-only forward.  The detector handles windowing,
+    feature normalisation (using the training statistics), posterior
+    smoothing, thresholding and refractory suppression.
     """
 
     def __init__(
         self,
-        model,
+        model=None,
         config: Optional[StreamingConfig] = None,
         feature_mean: Optional[np.ndarray] = None,
         feature_std: Optional[np.ndarray] = None,
+        engine=None,
     ) -> None:
-        self.model = model
+        if model is None and engine is None:
+            raise ConfigError("StreamingDetector needs a model or a BatchingEngine")
+        self.model = model if model is not None else engine.model
+        self.engine = engine
         self.config = config or StreamingConfig()
         if self.config.smoothing_windows < 1:
             raise ConfigError("smoothing_windows must be >= 1")
         self._extractor = MFCC(self.config.mfcc)
         self.feature_mean = feature_mean
         self.feature_std = feature_std
+
+    def _forward(self, features: np.ndarray) -> np.ndarray:
+        """Window batch → logits, through whichever serving path is wired."""
+        if self.engine is not None:
+            futures = self.engine.submit_many(list(features))
+            if not self.engine.running:
+                self.engine.flush()
+            return np.stack([future.result() for future in futures])
+        if hasattr(self.model, "eval"):  # live Tensor-based network
+            self.model.eval()
+            with no_grad():
+                return self.model(Tensor(features)).data
+        return np.asarray(self.model(features))  # numpy-native runtime
 
     def posteriors(self, waveform: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Smoothed per-window posteriors.
@@ -155,9 +178,7 @@ class StreamingDetector:
         )
         if self.feature_mean is not None:
             features = (features - self.feature_mean) / self.feature_std
-        self.model.eval()
-        with no_grad():
-            logits = self.model(Tensor(features.astype(np.float32))).data
+        logits = self._forward(features.astype(np.float32))
         shifted = logits - logits.max(axis=1, keepdims=True)
         probs = np.exp(shifted)
         probs /= probs.sum(axis=1, keepdims=True)

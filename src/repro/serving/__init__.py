@@ -1,0 +1,34 @@
+"""Batched packed-ternary serving for ST-HybridNet model images.
+
+The deploy package proves a model image is *complete*; this package makes
+it *fast to serve*:
+
+* :mod:`repro.serving.kernels`  — TNN-style bit-plane execution: ternary
+  matmuls as two gather-accumulate passes over +1/−1 index planes, decoded
+  once from the 2-bit blobs;
+* :mod:`repro.serving.packed`   — :class:`PackedModel`, the cached runtime
+  (``cache=False`` reproduces the on-the-fly reference semantics bitwise);
+* :mod:`repro.serving.batching` — :class:`BatchingEngine`, coalescing
+  single requests into micro-batches under a size + latency budget;
+* :mod:`repro.serving.registry` — :class:`ModelRegistry`, many named images
+  served concurrently with LRU eviction of decoded plans.
+"""
+
+from repro.serving.batching import BatchingEngine, EngineStats, MicroBatchConfig
+from repro.serving.kernels import TernaryPlanes, decode_planes, ternary_matmul
+from repro.serving.packed import LayerPlan, PackedModel, decode_layer
+from repro.serving.registry import ModelRegistry, RegistryStats
+
+__all__ = [
+    "BatchingEngine",
+    "EngineStats",
+    "MicroBatchConfig",
+    "TernaryPlanes",
+    "decode_planes",
+    "ternary_matmul",
+    "LayerPlan",
+    "PackedModel",
+    "decode_layer",
+    "ModelRegistry",
+    "RegistryStats",
+]

@@ -1,0 +1,209 @@
+"""Micro-batching engine: coalesce single requests into vectorised forwards.
+
+Serving traffic arrives one utterance at a time, but the packed kernels (and
+NumPy generally) amortise per-call overhead across a batch.  The
+:class:`BatchingEngine` accepts individual requests and coalesces them into
+micro-batches bounded by a maximum size *and* a maximum latency budget: a
+batch is dispatched as soon as it is full or its oldest request has waited
+``max_delay_ms``.
+
+Two dispatch modes share the same coalescing core:
+
+* **worker mode** — ``start()`` (or the context manager) runs a background
+  thread that drains the queue continuously, honouring the latency budget;
+* **synchronous mode** — without a worker, :meth:`flush` drains the queue in
+  the caller's thread, which is deterministic and what batch evaluation
+  (e.g. streaming windows) uses.
+
+Results are delivered through :class:`concurrent.futures.Future`, one per
+request, in submission order within each batch.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class MicroBatchConfig:
+    """Coalescing policy: dispatch at ``max_batch_size`` or ``max_delay_ms``."""
+
+    max_batch_size: int = 32
+    max_delay_ms: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ConfigError("max_batch_size must be >= 1")
+        if self.max_delay_ms < 0:
+            raise ConfigError("max_delay_ms must be >= 0")
+
+
+#: how many recent batch sizes EngineStats retains (bounded for long-lived engines)
+RECENT_BATCHES = 4096
+
+
+@dataclass
+class EngineStats:
+    """Counters the engine maintains across its lifetime.
+
+    ``batch_sizes`` keeps only the most recent :data:`RECENT_BATCHES`
+    dispatches so a worker serving traffic for days cannot grow it without
+    bound; the ``requests``/``batches`` counters cover the full lifetime.
+    """
+
+    requests: int = 0
+    batches: int = 0
+    batch_sizes: Deque[int] = field(default_factory=lambda: deque(maxlen=RECENT_BATCHES))
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Lifetime average coalesced batch size (0.0 before any dispatch)."""
+        return self.requests / self.batches if self.batches else 0.0
+
+
+class BatchingEngine:
+    """Coalesces single-example requests into micro-batched model calls.
+
+    ``model`` maps an (N, …) stacked request batch to an (N, …) result
+    batch — a :class:`~repro.serving.packed.PackedModel`, an
+    :class:`~repro.deploy.interpreter.ImageInterpreter`, or any compatible
+    callable.
+    """
+
+    def __init__(
+        self,
+        model: Callable[[np.ndarray], np.ndarray],
+        config: Optional[MicroBatchConfig] = None,
+    ) -> None:
+        self.model = model
+        self.config = config or MicroBatchConfig()
+        self.stats = EngineStats()
+        self._queue: "queue.Queue[Tuple[np.ndarray, Future]]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._worker: Optional[threading.Thread] = None
+
+    # -- request side ---------------------------------------------------- #
+
+    def submit(self, x: np.ndarray) -> "Future[np.ndarray]":
+        """Enqueue one example; the future resolves to its result row."""
+        future: "Future[np.ndarray]" = Future()
+        with self._lock:
+            self.stats.requests += 1
+        self._queue.put((np.asarray(x), future))
+        return future
+
+    def submit_many(self, xs: Sequence[np.ndarray]) -> List["Future[np.ndarray]"]:
+        """Enqueue several examples, preserving order."""
+        return [self.submit(x) for x in xs]
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Blocking single-request convenience: submit, (flush,) wait."""
+        future = self.submit(x)
+        if not self.running:
+            self.flush()
+        return future.result()
+
+    # -- dispatch side --------------------------------------------------- #
+
+    def flush(self) -> int:
+        """Drain the queue synchronously; returns the number of batches run."""
+        ran = 0
+        while True:
+            batch = self._collect(block=False)
+            if not batch:
+                return ran
+            self._run(batch)
+            ran += 1
+
+    def _collect(self, block: bool) -> List[Tuple[np.ndarray, Future]]:
+        """Pull up to ``max_batch_size`` requests, waiting out the latency
+        budget only in blocking (worker) mode."""
+        cfg = self.config
+        batch: List[Tuple[np.ndarray, Future]] = []
+        try:
+            timeout = 0.05 if block else None
+            batch.append(self._queue.get(block=block, timeout=timeout))
+        except queue.Empty:
+            return batch
+        deadline = time.monotonic() + cfg.max_delay_ms / 1000.0
+        while len(batch) < cfg.max_batch_size:
+            if block:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(self._queue.get(timeout=remaining))
+                except queue.Empty:
+                    break
+            else:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except queue.Empty:
+                    break
+        return batch
+
+    def _run(self, batch: List[Tuple[np.ndarray, Future]]) -> None:
+        """One vectorised forward over a coalesced batch."""
+        try:
+            stacked = np.stack([x for x, _ in batch])
+            results = np.asarray(self.model(stacked))
+            if results.ndim == 0 or results.shape[0] != len(batch):
+                raise ValueError(
+                    f"model returned shape {results.shape} for a batch of {len(batch)}"
+                )
+        except Exception as exc:  # deliver the failure to every waiter
+            for _, future in batch:
+                future.set_exception(exc)
+            return
+        for i, (_, future) in enumerate(batch):
+            future.set_result(results[i])
+        with self._lock:
+            self.stats.batches += 1
+            self.stats.batch_sizes.append(len(batch))
+
+    # -- worker lifecycle ------------------------------------------------- #
+
+    @property
+    def running(self) -> bool:
+        """True while a background worker thread is draining the queue."""
+        return self._worker is not None and self._worker.is_alive()
+
+    def start(self) -> "BatchingEngine":
+        """Start the background worker (idempotent); returns self."""
+        if self.running:
+            return self
+        self._stop.clear()
+        self._worker = threading.Thread(target=self._loop, name="batching-engine", daemon=True)
+        self._worker.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the worker and drain any requests still queued."""
+        self._stop.set()
+        if self._worker is not None:
+            self._worker.join()
+            self._worker = None
+        self.flush()
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            batch = self._collect(block=True)
+            if batch:
+                self._run(batch)
+
+    def __enter__(self) -> "BatchingEngine":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

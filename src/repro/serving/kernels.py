@@ -1,0 +1,143 @@
+"""Packed-ternary execution kernels: bit-plane decode + gather-accumulate.
+
+TNN-style packed execution (Alemdar et al., *Ternary Neural Networks for
+Resource-Efficient AI Applications*): a ternary matrix is stored as two
+*index planes* — the +1 positions and the −1 positions — and a matmul
+against it reduces to two gather-accumulate passes per output row::
+
+    out[:, j] = sum(x[:, plus[j]], axis=1) - sum(x[:, minus[j]], axis=1)
+
+No dense float weight matrix is materialised on the hot path: the planes
+are decoded **once** from the 2-bit blob (CSR layout: one flat index array
+plus row pointers per sign) and reused for every forward call.  The
+accumulation itself is vectorised with ``np.add.reduceat`` over a single
+gather, so the summation order is fixed — two calls on the same input are
+bitwise identical, which is what lets the cached and on-the-fly serving
+modes agree exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.deploy.packing import CODE_MINUS, CODE_PLUS, unpack_codes
+
+
+@dataclass(frozen=True)
+class TernaryPlanes:
+    """A ternary (rows × cols) matrix as +1/−1 index planes in CSR form.
+
+    ``plus_indices[plus_ptr[j]:plus_ptr[j+1]]`` are the column positions of
+    the +1 entries of row ``j`` (ascending), and symmetrically for minus.
+    """
+
+    rows: int
+    cols: int
+    plus_indices: np.ndarray
+    plus_ptr: np.ndarray
+    minus_indices: np.ndarray
+    minus_ptr: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        """Number of non-zero weights across both planes."""
+        return len(self.plus_indices) + len(self.minus_indices)
+
+    @property
+    def nbytes(self) -> int:
+        """Decoded in-memory footprint of the index planes."""
+        return (
+            self.plus_indices.nbytes
+            + self.plus_ptr.nbytes
+            + self.minus_indices.nbytes
+            + self.minus_ptr.nbytes
+        )
+
+
+def _csr_planes(mask: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """CSR (indices, ptr) of the True cells of a 2-D boolean mask."""
+    row_idx, col_idx = np.nonzero(mask)  # row-major => ascending cols per row
+    counts = np.bincount(row_idx, minlength=mask.shape[0])
+    ptr = np.zeros(mask.shape[0] + 1, dtype=np.intp)
+    np.cumsum(counts, out=ptr[1:])
+    return col_idx.astype(np.intp), ptr
+
+
+def decode_planes(blob: bytes, shape: Tuple[int, ...]) -> TernaryPlanes:
+    """Decode a 2-bit blob into index planes, one decode for the plan's life.
+
+    ``shape`` is the logical tensor shape; it is flattened to
+    ``(shape[0], prod(shape[1:]))`` — matching how the ternary transforms
+    are applied (each output row gathers over the flattened remainder).
+    """
+    rows = int(shape[0]) if shape else 0
+    cols = int(np.prod(shape[1:])) if len(shape) > 1 else 1
+    codes = unpack_codes(blob, rows * cols).reshape(rows, cols)
+    plus_idx, plus_ptr = _csr_planes(codes == CODE_PLUS)
+    minus_idx, minus_ptr = _csr_planes(codes == CODE_MINUS)
+    return TernaryPlanes(
+        rows=rows,
+        cols=cols,
+        plus_indices=plus_idx,
+        plus_ptr=plus_ptr,
+        minus_indices=minus_idx,
+        minus_ptr=minus_ptr,
+    )
+
+
+def as_block_diagonal(planes: TernaryPlanes, block_cols: int) -> TernaryPlanes:
+    """Re-index per-row planes into a block-diagonal column space.
+
+    For a depthwise filter stored as (C, K) — one K-tap ternary filter per
+    channel — the gather runs over a (M, C*K) patch matrix where channel
+    ``c`` owns columns ``[c*K, (c+1)*K)``.  This shifts row ``c``'s indices
+    by ``c * block_cols`` so one gather-accumulate serves all channels.
+    """
+    if planes.cols != block_cols:
+        raise ValueError(f"planes have {planes.cols} cols, expected {block_cols}")
+
+    def shift(indices: np.ndarray, ptr: np.ndarray) -> np.ndarray:
+        counts = np.diff(ptr)
+        offsets = np.repeat(np.arange(planes.rows, dtype=np.intp) * block_cols, counts)
+        return indices + offsets
+
+    return TernaryPlanes(
+        rows=planes.rows,
+        cols=planes.rows * block_cols,
+        plus_indices=shift(planes.plus_indices, planes.plus_ptr),
+        plus_ptr=planes.plus_ptr,
+        minus_indices=shift(planes.minus_indices, planes.minus_ptr),
+        minus_ptr=planes.minus_ptr,
+    )
+
+
+def _plane_sums(x: np.ndarray, indices: np.ndarray, ptr: np.ndarray) -> np.ndarray:
+    """Per-row gather-accumulate: ``out[:, j] = x[:, idx in row j].sum()``.
+
+    One fancy-index gather then a single ``reduceat``; empty rows are
+    skipped from the reduce boundaries (``reduceat`` would otherwise emit a
+    stray single element for them) and stay exactly zero.
+    """
+    rows = len(ptr) - 1
+    out = np.zeros((x.shape[0], rows), dtype=x.dtype)
+    starts, ends = ptr[:-1], ptr[1:]
+    nonempty = np.flatnonzero(ends > starts)
+    if nonempty.size:
+        gathered = x[:, indices]
+        out[:, nonempty] = np.add.reduceat(gathered, starts[nonempty], axis=1)
+    return out
+
+
+def ternary_matmul(x: np.ndarray, planes: TernaryPlanes) -> np.ndarray:
+    """``x @ W.T`` for a packed ternary ``W`` — two gather-accumulate passes.
+
+    ``x`` is (M, cols); the result is (M, rows) with dtype of ``x``.
+    """
+    if x.shape[1] != planes.cols:
+        raise ValueError(f"input has {x.shape[1]} features, planes expect {planes.cols}")
+    return _plane_sums(x, planes.plus_indices, planes.plus_ptr) - _plane_sums(
+        x, planes.minus_indices, planes.minus_ptr
+    )

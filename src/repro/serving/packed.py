@@ -1,0 +1,199 @@
+"""Cached packed-ternary runtime for ST-HybridNet model images.
+
+:class:`PackedModel` is the serving-side counterpart of
+:class:`repro.deploy.interpreter.ImageInterpreter`: it consumes the same
+:class:`~repro.deploy.image.ModelImage` bytes, but decodes each layer's
+2-bit blobs **once** into bit-plane form (:mod:`repro.serving.kernels`) and
+then executes every forward as gather-accumulate passes — no per-call
+unpacking, no dense float weight matrices.
+
+``cache=False`` keeps the microcontroller-faithful on-the-fly semantics
+(decode on every call, nothing resident beyond the image) through the very
+same kernels, so both modes are bitwise identical; the only difference is
+when decoding happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.deploy.image import LayerRecord, ModelImage
+from repro.deploy.packing import unpack_ternary
+from repro.errors import ConfigError
+from repro.serving.kernels import TernaryPlanes, as_block_diagonal, decode_planes, ternary_matmul
+
+
+@dataclass(frozen=True)
+class LayerPlan:
+    """One decoded layer: bit-plane transforms + float tables, forward-ready."""
+
+    kind: str  # "conv" | "dw" | "pw" | "linear"
+    meta: Dict[str, object]
+    wb: TernaryPlanes
+    kernel: Tuple[int, int]  # (KH, KW); (1, 1) for linear
+    wc: Optional[TernaryPlanes]  # None for depthwise (per-channel scalar w_c)
+    wc_vector: Optional[np.ndarray]  # the depthwise per-channel ternary w_c
+    a_hat: np.ndarray
+    out_scale: np.ndarray
+    out_shift: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the decoded plan (planes + float tables)."""
+        total = self.wb.nbytes + (self.wc.nbytes if self.wc is not None else 0)
+        if self.wc_vector is not None:
+            total += self.wc_vector.nbytes
+        return total + self.a_hat.nbytes + self.out_scale.nbytes + self.out_shift.nbytes
+
+
+def decode_layer(record: LayerRecord) -> LayerPlan:
+    """Decode one :class:`LayerRecord` into an executable :class:`LayerPlan`."""
+    if record.kind == "dw":
+        # (C, KH, KW): block-diagonal planes over the (M, C*K) patch matrix.
+        c, kh, kw = record.wb_shape
+        wb = as_block_diagonal(decode_planes(record.wb_blob, record.wb_shape), kh * kw)
+        wc_planes = None
+        wc_vector = unpack_ternary(record.wc_blob, record.wc_shape).astype(np.float32)
+    else:
+        shape = record.wb_shape
+        kh, kw = (shape[2], shape[3]) if len(shape) == 4 else (1, 1)
+        wb = decode_planes(record.wb_blob, shape)
+        wc_planes = decode_planes(record.wc_blob, record.wc_shape)
+        wc_vector = None
+    return LayerPlan(
+        kind=record.kind,
+        meta=record.meta,
+        wb=wb,
+        kernel=(kh, kw),
+        wc=wc_planes,
+        wc_vector=wc_vector,
+        a_hat=record.a_hat,
+        out_scale=record.out_scale,
+        out_shift=record.out_shift,
+    )
+
+
+def _conv_patches(x: np.ndarray, kh: int, kw: int, stride, padding) -> np.ndarray:
+    """Extract (N, OH, OW, C*KH*KW) patch matrix with zero padding."""
+    sh, sw = stride
+    ph, pw = padding
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    windows = sliding_window_view(x, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
+    # (N, C, OH, OW, KH, KW) -> (N, OH, OW, C*KH*KW)
+    return np.ascontiguousarray(windows.transpose(0, 2, 3, 1, 4, 5)).reshape(
+        x.shape[0], windows.shape[2], windows.shape[3], -1
+    )
+
+
+class PackedModel:
+    """Executes an ST-HybridNet model image from packed bit-planes.
+
+    ``cache=True`` decodes every layer once at construction; ``cache=False``
+    re-decodes per call (the deploy-image reference semantics).  Instances
+    are read-only after construction and safe to share across threads.
+    """
+
+    def __init__(self, image: ModelImage, cache: bool = True) -> None:
+        if image.header.get("arch") != "st-hybrid":
+            raise ConfigError(f"unsupported arch {image.header.get('arch')!r}")
+        self.image = image
+        self.header = image.header
+        self.cache = cache
+        self._records: Dict[str, LayerRecord] = {r.name: r for r in image.layers}
+        self._plans: Optional[Dict[str, LayerPlan]] = (
+            {name: decode_layer(r) for name, r in self._records.items()} if cache else None
+        )
+
+    def _plan(self, name: str) -> LayerPlan:
+        if self._plans is not None:
+            return self._plans[name]
+        return decode_layer(self._records[name])
+
+    def decoded_bytes(self) -> int:
+        """Resident size of all cached plans (0 in on-the-fly mode)."""
+        if self._plans is None:
+            return 0
+        return sum(plan.nbytes for plan in self._plans.values())
+
+    # -- layer kernels --------------------------------------------------- #
+
+    def _conv(self, plan: LayerPlan, x: np.ndarray) -> np.ndarray:
+        """Strassen conv/pointwise: patches → ternary W_b → ⊙â → ternary W_c."""
+        kh, kw = plan.kernel
+        meta = plan.meta
+        patches = _conv_patches(x, kh, kw, meta["stride"], meta["padding"])
+        n, oh, ow, d = patches.shape
+        hidden = ternary_matmul(patches.reshape(-1, d), plan.wb)  # additions only
+        hidden *= plan.a_hat  # the r multiplications
+        out = ternary_matmul(hidden, plan.wc)  # additions only
+        out = out * plan.out_scale + plan.out_shift
+        out = out.reshape(n, oh, ow, -1).transpose(0, 3, 1, 2)
+        return np.maximum(out, 0.0) if meta.get("relu") else out
+
+    def _depthwise(self, plan: LayerPlan, x: np.ndarray) -> np.ndarray:
+        """Grouped-SPN depthwise: ternary per-channel filter → ⊙(â·w_c)."""
+        kh, kw = plan.kernel
+        meta = plan.meta
+        c = x.shape[1]
+        # same (M, C*K) patch layout as _conv; the block-diagonal planes
+        # restrict each channel's gather to its own K columns
+        patches = _conv_patches(x, kh, kw, meta["stride"], meta["padding"])
+        n, oh, ow, _ = patches.shape
+        hidden = ternary_matmul(patches.reshape(n * oh * ow, -1), plan.wb)
+        hidden = hidden.reshape(n, oh, ow, c).transpose(0, 3, 1, 2)
+        scale = (plan.a_hat * plan.wc_vector * plan.out_scale).reshape(1, c, 1, 1)
+        out = hidden * scale + plan.out_shift.reshape(1, c, 1, 1)
+        return np.maximum(out, 0.0) if meta.get("relu") else out
+
+    def _linear(self, plan: LayerPlan, z: np.ndarray) -> np.ndarray:
+        """Strassen matmul on feature vectors (tree nodes)."""
+        hidden = ternary_matmul(z, plan.wb) * plan.a_hat
+        out = ternary_matmul(hidden, plan.wc)
+        return out * plan.out_scale + plan.out_shift
+
+    # -- full network ----------------------------------------------------- #
+
+    def features(self, x: np.ndarray) -> np.ndarray:
+        """Conv feature extractor: (N, T, F) → (N, width)."""
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim == 2:
+            x = x[None]
+        x = x[:, None, :, :]  # NCHW
+        x = self._conv(self._plan("conv1"), x)
+        for i in range(self.header["num_conv_layers"] - 1):
+            x = self._depthwise(self._plan(f"ds{i}.dw"), x)
+            x = self._conv(self._plan(f"ds{i}.pw"), x)
+        return x.mean(axis=(2, 3))
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Full inference: MFCC batch → (N, num_labels) class scores."""
+        z = self.features(x)
+        depth = self.header["tree_depth"]
+        num_nodes = 2 ** (depth + 1) - 1
+        num_internal = 2**depth - 1
+        sigma = self.header["prediction_sigma"]
+        n = z.shape[0]
+
+        weights: List[np.ndarray] = [np.zeros((n, 1))] * num_nodes
+        weights[0] = np.ones((n, 1), dtype=np.float32)
+        for k in range(num_internal):
+            theta = self._linear(self._plan(f"tree.theta{k}"), z)
+            go_left = (theta > 0).astype(np.float32)
+            weights[2 * k + 1] = weights[k] * go_left
+            weights[2 * k + 2] = weights[k] * (1.0 - go_left)
+
+        scores = np.zeros((n, self.header["num_labels"]), dtype=np.float32)
+        for k in range(num_nodes):
+            w_score = self._linear(self._plan(f"tree.w{k}"), z)
+            v_score = self._linear(self._plan(f"tree.v{k}"), z)
+            scores += weights[k] * w_score * np.tanh(sigma * v_score)
+        return scores
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Argmax labels for a batch."""
+        return np.argmax(self(x), axis=-1)

@@ -1,0 +1,124 @@
+"""Multi-model serving registry with LRU eviction of decoded plans.
+
+A serving process holds many named model images (per keyword set, per
+device tier, per A/B arm).  The packed images themselves are tiny — 2 bits
+per weight — so the registry keeps **all** registered images resident, but
+the decoded bit-plane plans are several times larger and are built lazily
+and capped: at most ``capacity`` :class:`~repro.serving.packed.PackedModel`
+instances stay decoded, evicting the least-recently-used plan when a cold
+model is requested.  Evicted models re-decode transparently on next use.
+
+All operations are thread-safe; the returned :class:`PackedModel` objects
+are immutable and may be used concurrently with registry mutation.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Union
+
+import numpy as np
+
+from repro.deploy.image import ModelImage
+from repro.errors import ConfigError
+from repro.serving.packed import PackedModel
+
+
+@dataclass
+class RegistryStats:
+    """Decode-cache behaviour counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+
+class ModelRegistry:
+    """Name → model image store with a bounded decoded-plan cache."""
+
+    def __init__(self, capacity: int = 4) -> None:
+        if capacity < 1:
+            raise ConfigError("registry capacity must be >= 1")
+        self.capacity = capacity
+        self.stats = RegistryStats()
+        self._images: "OrderedDict[str, ModelImage]" = OrderedDict()
+        self._decoded: "OrderedDict[str, PackedModel]" = OrderedDict()
+        self._lock = threading.RLock()
+
+    def register(self, name: str, image: Union[ModelImage, bytes]) -> None:
+        """Add or replace a named image; replacing drops any stale plan."""
+        if isinstance(image, (bytes, bytearray)):
+            image = ModelImage.from_bytes(bytes(image))
+        with self._lock:
+            self._images[name] = image
+            self._decoded.pop(name, None)
+
+    def remove(self, name: str) -> None:
+        """Forget a model and its decoded plan; unknown names raise."""
+        with self._lock:
+            if name not in self._images:
+                raise ConfigError(f"unknown model {name!r}")
+            del self._images[name]
+            self._decoded.pop(name, None)
+
+    def get(self, name: str) -> PackedModel:
+        """Fetch the decoded runtime for ``name``, decoding (and possibly
+        evicting the LRU plan) on a cache miss.
+
+        The decode itself runs outside the lock so a cold model never
+        blocks concurrent hits on hot ones; if two threads race the same
+        cold model, the first plan to land in the cache wins.
+        """
+        with self._lock:
+            image = self._images.get(name)
+            if image is None:
+                known = ", ".join(sorted(self._images)) or "<empty>"
+                raise ConfigError(f"unknown model {name!r}; known: {known}")
+            model = self._decoded.get(name)
+            if model is not None:
+                self.stats.hits += 1
+                self._decoded.move_to_end(name)
+                return model
+            self.stats.misses += 1
+        model = PackedModel(image, cache=True)
+        with self._lock:
+            resident = self._decoded.get(name)
+            if resident is not None:  # another thread decoded it meanwhile
+                self._decoded.move_to_end(name)
+                return resident
+            if self._images.get(name) is not image:  # re-registered/removed mid-decode
+                return model
+            self._decoded[name] = model
+            while len(self._decoded) > self.capacity:
+                self._decoded.popitem(last=False)
+                self.stats.evictions += 1
+            return model
+
+    def predict(self, name: str, x: np.ndarray) -> np.ndarray:
+        """Run a batch through the named model."""
+        return self.get(name)(x)
+
+    def names(self) -> List[str]:
+        """All registered model names, sorted."""
+        with self._lock:
+            return sorted(self._images)
+
+    def decoded_names(self) -> List[str]:
+        """Models currently resident in decoded form, LRU first."""
+        with self._lock:
+            return list(self._decoded)
+
+    def decoded_bytes(self) -> int:
+        """Total resident size of all decoded plans."""
+        with self._lock:
+            return sum(m.decoded_bytes() for m in self._decoded.values())
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._images
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._images)

@@ -44,6 +44,26 @@ class TestPacking:
         with pytest.raises(QuantizationError):
             unpack_ternary(blob, (16,))
 
+    def test_empty_tensor_roundtrip(self):
+        blob, shape = pack_ternary(np.zeros((0,), dtype=np.float32))
+        assert blob == b"" and shape == (0,)
+        assert unpack_ternary(blob, shape).shape == (0,)
+
+    @pytest.mark.parametrize("size", [1, 2, 3, 5, 7, 9])
+    def test_size_not_divisible_by_four(self, size):
+        values = np.resize(np.array([1.0, -1.0, 0.0], dtype=np.float32), size)
+        blob, shape = pack_ternary(values)
+        assert len(blob) == (size + 3) // 4  # trailing codes are zero padding
+        np.testing.assert_array_equal(unpack_ternary(blob, shape), values)
+
+    def test_reserved_code_rejected(self):
+        with pytest.raises(QuantizationError, match="reserved"):
+            unpack_ternary(bytes([0b11]), (4,))
+
+    def test_reserved_code_in_padding_ignored(self):
+        # weight count 1: only the low 2 bits are live, garbage padding is fine
+        assert unpack_ternary(bytes([0b1101]), (1,))[0] == 1.0
+
 
 @pytest.fixture(scope="module")
 def frozen_model():

@@ -1,0 +1,259 @@
+"""Serving subsystem: bit-plane kernels, packed runtime, batching, registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autodiff.tensor import Tensor, no_grad
+from repro.core.hybrid import HybridConfig, STHybridNet
+from repro.core.strassen import freeze_all
+from repro.deploy import ImageInterpreter, build_image, pack_ternary
+from repro.errors import ConfigError, QuantizationError
+from repro.evaluation import StreamingDetector, make_stream
+from repro.serving import (
+    BatchingEngine,
+    MicroBatchConfig,
+    ModelRegistry,
+    PackedModel,
+    decode_planes,
+    ternary_matmul,
+)
+from repro.serving.kernels import as_block_diagonal
+
+
+@pytest.fixture(scope="module")
+def frozen_model():
+    model = STHybridNet(HybridConfig(width=8), rng=0)
+    freeze_all(model)
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="module")
+def image(frozen_model):
+    return build_image(frozen_model)
+
+
+class TestKernels:
+    @pytest.mark.parametrize("rows,cols", [(1, 1), (3, 7), (12, 64), (5, 4)])
+    def test_matmul_matches_dense(self, rows, cols, rng):
+        w = rng.choice([-1.0, 0.0, 1.0], size=(rows, cols)).astype(np.float32)
+        blob, shape = pack_ternary(w)
+        planes = decode_planes(blob, shape)
+        x = rng.standard_normal((6, cols)).astype(np.float32)
+        np.testing.assert_allclose(ternary_matmul(x, planes), x @ w.T, rtol=1e-5, atol=1e-6)
+
+    def test_all_zero_matrix(self, rng):
+        blob, shape = pack_ternary(np.zeros((4, 5), dtype=np.float32))
+        planes = decode_planes(blob, shape)
+        out = ternary_matmul(rng.standard_normal((3, 5)).astype(np.float32), planes)
+        np.testing.assert_array_equal(out, np.zeros((3, 4), dtype=np.float32))
+
+    def test_empty_rows_stay_zero(self, rng):
+        w = np.zeros((4, 6), dtype=np.float32)
+        w[1, [0, 3]] = 1.0  # rows 0, 2, 3 empty (2 of them trailing)
+        blob, shape = pack_ternary(w)
+        x = rng.standard_normal((2, 6)).astype(np.float32)
+        np.testing.assert_allclose(
+            ternary_matmul(x, decode_planes(blob, shape)), x @ w.T, rtol=1e-6
+        )
+
+    def test_higher_rank_flattens_trailing_dims(self, rng):
+        w = rng.choice([-1.0, 0.0, 1.0], size=(5, 2, 3, 3)).astype(np.float32)
+        blob, shape = pack_ternary(w)
+        planes = decode_planes(blob, shape)
+        assert (planes.rows, planes.cols) == (5, 18)
+        x = rng.standard_normal((4, 18)).astype(np.float32)
+        np.testing.assert_allclose(
+            ternary_matmul(x, planes), x @ w.reshape(5, -1).T, rtol=1e-5, atol=1e-6
+        )
+
+    def test_block_diagonal_matches_per_channel(self, rng):
+        w = rng.choice([-1.0, 0.0, 1.0], size=(3, 4)).astype(np.float32)
+        blob, shape = pack_ternary(w)
+        block = as_block_diagonal(decode_planes(blob, shape), 4)
+        assert (block.rows, block.cols) == (3, 12)
+        x = rng.standard_normal((5, 12)).astype(np.float32)
+        expected = np.stack(
+            [x[:, c * 4 : (c + 1) * 4] @ w[c] for c in range(3)], axis=1
+        )
+        np.testing.assert_allclose(ternary_matmul(x, block), expected, rtol=1e-5, atol=1e-6)
+
+    def test_decode_rejects_reserved_code(self):
+        with pytest.raises(QuantizationError):
+            decode_planes(bytes([0b11]), (4,))
+
+    def test_shape_mismatch_rejected(self, rng):
+        blob, shape = pack_ternary(np.ones((2, 4), dtype=np.float32))
+        planes = decode_planes(blob, shape)
+        with pytest.raises(ValueError):
+            ternary_matmul(rng.standard_normal((1, 5)).astype(np.float32), planes)
+
+
+class TestPackedModel:
+    def test_matches_live_model(self, frozen_model, image, rng):
+        x = rng.standard_normal((5, 49, 10)).astype(np.float32)
+        with no_grad():
+            reference = frozen_model(Tensor(x)).data
+        np.testing.assert_allclose(PackedModel(image)(x), reference, rtol=1e-3, atol=1e-4)
+
+    def test_cached_bitwise_equals_uncached(self, image, rng):
+        x = rng.standard_normal((7, 49, 10)).astype(np.float32)
+        cached = PackedModel(image, cache=True)
+        uncached = PackedModel(image, cache=False)
+        np.testing.assert_array_equal(cached(x), uncached(x))
+        np.testing.assert_array_equal(cached.features(x), uncached.features(x))
+
+    def test_interpreter_modes_bitwise_identical(self, image, rng):
+        x = rng.standard_normal((4, 49, 10)).astype(np.float32)
+        np.testing.assert_array_equal(
+            ImageInterpreter(image, cache=True)(x), ImageInterpreter(image, cache=False)(x)
+        )
+
+    def test_batch_composition_invariant(self, image, rng):
+        # row i of a batched forward == the same example served alone
+        x = rng.standard_normal((6, 49, 10)).astype(np.float32)
+        model = PackedModel(image)
+        batched = model(x)
+        singles = np.concatenate([model(x[i : i + 1]) for i in range(len(x))])
+        np.testing.assert_array_equal(batched, singles)
+
+    def test_decoded_bytes(self, image):
+        assert PackedModel(image, cache=True).decoded_bytes() > 0
+        assert PackedModel(image, cache=False).decoded_bytes() == 0
+
+    def test_rejects_unknown_arch(self, image):
+        from repro.deploy import ModelImage
+
+        bad = ModelImage(header={"arch": "mystery"}, layers=image.layers)
+        with pytest.raises(ConfigError):
+            PackedModel(bad)
+
+
+def echo_model(batch: np.ndarray) -> np.ndarray:
+    """Fake model: returns each request's first feature (traces routing)."""
+    return batch.reshape(batch.shape[0], -1)[:, :1]
+
+
+class TestBatchingEngine:
+    def test_coalescing_preserves_submission_order(self):
+        engine = BatchingEngine(echo_model, MicroBatchConfig(max_batch_size=2))
+        inputs = [np.full((3,), float(i)) for i in range(5)]
+        futures = engine.submit_many(inputs)
+        assert engine.flush() == 3  # 2 + 2 + 1
+        assert list(engine.stats.batch_sizes) == [2, 2, 1]
+        for i, future in enumerate(futures):
+            assert future.result()[0] == float(i)
+
+    def test_results_match_direct_forward(self, image, rng):
+        model = PackedModel(image)
+        xs = [rng.standard_normal((49, 10)).astype(np.float32) for _ in range(6)]
+        engine = BatchingEngine(model, MicroBatchConfig(max_batch_size=6))
+        futures = engine.submit_many(xs)
+        engine.flush()
+        got = np.stack([f.result() for f in futures])
+        np.testing.assert_array_equal(got, model(np.stack(xs)))
+
+    def test_predict_without_worker(self, image, rng):
+        engine = BatchingEngine(PackedModel(image))
+        scores = engine.predict(rng.standard_normal((49, 10)).astype(np.float32))
+        assert scores.shape == (12,)
+        assert engine.stats.batches == 1 and engine.stats.requests == 1
+
+    def test_worker_mode_serves_all_requests(self, image, rng):
+        model = PackedModel(image)
+        xs = [rng.standard_normal((49, 10)).astype(np.float32) for _ in range(9)]
+        with BatchingEngine(model, MicroBatchConfig(max_batch_size=4, max_delay_ms=20.0)) as eng:
+            futures = eng.submit_many(xs)
+            got = np.stack([f.result() for f in futures])
+        np.testing.assert_array_equal(got, model(np.stack(xs)))
+        assert eng.stats.requests == 9
+        assert sum(eng.stats.batch_sizes) == 9
+        assert max(eng.stats.batch_sizes) <= 4
+
+    def test_model_failure_propagates_to_futures(self):
+        def broken(batch):
+            raise RuntimeError("kernel exploded")
+
+        engine = BatchingEngine(broken)
+        future = engine.submit(np.zeros(3))
+        engine.flush()
+        with pytest.raises(RuntimeError, match="kernel exploded"):
+            future.result()
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            MicroBatchConfig(max_batch_size=0)
+        with pytest.raises(ConfigError):
+            MicroBatchConfig(max_delay_ms=-1.0)
+
+    def test_mean_batch_size(self):
+        engine = BatchingEngine(echo_model, MicroBatchConfig(max_batch_size=4))
+        engine.submit_many([np.zeros(2)] * 8)
+        engine.flush()
+        assert engine.stats.mean_batch_size == pytest.approx(4.0)
+
+
+class TestModelRegistry:
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigError, match="unknown model"):
+            ModelRegistry().get("nope")
+        with pytest.raises(ConfigError):
+            ModelRegistry().remove("nope")
+
+    def test_lru_eviction(self, image):
+        registry = ModelRegistry(capacity=2)
+        for name in ("a", "b", "c"):
+            registry.register(name, image)
+        registry.get("a"), registry.get("b"), registry.get("c")
+        assert registry.decoded_names() == ["b", "c"]  # "a" evicted
+        assert registry.stats.evictions == 1 and registry.stats.misses == 3
+        registry.get("b")  # hit refreshes recency -> "c" is now LRU
+        registry.get("a")
+        assert registry.decoded_names() == ["b", "a"]
+        assert registry.stats.hits == 1 and registry.stats.evictions == 2
+        assert len(registry) == 3  # images themselves are never evicted
+
+    def test_get_returns_same_instance_on_hit(self, image):
+        registry = ModelRegistry(capacity=2)
+        registry.register("m", image)
+        assert registry.get("m") is registry.get("m")
+
+    def test_reregister_invalidates_decoded_plan(self, image):
+        registry = ModelRegistry()
+        registry.register("m", image)
+        first = registry.get("m")
+        registry.register("m", image.to_bytes())  # also exercises bytes input
+        assert registry.decoded_names() == []
+        assert registry.get("m") is not first
+
+    def test_predict_roundtrip(self, image, rng):
+        registry = ModelRegistry()
+        registry.register("kws", image)
+        x = rng.standard_normal((3, 49, 10)).astype(np.float32)
+        np.testing.assert_array_equal(registry.predict("kws", x), PackedModel(image)(x))
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigError):
+            ModelRegistry(capacity=0)
+
+
+class TestStreamingThroughEngine:
+    def test_engine_path_matches_direct_path(self, image):
+        wave, _ = make_stream(["yes"], rng=4)
+        model = PackedModel(image)
+        direct = StreamingDetector(model)
+        engine = BatchingEngine(model, MicroBatchConfig(max_batch_size=4))
+        batched = StreamingDetector(engine=engine)
+        t_direct, p_direct = direct.posteriors(wave)
+        t_engine, p_engine = batched.posteriors(wave)
+        np.testing.assert_array_equal(t_direct, t_engine)
+        np.testing.assert_array_equal(p_direct, p_engine)
+        # the windows really went through micro-batches, not one big forward
+        assert engine.stats.batches == -(-len(t_engine) // 4)
+        assert max(engine.stats.batch_sizes) <= 4
+
+    def test_requires_model_or_engine(self):
+        with pytest.raises(ConfigError):
+            StreamingDetector()
