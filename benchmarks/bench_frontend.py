@@ -1,0 +1,176 @@
+"""Front-end benchmarks: async fan-out throughput and byte-budget admission.
+
+Not a paper table — this guards the serving front door added on top of the
+micro-batching engine:
+
+* **async fan-out**: 64 concurrent asyncio clients, each awaiting
+  ``AsyncServingFrontend.predict`` with a generous deadline, must sustain
+  >= 3x the throughput of one-at-a-time serving with **zero** deadline
+  misses (the coalescing win must survive the asyncio bridge);
+* **byte-budget admission**: a :class:`~repro.serving.registry.ModelRegistry`
+  bounded by ``capacity_bytes`` must never exceed its budget (checked via
+  ``RegistryStats``) while traffic rotates across more models than fit.
+
+Runs standalone (``python benchmarks/bench_frontend.py [--quick]``) and as
+pytest assertions guarding the floors in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import time
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.hybrid import HybridConfig, STHybridNet
+from repro.core.strassen import freeze_all
+from repro.deploy import build_image
+from repro.deploy.image import ModelImage
+from repro.serving import AsyncServingFrontend, MicroBatchConfig, PackedModel, ModelRegistry
+
+CLIENTS = 64
+DEADLINE_S = 0.5  # generous (>= 100 ms): misses at this budget indicate a bug
+
+
+def demo_image(width: int = 8, rng: int = 0) -> ModelImage:
+    """A small frozen ST-Hybrid image (weights random, arithmetic real)."""
+    model = STHybridNet(HybridConfig(width=width), rng=rng)
+    freeze_all(model)
+    model.eval()
+    return build_image(model)
+
+
+def measure_async_fanout(
+    image: ModelImage, clients: int = CLIENTS, repeats: int = 5
+) -> Tuple[float, float, float, int]:
+    """(single req/s, async req/s, speedup, deadline misses) for ``clients`` clients."""
+    model = PackedModel(image, cache=True)
+    rng = np.random.default_rng(0)
+    requests = [rng.standard_normal((49, 10)).astype(np.float32) for _ in range(clients)]
+    model(requests[0][None])  # warm up
+
+    def serve_singles() -> None:
+        for x in requests:
+            model(x[None])
+
+    times: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        serve_singles()
+        times.append(time.perf_counter() - start)
+    single_s = min(times)
+
+    frontend = AsyncServingFrontend(
+        model,
+        config=MicroBatchConfig(max_batch_size=clients, max_delay_ms=2.0),
+        max_pending=4 * clients,
+        default_deadline_s=DEADLINE_S,
+    )
+
+    async def bench() -> float:
+        async def fanout() -> None:
+            await asyncio.gather(*[frontend.predict(x) for x in requests])
+
+        async with frontend:
+            await fanout()  # warm up the worker path
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                await fanout()
+                best = min(best, time.perf_counter() - start)
+        return best
+
+    async_s = asyncio.run(bench())
+    single = clients / single_s
+    fanout_tput = clients / async_s
+    return single, fanout_tput, fanout_tput / single, frontend.stats.deadline_misses
+
+
+def measure_byte_budget(
+    widths: Tuple[int, ...] = (8, 8, 8, 8), rounds: int = 3
+) -> Tuple[ModelRegistry, int]:
+    """Rotate traffic over more models than the budget fits; returns
+    (registry, max observed resident bytes across every step)."""
+    images = [demo_image(w, rng=i) for i, w in enumerate(widths)]
+    # budget: any two decoded plans fit, three never do (plan sizes vary with
+    # the random sparsity, so size the budget from the two largest)
+    sizes = sorted(PackedModel(img, cache=True).decoded_bytes() for img in images)
+    registry = ModelRegistry(capacity_bytes=sizes[-1] + sizes[-2])
+    for i, image in enumerate(images):
+        registry.register(f"m{i}", image)
+
+    x = np.random.default_rng(1).standard_normal((2, 49, 10)).astype(np.float32)
+    observed_max = 0
+    for _ in range(rounds):
+        for i in range(len(images)):
+            registry.predict(f"m{i}", x)
+            observed_max = max(observed_max, registry.stats.resident_bytes)
+            assert registry.stats.resident_bytes == registry.decoded_bytes()
+    return registry, observed_max
+
+
+# -- pytest entry points ----------------------------------------------------- #
+
+
+def test_async_fanout_throughput() -> None:
+    """64 concurrent async clients must sustain >= 3x one-at-a-time serving
+    with zero deadline misses at a generous deadline."""
+    single, fanout, speedup, misses = measure_async_fanout(demo_image())
+    assert misses == 0, f"{misses} deadline misses at a {DEADLINE_S * 1e3:.0f} ms budget"
+    assert speedup >= 3.0, (
+        f"async fan-out of {CLIENTS} clients served {fanout:.0f} req/s vs "
+        f"{single:.0f} req/s single — only {speedup:.2f}x"
+    )
+
+
+def test_registry_byte_budget() -> None:
+    """RegistryStats must never report occupancy above capacity_bytes."""
+    registry, observed_max = measure_byte_budget()
+    assert observed_max <= registry.capacity_bytes, (
+        f"resident {observed_max} bytes exceeded budget {registry.capacity_bytes}"
+    )
+    assert registry.stats.peak_resident_bytes <= registry.capacity_bytes
+    assert registry.stats.evictions > 0, "rotation over 4 models never evicted"
+
+
+# -- standalone report ------------------------------------------------------- #
+
+
+def main() -> None:
+    """Run both measurements and enforce the acceptance floors."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="fewer repeats (CI smoke)")
+    parser.add_argument("--width", type=int, default=8, help="model channel width")
+    args = parser.parse_args()
+    if args.width < 1:
+        parser.error("--width must be >= 1")
+    repeats = 2 if args.quick else 7
+
+    image = demo_image(args.width)
+    print(f"ST-Hybrid width={args.width}; image payload {image.total_bytes():,} bytes")
+
+    single, fanout, speedup, misses = measure_async_fanout(image, repeats=repeats)
+    print(f"\n{CLIENTS} concurrent async clients (deadline {DEADLINE_S * 1e3:.0f} ms):")
+    print(f"  one-at-a-time      {single:10.0f} req/s")
+    print(f"  async fan-out      {fanout:10.0f} req/s")
+    print(f"  speedup            {speedup:10.2f}x  (floor: 3x)")
+    print(f"  deadline misses    {misses:10d}  (floor: 0)")
+
+    registry, observed_max = measure_byte_budget()
+    stats = registry.stats
+    print(f"\nbyte-budget registry (budget {registry.capacity_bytes:,} bytes, 4 models):")
+    print(f"  max resident       {observed_max:10,} bytes")
+    print(f"  peak (stats)       {stats.peak_resident_bytes:10,} bytes")
+    print(f"  hits/misses/evicts {stats.hits}/{stats.misses}/{stats.evictions}")
+
+    if misses or speedup < 3.0:
+        raise SystemExit("FAIL: async fan-out below the 3x floor or deadline misses seen")
+    if observed_max > registry.capacity_bytes:
+        raise SystemExit("FAIL: registry exceeded its byte budget")
+    print("\nOK: fan-out >= 3x with zero misses; byte budget never exceeded")
+
+
+if __name__ == "__main__":
+    main()

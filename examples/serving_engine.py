@@ -1,16 +1,18 @@
-"""Batched packed-ternary serving: registry + micro-batching walkthrough.
+"""Batched packed-ternary serving: registry, micro-batching, async front-end.
 
 Freezes two ST-HybridNets at different widths, registers their model images
-in a :class:`ModelRegistry` (LRU-bounded decoded-plan cache), and serves a
-burst of single-utterance requests through the :class:`BatchingEngine`,
-comparing one-at-a-time serving against coalesced micro-batches — the
-serving-side complement of the paper's tiny-image deployment story.
+in a byte-budgeted :class:`ModelRegistry`, serves a burst of
+single-utterance requests through the :class:`BatchingEngine`, then puts the
+:class:`AsyncServingFrontend` in front of it: concurrent asyncio clients
+with per-request deadlines and bounded admission — the serving-side
+complement of the paper's tiny-image deployment story.
 
 Run:  python examples/serving_engine.py    (a few seconds on CPU)
 """
 
 from __future__ import annotations
 
+import asyncio
 import time
 
 import numpy as np
@@ -19,9 +21,17 @@ from repro.core.hybrid import HybridConfig, STHybridNet
 from repro.core.strassen import freeze_all
 from repro.costmodel.report import format_table
 from repro.deploy import build_image
-from repro.serving import BatchingEngine, MicroBatchConfig, ModelRegistry
+from repro.errors import AdmissionError, DeadlineExceeded
+from repro.serving import (
+    AsyncServingFrontend,
+    BatchingEngine,
+    MicroBatchConfig,
+    ModelRegistry,
+    PackedModel,
+)
 
 REQUESTS = 256
+CLIENTS = 64
 
 
 def frozen_image(width: int, rng: int = 0):
@@ -33,21 +43,25 @@ def frozen_image(width: int, rng: int = 0):
 
 
 def main() -> None:
-    print("== register two model tiers ==")
-    registry = ModelRegistry(capacity=2)
-    for name, width in (("kws-small", 8), ("kws-large", 16)):
-        image = frozen_image(width)
+    """Walk the serving stack: registry → engine → async front-end."""
+    print("== register two model tiers under a byte budget ==")
+    small, large = frozen_image(8), frozen_image(16)
+    # budget the decoded-plan cache so both tiers fit but a third won't
+    budget = PackedModel(small).decoded_bytes() + PackedModel(large).decoded_bytes()
+    registry = ModelRegistry(capacity_bytes=budget)
+    for name, image in (("kws-small", small), ("kws-large", large)):
         registry.register(name, image)
-        print(f"  {name}: width {width}, image {image.total_bytes():,} bytes")
+        print(f"  {name}: image {image.total_bytes():,} bytes")
+    print(f"decoded-plan budget: {registry.capacity_bytes:,} bytes")
 
     model = registry.get("kws-small")
     print(f"decoded plans resident: {registry.decoded_names()} "
-          f"({registry.decoded_bytes():,} bytes)")
+          f"({registry.stats.resident_bytes:,} bytes)")
 
     rng = np.random.default_rng(7)
     requests = [rng.standard_normal((49, 10)).astype(np.float32) for _ in range(REQUESTS)]
 
-    print(f"\n== serve {REQUESTS} requests ==")
+    print(f"\n== serve {REQUESTS} requests through the engine ==")
     rows = []
     for batch_size in (1, 8, 32):
         engine = BatchingEngine(model, MicroBatchConfig(max_batch_size=batch_size))
@@ -64,14 +78,51 @@ def main() -> None:
         })
     print(format_table(rows, title="Micro-batching throughput"))
 
-    print("\n== LRU behaviour under a third model ==")
+    print(f"\n== {CLIENTS} concurrent async clients with deadlines ==")
+    frontend = AsyncServingFrontend(
+        model,
+        config=MicroBatchConfig(max_batch_size=CLIENTS, max_delay_ms=2.0),
+        max_pending=2 * CLIENTS,
+        default_deadline_s=0.5,
+    )
+
+    async def client(x: np.ndarray, deadline_s: float) -> str:
+        try:
+            scores = await frontend.predict(x, deadline_s=deadline_s)
+            return f"label {int(np.argmax(scores))}"
+        except DeadlineExceeded:
+            return "deadline miss"
+        except AdmissionError:
+            return "shed"
+
+    async def fan_out() -> None:
+        async with frontend:
+            start = time.perf_counter()
+            outcomes = await asyncio.gather(
+                *[client(x, 0.5) for x in requests[:CLIENTS]]
+            )
+            elapsed = time.perf_counter() - start
+            served = sum(1 for o in outcomes if o.startswith("label"))
+            print(f"  served {served}/{CLIENTS} in {elapsed * 1e3:.1f} ms "
+                  f"({CLIENTS / elapsed:,.0f} req/s)")
+            # an impossible budget: the request expires before dispatch
+            print(f"  1 µs budget -> {await client(requests[0], 1e-6)}")
+    asyncio.run(fan_out())
+    stats = frontend.stats
+    print(f"  engine stats: {stats.requests} requests, {stats.batches} batches, "
+          f"mean batch {stats.mean_batch_size:.1f}, "
+          f"{stats.deadline_misses} deadline misses, {stats.shed} shed")
+
+    print("\n== byte-budget eviction under a third model ==")
     registry.register("kws-xl", frozen_image(24))
     registry.get("kws-large")
-    registry.get("kws-xl")  # capacity 2 -> evicts the LRU decoded plan
-    stats = registry.stats
-    print(f"resident after traffic shift: {registry.decoded_names()}")
-    print(f"decode cache: {stats.hits} hits, {stats.misses} misses, "
-          f"{stats.evictions} evictions")
+    registry.get("kws-xl")  # over budget -> evicts LRU plans to make room
+    rstats = registry.stats
+    print(f"resident after traffic shift: {registry.decoded_names()} "
+          f"({rstats.resident_bytes:,}/{registry.capacity_bytes:,} bytes, "
+          f"peak {rstats.peak_resident_bytes:,})")
+    print(f"decode cache: {rstats.hits} hits, {rstats.misses} misses, "
+          f"{rstats.evictions} evictions")
     print("\nevicted models re-decode transparently on their next request —")
     print("the packed images themselves always stay resident at 2 bits/weight.")
 

@@ -102,6 +102,7 @@ class ModelImage:
         payload = bytearray()
 
         def append(blob: bytes) -> Tuple[int, int]:
+            """Append ``blob`` to the payload; returns its (offset, length) span."""
             offset = len(payload)
             payload.extend(blob)
             return offset, len(blob)
@@ -141,6 +142,7 @@ class ModelImage:
         payload = blob[10 + manifest_len :]
 
         def cut(span) -> bytes:
+            """Slice a (offset, length) span back out of the payload."""
             offset, length = span
             return payload[offset : offset + length]
 

@@ -30,3 +30,20 @@ class QuantizationError(ReproError, ValueError):
 
 class DatasetError(ReproError, ValueError):
     """A dataset was configured or consumed incorrectly."""
+
+
+class DeadlineExceeded(ReproError, TimeoutError):
+    """A serving request's latency budget expired before it was dispatched.
+
+    Raised (delivered through the request's future) by the serving layer when
+    a request submitted with ``deadline_s=`` is still queued at dispatch time
+    after its budget has elapsed.  The request is *not* executed.
+    """
+
+
+class AdmissionError(ReproError, RuntimeError):
+    """The serving front-end shed a request because its admission queue is full.
+
+    Backpressure signal: the caller should retry later, route elsewhere, or
+    drop the request — the engine never saw it.
+    """

@@ -121,10 +121,13 @@ class StreamingDetector:
     ``model`` maps (N, frames, coeffs) MFCC batches to (N, len(LABELS))
     scores — a live (Tensor-based) network, a packed-image runtime such as
     :class:`~repro.serving.packed.PackedModel`, or ``None`` when ``engine``
-    is given.  With an ``engine``
-    (:class:`~repro.serving.batching.BatchingEngine`), each analysis window
-    is submitted as an individual serving request and the engine coalesces
-    them into micro-batches — the deployment data path, instead of one
+    or ``frontend`` is given.  With a ``frontend``
+    (:class:`~repro.serving.frontend.AsyncServingFrontend`), analysis
+    windows go through the full serving front door — admission control,
+    per-request deadlines, micro-batch coalescing; with a bare ``engine``
+    (:class:`~repro.serving.batching.BatchingEngine`), each window is
+    submitted as an individual serving request and coalesced into
+    micro-batches.  Both are the deployment data path, instead of one
     monolithic evaluation-only forward.  The detector handles windowing,
     feature normalisation (using the training statistics), posterior
     smoothing, thresholding and refractory suppression.
@@ -137,10 +140,18 @@ class StreamingDetector:
         feature_mean: Optional[np.ndarray] = None,
         feature_std: Optional[np.ndarray] = None,
         engine=None,
+        frontend=None,
     ) -> None:
-        if model is None and engine is None:
-            raise ConfigError("StreamingDetector needs a model or a BatchingEngine")
+        if model is None and engine is None and frontend is None:
+            raise ConfigError(
+                "StreamingDetector needs a model, a BatchingEngine, or an AsyncServingFrontend"
+            )
+        if frontend is not None:
+            if engine is not None:
+                raise ConfigError("pass either engine or frontend, not both")
+            engine = frontend.engine
         self.model = model if model is not None else engine.model
+        self.frontend = frontend
         self.engine = engine
         self.config = config or StreamingConfig()
         if self.config.smoothing_windows < 1:
@@ -151,6 +162,10 @@ class StreamingDetector:
 
     def _forward(self, features: np.ndarray) -> np.ndarray:
         """Window batch → logits, through whichever serving path is wired."""
+        if self.frontend is not None:
+            # serve() chunks by the admission bound, so streams with more
+            # windows than max_pending are served rather than shed.
+            return np.stack(self.frontend.serve(list(features)))
         if self.engine is not None:
             futures = self.engine.submit_many(list(features))
             if not self.engine.running:

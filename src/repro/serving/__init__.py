@@ -9,17 +9,24 @@ it *fast to serve*:
 * :mod:`repro.serving.packed`   — :class:`PackedModel`, the cached runtime
   (``cache=False`` reproduces the on-the-fly reference semantics bitwise);
 * :mod:`repro.serving.batching` — :class:`BatchingEngine`, coalescing
-  single requests into micro-batches under a size + latency budget;
+  single requests into micro-batches under a size + latency budget, with
+  per-request deadline enforcement at dispatch;
+* :mod:`repro.serving.frontend` — :class:`AsyncServingFrontend`, the
+  asyncio front door: ``await predict(x, deadline_s=...)`` with bounded
+  admission (backpressure) bridged onto the engine's worker thread;
 * :mod:`repro.serving.registry` — :class:`ModelRegistry`, many named images
-  served concurrently with LRU eviction of decoded plans.
+  served concurrently with LRU eviction of decoded plans under a byte
+  budget (``capacity_bytes``).
 """
 
 from repro.serving.batching import BatchingEngine, EngineStats, MicroBatchConfig
+from repro.serving.frontend import AsyncServingFrontend
 from repro.serving.kernels import TernaryPlanes, decode_planes, ternary_matmul
 from repro.serving.packed import LayerPlan, PackedModel, decode_layer
 from repro.serving.registry import ModelRegistry, RegistryStats
 
 __all__ = [
+    "AsyncServingFrontend",
     "BatchingEngine",
     "EngineStats",
     "MicroBatchConfig",

@@ -17,6 +17,13 @@ Two dispatch modes share the same coalescing core:
 
 Results are delivered through :class:`concurrent.futures.Future`, one per
 request, in submission order within each batch.
+
+Requests may carry a **deadline**: ``submit(x, deadline_s=...)`` gives the
+request a latency budget, and any request still queued when its budget has
+elapsed at dispatch time is rejected with
+:class:`~repro.errors.DeadlineExceeded` instead of being executed — expired
+work never occupies a batch slot.  The asyncio-facing wrapper lives in
+:mod:`repro.serving.frontend`.
 """
 
 from __future__ import annotations
@@ -31,7 +38,15 @@ from typing import Callable, Deque, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, DeadlineExceeded
+
+#: one queued request: (input, result future, absolute monotonic deadline or None)
+Request = Tuple[np.ndarray, Future, Optional[float]]
+
+#: safety margin subtracted from a queued request's deadline when it caps the
+#: coalescing wait, so the dispatch-time deadline check runs strictly before
+#: the budget expires (not in a dead heat with it).
+DISPATCH_SLACK_S = 0.005
 
 
 @dataclass(frozen=True)
@@ -42,6 +57,7 @@ class MicroBatchConfig:
     max_delay_ms: float = 2.0
 
     def __post_init__(self) -> None:
+        """Validate the policy bounds."""
         if self.max_batch_size < 1:
             raise ConfigError("max_batch_size must be >= 1")
         if self.max_delay_ms < 0:
@@ -59,16 +75,25 @@ class EngineStats:
     ``batch_sizes`` keeps only the most recent :data:`RECENT_BATCHES`
     dispatches so a worker serving traffic for days cannot grow it without
     bound; the ``requests``/``batches`` counters cover the full lifetime.
+
+    ``requests`` counts every submission; ``served`` only those that made it
+    into a dispatched batch.  ``deadline_misses`` counts requests rejected at
+    dispatch because their latency budget had expired; ``shed`` counts
+    requests a front-end refused admission to (backpressure) — those never
+    reached the queue, so they are *not* included in ``requests``.
     """
 
     requests: int = 0
+    served: int = 0
     batches: int = 0
+    deadline_misses: int = 0
+    shed: int = 0
     batch_sizes: Deque[int] = field(default_factory=lambda: deque(maxlen=RECENT_BATCHES))
 
     @property
     def mean_batch_size(self) -> float:
         """Lifetime average coalesced batch size (0.0 before any dispatch)."""
-        return self.requests / self.batches if self.batches else 0.0
+        return self.served / self.batches if self.batches else 0.0
 
 
 class BatchingEngine:
@@ -88,31 +113,50 @@ class BatchingEngine:
         self.model = model
         self.config = config or MicroBatchConfig()
         self.stats = EngineStats()
-        self._queue: "queue.Queue[Tuple[np.ndarray, Future]]" = queue.Queue()
+        self._queue: "queue.Queue[Request]" = queue.Queue()
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._worker: Optional[threading.Thread] = None
 
     # -- request side ---------------------------------------------------- #
 
-    def submit(self, x: np.ndarray) -> "Future[np.ndarray]":
-        """Enqueue one example; the future resolves to its result row."""
+    def submit(self, x: np.ndarray, *, deadline_s: Optional[float] = None) -> "Future[np.ndarray]":
+        """Enqueue one example; the future resolves to its result row.
+
+        ``deadline_s`` is the request's latency budget in seconds, measured
+        from submission.  If the budget has elapsed by the time the request's
+        micro-batch is dispatched, the future fails with
+        :class:`~repro.errors.DeadlineExceeded` instead of running.  ``None``
+        means no deadline; a non-positive budget is already expired.
+        """
         future: "Future[np.ndarray]" = Future()
+        deadline = None if deadline_s is None else time.monotonic() + deadline_s
         with self._lock:
             self.stats.requests += 1
-        self._queue.put((np.asarray(x), future))
+        self._queue.put((np.asarray(x), future, deadline))
         return future
 
-    def submit_many(self, xs: Sequence[np.ndarray]) -> List["Future[np.ndarray]"]:
-        """Enqueue several examples, preserving order."""
-        return [self.submit(x) for x in xs]
+    def submit_many(
+        self, xs: Sequence[np.ndarray], *, deadline_s: Optional[float] = None
+    ) -> List["Future[np.ndarray]"]:
+        """Enqueue several examples, preserving order, sharing one budget."""
+        return [self.submit(x, deadline_s=deadline_s) for x in xs]
 
-    def predict(self, x: np.ndarray) -> np.ndarray:
+    def predict(self, x: np.ndarray, *, deadline_s: Optional[float] = None) -> np.ndarray:
         """Blocking single-request convenience: submit, (flush,) wait."""
-        future = self.submit(x)
+        future = self.submit(x, deadline_s=deadline_s)
         if not self.running:
             self.flush()
         return future.result()
+
+    def pending(self) -> int:
+        """Approximate number of requests queued but not yet dispatched."""
+        return self._queue.qsize()
+
+    def record_shed(self) -> None:
+        """Count one request refused admission upstream (front-end backpressure)."""
+        with self._lock:
+            self.stats.shed += 1
 
     # -- dispatch side --------------------------------------------------- #
 
@@ -126,20 +170,27 @@ class BatchingEngine:
             self._run(batch)
             ran += 1
 
-    def _collect(self, block: bool) -> List[Tuple[np.ndarray, Future]]:
+    def _collect(self, block: bool) -> List[Request]:
         """Pull up to ``max_batch_size`` requests, waiting out the latency
-        budget only in blocking (worker) mode."""
+        budget only in blocking (worker) mode.
+
+        The coalescing wait is capped by the earliest request deadline in the
+        batch, so a request whose remaining budget is shorter than
+        ``max_delay_ms`` dispatches before its budget expires instead of being
+        missed by the engine's own wait.
+        """
         cfg = self.config
-        batch: List[Tuple[np.ndarray, Future]] = []
+        batch: List[Request] = []
         try:
             timeout = 0.05 if block else None
             batch.append(self._queue.get(block=block, timeout=timeout))
         except queue.Empty:
             return batch
-        deadline = time.monotonic() + cfg.max_delay_ms / 1000.0
+        dispatch_at = time.monotonic() + cfg.max_delay_ms / 1000.0
         while len(batch) < cfg.max_batch_size:
             if block:
-                remaining = deadline - time.monotonic()
+                cutoffs = [d - DISPATCH_SLACK_S for _, _, d in batch if d is not None]
+                remaining = min([dispatch_at, *cutoffs]) - time.monotonic()
                 if remaining <= 0:
                     break
                 try:
@@ -153,24 +204,53 @@ class BatchingEngine:
                     break
         return batch
 
-    def _run(self, batch: List[Tuple[np.ndarray, Future]]) -> None:
-        """One vectorised forward over a coalesced batch."""
+    def _run(self, batch: List[Request]) -> None:
+        """One vectorised forward over a coalesced batch.
+
+        Requests whose deadline has already passed are rejected here — at the
+        moment their micro-batch is scheduled — with
+        :class:`~repro.errors.DeadlineExceeded`; the surviving requests in the
+        same batch are served normally.  Requests whose future was cancelled
+        while queued (e.g. an async client timing out) are skipped; claiming a
+        future via ``set_running_or_notify_cancel`` also makes later
+        ``set_result``/``set_exception`` calls race-free against cancellation.
+        """
+        now = time.monotonic()
+        live: List[Tuple[np.ndarray, Future]] = []
+        expired: List[Future] = []
+        for x, future, deadline in batch:
+            if not future.set_running_or_notify_cancel():
+                continue  # cancelled while queued; nobody is waiting
+            if deadline is not None and now >= deadline:
+                expired.append(future)
+            else:
+                live.append((x, future))
+        if expired:
+            with self._lock:
+                self.stats.deadline_misses += len(expired)
+            for future in expired:
+                future.set_exception(
+                    DeadlineExceeded("request expired before its micro-batch was scheduled")
+                )
+        if not live:
+            return
         try:
-            stacked = np.stack([x for x, _ in batch])
+            stacked = np.stack([x for x, _ in live])
             results = np.asarray(self.model(stacked))
-            if results.ndim == 0 or results.shape[0] != len(batch):
+            if results.ndim == 0 or results.shape[0] != len(live):
                 raise ValueError(
-                    f"model returned shape {results.shape} for a batch of {len(batch)}"
+                    f"model returned shape {results.shape} for a batch of {len(live)}"
                 )
         except Exception as exc:  # deliver the failure to every waiter
-            for _, future in batch:
+            for _, future in live:
                 future.set_exception(exc)
             return
-        for i, (_, future) in enumerate(batch):
+        for i, (_, future) in enumerate(live):
             future.set_result(results[i])
         with self._lock:
             self.stats.batches += 1
-            self.stats.batch_sizes.append(len(batch))
+            self.stats.served += len(live)
+            self.stats.batch_sizes.append(len(live))
 
     # -- worker lifecycle ------------------------------------------------- #
 
@@ -203,7 +283,9 @@ class BatchingEngine:
                 self._run(batch)
 
     def __enter__(self) -> "BatchingEngine":
+        """Start the worker for the duration of a ``with`` block."""
         return self.start()
 
     def __exit__(self, *exc_info) -> None:
+        """Stop the worker and drain the queue."""
         self.stop()

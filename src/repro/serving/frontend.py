@@ -1,0 +1,212 @@
+"""Async deadline-aware serving front-end over the batching engine.
+
+:class:`AsyncServingFrontend` is the traffic-shaping layer between many
+concurrent clients and one :class:`~repro.serving.batching.BatchingEngine`:
+
+* **asyncio bridge** — ``await frontend.predict(x)`` submits onto the
+  engine's queue and awaits the engine-side
+  :class:`concurrent.futures.Future` from the event loop, so thousands of
+  in-flight requests cost one coroutine each, not one thread each;
+* **per-request deadlines** — ``predict(x, deadline_s=0.05)`` gives the
+  request a latency budget; if it is still queued when its micro-batch is
+  scheduled after the budget elapsed, the await raises
+  :class:`~repro.errors.DeadlineExceeded` and the model never runs it;
+* **bounded admission (backpressure)** — at most ``max_pending`` admitted
+  requests may be unresolved at once; beyond that, ``predict`` sheds the
+  request immediately with :class:`~repro.errors.AdmissionError` instead of
+  letting the queue (and every queued request's latency) grow without bound.
+
+The front-end drives the engine in worker mode (``async with frontend:``
+starts and stops the background thread).  Without a worker it falls back to
+the engine's deterministic synchronous ``flush()`` — which is what unit
+tests and single-shot scripts want.  All counters land in the shared
+:class:`~repro.serving.batching.EngineStats` (``shed``,
+``deadline_misses``, …).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import Future
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import AdmissionError, ConfigError
+from repro.serving.batching import BatchingEngine, EngineStats, MicroBatchConfig
+
+#: sentinel distinguishing "deadline_s not passed" (use the frontend default)
+#: from an explicit ``deadline_s=None`` ("this request has no deadline").
+_UNSET = object()
+
+
+class AsyncServingFrontend:
+    """Asyncio front door to a :class:`BatchingEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The engine to wrap, or any batch-callable model — a bare model is
+        wrapped in a fresh ``BatchingEngine(model, config)``.
+    config:
+        Micro-batch policy for a freshly wrapped model; rejected when an
+        already-built engine is passed (configure that engine directly).
+    max_pending:
+        Admission bound: the maximum number of admitted-but-unresolved
+        requests.  Submissions beyond it raise
+        :class:`~repro.errors.AdmissionError` and count as ``stats.shed``.
+    default_deadline_s:
+        Latency budget applied when ``predict`` is called without an
+        explicit ``deadline_s`` (``None`` = no deadline by default).
+    """
+
+    def __init__(
+        self,
+        engine: Union[BatchingEngine, Callable[[np.ndarray], np.ndarray]],
+        *,
+        config: Optional[MicroBatchConfig] = None,
+        max_pending: int = 256,
+        default_deadline_s: Optional[float] = None,
+    ) -> None:
+        if isinstance(engine, BatchingEngine):
+            if config is not None:
+                raise ConfigError("pass config only when wrapping a bare model")
+            self.engine = engine
+        else:
+            self.engine = BatchingEngine(engine, config)
+        if max_pending < 1:
+            raise ConfigError("max_pending must be >= 1")
+        if default_deadline_s is not None and default_deadline_s <= 0:
+            raise ConfigError("default_deadline_s must be positive (or None)")
+        self.max_pending = max_pending
+        self.default_deadline_s = default_deadline_s
+        self._pending = 0
+        self._lock = threading.Lock()  # done-callbacks fire on the worker thread
+
+    # -- introspection ---------------------------------------------------- #
+
+    @property
+    def stats(self) -> EngineStats:
+        """The wrapped engine's lifetime counters (shared object)."""
+        return self.engine.stats
+
+    @property
+    def pending(self) -> int:
+        """Requests admitted but not yet resolved (served, failed, or expired)."""
+        with self._lock:
+            return self._pending
+
+    # -- admission -------------------------------------------------------- #
+
+    def _admit(self, x: np.ndarray, deadline_s: Optional[float]) -> "Future[np.ndarray]":
+        """Admission-check one request and enqueue it on the engine."""
+        with self._lock:
+            if self._pending >= self.max_pending:
+                self.engine.record_shed()
+                raise AdmissionError(
+                    f"admission queue full ({self.max_pending} pending); request shed"
+                )
+            self._pending += 1
+        future = self.engine.submit(x, deadline_s=deadline_s)
+        future.add_done_callback(self._release)
+        return future
+
+    def _release(self, _future: "Future[np.ndarray]") -> None:
+        """Done-callback: free the admission slot of a resolved request."""
+        with self._lock:
+            self._pending -= 1
+
+    # -- request side ----------------------------------------------------- #
+
+    async def predict(self, x: np.ndarray, *, deadline_s=_UNSET) -> np.ndarray:
+        """Serve one example; awaits its result row.
+
+        ``deadline_s`` overrides ``default_deadline_s`` for this request; an
+        explicit ``deadline_s=None`` opts this request out of the default
+        (no deadline at all).  Raises
+        :class:`~repro.errors.AdmissionError` immediately when the admission
+        queue is full, and :class:`~repro.errors.DeadlineExceeded` when the
+        budget expires before the micro-batch is scheduled.
+        """
+        if deadline_s is _UNSET:
+            deadline_s = self.default_deadline_s
+        future = self._admit(np.asarray(x), deadline_s)
+        if not self.engine.running:
+            self.engine.flush()
+        return await asyncio.wrap_future(future)
+
+    async def predict_many(
+        self, xs: Sequence[np.ndarray], *, deadline_s=_UNSET
+    ) -> List[np.ndarray]:
+        """Serve several examples concurrently, preserving order.
+
+        All requests are admitted before any result is awaited, so without a
+        running worker a single deterministic ``flush()`` coalesces them into
+        micro-batches (the evaluation path).  Admission is all-or-nothing: if
+        any request is shed, the already-admitted ones are cancelled and the
+        :class:`~repro.errors.AdmissionError` propagates.  Cancellation is
+        best-effort — a request the worker already claimed still executes
+        (its result is discarded, and its slot releases when it resolves).
+        ``deadline_s`` semantics (including the explicit-``None`` opt-out) and
+        deadline failures are as in :meth:`predict`.
+        """
+        if deadline_s is _UNSET:
+            deadline_s = self.default_deadline_s
+        futures: List["Future[np.ndarray]"] = []
+        try:
+            for x in xs:
+                futures.append(self._admit(np.asarray(x), deadline_s))
+        except BaseException:
+            # Don't strand admitted-but-unawaited requests in the engine
+            # queue: cancel them so their slots release now (cancellation
+            # fires the done-callback) instead of wedging the frontend, and
+            # flush so the cancelled entries drain rather than lingering
+            # until unrelated later traffic.
+            for future in futures:
+                future.cancel()
+            if not self.engine.running:
+                self.engine.flush()
+            raise
+        if not self.engine.running:
+            self.engine.flush()
+        return list(await asyncio.gather(*[asyncio.wrap_future(f) for f in futures]))
+
+    def serve(self, xs: Sequence[np.ndarray], *, deadline_s=_UNSET) -> List[np.ndarray]:
+        """Synchronous bridge: serve all of ``xs`` on a private event loop.
+
+        Batches longer than ``max_pending`` are served in admission-bound
+        chunks, so a synchronous caller (e.g.
+        :class:`~repro.evaluation.streaming.StreamingDetector`) can hand over
+        arbitrarily long work without being shed.  Must not be called from
+        inside a running event loop.
+        """
+        xs = list(xs)
+
+        async def run() -> List[np.ndarray]:
+            rows: List[np.ndarray] = []
+            for start in range(0, len(xs), self.max_pending):
+                chunk = xs[start : start + self.max_pending]
+                rows.extend(await self.predict_many(chunk, deadline_s=deadline_s))
+            return rows
+
+        return asyncio.run(run())
+
+    # -- lifecycle -------------------------------------------------------- #
+
+    def start(self) -> "AsyncServingFrontend":
+        """Start the engine's background worker (idempotent); returns self."""
+        self.engine.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the worker and drain anything still queued."""
+        self.engine.stop()
+
+    async def __aenter__(self) -> "AsyncServingFrontend":
+        """Enter worker mode for the duration of an ``async with`` block."""
+        return self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        """Stop the worker; pending requests are drained synchronously."""
+        self.stop()

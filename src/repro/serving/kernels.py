@@ -100,6 +100,7 @@ def as_block_diagonal(planes: TernaryPlanes, block_cols: int) -> TernaryPlanes:
         raise ValueError(f"planes have {planes.cols} cols, expected {block_cols}")
 
     def shift(indices: np.ndarray, ptr: np.ndarray) -> np.ndarray:
+        """Offset each row's indices into its own column block."""
         counts = np.diff(ptr)
         offsets = np.repeat(np.arange(planes.rows, dtype=np.intp) * block_cols, counts)
         return indices + offsets

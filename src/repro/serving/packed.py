@@ -108,6 +108,10 @@ class PackedModel:
         self._plans: Optional[Dict[str, LayerPlan]] = (
             {name: decode_layer(r) for name, r in self._records.items()} if cache else None
         )
+        # plans are fixed for the instance's lifetime, so the size is too
+        self._decoded_bytes = (
+            0 if self._plans is None else sum(plan.nbytes for plan in self._plans.values())
+        )
 
     def _plan(self, name: str) -> LayerPlan:
         if self._plans is not None:
@@ -116,9 +120,7 @@ class PackedModel:
 
     def decoded_bytes(self) -> int:
         """Resident size of all cached plans (0 in on-the-fly mode)."""
-        if self._plans is None:
-            return 0
-        return sum(plan.nbytes for plan in self._plans.values())
+        return self._decoded_bytes
 
     # -- layer kernels --------------------------------------------------- #
 

@@ -1,12 +1,17 @@
-"""Multi-model serving registry with LRU eviction of decoded plans.
+"""Multi-model serving registry with byte-budgeted eviction of decoded plans.
 
 A serving process holds many named model images (per keyword set, per
 device tier, per A/B arm).  The packed images themselves are tiny — 2 bits
 per weight — so the registry keeps **all** registered images resident, but
-the decoded bit-plane plans are several times larger and are built lazily
-and capped: at most ``capacity`` :class:`~repro.serving.packed.PackedModel`
-instances stay decoded, evicting the least-recently-used plan when a cold
-model is requested.  Evicted models re-decode transparently on next use.
+the decoded bit-plane plans are several times larger, so they are built
+lazily and admitted against a **byte budget**: ``capacity_bytes`` bounds the
+total :meth:`~repro.serving.packed.PackedModel.decoded_bytes` of resident
+plans, evicting least-recently-used plans when a cold decode would overflow
+it.  Evicted models re-decode transparently on next use; a model whose plan
+alone exceeds the budget is still served, just never cached.
+
+The original count-based bound (``ModelRegistry(capacity=N)`` keeping at
+most N decoded plans) survives as a deprecated alias.
 
 All operations are thread-safe; the returned :class:`PackedModel` objects
 are immutable and may be used concurrently with registry mutation.
@@ -15,9 +20,10 @@ are immutable and may be used concurrently with registry mutation.
 from __future__ import annotations
 
 import threading
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Union
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -25,27 +31,70 @@ from repro.deploy.image import ModelImage
 from repro.errors import ConfigError
 from repro.serving.packed import PackedModel
 
+#: default decoded-plan budget when neither bound is given (64 MiB)
+DEFAULT_CAPACITY_BYTES = 64 * 2**20
+
 
 @dataclass
 class RegistryStats:
-    """Decode-cache behaviour counters."""
+    """Decode-cache behaviour counters.
+
+    ``resident_bytes`` tracks the current total decoded-plan footprint (it
+    never exceeds ``capacity_bytes`` in byte-budget mode) and
+    ``peak_resident_bytes`` its lifetime high-water mark.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    resident_bytes: int = 0
+    peak_resident_bytes: int = 0
 
 
 class ModelRegistry:
-    """Name → model image store with a bounded decoded-plan cache."""
+    """Name → model image store with a byte-budgeted decoded-plan cache.
 
-    def __init__(self, capacity: int = 4) -> None:
-        if capacity < 1:
-            raise ConfigError("registry capacity must be >= 1")
+    Parameters
+    ----------
+    capacity:
+        **Deprecated** count bound: keep at most this many decoded plans.
+        Retained as an alias for pre-byte-budget callers; emits a
+        :class:`DeprecationWarning`.
+    capacity_bytes:
+        Byte budget: total ``decoded_bytes()`` of resident plans never
+        exceeds this.  The default (when neither argument is given) is
+        :data:`DEFAULT_CAPACITY_BYTES`.
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        *,
+        capacity_bytes: Optional[int] = None,
+    ) -> None:
+        if capacity is not None and capacity_bytes is not None:
+            raise ConfigError("pass either capacity (deprecated) or capacity_bytes, not both")
+        if capacity is not None:
+            warnings.warn(
+                "ModelRegistry(capacity=...) counts models and is deprecated; "
+                "use ModelRegistry(capacity_bytes=...) to budget decoded-plan bytes",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if capacity < 1:
+                raise ConfigError("registry capacity must be >= 1")
+        elif capacity_bytes is None:
+            capacity_bytes = DEFAULT_CAPACITY_BYTES
+        if capacity_bytes is not None and capacity_bytes < 1:
+            raise ConfigError("registry capacity_bytes must be >= 1")
         self.capacity = capacity
+        self.capacity_bytes = capacity_bytes
         self.stats = RegistryStats()
         self._images: "OrderedDict[str, ModelImage]" = OrderedDict()
         self._decoded: "OrderedDict[str, PackedModel]" = OrderedDict()
         self._lock = threading.RLock()
+
+    # -- mutation ---------------------------------------------------------- #
 
     def register(self, name: str, image: Union[ModelImage, bytes]) -> None:
         """Add or replace a named image; replacing drops any stale plan."""
@@ -53,7 +102,7 @@ class ModelRegistry:
             image = ModelImage.from_bytes(bytes(image))
         with self._lock:
             self._images[name] = image
-            self._decoded.pop(name, None)
+            self._drop_plan(name)
 
     def remove(self, name: str) -> None:
         """Forget a model and its decoded plan; unknown names raise."""
@@ -61,11 +110,27 @@ class ModelRegistry:
             if name not in self._images:
                 raise ConfigError(f"unknown model {name!r}")
             del self._images[name]
-            self._decoded.pop(name, None)
+            self._drop_plan(name)
+
+    def _drop_plan(self, name: str) -> None:
+        """Discard ``name``'s decoded plan (if resident), keeping byte accounts."""
+        if self._decoded.pop(name, None) is not None:
+            self._sync_resident()
+
+    def _sync_resident(self) -> None:
+        """Re-derive ``stats.resident_bytes`` from the resident plans.
+
+        Deriving (rather than incrementally maintaining) the counter means no
+        mutation path can drift it away from the cache contents — the budget
+        invariant in :meth:`_cache` keys off this value.
+        """
+        self.stats.resident_bytes = sum(m.decoded_bytes() for m in self._decoded.values())
+
+    # -- lookup ------------------------------------------------------------ #
 
     def get(self, name: str) -> PackedModel:
         """Fetch the decoded runtime for ``name``, decoding (and possibly
-        evicting the LRU plan) on a cache miss.
+        evicting LRU plans) on a cache miss.
 
         The decode itself runs outside the lock so a cold model never
         blocks concurrent hits on hot ones; if two threads race the same
@@ -90,15 +155,42 @@ class ModelRegistry:
                 return resident
             if self._images.get(name) is not image:  # re-registered/removed mid-decode
                 return model
-            self._decoded[name] = model
-            while len(self._decoded) > self.capacity:
-                self._decoded.popitem(last=False)
-                self.stats.evictions += 1
+            self._cache(name, model)
             return model
+
+    def _cache(self, name: str, model: PackedModel) -> None:
+        """Admit a freshly decoded plan, evicting LRU plans to stay in budget.
+
+        Eviction happens *before* insertion so ``stats.resident_bytes`` never
+        exceeds the byte budget, not even transiently.  An oversized plan
+        (larger than the whole budget) is served uncached.
+        """
+        cost = model.decoded_bytes()
+        if self.capacity_bytes is not None:
+            if cost > self.capacity_bytes:
+                return  # cannot fit even an empty cache; serve uncached
+            while self.stats.resident_bytes + cost > self.capacity_bytes:
+                self._evict_lru()
+        else:  # deprecated count-based mode
+            while len(self._decoded) >= self.capacity:
+                self._evict_lru()
+        self._decoded[name] = model
+        self._sync_resident()
+        self.stats.peak_resident_bytes = max(
+            self.stats.peak_resident_bytes, self.stats.resident_bytes
+        )
+
+    def _evict_lru(self) -> None:
+        """Drop the least-recently-used decoded plan."""
+        self._decoded.popitem(last=False)
+        self._sync_resident()
+        self.stats.evictions += 1
 
     def predict(self, name: str, x: np.ndarray) -> np.ndarray:
         """Run a batch through the named model."""
         return self.get(name)(x)
+
+    # -- introspection ----------------------------------------------------- #
 
     def names(self) -> List[str]:
         """All registered model names, sorted."""
@@ -111,14 +203,20 @@ class ModelRegistry:
             return list(self._decoded)
 
     def decoded_bytes(self) -> int:
-        """Total resident size of all decoded plans."""
+        """Total resident size of all decoded plans.
+
+        Reads the same accounting :meth:`_sync_resident` derives from the
+        resident plans on every mutation — one source of truth.
+        """
         with self._lock:
-            return sum(m.decoded_bytes() for m in self._decoded.values())
+            return self.stats.resident_bytes
 
     def __contains__(self, name: str) -> bool:
+        """True when ``name`` is a registered model."""
         with self._lock:
             return name in self._images
 
     def __len__(self) -> int:
+        """Number of registered images (decoded or not)."""
         with self._lock:
             return len(self._images)

@@ -1,0 +1,39 @@
+"""Documentation snippets must stay executable.
+
+Every fenced ```python block in the user-facing markdown docs is executed
+top-to-bottom, sharing one namespace per file (so later snippets may build on
+earlier ones, as the prose reads).  This is the CI gate that keeps README and
+docs/ code from rotting silently; non-runnable examples belong in ```text or
+```bash fences.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = [
+    REPO_ROOT / "README.md",
+    REPO_ROOT / "docs" / "serving.md",
+]
+PYTHON_BLOCK = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def extract_blocks(path: Path) -> list:
+    """All fenced python blocks of a markdown file, in document order."""
+    return PYTHON_BLOCK.findall(path.read_text(encoding="utf-8"))
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+def test_snippets_execute(path):
+    """Each doc file's python blocks run cleanly in one shared namespace."""
+    assert path.exists(), f"{path} is missing"
+    blocks = extract_blocks(path)
+    assert blocks, f"{path} has no ```python snippets to check"
+    namespace: dict = {"__name__": f"docsnippet_{path.stem}"}
+    for i, block in enumerate(blocks):
+        code = compile(block, f"{path.name}[snippet {i}]", "exec")
+        exec(code, namespace)  # noqa: S102 — executing our own documentation

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
@@ -9,7 +11,7 @@ from repro.autodiff.tensor import Tensor, no_grad
 from repro.core.hybrid import HybridConfig, STHybridNet
 from repro.core.strassen import freeze_all
 from repro.deploy import ImageInterpreter, build_image, pack_ternary
-from repro.errors import ConfigError, QuantizationError
+from repro.errors import ConfigError, DeadlineExceeded, QuantizationError
 from repro.evaluation import StreamingDetector, make_stream
 from repro.serving import (
     BatchingEngine,
@@ -172,6 +174,67 @@ class TestBatchingEngine:
         assert sum(eng.stats.batch_sizes) == 9
         assert max(eng.stats.batch_sizes) <= 4
 
+    def test_deadline_expiry_ordering_in_flush_mode(self):
+        """Expired requests are rejected deterministically at dispatch while
+        fresh requests in the same micro-batch are still served."""
+        engine = BatchingEngine(echo_model, MicroBatchConfig(max_batch_size=8))
+        fresh_a = engine.submit(np.full(3, 1.0), deadline_s=60.0)
+        expired = engine.submit(np.full(3, 2.0), deadline_s=0.0)
+        fresh_b = engine.submit(np.full(3, 3.0))  # no deadline
+        assert engine.flush() == 1
+        assert fresh_a.result()[0] == 1.0 and fresh_b.result()[0] == 3.0
+        with pytest.raises(DeadlineExceeded):
+            expired.result()
+        assert engine.stats.deadline_misses == 1
+        assert engine.stats.requests == 3
+        assert list(engine.stats.batch_sizes) == [2]  # only live requests ran
+
+    def test_short_deadline_caps_coalescing_wait(self):
+        """A lone request whose budget is shorter than max_delay_ms must be
+        dispatched before the budget expires — the engine's own coalescing
+        wait may not cause the miss."""
+        engine = BatchingEngine(
+            echo_model, MicroBatchConfig(max_batch_size=8, max_delay_ms=30_000.0)
+        )
+        with engine:
+            start = time.monotonic()
+            out = engine.predict(np.full(3, 4.0), deadline_s=1.0)
+            elapsed = time.monotonic() - start
+        assert out[0] == 4.0
+        assert engine.stats.deadline_misses == 0
+        assert elapsed < 10.0  # dispatched at the deadline cap, not max_delay
+
+    def test_all_expired_batch_runs_nothing(self):
+        calls = []
+
+        def counting(batch):
+            calls.append(len(batch))
+            return echo_model(batch)
+
+        engine = BatchingEngine(counting)
+        futures = engine.submit_many([np.zeros(3)] * 3, deadline_s=0.0)
+        engine.flush()
+        assert calls == []  # the model never ran
+        assert engine.stats.deadline_misses == 3
+        assert engine.stats.batches == 0
+        for future in futures:
+            with pytest.raises(DeadlineExceeded):
+                future.result()
+
+    def test_cancelled_request_is_skipped(self):
+        engine = BatchingEngine(echo_model, MicroBatchConfig(max_batch_size=4))
+        cancelled = engine.submit(np.full(3, 1.0))
+        kept = engine.submit(np.full(3, 2.0))
+        assert cancelled.cancel()
+        engine.flush()  # must not raise InvalidStateError on the cancelled future
+        assert kept.result()[0] == 2.0
+        assert list(engine.stats.batch_sizes) == [1]
+
+    def test_record_shed(self):
+        engine = BatchingEngine(echo_model)
+        engine.record_shed()
+        assert engine.stats.shed == 1 and engine.stats.requests == 0
+
     def test_model_failure_propagates_to_futures(self):
         def broken(batch):
             raise RuntimeError("kernel exploded")
@@ -203,7 +266,8 @@ class TestModelRegistry:
             ModelRegistry().remove("nope")
 
     def test_lru_eviction(self, image):
-        registry = ModelRegistry(capacity=2)
+        with pytest.warns(DeprecationWarning):  # count-based alias still works
+            registry = ModelRegistry(capacity=2)
         for name in ("a", "b", "c"):
             registry.register(name, image)
         registry.get("a"), registry.get("b"), registry.get("c")
@@ -216,7 +280,7 @@ class TestModelRegistry:
         assert len(registry) == 3  # images themselves are never evicted
 
     def test_get_returns_same_instance_on_hit(self, image):
-        registry = ModelRegistry(capacity=2)
+        registry = ModelRegistry()
         registry.register("m", image)
         assert registry.get("m") is registry.get("m")
 
@@ -235,8 +299,9 @@ class TestModelRegistry:
         np.testing.assert_array_equal(registry.predict("kws", x), PackedModel(image)(x))
 
     def test_capacity_validation(self):
-        with pytest.raises(ConfigError):
-            ModelRegistry(capacity=0)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigError):
+                ModelRegistry(capacity=0)
 
 
 class TestStreamingThroughEngine:
