@@ -1,0 +1,262 @@
+"""Cluster benchmarks: multi-worker scaling, priority isolation, identity.
+
+Not a paper table — this guards the multi-process serving cluster
+(:mod:`repro.serving.cluster`) on three axes:
+
+* **scaling**: 4 workers must sustain >= 2x the aggregate throughput of a
+  single-worker engine on the same batched multi-model load (the whole
+  point of replicating the engine across processes).  The gate needs real
+  parallel hardware, so it is skipped on machines with fewer than 4 CPUs;
+* **priority isolation**: while a low-priority flood is being shed at
+  admission, concurrently submitted high-priority requests must be served
+  with **zero** deadline misses at a generous budget — watermark admission
+  really does reserve headroom for the top class;
+* **identity**: predictions routed through the cluster (worker process,
+  pipe hop, per-worker engine, decoded-from-bytes plans) must be bitwise
+  identical to direct :class:`~repro.serving.packed.PackedModel` execution
+  for every routed model.
+
+Runs standalone (``python benchmarks/bench_cluster.py [--quick]``) and as
+pytest assertions guarding the floors in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+from typing import Dict, List, Tuple
+
+import numpy as np
+import pytest
+
+from repro.core.hybrid import HybridConfig, STHybridNet
+from repro.core.strassen import freeze_all
+from repro.deploy import build_image
+from repro.deploy.image import ModelImage
+from repro.errors import AdmissionError
+from repro.serving import (
+    ClusterRouter,
+    MicroBatchConfig,
+    PackedModel,
+    Priority,
+    PriorityPolicy,
+)
+
+WORKERS = 4
+MODELS = 4
+SCALING_FLOOR = 2.0
+HIGH_DEADLINE_S = 10.0  # generous: misses at this budget indicate a bug
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def demo_images(count: int = MODELS, width: int = 8) -> Dict[str, ModelImage]:
+    """``count`` distinct frozen ST-Hybrid images (a realistic model zoo)."""
+    images = {}
+    for i in range(count):
+        model = STHybridNet(HybridConfig(width=width), rng=i)
+        freeze_all(model)
+        model.eval()
+        images[f"kws-{i}"] = build_image(model)
+    return images
+
+
+def _cluster(images: Dict[str, ModelImage], workers: int, **kwargs) -> ClusterRouter:
+    """A router with every image registered (not yet started)."""
+    router = ClusterRouter(workers=workers, **kwargs)
+    for name, image in images.items():
+        router.register(name, image)
+    return router
+
+
+def measure_scaling(
+    images: Dict[str, ModelImage],
+    workers: int,
+    requests_per_model: int = 96,
+    repeats: int = 3,
+) -> float:
+    """Aggregate req/s for an interleaved multi-model load on ``workers``.
+
+    The load is identical for every worker count: ``requests_per_model``
+    requests per model, round-robin across models, all submitted up front
+    (the fan-out pattern the async front door produces under load).
+    """
+    rng = np.random.default_rng(0)
+    load: List[Tuple[str, np.ndarray]] = []
+    for r in range(requests_per_model):
+        for name in images:
+            load.append((name, rng.standard_normal((49, 10)).astype(np.float32)))
+    router = _cluster(
+        images,
+        workers,
+        # the whole load is submitted up front: admit everything, shed nothing
+        policy=PriorityPolicy(
+            max_pending=len(load) + 1, normal_watermark=1.0, low_watermark=1.0
+        ),
+        config=MicroBatchConfig(max_batch_size=32, max_delay_ms=2.0),
+    )
+    with router:
+        # warm up: spawn cost, worker-side decode, first-touch placement
+        for name in images:
+            router.predict(load[0][1], model=name)
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            futures = [router.submit(x, model=name) for name, x in load]
+            for future in futures:
+                future.result(timeout=120.0)
+            best = min(best, time.perf_counter() - start)
+        assert router.stats().deadline_misses == 0
+    return len(load) / best
+
+
+def measure_priority_isolation(
+    image: ModelImage, low_flood: int = 200, high_clients: int = 32
+) -> Tuple[int, int, int, int]:
+    """(high_served, high_misses, low_shed, low_served) under a LOW flood.
+
+    One worker is stalled briefly so admitted requests stay pending, then a
+    LOW flood and a HIGH burst are submitted concurrently: the watermark
+    policy (LOW capped at 25 % of 64 slots) sheds most of the flood while
+    every HIGH request is admitted into the reserved headroom and served
+    within a generous deadline.
+    """
+    policy = PriorityPolicy(max_pending=64, normal_watermark=0.8, low_watermark=0.25)
+    router = _cluster({"kws": image}, workers=1, policy=policy)
+    with router:
+        router.predict(np.zeros((49, 10), dtype=np.float32))  # place + decode
+        router.pool.inject_sleep(0, 0.4)
+        rng = np.random.default_rng(1)
+        xs = rng.standard_normal((max(low_flood, high_clients), 49, 10)).astype(np.float32)
+        low_futures, low_shed = [], 0
+        for i in range(low_flood):  # no deadline: admitted LOW must be served
+            try:
+                low_futures.append(router.submit(xs[i], priority=Priority.LOW))
+            except AdmissionError:
+                low_shed += 1
+        high_futures = [
+            router.submit(xs[i], priority=Priority.HIGH, deadline_s=HIGH_DEADLINE_S)
+            for i in range(high_clients)
+        ]
+        high_served = sum(1 for f in high_futures if f.result(timeout=60.0).shape == (12,))
+        low_served = sum(1 for f in low_futures if f.result(timeout=60.0).shape == (12,))
+        misses = router.stats().deadline_misses
+    return high_served, misses, low_shed, low_served
+
+
+def check_identity(images: Dict[str, ModelImage], workers: int = 2) -> int:
+    """Route a batch to every model; returns the number of bitwise-equal
+    comparisons (raises on any mismatch)."""
+    rng = np.random.default_rng(2)
+    xs = [rng.standard_normal((49, 10)).astype(np.float32) for _ in range(5)]
+    checked = 0
+    with _cluster(images, workers) as router:
+        for name, image in images.items():
+            got = np.stack([router.predict(x, model=name) for x in xs])
+            np.testing.assert_array_equal(got, PackedModel(image)(np.stack(xs)))
+            checked += 1
+    return checked
+
+
+# -- pytest entry points ----------------------------------------------------- #
+
+
+def test_cluster_identity() -> None:
+    """Cluster-routed predictions are bitwise identical to direct PackedModel
+    execution for every routed model."""
+    assert check_identity(demo_images(2)) == 2
+
+
+def test_priority_isolation() -> None:
+    """Zero high-priority deadline misses while low-priority traffic sheds."""
+    high_served, misses, low_shed, low_served = measure_priority_isolation(
+        demo_images(1)["kws-0"]
+    )
+    assert misses == 0, f"{misses} HIGH deadline misses at {HIGH_DEADLINE_S:.0f} s budget"
+    assert high_served == 32, "a HIGH request was not served"
+    assert low_shed > 0, "the LOW flood was never shed — admission did nothing"
+    assert low_served > 0, "admitted LOW requests must still be served"
+
+
+@pytest.mark.skipif(
+    available_cpus() < WORKERS,
+    reason=f"scaling gate needs >= {WORKERS} CPUs (have {available_cpus()})",
+)
+def test_scaling_floor() -> None:
+    """4 workers must sustain >= 2x a single worker on the same batched load."""
+    images = demo_images()
+    single = measure_scaling(images, workers=1)
+    multi = measure_scaling(images, workers=WORKERS)
+    speedup = multi / single
+    assert speedup >= SCALING_FLOOR, (
+        f"{WORKERS} workers served {multi:.0f} req/s vs {single:.0f} req/s on one "
+        f"worker — only {speedup:.2f}x (floor {SCALING_FLOOR}x)"
+    )
+
+
+# -- standalone report ------------------------------------------------------- #
+
+
+def main() -> None:
+    """Run all three measurements and enforce the acceptance floors."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="fewer repeats (CI smoke)")
+    parser.add_argument("--width", type=int, default=8, help="model channel width")
+    args = parser.parse_args()
+    if args.width < 1:
+        parser.error("--width must be >= 1")
+    repeats = 2 if args.quick else 5
+    per_model = 48 if args.quick else 96
+
+    images = demo_images(width=args.width)
+    cpus = available_cpus()
+    print(f"{MODELS} ST-Hybrid models, width={args.width}; {cpus} CPU(s) available")
+
+    checked = check_identity(images, workers=2)
+    print(f"\nidentity: {checked}/{MODELS} models bitwise-identical through the cluster")
+
+    high_served, misses, low_shed, low_served = measure_priority_isolation(
+        images["kws-0"]
+    )
+    print(f"\npriority isolation (LOW flood of 200 vs 32 HIGH clients, 1 worker):")
+    print(f"  HIGH served        {high_served:6d}/32")
+    print(f"  HIGH misses        {misses:6d}  (floor: 0)")
+    print(f"  LOW shed           {low_shed:6d}  (must be > 0)")
+    print(f"  LOW served         {low_served:6d}")
+    if misses or high_served != 32 or not low_shed:
+        raise SystemExit("FAIL: priority isolation violated")
+
+    worker_counts = [1, WORKERS] if args.quick else [1, 2, WORKERS]
+    throughput = {}
+    for workers in worker_counts:
+        throughput[workers] = measure_scaling(
+            images, workers, requests_per_model=per_model, repeats=repeats
+        )
+    print(f"\nscaling ({MODELS} models, {per_model * MODELS} requests per pass):")
+    for workers in worker_counts:
+        note = ""
+        if workers > 1:
+            note = f"  ({throughput[workers] / throughput[1]:.2f}x vs 1 worker)"
+        print(f"  {workers} worker(s)     {throughput[workers]:10.0f} req/s{note}")
+    speedup = throughput[WORKERS] / throughput[1]
+    if cpus < WORKERS:
+        print(
+            f"\nSKIP: {SCALING_FLOOR}x floor not enforced with {cpus} CPU(s) — "
+            f"{WORKERS} processes cannot run in parallel here"
+        )
+    elif speedup < SCALING_FLOOR:
+        raise SystemExit(
+            f"FAIL: {WORKERS} workers only {speedup:.2f}x over one (floor {SCALING_FLOOR}x)"
+        )
+    else:
+        print(f"\nOK: {speedup:.2f}x >= {SCALING_FLOOR}x with zero deadline misses")
+
+
+if __name__ == "__main__":
+    main()

@@ -85,7 +85,8 @@ def measure_async_fanout(
     async_s = asyncio.run(bench())
     single = clients / single_s
     fanout_tput = clients / async_s
-    return single, fanout_tput, fanout_tput / single, frontend.stats.deadline_misses
+    # snapshot(): the counters are mutated on the engine worker thread
+    return single, fanout_tput, fanout_tput / single, frontend.snapshot().deadline_misses
 
 
 def measure_byte_budget(

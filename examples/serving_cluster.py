@@ -1,0 +1,144 @@
+"""Multi-process serving cluster: routing, priorities, crash recovery.
+
+Freezes three ST-HybridNets, registers their model images in a
+:class:`ClusterRouter` with a cluster-wide decoded-byte budget, and starts
+two worker processes — each owning its own engine and decoded plans.  Then:
+sticky model routing with bitwise-identical results, a low-priority flood
+being shed while high-priority traffic sails through, the async front door
+driving the whole cluster, and a worker crash healed by transparent
+restart-and-redecode.
+
+Run:  python examples/serving_cluster.py    (~15 s on CPU; spawns processes)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+
+from repro.core.hybrid import HybridConfig, STHybridNet
+from repro.core.strassen import freeze_all
+from repro.deploy import build_image
+from repro.errors import AdmissionError
+from repro.serving import (
+    AsyncServingFrontend,
+    ClusterRouter,
+    MicroBatchConfig,
+    PackedModel,
+    Priority,
+    PriorityPolicy,
+)
+
+WORKERS = 2
+CLIENTS = 48
+
+
+def frozen_image(width: int, rng: int = 0):
+    """A frozen (random-weight) ST-Hybrid image at the given channel width."""
+    model = STHybridNet(HybridConfig(width=width), rng=rng)
+    freeze_all(model)
+    model.eval()
+    return build_image(model)
+
+
+def main() -> None:
+    """Walk the cluster: register → route → prioritise → crash → recover."""
+    print("== build a model zoo and a 2-worker cluster ==")
+    images = {f"kws-{i}": frozen_image(8, rng=i) for i in range(3)}
+    sizes = {n: PackedModel(img).decoded_bytes() for n, img in images.items()}
+    budget = sum(sorted(sizes.values())[-2:])  # two decoded plans fit, three don't
+    cluster = ClusterRouter(
+        workers=WORKERS,
+        capacity_bytes=budget,
+        policy=PriorityPolicy(max_pending=64, low_watermark=0.25),
+        config=MicroBatchConfig(max_batch_size=32, max_delay_ms=2.0),
+    )
+    for name, image in images.items():
+        cluster.register(name, image)
+        print(f"  {name}: image {image.total_bytes():,} bytes, "
+              f"decoded plan {sizes[name]:,} bytes")
+    print(f"cluster decoded-plan budget: {budget:,} bytes across all workers")
+
+    rng = np.random.default_rng(7)
+    requests = [rng.standard_normal((49, 10)).astype(np.float32) for _ in range(CLIENTS)]
+
+    with cluster:
+        print("\n== sticky routing, bitwise-identical to direct execution ==")
+        for name in ("kws-0", "kws-1"):
+            got = np.stack([cluster.predict(x, model=name) for x in requests[:4]])
+            want = PackedModel(images[name])(np.stack(requests[:4]))
+            assert np.array_equal(got, want)
+        print(f"  placements: {cluster.placements()}  (one worker per model)")
+        cluster.predict(requests[0], model="kws-2")  # over budget -> LRU unload
+        stats = cluster.stats()
+        print(f"  after kws-2 traffic: {cluster.placements()}")
+        print(f"  resident {stats.resident_bytes:,}/{budget:,} bytes, "
+              f"{stats.evictions} eviction(s)")
+
+        print("\n== low-priority flood sheds; high-priority never starves ==")
+        cluster.pool.inject_sleep(0, 0.3)  # stall one worker so occupancy builds
+        cluster.pool.inject_sleep(1, 0.3)
+        low_shed = low_ok = 0
+        low_futures = []
+        for x in requests:
+            try:
+                low_futures.append(
+                    cluster.submit(x, model="kws-0", priority=Priority.LOW)
+                )
+            except AdmissionError:
+                low_shed += 1
+        high_futures = [
+            cluster.submit(x, model="kws-0", priority=Priority.HIGH, deadline_s=10.0)
+            for x in requests
+        ]
+        high_ok = sum(1 for f in high_futures if f.result().shape == (12,))
+        low_ok = sum(1 for f in low_futures if f.result().shape == (12,))
+        stats = cluster.stats()
+        print(f"  LOW:  {low_ok} served, {low_shed} shed at admission")
+        print(f"  HIGH: {high_ok}/{CLIENTS} served, "
+              f"{stats.deadline_misses} deadline misses")
+
+        print(f"\n== async front door over the cluster ({CLIENTS} clients) ==")
+        frontend = AsyncServingFrontend(cluster, default_deadline_s=10.0)
+
+        async def fan_out() -> float:
+            start = time.perf_counter()
+            await asyncio.gather(*[
+                frontend.predict(x, model="kws-1", priority=Priority.NORMAL)
+                for x in requests
+            ])
+            return time.perf_counter() - start
+
+        elapsed = asyncio.run(fan_out())
+        print(f"  served {CLIENTS} requests in {elapsed * 1e3:.1f} ms "
+              f"({CLIENTS / elapsed:,.0f} req/s)")
+
+        print("\n== kill a worker; the pool restarts and re-decodes it ==")
+        victim = cluster.placements()["kws-1"]
+        cluster.pool.inject_crash(victim)
+        while cluster.stats().crashes < 1:
+            time.sleep(0.05)
+        result = cluster.predict(requests[0], model="kws-1")  # transparently served
+        assert np.array_equal(
+            result, PackedModel(images["kws-1"])(requests[0][None])[0]
+        )
+        stats = cluster.stats()
+        print(f"  worker {victim} crashed and restarted "
+              f"(restarts per worker: {[w.restarts for w in stats.workers]})")
+        print(f"  post-restart prediction still bitwise-identical")
+
+        print("\n== cluster stats rollup ==")
+        for w in stats.workers:
+            print(f"  worker {w.worker_id}: alive={w.alive} served={w.served} "
+                  f"in_flight={w.in_flight} resident={w.resident_bytes:,}B "
+                  f"models={list(w.models)}")
+        print(f"  total served {stats.served}, shed {stats.shed} "
+              f"({ {p.name: n for p, n in stats.shed_by_priority.items()} }), "
+              f"{stats.deadline_misses} deadline misses, "
+              f"{stats.crashes} crash(es) healed")
+
+
+if __name__ == "__main__":
+    main()

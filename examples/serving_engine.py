@@ -108,7 +108,7 @@ def main() -> None:
             # an impossible budget: the request expires before dispatch
             print(f"  1 µs budget -> {await client(requests[0], 1e-6)}")
     asyncio.run(fan_out())
-    stats = frontend.stats
+    stats = frontend.snapshot()  # atomic copy; the live object belongs to the worker
     print(f"  engine stats: {stats.requests} requests, {stats.batches} batches, "
           f"mean batch {stats.mean_batch_size:.1f}, "
           f"{stats.deadline_misses} deadline misses, {stats.shed} shed")

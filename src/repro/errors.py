@@ -45,5 +45,26 @@ class AdmissionError(ReproError, RuntimeError):
     """The serving front-end shed a request because its admission queue is full.
 
     Backpressure signal: the caller should retry later, route elsewhere, or
-    drop the request — the engine never saw it.
+    drop the request — the engine never saw it.  Under priority-class
+    admission (:mod:`repro.serving.priority`) low-priority requests hit this
+    at lower occupancy than high-priority ones.
+    """
+
+
+class RoutingError(ReproError, RuntimeError):
+    """A cluster request could not be routed to a worker.
+
+    Raised for unknown model names, ambiguous default-model resolution, a
+    cluster that has not been started, or a worker that rejected the request
+    because the model was not loaded on it.
+    """
+
+
+class WorkerCrashed(ReproError, RuntimeError):
+    """A cluster worker process died while requests were in flight on it.
+
+    The affected requests fail with this error; the pool restarts the worker
+    and re-decodes its models transparently, so *subsequent* requests are
+    served normally.  Callers that need at-most-once semantics can simply
+    resubmit — inference is pure.
     """

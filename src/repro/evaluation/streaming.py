@@ -124,10 +124,14 @@ class StreamingDetector:
     or ``frontend`` is given.  With a ``frontend``
     (:class:`~repro.serving.frontend.AsyncServingFrontend`), analysis
     windows go through the full serving front door — admission control,
-    per-request deadlines, micro-batch coalescing; with a bare ``engine``
+    per-request deadlines, micro-batch coalescing; a cluster-backed
+    frontend additionally routes each window to the named model's worker
+    process (``model_name`` selects the model, ``priority`` the admission
+    class — streaming evaluation typically runs ``Priority.LOW`` so live
+    traffic sheds it first).  With a bare ``engine``
     (:class:`~repro.serving.batching.BatchingEngine`), each window is
     submitted as an individual serving request and coalesced into
-    micro-batches.  Both are the deployment data path, instead of one
+    micro-batches.  All are the deployment data path, instead of one
     monolithic evaluation-only forward.  The detector handles windowing,
     feature normalisation (using the training statistics), posterior
     smoothing, thresholding and refractory suppression.
@@ -141,6 +145,8 @@ class StreamingDetector:
         feature_std: Optional[np.ndarray] = None,
         engine=None,
         frontend=None,
+        model_name: Optional[str] = None,
+        priority=None,
     ) -> None:
         if model is None and engine is None and frontend is None:
             raise ConfigError(
@@ -149,10 +155,24 @@ class StreamingDetector:
         if frontend is not None:
             if engine is not None:
                 raise ConfigError("pass either engine or frontend, not both")
-            engine = frontend.engine
-        self.model = model if model is not None else engine.model
+            engine = frontend.engine  # None when the frontend fronts a cluster
+        if (model_name is not None or priority is not None) and (
+            frontend is None or frontend.cluster is None
+        ):
+            raise ConfigError(
+                "model_name/priority need a cluster-backed frontend "
+                "(AsyncServingFrontend(ClusterRouter(...)))"
+            )
+        if model is not None:
+            self.model = model
+        elif engine is not None:
+            self.model = engine.model
+        else:
+            self.model = None  # cluster-backed: the workers own the models
         self.frontend = frontend
         self.engine = engine
+        self.model_name = model_name
+        self.priority = priority
         self.config = config or StreamingConfig()
         if self.config.smoothing_windows < 1:
             raise ConfigError("smoothing_windows must be >= 1")
@@ -165,7 +185,11 @@ class StreamingDetector:
         if self.frontend is not None:
             # serve() chunks by the admission bound, so streams with more
             # windows than max_pending are served rather than shed.
-            return np.stack(self.frontend.serve(list(features)))
+            return np.stack(
+                self.frontend.serve(
+                    list(features), model=self.model_name, priority=self.priority
+                )
+            )
         if self.engine is not None:
             futures = self.engine.submit_many(list(features))
             if not self.engine.running:

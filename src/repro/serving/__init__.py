@@ -13,24 +13,39 @@ it *fast to serve*:
   per-request deadline enforcement at dispatch;
 * :mod:`repro.serving.frontend` — :class:`AsyncServingFrontend`, the
   asyncio front door: ``await predict(x, deadline_s=...)`` with bounded
-  admission (backpressure) bridged onto the engine's worker thread;
+  admission (backpressure) bridged onto the engine's worker thread — or
+  onto a whole cluster (``model=``/``priority=`` per request);
 * :mod:`repro.serving.registry` — :class:`ModelRegistry`, many named images
   served concurrently with LRU eviction of decoded plans under a byte
-  budget (``capacity_bytes``).
+  budget (``capacity_bytes``) and single-flight cold decodes;
+* :mod:`repro.serving.priority` — :class:`Priority` classes and the
+  watermark :class:`PriorityPolicy` (low-priority traffic sheds first);
+* :mod:`repro.serving.cluster`  — :class:`WorkerPool` (N spawn-safe worker
+  processes, each with its own engine and decoded plans, restarted and
+  re-decoded on crash) behind a :class:`ClusterRouter` (sticky model→worker
+  routing, cluster-wide decoded-byte budget, priority-class admission).
 """
 
 from repro.serving.batching import BatchingEngine, EngineStats, MicroBatchConfig
+from repro.serving.cluster import ClusterRouter, ClusterStats, WorkerPool, WorkerStats
 from repro.serving.frontend import AsyncServingFrontend
 from repro.serving.kernels import TernaryPlanes, decode_planes, ternary_matmul
 from repro.serving.packed import LayerPlan, PackedModel, decode_layer
+from repro.serving.priority import Priority, PriorityPolicy
 from repro.serving.registry import ModelRegistry, RegistryStats
 
 __all__ = [
     "AsyncServingFrontend",
     "BatchingEngine",
+    "ClusterRouter",
+    "ClusterStats",
     "EngineStats",
     "MicroBatchConfig",
+    "Priority",
+    "PriorityPolicy",
     "TernaryPlanes",
+    "WorkerPool",
+    "WorkerStats",
     "decode_planes",
     "ternary_matmul",
     "LayerPlan",

@@ -115,6 +115,7 @@ class BatchingEngine:
         self.stats = EngineStats()
         self._queue: "queue.Queue[Request]" = queue.Queue()
         self._lock = threading.Lock()
+        self._lifecycle = threading.Lock()  # serialises start()/stop() pairs
         self._stop = threading.Event()
         self._worker: Optional[threading.Thread] = None
 
@@ -157,6 +158,26 @@ class BatchingEngine:
         """Count one request refused admission upstream (front-end backpressure)."""
         with self._lock:
             self.stats.shed += 1
+
+    def snapshot(self) -> EngineStats:
+        """Atomic copy of the counters, taken under the engine lock.
+
+        ``engine.stats`` is mutated from the worker thread; reading several
+        of its fields directly from another thread can observe a torn state
+        (e.g. ``served`` from one batch, ``batches`` from the previous one).
+        Readers that care — benchmarks, monitoring, the front-end — should
+        use this snapshot instead of the live object.
+        """
+        with self._lock:
+            s = self.stats
+            return EngineStats(
+                requests=s.requests,
+                served=s.served,
+                batches=s.batches,
+                deadline_misses=s.deadline_misses,
+                shed=s.shed,
+                batch_sizes=deque(s.batch_sizes, maxlen=RECENT_BATCHES),
+            )
 
     # -- dispatch side --------------------------------------------------- #
 
@@ -260,21 +281,37 @@ class BatchingEngine:
         return self._worker is not None and self._worker.is_alive()
 
     def start(self) -> "BatchingEngine":
-        """Start the background worker (idempotent); returns self."""
-        if self.running:
+        """Start the background worker; returns self.
+
+        Idempotent and thread-safe: a second ``start()`` while the worker
+        runs is a no-op (two racing callers can never spawn two workers),
+        and ``start()`` after ``stop()`` — or after a crashed worker
+        thread — brings up a fresh worker.
+        """
+        with self._lifecycle:
+            if self.running:
+                return self
+            self._stop.clear()
+            self._worker = threading.Thread(
+                target=self._loop, name="batching-engine", daemon=True
+            )
+            self._worker.start()
             return self
-        self._stop.clear()
-        self._worker = threading.Thread(target=self._loop, name="batching-engine", daemon=True)
-        self._worker.start()
-        return self
 
     def stop(self) -> None:
-        """Stop the worker and drain any requests still queued."""
-        self._stop.set()
-        if self._worker is not None:
-            self._worker.join()
-            self._worker = None
-        self.flush()
+        """Stop the worker and drain any requests still queued.
+
+        Idempotent and thread-safe: stopping an engine that never started,
+        stopping twice (e.g. a double ``__exit__``), or stopping after the
+        worker thread died all just drain the queue; concurrent callers
+        serialise on the lifecycle lock rather than racing the join.
+        """
+        with self._lifecycle:
+            self._stop.set()
+            if self._worker is not None:
+                self._worker.join()
+                self._worker = None
+            self.flush()
 
     def _loop(self) -> None:
         while not self._stop.is_set():

@@ -1,0 +1,907 @@
+"""Multi-process serving cluster: worker pool, routing, priority admission.
+
+PR 1/2 built a single engine behind one asyncio front door, so aggregate
+throughput is capped by one worker thread and one decoded model per engine.
+This module replicates that engine across **processes** — TNN-style
+bit-plane execution makes each worker cheap enough to replicate — and puts
+a router in front:
+
+* :class:`WorkerPool` spawns N workers (``multiprocessing`` spawn context,
+  so workers are import-clean and fork-safety is a non-issue).  Each worker
+  process owns its own :class:`~repro.serving.batching.BatchingEngine` and
+  :class:`~repro.serving.packed.PackedModel` plans, decoded locally from
+  serialized image bytes — decoded planes are never pickled across the
+  process boundary, only the 2-bit images are.  Requests drained from the
+  worker's pipe in one burst are coalesced through the engine, so
+  micro-batching survives the IPC hop; within a burst, requests dispatch in
+  priority order.
+* :class:`ClusterRouter` routes each request to a worker by model name:
+  **sticky** model→worker placement (a model's decoded plan lives on exactly
+  one worker, so plans are not duplicated needlessly) with a least-loaded
+  fallback for new placements, a registry-style **cluster-wide decoded-byte
+  budget** (LRU placements are unloaded to admit new ones), and
+  **priority-class admission** (:mod:`repro.serving.priority`): low-priority
+  traffic sheds first under load and can never starve high-priority
+  deadlines.
+* Worker **health monitoring**: a worker that dies is detected through pipe
+  EOF, its in-flight requests fail with
+  :class:`~repro.errors.WorkerCrashed`, and the pool transparently restarts
+  the process and re-decodes every model that was placed on it — subsequent
+  traffic is served normally.
+
+Deadlines are carried across the process boundary as absolute
+``time.monotonic()`` timestamps (system-wide on every major OS), so time a
+request spends queued in the pipe counts against its budget exactly like
+time spent in the engine queue.
+
+:class:`~repro.serving.frontend.AsyncServingFrontend` accepts a
+``ClusterRouter`` in place of an engine, which makes the whole cluster
+reachable as ``await predict(x, model=..., priority=..., deadline_s=...)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.deploy.image import ModelImage
+from repro.errors import (
+    AdmissionError,
+    ConfigError,
+    DeadlineExceeded,
+    RoutingError,
+    WorkerCrashed,
+)
+from repro.serving.batching import BatchingEngine, MicroBatchConfig
+from repro.serving.packed import PackedModel
+from repro.serving.priority import Priority, PriorityPolicy
+
+#: how long lifecycle operations wait on a worker process before escalating
+_JOIN_TIMEOUT_S = 5.0
+
+
+# --------------------------------------------------------------------------- #
+# worker process
+# --------------------------------------------------------------------------- #
+
+
+def _serve_burst(conn, engines: Dict[str, BatchingEngine], burst: List[tuple]) -> None:
+    """Coalesce one drained burst of predict messages through the engines.
+
+    Requests are submitted in priority order (stable within a class), so a
+    HIGH request admitted in the same burst as LOW ones is batched — and
+    deadline-checked — first.  Each model's engine then runs one
+    deterministic ``flush()``, and every request gets exactly one reply.
+    """
+    submitted: List[tuple] = []  # (req_id, future)
+    touched = set()
+    for _, req_id, name, x, deadline, priority in sorted(burst, key=lambda m: m[5]):
+        engine = engines.get(name)
+        if engine is None:
+            conn.send(("error", req_id, "routing", f"model {name!r} is not loaded on this worker"))
+            continue
+        deadline_s = None if deadline is None else deadline - time.monotonic()
+        submitted.append((req_id, engine.submit(x, deadline_s=deadline_s)))
+        touched.add(name)
+    for name in touched:
+        engines[name].flush()
+    for req_id, future in submitted:
+        try:
+            conn.send(("result", req_id, future.result()))
+        except DeadlineExceeded:
+            conn.send(("deadline", req_id))
+        except Exception as exc:  # delivered to exactly this request's caller
+            conn.send(("error", req_id, "runtime", f"{type(exc).__name__}: {exc}"))
+
+
+def _worker_main(conn, config: MicroBatchConfig) -> None:
+    """Entry point of one worker process.
+
+    Serves commands from the parent pipe until told to stop.  Messages are
+    drained in bursts (everything already queued in the pipe) so concurrent
+    requests coalesce into micro-batches, but pipe order is preserved
+    around control messages — a predict sent before an ``unload`` of its
+    model is served before the model is dropped.
+    """
+    models: Dict[str, PackedModel] = {}
+    engines: Dict[str, BatchingEngine] = {}
+
+    def handle_control(msg) -> bool:
+        """Apply one non-predict command; returns True on a stop request."""
+        op = msg[0]
+        if op == "load":
+            _, name, blob = msg
+            try:
+                model = PackedModel(ModelImage.from_bytes(blob), cache=True)
+            except Exception as exc:
+                conn.send(("load_error", name, f"{type(exc).__name__}: {exc}"))
+                return False
+            models[name] = model
+            engines[name] = BatchingEngine(model, config)
+            conn.send(("loaded", name, model.decoded_bytes()))
+        elif op == "unload":
+            models.pop(msg[1], None)
+            engines.pop(msg[1], None)
+            conn.send(("unloaded", msg[1]))
+        elif op == "ping":
+            resident = sum(m.decoded_bytes() for m in models.values())
+            conn.send(("pong", msg[1], resident, sorted(models)))
+        elif op == "sleep":  # chaos hook: stall the command loop
+            time.sleep(msg[1])
+        elif op == "exit":  # chaos hook: die without cleanup, like a real crash
+            os._exit(msg[1])
+        elif op == "stop":
+            return True
+        return False
+
+    while True:
+        try:
+            messages = [conn.recv()]
+            while conn.poll(0):
+                messages.append(conn.recv())
+        except (EOFError, OSError):
+            return  # parent went away
+        burst: List[tuple] = []
+        stop = False
+        try:
+            for msg in messages:
+                if msg[0] == "predict":
+                    burst.append(msg)
+                    continue
+                if burst:  # keep pipe order around control commands
+                    _serve_burst(conn, engines, burst)
+                    burst = []
+                if handle_control(msg):
+                    stop = True
+                    break
+            if burst:
+                _serve_burst(conn, engines, burst)
+        except (BrokenPipeError, OSError):
+            return
+        if stop:
+            conn.close()
+            return
+
+
+# --------------------------------------------------------------------------- #
+# parent-side pool
+# --------------------------------------------------------------------------- #
+
+
+class _WorkerHandle:
+    """Parent-side state for one live worker process (guarded by pool lock)."""
+
+    def __init__(self, worker_id: int, proc, conn, restarts: int) -> None:
+        self.worker_id = worker_id
+        self.proc = proc
+        self.conn = conn
+        self.restarts = restarts
+        self.send_lock = threading.Lock()
+        self.inflight: Dict[int, Future] = {}
+        self.pings: Dict[int, list] = {}
+        self.reader: Optional[threading.Thread] = None
+        self.stopping = False
+        self.served = 0
+        self.deadline_misses = 0
+
+
+@dataclass(frozen=True)
+class WorkerStats:
+    """One worker's slice of :class:`ClusterStats`."""
+
+    worker_id: int
+    alive: bool
+    restarts: int
+    in_flight: int
+    served: int
+    deadline_misses: int
+    resident_bytes: int
+    models: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ClusterStats:
+    """Cluster-wide rollup: per-worker stats plus router-level counters.
+
+    ``served``/``deadline_misses`` aggregate every worker across restarts;
+    ``shed_by_priority`` counts admission rejections per
+    :class:`~repro.serving.priority.Priority` class (``shed`` is their sum);
+    ``resident_bytes`` is the decoded-plan footprint across all placements
+    and never exceeds the router's ``capacity_bytes``.
+    """
+
+    workers: Tuple[WorkerStats, ...]
+    served: int
+    deadline_misses: int
+    shed_by_priority: Mapping[Priority, int]
+    resident_bytes: int
+    evictions: int
+    crashes: int
+    pending: int
+
+    @property
+    def shed(self) -> int:
+        """Total requests rejected at admission, all priority classes."""
+        return sum(self.shed_by_priority.values())
+
+
+class WorkerPool:
+    """N spawn-safe worker processes behind per-worker pipes.
+
+    The pool owns process lifecycle (start / stop / crash restart), request
+    transport, and in-flight futures.  It knows nothing about placement
+    *policy* (that lives in :class:`ClusterRouter`), but it does remember
+    which model images each worker was told to ``load`` so that a crashed
+    worker's replacement re-decodes them — with the replayed loads entering
+    the new pipe *before* any new request can, so a caller that resubmits
+    right after :class:`~repro.errors.WorkerCrashed` is served, never
+    bounced with a routing error.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        config: Optional[MicroBatchConfig] = None,
+        start_method: str = "spawn",
+    ) -> None:
+        if workers < 1:
+            raise ConfigError("a worker pool needs at least 1 worker")
+        self.num_workers = workers
+        self.config = config or MicroBatchConfig()
+        self._ctx = multiprocessing.get_context(start_method)
+        self._lock = threading.RLock()
+        self._lifecycle = threading.Lock()
+        self._handles: Dict[int, _WorkerHandle] = {}
+        self._worker_loads: Dict[int, Dict[str, bytes]] = {}  # wid -> name -> image
+        self._req_ids = itertools.count()
+        self._started = False
+        self._crashes = 0
+        self._retired_served = 0
+        self._retired_misses = 0
+
+    # -- lifecycle -------------------------------------------------------- #
+
+    @property
+    def running(self) -> bool:
+        """True between :meth:`start` and :meth:`stop`."""
+        return self._started
+
+    def start(self) -> "WorkerPool":
+        """Spawn all workers (idempotent); returns self.
+
+        Workers start concurrently and become ready as their interpreter
+        finishes importing; commands sent meanwhile queue in the pipes.
+        """
+        with self._lifecycle:
+            if self._started:
+                return self
+            self._started = True
+            with self._lock:
+                for worker_id in range(self.num_workers):
+                    self._handles[worker_id] = self._spawn(worker_id, restarts=0)
+            return self
+
+    def stop(self) -> None:
+        """Stop every worker, idempotently.
+
+        In-flight requests are served first: the ``stop`` command queues
+        behind them in each worker's pipe, so the worker drains and replies
+        before exiting.
+        """
+        with self._lifecycle:
+            if not self._started:
+                return
+            with self._lock:
+                self._started = False
+                handles = list(self._handles.values())
+                for handle in handles:
+                    handle.stopping = True
+            for handle in handles:
+                try:
+                    self._send(handle, ("stop",))
+                except OSError:
+                    pass  # already dead; reader saw (or will see) the EOF
+            for handle in handles:
+                handle.proc.join(_JOIN_TIMEOUT_S)
+                if handle.proc.is_alive():
+                    handle.proc.terminate()
+                    handle.proc.join(_JOIN_TIMEOUT_S)
+                if handle.reader is not None:
+                    handle.reader.join(_JOIN_TIMEOUT_S)
+            with self._lock:
+                self._retire_counters(handles)
+                self._handles.clear()
+                self._worker_loads.clear()  # a restarted pool re-places lazily
+
+    def __enter__(self) -> "WorkerPool":
+        """Start the pool for the duration of a ``with`` block."""
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        """Stop the pool, draining in-flight work first."""
+        self.stop()
+
+    def _spawn(self, worker_id: int, restarts: int) -> _WorkerHandle:
+        """Start one worker process plus its parent-side reader thread."""
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self.config),
+            name=f"cluster-worker-{worker_id}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()  # parent keeps one end only, so EOF means death
+        handle = _WorkerHandle(worker_id, proc, parent_conn, restarts)
+        handle.reader = threading.Thread(
+            target=self._read_loop,
+            args=(handle,),
+            name=f"cluster-reader-{worker_id}",
+            daemon=True,
+        )
+        handle.reader.start()
+        return handle
+
+    def _retire_counters(self, handles: List[_WorkerHandle]) -> None:
+        """Fold stopped handles' counters into the pool lifetime totals."""
+        for handle in handles:
+            self._retired_served += handle.served
+            self._retired_misses += handle.deadline_misses
+
+    # -- transport -------------------------------------------------------- #
+
+    def _send(self, handle: _WorkerHandle, msg: tuple) -> None:
+        """Send one command on a worker pipe (serialised per worker)."""
+        with handle.send_lock:
+            handle.conn.send(msg)
+
+    def _handle(self, worker_id: int) -> _WorkerHandle:
+        """Look up a live worker handle or raise."""
+        handle = self._handles.get(worker_id)
+        if handle is None or not self._started:
+            raise RoutingError(f"worker {worker_id} is not running (pool stopped?)")
+        return handle
+
+    def worker_ids(self) -> List[int]:
+        """Ids of the configured worker slots."""
+        return list(range(self.num_workers))
+
+    def in_flight(self, worker_id: int) -> int:
+        """Requests currently unresolved on one worker (its load metric)."""
+        with self._lock:
+            handle = self._handles.get(worker_id)
+            return len(handle.inflight) if handle is not None else 0
+
+    def submit(
+        self,
+        worker_id: int,
+        name: str,
+        x: np.ndarray,
+        *,
+        deadline: Optional[float] = None,
+        priority: Priority = Priority.NORMAL,
+    ) -> "Future[np.ndarray]":
+        """Send one request to a specific worker; the future resolves to its
+        result row (or to ``DeadlineExceeded`` / ``RoutingError`` /
+        ``WorkerCrashed``).
+
+        ``deadline`` is an absolute ``time.monotonic()`` timestamp so pipe
+        queueing time counts against the budget.
+        """
+        future: "Future[np.ndarray]" = Future()
+        with self._lock:
+            handle = self._handle(worker_id)
+            req_id = next(self._req_ids)
+            handle.inflight[req_id] = future
+        try:
+            self._send(handle, ("predict", req_id, name, np.asarray(x), deadline, int(priority)))
+        except OSError:
+            with self._lock:
+                handle.inflight.pop(req_id, None)
+            if future.set_running_or_notify_cancel():
+                future.set_exception(
+                    WorkerCrashed(f"worker {worker_id} pipe closed during submit")
+                )
+        return future
+
+    def load(self, worker_id: int, name: str, image_bytes: bytes) -> None:
+        """Tell one worker to decode and serve a model image (fire-and-forget;
+        a failed decode surfaces as per-request routing errors).
+
+        The image is also recorded so a crashed worker's replacement replays
+        it; recording and handle lookup share the pool lock, so the load is
+        delivered whichever side of a concurrent restart this call lands on.
+        """
+        with self._lock:
+            handle = self._handle(worker_id)
+            self._worker_loads.setdefault(worker_id, {})[name] = image_bytes
+        try:
+            self._send(handle, ("load", name, image_bytes))
+        except OSError:
+            pass  # the worker died: the crash path replays from the record
+
+    def unload(self, worker_id: int, name: str) -> None:
+        """Tell one worker to drop a model and its decoded plan."""
+        with self._lock:
+            handle = self._handles.get(worker_id)
+            self._worker_loads.get(worker_id, {}).pop(name, None)
+        if handle is None:
+            return
+        try:
+            self._send(handle, ("unload", name))
+        except OSError:
+            pass
+
+    def ping(self, worker_id: int, timeout: float = _JOIN_TIMEOUT_S):
+        """Round-trip health probe; returns ``(resident_bytes, model_names)``
+        as the worker itself reports them, or ``None`` on timeout/death."""
+        event = threading.Event()
+        entry = [event, None]
+        with self._lock:
+            handle = self._handles.get(worker_id)
+            if handle is None or not self._started:
+                return None
+            token = next(self._req_ids)
+            handle.pings[token] = entry
+        try:
+            self._send(handle, ("ping", token))
+        except OSError:
+            return None
+        if not event.wait(timeout):
+            with self._lock:
+                handle.pings.pop(token, None)
+            return None
+        return entry[1]
+
+    def health(self, timeout: float = _JOIN_TIMEOUT_S) -> Dict[int, dict]:
+        """Probe every worker; returns per-worker ``{alive, restarts,
+        in_flight, resident_bytes, models}`` (resident/models are ``None``
+        for a worker that failed the probe)."""
+        report: Dict[int, dict] = {}
+        for worker_id in self.worker_ids():
+            with self._lock:
+                handle = self._handles.get(worker_id)
+                alive = handle is not None and handle.proc.is_alive()
+                restarts = handle.restarts if handle is not None else 0
+                in_flight = len(handle.inflight) if handle is not None else 0
+            pong = self.ping(worker_id, timeout) if alive else None
+            report[worker_id] = {
+                "alive": alive and pong is not None,
+                "restarts": restarts,
+                "in_flight": in_flight,
+                "resident_bytes": pong[0] if pong else None,
+                "models": pong[1] if pong else None,
+            }
+        return report
+
+    # -- chaos hooks (used by tests and benchmarks) ------------------------ #
+
+    def inject_crash(self, worker_id: int, code: int = 13) -> None:
+        """Chaos hook: make one worker die abruptly (``os._exit``), exactly
+        like a segfault or OOM kill would look from the parent."""
+        with self._lock:
+            handle = self._handle(worker_id)
+        self._send(handle, ("exit", code))
+
+    def inject_sleep(self, worker_id: int, seconds: float) -> None:
+        """Chaos hook: stall one worker's command loop for ``seconds``."""
+        with self._lock:
+            handle = self._handle(worker_id)
+        self._send(handle, ("sleep", float(seconds)))
+
+    # -- reader / crash handling ------------------------------------------ #
+
+    def _read_loop(self, handle: _WorkerHandle) -> None:
+        """Per-worker reader thread: resolve futures until the pipe closes."""
+        while True:
+            try:
+                msg = handle.conn.recv()
+            except (EOFError, OSError):
+                break
+            self._on_message(handle, msg)
+        self._on_exit(handle)
+
+    def _pop_inflight(self, handle: _WorkerHandle, req_id: int) -> Optional[Future]:
+        """Claim the future for one request id (None if cancelled/unknown)."""
+        with self._lock:
+            return handle.inflight.pop(req_id, None)
+
+    def _on_message(self, handle: _WorkerHandle, msg: tuple) -> None:
+        """Dispatch one worker reply on the reader thread."""
+        op = msg[0]
+        if op == "result":
+            future = self._pop_inflight(handle, msg[1])
+            with self._lock:
+                handle.served += 1
+            if future is not None and future.set_running_or_notify_cancel():
+                future.set_result(msg[2])
+        elif op == "deadline":
+            future = self._pop_inflight(handle, msg[1])
+            with self._lock:
+                handle.deadline_misses += 1
+            if future is not None and future.set_running_or_notify_cancel():
+                future.set_exception(
+                    DeadlineExceeded("request expired before its micro-batch was scheduled")
+                )
+        elif op == "error":
+            future = self._pop_inflight(handle, msg[1])
+            kind, text = msg[2], msg[3]
+            if future is not None and future.set_running_or_notify_cancel():
+                exc: Exception = (
+                    RoutingError(text) if kind == "routing"
+                    else RuntimeError(f"worker {handle.worker_id}: {text}")
+                )
+                future.set_exception(exc)
+        elif op == "pong":
+            with self._lock:
+                entry = handle.pings.pop(msg[1], None)
+            if entry is not None:
+                entry[1] = (msg[2], tuple(msg[3]))
+                entry[0].set()
+        # "loaded" / "unloaded" / "load_error" acknowledgements need no action:
+        # the router keeps the authoritative placement + size accounting.
+
+    def _on_exit(self, handle: _WorkerHandle) -> None:
+        """Reader saw EOF: fail in-flight work and restart unless stopping."""
+        with self._lock:
+            current = self._handles.get(handle.worker_id)
+            if current is not handle:
+                return  # a newer generation already replaced this slot
+            dead = list(handle.inflight.values())
+            handle.inflight.clear()
+            stopping = handle.stopping or not self._started
+        handle.proc.join(_JOIN_TIMEOUT_S)
+        for future in dead:
+            if future.set_running_or_notify_cancel():
+                future.set_exception(
+                    WorkerCrashed(
+                        f"worker {handle.worker_id} died with {len(dead)} request(s) in flight"
+                    )
+                )
+        if stopping:
+            return
+        with self._lock:
+            self._crashes += 1
+            self._retire_counters([handle])
+            replacement = self._spawn(handle.worker_id, restarts=handle.restarts + 1)
+            # Replay the worker's model loads into the fresh pipe *before*
+            # publishing the handle: a caller resubmitting right after its
+            # WorkerCrashed cannot race ahead of the re-decode.  Image blobs
+            # are ~KBs, so these sends cannot fill the pipe buffer.
+            for name, blob in self._worker_loads.get(handle.worker_id, {}).items():
+                try:
+                    replacement.conn.send(("load", name, blob))
+                except OSError:
+                    break  # the replacement died instantly; its reader recurses
+            self._handles[handle.worker_id] = replacement
+
+    # -- introspection ----------------------------------------------------- #
+
+    @property
+    def crashes(self) -> int:
+        """Worker deaths detected (and recovered from) so far."""
+        with self._lock:
+            return self._crashes
+
+    def totals(self) -> Tuple[int, int]:
+        """Lifetime ``(served, deadline_misses)`` across workers and restarts."""
+        with self._lock:
+            served = self._retired_served + sum(h.served for h in self._handles.values())
+            misses = self._retired_misses + sum(
+                h.deadline_misses for h in self._handles.values()
+            )
+            return served, misses
+
+    def worker_snapshot(self) -> List[dict]:
+        """Per-slot counters for :meth:`ClusterRouter.stats` (atomic copy)."""
+        with self._lock:
+            return [
+                {
+                    "worker_id": wid,
+                    "alive": handle.proc.is_alive(),
+                    "restarts": handle.restarts,
+                    "in_flight": len(handle.inflight),
+                    "served": handle.served,
+                    "deadline_misses": handle.deadline_misses,
+                }
+                for wid, handle in sorted(self._handles.items())
+            ]
+
+
+# --------------------------------------------------------------------------- #
+# router
+# --------------------------------------------------------------------------- #
+
+
+class ClusterRouter:
+    """Registry-driven front of a :class:`WorkerPool`.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes (or a prebuilt :class:`WorkerPool`).
+    capacity_bytes:
+        Cluster-wide decoded-plan budget, summed over every placement on
+        every worker (``None`` = unbounded).  LRU placements are unloaded to
+        admit new models; a model whose plan alone exceeds the budget is
+        rejected at :meth:`register`.
+    policy:
+        :class:`~repro.serving.priority.PriorityPolicy` for admission
+        (default: 256 pending, LOW sheds at 50 %, NORMAL at 80 %).
+    config:
+        Micro-batch policy for every worker's engine.
+    start_method:
+        ``multiprocessing`` start method for a pool built here
+        (default ``"spawn"``).
+    """
+
+    def __init__(
+        self,
+        workers: Union[int, WorkerPool] = 2,
+        *,
+        capacity_bytes: Optional[int] = None,
+        policy: Optional[PriorityPolicy] = None,
+        config: Optional[MicroBatchConfig] = None,
+        start_method: str = "spawn",
+    ) -> None:
+        if isinstance(workers, WorkerPool):
+            if config is not None:
+                raise ConfigError("pass config only when the router builds its own pool")
+            self.pool = workers
+        else:
+            self.pool = WorkerPool(workers, config=config, start_method=start_method)
+        if capacity_bytes is not None and capacity_bytes < 1:
+            raise ConfigError("capacity_bytes must be >= 1 (or None for unbounded)")
+        self.capacity_bytes = capacity_bytes
+        self.policy = policy or PriorityPolicy()
+        self._lock = threading.RLock()
+        self._images: Dict[str, bytes] = {}
+        self._sizes: Dict[str, int] = {}
+        self._placements: "OrderedDict[str, int]" = OrderedDict()  # name -> worker, LRU first
+        self._pending = 0
+        self._shed: Dict[Priority, int] = {p: 0 for p in Priority}
+        self._evictions = 0
+
+    # -- catalog ----------------------------------------------------------- #
+
+    def register(self, name: str, image: Union[ModelImage, bytes]) -> None:
+        """Add or replace a named model image.
+
+        The image is serialized once here; workers decode their own plans
+        from these bytes.  The decoded size (the byte-budget accounting unit)
+        is measured by decoding once in the parent and discarding the plans —
+        decode is deterministic, so the worker-side footprint is identical.
+        """
+        blob = image.to_bytes() if isinstance(image, ModelImage) else bytes(image)
+        size = PackedModel(ModelImage.from_bytes(blob), cache=True).decoded_bytes()
+        if self.capacity_bytes is not None and size > self.capacity_bytes:
+            raise ConfigError(
+                f"model {name!r} needs {size} decoded bytes but the cluster budget "
+                f"is {self.capacity_bytes}"
+            )
+        with self._lock:
+            self._images[name] = blob
+            self._sizes[name] = size
+            worker_id = self._placements.pop(name, None)
+        if worker_id is not None:  # replacing: drop the stale plan; next use reloads
+            self.pool.unload(worker_id, name)
+
+    def remove(self, name: str) -> None:
+        """Forget a model, unloading its placement; unknown names raise."""
+        with self._lock:
+            if name not in self._images:
+                raise RoutingError(f"unknown model {name!r}")
+            del self._images[name]
+            del self._sizes[name]
+            worker_id = self._placements.pop(name, None)
+        if worker_id is not None:
+            self.pool.unload(worker_id, name)
+
+    def names(self) -> List[str]:
+        """All registered model names, sorted."""
+        with self._lock:
+            return sorted(self._images)
+
+    def __contains__(self, name: str) -> bool:
+        """True when ``name`` is a registered model."""
+        with self._lock:
+            return name in self._images
+
+    def __len__(self) -> int:
+        """Number of registered models."""
+        with self._lock:
+            return len(self._images)
+
+    # -- routing ----------------------------------------------------------- #
+
+    def _resolve(self, model: Optional[str]) -> str:
+        """Default-model resolution: a lone registered model needs no name."""
+        if model is None:
+            if len(self._images) == 1:
+                return next(iter(self._images))
+            if not self._images:
+                raise RoutingError("no models registered")
+            raise RoutingError(
+                f"model name required: cluster serves {sorted(self._images)}"
+            )
+        if model not in self._images:
+            known = ", ".join(sorted(self._images)) or "<empty>"
+            raise RoutingError(f"unknown model {model!r}; known: {known}")
+        return model
+
+    def _place(self, name: str) -> int:
+        """Sticky placement lookup, or least-loaded assignment (under lock).
+
+        New placements go to the worker with the fewest in-flight requests
+        (ties broken by fewest resident models, then id), after unloading LRU
+        placements as needed to respect the cluster byte budget.
+        """
+        worker_id = self._placements.get(name)
+        if worker_id is not None:
+            return worker_id
+        resident_count: Dict[int, int] = {wid: 0 for wid in self.pool.worker_ids()}
+        for wid in self._placements.values():
+            resident_count[wid] = resident_count.get(wid, 0) + 1
+        worker_id = min(
+            self.pool.worker_ids(),
+            key=lambda wid: (self.pool.in_flight(wid), resident_count.get(wid, 0), wid),
+        )
+        size = self._sizes[name]
+        if self.capacity_bytes is not None:
+            while self._placements and self._resident_bytes() + size > self.capacity_bytes:
+                evicted, evicted_worker = self._placements.popitem(last=False)
+                self._evictions += 1
+                self.pool.unload(evicted_worker, evicted)
+        self._placements[name] = worker_id
+        self.pool.load(worker_id, name, self._images[name])
+        return worker_id
+
+    def _resident_bytes(self) -> int:
+        """Decoded-plan bytes across every placement (under lock)."""
+        return sum(self._sizes[name] for name in self._placements)
+
+    def _release(self, _future: "Future[np.ndarray]") -> None:
+        """Done-callback: free one admission slot."""
+        with self._lock:
+            self._pending -= 1
+
+    # -- request side ------------------------------------------------------ #
+
+    def submit(
+        self,
+        x: np.ndarray,
+        *,
+        model: Optional[str] = None,
+        priority: Priority = Priority.NORMAL,
+        deadline_s: Optional[float] = None,
+    ) -> "Future[np.ndarray]":
+        """Admit, route and send one request; returns its result future.
+
+        Admission applies the priority watermarks
+        (:class:`~repro.serving.priority.PriorityPolicy`): a request whose
+        class is over its occupancy limit is shed immediately with
+        :class:`~repro.errors.AdmissionError`.  ``deadline_s`` is the latency
+        budget measured from this call, enforced at worker dispatch.
+        """
+        if not self.pool.running:
+            raise RoutingError("cluster not started; call start() or use a with block")
+        priority = Priority(priority)
+        deadline = None if deadline_s is None else time.monotonic() + deadline_s
+        with self._lock:
+            name = self._resolve(model)
+            if not self.policy.admits(priority, self._pending):
+                self._shed[priority] += 1
+                raise AdmissionError(
+                    f"{priority.name} admission limit "
+                    f"({self.policy.admit_limit(priority)} of {self.policy.max_pending}) "
+                    f"reached at {self._pending} pending; request shed"
+                )
+            worker_id = self._place(name)
+            self._placements.move_to_end(name)
+            self._pending += 1
+            # the send happens under the router lock: a concurrent placement
+            # evicting this model cannot slip its `unload` into the worker's
+            # pipe between our placement decision and our `predict`
+            try:
+                future = self.pool.submit(
+                    worker_id, name, x, deadline=deadline, priority=priority
+                )
+            except BaseException:
+                self._pending -= 1  # the slot was claimed but no future owns it
+                raise
+        future.add_done_callback(self._release)
+        return future
+
+    def predict(
+        self,
+        x: np.ndarray,
+        *,
+        model: Optional[str] = None,
+        priority: Priority = Priority.NORMAL,
+        deadline_s: Optional[float] = None,
+    ) -> np.ndarray:
+        """Blocking convenience: :meth:`submit` + wait for the result row."""
+        return self.submit(x, model=model, priority=priority, deadline_s=deadline_s).result()
+
+    # -- lifecycle --------------------------------------------------------- #
+
+    def start(self) -> "ClusterRouter":
+        """Start the worker pool (idempotent); returns self."""
+        self.pool.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the pool; placements reset (a restart re-places lazily)."""
+        self.pool.stop()
+        with self._lock:
+            self._placements.clear()
+
+    def __enter__(self) -> "ClusterRouter":
+        """Start the cluster for the duration of a ``with`` block."""
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        """Stop the cluster, draining in-flight work first."""
+        self.stop()
+
+    # -- introspection ----------------------------------------------------- #
+
+    @property
+    def pending(self) -> int:
+        """Admitted-but-unresolved requests, cluster-wide."""
+        with self._lock:
+            return self._pending
+
+    def placements(self) -> Dict[str, int]:
+        """Current model → worker assignment (a copy)."""
+        with self._lock:
+            return dict(self._placements)
+
+    def stats(self) -> ClusterStats:
+        """Cluster-wide counters as one consistent snapshot."""
+        with self._lock:
+            per_worker_models: Dict[int, List[str]] = {}
+            for name, wid in self._placements.items():
+                per_worker_models.setdefault(wid, []).append(name)
+            per_worker_bytes = {
+                wid: sum(self._sizes[n] for n in names)
+                for wid, names in per_worker_models.items()
+            }
+            shed = dict(self._shed)
+            evictions = self._evictions
+            pending = self._pending
+            resident = self._resident_bytes()
+        workers = tuple(
+            WorkerStats(
+                worker_id=row["worker_id"],
+                alive=row["alive"],
+                restarts=row["restarts"],
+                in_flight=row["in_flight"],
+                served=row["served"],
+                deadline_misses=row["deadline_misses"],
+                resident_bytes=per_worker_bytes.get(row["worker_id"], 0),
+                models=tuple(sorted(per_worker_models.get(row["worker_id"], []))),
+            )
+            for row in self.pool.worker_snapshot()
+        )
+        served, misses = self.pool.totals()
+        return ClusterStats(
+            workers=workers,
+            served=served,
+            deadline_misses=misses,
+            shed_by_priority=shed,
+            resident_bytes=resident,
+            evictions=evictions,
+            crashes=self.pool.crashes,
+            pending=pending,
+        )

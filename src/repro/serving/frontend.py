@@ -1,10 +1,12 @@
-"""Async deadline-aware serving front-end over the batching engine.
+"""Async deadline-aware serving front-end over the batching engine or cluster.
 
 :class:`AsyncServingFrontend` is the traffic-shaping layer between many
-concurrent clients and one :class:`~repro.serving.batching.BatchingEngine`:
+concurrent clients and the serving backend — either one
+:class:`~repro.serving.batching.BatchingEngine` or a whole
+:class:`~repro.serving.cluster.ClusterRouter`:
 
 * **asyncio bridge** — ``await frontend.predict(x)`` submits onto the
-  engine's queue and awaits the engine-side
+  backend and awaits the backend-side
   :class:`concurrent.futures.Future` from the event loop, so thousands of
   in-flight requests cost one coroutine each, not one thread each;
 * **per-request deadlines** — ``predict(x, deadline_s=0.05)`` gives the
@@ -16,12 +18,19 @@ concurrent clients and one :class:`~repro.serving.batching.BatchingEngine`:
   request immediately with :class:`~repro.errors.AdmissionError` instead of
   letting the queue (and every queued request's latency) grow without bound.
 
-The front-end drives the engine in worker mode (``async with frontend:``
-starts and stops the background thread).  Without a worker it falls back to
-the engine's deterministic synchronous ``flush()`` — which is what unit
-tests and single-shot scripts want.  All counters land in the shared
-:class:`~repro.serving.batching.EngineStats` (``shed``,
-``deadline_misses``, …).
+Engine-backed, the front-end drives the engine in worker mode (``async with
+frontend:`` starts and stops the background thread); without a worker it
+falls back to the engine's deterministic synchronous ``flush()`` — which is
+what unit tests and single-shot scripts want.  All counters land in the
+shared :class:`~repro.serving.batching.EngineStats` (``shed``,
+``deadline_misses``, …); read them race-free via :meth:`snapshot`.
+
+Cluster-backed, ``predict(x, model="kws-en", priority=Priority.HIGH,
+deadline_s=...)`` routes through the cluster: admission is delegated to the
+router's priority-watermark policy (low-priority traffic sheds first), the
+named model picks the worker, and the worker's engine coalesces and
+deadline-checks as usual.  ``async with frontend:`` then starts and stops
+the worker processes.
 """
 
 from __future__ import annotations
@@ -35,6 +44,8 @@ import numpy as np
 
 from repro.errors import AdmissionError, ConfigError
 from repro.serving.batching import BatchingEngine, EngineStats, MicroBatchConfig
+from repro.serving.cluster import ClusterRouter, ClusterStats
+from repro.serving.priority import Priority
 
 #: sentinel distinguishing "deadline_s not passed" (use the frontend default)
 #: from an explicit ``deadline_s=None`` ("this request has no deadline").
@@ -42,65 +53,120 @@ _UNSET = object()
 
 
 class AsyncServingFrontend:
-    """Asyncio front door to a :class:`BatchingEngine`.
+    """Asyncio front door to a :class:`BatchingEngine` or :class:`ClusterRouter`.
 
     Parameters
     ----------
     engine:
-        The engine to wrap, or any batch-callable model — a bare model is
-        wrapped in a fresh ``BatchingEngine(model, config)``.
+        The backend: an engine, a :class:`ClusterRouter`, or any
+        batch-callable model — a bare model is wrapped in a fresh
+        ``BatchingEngine(model, config)``.
     config:
         Micro-batch policy for a freshly wrapped model; rejected when an
-        already-built engine is passed (configure that engine directly).
+        already-built engine or a cluster is passed (configure those
+        directly).
     max_pending:
-        Admission bound: the maximum number of admitted-but-unresolved
-        requests.  Submissions beyond it raise
+        Admission bound for the engine path: the maximum number of
+        admitted-but-unresolved requests.  Submissions beyond it raise
         :class:`~repro.errors.AdmissionError` and count as ``stats.shed``.
+        Cluster-backed, admission is delegated to the router's
+        :class:`~repro.serving.priority.PriorityPolicy` and this bound is
+        rejected (set ``policy.max_pending`` on the router instead).
     default_deadline_s:
         Latency budget applied when ``predict`` is called without an
         explicit ``deadline_s`` (``None`` = no deadline by default).
+    default_priority:
+        Priority class applied when ``predict`` is called without an
+        explicit ``priority`` (cluster path only).
     """
 
     def __init__(
         self,
-        engine: Union[BatchingEngine, Callable[[np.ndarray], np.ndarray]],
+        engine: Union[BatchingEngine, ClusterRouter, Callable[[np.ndarray], np.ndarray]],
         *,
         config: Optional[MicroBatchConfig] = None,
-        max_pending: int = 256,
+        max_pending: Optional[int] = None,
         default_deadline_s: Optional[float] = None,
+        default_priority: Priority = Priority.NORMAL,
     ) -> None:
-        if isinstance(engine, BatchingEngine):
+        self.cluster: Optional[ClusterRouter] = None
+        if isinstance(engine, ClusterRouter):
+            if config is not None:
+                raise ConfigError("pass config only when wrapping a bare model")
+            if max_pending is not None:
+                raise ConfigError(
+                    "cluster admission is governed by the router's PriorityPolicy; "
+                    "set policy.max_pending there instead of max_pending here"
+                )
+            self.cluster = engine
+            self.engine: Optional[BatchingEngine] = None
+        elif isinstance(engine, BatchingEngine):
             if config is not None:
                 raise ConfigError("pass config only when wrapping a bare model")
             self.engine = engine
         else:
             self.engine = BatchingEngine(engine, config)
+        if max_pending is None:
+            max_pending = 256
         if max_pending < 1:
             raise ConfigError("max_pending must be >= 1")
         if default_deadline_s is not None and default_deadline_s <= 0:
             raise ConfigError("default_deadline_s must be positive (or None)")
         self.max_pending = max_pending
         self.default_deadline_s = default_deadline_s
+        self.default_priority = Priority(default_priority)
         self._pending = 0
         self._lock = threading.Lock()  # done-callbacks fire on the worker thread
 
     # -- introspection ---------------------------------------------------- #
 
     @property
-    def stats(self) -> EngineStats:
-        """The wrapped engine's lifetime counters (shared object)."""
+    def stats(self) -> Union[EngineStats, ClusterStats]:
+        """The backend's counters: the engine's live ``EngineStats`` (shared
+        object), or a fresh :class:`~repro.serving.cluster.ClusterStats`
+        snapshot when cluster-backed."""
+        if self.cluster is not None:
+            return self.cluster.stats()
         return self.engine.stats
+
+    def snapshot(self) -> Union[EngineStats, ClusterStats]:
+        """Race-free counters copy: the engine's locked
+        :meth:`~repro.serving.batching.BatchingEngine.snapshot`, or the
+        cluster's :meth:`~repro.serving.cluster.ClusterRouter.stats`."""
+        if self.cluster is not None:
+            return self.cluster.stats()
+        return self.engine.snapshot()
 
     @property
     def pending(self) -> int:
         """Requests admitted but not yet resolved (served, failed, or expired)."""
+        if self.cluster is not None:
+            return self.cluster.pending
         with self._lock:
             return self._pending
 
     # -- admission -------------------------------------------------------- #
 
-    def _admit(self, x: np.ndarray, deadline_s: Optional[float]) -> "Future[np.ndarray]":
-        """Admission-check one request and enqueue it on the engine."""
+    def _admit(
+        self,
+        x: np.ndarray,
+        deadline_s: Optional[float],
+        model: Optional[str],
+        priority: Optional[Priority],
+    ) -> "Future[np.ndarray]":
+        """Admission-check one request and enqueue it on the backend."""
+        if self.cluster is not None:
+            return self.cluster.submit(
+                x,
+                model=model,
+                priority=self.default_priority if priority is None else Priority(priority),
+                deadline_s=deadline_s,
+            )
+        if model is not None or priority is not None:
+            raise ConfigError(
+                "model= and priority= require a cluster-backed frontend "
+                "(AsyncServingFrontend(ClusterRouter(...)))"
+            )
         with self._lock:
             if self._pending >= self.max_pending:
                 self.engine.record_shed()
@@ -117,27 +183,52 @@ class AsyncServingFrontend:
         with self._lock:
             self._pending -= 1
 
+    def _chunk_size(self, priority: Optional[Priority]) -> int:
+        """How many requests :meth:`serve` may keep in flight at once
+        without risking an admission shed."""
+        if self.cluster is not None:
+            effective = self.default_priority if priority is None else Priority(priority)
+            return self.cluster.policy.admit_limit(effective)
+        return self.max_pending
+
+    def _maybe_flush(self) -> None:
+        """Engine path only: without a worker, dispatch synchronously."""
+        if self.engine is not None and not self.engine.running:
+            self.engine.flush()
+
     # -- request side ----------------------------------------------------- #
 
-    async def predict(self, x: np.ndarray, *, deadline_s=_UNSET) -> np.ndarray:
+    async def predict(
+        self,
+        x: np.ndarray,
+        *,
+        deadline_s=_UNSET,
+        model: Optional[str] = None,
+        priority: Optional[Priority] = None,
+    ) -> np.ndarray:
         """Serve one example; awaits its result row.
 
         ``deadline_s`` overrides ``default_deadline_s`` for this request; an
         explicit ``deadline_s=None`` opts this request out of the default
-        (no deadline at all).  Raises
-        :class:`~repro.errors.AdmissionError` immediately when the admission
-        queue is full, and :class:`~repro.errors.DeadlineExceeded` when the
-        budget expires before the micro-batch is scheduled.
+        (no deadline at all).  ``model`` selects the named model and
+        ``priority`` the admission class — both cluster-backed only.  Raises
+        :class:`~repro.errors.AdmissionError` immediately when admission is
+        refused, and :class:`~repro.errors.DeadlineExceeded` when the budget
+        expires before the micro-batch is scheduled.
         """
         if deadline_s is _UNSET:
             deadline_s = self.default_deadline_s
-        future = self._admit(np.asarray(x), deadline_s)
-        if not self.engine.running:
-            self.engine.flush()
+        future = self._admit(np.asarray(x), deadline_s, model, priority)
+        self._maybe_flush()
         return await asyncio.wrap_future(future)
 
     async def predict_many(
-        self, xs: Sequence[np.ndarray], *, deadline_s=_UNSET
+        self,
+        xs: Sequence[np.ndarray],
+        *,
+        deadline_s=_UNSET,
+        model: Optional[str] = None,
+        priority: Optional[Priority] = None,
     ) -> List[np.ndarray]:
         """Serve several examples concurrently, preserving order.
 
@@ -156,38 +247,54 @@ class AsyncServingFrontend:
         futures: List["Future[np.ndarray]"] = []
         try:
             for x in xs:
-                futures.append(self._admit(np.asarray(x), deadline_s))
+                futures.append(self._admit(np.asarray(x), deadline_s, model, priority))
         except BaseException:
-            # Don't strand admitted-but-unawaited requests in the engine
+            # Don't strand admitted-but-unawaited requests in the backend
             # queue: cancel them so their slots release now (cancellation
             # fires the done-callback) instead of wedging the frontend, and
             # flush so the cancelled entries drain rather than lingering
             # until unrelated later traffic.
             for future in futures:
                 future.cancel()
-            if not self.engine.running:
-                self.engine.flush()
+            self._maybe_flush()
             raise
-        if not self.engine.running:
-            self.engine.flush()
+        self._maybe_flush()
         return list(await asyncio.gather(*[asyncio.wrap_future(f) for f in futures]))
 
-    def serve(self, xs: Sequence[np.ndarray], *, deadline_s=_UNSET) -> List[np.ndarray]:
+    def serve(
+        self,
+        xs: Sequence[np.ndarray],
+        *,
+        deadline_s=_UNSET,
+        model: Optional[str] = None,
+        priority: Optional[Priority] = None,
+    ) -> List[np.ndarray]:
         """Synchronous bridge: serve all of ``xs`` on a private event loop.
 
-        Batches longer than ``max_pending`` are served in admission-bound
-        chunks, so a synchronous caller (e.g.
-        :class:`~repro.evaluation.streaming.StreamingDetector`) can hand over
-        arbitrarily long work without being shed.  Must not be called from
-        inside a running event loop.
+        Batches longer than the admission bound (``max_pending``, or the
+        cluster's per-class limit) are served in bounded chunks, so a
+        synchronous caller (e.g.
+        :class:`~repro.evaluation.streaming.StreamingDetector`) never sheds
+        *itself* by submitting more than the backend admits.  On a cluster
+        the pending budget is shared with live traffic, so a chunk can still
+        be shed by concurrent load — ``predict_many``'s all-or-nothing
+        :class:`~repro.errors.AdmissionError` then propagates; callers
+        sharing a busy cluster should retry or run the evaluation at
+        ``Priority.LOW`` off-peak.  Must not be called from inside a running
+        event loop.
         """
         xs = list(xs)
+        chunk_size = self._chunk_size(priority)
 
         async def run() -> List[np.ndarray]:
             rows: List[np.ndarray] = []
-            for start in range(0, len(xs), self.max_pending):
-                chunk = xs[start : start + self.max_pending]
-                rows.extend(await self.predict_many(chunk, deadline_s=deadline_s))
+            for start in range(0, len(xs), chunk_size):
+                chunk = xs[start : start + chunk_size]
+                rows.extend(
+                    await self.predict_many(
+                        chunk, deadline_s=deadline_s, model=model, priority=priority
+                    )
+                )
             return rows
 
         return asyncio.run(run())
@@ -195,18 +302,25 @@ class AsyncServingFrontend:
     # -- lifecycle -------------------------------------------------------- #
 
     def start(self) -> "AsyncServingFrontend":
-        """Start the engine's background worker (idempotent); returns self."""
-        self.engine.start()
+        """Start the backend (engine worker thread, or the worker pool's
+        processes); idempotent; returns self."""
+        if self.cluster is not None:
+            self.cluster.start()
+        else:
+            self.engine.start()
         return self
 
     def stop(self) -> None:
-        """Stop the worker and drain anything still queued."""
-        self.engine.stop()
+        """Stop the backend and drain anything still queued."""
+        if self.cluster is not None:
+            self.cluster.stop()
+        else:
+            self.engine.stop()
 
     async def __aenter__(self) -> "AsyncServingFrontend":
         """Enter worker mode for the duration of an ``async with`` block."""
         return self.start()
 
     async def __aexit__(self, *exc_info) -> None:
-        """Stop the worker; pending requests are drained synchronously."""
+        """Stop the backend; pending requests are drained first."""
         self.stop()

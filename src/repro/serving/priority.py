@@ -1,0 +1,80 @@
+"""Priority classes and watermark-based admission policy for the cluster.
+
+Admission control (``max_pending`` in the front-end, the cluster-wide
+pending bound in :class:`~repro.serving.cluster.ClusterRouter`) treats every
+request equally: when the queue is full, whoever arrives next is shed.
+Under mixed traffic that is wrong — a flood of best-effort background
+requests can occupy the whole admission budget and starve interactive ones.
+
+:class:`Priority` names three request classes and :class:`PriorityPolicy`
+gives each class its own *admission watermark*, a fraction of the shared
+pending budget beyond which that class is shed:
+
+* ``LOW`` is admitted only while occupancy is below ``low_watermark``
+  (default 50 %) — background traffic sheds first under load;
+* ``NORMAL`` is admitted below ``normal_watermark`` (default 80 %);
+* ``HIGH`` may use the full budget, so the top
+  ``(1 - normal_watermark)`` slice of the queue is effectively reserved
+  for it and low-priority floods can never starve high-priority deadlines.
+
+Shedding happens at admission — a rejected request costs nothing and the
+caller gets :class:`~repro.errors.AdmissionError` immediately.  Within a
+worker's coalescing window, queued requests are additionally dispatched in
+priority order, so a ``HIGH`` request never waits behind ``LOW`` batch-mates
+that arrived in the same burst.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.errors import ConfigError
+
+
+class Priority(IntEnum):
+    """Request priority class; lower value = more important (sorts first)."""
+
+    HIGH = 0
+    NORMAL = 1
+    LOW = 2
+
+
+@dataclass(frozen=True)
+class PriorityPolicy:
+    """Per-class admission watermarks over a shared pending budget.
+
+    ``max_pending`` is the total admission budget (unresolved requests across
+    every class).  A request of class *p* is admitted only while the current
+    pending count is strictly below :meth:`admit_limit` for *p*:
+    ``max_pending`` itself for ``HIGH``, ``normal_watermark * max_pending``
+    for ``NORMAL`` and ``low_watermark * max_pending`` for ``LOW``.
+    """
+
+    max_pending: int = 256
+    normal_watermark: float = 0.8
+    low_watermark: float = 0.5
+
+    def __post_init__(self) -> None:
+        """Validate the budget and watermark ordering."""
+        if self.max_pending < 1:
+            raise ConfigError("max_pending must be >= 1")
+        if not 0.0 < self.low_watermark <= self.normal_watermark <= 1.0:
+            raise ConfigError(
+                "watermarks must satisfy 0 < low_watermark <= normal_watermark <= 1"
+            )
+
+    def admit_limit(self, priority: Priority) -> int:
+        """Pending-count ceiling for one class (always >= 1, so an idle
+        cluster admits every class)."""
+        if priority == Priority.HIGH:
+            return self.max_pending
+        fraction = (
+            self.normal_watermark if priority == Priority.NORMAL else self.low_watermark
+        )
+        return max(1, int(self.max_pending * fraction))
+
+    def admits(self, priority: Priority, pending: int) -> bool:
+        """True when a request of ``priority`` may be admitted at ``pending``
+        unresolved requests."""
+        return pending < self.admit_limit(priority)

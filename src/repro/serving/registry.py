@@ -22,8 +22,8 @@ from __future__ import annotations
 import threading
 import warnings
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import List, Optional, Union
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -92,6 +92,7 @@ class ModelRegistry:
         self.stats = RegistryStats()
         self._images: "OrderedDict[str, ModelImage]" = OrderedDict()
         self._decoded: "OrderedDict[str, PackedModel]" = OrderedDict()
+        self._inflight: Dict[str, threading.Event] = {}  # single-flight decodes
         self._lock = threading.RLock()
 
     # -- mutation ---------------------------------------------------------- #
@@ -132,30 +133,45 @@ class ModelRegistry:
         """Fetch the decoded runtime for ``name``, decoding (and possibly
         evicting LRU plans) on a cache miss.
 
-        The decode itself runs outside the lock so a cold model never
-        blocks concurrent hits on hot ones; if two threads race the same
-        cold model, the first plan to land in the cache wins.
+        The decode itself runs outside the lock so a cold model never blocks
+        concurrent hits on hot ones.  Cold decodes are **single-flight**:
+        when many threads miss the same model at once, exactly one performs
+        the decode while the rest wait on it and then take the hit path — a
+        thundering herd costs one decode, not one per thread (so
+        ``stats.misses`` counts decodes exactly).
         """
+        while True:
+            with self._lock:
+                image = self._images.get(name)
+                if image is None:
+                    known = ", ".join(sorted(self._images)) or "<empty>"
+                    raise ConfigError(f"unknown model {name!r}; known: {known}")
+                model = self._decoded.get(name)
+                if model is not None:
+                    self.stats.hits += 1
+                    self._decoded.move_to_end(name)
+                    return model
+                waiter = self._inflight.get(name)
+                if waiter is None:
+                    self._inflight[name] = waiter = threading.Event()
+                    self.stats.misses += 1
+                    break  # this thread is the decode leader
+            waiter.wait()  # a leader is decoding; retry once it lands
+        try:
+            model = PackedModel(image, cache=True)
+        except BaseException:
+            with self._lock:  # wake followers; one of them retries as leader
+                self._inflight.pop(name, None)
+                waiter.set()
+            raise
         with self._lock:
-            image = self._images.get(name)
-            if image is None:
-                known = ", ".join(sorted(self._images)) or "<empty>"
-                raise ConfigError(f"unknown model {name!r}; known: {known}")
-            model = self._decoded.get(name)
-            if model is not None:
-                self.stats.hits += 1
-                self._decoded.move_to_end(name)
-                return model
-            self.stats.misses += 1
-        model = PackedModel(image, cache=True)
-        with self._lock:
-            resident = self._decoded.get(name)
-            if resident is not None:  # another thread decoded it meanwhile
-                self._decoded.move_to_end(name)
-                return resident
-            if self._images.get(name) is not image:  # re-registered/removed mid-decode
-                return model
-            self._cache(name, model)
+            # cache *before* releasing the latch (atomically with it), so a
+            # woken follower always finds the plan and can never become a
+            # second leader decoding the same image
+            if self._images.get(name) is image:  # not re-registered/removed mid-decode
+                self._cache(name, model)
+            self._inflight.pop(name, None)
+            waiter.set()
             return model
 
     def _cache(self, name: str, model: PackedModel) -> None:
@@ -210,6 +226,17 @@ class ModelRegistry:
         """
         with self._lock:
             return self.stats.resident_bytes
+
+    def stats_snapshot(self) -> RegistryStats:
+        """Atomic copy of the counters, taken under the registry lock.
+
+        Mirrors :meth:`BatchingEngine.snapshot
+        <repro.serving.batching.BatchingEngine.snapshot>`: concurrent readers
+        (monitoring, tests asserting budget invariants mid-traffic) get one
+        consistent state instead of fields from different moments.
+        """
+        with self._lock:
+            return replace(self.stats)
 
     def __contains__(self, name: str) -> bool:
         """True when ``name`` is a registered model."""

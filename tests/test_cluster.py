@@ -1,0 +1,402 @@
+"""Multi-process serving cluster: routing, budgets, priorities, crash recovery.
+
+Worker processes cost ~1 s each to spawn (spawn context re-imports the
+package), so clusters are shared per test class where possible and kept to
+1–2 workers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.hybrid import HybridConfig, STHybridNet
+from repro.core.strassen import freeze_all
+from repro.deploy import build_image
+from repro.errors import (
+    AdmissionError,
+    ConfigError,
+    RoutingError,
+    WorkerCrashed,
+)
+from repro.evaluation import StreamingDetector, make_stream
+from repro.serving import (
+    AsyncServingFrontend,
+    ClusterRouter,
+    MicroBatchConfig,
+    PackedModel,
+    Priority,
+    PriorityPolicy,
+)
+
+
+def frozen_image(width: int = 8, rng: int = 0):
+    """A small frozen ST-Hybrid image (weights random, arithmetic real)."""
+    model = STHybridNet(HybridConfig(width=width), rng=rng)
+    freeze_all(model)
+    model.eval()
+    return build_image(model)
+
+
+@pytest.fixture(scope="module")
+def images():
+    """Three distinct model images keyed by name."""
+    return {name: frozen_image(8, rng=i) for i, name in enumerate(["a", "b", "c"])}
+
+
+@pytest.fixture(scope="module")
+def cluster(images):
+    """A running two-worker cluster serving models ``a`` and ``b``."""
+    router = ClusterRouter(workers=2, config=MicroBatchConfig(max_batch_size=8))
+    router.register("a", images["a"])
+    router.register("b", images["b"])
+    with router:
+        yield router
+
+
+@pytest.fixture(scope="module")
+def requests_batch():
+    """A deterministic batch of MFCC-shaped inputs."""
+    rng = np.random.default_rng(42)
+    return [rng.standard_normal((49, 10)).astype(np.float32) for _ in range(6)]
+
+
+def wait_until(predicate, timeout_s: float = 15.0, interval_s: float = 0.05) -> bool:
+    """Poll ``predicate`` until true or ``timeout_s`` elapses."""
+    limit = time.monotonic() + timeout_s
+    while time.monotonic() < limit:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return predicate()
+
+
+class TestPriorityPolicy:
+    def test_limits_are_ordered(self):
+        policy = PriorityPolicy(max_pending=100, normal_watermark=0.8, low_watermark=0.5)
+        assert policy.admit_limit(Priority.HIGH) == 100
+        assert policy.admit_limit(Priority.NORMAL) == 80
+        assert policy.admit_limit(Priority.LOW) == 50
+        assert policy.admits(Priority.LOW, 49)
+        assert not policy.admits(Priority.LOW, 50)
+        assert policy.admits(Priority.HIGH, 99)
+
+    def test_every_class_admitted_when_idle(self):
+        policy = PriorityPolicy(max_pending=1, low_watermark=0.01, normal_watermark=0.01)
+        for priority in Priority:
+            assert policy.admits(priority, 0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PriorityPolicy(max_pending=0)
+        with pytest.raises(ConfigError):
+            PriorityPolicy(low_watermark=0.9, normal_watermark=0.5)
+        with pytest.raises(ConfigError):
+            PriorityPolicy(low_watermark=0.0)
+        with pytest.raises(ConfigError):
+            PriorityPolicy(normal_watermark=1.5)
+
+    def test_priority_sorts_high_first(self):
+        assert sorted([Priority.LOW, Priority.HIGH, Priority.NORMAL]) == [
+            Priority.HIGH,
+            Priority.NORMAL,
+            Priority.LOW,
+        ]
+
+
+class TestRouting:
+    def test_predictions_bitwise_identical_to_packed_model(
+        self, cluster, images, requests_batch
+    ):
+        for name in ("a", "b"):
+            got = np.stack([cluster.predict(x, model=name) for x in requests_batch])
+            want = PackedModel(images[name])(np.stack(requests_batch))
+            np.testing.assert_array_equal(got, want)
+
+    def test_sticky_placement_spreads_models(self, cluster, requests_batch):
+        for x in requests_batch:
+            cluster.predict(x, model="a")
+            cluster.predict(x, model="b")
+        placements = cluster.placements()
+        # one decoded plan per model, spread over both workers, stable over traffic
+        assert sorted(placements) == ["a", "b"]
+        assert set(placements.values()) == {0, 1}
+        assert cluster.placements() == placements
+
+    def test_unknown_model_raises(self, cluster, requests_batch):
+        with pytest.raises(RoutingError, match="unknown model"):
+            cluster.predict(requests_batch[0], model="nope")
+
+    def test_ambiguous_default_model_raises(self, cluster, requests_batch):
+        with pytest.raises(RoutingError, match="model name required"):
+            cluster.predict(requests_batch[0])
+
+    def test_submit_before_start_raises(self, images, requests_batch):
+        router = ClusterRouter(workers=1)
+        router.register("a", images["a"])
+        with pytest.raises(RoutingError, match="not started"):
+            router.submit(requests_batch[0], model="a")
+
+    def test_stats_rollup(self, cluster):
+        stats = cluster.stats()
+        assert stats.served >= 1
+        assert stats.pending == 0
+        assert stats.resident_bytes == sum(w.resident_bytes for w in stats.workers)
+        assert {m for w in stats.workers for m in w.models} == {"a", "b"}
+
+    def test_worker_health_report(self, cluster):
+        health = cluster.pool.health()
+        assert set(health) == {0, 1}
+        for wid, report in health.items():
+            assert report["alive"], f"worker {wid} failed its health probe"
+            assert report["restarts"] == 0
+        # the workers' own resident accounting matches the router's
+        reported = sum(h["resident_bytes"] for h in health.values())
+        assert reported == cluster.stats().resident_bytes
+
+
+class TestByteBudget:
+    @pytest.fixture(scope="class")
+    def budget_cluster(self, images):
+        """One worker, budget sized so two plans fit and three never do."""
+        sizes = {n: PackedModel(img).decoded_bytes() for n, img in images.items()}
+        ranked = sorted(sizes.values())
+        router = ClusterRouter(workers=1, capacity_bytes=ranked[-1] + ranked[-2])
+        for name, image in images.items():
+            router.register(name, image)
+        with router:
+            yield router
+
+    def test_lru_eviction_keeps_budget(self, budget_cluster, requests_batch):
+        x = requests_batch[0]
+        budget_cluster.predict(x, model="a")
+        budget_cluster.predict(x, model="b")
+        assert sorted(budget_cluster.placements()) == ["a", "b"]
+        budget_cluster.predict(x, model="c")  # evicts "a", the LRU placement
+        placements = budget_cluster.placements()
+        assert sorted(placements) == ["b", "c"]
+        stats = budget_cluster.stats()
+        assert stats.evictions >= 1
+        assert stats.resident_bytes <= budget_cluster.capacity_bytes
+
+    def test_evicted_model_still_serves_bitwise(
+        self, budget_cluster, images, requests_batch
+    ):
+        x = requests_batch[1]
+        got = budget_cluster.predict(x, model="a")  # re-places and re-decodes
+        np.testing.assert_array_equal(got, PackedModel(images["a"])(x[None])[0])
+        assert budget_cluster.stats().resident_bytes <= budget_cluster.capacity_bytes
+
+    def test_oversized_model_rejected_at_register(self, images):
+        router = ClusterRouter(workers=1, capacity_bytes=1)
+        with pytest.raises(ConfigError, match="budget"):
+            router.register("big", images["a"])
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigError):
+            ClusterRouter(workers=1, capacity_bytes=0)
+        with pytest.raises(ConfigError):
+            ClusterRouter(workers=0)
+
+
+class TestPriorityAdmission:
+    @pytest.fixture(scope="class")
+    def tiny_cluster(self, images):
+        """One worker, a 4-slot admission budget: LOW limit 1, NORMAL 2, HIGH 4."""
+        router = ClusterRouter(
+            workers=1,
+            policy=PriorityPolicy(max_pending=4, normal_watermark=0.5, low_watermark=0.25),
+        )
+        router.register("a", images["a"])
+        with router:
+            # make sure the worker is up and the model placed before stalling it
+            router.predict(np.zeros((49, 10), dtype=np.float32), model="a")
+            yield router
+
+    def test_low_sheds_first_high_never_starves(self, tiny_cluster, requests_batch):
+        """Deterministic watermark walk with the worker stalled: occupancy
+        rises 1→4 while LOW, then NORMAL, then HIGH hit their limits."""
+        cluster = tiny_cluster
+        cluster.pool.inject_sleep(0, 0.5)  # stall so admitted requests stay pending
+        before = cluster.stats()
+        admitted = [cluster.submit(requests_batch[0], priority=Priority.LOW)]
+        with pytest.raises(AdmissionError, match="LOW"):
+            cluster.submit(requests_batch[0], priority=Priority.LOW)
+        admitted.append(cluster.submit(requests_batch[1], priority=Priority.NORMAL))
+        with pytest.raises(AdmissionError, match="NORMAL"):
+            cluster.submit(requests_batch[1], priority=Priority.NORMAL)
+        admitted.append(cluster.submit(requests_batch[2], priority=Priority.HIGH))
+        admitted.append(cluster.submit(requests_batch[3], priority=Priority.HIGH))
+        with pytest.raises(AdmissionError, match="HIGH"):
+            cluster.submit(requests_batch[4], priority=Priority.HIGH)
+        # every admitted request is served once the stall ends: no deadline
+        # was attached, so shedding is the *only* way load was controlled
+        for future in admitted:
+            assert future.result(timeout=15.0).shape == (12,)
+        stats = cluster.stats()
+        shed = {
+            p: stats.shed_by_priority[p] - before.shed_by_priority[p] for p in Priority
+        }
+        assert shed == {Priority.LOW: 1, Priority.NORMAL: 1, Priority.HIGH: 1}
+        assert stats.deadline_misses == before.deadline_misses
+        assert stats.pending == 0
+
+    def test_single_model_needs_no_name(self, tiny_cluster, requests_batch):
+        result = tiny_cluster.predict(requests_batch[0])
+        assert result.shape == (12,)
+
+
+class TestCrashRecovery:
+    @pytest.fixture(scope="class")
+    def crash_cluster(self, images):
+        """A one-worker cluster we are allowed to hurt."""
+        router = ClusterRouter(workers=1)
+        router.register("a", images["a"])
+        with router:
+            yield router
+
+    def test_inflight_fails_then_restart_serves(
+        self, crash_cluster, images, requests_batch
+    ):
+        cluster = crash_cluster
+        cluster.predict(requests_batch[0], model="a")  # place + decode
+        # stall the worker so the crash command and the predicts queue behind
+        # it in pipe order: the worker dies *before* reading the predicts
+        cluster.pool.inject_sleep(0, 0.3)
+        cluster.pool.inject_crash(0)
+        doomed = [cluster.submit(x, model="a") for x in requests_batch[:3]]
+        for future in doomed:
+            with pytest.raises(WorkerCrashed):
+                future.result(timeout=15.0)
+        assert wait_until(lambda: cluster.stats().crashes == 1)
+        # transparent restart-and-redecode: the same model serves again,
+        # bitwise identical, without any re-registration
+        got = cluster.predict(requests_batch[0], model="a")
+        np.testing.assert_array_equal(
+            got, PackedModel(images["a"])(requests_batch[0][None])[0]
+        )
+        stats = cluster.stats()
+        assert stats.crashes == 1
+        assert stats.workers[0].restarts == 1
+        assert stats.workers[0].alive
+        assert cluster.pool.health()[0]["alive"]
+
+    def test_immediate_resubmit_after_crash_is_served(
+        self, crash_cluster, images, requests_batch
+    ):
+        """The errors.WorkerCrashed contract: resubmitting is enough.  The
+        replacement worker's load replay enters the pipe before its handle is
+        published, so a resubmit may race the restart (seeing WorkerCrashed
+        again) but can never be bounced with RoutingError."""
+        cluster = crash_cluster
+        cluster.predict(requests_batch[0], model="a")
+        cluster.pool.inject_sleep(0, 0.2)
+        cluster.pool.inject_crash(0)
+        with pytest.raises(WorkerCrashed):
+            cluster.submit(requests_batch[0], model="a").result(timeout=15.0)
+        deadline = time.monotonic() + 15.0
+        while True:  # retry loop a real client would run
+            try:
+                got = cluster.predict(requests_batch[0], model="a")
+                break
+            except WorkerCrashed:
+                assert time.monotonic() < deadline, "restart never came up"
+                time.sleep(0.01)
+        np.testing.assert_array_equal(
+            got, PackedModel(images["a"])(requests_batch[0][None])[0]
+        )
+
+    def test_stop_is_idempotent_and_restartable(self, crash_cluster, requests_batch):
+        cluster = crash_cluster
+        cluster.stop()
+        cluster.stop()  # double stop is a no-op
+        assert not cluster.pool.running
+        with pytest.raises(RoutingError):
+            cluster.submit(requests_batch[0], model="a")
+        cluster.start()
+        cluster.start()  # double start is a no-op
+        result = cluster.predict(requests_batch[0], model="a")  # re-places lazily
+        assert result.shape == (12,)
+
+
+class TestClusterFrontend:
+    def test_async_predict_routes_by_model(self, cluster, images, requests_batch):
+        frontend = AsyncServingFrontend(cluster, default_deadline_s=30.0)
+
+        async def run():
+            high = [
+                frontend.predict(x, model="a", priority=Priority.HIGH)
+                for x in requests_batch
+            ]
+            low = [
+                frontend.predict(x, model="b", priority=Priority.LOW)
+                for x in requests_batch
+            ]
+            return await asyncio.gather(*high, *low)
+
+        results = asyncio.run(run())
+        stacked = np.stack(requests_batch)
+        np.testing.assert_array_equal(
+            np.stack(results[: len(requests_batch)]), PackedModel(images["a"])(stacked)
+        )
+        np.testing.assert_array_equal(
+            np.stack(results[len(requests_batch) :]), PackedModel(images["b"])(stacked)
+        )
+
+    def test_unknown_model_raises_through_await(self, cluster, requests_batch):
+        frontend = AsyncServingFrontend(cluster)
+
+        async def run():
+            await frontend.predict(requests_batch[0], model="nope")
+
+        with pytest.raises(RoutingError):
+            asyncio.run(run())
+
+    def test_cluster_frontend_config_validation(self, cluster):
+        with pytest.raises(ConfigError):
+            AsyncServingFrontend(cluster, max_pending=8)
+        with pytest.raises(ConfigError):
+            AsyncServingFrontend(cluster, config=MicroBatchConfig())
+
+    def test_engine_frontend_rejects_cluster_kwargs(self, requests_batch):
+        frontend = AsyncServingFrontend(lambda b: b.reshape(len(b), -1)[:, :1])
+
+        async def run(**kwargs):
+            await frontend.predict(requests_batch[0], **kwargs)
+
+        with pytest.raises(ConfigError):
+            asyncio.run(run(model="a"))
+        with pytest.raises(ConfigError):
+            asyncio.run(run(priority=Priority.HIGH))
+
+    def test_frontend_stats_and_snapshot_are_cluster_stats(self, cluster):
+        frontend = AsyncServingFrontend(cluster)
+        assert frontend.stats.served >= 1
+        assert frontend.snapshot().served >= 1
+        assert frontend.pending == cluster.pending
+
+
+class TestStreamingThroughCluster:
+    def test_cluster_path_matches_direct_path(self, cluster, images):
+        wave, _ = make_stream(["yes"], rng=4)
+        frontend = AsyncServingFrontend(cluster)
+        routed = StreamingDetector(
+            frontend=frontend, model_name="a", priority=Priority.LOW
+        )
+        direct = StreamingDetector(PackedModel(images["a"]))
+        t_direct, p_direct = direct.posteriors(wave)
+        t_routed, p_routed = routed.posteriors(wave)
+        np.testing.assert_array_equal(t_direct, t_routed)
+        np.testing.assert_array_equal(p_direct, p_routed)
+
+    def test_model_name_requires_cluster_frontend(self, images):
+        engine_frontend = AsyncServingFrontend(PackedModel(images["a"]))
+        with pytest.raises(ConfigError, match="cluster"):
+            StreamingDetector(frontend=engine_frontend, model_name="a")
+        with pytest.raises(ConfigError, match="cluster"):
+            StreamingDetector(
+                frontend=engine_frontend, priority=Priority.LOW
+            )

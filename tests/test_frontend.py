@@ -129,7 +129,7 @@ class TestAdmission:
         frontend = AsyncServingFrontend(echo_model, max_pending=2)
 
         async def run():
-            held = [frontend._admit(np.zeros(3), None) for _ in range(2)]
+            held = [frontend._admit(np.zeros(3), None, None, None) for _ in range(2)]
             with pytest.raises(AdmissionError):
                 await frontend.predict(np.zeros(3))
             frontend.engine.flush()

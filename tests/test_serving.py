@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 import time
 
 import numpy as np
@@ -256,6 +257,120 @@ class TestBatchingEngine:
         engine.submit_many([np.zeros(2)] * 8)
         engine.flush()
         assert engine.stats.mean_batch_size == pytest.approx(4.0)
+
+
+class TestEngineLifecycle:
+    """start()/stop() must be idempotent and safe under double entry/exit."""
+
+    def test_stop_without_start_drains_queue(self):
+        engine = BatchingEngine(echo_model)
+        future = engine.submit(np.full(2, 4.0))
+        engine.stop()  # never started: just drains synchronously
+        assert future.result()[0] == 4.0
+
+    def test_double_stop_and_double_exit(self):
+        engine = BatchingEngine(echo_model)
+        with engine:
+            assert engine.running
+        engine.__exit__(None, None, None)  # second __exit__ must be a no-op
+        engine.stop()
+        assert not engine.running
+
+    def test_start_is_idempotent(self):
+        engine = BatchingEngine(echo_model)
+        try:
+            first = engine.start()._worker
+            assert engine.start()._worker is first  # no second worker spawned
+            workers = [t for t in threading.enumerate() if t.name == "batching-engine"]
+            assert len(workers) == 1
+        finally:
+            engine.stop()
+
+    def test_stop_start_cycle_serves_again(self):
+        engine = BatchingEngine(echo_model)
+        engine.start()
+        engine.stop()
+        engine.start()  # start-after-stop brings up a fresh worker
+        try:
+            assert engine.running
+            assert engine.predict(np.full(2, 7.0))[0] == 7.0
+        finally:
+            engine.stop()
+        engine.stop()  # stop-after-stop stays a no-op
+
+    def test_start_after_worker_thread_death(self):
+        engine = BatchingEngine(echo_model)
+        engine.start()
+        # simulate a crashed worker thread: kill it without clearing _worker
+        engine._stop.set()
+        engine._worker.join()
+        assert not engine.running
+        engine.start()  # must recover with a fresh worker, not early-return
+        try:
+            assert engine.running
+            assert engine.predict(np.full(2, 9.0))[0] == 9.0
+        finally:
+            engine.stop()
+
+    def test_concurrent_starts_spawn_one_worker(self):
+        engine = BatchingEngine(echo_model)
+        try:
+            barrier = threading.Barrier(8)
+
+            def racer():
+                barrier.wait()
+                engine.start()
+
+            threads = [threading.Thread(target=racer) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            workers = [t for t in threading.enumerate() if t.name == "batching-engine"]
+            assert len(workers) == 1
+        finally:
+            engine.stop()
+
+
+class TestEngineSnapshot:
+    """snapshot() must be an atomic, decoupled copy of the counters."""
+
+    def test_snapshot_matches_and_decouples(self):
+        engine = BatchingEngine(echo_model, MicroBatchConfig(max_batch_size=4))
+        engine.submit_many([np.zeros(2)] * 6)
+        engine.flush()
+        snap = engine.snapshot()
+        assert snap.requests == 6 and snap.served == 6 and snap.batches == 2
+        assert list(snap.batch_sizes) == [4, 2]
+        engine.submit(np.zeros(2))
+        engine.flush()
+        assert snap.requests == 6  # the snapshot does not track the live object
+        assert engine.stats.requests == 7
+        assert snap.mean_batch_size == pytest.approx(3.0)
+
+    def test_snapshot_consistent_under_worker_traffic(self):
+        """Reading while the worker dispatches never observes served > requests
+        or batch-size history longer than the batch count."""
+        engine = BatchingEngine(echo_model, MicroBatchConfig(max_batch_size=2, max_delay_ms=0.0))
+        stop = threading.Event()
+        torn = []
+
+        def reader():
+            while not stop.is_set():
+                snap = engine.snapshot()
+                if snap.served > snap.requests or len(snap.batch_sizes) > snap.batches:
+                    torn.append(snap)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        with engine:
+            futures = engine.submit_many([np.zeros(2)] * 300)
+            for future in futures:
+                future.result(timeout=10.0)
+        stop.set()
+        thread.join()
+        assert not torn
+        assert engine.snapshot().served == 300
 
 
 class TestModelRegistry:
