@@ -30,6 +30,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 import pytest
 
+from conftest import record_metrics, write_bench_json
 from repro.core.hybrid import HybridConfig, STHybridNet
 from repro.core.strassen import freeze_all
 from repro.deploy import build_image
@@ -178,6 +179,15 @@ def test_priority_isolation() -> None:
     high_served, misses, low_shed, low_served = measure_priority_isolation(
         demo_images(1)["kws-0"]
     )
+    record_metrics(
+        "cluster",
+        priority_isolation={
+            "high_served": high_served,
+            "high_misses": misses,
+            "low_shed": low_shed,
+            "low_served": low_served,
+        },
+    )
     assert misses == 0, f"{misses} HIGH deadline misses at {HIGH_DEADLINE_S:.0f} s budget"
     assert high_served == 32, "a HIGH request was not served"
     assert low_shed > 0, "the LOW flood was never shed — admission did nothing"
@@ -245,6 +255,29 @@ def main() -> None:
             note = f"  ({throughput[workers] / throughput[1]:.2f}x vs 1 worker)"
         print(f"  {workers} worker(s)     {throughput[workers]:10.0f} req/s{note}")
     speedup = throughput[WORKERS] / throughput[1]
+    write_bench_json(
+        "cluster",
+        {
+            "config": {
+                "workers": WORKERS,
+                "models": MODELS,
+                "width": args.width,
+                "cpus": cpus,
+                "quick": args.quick,
+            },
+            "identity_checked": checked,
+            "priority_isolation": {
+                "high_served": high_served,
+                "high_misses": misses,
+                "low_shed": low_shed,
+                "low_served": low_served,
+            },
+            "scaling_rps": {str(w): throughput[w] for w in worker_counts},
+            "speedup": speedup,
+            "floor": SCALING_FLOOR,
+            "floor_enforced": cpus >= WORKERS,
+        },
+    )
     if cpus < WORKERS:
         print(
             f"\nSKIP: {SCALING_FLOOR}x floor not enforced with {cpus} CPU(s) — "

@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from conftest import record_table
+from conftest import record_metrics, record_table
 from repro.autodiff.tensor import Tensor, no_grad
 from repro.core.bonsai.tree import BonsaiTree
 from repro.experiments import figure1
@@ -20,6 +20,14 @@ from repro.experiments import figure1
 def result():
     res = figure1.run("ci")
     record_table(res.table())
+    record_metrics(
+        "figure1",
+        experiment=res.experiment,
+        title=res.title,
+        config={"scale": "ci"},
+        rows=res.rows,
+        notes=res.notes,
+    )
     return res
 
 

@@ -24,6 +24,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from conftest import record_metrics, write_bench_json
 from repro.core.hybrid import HybridConfig, STHybridNet
 from repro.core.strassen import freeze_all
 from repro.deploy import build_image
@@ -119,6 +120,16 @@ def test_async_fanout_throughput() -> None:
     """64 concurrent async clients must sustain >= 3x one-at-a-time serving
     with zero deadline misses at a generous deadline."""
     single, fanout, speedup, misses = measure_async_fanout(demo_image())
+    record_metrics(
+        "frontend",
+        config={"clients": CLIENTS, "deadline_s": DEADLINE_S},
+        fanout={
+            "single_rps": single,
+            "async_rps": fanout,
+            "speedup": speedup,
+            "deadline_misses": misses,
+        },
+    )
     assert misses == 0, f"{misses} deadline misses at a {DEADLINE_S * 1e3:.0f} ms budget"
     assert speedup >= 3.0, (
         f"async fan-out of {CLIENTS} clients served {fanout:.0f} req/s vs "
@@ -165,6 +176,30 @@ def main() -> None:
     print(f"  max resident       {observed_max:10,} bytes")
     print(f"  peak (stats)       {stats.peak_resident_bytes:10,} bytes")
     print(f"  hits/misses/evicts {stats.hits}/{stats.misses}/{stats.evictions}")
+
+    write_bench_json(
+        "frontend",
+        {
+            "config": {
+                "clients": CLIENTS,
+                "deadline_s": DEADLINE_S,
+                "width": args.width,
+                "quick": args.quick,
+            },
+            "fanout": {
+                "single_rps": single,
+                "async_rps": fanout,
+                "speedup": speedup,
+                "deadline_misses": misses,
+            },
+            "registry": {
+                "capacity_bytes": registry.capacity_bytes,
+                "max_resident_bytes": observed_max,
+                "peak_resident_bytes": stats.peak_resident_bytes,
+                "evictions": stats.evictions,
+            },
+        },
+    )
 
     if misses or speedup < 3.0:
         raise SystemExit("FAIL: async fan-out below the 3x floor or deadline misses seen")

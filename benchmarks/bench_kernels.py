@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from conftest import record_metrics
 from repro.audio.mfcc import MFCC
 from repro.autodiff.ops_conv import conv2d, depthwise_conv2d
 from repro.autodiff.tensor import Tensor, no_grad
@@ -18,6 +19,23 @@ from repro.datasets.synthesizer import keyword_spec, synthesize
 from repro.nn.linear import Linear
 
 RNG = np.random.default_rng(0)
+
+# per-kernel timings land in BENCH_kernels.json via the conftest summary
+# hook when pytest-benchmark is enabled; the config rides along either way
+record_metrics(
+    "kernels",
+    config={
+        "kernels": [
+            "mfcc",
+            "synthesizer",
+            "conv2d_forward",
+            "depthwise_forward",
+            "conv2d_backward",
+            "linear_kinds",
+        ],
+        "batch": 32,
+    },
+)
 
 
 def test_benchmark_mfcc(benchmark):

@@ -21,6 +21,7 @@ from typing import Callable, List, Tuple
 
 import numpy as np
 
+from conftest import record_metrics, write_bench_json
 from repro.core.hybrid import HybridConfig, STHybridNet
 from repro.core.strassen import freeze_all
 from repro.deploy import build_image
@@ -92,6 +93,11 @@ def measure_cache_speedup(
 def test_microbatch_throughput() -> None:
     """Coalescing 32 requests into one forward must be >= 3x faster."""
     single, batched, speedup = measure_microbatch_speedup(demo_image())
+    record_metrics(
+        "serving",
+        config={"requests": REQUESTS, "width": 8},
+        microbatch={"single_rps": single, "batched_rps": batched, "speedup": speedup},
+    )
     assert speedup >= 3.0, (
         f"micro-batch {REQUESTS} served {batched:.0f} req/s vs {single:.0f} req/s "
         f"single — only {speedup:.2f}x"
@@ -132,6 +138,19 @@ def main() -> None:
     print(f"  cache=False (per-call unpack) {uncached_s * 1e3:8.2f} ms")
     print(f"  cache=True  (bit-plane plans) {cached_s * 1e3:8.2f} ms")
     print(f"  speedup                       {cache_speedup:8.2f}x")
+
+    write_bench_json(
+        "serving",
+        {
+            "config": {"requests": REQUESTS, "width": args.width, "quick": args.quick},
+            "microbatch": {"single_rps": single, "batched_rps": batched, "speedup": speedup},
+            "cache": {
+                "uncached_ms": uncached_s * 1e3,
+                "cached_ms": cached_s * 1e3,
+                "speedup": cache_speedup,
+            },
+        },
+    )
 
     if speedup < 3.0:
         raise SystemExit("FAIL: micro-batch speedup below the 3x acceptance floor")

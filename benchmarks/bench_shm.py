@@ -1,0 +1,270 @@
+"""Shared-memory data-plane benchmarks: transport throughput, identity, leaks.
+
+Not a paper table — this guards the cluster's zero-copy transport
+(:mod:`repro.serving.shm`) on three axes:
+
+* **throughput**: at large batch shapes (bursts of 64 requests, 1024-float
+  inputs each) the slab plane plus ``submit_many`` burst frames must
+  sustain >= 2x the aggregate cluster throughput of the legacy per-request
+  pickle-over-pipe transport.  The gate needs real parallel hardware, so —
+  like ``bench_cluster.py`` — it is skipped below 4 CPUs;
+* **identity**: predictions routed through shared memory must be bitwise
+  identical to direct :class:`~repro.serving.packed.PackedModel` execution
+  (and to the pipe path, which remains the automatic fallback);
+* **leaks**: after ``stop()`` every slab lease is back (``acquired ==
+  released``, ``leased == 0``) and the segment is unlinked from the OS.
+
+Runs standalone (``python benchmarks/bench_shm.py [--quick]``) and as
+pytest assertions guarding the floors in CI.  Emits ``BENCH_shm.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from multiprocessing import shared_memory
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from bench_cluster import available_cpus
+from conftest import write_bench_json
+from repro.core.hybrid import HybridConfig, STHybridNet
+from repro.core.strassen import freeze_all
+from repro.deploy import build_image
+from repro.deploy.image import ModelImage
+from repro.serving import (
+    ClusterRouter,
+    MicroBatchConfig,
+    PackedModel,
+    PriorityPolicy,
+    SlabConfig,
+)
+
+WORKERS = 4
+MODELS = 4
+BURST = 64  # requests per submit_many frame
+FEATURES = (64, 16)  # 1024 floats = 4 KB per request payload
+SPEEDUP_FLOOR = 2.0
+
+
+def demo_images(count: int = MODELS, width: int = 8) -> Dict[str, ModelImage]:
+    """``count`` distinct frozen ST-Hybrid images taking 1024-float inputs."""
+    images = {}
+    for i in range(count):
+        model = STHybridNet(HybridConfig(width=width, input_shape=FEATURES), rng=i)
+        freeze_all(model)
+        model.eval()
+        images[f"kws-{i}"] = build_image(model)
+    return images
+
+
+def _cluster(images: Dict[str, ModelImage], workers: int, load: int, transport) -> ClusterRouter:
+    """A router sized to admit the whole up-front load without shedding."""
+    router = ClusterRouter(
+        workers=workers,
+        transport=transport,
+        policy=PriorityPolicy(max_pending=load + 1, normal_watermark=1.0, low_watermark=1.0),
+        config=MicroBatchConfig(max_batch_size=BURST, max_delay_ms=2.0),
+    )
+    for name, image in images.items():
+        router.register(name, image)
+    return router
+
+
+def measure_transport(
+    images: Dict[str, ModelImage],
+    workers: int,
+    *,
+    shm: bool,
+    bursts_per_model: int = 2,
+    repeats: int = 3,
+) -> Dict[str, float]:
+    """Aggregate req/s plus p50/p99 request latency for one data plane.
+
+    ``shm=False`` measures the legacy transport exactly as PR 3 shipped it:
+    every request pickled individually through its worker pipe.  ``shm=True``
+    measures the slab plane with ``submit_many`` burst frames — the two
+    deltas this PR introduces, together.
+    """
+    rng = np.random.default_rng(0)
+    load: List[tuple] = []  # (model name, burst array list)
+    for _ in range(bursts_per_model):
+        for name in images:
+            load.append(
+                (name, [rng.standard_normal(FEATURES).astype(np.float32) for _ in range(BURST)])
+            )
+    total = len(load) * BURST
+    transport = SlabConfig(slab_bytes=8192, slabs=total) if shm else False
+    router = _cluster(images, workers, load=total, transport=transport)
+    with router:
+        for name in images:  # warm up: spawn, decode, placement
+            router.predict(load[0][1][0], model=name)
+        best = float("inf")
+        latencies: List[float] = []
+        for _ in range(repeats):
+            marks: List[float] = []  # per-request submit->resolve seconds
+            start = time.monotonic()
+            futures = []
+            for name, xs in load:
+                submitted = time.monotonic()
+                if shm:
+                    burst_futures = router.submit_many(xs, model=name)
+                else:
+                    burst_futures = [router.submit(x, model=name) for x in xs]
+                for f in burst_futures:
+                    f.add_done_callback(
+                        lambda _f, t0=submitted: marks.append(time.monotonic() - t0)
+                    )
+                futures.extend(burst_futures)
+            for f in futures:
+                f.result(timeout=300.0)
+            elapsed = time.monotonic() - start
+            if elapsed < best:
+                best = elapsed
+                latencies = list(marks)
+        stats = router.stats()
+        assert stats.deadline_misses == 0
+        if shm:
+            assert stats.transport["shm_requests"] > 0, "shm plane never used"
+    p50, p99 = (
+        np.percentile(latencies, [50, 99]) if latencies else (float("nan"),) * 2
+    )
+    return {
+        "throughput_rps": total / best,
+        "p50_ms": float(p50) * 1e3,
+        "p99_ms": float(p99) * 1e3,
+        "requests": total,
+    }
+
+
+def check_identity(images: Dict[str, ModelImage]) -> int:
+    """Route a burst to every model over the slab plane; returns the number
+    of bitwise-equal comparisons (raises on any mismatch)."""
+    rng = np.random.default_rng(2)
+    xs = [rng.standard_normal(FEATURES).astype(np.float32) for _ in range(5)]
+    checked = 0
+    router = _cluster(images, workers=1, load=len(xs) * len(images), transport=SlabConfig())
+    with router:
+        for name, image in images.items():
+            got = np.stack([f.result(timeout=60.0) for f in router.submit_many(xs, model=name)])
+            np.testing.assert_array_equal(got, PackedModel(image)(np.stack(xs)))
+            checked += 1
+        transport = router.stats().transport
+        assert transport["shm_requests"] == len(xs) * len(images), "a payload left the slab plane"
+        assert transport["pipe_requests"] == 0
+        segment = router.pool._slab_pool.name
+    snapshot = router.pool.transport_snapshot()
+    assert snapshot["leased"] == 0, f"{snapshot['leased']} slab(s) leaked"
+    assert snapshot["acquired"] == snapshot["released"]
+    try:
+        shared_memory.SharedMemory(name=segment)
+    except FileNotFoundError:
+        pass  # unlinked, as required
+    else:
+        raise AssertionError(f"shared-memory segment {segment} survived stop()")
+    return checked
+
+
+# -- pytest entry points ----------------------------------------------------- #
+
+
+def test_shm_identity_and_no_leaks() -> None:
+    """Slab-routed predictions are bitwise identical to direct PackedModel
+    execution, and stop() leaves zero leased slabs and no OS segment."""
+    assert check_identity(demo_images(2)) == 2
+
+
+@pytest.mark.skipif(
+    available_cpus() < WORKERS,
+    reason=f"transport gate needs >= {WORKERS} CPUs (have {available_cpus()})",
+)
+def test_shm_throughput_floor() -> None:
+    """The slab plane + burst frames must give >= 2x aggregate throughput
+    over per-request pickle transport at 64-request x 1024-float bursts."""
+    images = demo_images()
+    pipe = measure_transport(images, WORKERS, shm=False)
+    shm = measure_transport(images, WORKERS, shm=True)
+    speedup = shm["throughput_rps"] / pipe["throughput_rps"]
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"shm transport served {shm['throughput_rps']:.0f} req/s vs "
+        f"{pipe['throughput_rps']:.0f} req/s over pipes — only {speedup:.2f}x "
+        f"(floor {SPEEDUP_FLOOR}x)"
+    )
+
+
+# -- standalone report ------------------------------------------------------- #
+
+
+def main() -> None:
+    """Run all measurements, enforce the floors, emit BENCH_shm.json."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="fewer repeats (CI smoke)")
+    parser.add_argument("--width", type=int, default=8, help="model channel width")
+    args = parser.parse_args()
+    if args.width < 1:
+        parser.error("--width must be >= 1")
+    repeats = 2 if args.quick else 4
+    bursts = 1 if args.quick else 2
+
+    images = demo_images(width=args.width)
+    cpus = available_cpus()
+    print(
+        f"{MODELS} ST-Hybrid models, width={args.width}, "
+        f"{FEATURES[0]}x{FEATURES[1]} inputs ({4 * FEATURES[0] * FEATURES[1]} B); "
+        f"{cpus} CPU(s) available"
+    )
+
+    checked = check_identity(images)
+    print(f"\nidentity: {checked}/{MODELS} models bitwise-identical over the slab plane"
+          f" (zero leases and no segment left after stop)")
+
+    results = {}
+    for label, shm in (("pipe/pickle", False), ("shm slabs", True)):
+        results[label] = measure_transport(
+            images, WORKERS, shm=shm, bursts_per_model=bursts, repeats=repeats
+        )
+        r = results[label]
+        print(
+            f"  {label:12s} {r['throughput_rps']:10.0f} req/s   "
+            f"p50 {r['p50_ms']:7.2f} ms   p99 {r['p99_ms']:7.2f} ms"
+        )
+    speedup = results["shm slabs"]["throughput_rps"] / results["pipe/pickle"]["throughput_rps"]
+    print(f"  speedup      {speedup:10.2f}x  (floor: {SPEEDUP_FLOOR}x on >= {WORKERS} CPUs)")
+
+    write_bench_json(
+        "shm",
+        {
+            "config": {
+                "workers": WORKERS,
+                "models": MODELS,
+                "burst": BURST,
+                "input_shape": list(FEATURES),
+                "width": args.width,
+                "cpus": cpus,
+                "quick": args.quick,
+            },
+            "pipe": results["pipe/pickle"],
+            "shm": results["shm slabs"],
+            "speedup": speedup,
+            "floor": SPEEDUP_FLOOR,
+            "floor_enforced": cpus >= WORKERS,
+        },
+    )
+
+    if cpus < WORKERS:
+        print(
+            f"\nSKIP: {SPEEDUP_FLOOR}x floor not enforced with {cpus} CPU(s) — "
+            f"{WORKERS} workers cannot run in parallel here"
+        )
+    elif speedup < SPEEDUP_FLOOR:
+        raise SystemExit(
+            f"FAIL: shm transport only {speedup:.2f}x over pipes (floor {SPEEDUP_FLOOR}x)"
+        )
+    else:
+        print(f"\nOK: {speedup:.2f}x >= {SPEEDUP_FLOOR}x with bitwise identity and no leaks")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from conftest import record_table
+from conftest import record_metrics, record_table
 from repro.autodiff.tensor import Tensor, no_grad
 from repro.experiments import table1
 from repro.experiments.common import get_dataset, trained
@@ -23,6 +23,14 @@ from repro.models.st_ds_cnn import STDSCNN
 def result():
     res = table1.run("ci")
     record_table(res.table())
+    record_metrics(
+        "table1",
+        experiment=res.experiment,
+        title=res.title,
+        config={"scale": "ci"},
+        rows=res.rows,
+        notes=res.notes,
+    )
     return res
 
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from conftest import record_table
+from conftest import record_metrics, record_table
 from repro.autodiff.tensor import Tensor, no_grad
 from repro.experiments import table2
 from repro.experiments.common import get_dataset, trained
@@ -22,6 +22,14 @@ from repro.models.ds_cnn import DSCNN
 def result():
     res = table2.run("ci")
     record_table(res.table())
+    record_metrics(
+        "table2",
+        experiment=res.experiment,
+        title=res.title,
+        config={"scale": "ci"},
+        rows=res.rows,
+        notes=res.notes,
+    )
     return res
 
 

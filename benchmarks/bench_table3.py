@@ -9,7 +9,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from conftest import record_table
+from conftest import record_metrics, record_table
 from repro.autodiff.tensor import Tensor, no_grad
 from repro.core.hybrid.config import HybridConfig
 from repro.core.hybrid.network import HybridNet
@@ -22,6 +22,14 @@ from repro.models.ds_cnn import DSCNN
 def result():
     res = table3.run("ci")
     record_table(res.table())
+    record_metrics(
+        "table3",
+        experiment=res.experiment,
+        title=res.title,
+        config={"scale": "ci"},
+        rows=res.rows,
+        notes=res.notes,
+    )
     return res
 
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from conftest import record_table
+from conftest import record_metrics, record_table
 from repro.autodiff.tensor import Tensor, no_grad
 from repro.core.hybrid.config import HybridConfig
 from repro.core.hybrid.strassenified import STHybridNet
@@ -24,6 +24,14 @@ from repro.models.st_ds_cnn import STDSCNN
 def result():
     res = table4.run("ci")
     record_table(res.table())
+    record_metrics(
+        "table4",
+        experiment=res.experiment,
+        title=res.title,
+        config={"scale": "ci"},
+        rows=res.rows,
+        notes=res.notes,
+    )
     return res
 
 

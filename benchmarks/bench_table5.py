@@ -11,7 +11,7 @@ import dataclasses
 import numpy as np
 import pytest
 
-from conftest import record_table
+from conftest import record_metrics, record_table
 from repro.autodiff.tensor import Tensor, no_grad
 from repro.core.hybrid.config import PAPER_HYBRID, TABLE5_CONFIGS
 from repro.core.hybrid.strassenified import STHybridNet
@@ -23,6 +23,14 @@ from repro.experiments.common import get_dataset, trained
 def result():
     res = table5.run("ci")
     record_table(res.table())
+    record_metrics(
+        "table5",
+        experiment=res.experiment,
+        title=res.title,
+        config={"scale": "ci"},
+        rows=res.rows,
+        notes=res.notes,
+    )
     return res
 
 

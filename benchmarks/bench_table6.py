@@ -13,7 +13,7 @@ import copy
 import numpy as np
 import pytest
 
-from conftest import record_table
+from conftest import record_metrics, record_table
 from repro.autodiff.tensor import Tensor, no_grad
 from repro.core.hybrid.config import HybridConfig
 from repro.core.hybrid.strassenified import STHybridNet
@@ -27,6 +27,14 @@ from repro.quantization.post_training import quantize_st_model
 def result():
     res = table6.run("ci")
     record_table(res.table())
+    record_metrics(
+        "table6",
+        experiment=res.experiment,
+        title=res.title,
+        config={"scale": "ci"},
+        rows=res.rows,
+        notes=res.notes,
+    )
     return res
 
 

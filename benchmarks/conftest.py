@@ -1,16 +1,41 @@
-"""Benchmark-suite plumbing.
+"""Benchmark-suite plumbing: rendered tables + machine-readable JSON.
 
 Each bench module renders its paper-vs-measured table; we collect the
 rendered text here and print everything in the terminal summary so
 ``pytest benchmarks/ --benchmark-only`` shows the reproduced tables even
 with output capture on.
+
+Every bench also emits a machine-readable ``BENCH_<name>.json`` — the
+start of the repo's perf trajectory (CI uploads them as artifacts):
+
+* standalone ``main()`` runs call :func:`write_bench_json` directly with
+  their throughput / latency-percentile / config numbers;
+* pytest runs call :func:`record_metrics` from fixtures (the paper-table
+  benches record their reproduced rows), and the terminal-summary hook
+  writes one JSON per bench module, folding in any pytest-benchmark
+  timings collected for that module.
+
+Output lands in the current working directory, or ``$BENCH_OUT_DIR``.
 """
 
 from __future__ import annotations
 
-from typing import List
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List
 
 RENDERED_TABLES: List[str] = []
+
+#: bench name -> metrics payload accumulated during a pytest run
+RECORDED_METRICS: Dict[str, dict] = {}
+
+#: bench names whose modules were collected this session (each gets a JSON)
+COLLECTED_BENCHES: List[str] = []
+
+#: bump when the JSON layout changes incompatibly
+SCHEMA_VERSION = 1
 
 
 def record_table(text: str) -> None:
@@ -18,7 +43,90 @@ def record_table(text: str) -> None:
     RENDERED_TABLES.append(text)
 
 
+def _jsonable(obj):
+    """Recursively coerce numpy scalars/arrays (and mappings) to plain JSON."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    for attr in ("item",):  # numpy scalars and 0-d arrays
+        if hasattr(obj, attr) and not isinstance(obj, (str, bytes)):
+            try:
+                return obj.item()
+            except (AttributeError, ValueError):
+                break
+    if hasattr(obj, "tolist"):
+        return obj.tolist()
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return str(obj)
+
+
+def write_bench_json(name: str, payload: dict, out_dir=None) -> Path:
+    """Write ``BENCH_<name>.json`` with the given metrics; returns the path.
+
+    ``payload`` is free-form per bench (throughput, p50/p99 latency,
+    config, reproduced table rows, ...); a ``bench``/``schema``/
+    ``unix_time`` envelope is added here so every file is self-describing.
+    """
+    directory = Path(out_dir or os.environ.get("BENCH_OUT_DIR", "."))
+    directory.mkdir(parents=True, exist_ok=True)
+    doc = {"bench": name, "schema": SCHEMA_VERSION, "unix_time": round(time.time(), 3)}
+    doc.update(_jsonable(payload))
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def record_metrics(name: str, **payload) -> None:
+    """Accumulate metrics for one bench during a pytest run.
+
+    The terminal-summary hook merges every call for ``name`` into a single
+    ``BENCH_<name>.json`` at the end of the session.
+    """
+    RECORDED_METRICS.setdefault(name, {}).update(payload)
+
+
+def _bench_name(path: str) -> str:
+    """``.../bench_table1.py`` -> ``table1`` (the BENCH_<name> key)."""
+    stem = Path(path).stem
+    return stem[len("bench_"):] if stem.startswith("bench_") else stem
+
+
+def pytest_collection_modifyitems(items):  # noqa: D103
+    for item in items:
+        name = _bench_name(str(item.fspath))
+        if name not in COLLECTED_BENCHES:
+            COLLECTED_BENCHES.append(name)
+
+
+def _benchmark_timings(config) -> Dict[str, list]:
+    """pytest-benchmark stats grouped by bench name (empty when disabled)."""
+    session = getattr(config, "_benchmarksession", None)
+    grouped: Dict[str, list] = {}
+    for bench in getattr(session, "benchmarks", []) or []:
+        stats = getattr(bench, "stats", None)
+        if stats is None:
+            continue
+        grouped.setdefault(_bench_name(bench.fullname.split("::")[0]), []).append(
+            {
+                "test": bench.name,
+                "mean_s": stats.stats.mean,
+                "stddev_s": stats.stats.stddev,
+                "rounds": stats.stats.rounds,
+            }
+        )
+    return grouped
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):  # noqa: D103
+    timings = _benchmark_timings(config)
+    for name in COLLECTED_BENCHES:
+        payload = dict(RECORDED_METRICS.get(name, {}))
+        if name in timings:
+            payload["timings"] = timings[name]
+        if payload:  # deselected/skipped runs must not clobber real artifacts
+            write_bench_json(name, payload)
     if not RENDERED_TABLES:
         return
     terminalreporter.write_sep("=", "reproduced paper tables")

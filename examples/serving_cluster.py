@@ -129,7 +129,17 @@ def main() -> None:
               f"(restarts per worker: {[w.restarts for w in stats.workers]})")
         print(f"  post-restart prediction still bitwise-identical")
 
+        print("\n== zero-copy data plane: burst frames over shared memory ==")
+        burst = cluster.submit_many(requests, model="kws-0")  # one control frame
+        rows = np.stack([f.result() for f in burst])
+        assert np.array_equal(rows, PackedModel(images["kws-0"])(np.stack(requests)))
+        transport = cluster.stats().transport
+        print(f"  {transport['shm_requests']} requests rode shm slabs, "
+              f"{transport['pipe_requests']} fell back to the pipe "
+              f"(ring {transport['leased']}/{transport['slabs']} leased)")
+
         print("\n== cluster stats rollup ==")
+        stats = cluster.stats()
         for w in stats.workers:
             print(f"  worker {w.worker_id}: alive={w.alive} served={w.served} "
                   f"in_flight={w.in_flight} resident={w.resident_bytes:,}B "
@@ -138,6 +148,14 @@ def main() -> None:
               f"({ {p.name: n for p, n in stats.shed_by_priority.items()} }), "
               f"{stats.deadline_misses} deadline misses, "
               f"{stats.crashes} crash(es) healed")
+        for p, lat in stats.latency_by_priority.items():
+            if lat.count:
+                print(f"  {p.name:6s} latency: {lat.count} served, "
+                      f"p50 {lat.p50_ms:.2f} ms, p99 {lat.p99_ms:.2f} ms")
+
+    snapshot = cluster.pool.transport_snapshot()
+    assert snapshot["leased"] == 0, "stop() must return every slab lease"
+    print("\nstopped: every slab lease returned, segment unlinked — no leaks")
 
 
 if __name__ == "__main__":

@@ -60,6 +60,17 @@ class RoutingError(ReproError, RuntimeError):
     """
 
 
+class TransportError(ReproError, RuntimeError):
+    """The shared-memory transport was used incorrectly.
+
+    Raised for slab-pool misuse: releasing a slab that is not leased,
+    writing a payload larger than the slab, or touching a pool after it was
+    destroyed.  Capacity pressure is *not* an error — an exhausted pool or
+    an oversized payload makes the cluster fall back to the pipe transport
+    transparently.
+    """
+
+
 class WorkerCrashed(ReproError, RuntimeError):
     """A cluster worker process died while requests were in flight on it.
 

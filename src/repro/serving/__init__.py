@@ -23,16 +23,29 @@ it *fast to serve*:
 * :mod:`repro.serving.cluster`  — :class:`WorkerPool` (N spawn-safe worker
   processes, each with its own engine and decoded plans, restarted and
   re-decoded on crash) behind a :class:`ClusterRouter` (sticky model→worker
-  routing, cluster-wide decoded-byte budget, priority-class admission).
+  routing, cluster-wide decoded-byte budget, priority-class admission),
+  with burst submission (``submit_many``) amortising control frames;
+* :mod:`repro.serving.shm`      — :class:`SlabPool`/:class:`SlabClient`,
+  the zero-copy shared-memory data plane the cluster runs on by default:
+  payloads live in reusable fixed-size slabs of one
+  ``multiprocessing.shared_memory`` segment while the pipes carry only
+  control frames (the pickle path survives as an automatic fallback).
 """
 
 from repro.serving.batching import BatchingEngine, EngineStats, MicroBatchConfig
-from repro.serving.cluster import ClusterRouter, ClusterStats, WorkerPool, WorkerStats
+from repro.serving.cluster import (
+    ClusterRouter,
+    ClusterStats,
+    LatencyStats,
+    WorkerPool,
+    WorkerStats,
+)
 from repro.serving.frontend import AsyncServingFrontend
 from repro.serving.kernels import TernaryPlanes, decode_planes, ternary_matmul
 from repro.serving.packed import LayerPlan, PackedModel, decode_layer
 from repro.serving.priority import Priority, PriorityPolicy
 from repro.serving.registry import ModelRegistry, RegistryStats
+from repro.serving.shm import SlabClient, SlabConfig, SlabPool
 
 __all__ = [
     "AsyncServingFrontend",
@@ -40,9 +53,13 @@ __all__ = [
     "ClusterRouter",
     "ClusterStats",
     "EngineStats",
+    "LatencyStats",
     "MicroBatchConfig",
     "Priority",
     "PriorityPolicy",
+    "SlabClient",
+    "SlabConfig",
+    "SlabPool",
     "TernaryPlanes",
     "WorkerPool",
     "WorkerStats",

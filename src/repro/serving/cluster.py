@@ -28,6 +28,21 @@ a router in front:
   :class:`~repro.errors.WorkerCrashed`, and the pool transparently restarts
   the process and re-decodes every model that was placed on it — subsequent
   traffic is served normally.
+* A **zero-copy shared-memory data plane** (:mod:`repro.serving.shm`): by
+  default request payloads are written once into a slab of a
+  ``multiprocessing.shared_memory`` ring and workers read them as zero-copy
+  ndarray views, while the pipes carry only small control frames (request
+  id, model name, slab id, shape, dtype, deadline, priority).  Results
+  travel back through the same slab.  The pickle-over-pipe path survives as
+  an automatic fallback — payloads larger than one slab, an exhausted ring,
+  or ``transport=False`` all take it — and both planes produce bitwise
+  identical predictions.  Slab leases are tracked parent-side only: a reply
+  (or the worker's death) releases the request's slab, and ``stop()``
+  unlinks the segment, so crashes cannot leak shared memory.
+* :meth:`WorkerPool.submit_many` / :meth:`ClusterRouter.submit_many` submit
+  a burst of requests as **one control frame** — one syscall, one pipe
+  message, one coalesced engine flush — which is what makes large batch
+  shapes cheap on top of the slab plane.
 
 Deadlines are carried across the process boundary as absolute
 ``time.monotonic()`` timestamps (system-wide on every major OS), so time a
@@ -41,15 +56,16 @@ reachable as ``await predict(x, model=..., priority=..., deadline_s=...)``.
 
 from __future__ import annotations
 
+import functools
 import itertools
 import multiprocessing
 import os
 import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from concurrent.futures import Future
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -64,9 +80,13 @@ from repro.errors import (
 from repro.serving.batching import BatchingEngine, MicroBatchConfig
 from repro.serving.packed import PackedModel
 from repro.serving.priority import Priority, PriorityPolicy
+from repro.serving.shm import SlabClient, SlabConfig, SlabPool
 
 #: how long lifecycle operations wait on a worker process before escalating
 _JOIN_TIMEOUT_S = 5.0
+
+#: per-class completion latencies retained for the percentile rollup
+_LATENCY_WINDOW = 2048
 
 
 # --------------------------------------------------------------------------- #
@@ -74,36 +94,66 @@ _JOIN_TIMEOUT_S = 5.0
 # --------------------------------------------------------------------------- #
 
 
-def _serve_burst(conn, engines: Dict[str, BatchingEngine], burst: List[tuple]) -> None:
-    """Coalesce one drained burst of predict messages through the engines.
+def _serve_burst(
+    conn, engines: Dict[str, BatchingEngine], client: Optional[SlabClient], burst: List[tuple]
+) -> None:
+    """Coalesce one drained burst of predict requests through the engines.
+
+    Each burst entry is ``(req_id, name, payload, deadline, priority)`` where
+    ``payload`` is either ``("pipe", ndarray)`` or ``("shm", slab_id, shape,
+    dtype)`` — a shm payload is read as a zero-copy view into the slab the
+    parent leased to this request, and its result is written back into the
+    *same* slab (one slab per request for its whole round trip).
 
     Requests are submitted in priority order (stable within a class), so a
     HIGH request admitted in the same burst as LOW ones is batched — and
     deadline-checked — first.  Each model's engine then runs one
     deterministic ``flush()``, and every request gets exactly one reply.
     """
-    submitted: List[tuple] = []  # (req_id, future)
+    submitted: List[tuple] = []  # (req_id, slab_id, future)
     touched = set()
-    for _, req_id, name, x, deadline, priority in sorted(burst, key=lambda m: m[5]):
+    for req_id, name, payload, deadline, priority in sorted(burst, key=lambda m: m[4]):
         engine = engines.get(name)
         if engine is None:
             conn.send(("error", req_id, "routing", f"model {name!r} is not loaded on this worker"))
             continue
+        if payload[0] == "shm":
+            _, slab_id, shape, dtype = payload
+            x = client.view(slab_id, shape, dtype)  # zero-copy read
+        else:
+            slab_id, x = None, payload[1]
         deadline_s = None if deadline is None else deadline - time.monotonic()
-        submitted.append((req_id, engine.submit(x, deadline_s=deadline_s)))
+        submitted.append((req_id, slab_id, engine.submit(x, deadline_s=deadline_s)))
         touched.add(name)
     for name in touched:
         engines[name].flush()
-    for req_id, future in submitted:
+    for req_id, slab_id, future in submitted:
         try:
-            conn.send(("result", req_id, future.result()))
+            result = np.ascontiguousarray(future.result())
+            # the engine stacked (copied) the input at dispatch, so the slab
+            # is dead weight by now — reuse it for the response payload
+            if slab_id is not None and client.fits(result.nbytes):
+                conn.send(("sresult", req_id, *client.write(slab_id, result)))
+            else:
+                conn.send(("result", req_id, result))
         except DeadlineExceeded:
             conn.send(("deadline", req_id))
         except Exception as exc:  # delivered to exactly this request's caller
             conn.send(("error", req_id, "runtime", f"{type(exc).__name__}: {exc}"))
 
 
-def _worker_main(conn, config: MicroBatchConfig) -> None:
+def _attach(burst: List[tuple], shm_client) -> Optional[SlabClient]:
+    """The burst's slab client — attached only when shm payloads are present."""
+    if any(entry[2][0] == "shm" for entry in burst):
+        return shm_client()
+    return None
+
+
+def _worker_main(
+    conn,
+    config: MicroBatchConfig,
+    shm_spec: Optional[Tuple[str, SlabConfig]] = None,
+) -> None:
     """Entry point of one worker process.
 
     Serves commands from the parent pipe until told to stop.  Messages are
@@ -111,9 +161,22 @@ def _worker_main(conn, config: MicroBatchConfig) -> None:
     requests coalesce into micro-batches, but pipe order is preserved
     around control messages — a predict sent before an ``unload`` of its
     model is served before the model is dropped.
+
+    ``shm_spec`` names the parent's slab segment; the worker attaches
+    lazily on the first shm-framed request (a pure pipe workload never maps
+    the segment) and only ever reads/writes slabs the parent leased to its
+    own requests.
     """
     models: Dict[str, PackedModel] = {}
     engines: Dict[str, BatchingEngine] = {}
+    client: Optional[SlabClient] = None
+
+    def shm_client() -> SlabClient:
+        """Attach to the parent's slab segment on first use."""
+        nonlocal client
+        if client is None:
+            client = SlabClient(shm_spec[0], shm_spec[1])
+        return client
 
     def handle_control(msg) -> bool:
         """Apply one non-predict command; returns True on a stop request."""
@@ -154,20 +217,26 @@ def _worker_main(conn, config: MicroBatchConfig) -> None:
         stop = False
         try:
             for msg in messages:
-                if msg[0] == "predict":
-                    burst.append(msg)
+                if msg[0] == "predict_many":
+                    # the one request frame: single submits are 1-bursts,
+                    # larger bursts amortise pipe syscalls across a batch
+                    _, name, deadline, priority, entries = msg
+                    for req_id, payload in entries:
+                        burst.append((req_id, name, payload, deadline, priority))
                     continue
                 if burst:  # keep pipe order around control commands
-                    _serve_burst(conn, engines, burst)
+                    _serve_burst(conn, engines, _attach(burst, shm_client), burst)
                     burst = []
                 if handle_control(msg):
                     stop = True
                     break
             if burst:
-                _serve_burst(conn, engines, burst)
+                _serve_burst(conn, engines, _attach(burst, shm_client), burst)
         except (BrokenPipeError, OSError):
             return
         if stop:
+            if client is not None:
+                client.close()
             conn.close()
             return
 
@@ -186,7 +255,8 @@ class _WorkerHandle:
         self.conn = conn
         self.restarts = restarts
         self.send_lock = threading.Lock()
-        self.inflight: Dict[int, Future] = {}
+        #: req_id -> (future, leased slab id or None for pipe payloads)
+        self.inflight: Dict[int, Tuple[Future, Optional[int]]] = {}
         self.pings: Dict[int, list] = {}
         self.reader: Optional[threading.Thread] = None
         self.stopping = False
@@ -209,6 +279,22 @@ class WorkerStats:
 
 
 @dataclass(frozen=True)
+class LatencyStats:
+    """Completion-latency percentiles for one priority class.
+
+    ``count`` is the lifetime number of successful completions recorded for
+    the class; the percentiles are computed over a sliding window of the
+    most recent :data:`_LATENCY_WINDOW` completions (``nan`` before the
+    first one) and measure submit→resolve time, so pipe/slab transport and
+    engine queueing are all included.
+    """
+
+    count: int
+    p50_ms: float
+    p99_ms: float
+
+
+@dataclass(frozen=True)
 class ClusterStats:
     """Cluster-wide rollup: per-worker stats plus router-level counters.
 
@@ -217,6 +303,10 @@ class ClusterStats:
     :class:`~repro.serving.priority.Priority` class (``shed`` is their sum);
     ``resident_bytes`` is the decoded-plan footprint across all placements
     and never exceeds the router's ``capacity_bytes``.
+    ``queue_depth_by_priority`` is the admitted-but-unresolved count per
+    class (summing to ``pending``), ``latency_by_priority`` the per-class
+    completion percentiles, and ``transport`` the data-plane counters from
+    :meth:`WorkerPool.transport_snapshot`.
     """
 
     workers: Tuple[WorkerStats, ...]
@@ -227,6 +317,9 @@ class ClusterStats:
     evictions: int
     crashes: int
     pending: int
+    queue_depth_by_priority: Mapping[Priority, int] = field(default_factory=dict)
+    latency_by_priority: Mapping[Priority, LatencyStats] = field(default_factory=dict)
+    transport: Mapping[str, int] = field(default_factory=dict)
 
     @property
     def shed(self) -> int:
@@ -245,6 +338,13 @@ class WorkerPool:
     the new pipe *before* any new request can, so a caller that resubmits
     right after :class:`~repro.errors.WorkerCrashed` is served, never
     bounced with a routing error.
+
+    ``transport`` selects the data plane: ``True`` (default) runs the
+    shared-memory slab plane with default :class:`~repro.serving.shm.SlabConfig`
+    geometry, a ``SlabConfig`` customises it, and ``False``/``None`` keeps
+    every payload on the pickle-over-pipe path.  Payloads that do not fit a
+    slab — or arrive while the ring is exhausted — fall back to the pipe
+    per request, transparently and bitwise-identically.
     """
 
     def __init__(
@@ -253,11 +353,19 @@ class WorkerPool:
         *,
         config: Optional[MicroBatchConfig] = None,
         start_method: str = "spawn",
+        transport: Union[SlabConfig, bool, None] = True,
     ) -> None:
         if workers < 1:
             raise ConfigError("a worker pool needs at least 1 worker")
         self.num_workers = workers
         self.config = config or MicroBatchConfig()
+        if transport is True:
+            self._transport_config: Optional[SlabConfig] = SlabConfig()
+        elif transport is False or transport is None:
+            self._transport_config = None
+        else:
+            self._transport_config = transport
+        self._slab_pool: Optional[SlabPool] = None
         self._ctx = multiprocessing.get_context(start_method)
         self._lock = threading.RLock()
         self._lifecycle = threading.Lock()
@@ -268,6 +376,10 @@ class WorkerPool:
         self._crashes = 0
         self._retired_served = 0
         self._retired_misses = 0
+        self._shm_requests = 0
+        self._pipe_requests = 0
+        self._fallbacks_exhausted = 0
+        self._fallbacks_oversize = 0
 
     # -- lifecycle -------------------------------------------------------- #
 
@@ -287,6 +399,8 @@ class WorkerPool:
                 return self
             self._started = True
             with self._lock:
+                if self._transport_config is not None:
+                    self._slab_pool = SlabPool(self._transport_config)
                 for worker_id in range(self.num_workers):
                     self._handles[worker_id] = self._spawn(worker_id, restarts=0)
             return self
@@ -318,10 +432,26 @@ class WorkerPool:
                     handle.proc.join(_JOIN_TIMEOUT_S)
                 if handle.reader is not None:
                     handle.reader.join(_JOIN_TIMEOUT_S)
+            orphaned: List[Future] = []
             with self._lock:
                 self._retire_counters(handles)
+                for handle in handles:  # reclaim leases a hard-killed worker held
+                    orphaned.extend(self._reclaim_slabs(handle))
                 self._handles.clear()
                 self._worker_loads.clear()  # a restarted pool re-places lazily
+                if self._slab_pool is not None:
+                    # every lease is back by now (replies released them, and
+                    # the loop above reclaimed the rest), so the no-leak
+                    # invariant `leased == 0` holds before the unlink
+                    self._slab_pool.destroy()
+            # a worker wedged past the joins never answered these requests,
+            # and its reader's _on_exit will see a cleared slot and bail —
+            # fail them here so no caller blocks on a forever-pending future
+            for future in orphaned:
+                if future.set_running_or_notify_cancel():
+                    future.set_exception(
+                        WorkerCrashed("pool stopped with the request still in flight")
+                    )
 
     def __enter__(self) -> "WorkerPool":
         """Start the pool for the duration of a ``with`` block."""
@@ -334,9 +464,14 @@ class WorkerPool:
     def _spawn(self, worker_id: int, restarts: int) -> _WorkerHandle:
         """Start one worker process plus its parent-side reader thread."""
         parent_conn, child_conn = self._ctx.Pipe()
+        shm_spec = (
+            None
+            if self._slab_pool is None
+            else (self._slab_pool.name, self._slab_pool.config)
+        )
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(child_conn, self.config),
+            args=(child_conn, self.config, shm_spec),
             name=f"cluster-worker-{worker_id}",
             daemon=True,
         )
@@ -382,6 +517,45 @@ class WorkerPool:
             handle = self._handles.get(worker_id)
             return len(handle.inflight) if handle is not None else 0
 
+    def _encode_payload(self, x: np.ndarray) -> Tuple[tuple, Optional[int], Optional[str]]:
+        """Choose the data plane for one payload.
+
+        Returns ``(frame_payload, slab_id, fallback_reason)``: a shm frame
+        when a slab was leased and written, else the pipe frame carrying
+        the ndarray itself (``transport=False``, oversized payload, or
+        exhausted ring).  Runs *outside* the pool lock — the lease from
+        ``try_acquire`` is exclusive, so the slab memcpy cannot race
+        anything; the caller batches the counter updates under the lock.
+        """
+        x = np.asarray(x)
+        pool = self._slab_pool
+        reason = None
+        if pool is not None:
+            if pool.fits(x.nbytes):
+                slab_id = pool.try_acquire()
+                if slab_id is not None:
+                    shape, dtype = pool.write(slab_id, x)
+                    return ("shm", slab_id, shape, dtype), slab_id, None
+                reason = "exhausted"
+            else:
+                reason = "oversize"
+        return ("pipe", x), None, reason
+
+    def _release_slab(self, slab_id: Optional[int]) -> None:
+        """Return one lease to the ring (no-op for pipe payloads)."""
+        if slab_id is not None and self._slab_pool is not None:
+            self._slab_pool.release(slab_id)
+
+    def _reclaim_slabs(self, handle: _WorkerHandle) -> List[Future]:
+        """Drop a dead handle's in-flight map, reclaiming every leased slab
+        (under the pool lock); returns the orphaned futures."""
+        dead: List[Future] = []
+        for future, slab_id in handle.inflight.values():
+            self._release_slab(slab_id)
+            dead.append(future)
+        handle.inflight.clear()
+        return dead
+
     def submit(
         self,
         worker_id: int,
@@ -396,23 +570,126 @@ class WorkerPool:
         ``WorkerCrashed``).
 
         ``deadline`` is an absolute ``time.monotonic()`` timestamp so pipe
-        queueing time counts against the budget.
+        queueing time counts against the budget.  The payload rides the
+        shared-memory plane when a slab is available and falls back to the
+        pipe otherwise.
         """
-        future: "Future[np.ndarray]" = Future()
+        return self.submit_many(worker_id, name, [x], deadline=deadline, priority=priority)[0]
+
+    def encode_burst(
+        self, xs: Sequence[np.ndarray]
+    ) -> List[Tuple[tuple, Optional[int], Optional[str]]]:
+        """Encode a burst of payloads onto the data plane.
+
+        Runs without the pool lock (slab leases are exclusive), so callers
+        — including :class:`ClusterRouter` — can keep the memcpys outside
+        *their* locks too.  The leases travel with the returned list: pass
+        it to :meth:`submit_encoded`, or :meth:`release_encoded` on a path
+        that abandons the burst.  If encoding any item raises (e.g. a
+        payload ``np.asarray`` cannot convert), the leases already taken
+        for earlier items are released before the error propagates.
+        """
+        encoded: List[Tuple[tuple, Optional[int], Optional[str]]] = []
+        try:
+            for x in xs:
+                encoded.append(self._encode_payload(x))
+        except BaseException:
+            self.release_encoded(encoded)
+            raise
+        return encoded
+
+    def release_encoded(
+        self, encoded: Sequence[Tuple[tuple, Optional[int], Optional[str]]]
+    ) -> None:
+        """Return the slab leases of an abandoned encoded burst."""
+        with self._lock:
+            for _, slab_id, _ in encoded:
+                self._release_slab(slab_id)
+
+    def submit_many(
+        self,
+        worker_id: int,
+        name: str,
+        xs: Sequence[np.ndarray],
+        *,
+        deadline: Optional[float] = None,
+        priority: Priority = Priority.NORMAL,
+    ) -> List["Future[np.ndarray]"]:
+        """Send a burst of requests to one worker as a single control frame.
+
+        All payloads are encoded (slab writes or pipe fallbacks) and the
+        whole burst crosses the pipe in **one** message — one syscall and
+        one worker wake-up for the batch, which the worker coalesces into
+        one engine flush.  Futures are returned in submission order; on a
+        closed pipe every future fails :class:`~repro.errors.WorkerCrashed`
+        and every leased slab is reclaimed immediately.
+        """
+        encoded = self.encode_burst(xs)
+        try:
+            return self.submit_encoded(
+                worker_id, name, encoded, deadline=deadline, priority=priority
+            )
+        except BaseException:
+            self.release_encoded(encoded)
+            raise
+
+    def submit_encoded(
+        self,
+        worker_id: int,
+        name: str,
+        encoded: Sequence[Tuple[tuple, Optional[int], Optional[str]]],
+        *,
+        deadline: Optional[float] = None,
+        priority: Priority = Priority.NORMAL,
+    ) -> List["Future[np.ndarray]"]:
+        """Register and send an already-encoded burst (:meth:`encode_burst`).
+
+        Raises :class:`~repro.errors.RoutingError` when the pool is not
+        running — the caller still owns the encoded leases then and must
+        :meth:`release_encoded` them.  Once registered, transport failures
+        resolve through the futures (``WorkerCrashed``), never by raising.
+        """
+        if not encoded:
+            return []
+        futures: List["Future[np.ndarray]"] = []
+        entries: List[Tuple[int, tuple]] = []
+        slabs: List[Optional[int]] = []
         with self._lock:
             handle = self._handle(worker_id)
-            req_id = next(self._req_ids)
-            handle.inflight[req_id] = future
+            for payload, slab_id, reason in encoded:
+                if payload[0] == "shm":
+                    self._shm_requests += 1
+                else:
+                    self._pipe_requests += 1
+                    if reason == "exhausted":
+                        self._fallbacks_exhausted += 1
+                    elif reason == "oversize":
+                        self._fallbacks_oversize += 1
+                req_id = next(self._req_ids)
+                future: "Future[np.ndarray]" = Future()
+                handle.inflight[req_id] = (future, slab_id)
+                futures.append(future)
+                entries.append((req_id, payload))
+                slabs.append(slab_id)
         try:
-            self._send(handle, ("predict", req_id, name, np.asarray(x), deadline, int(priority)))
+            self._send(handle, ("predict_many", name, deadline, int(priority), entries))
         except OSError:
+            # Fail exactly the futures this call still owns: the reader's
+            # _on_exit races us here and may have popped (and failed) some
+            # of them already — failing those twice would blow up on a
+            # FINISHED future.
+            orphaned: List[Future] = []
             with self._lock:
-                handle.inflight.pop(req_id, None)
-            if future.set_running_or_notify_cancel():
-                future.set_exception(
-                    WorkerCrashed(f"worker {worker_id} pipe closed during submit")
-                )
-        return future
+                for (req_id, _), slab_id, future in zip(entries, slabs, futures):
+                    if handle.inflight.pop(req_id, None) is not None:
+                        self._release_slab(slab_id)
+                        orphaned.append(future)
+            for future in orphaned:
+                if future.set_running_or_notify_cancel():
+                    future.set_exception(
+                        WorkerCrashed(f"worker {worker_id} pipe closed during submit")
+                    )
+        return futures
 
     def load(self, worker_id: int, name: str, image_bytes: bytes) -> None:
         """Tell one worker to decode and serve a model image (fire-and-forget;
@@ -511,31 +788,51 @@ class WorkerPool:
             self._on_message(handle, msg)
         self._on_exit(handle)
 
-    def _pop_inflight(self, handle: _WorkerHandle, req_id: int) -> Optional[Future]:
-        """Claim the future for one request id (None if cancelled/unknown)."""
+    def _pop_inflight(self, handle: _WorkerHandle, req_id: int) -> Tuple[Optional[Future], Optional[int]]:
+        """Claim the (future, slab) for one request id (None if unknown)."""
         with self._lock:
-            return handle.inflight.pop(req_id, None)
+            return handle.inflight.pop(req_id, (None, None))
 
     def _on_message(self, handle: _WorkerHandle, msg: tuple) -> None:
-        """Dispatch one worker reply on the reader thread."""
+        """Dispatch one worker reply on the reader thread.
+
+        Any terminal reply releases the request's slab lease; ``sresult``
+        reads the response payload out of the slab first.
+        """
         op = msg[0]
-        if op == "result":
-            future = self._pop_inflight(handle, msg[1])
+        if op == "sresult":
+            _, req_id, shape, dtype = msg
+            future, slab_id = self._pop_inflight(handle, req_id)
+            result = None
+            if future is not None and slab_id is not None:
+                # copy out before the release recycles the slab
+                result = self._slab_pool.read(slab_id, shape, dtype)
             with self._lock:
+                self._release_slab(slab_id)
+                handle.served += 1
+            if future is not None and future.set_running_or_notify_cancel():
+                future.set_result(result)
+        elif op == "result":
+            future, slab_id = self._pop_inflight(handle, msg[1])
+            with self._lock:
+                self._release_slab(slab_id)  # shm request, oversized result
                 handle.served += 1
             if future is not None and future.set_running_or_notify_cancel():
                 future.set_result(msg[2])
         elif op == "deadline":
-            future = self._pop_inflight(handle, msg[1])
+            future, slab_id = self._pop_inflight(handle, msg[1])
             with self._lock:
+                self._release_slab(slab_id)
                 handle.deadline_misses += 1
             if future is not None and future.set_running_or_notify_cancel():
                 future.set_exception(
                     DeadlineExceeded("request expired before its micro-batch was scheduled")
                 )
         elif op == "error":
-            future = self._pop_inflight(handle, msg[1])
+            future, slab_id = self._pop_inflight(handle, msg[1])
             kind, text = msg[2], msg[3]
+            with self._lock:
+                self._release_slab(slab_id)
             if future is not None and future.set_running_or_notify_cancel():
                 exc: Exception = (
                     RoutingError(text) if kind == "routing"
@@ -552,13 +849,13 @@ class WorkerPool:
         # the router keeps the authoritative placement + size accounting.
 
     def _on_exit(self, handle: _WorkerHandle) -> None:
-        """Reader saw EOF: fail in-flight work and restart unless stopping."""
+        """Reader saw EOF: fail in-flight work, reclaim the dead worker's
+        slab leases, and restart the process unless the pool is stopping."""
         with self._lock:
             current = self._handles.get(handle.worker_id)
             if current is not handle:
                 return  # a newer generation already replaced this slot
-            dead = list(handle.inflight.values())
-            handle.inflight.clear()
+            dead = self._reclaim_slabs(handle)
             stopping = handle.stopping or not self._started
         handle.proc.join(_JOIN_TIMEOUT_S)
         for future in dead:
@@ -592,6 +889,26 @@ class WorkerPool:
         """Worker deaths detected (and recovered from) so far."""
         with self._lock:
             return self._crashes
+
+    def transport_snapshot(self) -> Dict[str, int]:
+        """Data-plane counters: per-plane request counts, fallback reasons,
+        and the slab ring's accounting (empty geometry when shm is off).
+
+        ``leased == 0`` and ``acquired == released`` after :meth:`stop` is
+        the no-leak invariant — every slab a request (or a crashed worker)
+        ever held made it back to the ring before the segment was unlinked.
+        """
+        with self._lock:
+            snap: Dict[str, int] = {
+                "shm_enabled": self._transport_config is not None,
+                "shm_requests": self._shm_requests,
+                "pipe_requests": self._pipe_requests,
+                "fallbacks_exhausted": self._fallbacks_exhausted,
+                "fallbacks_oversize": self._fallbacks_oversize,
+            }
+            if self._slab_pool is not None:
+                snap.update(self._slab_pool.snapshot())
+            return snap
 
     def totals(self) -> Tuple[int, int]:
         """Lifetime ``(served, deadline_misses)`` across workers and restarts."""
@@ -643,6 +960,11 @@ class ClusterRouter:
     start_method:
         ``multiprocessing`` start method for a pool built here
         (default ``"spawn"``).
+    transport:
+        Data plane for a pool built here: ``True`` (default) enables the
+        shared-memory slab plane, a :class:`~repro.serving.shm.SlabConfig`
+        customises its geometry, ``False``/``None`` keeps everything on the
+        pickle-over-pipe path.
     """
 
     def __init__(
@@ -653,13 +975,16 @@ class ClusterRouter:
         policy: Optional[PriorityPolicy] = None,
         config: Optional[MicroBatchConfig] = None,
         start_method: str = "spawn",
+        transport: Union[SlabConfig, bool, None] = True,
     ) -> None:
         if isinstance(workers, WorkerPool):
             if config is not None:
                 raise ConfigError("pass config only when the router builds its own pool")
             self.pool = workers
         else:
-            self.pool = WorkerPool(workers, config=config, start_method=start_method)
+            self.pool = WorkerPool(
+                workers, config=config, start_method=start_method, transport=transport
+            )
         if capacity_bytes is not None and capacity_bytes < 1:
             raise ConfigError("capacity_bytes must be >= 1 (or None for unbounded)")
         self.capacity_bytes = capacity_bytes
@@ -669,7 +994,12 @@ class ClusterRouter:
         self._sizes: Dict[str, int] = {}
         self._placements: "OrderedDict[str, int]" = OrderedDict()  # name -> worker, LRU first
         self._pending = 0
+        self._pending_by_class: Dict[Priority, int] = {p: 0 for p in Priority}
         self._shed: Dict[Priority, int] = {p: 0 for p in Priority}
+        self._latency_window: Dict[Priority, Deque[float]] = {
+            p: deque(maxlen=_LATENCY_WINDOW) for p in Priority
+        }
+        self._completions: Dict[Priority, int] = {p: 0 for p in Priority}
         self._evictions = 0
 
     # -- catalog ----------------------------------------------------------- #
@@ -770,10 +1100,19 @@ class ClusterRouter:
         """Decoded-plan bytes across every placement (under lock)."""
         return sum(self._sizes[name] for name in self._placements)
 
-    def _release(self, _future: "Future[np.ndarray]") -> None:
-        """Done-callback: free one admission slot."""
+    def _complete(self, priority: Priority, started: float, future: "Future[np.ndarray]") -> None:
+        """Done-callback: free one admission slot and record the latency.
+
+        Latency (submit→resolve, transport and queueing included) is only
+        recorded for successfully served requests — sheds never get here and
+        failures would skew the percentiles with error-path timing.
+        """
         with self._lock:
             self._pending -= 1
+            self._pending_by_class[priority] -= 1
+            if not future.cancelled() and future.exception() is None:
+                self._completions[priority] += 1
+                self._latency_window[priority].append(time.monotonic() - started)
 
     # -- request side ------------------------------------------------------ #
 
@@ -793,34 +1132,80 @@ class ClusterRouter:
         :class:`~repro.errors.AdmissionError`.  ``deadline_s`` is the latency
         budget measured from this call, enforced at worker dispatch.
         """
+        return self.submit_many(
+            [x], model=model, priority=priority, deadline_s=deadline_s
+        )[0]
+
+    def submit_many(
+        self,
+        xs: Sequence[np.ndarray],
+        *,
+        model: Optional[str] = None,
+        priority: Priority = Priority.NORMAL,
+        deadline_s: Optional[float] = None,
+    ) -> List["Future[np.ndarray]"]:
+        """Admit, route and send a burst of requests in one control frame.
+
+        Admission is **all-or-nothing**: the burst is admitted only when
+        every request fits under the class watermark, otherwise the whole
+        burst is shed with :class:`~repro.errors.AdmissionError` (and
+        counted per request in ``shed_by_priority``) — no request of a
+        partially admissible burst is enqueued.  Admitted bursts share one
+        deadline budget measured from this call and cross the worker pipe
+        as a single message (:meth:`WorkerPool.submit_many`), so large
+        batch shapes cost one syscall, not one per request.
+        """
         if not self.pool.running:
             raise RoutingError("cluster not started; call start() or use a with block")
+        xs = list(xs)
+        if not xs:
+            return []
         priority = Priority(priority)
         deadline = None if deadline_s is None else time.monotonic() + deadline_s
         with self._lock:
             name = self._resolve(model)
-            if not self.policy.admits(priority, self._pending):
-                self._shed[priority] += 1
+            if not self.policy.admits(priority, self._pending, len(xs)):
+                self._shed[priority] += len(xs)
                 raise AdmissionError(
                     f"{priority.name} admission limit "
-                    f"({self.policy.admit_limit(priority)} of {self.policy.max_pending}) "
-                    f"reached at {self._pending} pending; request shed"
+                    f"({self.policy.admit_limit(priority)} of "
+                    f"{self.policy.max_pending}) cannot fit a burst of {len(xs)} "
+                    f"at {self._pending} pending; burst shed"
                 )
-            worker_id = self._place(name)
-            self._placements.move_to_end(name)
-            self._pending += 1
-            # the send happens under the router lock: a concurrent placement
-            # evicting this model cannot slip its `unload` into the worker's
-            # pipe between our placement decision and our `predict`
-            try:
-                future = self.pool.submit(
-                    worker_id, name, x, deadline=deadline, priority=priority
+            self._pending += len(xs)  # claim the slots before dropping the lock
+            self._pending_by_class[priority] += len(xs)
+        encoded = None
+        started = time.monotonic()
+        try:
+            # encode outside the router lock: the burst's slab memcpys (or
+            # its pipe-fallback pickling) never stall completion callbacks,
+            # stats readers, or concurrent submitters
+            encoded = self.pool.encode_burst(xs)
+            with self._lock:
+                if name not in self._images:  # removed while we encoded
+                    raise RoutingError(f"model {name!r} was removed during submit")
+                worker_id = self._place(name)
+                self._placements.move_to_end(name)
+                # the send happens under the router lock: a concurrent
+                # placement evicting this model cannot slip its `unload`
+                # into the worker's pipe between our placement decision and
+                # our burst frame
+                futures = self.pool.submit_encoded(
+                    worker_id, name, encoded, deadline=deadline, priority=priority
                 )
-            except BaseException:
-                self._pending -= 1  # the slot was claimed but no future owns it
-                raise
-        future.add_done_callback(self._release)
-        return future
+        except BaseException:
+            # nothing was registered: hand back the leases and the slots
+            # (a failed encode_burst released its own partial leases)
+            if encoded is not None:
+                self.pool.release_encoded(encoded)
+            with self._lock:
+                self._pending -= len(xs)
+                self._pending_by_class[priority] -= len(xs)
+            raise
+        release = functools.partial(self._complete, priority, started)
+        for future in futures:
+            future.add_done_callback(release)
+        return futures
 
     def predict(
         self,
@@ -867,6 +1252,22 @@ class ClusterRouter:
         with self._lock:
             return dict(self._placements)
 
+    def _latency_stats(self) -> Dict[Priority, LatencyStats]:
+        """Per-class percentile rollup over the latency windows (under lock)."""
+        rollup: Dict[Priority, LatencyStats] = {}
+        for priority in Priority:
+            window = self._latency_window[priority]
+            if window:
+                p50, p99 = np.percentile(np.fromiter(window, dtype=np.float64), [50, 99])
+            else:
+                p50 = p99 = float("nan")
+            rollup[priority] = LatencyStats(
+                count=self._completions[priority],
+                p50_ms=float(p50) * 1e3,
+                p99_ms=float(p99) * 1e3,
+            )
+        return rollup
+
     def stats(self) -> ClusterStats:
         """Cluster-wide counters as one consistent snapshot."""
         with self._lock:
@@ -880,6 +1281,8 @@ class ClusterRouter:
             shed = dict(self._shed)
             evictions = self._evictions
             pending = self._pending
+            queue_depth = dict(self._pending_by_class)
+            latency = self._latency_stats()
             resident = self._resident_bytes()
         workers = tuple(
             WorkerStats(
@@ -904,4 +1307,7 @@ class ClusterRouter:
             evictions=evictions,
             crashes=self.pool.crashes,
             pending=pending,
+            queue_depth_by_priority=queue_depth,
+            latency_by_priority=latency,
+            transport=self.pool.transport_snapshot(),
         )

@@ -124,7 +124,9 @@ class AsyncServingFrontend:
     def stats(self) -> Union[EngineStats, ClusterStats]:
         """The backend's counters: the engine's live ``EngineStats`` (shared
         object), or a fresh :class:`~repro.serving.cluster.ClusterStats`
-        snapshot when cluster-backed."""
+        snapshot when cluster-backed — including per-priority-class queue
+        depth (``queue_depth_by_priority``), completion-latency percentiles
+        (``latency_by_priority``) and data-plane counters (``transport``)."""
         if self.cluster is not None:
             return self.cluster.stats()
         return self.engine.stats
@@ -241,9 +243,23 @@ class AsyncServingFrontend:
         (its result is discarded, and its slot releases when it resolves).
         ``deadline_s`` semantics (including the explicit-``None`` opt-out) and
         deadline failures are as in :meth:`predict`.
+
+        Cluster-backed, the whole batch goes through
+        :meth:`~repro.serving.cluster.ClusterRouter.submit_many`: admission
+        is atomic at the router (nothing to cancel on a shed) and the burst
+        crosses the worker pipe as **one** control frame with payloads on
+        the shared-memory plane — the cheap path for large batch shapes.
         """
         if deadline_s is _UNSET:
             deadline_s = self.default_deadline_s
+        if self.cluster is not None:
+            futures = self.cluster.submit_many(
+                [np.asarray(x) for x in xs],
+                model=model,
+                priority=self.default_priority if priority is None else Priority(priority),
+                deadline_s=deadline_s,
+            )
+            return list(await asyncio.gather(*[asyncio.wrap_future(f) for f in futures]))
         futures: List["Future[np.ndarray]"] = []
         try:
             for x in xs:

@@ -115,20 +115,37 @@ def as_block_diagonal(planes: TernaryPlanes, block_cols: int) -> TernaryPlanes:
     )
 
 
+#: peak bytes of gather scratch `_plane_sums` may materialise per call; the
+#: batch axis is chunked to stay under it (module-level so tests can shrink
+#: it to force chunking on small inputs)
+GATHER_SCRATCH_BYTES = 8 * 1024 * 1024
+
+
 def _plane_sums(x: np.ndarray, indices: np.ndarray, ptr: np.ndarray) -> np.ndarray:
     """Per-row gather-accumulate: ``out[:, j] = x[:, idx in row j].sum()``.
 
-    One fancy-index gather then a single ``reduceat``; empty rows are
-    skipped from the reduce boundaries (``reduceat`` would otherwise emit a
-    stray single element for them) and stay exactly zero.
+    One fancy-index gather then a single ``reduceat`` per batch chunk; empty
+    rows are skipped from the reduce boundaries (``reduceat`` would
+    otherwise emit a stray single element for them) and stay exactly zero.
+
+    The gather materialises an ``(M, nnz)`` scratch array, which for a
+    large-batch × large-nnz layer can dwarf the model itself, so the batch
+    axis is processed in chunks bounded by :data:`GATHER_SCRATCH_BYTES`.
+    Chunking splits only the batch dimension — each row's summation order
+    is untouched — so the output is bitwise identical to the unchunked
+    gather.
     """
     rows = len(ptr) - 1
     out = np.zeros((x.shape[0], rows), dtype=x.dtype)
     starts, ends = ptr[:-1], ptr[1:]
     nonempty = np.flatnonzero(ends > starts)
     if nonempty.size:
-        gathered = x[:, indices]
-        out[:, nonempty] = np.add.reduceat(gathered, starts[nonempty], axis=1)
+        scratch_row = indices.size * x.dtype.itemsize
+        chunk = max(1, GATHER_SCRATCH_BYTES // max(1, scratch_row))
+        bounds = starts[nonempty]
+        for lo in range(0, x.shape[0], chunk):
+            gathered = x[lo : lo + chunk, indices]
+            out[lo : lo + chunk, nonempty] = np.add.reduceat(gathered, bounds, axis=1)
     return out
 
 

@@ -74,7 +74,12 @@ class PriorityPolicy:
         )
         return max(1, int(self.max_pending * fraction))
 
-    def admits(self, priority: Priority, pending: int) -> bool:
-        """True when a request of ``priority`` may be admitted at ``pending``
-        unresolved requests."""
-        return pending < self.admit_limit(priority)
+    def admits(self, priority: Priority, pending: int, n: int = 1) -> bool:
+        """True when ``n`` requests of ``priority`` may be admitted at
+        ``pending`` unresolved requests.
+
+        Burst admission is all-or-nothing: the whole burst fits under the
+        class watermark or none of it is admitted (``n=1`` reproduces the
+        single-request rule exactly).
+        """
+        return pending + n <= self.admit_limit(priority)

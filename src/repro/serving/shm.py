@@ -1,0 +1,287 @@
+"""Shared-memory slab transport: the zero-copy data plane for the cluster.
+
+The original cluster transport pickles every request ndarray through a
+``multiprocessing.Pipe`` and pickles the result back — four buffer copies
+plus a syscall per direction, all of it serialised through the parent's
+GIL.  At realistic batch shapes the cluster spends more time copying floats
+than running the packed kernels.
+
+This module replaces the *data* path while the pipes keep carrying only
+small control frames:
+
+* :class:`SlabPool` (parent side) creates one ``multiprocessing.shared_memory``
+  segment and slices it into ``slabs`` reusable fixed-size slabs of
+  ``slab_bytes`` each — a ring of segments handed out per request and
+  recycled the moment the request resolves.  The pool owns the segment's
+  lifecycle: :meth:`SlabPool.destroy` closes and unlinks it.
+* :class:`SlabClient` (worker side) attaches to the same segment by name and
+  reads request payloads as **zero-copy ndarray views** — the worker's
+  engine stacks micro-batches straight out of shared memory, no unpickling,
+  and writes each result back into the request's slab.
+
+Leases are tracked parent-side only: a slab is acquired when a request is
+encoded, and released when its reply (result, deadline miss, error) arrives
+or its worker dies — so a crashed worker can never leak segments.  Capacity
+pressure is handled by falling back to the pipe transport, never by
+blocking: :meth:`SlabPool.try_acquire` returns ``None`` when the ring is
+empty, and payloads larger than one slab skip the pool entirely.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError, TransportError
+
+#: payload metadata carried in a control frame: (shape, numpy dtype string)
+ArrayMeta = Tuple[Tuple[int, ...], str]
+
+
+@dataclass(frozen=True)
+class SlabConfig:
+    """Geometry of the shared-memory ring: ``slabs`` slabs of ``slab_bytes``.
+
+    ``slab_bytes`` bounds the largest payload the shared-memory plane
+    carries (bigger payloads fall back to the pipe); ``slabs`` bounds how
+    many requests may be in flight on the shm plane at once (an exhausted
+    ring also falls back to the pipe).  The segment costs
+    ``slab_bytes * slabs`` of shared memory for the pool's lifetime.
+    """
+
+    slab_bytes: int = 1 << 16
+    slabs: int = 128
+
+    def __post_init__(self) -> None:
+        """Validate the ring geometry."""
+        if self.slab_bytes < 16:
+            raise ConfigError("slab_bytes must be >= 16")
+        if self.slabs < 1:
+            raise ConfigError("slabs must be >= 1")
+
+    @property
+    def total_bytes(self) -> int:
+        """Size of the backing shared-memory segment."""
+        return self.slab_bytes * self.slabs
+
+
+class _SlabWindow:
+    """Shared offset math over one mapped segment (parent and worker sides)."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, config: SlabConfig) -> None:
+        self._shm: Optional[shared_memory.SharedMemory] = shm
+        self.config = config
+
+    @property
+    def name(self) -> str:
+        """OS-level name of the backing segment (workers attach by it)."""
+        if self._shm is None:
+            raise TransportError("slab segment already closed")
+        return self._shm.name
+
+    def fits(self, nbytes: int) -> bool:
+        """True when a payload of ``nbytes`` fits in one slab."""
+        return nbytes <= self.config.slab_bytes
+
+    def _check_slab(self, slab_id: int) -> shared_memory.SharedMemory:
+        if self._shm is None:
+            raise TransportError("slab segment already closed")
+        if not 0 <= slab_id < self.config.slabs:
+            raise TransportError(
+                f"slab id {slab_id} out of range [0, {self.config.slabs})"
+            )
+        return self._shm
+
+    def write(self, slab_id: int, x: np.ndarray) -> ArrayMeta:
+        """Copy one ndarray into a slab; returns its (shape, dtype) frame meta.
+
+        This is the only copy on the sender's side of the shm plane (the
+        receiver reads a view): the payload lands straight in the mapped
+        segment via ``np.copyto``, no intermediate bytes object.  Raises
+        :class:`~repro.errors.TransportError` if the payload does not fit —
+        callers pre-check with :meth:`fits`.
+        """
+        shm = self._check_slab(slab_id)
+        x = np.asarray(x)
+        if not self.fits(x.nbytes):
+            raise TransportError(
+                f"payload of {x.nbytes} bytes exceeds slab_bytes={self.config.slab_bytes}"
+            )
+        dest = np.ndarray(
+            x.shape,
+            dtype=x.dtype,
+            buffer=shm.buf,
+            offset=slab_id * self.config.slab_bytes,
+        )
+        np.copyto(dest, x, casting="no")
+        return tuple(x.shape), x.dtype.str
+
+    def view(self, slab_id: int, shape: Sequence[int], dtype: str) -> np.ndarray:
+        """Zero-copy ndarray view of one slab's payload.
+
+        The view aliases shared memory: it is only valid while the slab stays
+        leased to this request, and callers that outlive the lease must copy
+        (:meth:`read`).  Views are returned read-only so a model cannot
+        scribble over a recycled slab by accident.
+        """
+        shm = self._check_slab(slab_id)
+        dt = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dt.itemsize
+        if not self.fits(nbytes):
+            # symmetric with write(): corrupt frame metadata must never
+            # alias the neighbouring request's slab
+            raise TransportError(
+                f"view of {nbytes} bytes exceeds slab_bytes={self.config.slab_bytes}"
+            )
+        arr = np.ndarray(
+            tuple(shape),
+            dtype=dt,
+            buffer=shm.buf,
+            offset=slab_id * self.config.slab_bytes,
+        )
+        arr.flags.writeable = False
+        return arr
+
+    def read(self, slab_id: int, shape: Sequence[int], dtype: str) -> np.ndarray:
+        """Owned copy of one slab's payload (safe to hold after release)."""
+        return self.view(slab_id, shape, dtype).copy()
+
+    def _close(self) -> None:
+        """Unmap the segment (idempotent; tolerates lingering views)."""
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - a stray view still exports
+            pass
+
+
+class SlabPool(_SlabWindow):
+    """Owner side of the ring: creates the segment and leases slabs.
+
+    Thread-safe: the router submits under its own lock while per-worker
+    reader threads release concurrently.  ``try_acquire``/``release`` are
+    O(1) on a free-ring deque.
+    """
+
+    def __init__(self, config: Optional[SlabConfig] = None) -> None:
+        config = config or SlabConfig()
+        super().__init__(
+            shared_memory.SharedMemory(create=True, size=config.total_bytes), config
+        )
+        self._lock = threading.Lock()
+        self._free: deque = deque(range(config.slabs))
+        self._leased: set = set()
+        self._acquired = 0
+        self._released = 0
+        self._exhausted = 0
+        self._destroyed = False
+
+    # -- leasing ----------------------------------------------------------- #
+
+    def try_acquire(self) -> Optional[int]:
+        """Lease one slab, or ``None`` when the ring is exhausted (the
+        caller then falls back to the pipe transport — never blocks)."""
+        with self._lock:
+            if self._destroyed or not self._free:
+                self._exhausted += 1
+                return None
+            slab_id = self._free.popleft()
+            self._leased.add(slab_id)
+            self._acquired += 1
+            return slab_id
+
+    def release(self, slab_id: int) -> None:
+        """Return one leased slab to the ring.
+
+        Strict: releasing a slab that is not currently leased raises
+        :class:`~repro.errors.TransportError` (a double release would let
+        two requests alias one slab).
+        """
+        with self._lock:
+            if slab_id not in self._leased:
+                raise TransportError(f"slab {slab_id} is not leased")
+            self._leased.remove(slab_id)
+            self._free.append(slab_id)
+            self._released += 1
+
+    # -- accounting -------------------------------------------------------- #
+
+    @property
+    def leased(self) -> int:
+        """Slabs currently leased to in-flight requests."""
+        with self._lock:
+            return len(self._leased)
+
+    @property
+    def available(self) -> int:
+        """Slabs free to lease right now."""
+        with self._lock:
+            return len(self._free)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Atomic accounting copy: geometry, occupancy and lifetime counters.
+
+        ``acquired == released`` (and ``leased == 0``) after a clean
+        :meth:`destroy` is the no-leak invariant the cluster tests assert.
+        """
+        with self._lock:
+            return {
+                "slab_bytes": self.config.slab_bytes,
+                "slabs": self.config.slabs,
+                "leased": len(self._leased),
+                "available": len(self._free),
+                "acquired": self._acquired,
+                "released": self._released,
+                "exhausted": self._exhausted,
+            }
+
+    # -- lifecycle --------------------------------------------------------- #
+
+    def destroy(self) -> None:
+        """Close and unlink the segment (idempotent).
+
+        Counters stay readable afterwards so post-mortem accounting (the
+        leak check after ``WorkerPool.stop()``) still works; leasing and
+        I/O raise :class:`~repro.errors.TransportError` once destroyed.
+        """
+        with self._lock:
+            if self._destroyed:
+                return
+            self._destroyed = True
+            shm = self._shm
+        self._close()
+        if shm is not None:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+class SlabClient(_SlabWindow):
+    """Worker side of the ring: attaches to the owner's segment by name.
+
+    Never leases or unlinks — the worker only reads the slabs the parent
+    leased to its requests and writes results back into them, so slab
+    ownership has exactly one authority (the parent) and a dying worker
+    cannot leak or destroy anything.
+
+    Attaching is tracker-safe in the cluster topology: spawn workers share
+    the parent's ``resource_tracker`` process (the fd is forwarded at
+    spawn), so the attach-side registration is an idempotent set-add and a
+    worker's death never triggers a spurious unlink of the parent's live
+    segment.
+    """
+
+    def __init__(self, name: str, config: SlabConfig) -> None:
+        super().__init__(shared_memory.SharedMemory(name=name), config)
+
+    def close(self) -> None:
+        """Unmap the segment (the owner unlinks it; idempotent)."""
+        self._close()

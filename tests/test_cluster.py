@@ -84,6 +84,15 @@ class TestPriorityPolicy:
         assert not policy.admits(Priority.LOW, 50)
         assert policy.admits(Priority.HIGH, 99)
 
+    def test_burst_admission_is_all_or_nothing(self):
+        policy = PriorityPolicy(max_pending=100, normal_watermark=0.8, low_watermark=0.5)
+        assert policy.admits(Priority.LOW, 0, n=50)
+        assert not policy.admits(Priority.LOW, 0, n=51)
+        assert policy.admits(Priority.HIGH, 90, n=10)
+        assert not policy.admits(Priority.HIGH, 90, n=11)
+        # n=1 reproduces the single-request rule exactly
+        assert policy.admits(Priority.LOW, 49) and not policy.admits(Priority.LOW, 50)
+
     def test_every_class_admitted_when_idle(self):
         policy = PriorityPolicy(max_pending=1, low_watermark=0.01, normal_watermark=0.01)
         for priority in Priority:

@@ -83,6 +83,26 @@ class TestKernels:
         )
         np.testing.assert_allclose(ternary_matmul(x, block), expected, rtol=1e-5, atol=1e-6)
 
+    def test_chunked_gather_bitwise_identical(self, rng, monkeypatch):
+        """Bounding the gather scratch chunks the batch axis only — results
+        stay bitwise identical to the single-pass gather on a large-nnz
+        layer, including the chunk-size-1 extreme."""
+        from repro.serving import kernels
+
+        # dense-ish ternary: ~90% non-zero over 512 cols = large nnz per row
+        w = rng.choice(
+            [-1.0, 0.0, 1.0], size=(16, 512), p=[0.45, 0.1, 0.45]
+        ).astype(np.float32)
+        blob, shape = pack_ternary(w)
+        planes = decode_planes(blob, shape)
+        x = rng.standard_normal((64, 512)).astype(np.float32)
+        single_pass = ternary_matmul(x, planes)  # default budget: one chunk
+        for budget in (64 * 1024, 64):  # several chunks; one row per chunk
+            monkeypatch.setattr(kernels, "GATHER_SCRATCH_BYTES", budget)
+            np.testing.assert_array_equal(ternary_matmul(x, planes), single_pass)
+        monkeypatch.undo()
+        np.testing.assert_allclose(single_pass, x @ w.T, rtol=1e-4, atol=1e-4)
+
     def test_decode_rejects_reserved_code(self):
         with pytest.raises(QuantizationError):
             decode_planes(bytes([0b11]), (4,))

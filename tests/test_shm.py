@@ -1,0 +1,311 @@
+"""Shared-memory data plane: slab ring, fallbacks, crash reclaim, no leaks.
+
+Worker processes cost ~1 s each to spawn, so cluster-backed tests share
+small (1-worker) clusters per class where possible.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.core.hybrid import HybridConfig, STHybridNet
+from repro.core.strassen import freeze_all
+from repro.deploy import build_image
+from repro.errors import AdmissionError, ConfigError, TransportError, WorkerCrashed
+from repro.serving import (
+    AsyncServingFrontend,
+    ClusterRouter,
+    PackedModel,
+    Priority,
+    PriorityPolicy,
+    SlabClient,
+    SlabConfig,
+    SlabPool,
+)
+
+
+@pytest.fixture(scope="module")
+def image():
+    """One small frozen ST-Hybrid image."""
+    model = STHybridNet(HybridConfig(width=8), rng=0)
+    freeze_all(model)
+    model.eval()
+    return build_image(model)
+
+
+@pytest.fixture(scope="module")
+def requests_batch():
+    """A deterministic batch of MFCC-shaped inputs ((49, 10) ≈ 2 KB each)."""
+    rng = np.random.default_rng(7)
+    return [rng.standard_normal((49, 10)).astype(np.float32) for _ in range(6)]
+
+
+def wait_until(predicate, timeout_s: float = 15.0, interval_s: float = 0.05) -> bool:
+    """Poll ``predicate`` until true or ``timeout_s`` elapses."""
+    limit = time.monotonic() + timeout_s
+    while time.monotonic() < limit:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return predicate()
+
+
+class TestSlabPool:
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            SlabConfig(slab_bytes=8)
+        with pytest.raises(ConfigError):
+            SlabConfig(slabs=0)
+        assert SlabConfig(slab_bytes=64, slabs=3).total_bytes == 192
+
+    def test_acquire_release_ring(self):
+        pool = SlabPool(SlabConfig(slab_bytes=64, slabs=2))
+        try:
+            a, b = pool.try_acquire(), pool.try_acquire()
+            assert {a, b} == {0, 1}
+            assert pool.try_acquire() is None  # exhausted -> pipe fallback
+            assert pool.leased == 2 and pool.available == 0
+            pool.release(a)
+            assert pool.try_acquire() == a  # slabs are recycled
+            snap = pool.snapshot()
+            assert snap["acquired"] == 3 and snap["released"] == 1
+            assert snap["exhausted"] == 1
+        finally:
+            pool.destroy()
+
+    def test_write_read_roundtrip(self):
+        pool = SlabPool(SlabConfig(slab_bytes=1024, slabs=1))
+        try:
+            slab = pool.try_acquire()
+            x = np.arange(24, dtype=np.float32).reshape(4, 6) * 0.5
+            shape, dtype = pool.write(slab, x)
+            assert shape == (4, 6) and np.dtype(dtype) == np.float32
+            view = pool.view(slab, shape, dtype)
+            assert not view.flags.writeable  # models cannot scribble on slabs
+            np.testing.assert_array_equal(view, x)
+            copy = pool.read(slab, shape, dtype)
+            pool.release(slab)
+            np.testing.assert_array_equal(copy, x)  # owned: survives release
+        finally:
+            pool.destroy()
+
+    def test_oversized_write_and_double_release_raise(self):
+        pool = SlabPool(SlabConfig(slab_bytes=64, slabs=1))
+        try:
+            assert not pool.fits(65)
+            slab = pool.try_acquire()
+            with pytest.raises(TransportError, match="exceeds"):
+                pool.write(slab, np.zeros(65, dtype=np.uint8))
+            pool.release(slab)
+            with pytest.raises(TransportError, match="not leased"):
+                pool.release(slab)
+        finally:
+            pool.destroy()
+
+    def test_oversized_view_cannot_alias_the_next_slab(self):
+        # symmetric with the write check: corrupt frame metadata must raise,
+        # never return a view spilling into the neighbouring slab
+        pool = SlabPool(SlabConfig(slab_bytes=64, slabs=2))
+        try:
+            slab = pool.try_acquire()
+            with pytest.raises(TransportError, match="exceeds"):
+                pool.view(slab, (65,), "|u1")
+            with pytest.raises(TransportError, match="out of range"):
+                pool.view(99, (4,), "|u1")
+            pool.release(slab)
+        finally:
+            pool.destroy()
+
+    def test_destroy_unlinks_and_is_idempotent(self):
+        pool = SlabPool(SlabConfig(slab_bytes=64, slabs=1))
+        name = pool.name
+        pool.destroy()
+        pool.destroy()  # idempotent
+        assert pool.try_acquire() is None  # destroyed pools lease nothing
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)  # segment really unlinked
+        assert pool.snapshot()["leased"] == 0  # accounting readable post-mortem
+
+    def test_client_shares_the_segment(self):
+        pool = SlabPool(SlabConfig(slab_bytes=256, slabs=2))
+        try:
+            client = SlabClient(pool.name, pool.config)
+            slab = pool.try_acquire()
+            x = np.linspace(0, 1, 17, dtype=np.float32)
+            shape, dtype = pool.write(slab, x)
+            np.testing.assert_array_equal(client.view(slab, shape, dtype), x)
+            # the worker writes the result back into the same slab
+            y = x[::-1].copy()
+            client.write(slab, y)
+            np.testing.assert_array_equal(pool.read(slab, shape, dtype), y)
+            pool.release(slab)
+            client.close()
+        finally:
+            pool.destroy()
+
+
+class TestClusterFallbacks:
+    @pytest.fixture(scope="class")
+    def tiny_ring(self, image):
+        """One worker on a 2-slab ring: bursts larger than 2 must fall back."""
+        router = ClusterRouter(
+            workers=1, transport=SlabConfig(slab_bytes=4096, slabs=2)
+        )
+        router.register("kws", image)
+        with router:
+            yield router
+
+    def test_exhaustion_falls_back_to_pipe(self, tiny_ring, image, requests_batch):
+        futures = tiny_ring.submit_many(requests_batch * 4, model="kws")
+        got = np.stack([f.result(timeout=30.0) for f in futures])
+        want = PackedModel(image)(np.stack(requests_batch * 4))
+        np.testing.assert_array_equal(got, want)  # both planes bitwise agree
+        transport = tiny_ring.stats().transport
+        assert transport["shm_requests"] >= 2
+        assert transport["fallbacks_exhausted"] > 0
+        assert transport["pipe_requests"] == transport["fallbacks_exhausted"]
+        assert transport["leased"] == 0  # every lease returned
+
+    def test_oversized_payload_falls_back(self, image):
+        # (49, 10) float32 is ~2 KB; a 64-byte slab cannot carry it
+        router = ClusterRouter(workers=1, transport=SlabConfig(slab_bytes=64, slabs=4))
+        router.register("kws", image)
+        x = np.random.default_rng(0).standard_normal((49, 10)).astype(np.float32)
+        with router:
+            got = router.predict(x, model="kws")
+            np.testing.assert_array_equal(got, PackedModel(image)(x[None])[0])
+            transport = router.stats().transport
+            assert transport["fallbacks_oversize"] == 1
+            assert transport["shm_requests"] == 0
+        assert router.pool.transport_snapshot()["leased"] == 0
+
+    def test_transport_disabled_serves_identically(self, image, requests_batch):
+        router = ClusterRouter(workers=1, transport=False)
+        router.register("kws", image)
+        with router:
+            futures = router.submit_many(requests_batch, model="kws")
+            got = np.stack([f.result(timeout=30.0) for f in futures])
+            np.testing.assert_array_equal(got, PackedModel(image)(np.stack(requests_batch)))
+            transport = router.stats().transport
+            assert not transport["shm_enabled"]
+            assert transport["pipe_requests"] == len(requests_batch)
+
+    def test_empty_burst_is_a_noop(self, tiny_ring):
+        assert tiny_ring.submit_many([], model="kws") == []
+
+    def test_failed_encode_rolls_back_slots_and_leases(self, tiny_ring, requests_batch):
+        # item 0 leases a slab, then the ragged item 1 fails np.asarray:
+        # the partial lease and the claimed admission slots must all return
+        ragged = [[1.0, 2.0], [3.0]]
+        with pytest.raises(ValueError):
+            tiny_ring.submit_many([requests_batch[0], ragged], model="kws")
+        stats = tiny_ring.stats()
+        assert stats.pending == 0
+        assert all(v == 0 for v in stats.queue_depth_by_priority.values())
+        assert stats.transport["leased"] == 0
+
+
+class TestCrashReclaim:
+    def test_crash_midrequest_reclaims_leases_and_stop_leaves_no_leak(
+        self, image, requests_batch
+    ):
+        router = ClusterRouter(workers=1, transport=SlabConfig(slab_bytes=4096, slabs=8))
+        router.register("kws", image)
+        with router:
+            router.predict(requests_batch[0], model="kws")  # place + decode
+            # stall the worker so the crash lands before the predicts are read
+            router.pool.inject_sleep(0, 0.3)
+            router.pool.inject_crash(0)
+            doomed = router.submit_many(requests_batch[:4], model="kws")
+            assert router.pool.transport_snapshot()["leased"] == 4
+            for future in doomed:
+                with pytest.raises(WorkerCrashed):
+                    future.result(timeout=15.0)
+            # EOF reclaimed the dead worker's leases, no reply ever came
+            assert wait_until(
+                lambda: router.pool.transport_snapshot()["leased"] == 0
+            ), "crashed worker's slab leases were never reclaimed"
+            assert router.stats().crashes == 1
+            # the restarted worker serves from the same ring, bitwise intact
+            got = router.predict(requests_batch[1], model="kws")
+            np.testing.assert_array_equal(
+                got, PackedModel(image)(requests_batch[1][None])[0]
+            )
+            segment = router.pool._slab_pool.name
+        snapshot = router.pool.transport_snapshot()
+        assert snapshot["leased"] == 0
+        assert snapshot["acquired"] == snapshot["released"]
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=segment)  # stop() unlinked it
+
+
+class TestPriorityMetrics:
+    @pytest.fixture(scope="class")
+    def cluster(self, image):
+        router = ClusterRouter(
+            workers=1,
+            policy=PriorityPolicy(max_pending=16, normal_watermark=0.5, low_watermark=0.25),
+        )
+        router.register("kws", image)
+        with router:
+            router.predict(np.zeros((49, 10), dtype=np.float32), model="kws")
+            yield router
+
+    def test_queue_depth_by_priority_tracks_pending(self, cluster, requests_batch):
+        cluster.pool.inject_sleep(0, 0.4)  # keep admitted requests pending
+        high = cluster.submit_many(
+            requests_batch[:3], model="kws", priority=Priority.HIGH
+        )
+        low = cluster.submit(requests_batch[3], priority=Priority.LOW)
+        stats = cluster.stats()
+        assert stats.queue_depth_by_priority[Priority.HIGH] == 3
+        assert stats.queue_depth_by_priority[Priority.LOW] == 1
+        assert stats.pending == sum(stats.queue_depth_by_priority.values())
+        for future in [*high, low]:
+            assert future.result(timeout=15.0).shape == (12,)
+        stats = cluster.stats()
+        assert all(v == 0 for v in stats.queue_depth_by_priority.values())
+
+    def test_latency_percentiles_per_class(self, cluster, requests_batch):
+        for x in requests_batch:
+            cluster.predict(x, model="kws", priority=Priority.HIGH)
+        stats = cluster.stats()
+        high = stats.latency_by_priority[Priority.HIGH]
+        assert high.count >= len(requests_batch)
+        assert 0.0 < high.p50_ms <= high.p99_ms
+        untouched = stats.latency_by_priority[Priority.NORMAL]
+        if untouched.count == 0:
+            assert np.isnan(untouched.p50_ms)
+
+    def test_burst_shed_is_all_or_nothing(self, cluster, requests_batch):
+        # LOW limit is 4 of 16: a 6-burst cannot fit, and nothing of it lands
+        before = cluster.stats()
+        with pytest.raises(AdmissionError, match="LOW"):
+            cluster.submit_many(requests_batch, model="kws", priority=Priority.LOW)
+        stats = cluster.stats()
+        assert stats.pending == 0
+        assert (
+            stats.shed_by_priority[Priority.LOW]
+            - before.shed_by_priority[Priority.LOW]
+            == len(requests_batch)
+        )
+
+    def test_frontend_surfaces_priority_metrics(self, cluster, requests_batch):
+        frontend = AsyncServingFrontend(cluster)
+
+        async def run():
+            return await frontend.predict_many(
+                requests_batch, model="kws", priority=Priority.HIGH
+            )
+
+        results = asyncio.run(run())
+        assert len(results) == len(requests_batch)
+        stats = frontend.stats
+        assert stats.latency_by_priority[Priority.HIGH].count >= len(requests_batch)
+        assert stats.transport["shm_requests"] > 0
+        assert stats.queue_depth_by_priority[Priority.HIGH] == 0
