@@ -1,0 +1,366 @@
+"""Replication benchmarks: hot-model scaling, policy identity, rolling deploys.
+
+Not a paper table — this guards the placement subsystem
+(:mod:`repro.serving.placement`) on three axes:
+
+* **replication scaling**: one hot model replicated on 4 workers must
+  sustain >= 2x the aggregate throughput of the same model stuck on a
+  single worker of the same 4-worker pool (the whole point of replica
+  sets: a hot model is no longer capped at one process).  The gate needs
+  real parallel hardware, so it is skipped on machines with fewer than
+  4 CPUs;
+* **policy identity**: predictions routed under sticky, replicated and
+  least-loaded placement must be bitwise identical to direct
+  :class:`~repro.serving.packed.PackedModel` execution — placement moves
+  plans around, it never touches the math;
+* **rolling deploy**: a versioned deploy (warm → flip → drain → unload)
+  must complete under live NORMAL+HIGH traffic with **zero** sheds on
+  those classes and **zero** :class:`~repro.errors.WorkerCrashed`, every
+  response bitwise-equal to the old or the new version, the cluster byte
+  budget respected throughout, and the old version's decoded bytes fully
+  released afterwards.
+
+Runs standalone (``python benchmarks/bench_replication.py [--quick]``) and
+as pytest assertions guarding the floors in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import threading
+import time
+from typing import Dict, List, Tuple
+
+import numpy as np
+import pytest
+
+from conftest import record_metrics, write_bench_json
+from repro.core.hybrid import HybridConfig, STHybridNet
+from repro.core.strassen import freeze_all
+from repro.deploy import build_image
+from repro.deploy.image import ModelImage
+from repro.serving import (
+    ClusterRouter,
+    DeployManager,
+    MicroBatchConfig,
+    PackedModel,
+    Priority,
+    PriorityPolicy,
+    ReplicatedPolicy,
+)
+
+WORKERS = 4
+SCALING_FLOOR = 2.0
+POLICIES = ("sticky", "replicated", "least-loaded")
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def hot_images(count: int = 2, width: int = 8) -> List[ModelImage]:
+    """``count`` distinct frozen ST-Hybrid images (deploy versions)."""
+    images = []
+    for i in range(count):
+        model = STHybridNet(HybridConfig(width=width), rng=i)
+        freeze_all(model)
+        model.eval()
+        images.append(build_image(model))
+    return images
+
+
+def measure_hot_model(
+    image: ModelImage,
+    replicas: int,
+    requests: int = 384,
+    repeats: int = 3,
+) -> float:
+    """Aggregate req/s for one hot model at the given replica count.
+
+    The pool always has :data:`WORKERS` workers; only the placement policy
+    changes (``replicas=1`` reproduces sticky's single-process ceiling), so
+    the comparison isolates replication, not pool size.
+    """
+    rng = np.random.default_rng(0)
+    load = [rng.standard_normal((49, 10)).astype(np.float32) for _ in range(requests)]
+    router = ClusterRouter(
+        workers=WORKERS,
+        placement=ReplicatedPolicy(replicas=replicas),
+        # the whole load is submitted up front: admit everything, shed nothing
+        policy=PriorityPolicy(
+            max_pending=requests + 1, normal_watermark=1.0, low_watermark=1.0
+        ),
+        config=MicroBatchConfig(max_batch_size=32, max_delay_ms=2.0),
+    )
+    router.register("hot", image)
+    with router:
+        for _ in range(replicas * 2):  # warm every replica's plan + first touch
+            router.predict(load[0])
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            futures = [router.submit(x) for x in load]
+            for future in futures:
+                future.result(timeout=120.0)
+            best = min(best, time.perf_counter() - start)
+        assert router.stats().deadline_misses == 0
+    return len(load) / best
+
+
+def check_policy_identity(images: List[ModelImage], workers: int = 2) -> int:
+    """Serve one batch under every placement policy; returns the number of
+    bitwise-equal comparisons (raises on any mismatch)."""
+    rng = np.random.default_rng(2)
+    xs = [rng.standard_normal((49, 10)).astype(np.float32) for _ in range(6)]
+    want = PackedModel(images[0])(np.stack(xs))
+    checked = 0
+    for policy in POLICIES:
+        router = ClusterRouter(workers=workers, placement=policy)
+        router.register("hot", images[0])
+        with router:
+            got = np.stack([router.predict(x) for x in xs])
+        np.testing.assert_array_equal(got, want)
+        checked += 1
+    return checked
+
+
+def run_rolling_deploy(
+    images: List[ModelImage],
+    workers: int = 2,
+    clients: int = 4,
+    requests_per_client: int = 32,
+    window: int = 8,
+) -> Dict[str, float]:
+    """A versioned deploy under live NORMAL+HIGH traffic; returns metrics.
+
+    Each client thread keeps ``window`` requests in flight (alternating
+    NORMAL and HIGH) while the main thread deploys v2 over v1.  Every
+    response must be bitwise-equal to the request's row under v1 *or* v2
+    (pre-flip requests get v1, post-flip v2 — never anything else), no
+    request may shed or crash, the byte budget must hold at every sampled
+    instant, and the old version's decoded bytes must be fully released.
+    """
+    size_v1 = PackedModel(images[0]).decoded_bytes()
+    size_v2 = PackedModel(images[1]).decoded_bytes()
+    rng = np.random.default_rng(3)
+    xs = [rng.standard_normal((49, 10)).astype(np.float32) for _ in range(16)]
+    want = {
+        "v1": PackedModel(images[0])(np.stack(xs)),
+        "v2": PackedModel(images[1])(np.stack(xs)),
+    }
+    router = ClusterRouter(
+        workers=workers,
+        capacity_bytes=size_v1 + size_v2,  # both versions fit only transiently
+        config=MicroBatchConfig(max_batch_size=16, max_delay_ms=1.0),
+    )
+    router.register("kws", images[0], version="v1")
+    failures: List[str] = []
+    mismatches: List[int] = []
+    budget_violations: List[int] = []
+    served = [0]
+    lock = threading.Lock()
+    stop = threading.Event()
+
+    def client(seed: int) -> None:
+        """One traffic thread: a sliding window of NORMAL/HIGH requests."""
+        inflight: List[Tuple[int, object]] = []
+
+        def resolve(idx: int, future) -> None:
+            try:
+                row = future.result(timeout=60.0)
+            except Exception as exc:  # shed/crash/deadline: all deploy bugs here
+                with lock:
+                    failures.append(f"{type(exc).__name__}: {exc}")
+                return
+            ok = np.array_equal(row, want["v1"][idx]) or np.array_equal(
+                row, want["v2"][idx]
+            )
+            with lock:
+                served[0] += 1
+                if not ok:
+                    mismatches.append(idx)
+
+        for i in range(requests_per_client):
+            idx = (seed * 31 + i) % len(xs)
+            priority = Priority.HIGH if i % 2 else Priority.NORMAL
+            try:
+                future = router.submit(xs[idx], model="kws", priority=priority)
+            except Exception as exc:
+                with lock:
+                    failures.append(f"submit {type(exc).__name__}: {exc}")
+                continue
+            inflight.append((idx, future))
+            if len(inflight) >= window:
+                resolve(*inflight.pop(0))
+        for idx, future in inflight:
+            resolve(idx, future)
+
+    def budget_monitor() -> None:
+        """Sample the budget invariant while the deploy is in flight."""
+        while not stop.is_set():
+            stats = router.stats()
+            if stats.resident_bytes > router.capacity_bytes:
+                with lock:
+                    budget_violations.append(stats.resident_bytes)
+            time.sleep(0.005)
+
+    with router:
+        router.predict(xs[0], model="kws")  # place + decode v1
+        threads = [
+            threading.Thread(target=client, args=(seed,), daemon=True)
+            for seed in range(clients)
+        ]
+        monitor = threading.Thread(target=budget_monitor, daemon=True)
+        monitor.start()
+        for thread in threads:
+            thread.start()
+        time.sleep(0.05)  # let traffic build before the deploy starts
+        manager = DeployManager(router)
+        report = manager.deploy("kws", images[1], "v2")
+        for thread in threads:
+            thread.join(timeout=120.0)
+        stop.set()
+        monitor.join(timeout=10.0)
+        stats = router.stats()
+        resident_after = stats.resident_bytes
+        crashes = stats.crashes
+        shed_normal = stats.shed_by_priority[Priority.NORMAL]
+        shed_high = stats.shed_by_priority[Priority.HIGH]
+    if failures:
+        raise SystemExit(f"FAIL: {len(failures)} request failures: {failures[:3]}")
+    if mismatches:
+        raise SystemExit(f"FAIL: {len(mismatches)} responses matched neither version")
+    if budget_violations:
+        raise SystemExit(f"FAIL: byte budget exceeded: {budget_violations[:3]}")
+    assert crashes == 0, f"{crashes} worker crash(es) during the deploy"
+    assert shed_normal == 0 and shed_high == 0, "NORMAL/HIGH traffic was shed"
+    assert resident_after == size_v2, (
+        f"old version's bytes not released: {resident_after} resident, "
+        f"expected {size_v2}"
+    )
+    return {
+        "served": served[0],
+        "drained_at_flip": report.drained,
+        "warm_s": report.warm_s,
+        "drain_s": report.drain_s,
+        "resident_after": resident_after,
+        "crashes": crashes,
+        "shed_normal": shed_normal,
+        "shed_high": shed_high,
+    }
+
+
+# -- pytest entry points ----------------------------------------------------- #
+
+
+def test_policy_identity() -> None:
+    """All three placement policies serve bitwise-identically to PackedModel."""
+    assert check_policy_identity(hot_images(1)) == len(POLICIES)
+
+
+def test_rolling_deploy_no_shed_no_crash() -> None:
+    """A rolling deploy under NORMAL+HIGH traffic sheds and crashes nothing,
+    holds the byte budget throughout, and releases the old version's bytes."""
+    metrics = run_rolling_deploy(hot_images(2))
+    record_metrics("replication", rolling_deploy=metrics)
+    assert metrics["served"] > 0
+    assert metrics["crashes"] == 0
+    assert metrics["shed_normal"] == 0 and metrics["shed_high"] == 0
+
+
+@pytest.mark.skipif(
+    available_cpus() < WORKERS,
+    reason=f"replication gate needs >= {WORKERS} CPUs (have {available_cpus()})",
+)
+def test_replication_floor() -> None:
+    """One hot model on 4 replicas must sustain >= 2x its 1-replica rate."""
+    image = hot_images(1)[0]
+    single = measure_hot_model(image, replicas=1)
+    multi = measure_hot_model(image, replicas=WORKERS)
+    speedup = multi / single
+    assert speedup >= SCALING_FLOOR, (
+        f"{WORKERS} replicas served {multi:.0f} req/s vs {single:.0f} req/s on one "
+        f"— only {speedup:.2f}x (floor {SCALING_FLOOR}x)"
+    )
+
+
+# -- standalone report ------------------------------------------------------- #
+
+
+def main() -> None:
+    """Run all three measurements and enforce the acceptance floors."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="fewer repeats (CI smoke)")
+    parser.add_argument("--width", type=int, default=8, help="model channel width")
+    args = parser.parse_args()
+    if args.width < 1:
+        parser.error("--width must be >= 1")
+    repeats = 2 if args.quick else 5
+    requests = 192 if args.quick else 384
+
+    images = hot_images(2, width=args.width)
+    cpus = available_cpus()
+    print(f"one hot ST-Hybrid model, width={args.width}; {cpus} CPU(s) available")
+
+    checked = check_policy_identity(images)
+    print(f"\nidentity: {checked}/{len(POLICIES)} policies bitwise-identical")
+
+    deploy_metrics = run_rolling_deploy(images)
+    print("\nrolling deploy v1 -> v2 under NORMAL+HIGH traffic:")
+    print(f"  served             {deploy_metrics['served']:6.0f}")
+    print(f"  drained at flip    {deploy_metrics['drained_at_flip']:6.0f}")
+    print(f"  shed (N/H)         {deploy_metrics['shed_normal']:.0f}/"
+          f"{deploy_metrics['shed_high']:.0f}  (floor: 0)")
+    print(f"  crashes            {deploy_metrics['crashes']:6.0f}  (floor: 0)")
+    print(f"  warm {deploy_metrics['warm_s'] * 1e3:.0f} ms, "
+          f"drain {deploy_metrics['drain_s'] * 1e3:.0f} ms")
+
+    replica_counts = [1, WORKERS] if args.quick else [1, 2, WORKERS]
+    throughput = {}
+    for replicas in replica_counts:
+        throughput[replicas] = measure_hot_model(
+            images[0], replicas, requests=requests, repeats=repeats
+        )
+    print(f"\nhot-model scaling ({requests} requests per pass, {WORKERS}-worker pool):")
+    for replicas in replica_counts:
+        note = ""
+        if replicas > 1:
+            note = f"  ({throughput[replicas] / throughput[1]:.2f}x vs 1 replica)"
+        print(f"  {replicas} replica(s)    {throughput[replicas]:10.0f} req/s{note}")
+    speedup = throughput[WORKERS] / throughput[1]
+    write_bench_json(
+        "replication",
+        {
+            "config": {
+                "workers": WORKERS,
+                "width": args.width,
+                "cpus": cpus,
+                "quick": args.quick,
+            },
+            "identity_checked": checked,
+            "rolling_deploy": deploy_metrics,
+            "scaling_rps": {str(r): throughput[r] for r in replica_counts},
+            "speedup": speedup,
+            "floor": SCALING_FLOOR,
+            "floor_enforced": cpus >= WORKERS,
+        },
+    )
+    if cpus < WORKERS:
+        print(
+            f"\nSKIP: {SCALING_FLOOR}x floor not enforced with {cpus} CPU(s) — "
+            f"{WORKERS} replicas cannot run in parallel here"
+        )
+    elif speedup < SCALING_FLOOR:
+        raise SystemExit(
+            f"FAIL: {WORKERS} replicas only {speedup:.2f}x over one (floor {SCALING_FLOOR}x)"
+        )
+    else:
+        print(f"\nOK: {speedup:.2f}x >= {SCALING_FLOOR}x with a clean rolling deploy")
+
+
+if __name__ == "__main__":
+    main()

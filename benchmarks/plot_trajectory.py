@@ -1,0 +1,169 @@
+"""Merge ``BENCH_*.json`` artifacts into one ``BENCH_TRAJECTORY.md`` table.
+
+Every bench in this directory emits a machine-readable ``BENCH_<name>.json``
+(see ``benchmarks/conftest.py``); CI uploads them as artifacts per Python
+version.  This tool is the first slice of the perf-trajectory dashboard: it
+sweeps one or more directories for those files and renders a single
+markdown report — a summary table of headline metrics (throughput floors,
+speedups, latency percentiles) plus a per-bench breakdown of every scalar
+metric — so a run's performance posture is one artifact, not a pile of
+JSON files.
+
+Usage::
+
+    python benchmarks/plot_trajectory.py                  # scan CWD
+    python benchmarks/plot_trajectory.py --dir artifacts  # downloaded artifacts
+    python benchmarks/plot_trajectory.py --out report.md
+
+Directories are scanned recursively, so pointing ``--dir`` at an unpacked
+multi-artifact download (one subdirectory per CI matrix entry) merges them
+all, with the subdirectory recorded as the row's source.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+#: top-level keys that make a bench's one-line summary, in display order
+HEADLINE_KEYS = (
+    "speedup",
+    "floor",
+    "floor_enforced",
+    "throughput_rps",
+    "requests_per_s",
+    "p50_ms",
+    "p99_ms",
+)
+
+
+def collect(dirs: List[Path]) -> List[Tuple[str, Path]]:
+    """All ``BENCH_*.json`` files under the given directories, recursively.
+
+    Returns ``(source, path)`` pairs where ``source`` is the path's parent
+    relative to its search root (``"."`` for top-level files) — with CI
+    artifact downloads that is the matrix entry that produced the file.
+    """
+    found: List[Tuple[str, Path]] = []
+    for root in dirs:
+        for path in sorted(root.rglob("BENCH_*.json")):
+            source = path.parent.relative_to(root)
+            found.append((str(source), path))
+    return found
+
+
+def flatten(payload: dict, prefix: str = "", depth: int = 2) -> Dict[str, object]:
+    """Scalar metrics of one bench payload with dotted keys, depth-limited.
+
+    Nested mappings flatten as ``outer.inner``; lists and deeper nesting are
+    summarised by length rather than expanded (batch-size histograms and
+    per-test timing arrays belong in the JSON, not the trajectory table).
+    """
+    flat: Dict[str, object] = {}
+    for key, value in payload.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            if depth > 1:
+                flat.update(flatten(value, prefix=f"{name}.", depth=depth - 1))
+            else:
+                flat[name] = f"<{len(value)} entries>"
+        elif isinstance(value, list):
+            flat[name] = f"<{len(value)} items>"
+        elif isinstance(value, float):
+            flat[name] = round(value, 4)
+        else:
+            flat[name] = value
+    return flat
+
+
+def headline(flat: Dict[str, object]) -> str:
+    """The one-line summary for a bench: its headline keys, else a count."""
+    parts = [f"{key}={flat[key]}" for key in HEADLINE_KEYS if key in flat]
+    if not parts:
+        parts = [f"{len(flat)} metrics"]
+    return ", ".join(parts)
+
+
+def render_table(header: List[str], rows: List[List[str]]) -> List[str]:
+    """A GitHub-markdown table as a list of lines."""
+    lines = ["| " + " | ".join(header) + " |"]
+    lines.append("|" + "|".join([" --- "] * len(header)) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return lines
+
+
+def build_markdown(found: List[Tuple[str, Path]]) -> str:
+    """Render the merged trajectory report for the collected files."""
+    stamp = time.strftime("%Y-%m-%d %H:%M:%S UTC", time.gmtime())
+    lines = [
+        "# Bench trajectory",
+        "",
+        f"Merged from {len(found)} `BENCH_*.json` artifact(s) at {stamp}.",
+        "",
+    ]
+    if not found:
+        lines.append("_No artifacts found — run the benches first._")
+        return "\n".join(lines) + "\n"
+    summary_rows = []
+    details: List[Tuple[str, str, Dict[str, object]]] = []
+    for source, path in found:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            summary_rows.append([path.name, source, "?", f"unreadable: {exc}"])
+            continue
+        bench = str(payload.get("bench", path.stem.removeprefix("BENCH_")))
+        recorded = payload.get("unix_time")
+        when = (
+            time.strftime("%Y-%m-%d %H:%M", time.gmtime(recorded))
+            if isinstance(recorded, (int, float))
+            else "?"
+        )
+        flat = flatten(
+            {k: v for k, v in payload.items() if k not in ("bench", "schema", "unix_time")}
+        )
+        summary_rows.append([bench, source, when, headline(flat)])
+        details.append((bench, source, flat))
+    lines.extend(render_table(["bench", "source", "recorded (UTC)", "headline"], summary_rows))
+    for bench, source, flat in details:
+        lines.extend(["", f"## {bench} ({source})", ""])
+        lines.extend(
+            render_table(
+                ["metric", "value"], [[key, str(flat[key])] for key in sorted(flat)]
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def main() -> None:
+    """Scan for artifacts and write the merged trajectory markdown."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--dir",
+        action="append",
+        type=Path,
+        default=None,
+        help="directory to scan recursively (repeatable; default: CWD)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_TRAJECTORY.md"),
+        help="output markdown path (default: BENCH_TRAJECTORY.md)",
+    )
+    args = parser.parse_args()
+    dirs = args.dir or [Path(".")]
+    for root in dirs:
+        if not root.is_dir():
+            parser.error(f"--dir {root} is not a directory")
+    found = collect(dirs)
+    args.out.write_text(build_markdown(found), encoding="utf-8")
+    print(f"merged {len(found)} artifact(s) into {args.out}")
+
+
+if __name__ == "__main__":
+    main()

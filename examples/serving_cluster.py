@@ -1,12 +1,14 @@
-"""Multi-process serving cluster: routing, priorities, crash recovery.
+"""Multi-process serving cluster: routing, priorities, crashes, deploys.
 
 Freezes three ST-HybridNets, registers their model images in a
 :class:`ClusterRouter` with a cluster-wide decoded-byte budget, and starts
 two worker processes — each owning its own engine and decoded plans.  Then:
 sticky model routing with bitwise-identical results, a low-priority flood
 being shed while high-priority traffic sails through, the async front door
-driving the whole cluster, and a worker crash healed by transparent
-restart-and-redecode.
+driving the whole cluster, a worker crash healed by transparent
+restart-and-redecode, a hot model replicated across both workers with
+power-of-two-choices dispatch, and a versioned rolling deploy (warm → flip
+→ drain → unload) that swaps the hot model without shedding a request.
 
 Run:  python examples/serving_cluster.py    (~15 s on CPU; spawns processes)
 """
@@ -14,6 +16,7 @@ Run:  python examples/serving_cluster.py    (~15 s on CPU; spawns processes)
 from __future__ import annotations
 
 import asyncio
+import math
 import time
 
 import numpy as np
@@ -25,10 +28,12 @@ from repro.errors import AdmissionError
 from repro.serving import (
     AsyncServingFrontend,
     ClusterRouter,
+    DeployManager,
     MicroBatchConfig,
     PackedModel,
     Priority,
     PriorityPolicy,
+    ReplicatedPolicy,
 )
 
 WORKERS = 2
@@ -116,7 +121,7 @@ def main() -> None:
               f"({CLIENTS / elapsed:,.0f} req/s)")
 
         print("\n== kill a worker; the pool restarts and re-decodes it ==")
-        victim = cluster.placements()["kws-1"]
+        victim = cluster.placements()["kws-1@v1"][0]
         cluster.pool.inject_crash(victim)
         while cluster.stats().crashes < 1:
             time.sleep(0.05)
@@ -128,6 +133,41 @@ def main() -> None:
         print(f"  worker {victim} crashed and restarted "
               f"(restarts per worker: {[w.restarts for w in stats.workers]})")
         print(f"  post-restart prediction still bitwise-identical")
+
+        print("\n== replicate a hot model across both workers ==")
+        hot_v1 = frozen_image(8, rng=7)
+        hot_size = PackedModel(hot_v1).decoded_bytes()
+        # grow the budget for the replica sets (2 replicas x v1+v2 live
+        # side by side during the rolling deploy below)
+        cluster.capacity_bytes = budget + 4 * hot_size
+        cluster.register("hot", hot_v1, placement=ReplicatedPolicy(replicas=2))
+        for x in requests[:16]:
+            cluster.predict(x, model="hot")
+        print(f"  hot@v1 replicas: {cluster.placements()['hot@v1']}")
+        per_replica = {
+            r.worker_id: r.dispatched for r in cluster.stats().replicas["hot@v1"]
+        }
+        print(f"  dispatches per replica (power-of-two-choices): {per_replica}")
+
+        print("\n== rolling deploy: hot v1 -> v2 without shedding ==")
+        hot_v2 = frozen_image(8, rng=8)
+        deploys = DeployManager(cluster)
+        report = deploys.deploy("hot", hot_v2, "v2")
+        print(f"  {report.old_version} -> {report.new_version} on replicas "
+              f"{report.replicas}: {report.drained} in flight at the flip, "
+              f"warm {report.warm_s * 1e3:.0f} ms, drain {report.drain_s * 1e3:.0f} ms")
+        assert np.array_equal(
+            cluster.predict(requests[0], model="hot"),
+            PackedModel(hot_v2)(requests[0][None])[0],
+        )
+        print(f"  current version: {cluster.current_version('hot')} "
+              f"(v1 image retained for rollback)")
+        for key, lat in sorted(cluster.stats().latency_by_version.items()):
+            if lat.count:
+                # a released version keeps its served count but drops its
+                # latency window, so the percentiles may be nan
+                p50 = "" if math.isnan(lat.p50_ms) else f", p50 {lat.p50_ms:.2f} ms"
+                print(f"  {key}: {lat.count} served{p50}")
 
         print("\n== zero-copy data plane: burst frames over shared memory ==")
         burst = cluster.submit_many(requests, model="kws-0")  # one control frame

@@ -71,6 +71,20 @@ class TransportError(ReproError, RuntimeError):
     """
 
 
+class DeployError(ReproError, RuntimeError):
+    """A versioned rolling deploy could not complete.
+
+    Raised by :class:`repro.serving.placement.DeployManager` when a deploy
+    cannot make progress: warming the new version's plans timed out, the old
+    version never drained, a rollback was requested with no previous version
+    on record, or the target version is already current.  A failure before
+    the atomic routing flip leaves the cluster serving the old version
+    untouched; a drain timeout happens after the flip, so the new version
+    is already current (and rollback-able) with the old version's plans
+    still loaded for its straggling pinned requests.
+    """
+
+
 class WorkerCrashed(ReproError, RuntimeError):
     """A cluster worker process died while requests were in flight on it.
 

@@ -19,12 +19,20 @@ it *fast to serve*:
   served concurrently with LRU eviction of decoded plans under a byte
   budget (``capacity_bytes``) and single-flight cold decodes;
 * :mod:`repro.serving.priority` — :class:`Priority` classes and the
-  watermark :class:`PriorityPolicy` (low-priority traffic sheds first);
+  watermark :class:`PriorityPolicy` (low-priority traffic sheds first;
+  limits scale with the replica count serving the request's model);
+* :mod:`repro.serving.placement` — the placement subsystem:
+  :class:`PlacementPolicy` (sticky / replicated / least-loaded) mapping
+  ``(model, version)`` to a :class:`ReplicaSet` (N workers, per-replica
+  load tracking, power-of-two-choices dispatch) and :class:`DeployManager`
+  for versioned rolling deploys (warm → flip → drain → unload, no
+  shedding);
 * :mod:`repro.serving.cluster`  — :class:`WorkerPool` (N spawn-safe worker
   processes, each with its own engine and decoded plans, restarted and
-  re-decoded on crash) behind a :class:`ClusterRouter` (sticky model→worker
-  routing, cluster-wide decoded-byte budget, priority-class admission),
-  with burst submission (``submit_many``) amortising control frames;
+  re-decoded on crash) behind a :class:`ClusterRouter` (policy-driven
+  versioned placement, cluster-wide decoded-byte budget, priority-class
+  admission), with burst submission (``submit_many``) amortising control
+  frames;
 * :mod:`repro.serving.shm`      — :class:`SlabPool`/:class:`SlabClient`,
   the zero-copy shared-memory data plane the cluster runs on by default:
   payloads live in reusable fixed-size slabs of one
@@ -43,6 +51,16 @@ from repro.serving.cluster import (
 from repro.serving.frontend import AsyncServingFrontend
 from repro.serving.kernels import TernaryPlanes, decode_planes, ternary_matmul
 from repro.serving.packed import LayerPlan, PackedModel, decode_layer
+from repro.serving.placement import (
+    DeployManager,
+    DeployReport,
+    LeastLoadedPolicy,
+    PlacementPolicy,
+    ReplicaSet,
+    ReplicaStats,
+    ReplicatedPolicy,
+    StickyPolicy,
+)
 from repro.serving.priority import Priority, PriorityPolicy
 from repro.serving.registry import ModelRegistry, RegistryStats
 from repro.serving.shm import SlabClient, SlabConfig, SlabPool
@@ -52,14 +70,22 @@ __all__ = [
     "BatchingEngine",
     "ClusterRouter",
     "ClusterStats",
+    "DeployManager",
+    "DeployReport",
     "EngineStats",
     "LatencyStats",
+    "LeastLoadedPolicy",
     "MicroBatchConfig",
+    "PlacementPolicy",
     "Priority",
     "PriorityPolicy",
+    "ReplicaSet",
+    "ReplicaStats",
+    "ReplicatedPolicy",
     "SlabClient",
     "SlabConfig",
     "SlabPool",
+    "StickyPolicy",
     "TernaryPlanes",
     "WorkerPool",
     "WorkerStats",

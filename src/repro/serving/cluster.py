@@ -15,14 +15,21 @@ a router in front:
   worker's pipe in one burst are coalesced through the engine, so
   micro-batching survives the IPC hop; within a burst, requests dispatch in
   priority order.
-* :class:`ClusterRouter` routes each request to a worker by model name:
-  **sticky** model→worker placement (a model's decoded plan lives on exactly
-  one worker, so plans are not duplicated needlessly) with a least-loaded
-  fallback for new placements, a registry-style **cluster-wide decoded-byte
-  budget** (LRU placements are unloaded to admit new ones), and
-  **priority-class admission** (:mod:`repro.serving.priority`): low-priority
-  traffic sheds first under load and can never starve high-priority
-  deadlines.
+* :class:`ClusterRouter` routes each request to a worker by ``(model,
+  version)``: placement is delegated to the
+  :mod:`repro.serving.placement` subsystem — a
+  :class:`~repro.serving.placement.PlacementPolicy` (sticky by default;
+  replicated / least-loaded spread one hot model across N workers with
+  power-of-two-choices dispatch) maps each key to a
+  :class:`~repro.serving.placement.ReplicaSet`, under a registry-style
+  **cluster-wide decoded-byte budget** (LRU replica sets are unloaded to
+  admit new ones) and **priority-class admission**
+  (:mod:`repro.serving.priority`, scaled by the replica count serving the
+  request): low-priority traffic sheds first under load and can never
+  starve high-priority deadlines.  ``version=None`` resolves to the
+  model's *current* version at admission, which is what lets a
+  :class:`~repro.serving.placement.DeployManager` flip routing atomically
+  during a rolling deploy.
 * Worker **health monitoring**: a worker that dies is detected through pipe
   EOF, its in-flight requests fail with
   :class:`~repro.errors.WorkerCrashed`, and the pool transparently restarts
@@ -62,7 +69,7 @@ import multiprocessing
 import os
 import threading
 import time
-from collections import OrderedDict, deque
+from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -79,14 +86,25 @@ from repro.errors import (
 )
 from repro.serving.batching import BatchingEngine, MicroBatchConfig
 from repro.serving.packed import PackedModel
+from repro.serving.placement import (
+    DEFAULT_VERSION,
+    PlacementPolicy,
+    PlacementTable,
+    ReplicaSet,
+    ReplicaStats,
+    make_key,
+    split_key,
+    validate_identifier,
+)
 from repro.serving.priority import Priority, PriorityPolicy
 from repro.serving.shm import SlabClient, SlabConfig, SlabPool
 
 #: how long lifecycle operations wait on a worker process before escalating
 _JOIN_TIMEOUT_S = 5.0
 
-#: per-class completion latencies retained for the percentile rollup
-_LATENCY_WINDOW = 2048
+#: default completion-latency window (per class and per version) for the
+#: percentile rollup; override per router with ``ClusterRouter(latency_window=)``
+DEFAULT_LATENCY_WINDOW = 2048
 
 
 # --------------------------------------------------------------------------- #
@@ -153,6 +171,7 @@ def _worker_main(
     conn,
     config: MicroBatchConfig,
     shm_spec: Optional[Tuple[str, SlabConfig]] = None,
+    worker_id: int = 0,
 ) -> None:
     """Entry point of one worker process.
 
@@ -166,6 +185,11 @@ def _worker_main(
     lazily on the first shm-framed request (a pure pipe workload never maps
     the segment) and only ever reads/writes slabs the parent leased to its
     own requests.
+
+    ``worker_id`` is this worker's replica identity: every burst frame
+    carries the replica id the router resolved, and a frame addressed to a
+    different replica is rejected per request instead of silently served by
+    the wrong plan copy.
     """
     models: Dict[str, PackedModel] = {}
     engines: Dict[str, BatchingEngine] = {}
@@ -220,7 +244,18 @@ def _worker_main(
                 if msg[0] == "predict_many":
                     # the one request frame: single submits are 1-bursts,
                     # larger bursts amortise pipe syscalls across a batch
-                    _, name, deadline, priority, entries = msg
+                    _, name, deadline, priority, replica, entries = msg
+                    if replica != worker_id:
+                        # misaddressed frame: the resolved replica id in the
+                        # control frame names another worker's plan copy
+                        for req_id, _ in entries:
+                            conn.send((
+                                "error",
+                                req_id,
+                                "routing",
+                                f"frame for replica {replica} reached worker {worker_id}",
+                            ))
+                        continue
                     for req_id, payload in entries:
                         burst.append((req_id, name, payload, deadline, priority))
                     continue
@@ -280,18 +315,34 @@ class WorkerStats:
 
 @dataclass(frozen=True)
 class LatencyStats:
-    """Completion-latency percentiles for one priority class.
+    """Completion-latency percentiles for one priority class or model version.
 
-    ``count`` is the lifetime number of successful completions recorded for
-    the class; the percentiles are computed over a sliding window of the
-    most recent :data:`_LATENCY_WINDOW` completions (``nan`` before the
-    first one) and measure submit→resolve time, so pipe/slab transport and
-    engine queueing are all included.
+    ``count`` is the lifetime number of successful completions recorded;
+    the percentiles are computed over a sliding window of the most recent
+    completions (``ClusterRouter(latency_window=...)``, default
+    :data:`DEFAULT_LATENCY_WINDOW`; ``nan`` before the first completion)
+    and measure submit→resolve time, so pipe/slab transport and engine
+    queueing are all included.
     """
 
     count: int
     p50_ms: float
     p99_ms: float
+
+    @classmethod
+    def from_completions(cls, count: int, window_s: Sequence[float]) -> "LatencyStats":
+        """Roll one latency window (seconds) into percentile stats.
+
+        Percentiles use :func:`numpy.percentile`'s default linear
+        interpolation over exactly the values in ``window_s`` — the same
+        computation the router applies to its live windows, exposed so
+        tests can pin the arithmetic on known synthetic sequences.
+        """
+        if len(window_s):
+            p50, p99 = np.percentile(np.fromiter(window_s, dtype=np.float64), [50, 99])
+        else:
+            p50 = p99 = float("nan")
+        return cls(count=count, p50_ms=float(p50) * 1e3, p99_ms=float(p99) * 1e3)
 
 
 @dataclass(frozen=True)
@@ -307,6 +358,12 @@ class ClusterStats:
     class (summing to ``pending``), ``latency_by_priority`` the per-class
     completion percentiles, and ``transport`` the data-plane counters from
     :meth:`WorkerPool.transport_snapshot`.
+
+    Placement-aware rollups: ``replicas`` maps each placed model key
+    (``"name@version"``) to its per-replica dispatch/completion counters,
+    ``latency_by_version`` gives served count + completion percentiles per
+    version key, and ``current_versions`` names the version ``version=None``
+    resolves to for every registered model.
     """
 
     workers: Tuple[WorkerStats, ...]
@@ -320,6 +377,9 @@ class ClusterStats:
     queue_depth_by_priority: Mapping[Priority, int] = field(default_factory=dict)
     latency_by_priority: Mapping[Priority, LatencyStats] = field(default_factory=dict)
     transport: Mapping[str, int] = field(default_factory=dict)
+    replicas: Mapping[str, Tuple[ReplicaStats, ...]] = field(default_factory=dict)
+    latency_by_version: Mapping[str, LatencyStats] = field(default_factory=dict)
+    current_versions: Mapping[str, str] = field(default_factory=dict)
 
     @property
     def shed(self) -> int:
@@ -471,7 +531,7 @@ class WorkerPool:
         )
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(child_conn, self.config, shm_spec),
+            args=(child_conn, self.config, shm_spec, worker_id),
             name=f"cluster-worker-{worker_id}",
             daemon=True,
         )
@@ -672,7 +732,11 @@ class WorkerPool:
                 entries.append((req_id, payload))
                 slabs.append(slab_id)
         try:
-            self._send(handle, ("predict_many", name, deadline, int(priority), entries))
+            # the control frame carries the resolved replica id so a frame
+            # that lands on the wrong worker is rejected, never mis-served
+            self._send(
+                handle, ("predict_many", name, deadline, int(priority), worker_id, entries)
+            )
         except OSError:
             # Fail exactly the futures this call still owns: the reader's
             # _on_exit races us here and may have popped (and failed) some
@@ -948,13 +1012,21 @@ class ClusterRouter:
     workers:
         Number of worker processes (or a prebuilt :class:`WorkerPool`).
     capacity_bytes:
-        Cluster-wide decoded-plan budget, summed over every placement on
-        every worker (``None`` = unbounded).  LRU placements are unloaded to
-        admit new models; a model whose plan alone exceeds the budget is
-        rejected at :meth:`register`.
+        Cluster-wide decoded-plan budget, summed over every replica of
+        every placement (a key placed on N workers costs N × its decoded
+        size; ``None`` = unbounded).  LRU replica sets are unloaded to
+        admit new ones; a model whose full replica set alone exceeds the
+        budget is rejected at :meth:`register`.
     policy:
         :class:`~repro.serving.priority.PriorityPolicy` for admission
-        (default: 256 pending, LOW sheds at 50 %, NORMAL at 80 %).
+        (default: 256 pending, LOW sheds at 50 %, NORMAL at 80 %); limits
+        scale with the replica count serving the request's model.
+    placement:
+        :class:`~repro.serving.placement.PlacementPolicy` deciding where
+        ``(model, version)`` plans live and which replica serves each
+        request — an instance, or one of ``"sticky"`` (default; one replica
+        per key), ``"replicated"`` (N replicas, power-of-two-choices
+        dispatch), ``"least-loaded"`` (N replicas, full load scan).
     config:
         Micro-batch policy for every worker's engine.
     start_method:
@@ -965,6 +1037,12 @@ class ClusterRouter:
         shared-memory slab plane, a :class:`~repro.serving.shm.SlabConfig`
         customises its geometry, ``False``/``None`` keeps everything on the
         pickle-over-pipe path.
+    latency_window:
+        How many recent completions the per-class and per-version latency
+        percentiles are computed over (default
+        :data:`DEFAULT_LATENCY_WINDOW`).  Larger windows smooth the
+        percentiles over more history; smaller ones track load shifts
+        faster at the cost of noisier tails.
     """
 
     def __init__(
@@ -973,9 +1051,11 @@ class ClusterRouter:
         *,
         capacity_bytes: Optional[int] = None,
         policy: Optional[PriorityPolicy] = None,
+        placement: Union[str, PlacementPolicy, None] = None,
         config: Optional[MicroBatchConfig] = None,
         start_method: str = "spawn",
         transport: Union[SlabConfig, bool, None] = True,
+        latency_window: int = DEFAULT_LATENCY_WINDOW,
     ) -> None:
         if isinstance(workers, WorkerPool):
             if config is not None:
@@ -987,60 +1067,196 @@ class ClusterRouter:
             )
         if capacity_bytes is not None and capacity_bytes < 1:
             raise ConfigError("capacity_bytes must be >= 1 (or None for unbounded)")
+        if latency_window < 1:
+            raise ConfigError("latency_window must be >= 1")
         self.capacity_bytes = capacity_bytes
         self.policy = policy or PriorityPolicy()
+        self.placement_policy = PlacementPolicy.create(placement)
+        self.latency_window = latency_window
         self._lock = threading.RLock()
-        self._images: Dict[str, bytes] = {}
-        self._sizes: Dict[str, int] = {}
-        self._placements: "OrderedDict[str, int]" = OrderedDict()  # name -> worker, LRU first
+        self._images: Dict[str, Dict[str, bytes]] = {}  # name -> version -> blob
+        self._sizes: Dict[str, Dict[str, int]] = {}  # name -> version -> decoded bytes
+        self._current: Dict[str, str] = {}  # name -> current version
+        self._model_policies: Dict[str, PlacementPolicy] = {}  # per-model overrides
+        self._placements = PlacementTable()  # key -> ReplicaSet, LRU first
+        self._protected: set = set()  # keys an in-progress deploy pins against eviction
         self._pending = 0
+        #: replica-normalized occupancy: a request to an R-replica model
+        #: charges 1/R of an admission slot (see PriorityPolicy docs)
+        self._pending_weight = 0.0
         self._pending_by_class: Dict[Priority, int] = {p: 0 for p in Priority}
+        self._key_pending: Dict[str, int] = {}  # key -> admitted-but-unresolved
         self._shed: Dict[Priority, int] = {p: 0 for p in Priority}
-        self._latency_window: Dict[Priority, Deque[float]] = {
-            p: deque(maxlen=_LATENCY_WINDOW) for p in Priority
+        self._latency_by_class: Dict[Priority, Deque[float]] = {
+            p: deque(maxlen=latency_window) for p in Priority
         }
         self._completions: Dict[Priority, int] = {p: 0 for p in Priority}
+        self._latency_by_key: Dict[str, Deque[float]] = {}
+        self._completions_by_key: Dict[str, int] = {}
         self._evictions = 0
 
     # -- catalog ----------------------------------------------------------- #
 
-    def register(self, name: str, image: Union[ModelImage, bytes]) -> None:
-        """Add or replace a named model image.
+    def register(
+        self,
+        name: str,
+        image: Union[ModelImage, bytes],
+        *,
+        version: Optional[str] = None,
+        activate: bool = True,
+        placement: Union[str, PlacementPolicy, None] = None,
+    ) -> None:
+        """Add or replace a model image under ``(name, version)``.
+
+        ``version=None`` replaces the model's current version (or registers
+        :data:`~repro.serving.placement.DEFAULT_VERSION` for a new name) —
+        the pre-versioning ``register(name, image)`` behaviour.  With
+        ``activate=True`` (default) the registered version becomes the one
+        ``version=None`` requests resolve to; ``activate=False`` registers
+        it inactive — which requires an explicit ``version=`` (staging can
+        never target the current version) and is how a rolling deploy
+        stages a new version before its atomic flip.  A brand-new name's
+        first version becomes current regardless of ``activate`` — a
+        registered model always has a current version.  ``placement``
+        overrides the router's placement policy for this model (all its
+        versions); changing the policy drops the model's existing replica
+        sets so the next use re-places under the new one.
 
         The image is serialized once here; workers decode their own plans
         from these bytes.  The decoded size (the byte-budget accounting unit)
         is measured by decoding once in the parent and discarding the plans —
         decode is deterministic, so the worker-side footprint is identical.
         """
+        validate_identifier("model name", name)
+        if version is not None:
+            validate_identifier("version", version)
+        elif not activate:
+            # version=None resolves to the CURRENT version — replacing the
+            # live image can never be "inactive"
+            raise ConfigError(
+                "activate=False stages a new version and needs an explicit "
+                "version= (version=None replaces the current version)"
+            )
         blob = image.to_bytes() if isinstance(image, ModelImage) else bytes(image)
         size = PackedModel(ModelImage.from_bytes(blob), cache=True).decoded_bytes()
-        if self.capacity_bytes is not None and size > self.capacity_bytes:
-            raise ConfigError(
-                f"model {name!r} needs {size} decoded bytes but the cluster budget "
-                f"is {self.capacity_bytes}"
+        with self._lock:
+            policy = (
+                PlacementPolicy.create(placement)
+                if placement is not None
+                else self._policy_for(name)
             )
-        with self._lock:
-            self._images[name] = blob
-            self._sizes[name] = size
-            worker_id = self._placements.pop(name, None)
-        if worker_id is not None:  # replacing: drop the stale plan; next use reloads
-            self.pool.unload(worker_id, name)
+            replicas = max(1, min(policy.replicas, self.pool.num_workers))
+            if self.capacity_bytes is not None:
+                # the policy governs every version of the name, so every
+                # registered version must still fit a full replica set —
+                # this is what keeps _admit_bytes' "a lone placement always
+                # fits" invariant true after a placement override
+                largest = max([size, *self._sizes.get(name, {}).values()])
+                if largest * replicas > self.capacity_bytes:
+                    raise ConfigError(
+                        f"model {name!r} needs {largest} decoded bytes x "
+                        f"{replicas} replica(s) but the cluster budget is "
+                        f"{self.capacity_bytes}"
+                    )
+            if placement is not None and not policy.equivalent(self._policy_for(name)):
+                # committed only once the budget admits; existing replica
+                # sets were planned under the old policy, so drop them —
+                # the next use re-places under the new one (unloads under
+                # the router lock, like everywhere else).  An equivalent
+                # policy (same class, same replica count) is a no-op here:
+                # re-registering with the same spec must not cold-restart
+                # the model's placements.
+                self._model_policies[name] = policy
+                for existing_version in self._images.get(name, {}):
+                    stale = self._placements.pop(make_key(name, existing_version))
+                    if stale is not None:
+                        for worker_id in stale.workers:
+                            self.pool.unload(worker_id, stale.key)
+            version = version or self._current.get(name, DEFAULT_VERSION)
+            self._images.setdefault(name, {})[version] = blob
+            self._sizes.setdefault(name, {})[version] = size
+            if activate or name not in self._current:
+                self._current[name] = version
+            # replacing: drop the stale plans; next use reloads.  The
+            # unloads go out under the router lock so they cannot land
+            # behind a concurrent submit's re-placement load
+            replica_set = self._placements.pop(make_key(name, version))
+            if replica_set is not None:
+                for worker_id in replica_set.workers:
+                    self.pool.unload(worker_id, replica_set.key)
 
-    def remove(self, name: str) -> None:
-        """Forget a model, unloading its placement; unknown names raise."""
+    def remove(self, name: str, *, version: Optional[str] = None) -> None:
+        """Forget a model (or one version of it), unloading its placements.
+
+        ``version=None`` removes every version of ``name``; naming a version
+        removes just that one — removing the *current* version is rejected
+        while other versions exist (flip first via :meth:`set_current` or a
+        deploy).  Unknown names/versions raise.
+        """
         with self._lock:
-            if name not in self._images:
+            versions = self._images.get(name)
+            if versions is None:
                 raise RoutingError(f"unknown model {name!r}")
-            del self._images[name]
-            del self._sizes[name]
-            worker_id = self._placements.pop(name, None)
-        if worker_id is not None:
-            self.pool.unload(worker_id, name)
+            if version is None:
+                doomed = list(versions)
+            elif version not in versions:
+                raise RoutingError(f"unknown version {version!r} of model {name!r}")
+            elif version == self._current[name] and len(versions) > 1:
+                raise RoutingError(
+                    f"version {version!r} is current for model {name!r}; "
+                    f"flip to another version before removing it"
+                )
+            else:
+                doomed = [version]
+            for doomed_version in doomed:
+                key = make_key(name, doomed_version)
+                del versions[doomed_version]
+                del self._sizes[name][doomed_version]
+                self._latency_by_key.pop(key, None)
+                self._completions_by_key.pop(key, None)
+                self._protected.discard(key)  # a removed key must not stay pinned
+                replica_set = self._placements.pop(key)
+                if replica_set is not None:
+                    # unload under the router lock: cannot land behind a
+                    # concurrent submit's re-placement load
+                    for worker_id in replica_set.workers:
+                        self.pool.unload(worker_id, key)
+            if not versions:
+                del self._images[name]
+                del self._sizes[name]
+                self._current.pop(name, None)
+                self._model_policies.pop(name, None)
 
     def names(self) -> List[str]:
         """All registered model names, sorted."""
         with self._lock:
             return sorted(self._images)
+
+    def versions(self, name: str) -> List[str]:
+        """Registered versions of ``name``, sorted (empty for unknown names)."""
+        with self._lock:
+            return sorted(self._images.get(name, {}))
+
+    def current_version(self, name: str) -> str:
+        """The version ``version=None`` requests resolve to for ``name``."""
+        with self._lock:
+            version = self._current.get(name)
+            if version is None:
+                raise RoutingError(f"unknown model {name!r}")
+            return version
+
+    def set_current(self, name: str, version: str) -> None:
+        """Atomically flip ``name``'s routing to ``version``.
+
+        One dictionary write under the router lock: every request admitted
+        after this call resolves ``version=None`` to the new version, every
+        request admitted before it keeps the version it resolved — nothing
+        in flight is disturbed, nothing is shed.
+        """
+        with self._lock:
+            if version not in self._images.get(name, {}):
+                raise RoutingError(f"unknown version {version!r} of model {name!r}")
+            self._current[name] = version
 
     def __contains__(self, name: str) -> bool:
         """True when ``name`` is a registered model."""
@@ -1048,7 +1264,7 @@ class ClusterRouter:
             return name in self._images
 
     def __len__(self) -> int:
-        """Number of registered models."""
+        """Number of registered models (names, not versions)."""
         with self._lock:
             return len(self._images)
 
@@ -1069,50 +1285,239 @@ class ClusterRouter:
             raise RoutingError(f"unknown model {model!r}; known: {known}")
         return model
 
-    def _place(self, name: str) -> int:
-        """Sticky placement lookup, or least-loaded assignment (under lock).
+    def _resolve_version(self, name: str, version: Optional[str]) -> str:
+        """Version resolution for ``name``: ``None`` means current (under lock)."""
+        if version is None:
+            return self._current[name]
+        if version not in self._images[name]:
+            known = ", ".join(sorted(self._images[name]))
+            raise RoutingError(
+                f"unknown version {version!r} of model {name!r}; known: {known}"
+            )
+        return version
 
-        New placements go to the worker with the fewest in-flight requests
-        (ties broken by fewest resident models, then id), after unloading LRU
-        placements as needed to respect the cluster byte budget.
+    def _policy_for(self, name: str) -> PlacementPolicy:
+        """The placement policy governing ``name`` (under lock)."""
+        return self._model_policies.get(name, self.placement_policy)
+
+    def _effective_replicas(self, name: str) -> int:
+        """Replica count ``name``'s plans spread across: the policy's target
+        capped by the pool size (under lock)."""
+        return max(1, min(self._policy_for(name).replicas, self.pool.num_workers))
+
+    def _size_of(self, key: str) -> int:
+        """Decoded byte size of one placed key (under lock)."""
+        name, version = split_key(key)
+        return self._sizes[name][version]
+
+    def _admit_bytes(self, needed: int, protect: set) -> None:
+        """Evict LRU replica sets until ``needed`` more bytes fit the budget.
+
+        Keys in ``protect`` (the placement being admitted plus both sides of
+        any in-progress deploy) are never evicted.  Raises
+        :class:`~repro.errors.RoutingError` when the protected placements
+        alone exhaust the budget — :meth:`register` guarantees a lone
+        placement always fits, so this only triggers when a deploy
+        transiently pins old + new plans and the budget cannot hold both
+        alongside this placement.
         """
-        worker_id = self._placements.get(name)
-        if worker_id is not None:
-            return worker_id
+        if self.capacity_bytes is None:
+            return
+        while self._resident_bytes() + needed > self.capacity_bytes:
+            evicted = self._placements.pop_lru(exclude=protect)
+            if evicted is None:
+                raise RoutingError(
+                    f"cluster byte budget ({self.capacity_bytes}) cannot admit "
+                    f"{needed} more decoded bytes: every resident placement is "
+                    f"pinned (in-progress deploy?)"
+                )
+            self._evictions += 1
+            for worker_id in evicted.workers:
+                self.pool.unload(worker_id, evicted.key)
+
+    def _plan_workers(self, name: str) -> List[int]:
+        """Plan a fresh replica set for one of ``name``'s keys (under lock).
+
+        Delegates to the model's policy: the workers with the fewest
+        in-flight requests host the plans (ties broken by fewest resident
+        replica sets, then id).  One code path for normal placements and
+        deploy warm-ups, so both place new plans by the same rule.
+        """
         resident_count: Dict[int, int] = {wid: 0 for wid in self.pool.worker_ids()}
-        for wid in self._placements.values():
-            resident_count[wid] = resident_count.get(wid, 0) + 1
-        worker_id = min(
-            self.pool.worker_ids(),
-            key=lambda wid: (self.pool.in_flight(wid), resident_count.get(wid, 0), wid),
+        for _, placed in self._placements.items():
+            for wid in placed.workers:
+                resident_count[wid] = resident_count.get(wid, 0) + 1
+        return self._policy_for(name).plan(
+            self.pool.worker_ids(), self.pool.in_flight, resident_count
         )
-        size = self._sizes[name]
-        if self.capacity_bytes is not None:
-            while self._placements and self._resident_bytes() + size > self.capacity_bytes:
-                evicted, evicted_worker = self._placements.popitem(last=False)
-                self._evictions += 1
-                self.pool.unload(evicted_worker, evicted)
-        self._placements[name] = worker_id
-        self.pool.load(worker_id, name, self._images[name])
-        return worker_id
+
+    def _place(self, key: str) -> ReplicaSet:
+        """Replica-set lookup, or a fresh placement by policy (under lock).
+
+        A new key is planned by its model's
+        :class:`~repro.serving.placement.PlacementPolicy`
+        (:meth:`_plan_workers`) after unloading LRU replica sets as needed
+        to respect the cluster byte budget.
+        """
+        replica_set = self._placements.get(key)
+        if replica_set is not None:
+            return replica_set
+        name, version = split_key(key)
+        workers = self._plan_workers(name)
+        self._admit_bytes(
+            self._size_of(key) * len(workers), protect=self._protected | {key}
+        )
+        replica_set = ReplicaSet(key, workers, self._policy_for(name))
+        self._placements.insert(replica_set)
+        for worker_id in workers:
+            self.pool.load(worker_id, key, self._images[name][version])
+        return replica_set
 
     def _resident_bytes(self) -> int:
-        """Decoded-plan bytes across every placement (under lock)."""
-        return sum(self._sizes[name] for name in self._placements)
+        """Decoded-plan bytes across every replica of every placement
+        (under lock)."""
+        return self._placements.resident_bytes(self._size_of)
 
-    def _complete(self, priority: Priority, started: float, future: "Future[np.ndarray]") -> None:
+    def _drop_weight(self, weight: float) -> None:
+        """Return normalized admission weight (under lock), drift-proofed.
+
+        Fractional weights (1/replicas) do not always cancel exactly in
+        floating point, so the counter is clamped at zero and resynced to
+        exactly 0.0 whenever the raw pending count empties.
+        """
+        self._pending_weight = max(0.0, self._pending_weight - weight)
+        if self._pending == 0:
+            self._pending_weight = 0.0
+
+    def _complete(
+        self,
+        priority: Priority,
+        key: str,
+        replica_set: ReplicaSet,
+        worker_id: int,
+        weight: float,
+        started: float,
+        future: "Future[np.ndarray]",
+    ) -> None:
         """Done-callback: free one admission slot and record the latency.
 
         Latency (submit→resolve, transport and queueing included) is only
         recorded for successfully served requests — sheds never get here and
-        failures would skew the percentiles with error-path timing.
+        failures would skew the percentiles with error-path timing.  The
+        per-version rollup and the serving replica's completion counter are
+        updated alongside the per-class one.
         """
         with self._lock:
             self._pending -= 1
+            self._drop_weight(weight)
             self._pending_by_class[priority] -= 1
+            pending = self._key_pending.get(key, 0) - 1
+            if pending > 0:
+                self._key_pending[key] = pending
+            else:
+                self._key_pending.pop(key, None)
             if not future.cancelled() and future.exception() is None:
+                elapsed = time.monotonic() - started
                 self._completions[priority] += 1
-                self._latency_window[priority].append(time.monotonic() - started)
+                self._latency_by_class[priority].append(elapsed)
+                self._completions_by_key[key] = self._completions_by_key.get(key, 0) + 1
+                self._latency_by_key.setdefault(
+                    key, deque(maxlen=self.latency_window)
+                ).append(elapsed)
+                # credit exactly the replica-set generation that dispatched
+                # this request (captured in the callback): after an evict +
+                # re-place the key may map to a NEW set that never saw this
+                # request, and crediting it would desync its counters
+                replica_set.record_completion(worker_id)
+
+    # -- deploy primitives (driven by placement.DeployManager) -------------- #
+
+    def warm(self, name: str, version: str) -> List[int]:
+        """Stage ``version``'s plans alongside the current version's.
+
+        Places the new key on the *same* workers as the current version's
+        replica set (a fresh placement plan when the model was never
+        placed), sending the image to each — routing still points at the
+        old version, so traffic is untouched.  Both keys are pinned against
+        LRU eviction until :meth:`release_version` unpins them, and the new
+        plans are budget-accounted immediately: the cluster budget must
+        hold old + new during the transition.  Returns the target worker
+        ids; the caller polls :meth:`WorkerPool.ping` for warm-up
+        completion.
+        """
+        with self._lock:
+            if version not in self._images.get(name, {}):
+                raise RoutingError(f"unknown version {version!r} of model {name!r}")
+            current = self._current[name]
+            new_key = make_key(name, version)
+            old_key = make_key(name, current)
+            staged = self._placements.get(new_key)
+            if staged is not None:  # already warm (idempotent)
+                self._protected.update({old_key, new_key})
+                return list(staged.workers)
+            current_set = self._placements.get(old_key)
+            if current_set is not None:
+                workers = list(current_set.workers)
+            else:
+                workers = self._plan_workers(name)
+            self._protected.update({old_key, new_key})
+            try:
+                self._admit_bytes(
+                    self._size_of(new_key) * len(workers), protect=self._protected
+                )
+            except BaseException:
+                self._protected.discard(new_key)
+                if old_key != new_key:
+                    self._protected.discard(old_key)
+                raise
+            self._placements.insert(ReplicaSet(new_key, workers, self._policy_for(name)))
+            # load under the router lock, like _place(): a concurrent
+            # version-pinned submit that sees the fresh replica set cannot
+            # slip its burst frame into the pipe ahead of these loads
+            blob = self._images[name][version]
+            for worker_id in workers:
+                self.pool.load(worker_id, new_key, blob)
+            return list(workers)
+
+    def release_version(self, name: str, version: str) -> None:
+        """Unload one version's replica set (and drop its eviction pin).
+
+        Called by the deploy manager after the old version drained (or to
+        abort a failed warm-up).  The version's decoded bytes leave the
+        cluster budget and its latency *window* is dropped (the served
+        counter survives in ``latency_by_version``), so rolling deploys do
+        not accumulate per-version window memory; the version's *image*
+        stays registered for rollbacks.
+        """
+        with self._lock:
+            key = make_key(name, version)
+            self._protected.discard(key)
+            self._latency_by_key.pop(key, None)
+            replica_set = self._placements.pop(key)
+            if replica_set is not None:
+                # unload under the router lock: cannot land behind a
+                # concurrent submit's re-placement load
+                for worker_id in replica_set.workers:
+                    self.pool.unload(worker_id, key)
+
+    def unpin(self, name: str) -> None:
+        """Drop the deploy eviction pins for every key of ``name``.
+
+        The deploy manager calls this when a deploy leaves its critical
+        section — success, warm-up abort, or drain timeout — so no key
+        stays pinned against LRU eviction once no deploy is in flight.
+        Matches pinned keys by name prefix rather than the registered
+        version list, so pins cannot survive a concurrent ``remove``.
+        """
+        with self._lock:
+            self._protected = {
+                key for key in self._protected if split_key(key)[0] != name
+            }
+
+    def version_pending(self, name: str, version: str) -> int:
+        """Admitted-but-unresolved requests pinned to one ``(name, version)``."""
+        with self._lock:
+            return self._key_pending.get(make_key(name, version), 0)
 
     # -- request side ------------------------------------------------------ #
 
@@ -1121,19 +1526,23 @@ class ClusterRouter:
         x: np.ndarray,
         *,
         model: Optional[str] = None,
+        version: Optional[str] = None,
         priority: Priority = Priority.NORMAL,
         deadline_s: Optional[float] = None,
     ) -> "Future[np.ndarray]":
         """Admit, route and send one request; returns its result future.
 
         Admission applies the priority watermarks
-        (:class:`~repro.serving.priority.PriorityPolicy`): a request whose
-        class is over its occupancy limit is shed immediately with
-        :class:`~repro.errors.AdmissionError`.  ``deadline_s`` is the latency
-        budget measured from this call, enforced at worker dispatch.
+        (:class:`~repro.serving.priority.PriorityPolicy`, scaled by the
+        model's replica count): a request whose class is over its occupancy
+        limit is shed immediately with
+        :class:`~repro.errors.AdmissionError`.  ``version=None`` resolves
+        to the model's current version at admission (naming one pins it);
+        ``deadline_s`` is the latency budget measured from this call,
+        enforced at worker dispatch.
         """
         return self.submit_many(
-            [x], model=model, priority=priority, deadline_s=deadline_s
+            [x], model=model, version=version, priority=priority, deadline_s=deadline_s
         )[0]
 
     def submit_many(
@@ -1141,19 +1550,23 @@ class ClusterRouter:
         xs: Sequence[np.ndarray],
         *,
         model: Optional[str] = None,
+        version: Optional[str] = None,
         priority: Priority = Priority.NORMAL,
         deadline_s: Optional[float] = None,
     ) -> List["Future[np.ndarray]"]:
         """Admit, route and send a burst of requests in one control frame.
 
         Admission is **all-or-nothing**: the burst is admitted only when
-        every request fits under the class watermark, otherwise the whole
-        burst is shed with :class:`~repro.errors.AdmissionError` (and
-        counted per request in ``shed_by_priority``) — no request of a
-        partially admissible burst is enqueued.  Admitted bursts share one
-        deadline budget measured from this call and cross the worker pipe
-        as a single message (:meth:`WorkerPool.submit_many`), so large
-        batch shapes cost one syscall, not one per request.
+        every request fits under the class watermark (scaled by the
+        resolved model's replica count), otherwise the whole burst is shed
+        with :class:`~repro.errors.AdmissionError` (and counted per request
+        in ``shed_by_priority``) — no request of a partially admissible
+        burst is enqueued.  The whole burst resolves one ``(model,
+        version)`` and dispatches to one replica chosen by the placement
+        policy, shares one deadline budget measured from this call, and
+        crosses the worker pipe as a single message
+        (:meth:`WorkerPool.submit_many`), so large batch shapes cost one
+        syscall, not one per request.
         """
         if not self.pool.running:
             raise RoutingError("cluster not started; call start() or use a with block")
@@ -1164,16 +1577,27 @@ class ClusterRouter:
         deadline = None if deadline_s is None else time.monotonic() + deadline_s
         with self._lock:
             name = self._resolve(model)
-            if not self.policy.admits(priority, self._pending, len(xs)):
+            key = make_key(name, self._resolve_version(name, version))
+            replicas = self._effective_replicas(name)
+            # replica-normalized admission: each request charges 1/replicas
+            # of a slot against the *shared* per-worker-calibrated budget, so
+            # a replicated model admits proportionally more work while other
+            # models' watermarks (and HIGH's reserved headroom) still hold
+            weight = len(xs) / replicas
+            if not self.policy.admits(priority, self._pending_weight, weight):
                 self._shed[priority] += len(xs)
                 raise AdmissionError(
                     f"{priority.name} admission limit "
                     f"({self.policy.admit_limit(priority)} of "
-                    f"{self.policy.max_pending}) cannot fit a burst of {len(xs)} "
-                    f"at {self._pending} pending; burst shed"
+                    f"{self.policy.max_pending}) cannot fit a burst of "
+                    f"{len(xs)} (weight {weight:g} at {replicas} replica(s)) "
+                    f"at normalized occupancy {self._pending_weight:g}; "
+                    f"burst shed"
                 )
             self._pending += len(xs)  # claim the slots before dropping the lock
+            self._pending_weight += weight
             self._pending_by_class[priority] += len(xs)
+            self._key_pending[key] = self._key_pending.get(key, 0) + len(xs)
         encoded = None
         started = time.monotonic()
         try:
@@ -1182,16 +1606,19 @@ class ClusterRouter:
             # stats readers, or concurrent submitters
             encoded = self.pool.encode_burst(xs)
             with self._lock:
-                if name not in self._images:  # removed while we encoded
-                    raise RoutingError(f"model {name!r} was removed during submit")
-                worker_id = self._place(name)
-                self._placements.move_to_end(name)
+                name_, version_ = split_key(key)
+                if version_ not in self._images.get(name_, {}):  # removed meanwhile
+                    raise RoutingError(f"model {key!r} was removed during submit")
+                replica_set = self._place(key)
+                self._placements.touch(key)
+                worker_id = replica_set.pick(self.pool.in_flight)
+                replica_set.record_dispatch(worker_id, len(xs))
                 # the send happens under the router lock: a concurrent
                 # placement evicting this model cannot slip its `unload`
                 # into the worker's pipe between our placement decision and
                 # our burst frame
                 futures = self.pool.submit_encoded(
-                    worker_id, name, encoded, deadline=deadline, priority=priority
+                    worker_id, key, encoded, deadline=deadline, priority=priority
                 )
         except BaseException:
             # nothing was registered: hand back the leases and the slots
@@ -1200,9 +1627,17 @@ class ClusterRouter:
                 self.pool.release_encoded(encoded)
             with self._lock:
                 self._pending -= len(xs)
+                self._drop_weight(weight)
                 self._pending_by_class[priority] -= len(xs)
+                pending = self._key_pending.get(key, 0) - len(xs)
+                if pending > 0:
+                    self._key_pending[key] = pending
+                else:
+                    self._key_pending.pop(key, None)
             raise
-        release = functools.partial(self._complete, priority, started)
+        release = functools.partial(
+            self._complete, priority, key, replica_set, worker_id, 1.0 / replicas, started
+        )
         for future in futures:
             future.add_done_callback(release)
         return futures
@@ -1212,11 +1647,14 @@ class ClusterRouter:
         x: np.ndarray,
         *,
         model: Optional[str] = None,
+        version: Optional[str] = None,
         priority: Priority = Priority.NORMAL,
         deadline_s: Optional[float] = None,
     ) -> np.ndarray:
         """Blocking convenience: :meth:`submit` + wait for the result row."""
-        return self.submit(x, model=model, priority=priority, deadline_s=deadline_s).result()
+        return self.submit(
+            x, model=model, version=version, priority=priority, deadline_s=deadline_s
+        ).result()
 
     # -- lifecycle --------------------------------------------------------- #
 
@@ -1230,6 +1668,7 @@ class ClusterRouter:
         self.pool.stop()
         with self._lock:
             self._placements.clear()
+            self._protected.clear()
 
     def __enter__(self) -> "ClusterRouter":
         """Start the cluster for the duration of a ``with`` block."""
@@ -1247,42 +1686,56 @@ class ClusterRouter:
         with self._lock:
             return self._pending
 
-    def placements(self) -> Dict[str, int]:
-        """Current model → worker assignment (a copy)."""
+    def placements(self) -> Dict[str, Tuple[int, ...]]:
+        """Current model key → replica worker ids (a copy).
+
+        Keys are ``"name@version"``; the tuple lists every worker hosting
+        that key's decoded plans (one entry under sticky placement).
+        """
         with self._lock:
-            return dict(self._placements)
+            return {
+                key: tuple(replica_set.workers)
+                for key, replica_set in self._placements.items()
+            }
 
     def _latency_stats(self) -> Dict[Priority, LatencyStats]:
         """Per-class percentile rollup over the latency windows (under lock)."""
-        rollup: Dict[Priority, LatencyStats] = {}
-        for priority in Priority:
-            window = self._latency_window[priority]
-            if window:
-                p50, p99 = np.percentile(np.fromiter(window, dtype=np.float64), [50, 99])
-            else:
-                p50 = p99 = float("nan")
-            rollup[priority] = LatencyStats(
-                count=self._completions[priority],
-                p50_ms=float(p50) * 1e3,
-                p99_ms=float(p99) * 1e3,
+        return {
+            priority: LatencyStats.from_completions(
+                self._completions[priority], self._latency_by_class[priority]
             )
-        return rollup
+            for priority in Priority
+        }
+
+    def _version_stats(self) -> Dict[str, LatencyStats]:
+        """Per-version served/latency rollup over the key windows (under lock)."""
+        return {
+            key: LatencyStats.from_completions(
+                count, self._latency_by_key.get(key, ())
+            )
+            for key, count in self._completions_by_key.items()
+        }
 
     def stats(self) -> ClusterStats:
         """Cluster-wide counters as one consistent snapshot."""
         with self._lock:
             per_worker_models: Dict[int, List[str]] = {}
-            for name, wid in self._placements.items():
-                per_worker_models.setdefault(wid, []).append(name)
-            per_worker_bytes = {
-                wid: sum(self._sizes[n] for n in names)
-                for wid, names in per_worker_models.items()
+            per_worker_bytes: Dict[int, int] = {}
+            for key, replica_set in self._placements.items():
+                for wid in replica_set.workers:
+                    per_worker_models.setdefault(wid, []).append(key)
+                    per_worker_bytes[wid] = per_worker_bytes.get(wid, 0) + self._size_of(key)
+            replicas = {
+                key: replica_set.snapshot()
+                for key, replica_set in self._placements.items()
             }
+            current_versions = dict(self._current)
             shed = dict(self._shed)
             evictions = self._evictions
             pending = self._pending
             queue_depth = dict(self._pending_by_class)
             latency = self._latency_stats()
+            latency_by_version = self._version_stats()
             resident = self._resident_bytes()
         workers = tuple(
             WorkerStats(
@@ -1310,4 +1763,7 @@ class ClusterRouter:
             queue_depth_by_priority=queue_depth,
             latency_by_priority=latency,
             transport=self.pool.transport_snapshot(),
+            replicas=replicas,
+            latency_by_version=latency_by_version,
+            current_versions=current_versions,
         )

@@ -25,12 +25,16 @@ what unit tests and single-shot scripts want.  All counters land in the
 shared :class:`~repro.serving.batching.EngineStats` (``shed``,
 ``deadline_misses``, …); read them race-free via :meth:`snapshot`.
 
-Cluster-backed, ``predict(x, model="kws-en", priority=Priority.HIGH,
-deadline_s=...)`` routes through the cluster: admission is delegated to the
-router's priority-watermark policy (low-priority traffic sheds first), the
-named model picks the worker, and the worker's engine coalesces and
-deadline-checks as usual.  ``async with frontend:`` then starts and stops
-the worker processes.
+Cluster-backed, ``predict(x, model="kws-en", version=None,
+priority=Priority.HIGH, deadline_s=...)`` routes through the cluster:
+admission is delegated to the router's priority-watermark policy
+(low-priority traffic sheds first, limits scaled by the model's replica
+count), the resolved ``(model, version)`` picks the replica via the
+placement policy, and the worker's engine coalesces and deadline-checks as
+usual.  ``await deploy(name, image, version)`` / ``await rollback(name)``
+run versioned rolling deploys (:mod:`repro.serving.placement`) off the
+event loop, and ``async with frontend:`` starts and stops the worker
+processes.
 """
 
 from __future__ import annotations
@@ -45,6 +49,7 @@ import numpy as np
 from repro.errors import AdmissionError, ConfigError
 from repro.serving.batching import BatchingEngine, EngineStats, MicroBatchConfig
 from repro.serving.cluster import ClusterRouter, ClusterStats
+from repro.serving.placement import DeployManager, DeployReport
 from repro.serving.priority import Priority
 
 #: sentinel distinguishing "deadline_s not passed" (use the frontend default)
@@ -117,6 +122,12 @@ class AsyncServingFrontend:
         self.default_priority = Priority(default_priority)
         self._pending = 0
         self._lock = threading.Lock()  # done-callbacks fire on the worker thread
+        # built eagerly so every caller shares ONE manager (whose lock
+        # serialises deploys) — lazy creation could race two threads into
+        # two managers with independent locks
+        self._deploy_manager: Optional[DeployManager] = (
+            DeployManager(self.cluster) if self.cluster is not None else None
+        )
 
     # -- introspection ---------------------------------------------------- #
 
@@ -154,6 +165,7 @@ class AsyncServingFrontend:
         x: np.ndarray,
         deadline_s: Optional[float],
         model: Optional[str],
+        version: Optional[str],
         priority: Optional[Priority],
     ) -> "Future[np.ndarray]":
         """Admission-check one request and enqueue it on the backend."""
@@ -161,12 +173,13 @@ class AsyncServingFrontend:
             return self.cluster.submit(
                 x,
                 model=model,
+                version=version,
                 priority=self.default_priority if priority is None else Priority(priority),
                 deadline_s=deadline_s,
             )
-        if model is not None or priority is not None:
+        if model is not None or version is not None or priority is not None:
             raise ConfigError(
-                "model= and priority= require a cluster-backed frontend "
+                "model=, version= and priority= require a cluster-backed frontend "
                 "(AsyncServingFrontend(ClusterRouter(...)))"
             )
         with self._lock:
@@ -206,21 +219,24 @@ class AsyncServingFrontend:
         *,
         deadline_s=_UNSET,
         model: Optional[str] = None,
+        version: Optional[str] = None,
         priority: Optional[Priority] = None,
     ) -> np.ndarray:
         """Serve one example; awaits its result row.
 
         ``deadline_s`` overrides ``default_deadline_s`` for this request; an
         explicit ``deadline_s=None`` opts this request out of the default
-        (no deadline at all).  ``model`` selects the named model and
-        ``priority`` the admission class — both cluster-backed only.  Raises
+        (no deadline at all).  ``model`` selects the named model,
+        ``version`` pins one of its versions (``None`` = the current one,
+        which is what a rolling deploy flips), and ``priority`` the
+        admission class — all three cluster-backed only.  Raises
         :class:`~repro.errors.AdmissionError` immediately when admission is
         refused, and :class:`~repro.errors.DeadlineExceeded` when the budget
         expires before the micro-batch is scheduled.
         """
         if deadline_s is _UNSET:
             deadline_s = self.default_deadline_s
-        future = self._admit(np.asarray(x), deadline_s, model, priority)
+        future = self._admit(np.asarray(x), deadline_s, model, version, priority)
         self._maybe_flush()
         return await asyncio.wrap_future(future)
 
@@ -230,6 +246,7 @@ class AsyncServingFrontend:
         *,
         deadline_s=_UNSET,
         model: Optional[str] = None,
+        version: Optional[str] = None,
         priority: Optional[Priority] = None,
     ) -> List[np.ndarray]:
         """Serve several examples concurrently, preserving order.
@@ -256,6 +273,7 @@ class AsyncServingFrontend:
             futures = self.cluster.submit_many(
                 [np.asarray(x) for x in xs],
                 model=model,
+                version=version,
                 priority=self.default_priority if priority is None else Priority(priority),
                 deadline_s=deadline_s,
             )
@@ -263,7 +281,7 @@ class AsyncServingFrontend:
         futures: List["Future[np.ndarray]"] = []
         try:
             for x in xs:
-                futures.append(self._admit(np.asarray(x), deadline_s, model, priority))
+                futures.append(self._admit(np.asarray(x), deadline_s, model, version, priority))
         except BaseException:
             # Don't strand admitted-but-unawaited requests in the backend
             # queue: cancel them so their slots release now (cancellation
@@ -283,6 +301,7 @@ class AsyncServingFrontend:
         *,
         deadline_s=_UNSET,
         model: Optional[str] = None,
+        version: Optional[str] = None,
         priority: Optional[Priority] = None,
     ) -> List[np.ndarray]:
         """Synchronous bridge: serve all of ``xs`` on a private event loop.
@@ -308,12 +327,42 @@ class AsyncServingFrontend:
                 chunk = xs[start : start + chunk_size]
                 rows.extend(
                     await self.predict_many(
-                        chunk, deadline_s=deadline_s, model=model, priority=priority
+                        chunk,
+                        deadline_s=deadline_s,
+                        model=model,
+                        version=version,
+                        priority=priority,
                     )
                 )
             return rows
 
         return asyncio.run(run())
+
+    # -- rolling deploys --------------------------------------------------- #
+
+    def _deploys(self) -> DeployManager:
+        """The frontend's deploy manager (cluster-backed frontends only)."""
+        if self._deploy_manager is None:
+            raise ConfigError(
+                "deploy()/rollback() require a cluster-backed frontend "
+                "(AsyncServingFrontend(ClusterRouter(...)))"
+            )
+        return self._deploy_manager
+
+    async def deploy(self, name: str, image, version: str) -> DeployReport:
+        """Rolling-deploy ``name`` to a new ``version`` without shedding.
+
+        Runs the blocking warm → flip → drain → unload sequence
+        (:class:`~repro.serving.placement.DeployManager`) on a worker
+        thread so the event loop keeps serving traffic throughout — which
+        is the point of a *rolling* deploy.  Returns the
+        :class:`~repro.serving.placement.DeployReport`.
+        """
+        return await asyncio.to_thread(self._deploys().deploy, name, image, version)
+
+    async def rollback(self, name: str) -> DeployReport:
+        """Roll ``name`` back to the previously deployed version."""
+        return await asyncio.to_thread(self._deploys().rollback, name)
 
     # -- lifecycle -------------------------------------------------------- #
 

@@ -64,20 +64,38 @@ class PriorityPolicy:
                 "watermarks must satisfy 0 < low_watermark <= normal_watermark <= 1"
             )
 
-    def admit_limit(self, priority: Priority) -> int:
+    def admit_limit(self, priority: Priority, replicas: int = 1) -> int:
         """Pending-count ceiling for one class (always >= 1, so an idle
-        cluster admits every class)."""
+        cluster admits every class).
+
+        ``replicas`` scales the budget by the capacity actually serving a
+        model: ``max_pending`` is calibrated for one worker's queue, so a
+        model replicated across N workers can carry up to N times as many
+        pending requests before its watermarks bite — admission consults
+        replica-set capacity, not single-worker capacity.  The router
+        realises this *per model* by charging each request ``1/replicas``
+        of a slot against the shared base budget (:meth:`admits` with
+        fractional occupancy): equivalent to the scaled ceiling for one
+        model's traffic, while other models' watermarks — and HIGH's
+        reserved headroom — still hold on the shared queue.
+        """
+        budget = self.max_pending * max(1, replicas)
         if priority == Priority.HIGH:
-            return self.max_pending
+            return budget
         fraction = (
             self.normal_watermark if priority == Priority.NORMAL else self.low_watermark
         )
-        return max(1, int(self.max_pending * fraction))
+        return max(1, int(budget * fraction))
 
-    def admits(self, priority: Priority, pending: int, n: int = 1) -> bool:
+    def admits(self, priority: Priority, pending: float, n: float = 1) -> bool:
         """True when ``n`` requests of ``priority`` may be admitted at
         ``pending`` unresolved requests.
 
+        ``pending`` and ``n`` may be fractional: the cluster router passes
+        replica-normalized occupancy (each request to an R-replica model
+        counts as ``1/R``), keeping the watermarks meaningful across models
+        with different replica counts — replica scaling happens in that
+        normalization, never here, so the budget cannot be scaled twice.
         Burst admission is all-or-nothing: the whole burst fits under the
         class watermark or none of it is admitted (``n=1`` reproduces the
         single-request rule exactly).

@@ -10,6 +10,15 @@ plans, evicting least-recently-used plans when a cold decode would overflow
 it.  Evicted models re-decode transparently on next use; a model whose plan
 alone exceeds the budget is still served, just never cached.
 
+Registrations are **version-aware**: every image lives under a ``(name,
+version)`` key (``register(name, image, version="v2")``), one version per
+name is *current* (what ``get(name)`` resolves to), and byte accounting is
+available per version via :meth:`ModelRegistry.resident_by_version` — the
+in-process mirror of the cluster's versioned placements, sharing the same
+byte budget semantics.  ``register(name, image)`` without a version keeps
+the pre-versioning behaviour: it replaces the current version (or registers
+``v1`` for a new name).
+
 The original count-based bound (``ModelRegistry(capacity=N)`` keeping at
 most N decoded plans) survives as a deprecated alias.
 
@@ -23,13 +32,17 @@ import threading
 import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.deploy.image import ModelImage
 from repro.errors import ConfigError
 from repro.serving.packed import PackedModel
+from repro.serving.placement import DEFAULT_VERSION, make_key, validate_identifier
+
+#: internal registry key: (model name, version)
+ModelKey = Tuple[str, str]
 
 #: default decoded-plan budget when neither bound is given (64 MiB)
 DEFAULT_CAPACITY_BYTES = 64 * 2**20
@@ -90,32 +103,110 @@ class ModelRegistry:
         self.capacity = capacity
         self.capacity_bytes = capacity_bytes
         self.stats = RegistryStats()
-        self._images: "OrderedDict[str, ModelImage]" = OrderedDict()
-        self._decoded: "OrderedDict[str, PackedModel]" = OrderedDict()
-        self._inflight: Dict[str, threading.Event] = {}  # single-flight decodes
+        self._images: "OrderedDict[ModelKey, ModelImage]" = OrderedDict()
+        self._current: Dict[str, str] = {}  # name -> current version
+        self._decoded: "OrderedDict[ModelKey, PackedModel]" = OrderedDict()
+        self._inflight: Dict[ModelKey, threading.Event] = {}  # single-flight decodes
         self._lock = threading.RLock()
 
     # -- mutation ---------------------------------------------------------- #
 
-    def register(self, name: str, image: Union[ModelImage, bytes]) -> None:
-        """Add or replace a named image; replacing drops any stale plan."""
+    def register(
+        self,
+        name: str,
+        image: Union[ModelImage, bytes],
+        *,
+        version: Optional[str] = None,
+        activate: bool = True,
+    ) -> None:
+        """Add or replace an image under ``(name, version)``.
+
+        ``version=None`` replaces the current version (or registers
+        ``v1`` for a new name) — the pre-versioning behaviour.  With
+        ``activate=True`` (default) the registered version becomes current;
+        ``activate=False`` stages it without touching resolution (a
+        deploy's warm-up) and requires an explicit ``version=``.  A
+        brand-new name's first version becomes current regardless of
+        ``activate`` — a registered model always has a current version.
+        Replacing an existing key drops any stale plan.
+        """
+        validate_identifier("model name", name)
+        if version is not None:
+            validate_identifier("version", version)
+        elif not activate:
+            # version=None resolves to the CURRENT version — replacing the
+            # live image can never be "inactive"
+            raise ConfigError(
+                "activate=False stages a new version and needs an explicit "
+                "version= (version=None replaces the current version)"
+            )
         if isinstance(image, (bytes, bytearray)):
             image = ModelImage.from_bytes(bytes(image))
         with self._lock:
-            self._images[name] = image
-            self._drop_plan(name)
+            version = version or self._current.get(name, DEFAULT_VERSION)
+            self._images[(name, version)] = image
+            if activate or name not in self._current:
+                self._current[name] = version
+            self._drop_plan((name, version))
 
-    def remove(self, name: str) -> None:
-        """Forget a model and its decoded plan; unknown names raise."""
+    def remove(self, name: str, *, version: Optional[str] = None) -> None:
+        """Forget a model (or one version) and its decoded plans.
+
+        ``version=None`` removes every version of ``name``; naming one
+        removes just that key — removing the *current* version while other
+        versions exist is rejected (:meth:`set_current` first).  Unknown
+        names/versions raise.
+        """
         with self._lock:
-            if name not in self._images:
+            versions = self._versions_of(name)
+            if not versions:
                 raise ConfigError(f"unknown model {name!r}")
-            del self._images[name]
-            self._drop_plan(name)
+            if version is None:
+                doomed = versions
+            elif version not in versions:
+                raise ConfigError(f"unknown version {version!r} of model {name!r}")
+            elif version == self._current[name] and len(versions) > 1:
+                raise ConfigError(
+                    f"version {version!r} is current for model {name!r}; "
+                    f"set_current() to another version before removing it"
+                )
+            else:
+                doomed = [version]
+            for doomed_version in doomed:
+                del self._images[(name, doomed_version)]
+                self._drop_plan((name, doomed_version))
+            if not self._versions_of(name):
+                self._current.pop(name, None)
 
-    def _drop_plan(self, name: str) -> None:
-        """Discard ``name``'s decoded plan (if resident), keeping byte accounts."""
-        if self._decoded.pop(name, None) is not None:
+    def set_current(self, name: str, version: str) -> None:
+        """Atomically flip which version ``get(name)`` resolves to."""
+        with self._lock:
+            if (name, version) not in self._images:
+                raise ConfigError(f"unknown version {version!r} of model {name!r}")
+            self._current[name] = version
+
+    def _versions_of(self, name: str) -> List[str]:
+        """Registered versions of ``name`` in insertion order (under lock)."""
+        return [v for n, v in self._images if n == name]
+
+    def _resolve(self, name: str, version: Optional[str]) -> ModelKey:
+        """Resolve ``(name, version)`` with ``None`` meaning current (under lock)."""
+        if version is None:
+            current = self._current.get(name)
+            if current is None:
+                known = ", ".join(sorted({n for n, _ in self._images})) or "<empty>"
+                raise ConfigError(f"unknown model {name!r}; known: {known}")
+            return (name, current)
+        if (name, version) not in self._images:
+            known = ", ".join(self._versions_of(name)) or "<none>"
+            raise ConfigError(
+                f"unknown version {version!r} of model {name!r}; known: {known}"
+            )
+        return (name, version)
+
+    def _drop_plan(self, key: ModelKey) -> None:
+        """Discard ``key``'s decoded plan (if resident), keeping byte accounts."""
+        if self._decoded.pop(key, None) is not None:
             self._sync_resident()
 
     def _sync_resident(self) -> None:
@@ -129,9 +220,10 @@ class ModelRegistry:
 
     # -- lookup ------------------------------------------------------------ #
 
-    def get(self, name: str) -> PackedModel:
-        """Fetch the decoded runtime for ``name``, decoding (and possibly
-        evicting LRU plans) on a cache miss.
+    def get(self, name: str, version: Optional[str] = None) -> PackedModel:
+        """Fetch the decoded runtime for ``(name, version)`` — ``None``
+        meaning the current version — decoding (and possibly evicting LRU
+        plans) on a cache miss.
 
         The decode itself runs outside the lock so a cold model never blocks
         concurrent hits on hot ones.  Cold decodes are **single-flight**:
@@ -142,18 +234,16 @@ class ModelRegistry:
         """
         while True:
             with self._lock:
-                image = self._images.get(name)
-                if image is None:
-                    known = ", ".join(sorted(self._images)) or "<empty>"
-                    raise ConfigError(f"unknown model {name!r}; known: {known}")
-                model = self._decoded.get(name)
+                key = self._resolve(name, version)
+                image = self._images[key]
+                model = self._decoded.get(key)
                 if model is not None:
                     self.stats.hits += 1
-                    self._decoded.move_to_end(name)
+                    self._decoded.move_to_end(key)
                     return model
-                waiter = self._inflight.get(name)
+                waiter = self._inflight.get(key)
                 if waiter is None:
-                    self._inflight[name] = waiter = threading.Event()
+                    self._inflight[key] = waiter = threading.Event()
                     self.stats.misses += 1
                     break  # this thread is the decode leader
             waiter.wait()  # a leader is decoding; retry once it lands
@@ -161,20 +251,20 @@ class ModelRegistry:
             model = PackedModel(image, cache=True)
         except BaseException:
             with self._lock:  # wake followers; one of them retries as leader
-                self._inflight.pop(name, None)
+                self._inflight.pop(key, None)
                 waiter.set()
             raise
         with self._lock:
             # cache *before* releasing the latch (atomically with it), so a
             # woken follower always finds the plan and can never become a
             # second leader decoding the same image
-            if self._images.get(name) is image:  # not re-registered/removed mid-decode
-                self._cache(name, model)
-            self._inflight.pop(name, None)
+            if self._images.get(key) is image:  # not re-registered/removed mid-decode
+                self._cache(key, model)
+            self._inflight.pop(key, None)
             waiter.set()
             return model
 
-    def _cache(self, name: str, model: PackedModel) -> None:
+    def _cache(self, key: ModelKey, model: PackedModel) -> None:
         """Admit a freshly decoded plan, evicting LRU plans to stay in budget.
 
         Eviction happens *before* insertion so ``stats.resident_bytes`` never
@@ -190,7 +280,7 @@ class ModelRegistry:
         else:  # deprecated count-based mode
             while len(self._decoded) >= self.capacity:
                 self._evict_lru()
-        self._decoded[name] = model
+        self._decoded[key] = model
         self._sync_resident()
         self.stats.peak_resident_bytes = max(
             self.stats.peak_resident_bytes, self.stats.resident_bytes
@@ -202,21 +292,47 @@ class ModelRegistry:
         self._sync_resident()
         self.stats.evictions += 1
 
-    def predict(self, name: str, x: np.ndarray) -> np.ndarray:
-        """Run a batch through the named model."""
-        return self.get(name)(x)
+    def predict(self, name: str, x: np.ndarray, *, version: Optional[str] = None) -> np.ndarray:
+        """Run a batch through the named model (current version by default)."""
+        return self.get(name, version)(x)
 
     # -- introspection ----------------------------------------------------- #
 
     def names(self) -> List[str]:
         """All registered model names, sorted."""
         with self._lock:
-            return sorted(self._images)
+            return sorted({name for name, _ in self._images})
+
+    def versions(self, name: str) -> List[str]:
+        """Registered versions of ``name``, sorted (empty for unknown names)."""
+        with self._lock:
+            return sorted(self._versions_of(name))
+
+    def current_version(self, name: str) -> str:
+        """The version ``get(name)`` resolves to; unknown names raise."""
+        with self._lock:
+            version = self._current.get(name)
+            if version is None:
+                raise ConfigError(f"unknown model {name!r}")
+            return version
 
     def decoded_names(self) -> List[str]:
-        """Models currently resident in decoded form, LRU first."""
+        """Model keys (``"name@version"``) resident in decoded form, LRU first."""
         with self._lock:
-            return list(self._decoded)
+            return [make_key(name, version) for name, version in self._decoded]
+
+    def resident_by_version(self) -> Dict[str, int]:
+        """Per-version byte accounting of the resident decoded plans.
+
+        Maps ``"name@version"`` keys to their plans' ``decoded_bytes()``;
+        the values sum to ``stats.resident_bytes``, so the budget invariant
+        can be audited version by version.
+        """
+        with self._lock:
+            return {
+                make_key(name, version): model.decoded_bytes()
+                for (name, version), model in self._decoded.items()
+            }
 
     def decoded_bytes(self) -> int:
         """Total resident size of all decoded plans.
@@ -239,11 +355,11 @@ class ModelRegistry:
             return replace(self.stats)
 
     def __contains__(self, name: str) -> bool:
-        """True when ``name`` is a registered model."""
+        """True when ``name`` is a registered model (any version)."""
         with self._lock:
-            return name in self._images
+            return name in self._current
 
     def __len__(self) -> int:
-        """Number of registered images (decoded or not)."""
+        """Number of registered images across all versions (decoded or not)."""
         with self._lock:
             return len(self._images)

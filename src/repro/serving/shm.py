@@ -7,7 +7,12 @@ GIL.  At realistic batch shapes the cluster spends more time copying floats
 than running the packed kernels.
 
 This module replaces the *data* path while the pipes keep carrying only
-small control frames:
+small control frames (request id, model key, resolved replica id, slab id,
+shape, dtype, deadline, priority).  The replica id names which plan copy
+the router dispatched to; each worker cross-checks it against its own id —
+a transport-integrity guard pinning the per-worker-pipe invariant rather
+than a reachable routing path today — and rejects a mismatched frame per
+request instead of serving it from the wrong copy:
 
 * :class:`SlabPool` (parent side) creates one ``multiprocessing.shared_memory``
   segment and slices it into ``slabs`` reusable fixed-size slabs of
@@ -33,7 +38,7 @@ import threading
 from collections import deque
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -68,6 +73,56 @@ class SlabConfig:
     def total_bytes(self) -> int:
         """Size of the backing shared-memory segment."""
         return self.slab_bytes * self.slabs
+
+    @classmethod
+    def from_observed(
+        cls,
+        payload_bytes_histogram: Union[Mapping[int, int], Iterable[int]],
+        *,
+        coverage: float = 0.99,
+        slabs: int = 128,
+    ) -> "SlabConfig":
+        """Size the ring from observed payload sizes (adaptive slab sizing).
+
+        ``payload_bytes_histogram`` is either a ``{payload_bytes: count}``
+        mapping (e.g. collected from production traffic) or a plain
+        iterable of observed payload sizes.  The slab size is the smallest
+        power of two covering the ``coverage`` fraction of observed
+        payloads (weighted by count), clamped to the 16-byte minimum —
+        power-of-two sizing keeps slabs page-aligned within the segment
+        while bounding internal fragmentation below 2x.
+
+        Payloads above the chosen size still *work*: they ride the
+        pickle-over-pipe fallback, exactly like any oversized payload.
+        Choosing ``coverage < 1.0`` deliberately leaves a rare-jumbo tail
+        on the pipe instead of inflating every slab (the segment costs
+        ``slab_bytes × slabs`` resident shared memory).
+        """
+        if not 0.0 < coverage <= 1.0:
+            raise ConfigError("coverage must be in (0, 1]")
+        if isinstance(payload_bytes_histogram, Mapping):
+            pairs = sorted(payload_bytes_histogram.items())
+        else:
+            counts: Dict[int, int] = {}
+            for nbytes in payload_bytes_histogram:
+                counts[int(nbytes)] = counts.get(int(nbytes), 0) + 1
+            pairs = sorted(counts.items())
+        if not pairs:
+            raise ConfigError("from_observed needs at least one observed payload size")
+        if pairs[0][0] < 0 or any(count < 0 for _, count in pairs):
+            raise ConfigError("payload sizes and counts must be non-negative")
+        total = sum(count for _, count in pairs)
+        if total < 1:
+            raise ConfigError("from_observed needs at least one observed payload")
+        threshold = coverage * total
+        seen = 0
+        covered = pairs[-1][0]
+        for nbytes, count in pairs:
+            seen += count
+            if seen >= threshold:
+                covered = nbytes
+                break
+        return cls(slab_bytes=max(16, 1 << max(0, int(covered - 1).bit_length())), slabs=slabs)
 
 
 class _SlabWindow:

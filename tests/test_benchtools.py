@@ -1,0 +1,82 @@
+"""The perf-trajectory merger turns BENCH_*.json artifacts into markdown."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TOOL = REPO_ROOT / "benchmarks" / "plot_trajectory.py"
+
+
+def run_tool(*args: str, cwd: Path) -> subprocess.CompletedProcess:
+    """Invoke plot_trajectory.py exactly as the CI step does."""
+    return subprocess.run(
+        [sys.executable, str(TOOL), *args],
+        cwd=cwd,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+
+
+def write_artifact(path: Path, bench: str, **metrics) -> None:
+    """One fake bench artifact in the shared BENCH_<name>.json envelope."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = {"bench": bench, "schema": 1, "unix_time": 1700000000.0, **metrics}
+    path.write_text(json.dumps(doc), encoding="utf-8")
+
+
+class TestPlotTrajectory:
+    def test_merges_artifacts_across_directories(self, tmp_path):
+        # layout mirrors a multi-artifact CI download: one subdir per matrix entry
+        write_artifact(
+            tmp_path / "py310" / "BENCH_replication.json",
+            "replication",
+            speedup=2.4,
+            floor=2.0,
+            config={"workers": 4},
+        )
+        write_artifact(
+            tmp_path / "py311" / "BENCH_shm.json", "shm", speedup=3.1, floor=2.0
+        )
+        result = run_tool("--dir", str(tmp_path), cwd=tmp_path)
+        assert result.returncode == 0, result.stderr
+        report = (tmp_path / "BENCH_TRAJECTORY.md").read_text(encoding="utf-8")
+        assert "# Bench trajectory" in report
+        assert "replication" in report and "shm" in report
+        assert "py310" in report and "py311" in report  # sources survive the merge
+        assert "speedup=2.4" in report and "speedup=3.1" in report
+        assert "config.workers" in report  # nested config flattens into details
+
+    def test_defaults_scan_cwd(self, tmp_path):
+        write_artifact(tmp_path / "BENCH_kernels.json", "kernels", gflops=1.5)
+        result = run_tool(cwd=tmp_path)
+        assert result.returncode == 0, result.stderr
+        report = (tmp_path / "BENCH_TRAJECTORY.md").read_text(encoding="utf-8")
+        assert "kernels" in report and "gflops" in report
+
+    def test_empty_scan_still_writes_report(self, tmp_path):
+        result = run_tool("--out", "merged.md", cwd=tmp_path)
+        assert result.returncode == 0, result.stderr
+        report = (tmp_path / "merged.md").read_text(encoding="utf-8")
+        assert "No artifacts found" in report
+
+    def test_unreadable_artifact_is_reported_not_fatal(self, tmp_path):
+        (tmp_path / "BENCH_broken.json").write_text("{not json", encoding="utf-8")
+        write_artifact(tmp_path / "BENCH_ok.json", "ok", speedup=1.0)
+        result = run_tool(cwd=tmp_path)
+        assert result.returncode == 0, result.stderr
+        report = (tmp_path / "BENCH_TRAJECTORY.md").read_text(encoding="utf-8")
+        assert "unreadable" in report and "speedup=1.0" in report
+        # every summary row must have as many cells as the 4-column header
+        rows = [line for line in report.splitlines() if line.startswith("|")]
+        header_cells = rows[0].count("|")
+        unreadable_row = next(line for line in rows if "unreadable" in line)
+        assert unreadable_row.count("|") == header_cells
+
+    def test_missing_directory_errors(self, tmp_path):
+        result = run_tool("--dir", "nope", cwd=tmp_path)
+        assert result.returncode != 0

@@ -130,9 +130,11 @@ class TestRouting:
             cluster.predict(x, model="a")
             cluster.predict(x, model="b")
         placements = cluster.placements()
-        # one decoded plan per model, spread over both workers, stable over traffic
-        assert sorted(placements) == ["a", "b"]
-        assert set(placements.values()) == {0, 1}
+        # one decoded plan per model version, spread over both workers,
+        # stable over traffic; sticky placement keeps one replica per key
+        assert sorted(placements) == ["a@v1", "b@v1"]
+        assert {wid for workers in placements.values() for wid in workers} == {0, 1}
+        assert all(len(workers) == 1 for workers in placements.values())
         assert cluster.placements() == placements
 
     def test_unknown_model_raises(self, cluster, requests_batch):
@@ -154,7 +156,13 @@ class TestRouting:
         assert stats.served >= 1
         assert stats.pending == 0
         assert stats.resident_bytes == sum(w.resident_bytes for w in stats.workers)
-        assert {m for w in stats.workers for m in w.models} == {"a", "b"}
+        assert {m for w in stats.workers for m in w.models} == {"a@v1", "b@v1"}
+        assert stats.current_versions == {"a": "v1", "b": "v1"}
+        # per-replica and per-version rollups cover the placed keys
+        assert set(stats.replicas) == {"a@v1", "b@v1"}
+        for key, replica_stats in stats.replicas.items():
+            assert sum(r.dispatched for r in replica_stats) >= 1
+        assert stats.latency_by_version["a@v1"].count >= 1
 
     def test_worker_health_report(self, cluster):
         health = cluster.pool.health()
@@ -183,10 +191,10 @@ class TestByteBudget:
         x = requests_batch[0]
         budget_cluster.predict(x, model="a")
         budget_cluster.predict(x, model="b")
-        assert sorted(budget_cluster.placements()) == ["a", "b"]
+        assert sorted(budget_cluster.placements()) == ["a@v1", "b@v1"]
         budget_cluster.predict(x, model="c")  # evicts "a", the LRU placement
         placements = budget_cluster.placements()
-        assert sorted(placements) == ["b", "c"]
+        assert sorted(placements) == ["b@v1", "c@v1"]
         stats = budget_cluster.stats()
         assert stats.evictions >= 1
         assert stats.resident_bytes <= budget_cluster.capacity_bytes

@@ -129,7 +129,7 @@ class TestAdmission:
         frontend = AsyncServingFrontend(echo_model, max_pending=2)
 
         async def run():
-            held = [frontend._admit(np.zeros(3), None, None, None) for _ in range(2)]
+            held = [frontend._admit(np.zeros(3), None, None, None, None) for _ in range(2)]
             with pytest.raises(AdmissionError):
                 await frontend.predict(np.zeros(3))
             frontend.engine.flush()
@@ -217,16 +217,16 @@ class TestByteBudgetRegistry:
         for name in ("a", "b", "c"):
             registry.register(name, image)
         registry.get("a"), registry.get("b")
-        assert registry.decoded_names() == ["a", "b"]
+        assert registry.decoded_names() == ["a@v1", "b@v1"]
         registry.get("c")  # budget fits two plans -> evicts "a"
-        assert registry.decoded_names() == ["b", "c"]
+        assert registry.decoded_names() == ["b@v1", "c@v1"]
         assert registry.stats.evictions == 1
         assert registry.stats.resident_bytes == registry.decoded_bytes() <= 2 * plan_bytes
         assert registry.stats.peak_resident_bytes <= 2 * plan_bytes
         # the evicted model re-decodes transparently and serves identically
         x = rng.standard_normal((3, 49, 10)).astype(np.float32)
         np.testing.assert_array_equal(registry.predict("a", x), PackedModel(image)(x))
-        assert registry.decoded_names() == ["c", "a"]
+        assert registry.decoded_names() == ["c@v1", "a@v1"]
         assert registry.stats.evictions == 2
 
     def test_oversized_plan_served_uncached(self, image, rng):
@@ -257,7 +257,7 @@ class TestByteBudgetRegistry:
             registry.register(name, image)
         registry.get("a")
         registry.get("b")
-        assert registry.decoded_names() == ["b"]
+        assert registry.decoded_names() == ["b@v1"]
         assert registry.stats.evictions == 1
 
     def test_constructor_validation(self):

@@ -82,7 +82,7 @@ class TestSingleFlightDecode:
         assert not registry._inflight  # the latch was released in finally
         model = registry.get("m")  # a later caller becomes leader and succeeds
         assert isinstance(model, real)
-        assert registry.decoded_names() == ["m"]
+        assert registry.decoded_names() == ["m@v1"]
 
 
 class TestConcurrentBudget:
@@ -152,7 +152,7 @@ class TestDeprecatedCountCapacity:
         registry.register("b", images[1])
         registry.get("a")
         registry.get("b")  # count bound: at most one decoded plan stays
-        assert registry.decoded_names() == ["b"]
+        assert registry.decoded_names() == ["b@v1"]
 
     def test_byte_budget_mode_warns_nothing(self, images):
         with warnings.catch_warnings():

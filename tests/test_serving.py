@@ -406,11 +406,11 @@ class TestModelRegistry:
         for name in ("a", "b", "c"):
             registry.register(name, image)
         registry.get("a"), registry.get("b"), registry.get("c")
-        assert registry.decoded_names() == ["b", "c"]  # "a" evicted
+        assert registry.decoded_names() == ["b@v1", "c@v1"]  # "a" evicted
         assert registry.stats.evictions == 1 and registry.stats.misses == 3
         registry.get("b")  # hit refreshes recency -> "c" is now LRU
         registry.get("a")
-        assert registry.decoded_names() == ["b", "a"]
+        assert registry.decoded_names() == ["b@v1", "a@v1"]
         assert registry.stats.hits == 1 and registry.stats.evictions == 2
         assert len(registry) == 3  # images themselves are never evicted
 
