@@ -113,7 +113,7 @@ def measure_scaling(
             for future in futures:
                 future.result(timeout=120.0)
             best = min(best, time.perf_counter() - start)
-        assert router.stats().deadline_misses == 0
+        assert router.snapshot().deadline_misses == 0
     return len(load) / best
 
 
@@ -147,7 +147,7 @@ def measure_priority_isolation(
         ]
         high_served = sum(1 for f in high_futures if f.result(timeout=60.0).shape == (12,))
         low_served = sum(1 for f in low_futures if f.result(timeout=60.0).shape == (12,))
-        misses = router.stats().deadline_misses
+        misses = router.snapshot().deadline_misses
     return high_served, misses, low_shed, low_served
 
 

@@ -1,0 +1,423 @@
+"""Control-plane benchmarks: autoscaler throughput + canary auto-rollback.
+
+Not a paper table — this guards the self-driving control plane
+(:mod:`repro.serving.control`) on two axes:
+
+* **autoscaling**: one hot model starting on a single worker of a 4-worker
+  pool, under sustained sliding-window traffic, must sustain >=
+  :data:`SCALING_FLOOR` x the throughput of the identical run with the
+  control loop disabled — the :class:`~repro.serving.control.Autoscaler`
+  has to notice the load, grow the replica set inside the byte budget and
+  actually spread traffic, then shrink back to one replica once the load
+  subsides.  Zero :class:`~repro.errors.WorkerCrashed`, zero sheds, zero
+  byte-budget violations, every response bitwise-equal to
+  :class:`~repro.serving.packed.PackedModel`.  The throughput gate needs
+  real parallel hardware, so it is skipped on machines with < 4 CPUs;
+* **canary rollback**: a deploy of a deliberately *slow* version (same
+  blob, worker-side latency fault injected via ``inject_version_lag``)
+  behind ``canary=CanaryPolicy(...)`` must auto-roll-back on the p99 SLO
+  breach while NORMAL+HIGH traffic flows: zero HIGH-priority sheds, zero
+  crashes, routing still on the incumbent afterwards, and every response
+  bitwise-identical throughout (the canary is slow, never wrong).
+
+Runs standalone (``python benchmarks/bench_control.py [--quick]``) and as
+pytest assertions guarding the floors in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import threading
+import time
+from typing import Dict, List, Tuple
+
+import numpy as np
+import pytest
+
+from conftest import record_metrics, write_bench_json
+from repro.core.hybrid import HybridConfig, STHybridNet
+from repro.core.strassen import freeze_all
+from repro.deploy import build_image
+from repro.deploy.image import ModelImage
+from repro.serving import (
+    AutoscalePolicy,
+    CanaryPolicy,
+    ClusterRouter,
+    ControlLoop,
+    DeployManager,
+    MicroBatchConfig,
+    PackedModel,
+    Priority,
+    PriorityPolicy,
+)
+
+WORKERS = 4
+SCALING_FLOOR = 1.3
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def hot_image(width: int = 8, rng: int = 0) -> ModelImage:
+    """One frozen ST-Hybrid image."""
+    model = STHybridNet(HybridConfig(width=width), rng=rng)
+    freeze_all(model)
+    model.eval()
+    return build_image(model)
+
+
+def run_autoscaled(
+    image: ModelImage,
+    autoscale: bool,
+    clients: int = 4,
+    requests_per_client: int = 96,
+    window: int = 8,
+) -> Dict[str, float]:
+    """Sustained sliding-window traffic against one hot model; returns metrics.
+
+    The model starts sticky-placed on a single worker of a
+    :data:`WORKERS`-worker pool with byte budget for :data:`WORKERS`
+    copies.  With ``autoscale=True`` a :class:`ControlLoop` watches the
+    load watermarks; the identical run with ``autoscale=False`` is the
+    single-replica baseline the floor compares against.
+    """
+    rng = np.random.default_rng(1)
+    xs = [rng.standard_normal((49, 10)).astype(np.float32) for _ in range(16)]
+    want = PackedModel(image)(np.stack(xs))
+    size = PackedModel(image).decoded_bytes()
+    total = clients * requests_per_client
+    router = ClusterRouter(
+        workers=WORKERS,
+        capacity_bytes=size * WORKERS,
+        policy=PriorityPolicy(
+            max_pending=total + 1, normal_watermark=1.0, low_watermark=1.0
+        ),
+        config=MicroBatchConfig(max_batch_size=32, max_delay_ms=2.0),
+    )
+    router.register("hot", image)
+    failures: List[str] = []
+    mismatches: List[int] = []
+    budget_violations: List[int] = []
+    lock = threading.Lock()
+    stop = threading.Event()
+
+    def client(seed: int) -> None:
+        """One traffic thread: a sliding window of in-flight requests."""
+        inflight: List[Tuple[int, object]] = []
+
+        def resolve(idx: int, future) -> None:
+            try:
+                row = future.result(timeout=120.0)
+            except Exception as exc:  # shed/crash/deadline: all control bugs here
+                with lock:
+                    failures.append(f"{type(exc).__name__}: {exc}")
+                return
+            if not np.array_equal(row, want[idx]):
+                with lock:
+                    mismatches.append(idx)
+
+        for i in range(requests_per_client):
+            idx = (seed * 31 + i) % len(xs)
+            try:
+                future = router.submit(xs[idx], model="hot")
+            except Exception as exc:
+                with lock:
+                    failures.append(f"submit {type(exc).__name__}: {exc}")
+                continue
+            inflight.append((idx, future))
+            if len(inflight) >= window:
+                resolve(*inflight.pop(0))
+        for idx, future in inflight:
+            resolve(idx, future)
+
+    def budget_monitor() -> None:
+        """Sample the byte-budget invariant while the autoscaler works."""
+        while not stop.is_set():
+            stats = router.snapshot()
+            if stats.resident_bytes > router.capacity_bytes:
+                with lock:
+                    budget_violations.append(stats.resident_bytes)
+            time.sleep(0.005)
+
+    loop = ControlLoop(
+        router,
+        interval_s=0.05,
+        autoscaler=AutoscalePolicy(low_load=0.5, high_load=2.0, cooldown_steps=1),
+    )
+    with router:
+        router.predict(xs[0], model="hot")  # place + decode on one worker
+        assert len(router.placements()["hot@v1"]) == 1
+        monitor = threading.Thread(target=budget_monitor, daemon=True)
+        monitor.start()
+        if autoscale:
+            loop.start()
+        threads = [
+            threading.Thread(target=client, args=(seed,), daemon=True)
+            for seed in range(clients)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300.0)
+        elapsed = time.perf_counter() - start
+        peak_replicas = max(
+            (e.to_replicas for e in router.snapshot().scale_events), default=1
+        )
+        shrunk_back = True
+        if autoscale:
+            # the load is gone: the loop must walk the replica set back down
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if len(router.placements()["hot@v1"]) == 1:
+                    break
+                time.sleep(0.05)
+            shrunk_back = len(router.placements()["hot@v1"]) == 1
+            loop.stop()
+        stop.set()
+        monitor.join(timeout=10.0)
+        stats = router.snapshot()
+        crashes = stats.crashes
+        shed = sum(stats.shed_by_priority.values())
+        grow_events = sum(1 for e in stats.scale_events if e.action == "grow")
+        shrink_events = sum(1 for e in stats.scale_events if e.action == "shrink")
+    if failures:
+        raise SystemExit(f"FAIL: {len(failures)} request failures: {failures[:3]}")
+    if mismatches:
+        raise SystemExit(f"FAIL: {len(mismatches)} responses not bitwise-identical")
+    if budget_violations:
+        raise SystemExit(f"FAIL: byte budget exceeded: {budget_violations[:3]}")
+    assert crashes == 0, f"{crashes} worker crash(es) under autoscaling"
+    assert shed == 0, f"{shed} request(s) shed under autoscaling"
+    if autoscale:
+        assert grow_events > 0, "autoscaler never grew under sustained load"
+        assert shrunk_back, "autoscaler did not shrink back after the load subsided"
+        assert shrink_events > 0, "no shrink events recorded"
+    return {
+        "throughput_rps": total / elapsed,
+        "elapsed_s": elapsed,
+        "peak_replicas": peak_replicas,
+        "grow_events": grow_events,
+        "shrink_events": shrink_events,
+        "crashes": crashes,
+        "shed": shed,
+    }
+
+
+def run_canary_rollback(
+    image: ModelImage,
+    workers: int = 2,
+    clients: int = 4,
+    requests_per_client: int = 48,
+    window: int = 8,
+    lag_s: float = 0.05,
+) -> Dict[str, float]:
+    """Deploy a deliberately slow canary under live traffic; returns metrics.
+
+    The canary ships the *same blob* as the incumbent with a worker-side
+    latency fault injected on its key, so the SLO breach is pure latency:
+    every response must stay bitwise-identical while the
+    :class:`~repro.serving.placement.DeployManager` observes the canary
+    slice, detects the p99 breach and rolls the deploy back.
+    """
+    rng = np.random.default_rng(5)
+    xs = [rng.standard_normal((49, 10)).astype(np.float32) for _ in range(16)]
+    want = PackedModel(image)(np.stack(xs))
+    router = ClusterRouter(
+        workers=workers,
+        config=MicroBatchConfig(max_batch_size=16, max_delay_ms=1.0),
+    )
+    router.register("hot", image, version="v1")
+    failures: List[str] = []
+    mismatches: List[int] = []
+    lock = threading.Lock()
+
+    def client(seed: int) -> None:
+        """One traffic thread: alternating NORMAL/HIGH, sliding window."""
+        inflight: List[Tuple[int, object]] = []
+
+        def resolve(idx: int, future) -> None:
+            try:
+                row = future.result(timeout=120.0)
+            except Exception as exc:
+                with lock:
+                    failures.append(f"{type(exc).__name__}: {exc}")
+                return
+            if not np.array_equal(row, want[idx]):
+                with lock:
+                    mismatches.append(idx)
+
+        for i in range(requests_per_client):
+            idx = (seed * 31 + i) % len(xs)
+            priority = Priority.HIGH if i % 2 else Priority.NORMAL
+            try:
+                future = router.submit(xs[idx], model="hot", priority=priority)
+            except Exception as exc:
+                with lock:
+                    failures.append(f"submit {type(exc).__name__}: {exc}")
+                continue
+            inflight.append((idx, future))
+            if len(inflight) >= window:
+                resolve(*inflight.pop(0))
+        for idx, future in inflight:
+            resolve(idx, future)
+
+    with router:
+        router.predict(xs[0], model="hot")
+        # arm the latency fault before the deploy warms the canary: the lag
+        # re-applies on every load of hot@v2, including the deploy's own
+        router.register("hot", image, version="v2", activate=False)
+        router.inject_version_lag("hot", "v2", lag_s)
+        threads = [
+            threading.Thread(target=client, args=(seed,), daemon=True)
+            for seed in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.05)  # let traffic build before the canary opens
+        manager = DeployManager(router)
+        start = time.perf_counter()
+        report = manager.deploy(
+            "hot",
+            image,
+            "v2",
+            canary=CanaryPolicy(
+                fraction=0.25,
+                min_requests=16,
+                max_p99_ms=10.0,
+                decision_timeout_s=120.0,
+            ),
+        )
+        verdict_s = time.perf_counter() - start
+        for thread in threads:
+            thread.join(timeout=300.0)
+        stats = router.snapshot()
+        crashes = stats.crashes
+        shed_high = stats.shed_by_priority[Priority.HIGH]
+        current = router.current_version("hot")
+        canary_placed = "hot@v2" in router.placements()
+    if failures:
+        raise SystemExit(f"FAIL: {len(failures)} request failures: {failures[:3]}")
+    if mismatches:
+        raise SystemExit(f"FAIL: {len(mismatches)} responses not bitwise-identical")
+    assert report.canary_outcome == "rolled_back", (
+        f"slow canary was not rolled back: {report.canary_outcome!r} "
+        f"({report.canary_reason!r})"
+    )
+    assert current == "v1", f"routing left the incumbent: now on {current!r}"
+    assert not canary_placed, "canary plans were not unloaded after rollback"
+    assert crashes == 0, f"{crashes} worker crash(es) during the canary"
+    assert shed_high == 0, f"{shed_high} HIGH-priority shed(s) during the canary"
+    return {
+        "verdict_s": verdict_s,
+        "canary_observed": report.canary_observed,
+        "canary_reason": str(report.canary_reason),
+        "crashes": crashes,
+        "shed_high": shed_high,
+    }
+
+
+# -- pytest entry points ----------------------------------------------------- #
+
+
+def test_canary_rollback_no_shed_no_crash() -> None:
+    """A deliberately slow canary rolls back on p99 breach under live
+    NORMAL+HIGH traffic: zero HIGH sheds, zero crashes, bitwise-identical."""
+    metrics = run_canary_rollback(hot_image())
+    record_metrics("control", canary_rollback=metrics)
+    assert metrics["crashes"] == 0
+    assert metrics["shed_high"] == 0
+
+
+def test_autoscaler_shrinks_back_and_breaks_nothing() -> None:
+    """Autoscaling under load grows then shrinks back to one replica with
+    zero crashes, sheds and budget violations (no throughput floor here —
+    that gate is CPU-gated below)."""
+    metrics = run_autoscaled(hot_image(), autoscale=True, requests_per_client=48)
+    record_metrics("control", autoscaled=metrics)
+    assert metrics["grow_events"] > 0 and metrics["shrink_events"] > 0
+    assert metrics["crashes"] == 0 and metrics["shed"] == 0
+
+
+@pytest.mark.skipif(
+    available_cpus() < WORKERS,
+    reason=f"autoscaling gate needs >= {WORKERS} CPUs (have {available_cpus()})",
+)
+def test_autoscaling_floor() -> None:
+    """Autoscaled throughput must beat the scaling-disabled baseline."""
+    image = hot_image()
+    baseline = run_autoscaled(image, autoscale=False)
+    scaled = run_autoscaled(image, autoscale=True)
+    record_metrics(
+        "control",
+        baseline_rps=baseline["throughput_rps"],
+        autoscaled_rps=scaled["throughput_rps"],
+        speedup=scaled["throughput_rps"] / baseline["throughput_rps"],
+    )
+    speedup = scaled["throughput_rps"] / baseline["throughput_rps"]
+    assert speedup >= SCALING_FLOOR, (
+        f"autoscaled {scaled['throughput_rps']:.0f} req/s vs "
+        f"{baseline['throughput_rps']:.0f} req/s disabled — only {speedup:.2f}x "
+        f"(floor {SCALING_FLOOR}x)"
+    )
+
+
+# -- standalone report ------------------------------------------------------- #
+
+
+def main() -> None:
+    """Run both control-plane measurements and enforce the floors."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="fewer requests (CI smoke)")
+    parser.add_argument("--width", type=int, default=8, help="model channel width")
+    args = parser.parse_args()
+    if args.width < 1:
+        parser.error("--width must be >= 1")
+    per_client = 48 if args.quick else 96
+
+    image = hot_image(width=args.width)
+    cpus = available_cpus()
+    print(f"one hot ST-Hybrid model, width={args.width}; {cpus} CPU(s) available")
+
+    canary = run_canary_rollback(image)
+    print("\ncanary deploy of a deliberately slow v2 (same blob, +50 ms lag):")
+    print(f"  verdict            rolled_back in {canary['verdict_s'] * 1e3:6.0f} ms")
+    print(f"  observed           {canary['canary_observed']:6.0f} canary requests")
+    print(f"  shed (HIGH)        {canary['shed_high']:6.0f}  (floor: 0)")
+    print(f"  crashes            {canary['crashes']:6.0f}  (floor: 0)")
+
+    payload = {"canary_rollback": canary, "floor": SCALING_FLOOR}
+    if cpus >= WORKERS:
+        baseline = run_autoscaled(image, autoscale=False, requests_per_client=per_client)
+        scaled = run_autoscaled(image, autoscale=True, requests_per_client=per_client)
+        speedup = scaled["throughput_rps"] / baseline["throughput_rps"]
+        print(f"\nautoscaling ({WORKERS}-worker pool, sliding-window clients):")
+        print(f"  disabled           {baseline['throughput_rps']:6.0f} req/s")
+        print(
+            f"  autoscaled         {scaled['throughput_rps']:6.0f} req/s "
+            f"(peak {scaled['peak_replicas']:.0f} replicas, "
+            f"{scaled['grow_events']:.0f} grows / {scaled['shrink_events']:.0f} shrinks)"
+        )
+        note = "OK" if speedup >= SCALING_FLOOR else "BELOW FLOOR"
+        print(f"  speedup            {speedup:6.2f}x  (floor {SCALING_FLOOR}x) {note}")
+        payload.update(
+            baseline=baseline, autoscaled=scaled, speedup=speedup, workers=WORKERS
+        )
+        if speedup < SCALING_FLOOR:
+            raise SystemExit(f"FAIL: autoscaling speedup {speedup:.2f}x below floor")
+    else:
+        scaled = run_autoscaled(image, autoscale=True, requests_per_client=per_client)
+        print(f"\n< {WORKERS} CPUs: throughput floor skipped; invariants checked")
+        payload.update(autoscaled=scaled, workers=WORKERS, floor_skipped=True)
+
+    write_bench_json("control", payload)
+    print("\nwrote BENCH_control.json")
+
+
+if __name__ == "__main__":
+    main()

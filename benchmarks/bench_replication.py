@@ -107,7 +107,7 @@ def measure_hot_model(
             for future in futures:
                 future.result(timeout=120.0)
             best = min(best, time.perf_counter() - start)
-        assert router.stats().deadline_misses == 0
+        assert router.snapshot().deadline_misses == 0
     return len(load) / best
 
 
@@ -202,7 +202,7 @@ def run_rolling_deploy(
     def budget_monitor() -> None:
         """Sample the budget invariant while the deploy is in flight."""
         while not stop.is_set():
-            stats = router.stats()
+            stats = router.snapshot()
             if stats.resident_bytes > router.capacity_bytes:
                 with lock:
                     budget_violations.append(stats.resident_bytes)
@@ -225,7 +225,7 @@ def run_rolling_deploy(
             thread.join(timeout=120.0)
         stop.set()
         monitor.join(timeout=10.0)
-        stats = router.stats()
+        stats = router.snapshot()
         resident_after = stats.resident_bytes
         crashes = stats.crashes
         shed_normal = stats.shed_by_priority[Priority.NORMAL]

@@ -124,7 +124,7 @@ def measure_transport(
             if elapsed < best:
                 best = elapsed
                 latencies = list(marks)
-        stats = router.stats()
+        stats = router.snapshot()
         assert stats.deadline_misses == 0
         if shm:
             assert stats.transport["shm_requests"] > 0, "shm plane never used"
@@ -151,7 +151,7 @@ def check_identity(images: Dict[str, ModelImage]) -> int:
             got = np.stack([f.result(timeout=60.0) for f in router.submit_many(xs, model=name)])
             np.testing.assert_array_equal(got, PackedModel(image)(np.stack(xs)))
             checked += 1
-        transport = router.stats().transport
+        transport = router.snapshot().transport
         assert transport["shm_requests"] == len(xs) * len(images), "a payload left the slab plane"
         assert transport["pipe_requests"] == 0
         segment = router.pool._slab_pool.name

@@ -28,6 +28,13 @@ from typing import Dict, List
 
 RENDERED_TABLES: List[str] = []
 
+
+def _cpu_count() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
 #: bench name -> metrics payload accumulated during a pytest run
 RECORDED_METRICS: Dict[str, dict] = {}
 
@@ -67,11 +74,18 @@ def write_bench_json(name: str, payload: dict, out_dir=None) -> Path:
 
     ``payload`` is free-form per bench (throughput, p50/p99 latency,
     config, reproduced table rows, ...); a ``bench``/``schema``/
-    ``unix_time`` envelope is added here so every file is self-describing.
+    ``unix_time``/``cpu_count`` envelope is added here so every file is
+    self-describing — ``cpu_count`` (affinity-aware) lets trajectory plots
+    separate perf regressions from machine changes.
     """
     directory = Path(out_dir or os.environ.get("BENCH_OUT_DIR", "."))
     directory.mkdir(parents=True, exist_ok=True)
-    doc = {"bench": name, "schema": SCHEMA_VERSION, "unix_time": round(time.time(), 3)}
+    doc = {
+        "bench": name,
+        "schema": SCHEMA_VERSION,
+        "unix_time": round(time.time(), 3),
+        "cpu_count": _cpu_count(),
+    }
     doc.update(_jsonable(payload))
     path = directory / f"BENCH_{name}.json"
     path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")

@@ -77,7 +77,7 @@ def main() -> None:
             assert np.array_equal(got, want)
         print(f"  placements: {cluster.placements()}  (one worker per model)")
         cluster.predict(requests[0], model="kws-2")  # over budget -> LRU unload
-        stats = cluster.stats()
+        stats = cluster.snapshot()
         print(f"  after kws-2 traffic: {cluster.placements()}")
         print(f"  resident {stats.resident_bytes:,}/{budget:,} bytes, "
               f"{stats.evictions} eviction(s)")
@@ -100,7 +100,7 @@ def main() -> None:
         ]
         high_ok = sum(1 for f in high_futures if f.result().shape == (12,))
         low_ok = sum(1 for f in low_futures if f.result().shape == (12,))
-        stats = cluster.stats()
+        stats = cluster.snapshot()
         print(f"  LOW:  {low_ok} served, {low_shed} shed at admission")
         print(f"  HIGH: {high_ok}/{CLIENTS} served, "
               f"{stats.deadline_misses} deadline misses")
@@ -123,13 +123,13 @@ def main() -> None:
         print("\n== kill a worker; the pool restarts and re-decodes it ==")
         victim = cluster.placements()["kws-1@v1"][0]
         cluster.pool.inject_crash(victim)
-        while cluster.stats().crashes < 1:
+        while cluster.snapshot().crashes < 1:
             time.sleep(0.05)
         result = cluster.predict(requests[0], model="kws-1")  # transparently served
         assert np.array_equal(
             result, PackedModel(images["kws-1"])(requests[0][None])[0]
         )
-        stats = cluster.stats()
+        stats = cluster.snapshot()
         print(f"  worker {victim} crashed and restarted "
               f"(restarts per worker: {[w.restarts for w in stats.workers]})")
         print(f"  post-restart prediction still bitwise-identical")
@@ -145,7 +145,7 @@ def main() -> None:
             cluster.predict(x, model="hot")
         print(f"  hot@v1 replicas: {cluster.placements()['hot@v1']}")
         per_replica = {
-            r.worker_id: r.dispatched for r in cluster.stats().replicas["hot@v1"]
+            r.worker_id: r.dispatched for r in cluster.snapshot().replicas["hot@v1"]
         }
         print(f"  dispatches per replica (power-of-two-choices): {per_replica}")
 
@@ -162,7 +162,7 @@ def main() -> None:
         )
         print(f"  current version: {cluster.current_version('hot')} "
               f"(v1 image retained for rollback)")
-        for key, lat in sorted(cluster.stats().latency_by_version.items()):
+        for key, lat in sorted(cluster.snapshot().latency_by_version.items()):
             if lat.count:
                 # a released version keeps its served count but drops its
                 # latency window, so the percentiles may be nan
@@ -173,13 +173,13 @@ def main() -> None:
         burst = cluster.submit_many(requests, model="kws-0")  # one control frame
         rows = np.stack([f.result() for f in burst])
         assert np.array_equal(rows, PackedModel(images["kws-0"])(np.stack(requests)))
-        transport = cluster.stats().transport
+        transport = cluster.snapshot().transport
         print(f"  {transport['shm_requests']} requests rode shm slabs, "
               f"{transport['pipe_requests']} fell back to the pipe "
               f"(ring {transport['leased']}/{transport['slabs']} leased)")
 
         print("\n== cluster stats rollup ==")
-        stats = cluster.stats()
+        stats = cluster.snapshot()
         for w in stats.workers:
             print(f"  worker {w.worker_id}: alive={w.alive} served={w.served} "
                   f"in_flight={w.in_flight} resident={w.resident_bytes:,}B "

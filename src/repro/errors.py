@@ -51,6 +51,28 @@ class AdmissionError(ReproError, RuntimeError):
     """
 
 
+class CatalogError(ReproError):
+    """A versioned-catalog operation failed.
+
+    Raised by :class:`repro.serving.catalog.VersionedCatalog`, the single
+    implementation of the name → version → entry bookkeeping shared by
+    :class:`repro.serving.cluster.ClusterRouter` and
+    :class:`repro.serving.registry.ModelRegistry`.  Callers never see this
+    type from those public surfaces: each owner translates it at its API
+    boundary (see :mod:`repro.serving.catalog` for the mapping policy).
+
+    ``invalid_spec`` distinguishes the two failure families the mapping
+    policy keys off: ``True`` for malformed requests that would fail against
+    *any* catalog contents (bad identifier, ``activate=False`` without an
+    explicit version), ``False`` for state-dependent failures (unknown
+    name/version, removing the current version while others exist).
+    """
+
+    def __init__(self, message: str, *, invalid_spec: bool = False) -> None:
+        super().__init__(message)
+        self.invalid_spec = invalid_spec
+
+
 class RoutingError(ReproError, RuntimeError):
     """A cluster request could not be routed to a worker.
 

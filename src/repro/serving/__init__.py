@@ -37,16 +37,38 @@ it *fast to serve*:
   the zero-copy shared-memory data plane the cluster runs on by default:
   payloads live in reusable fixed-size slabs of one
   ``multiprocessing.shared_memory`` segment while the pipes carry only
-  control frames (the pickle path survives as an automatic fallback).
+  control frames (the pickle path survives as an automatic fallback);
+* :mod:`repro.serving.catalog`  — :class:`VersionedCatalog`, the single
+  implementation of the versioned name → version → entry bookkeeping (and
+  the ``"name@version"`` key grammar) that both :class:`ClusterRouter`
+  and :class:`ModelRegistry` delegate to, with one documented
+  error-mapping policy;
+* :mod:`repro.serving.control`  — the self-driving control plane:
+  :class:`Autoscaler` (grow/shrink replica sets between load watermarks),
+  :class:`CanaryController`/:class:`CanaryPolicy` (earned deploy flips —
+  observe a traffic fraction, auto-promote or auto-roll-back on SLO
+  breach) and the background :class:`ControlLoop` driving both.
 """
 
 from repro.serving.batching import BatchingEngine, EngineStats, MicroBatchConfig
+from repro.serving.catalog import VersionedCatalog
 from repro.serving.cluster import (
+    CanarySplitStats,
     ClusterRouter,
     ClusterStats,
     LatencyStats,
+    ScaleEvent,
     WorkerPool,
     WorkerStats,
+)
+from repro.serving.control import (
+    AutoscalePolicy,
+    Autoscaler,
+    CanaryController,
+    CanaryPolicy,
+    CanaryStatus,
+    ControlLoop,
+    ControlStats,
 )
 from repro.serving.frontend import AsyncServingFrontend
 from repro.serving.kernels import TernaryPlanes, decode_planes, ternary_matmul
@@ -67,11 +89,21 @@ from repro.serving.shm import SlabClient, SlabConfig, SlabPool
 
 __all__ = [
     "AsyncServingFrontend",
+    "AutoscalePolicy",
+    "Autoscaler",
     "BatchingEngine",
+    "CanaryController",
+    "CanaryPolicy",
+    "CanarySplitStats",
+    "CanaryStatus",
     "ClusterRouter",
     "ClusterStats",
+    "ControlLoop",
+    "ControlStats",
     "DeployManager",
     "DeployReport",
+    "ScaleEvent",
+    "VersionedCatalog",
     "EngineStats",
     "LatencyStats",
     "LeastLoadedPolicy",

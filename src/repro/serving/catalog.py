@@ -1,0 +1,300 @@
+"""Shared versioned catalog: one implementation of name → version → entry.
+
+Before this module, :class:`~repro.serving.cluster.ClusterRouter` and
+:class:`~repro.serving.registry.ModelRegistry` each reimplemented the same
+versioned bookkeeping — ``register`` / ``remove`` / ``versions`` /
+``current_version`` / ``set_current`` plus the ``"name@version"`` key
+grammar — with independently drifting error contracts (the router raised
+:class:`~repro.errors.RoutingError` for unknown names, the registry
+:class:`~repro.errors.ConfigError` for the same condition).
+:class:`VersionedCatalog` is the single implementation both now delegate
+to; the payload type is opaque to the catalog (the registry stores
+:class:`~repro.deploy.image.ModelImage` objects, the router stores
+``(image_bytes, decoded_size)`` pairs).
+
+**Error-mapping policy.**  The catalog raises exactly one exception type,
+:class:`~repro.errors.CatalogError`, whose ``invalid_spec`` flag splits
+failures into two families, and each owner translates them at its public
+surface with :func:`catalog_errors`:
+
+========================  =======================  ========================
+failure family            ``ClusterRouter``        ``ModelRegistry``
+========================  =======================  ========================
+``invalid_spec=True``     ``ConfigError``          ``ConfigError``
+(malformed request:
+bad identifier,
+``activate=False``
+without ``version=``)
+``invalid_spec=False``    ``RoutingError``         ``ConfigError``
+(state-dependent:
+unknown name/version,
+removing the current
+version)
+========================  =======================  ========================
+
+The split preserves both pre-existing public contracts: the router treats
+catalog *state* misses as routing failures (they are — the request named a
+model the cluster cannot route), while the in-process registry keeps its
+historical everything-is-``ConfigError`` surface.
+
+The catalog itself is **not** thread-safe: both owners already serialise
+every catalog access under their own lock, and a second lock here would
+only invite ordering bugs.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Type
+
+from repro.errors import CatalogError, ConfigError
+
+#: separator joining model name and version into a worker-side model key
+KEY_SEPARATOR = "@"
+
+#: version assigned when a model is registered without an explicit one
+DEFAULT_VERSION = "v1"
+
+
+def make_key(name: str, version: str) -> str:
+    """Compose the worker-side model key for one ``(name, version)`` pair."""
+    return f"{name}{KEY_SEPARATOR}{version}"
+
+
+def split_key(key: str) -> Tuple[str, str]:
+    """Inverse of :func:`make_key`: ``"name@version" → (name, version)``."""
+    name, _, version = key.rpartition(KEY_SEPARATOR)
+    return name, version
+
+
+def validate_identifier(kind: str, value: str) -> str:
+    """Reject names/versions that would make ``name@version`` keys ambiguous.
+
+    Public helper (raises :class:`~repro.errors.ConfigError` directly);
+    catalog-internal validation wraps the same rule in
+    :class:`~repro.errors.CatalogError` so owners can apply their mapping.
+    """
+    if not value:
+        raise ConfigError(f"{kind} must be a non-empty string")
+    if KEY_SEPARATOR in value:
+        raise ConfigError(
+            f"{kind} {value!r} may not contain {KEY_SEPARATOR!r} "
+            f"(reserved for model keys)"
+        )
+    return value
+
+
+@contextmanager
+def catalog_errors(
+    spec_exc: Type[Exception], state_exc: Type[Exception]
+) -> Iterator[None]:
+    """Translate :class:`~repro.errors.CatalogError` at a public API surface.
+
+    ``invalid_spec`` failures re-raise as ``spec_exc``, state-dependent ones
+    as ``state_exc`` (see the module docstring's mapping table).  The
+    original catalog error stays chained as ``__cause__``.
+    """
+    try:
+        yield
+    except CatalogError as exc:
+        raised = spec_exc if exc.invalid_spec else state_exc
+        raise raised(str(exc)) from exc
+
+
+class VersionedCatalog:
+    """Name → version → entry store with one *current* version per name.
+
+    Entries are opaque payloads; the catalog owns only the versioned
+    bookkeeping.  Mutators return what changed (the resolved version from
+    :meth:`register`, the removed versions from :meth:`remove`) so owners
+    can drive their side effects — dropping decoded plans, unloading
+    placements — off the catalog's single source of truth instead of
+    re-deriving it.
+    """
+
+    def __init__(self) -> None:
+        #: name -> version -> entry, both levels in insertion order
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        #: name -> the version ``version=None`` resolves to
+        self._current: Dict[str, str] = {}
+
+    # -- validation --------------------------------------------------------- #
+
+    @staticmethod
+    def _check(kind: str, value: str) -> None:
+        """One identifier rule, surfaced as a spec-family catalog error."""
+        try:
+            validate_identifier(kind, value)
+        except ConfigError as exc:
+            raise CatalogError(str(exc), invalid_spec=True) from exc
+
+    def check_spec(
+        self, name: str, *, version: Optional[str] = None, activate: bool = True
+    ) -> None:
+        """Validate a :meth:`register` request without mutating anything.
+
+        Owners with preconditions of their own (the router's byte-budget
+        check) call this first so *every* validation failure surfaces before
+        any side effect runs.  Raises ``invalid_spec`` catalog errors only.
+        """
+        self._check("model name", name)
+        if version is not None:
+            self._check("version", version)
+        elif not activate:
+            # version=None resolves to the CURRENT version — replacing the
+            # live entry can never be "inactive"
+            raise CatalogError(
+                "activate=False stages a new version and needs an explicit "
+                "version= (version=None replaces the current version)",
+                invalid_spec=True,
+            )
+
+    # -- mutation ----------------------------------------------------------- #
+
+    def register(
+        self,
+        name: str,
+        entry: Any,
+        *,
+        version: Optional[str] = None,
+        activate: bool = True,
+    ) -> str:
+        """Add or replace the entry under ``(name, version)``.
+
+        ``version=None`` replaces the current version (or registers
+        :data:`DEFAULT_VERSION` for a new name).  With ``activate=True``
+        (default) the registered version becomes current;
+        ``activate=False`` stages it without touching resolution and
+        requires an explicit ``version=``.  A brand-new name's first
+        version becomes current regardless of ``activate`` — a registered
+        name always has a current version.  Returns the resolved version so
+        the owner can invalidate whatever it cached under it.
+        """
+        self.check_spec(name, version=version, activate=activate)
+        version = version or self._current.get(name, DEFAULT_VERSION)
+        self._entries.setdefault(name, {})[version] = entry
+        if activate or name not in self._current:
+            self._current[name] = version
+        return version
+
+    def remove(self, name: str, *, version: Optional[str] = None) -> List[str]:
+        """Forget a name (or one version of it); returns the removed versions.
+
+        ``version=None`` removes every version; naming one removes just
+        that version — removing the *current* version while other versions
+        exist is rejected (:meth:`set_current` first).  Unknown
+        names/versions raise state-family catalog errors.
+        """
+        versions = self._entries.get(name)
+        if not versions:
+            raise CatalogError(f"unknown model {name!r}")
+        if version is None:
+            doomed = list(versions)
+        elif version not in versions:
+            raise CatalogError(f"unknown version {version!r} of model {name!r}")
+        elif version == self._current[name] and len(versions) > 1:
+            raise CatalogError(
+                f"version {version!r} is current for model {name!r}; "
+                f"make another version current (set_current) before removing it"
+            )
+        else:
+            doomed = [version]
+        for doomed_version in doomed:
+            del versions[doomed_version]
+        if not versions:
+            del self._entries[name]
+            self._current.pop(name, None)
+        return doomed
+
+    def set_current(self, name: str, version: str) -> None:
+        """Atomically flip which version ``version=None`` resolves to."""
+        if version not in self._entries.get(name, {}):
+            raise CatalogError(f"unknown version {version!r} of model {name!r}")
+        self._current[name] = version
+
+    # -- resolution --------------------------------------------------------- #
+
+    def resolve_name(self, name: Optional[str]) -> str:
+        """Resolve a possibly-omitted model name.
+
+        ``None`` resolves when exactly one name is registered (a lone model
+        needs no name); otherwise unknown/ambiguous names raise
+        state-family catalog errors.
+        """
+        if name is None:
+            if len(self._entries) == 1:
+                return next(iter(self._entries))
+            if not self._entries:
+                raise CatalogError("no models registered")
+            raise CatalogError(
+                f"model name required: catalog serves {sorted(self._entries)}"
+            )
+        if name not in self._entries:
+            known = ", ".join(sorted(self._entries)) or "<empty>"
+            raise CatalogError(f"unknown model {name!r}; known: {known}")
+        return name
+
+    def resolve_version(self, name: str, version: Optional[str] = None) -> str:
+        """Resolve ``version`` for a registered ``name`` (``None`` = current)."""
+        if name not in self._entries:
+            known = ", ".join(sorted(self._entries)) or "<empty>"
+            raise CatalogError(f"unknown model {name!r}; known: {known}")
+        if version is None:
+            return self._current[name]
+        if version not in self._entries[name]:
+            known = ", ".join(sorted(self._entries[name]))
+            raise CatalogError(
+                f"unknown version {version!r} of model {name!r}; known: {known}"
+            )
+        return version
+
+    # -- lookup ------------------------------------------------------------- #
+
+    def get(self, name: str, version: Optional[str] = None) -> Any:
+        """The entry under ``(name, version)`` (``None`` = current); raises
+        state-family catalog errors for unknown names/versions."""
+        return self._entries[name][self.resolve_version(name, version)]
+
+    def find(self, name: str, version: str) -> Optional[Any]:
+        """The entry under ``(name, version)``, or ``None`` when absent
+        (never raises — the identity-check lookup owners use mid-decode)."""
+        return self._entries.get(name, {}).get(version)
+
+    def names(self) -> List[str]:
+        """All registered names, sorted."""
+        return sorted(self._entries)
+
+    def versions(self, name: str) -> List[str]:
+        """Registered versions of ``name``, sorted (empty for unknown names)."""
+        return sorted(self._entries.get(name, {}))
+
+    def items(self, name: str) -> List[Tuple[str, Any]]:
+        """``(version, entry)`` pairs of one name, registration order."""
+        return list(self._entries.get(name, {}).items())
+
+    def current_version(self, name: str) -> str:
+        """The version ``version=None`` resolves to for ``name``."""
+        version = self._current.get(name)
+        if version is None:
+            raise CatalogError(f"unknown model {name!r}")
+        return version
+
+    def has(self, name: str) -> bool:
+        """True when ``name`` is registered (any version)."""
+        return name in self._entries
+
+    def has_version(self, name: str, version: str) -> bool:
+        """True when ``(name, version)`` is registered."""
+        return version in self._entries.get(name, {})
+
+    def name_count(self) -> int:
+        """Number of registered names."""
+        return len(self._entries)
+
+    def entry_count(self) -> int:
+        """Number of registered entries across all names and versions."""
+        return sum(len(v) for v in self._entries.values())
+
+    def __contains__(self, name: str) -> bool:
+        """True when ``name`` is registered (any version)."""
+        return name in self._entries

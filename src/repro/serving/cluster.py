@@ -65,10 +65,12 @@ from __future__ import annotations
 
 import functools
 import itertools
+import math
 import multiprocessing
 import os
 import threading
 import time
+import warnings
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
@@ -85,16 +87,18 @@ from repro.errors import (
     WorkerCrashed,
 )
 from repro.serving.batching import BatchingEngine, MicroBatchConfig
+from repro.serving.catalog import (
+    VersionedCatalog,
+    catalog_errors,
+    make_key,
+    split_key,
+)
 from repro.serving.packed import PackedModel
 from repro.serving.placement import (
-    DEFAULT_VERSION,
     PlacementPolicy,
     PlacementTable,
     ReplicaSet,
     ReplicaStats,
-    make_key,
-    split_key,
-    validate_identifier,
 )
 from repro.serving.priority import Priority, PriorityPolicy
 from repro.serving.shm import SlabClient, SlabConfig, SlabPool
@@ -113,7 +117,11 @@ DEFAULT_LATENCY_WINDOW = 2048
 
 
 def _serve_burst(
-    conn, engines: Dict[str, BatchingEngine], client: Optional[SlabClient], burst: List[tuple]
+    conn,
+    engines: Dict[str, BatchingEngine],
+    client: Optional[SlabClient],
+    burst: List[tuple],
+    lags: Optional[Dict[str, float]] = None,
 ) -> None:
     """Coalesce one drained burst of predict requests through the engines.
 
@@ -127,6 +135,11 @@ def _serve_burst(
     HIGH request admitted in the same burst as LOW ones is batched — and
     deadline-checked — first.  Each model's engine then runs one
     deterministic ``flush()``, and every request gets exactly one reply.
+
+    ``lags`` is the chaos-hook lag map (model key → injected seconds): a
+    burst touching a lagged model stalls before its flush, inflating every
+    latency the burst carries — the worker-side fault canary tests and
+    benchmarks use to provoke an SLO breach without perturbing results.
     """
     submitted: List[tuple] = []  # (req_id, slab_id, future)
     touched = set()
@@ -143,6 +156,10 @@ def _serve_burst(
         deadline_s = None if deadline is None else deadline - time.monotonic()
         submitted.append((req_id, slab_id, engine.submit(x, deadline_s=deadline_s)))
         touched.add(name)
+    if lags:
+        delay = max((lags.get(name, 0.0) for name in touched), default=0.0)
+        if delay > 0:
+            time.sleep(delay)
     for name in touched:
         engines[name].flush()
     for req_id, slab_id, future in submitted:
@@ -193,6 +210,7 @@ def _worker_main(
     """
     models: Dict[str, PackedModel] = {}
     engines: Dict[str, BatchingEngine] = {}
+    lags: Dict[str, float] = {}  # chaos hook: model key -> injected seconds
     client: Optional[SlabClient] = None
 
     def shm_client() -> SlabClient:
@@ -224,6 +242,11 @@ def _worker_main(
             conn.send(("pong", msg[1], resident, sorted(models)))
         elif op == "sleep":  # chaos hook: stall the command loop
             time.sleep(msg[1])
+        elif op == "lag":  # chaos hook: stall bursts touching one model
+            if msg[2] > 0:
+                lags[msg[1]] = msg[2]
+            else:
+                lags.pop(msg[1], None)
         elif op == "exit":  # chaos hook: die without cleanup, like a real crash
             os._exit(msg[1])
         elif op == "stop":
@@ -260,13 +283,13 @@ def _worker_main(
                         burst.append((req_id, name, payload, deadline, priority))
                     continue
                 if burst:  # keep pipe order around control commands
-                    _serve_burst(conn, engines, _attach(burst, shm_client), burst)
+                    _serve_burst(conn, engines, _attach(burst, shm_client), burst, lags)
                     burst = []
                 if handle_control(msg):
                     stop = True
                     break
             if burst:
-                _serve_burst(conn, engines, _attach(burst, shm_client), burst)
+                _serve_burst(conn, engines, _attach(burst, shm_client), burst, lags)
         except (BrokenPipeError, OSError):
             return
         if stop:
@@ -345,6 +368,87 @@ class LatencyStats:
         return cls(count=count, p50_ms=float(p50) * 1e3, p99_ms=float(p99) * 1e3)
 
 
+#: how many recent ScaleEvent rows ClusterStats.scale_events retains
+SCALE_EVENT_WINDOW = 256
+
+
+class _CanarySplit:
+    """Mutable router-side record of one model's canary traffic split.
+
+    The split is deterministic, not random: request burst ``i`` (counting
+    every ``version=None`` burst since the split opened) routes to the
+    canary iff ``floor(i*f) > floor((i-1)*f)``, which interleaves canary
+    bursts evenly and converges on exactly ``fraction`` of traffic with no
+    RNG to seed.  ``state`` starts ``"running"``; :meth:`ClusterRouter.clear_split`
+    freezes it at a terminal outcome so stats keep the settled record.
+    """
+
+    __slots__ = ("version", "fraction", "counter", "routed", "state")
+
+    def __init__(self, version: str, fraction: float) -> None:
+        self.version = version
+        self.fraction = fraction
+        self.counter = 0  # version=None bursts seen since the split opened
+        self.routed = 0  # of those, bursts routed to the canary version
+        self.state = "running"
+
+    def take(self) -> bool:
+        """Advance the counter; True when this burst goes to the canary."""
+        self.counter += 1
+        before = math.floor((self.counter - 1) * self.fraction)
+        if math.floor(self.counter * self.fraction) > before:
+            self.routed += 1
+            return True
+        return False
+
+    def snapshot(self) -> CanarySplitStats:
+        """Immutable stats row for :attr:`ClusterStats.canary_state`."""
+        return CanarySplitStats(
+            version=self.version,
+            fraction=self.fraction,
+            routed=self.routed,
+            total=self.counter,
+            state=self.state,
+        )
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One autoscaling decision applied to a replica set.
+
+    ``action`` is ``"grow"`` or ``"shrink"``; ``reason`` is free text from
+    whoever called :meth:`ClusterRouter.resize` (the
+    :class:`~repro.serving.control.Autoscaler` records the watermark that
+    fired).  ``at_s`` is the router's ``time.monotonic()`` at the decision,
+    so event spacing can be audited against cooldowns.
+    """
+
+    key: str
+    action: str
+    from_replicas: int
+    to_replicas: int
+    reason: str
+    at_s: float
+
+
+@dataclass(frozen=True)
+class CanarySplitStats:
+    """One model's canary traffic split, live or settled.
+
+    ``state`` is ``"running"`` while the split routes traffic, then the
+    terminal outcome recorded by :meth:`ClusterRouter.clear_split`
+    (``"promoted"`` / ``"rolled_back"`` / ``"cleared"``).  ``routed`` of
+    ``total`` ``version=None`` requests went to the canary version — the
+    deterministic counter split converges on ``fraction`` exactly.
+    """
+
+    version: str
+    fraction: float
+    routed: int
+    total: int
+    state: str
+
+
 @dataclass(frozen=True)
 class ClusterStats:
     """Cluster-wide rollup: per-worker stats plus router-level counters.
@@ -364,6 +468,12 @@ class ClusterStats:
     ``latency_by_version`` gives served count + completion percentiles per
     version key, and ``current_versions`` names the version ``version=None``
     resolves to for every registered model.
+
+    Control-plane rollups: ``errors_by_version`` / ``shed_by_version``
+    count failed completions and admission sheds per version key,
+    ``scale_events`` is the trailing window of :class:`ScaleEvent` rows
+    (most recent last), and ``canary_state`` maps each model name with a
+    live or settled traffic split to its :class:`CanarySplitStats`.
     """
 
     workers: Tuple[WorkerStats, ...]
@@ -380,6 +490,10 @@ class ClusterStats:
     replicas: Mapping[str, Tuple[ReplicaStats, ...]] = field(default_factory=dict)
     latency_by_version: Mapping[str, LatencyStats] = field(default_factory=dict)
     current_versions: Mapping[str, str] = field(default_factory=dict)
+    errors_by_version: Mapping[str, int] = field(default_factory=dict)
+    shed_by_version: Mapping[str, int] = field(default_factory=dict)
+    scale_events: Tuple[ScaleEvent, ...] = ()
+    canary_state: Mapping[str, CanarySplitStats] = field(default_factory=dict)
 
     @property
     def shed(self) -> int:
@@ -840,6 +954,19 @@ class WorkerPool:
             handle = self._handle(worker_id)
         self._send(handle, ("sleep", float(seconds)))
 
+    def inject_lag(self, worker_id: int, name: str, seconds: float) -> None:
+        """Chaos hook: stall every burst touching model ``name`` on one worker.
+
+        Unlike :meth:`inject_sleep` (one stall), the lag persists until
+        cleared with ``seconds=0`` — the worker-side latency fault canary
+        rollback scenarios are built on.  Results are never perturbed, only
+        delayed, and the injection is *not* replayed across a crash restart
+        (a fresh worker starts healthy).
+        """
+        with self._lock:
+            handle = self._handle(worker_id)
+        self._send(handle, ("lag", name, float(seconds)))
+
     # -- reader / crash handling ------------------------------------------ #
 
     def _read_loop(self, handle: _WorkerHandle) -> None:
@@ -1074,9 +1201,10 @@ class ClusterRouter:
         self.placement_policy = PlacementPolicy.create(placement)
         self.latency_window = latency_window
         self._lock = threading.RLock()
-        self._images: Dict[str, Dict[str, bytes]] = {}  # name -> version -> blob
-        self._sizes: Dict[str, Dict[str, int]] = {}  # name -> version -> decoded bytes
-        self._current: Dict[str, str] = {}  # name -> current version
+        #: versioned bookkeeping lives in the shared catalog; entries are
+        #: ``(image_bytes, decoded_size)`` pairs (see repro.serving.catalog
+        #: for the CatalogError -> ConfigError/RoutingError mapping policy)
+        self._catalog = VersionedCatalog()
         self._model_policies: Dict[str, PlacementPolicy] = {}  # per-model overrides
         self._placements = PlacementTable()  # key -> ReplicaSet, LRU first
         self._protected: set = set()  # keys an in-progress deploy pins against eviction
@@ -1093,6 +1221,11 @@ class ClusterRouter:
         self._completions: Dict[Priority, int] = {p: 0 for p in Priority}
         self._latency_by_key: Dict[str, Deque[float]] = {}
         self._completions_by_key: Dict[str, int] = {}
+        self._errors_by_key: Dict[str, int] = {}  # failed completions per key
+        self._shed_by_key: Dict[str, int] = {}  # admission sheds per key
+        self._splits: Dict[str, _CanarySplit] = {}  # name -> traffic split
+        self._scale_events: Deque[ScaleEvent] = deque(maxlen=SCALE_EVENT_WINDOW)
+        self._lags: Dict[str, float] = {}  # key -> injected worker-side lag (chaos)
         self._evictions = 0
 
     # -- catalog ----------------------------------------------------------- #
@@ -1127,16 +1260,10 @@ class ClusterRouter:
         is measured by decoding once in the parent and discarding the plans —
         decode is deterministic, so the worker-side footprint is identical.
         """
-        validate_identifier("model name", name)
-        if version is not None:
-            validate_identifier("version", version)
-        elif not activate:
-            # version=None resolves to the CURRENT version — replacing the
-            # live image can never be "inactive"
-            raise ConfigError(
-                "activate=False stages a new version and needs an explicit "
-                "version= (version=None replaces the current version)"
-            )
+        with catalog_errors(ConfigError, RoutingError):
+            # validate the full spec before decoding: every malformed
+            # request fails before any side effect (or expensive work) runs
+            self._catalog.check_spec(name, version=version, activate=activate)
         blob = image.to_bytes() if isinstance(image, ModelImage) else bytes(image)
         size = PackedModel(ModelImage.from_bytes(blob), cache=True).decoded_bytes()
         with self._lock:
@@ -1151,7 +1278,9 @@ class ClusterRouter:
                 # registered version must still fit a full replica set —
                 # this is what keeps _admit_bytes' "a lone placement always
                 # fits" invariant true after a placement override
-                largest = max([size, *self._sizes.get(name, {}).values()])
+                largest = max(
+                    [size, *(entry[1] for _, entry in self._catalog.items(name))]
+                )
                 if largest * replicas > self.capacity_bytes:
                     raise ConfigError(
                         f"model {name!r} needs {largest} decoded bytes x "
@@ -1167,16 +1296,15 @@ class ClusterRouter:
                 # re-registering with the same spec must not cold-restart
                 # the model's placements.
                 self._model_policies[name] = policy
-                for existing_version in self._images.get(name, {}):
+                for existing_version in self._catalog.versions(name):
                     stale = self._placements.pop(make_key(name, existing_version))
                     if stale is not None:
                         for worker_id in stale.workers:
                             self.pool.unload(worker_id, stale.key)
-            version = version or self._current.get(name, DEFAULT_VERSION)
-            self._images.setdefault(name, {})[version] = blob
-            self._sizes.setdefault(name, {})[version] = size
-            if activate or name not in self._current:
-                self._current[name] = version
+            with catalog_errors(ConfigError, RoutingError):
+                version = self._catalog.register(
+                    name, (blob, size), version=version, activate=activate
+                )
             # replacing: drop the stale plans; next use reloads.  The
             # unloads go out under the router lock so they cannot land
             # behind a concurrent submit's re-placement load
@@ -1194,26 +1322,15 @@ class ClusterRouter:
         deploy).  Unknown names/versions raise.
         """
         with self._lock:
-            versions = self._images.get(name)
-            if versions is None:
-                raise RoutingError(f"unknown model {name!r}")
-            if version is None:
-                doomed = list(versions)
-            elif version not in versions:
-                raise RoutingError(f"unknown version {version!r} of model {name!r}")
-            elif version == self._current[name] and len(versions) > 1:
-                raise RoutingError(
-                    f"version {version!r} is current for model {name!r}; "
-                    f"flip to another version before removing it"
-                )
-            else:
-                doomed = [version]
+            with catalog_errors(ConfigError, RoutingError):
+                doomed = self._catalog.remove(name, version=version)
             for doomed_version in doomed:
                 key = make_key(name, doomed_version)
-                del versions[doomed_version]
-                del self._sizes[name][doomed_version]
                 self._latency_by_key.pop(key, None)
                 self._completions_by_key.pop(key, None)
+                self._errors_by_key.pop(key, None)
+                self._shed_by_key.pop(key, None)
+                self._lags.pop(key, None)
                 self._protected.discard(key)  # a removed key must not stay pinned
                 replica_set = self._placements.pop(key)
                 if replica_set is not None:
@@ -1221,29 +1338,30 @@ class ClusterRouter:
                     # concurrent submit's re-placement load
                     for worker_id in replica_set.workers:
                         self.pool.unload(worker_id, key)
-            if not versions:
-                del self._images[name]
-                del self._sizes[name]
-                self._current.pop(name, None)
+            if not self._catalog.has(name):
                 self._model_policies.pop(name, None)
+                self._splits.pop(name, None)
+            else:
+                split = self._splits.get(name)
+                if split is not None and split.version in doomed:
+                    # the canary version itself was removed: no burst may
+                    # route to it again, keep the record as settled
+                    split.state = "cleared"
 
     def names(self) -> List[str]:
         """All registered model names, sorted."""
         with self._lock:
-            return sorted(self._images)
+            return self._catalog.names()
 
     def versions(self, name: str) -> List[str]:
         """Registered versions of ``name``, sorted (empty for unknown names)."""
         with self._lock:
-            return sorted(self._images.get(name, {}))
+            return self._catalog.versions(name)
 
     def current_version(self, name: str) -> str:
         """The version ``version=None`` requests resolve to for ``name``."""
-        with self._lock:
-            version = self._current.get(name)
-            if version is None:
-                raise RoutingError(f"unknown model {name!r}")
-            return version
+        with self._lock, catalog_errors(ConfigError, RoutingError):
+            return self._catalog.current_version(name)
 
     def set_current(self, name: str, version: str) -> None:
         """Atomically flip ``name``'s routing to ``version``.
@@ -1253,62 +1371,53 @@ class ClusterRouter:
         request admitted before it keeps the version it resolved — nothing
         in flight is disturbed, nothing is shed.
         """
-        with self._lock:
-            if version not in self._images.get(name, {}):
-                raise RoutingError(f"unknown version {version!r} of model {name!r}")
-            self._current[name] = version
+        with self._lock, catalog_errors(ConfigError, RoutingError):
+            self._catalog.set_current(name, version)
 
     def __contains__(self, name: str) -> bool:
         """True when ``name`` is a registered model."""
         with self._lock:
-            return name in self._images
+            return name in self._catalog
 
     def __len__(self) -> int:
         """Number of registered models (names, not versions)."""
         with self._lock:
-            return len(self._images)
+            return self._catalog.name_count()
 
     # -- routing ----------------------------------------------------------- #
 
     def _resolve(self, model: Optional[str]) -> str:
         """Default-model resolution: a lone registered model needs no name."""
-        if model is None:
-            if len(self._images) == 1:
-                return next(iter(self._images))
-            if not self._images:
-                raise RoutingError("no models registered")
-            raise RoutingError(
-                f"model name required: cluster serves {sorted(self._images)}"
-            )
-        if model not in self._images:
-            known = ", ".join(sorted(self._images)) or "<empty>"
-            raise RoutingError(f"unknown model {model!r}; known: {known}")
-        return model
+        with catalog_errors(ConfigError, RoutingError):
+            return self._catalog.resolve_name(model)
 
     def _resolve_version(self, name: str, version: Optional[str]) -> str:
         """Version resolution for ``name``: ``None`` means current (under lock)."""
-        if version is None:
-            return self._current[name]
-        if version not in self._images[name]:
-            known = ", ".join(sorted(self._images[name]))
-            raise RoutingError(
-                f"unknown version {version!r} of model {name!r}; known: {known}"
-            )
-        return version
+        with catalog_errors(ConfigError, RoutingError):
+            return self._catalog.resolve_version(name, version)
 
     def _policy_for(self, name: str) -> PlacementPolicy:
         """The placement policy governing ``name`` (under lock)."""
         return self._model_policies.get(name, self.placement_policy)
 
-    def _effective_replicas(self, name: str) -> int:
-        """Replica count ``name``'s plans spread across: the policy's target
-        capped by the pool size (under lock)."""
+    def _effective_replicas(self, name: str, key: Optional[str] = None) -> int:
+        """Replica count serving ``name`` right now (under lock).
+
+        When ``key``'s replica set is placed its *live* size wins — the
+        autoscaler may have grown or shrunk it past the policy's static
+        target — otherwise the policy target capped by the pool size (the
+        count a fresh placement would get).
+        """
+        if key is not None:
+            replica_set = self._placements.get(key)
+            if replica_set is not None:
+                return len(replica_set.workers)
         return max(1, min(self._policy_for(name).replicas, self.pool.num_workers))
 
     def _size_of(self, key: str) -> int:
         """Decoded byte size of one placed key (under lock)."""
         name, version = split_key(key)
-        return self._sizes[name][version]
+        return self._catalog.get(name, version)[1]
 
     def _admit_bytes(self, needed: int, protect: set) -> None:
         """Evict LRU replica sets until ``needed`` more bytes fit the budget.
@@ -1351,6 +1460,13 @@ class ClusterRouter:
             self.pool.worker_ids(), self.pool.in_flight, resident_count
         )
 
+    def _reapply_lag(self, worker_id: int, key: str) -> None:
+        """Re-inject ``key``'s chaos lag on a worker that just loaded it
+        (under lock); no-op without an active :meth:`inject_version_lag`."""
+        lag = self._lags.get(key)
+        if lag:
+            self.pool.inject_lag(worker_id, key, lag)
+
     def _place(self, key: str) -> ReplicaSet:
         """Replica-set lookup, or a fresh placement by policy (under lock).
 
@@ -1369,8 +1485,10 @@ class ClusterRouter:
         )
         replica_set = ReplicaSet(key, workers, self._policy_for(name))
         self._placements.insert(replica_set)
+        blob = self._catalog.get(name, version)[0]
         for worker_id in workers:
-            self.pool.load(worker_id, key, self._images[name][version])
+            self.pool.load(worker_id, key, blob)
+            self._reapply_lag(worker_id, key)
         return replica_set
 
     def _resident_bytes(self) -> int:
@@ -1416,19 +1534,26 @@ class ClusterRouter:
                 self._key_pending[key] = pending
             else:
                 self._key_pending.pop(key, None)
-            if not future.cancelled() and future.exception() is None:
-                elapsed = time.monotonic() - started
-                self._completions[priority] += 1
-                self._latency_by_class[priority].append(elapsed)
-                self._completions_by_key[key] = self._completions_by_key.get(key, 0) + 1
-                self._latency_by_key.setdefault(
-                    key, deque(maxlen=self.latency_window)
-                ).append(elapsed)
-                # credit exactly the replica-set generation that dispatched
-                # this request (captured in the callback): after an evict +
-                # re-place the key may map to a NEW set that never saw this
-                # request, and crediting it would desync its counters
-                replica_set.record_completion(worker_id)
+            if future.cancelled():
+                return
+            if future.exception() is not None:
+                # per-version error feed for the canary controller: crashes,
+                # deadline misses and routing failures all count against the
+                # version the burst resolved to
+                self._errors_by_key[key] = self._errors_by_key.get(key, 0) + 1
+                return
+            elapsed = time.monotonic() - started
+            self._completions[priority] += 1
+            self._latency_by_class[priority].append(elapsed)
+            self._completions_by_key[key] = self._completions_by_key.get(key, 0) + 1
+            self._latency_by_key.setdefault(
+                key, deque(maxlen=self.latency_window)
+            ).append(elapsed)
+            # credit exactly the replica-set generation that dispatched
+            # this request (captured in the callback): after an evict +
+            # re-place the key may map to a NEW set that never saw this
+            # request, and crediting it would desync its counters
+            replica_set.record_completion(worker_id)
 
     # -- deploy primitives (driven by placement.DeployManager) -------------- #
 
@@ -1446,9 +1571,9 @@ class ClusterRouter:
         completion.
         """
         with self._lock:
-            if version not in self._images.get(name, {}):
+            if not self._catalog.has_version(name, version):
                 raise RoutingError(f"unknown version {version!r} of model {name!r}")
-            current = self._current[name]
+            current = self._catalog.current_version(name)
             new_key = make_key(name, version)
             old_key = make_key(name, current)
             staged = self._placements.get(new_key)
@@ -1474,9 +1599,10 @@ class ClusterRouter:
             # load under the router lock, like _place(): a concurrent
             # version-pinned submit that sees the fresh replica set cannot
             # slip its burst frame into the pipe ahead of these loads
-            blob = self._images[name][version]
+            blob = self._catalog.get(name, version)[0]
             for worker_id in workers:
                 self.pool.load(worker_id, new_key, blob)
+                self._reapply_lag(worker_id, new_key)
             return list(workers)
 
     def release_version(self, name: str, version: str) -> None:
@@ -1518,6 +1644,165 @@ class ClusterRouter:
         """Admitted-but-unresolved requests pinned to one ``(name, version)``."""
         with self._lock:
             return self._key_pending.get(make_key(name, version), 0)
+
+    # -- control plane (driven by serving.control) -------------------------- #
+
+    def resize(
+        self,
+        name: Optional[str],
+        replicas: int,
+        *,
+        version: Optional[str] = None,
+        reason: str = "manual resize",
+    ) -> Optional[ScaleEvent]:
+        """Grow or shrink one placed key's live replica set.
+
+        The target is clamped to ``[1, pool size]``; a no-op target returns
+        ``None``.  Growing ranks non-member workers by (in-flight load,
+        resident replica sets, id), budget-admits the extra copies
+        (evicting unpinned LRU placements if needed), then loads the plans
+        and joins each replica under the router lock — so the new replica
+        is warm (its ``load`` is ahead of any burst in its pipe) before it
+        can be picked.  Shrinking removes the least-loaded replicas and
+        unloads them; in-flight bursts on a removed replica finish first
+        because the ``unload`` queues behind them in the worker's pipe.
+        Raises :class:`~repro.errors.RoutingError` for a cluster that is
+        not running, an unplaced key, or a key pinned by an in-progress
+        deploy (resizing mid-deploy would fight the warm/drain sequence).
+        Returns the recorded :class:`ScaleEvent` when the set changed.
+        """
+        if not self.pool.running:
+            raise RoutingError("cluster not started; call start() or use a with block")
+        with self._lock:
+            name = self._resolve(name)
+            resolved = self._resolve_version(name, version)
+            key = make_key(name, resolved)
+            replica_set = self._placements.get(key)
+            if replica_set is None:
+                raise RoutingError(
+                    f"model {key!r} has no live placement to resize "
+                    f"(serve at least one request first)"
+                )
+            if key in self._protected:
+                raise RoutingError(
+                    f"model {key!r} is pinned by an in-progress deploy; "
+                    f"resize after it settles"
+                )
+            target = max(1, min(int(replicas), self.pool.num_workers))
+            before = len(replica_set.workers)
+            if target == before:
+                return None
+            if target > before:
+                members = set(replica_set.workers)
+                resident_count: Dict[int, int] = {}
+                for _, placed in self._placements.items():
+                    for wid in placed.workers:
+                        resident_count[wid] = resident_count.get(wid, 0) + 1
+                candidates = sorted(
+                    (wid for wid in self.pool.worker_ids() if wid not in members),
+                    key=lambda wid: (
+                        self.pool.in_flight(wid),
+                        resident_count.get(wid, 0),
+                        wid,
+                    ),
+                )
+                added = candidates[: target - before]
+                self._admit_bytes(
+                    self._size_of(key) * len(added), protect=self._protected | {key}
+                )
+                blob = self._catalog.get(name, resolved)[0]
+                for wid in added:
+                    # load + join under the router lock: the replica cannot
+                    # be picked before its plans are ahead of any burst in
+                    # its pipe (same ordering argument as _place)
+                    self.pool.load(wid, key, blob)
+                    self._reapply_lag(wid, key)
+                    replica_set.add_replica(wid)
+            else:
+                victims = sorted(
+                    replica_set.workers,
+                    key=lambda wid: (self.pool.in_flight(wid), -wid),
+                )[: before - target]
+                for wid in victims:
+                    replica_set.remove_replica(wid)
+                    self.pool.unload(wid, key)
+            event = ScaleEvent(
+                key=key,
+                action="grow" if target > before else "shrink",
+                from_replicas=before,
+                to_replicas=len(replica_set.workers),
+                reason=reason,
+                at_s=time.monotonic(),
+            )
+            self._scale_events.append(event)
+            return event
+
+    def set_split(self, name: Optional[str], version: str, fraction: float) -> None:
+        """Open a canary traffic split on ``name``.
+
+        While the split is running, ``fraction`` of ``version=None`` bursts
+        (deterministic counter interleave, no RNG) route to ``version``
+        instead of the current version; explicit ``version=`` pins are
+        never rerouted.  The canary version must already be registered
+        (staged with ``activate=False``) and must not be current.  Replaces
+        any previous split record for the name.
+        """
+        with self._lock:
+            if not 0.0 < fraction < 1.0:
+                raise ConfigError(
+                    f"canary fraction must be in (0, 1), got {fraction!r}"
+                )
+            name = self._resolve(name)
+            resolved = self._resolve_version(name, version)
+            if resolved == self._catalog.current_version(name):
+                raise RoutingError(
+                    f"version {resolved!r} is already current for model "
+                    f"{name!r}; a canary split needs a staged, non-current "
+                    f"version"
+                )
+            self._splits[name] = _CanarySplit(resolved, float(fraction))
+
+    def clear_split(self, name: str, outcome: str = "cleared") -> None:
+        """Stop routing canary traffic for ``name`` (idempotent).
+
+        The split record stays visible in ``canary_state`` frozen at
+        ``outcome`` (``"promoted"`` / ``"rolled_back"`` / ``"cleared"``) so
+        stats readers see how the canary settled; the next
+        :meth:`set_split` replaces it.
+        """
+        with self._lock:
+            split = self._splits.get(name)
+            if split is not None:
+                split.state = outcome
+
+    def canary_split(self, name: str) -> Optional[CanarySplitStats]:
+        """The live-or-settled split record for ``name`` (None = never split)."""
+        with self._lock:
+            split = self._splits.get(name)
+            return None if split is None else split.snapshot()
+
+    def inject_version_lag(
+        self, name: Optional[str], version: Optional[str], seconds: float
+    ) -> None:
+        """Chaos hook: stall every burst of one ``(name, version)``.
+
+        Applies :meth:`WorkerPool.inject_lag` to each live replica and
+        remembers the lag so replicas placed, warmed, or grown later get it
+        too (``seconds=0`` clears it).  Deliberately **not** replayed across
+        a crash restart, mirroring the worker-side chaos hooks.
+        """
+        with self._lock:
+            name = self._resolve(name)
+            resolved = self._resolve_version(name, version)
+            key = make_key(name, resolved)
+            if seconds > 0:
+                self._lags[key] = float(seconds)
+            else:
+                self._lags.pop(key, None)
+            replica_set = self._placements.get(key)
+            if replica_set is not None:
+                for wid in replica_set.workers:
+                    self.pool.inject_lag(wid, key, float(seconds))
 
     # -- request side ------------------------------------------------------ #
 
@@ -1577,8 +1862,17 @@ class ClusterRouter:
         deadline = None if deadline_s is None else time.monotonic() + deadline_s
         with self._lock:
             name = self._resolve(model)
-            key = make_key(name, self._resolve_version(name, version))
-            replicas = self._effective_replicas(name)
+            resolved_version = self._resolve_version(name, version)
+            split = self._splits.get(name)
+            if version is None and split is not None and split.state == "running":
+                # canary traffic split: only version=None requests are
+                # eligible (an explicit version= is a caller's pin and is
+                # never rerouted); the deterministic counter interleaves
+                # exactly `fraction` of bursts onto the canary version
+                if split.take():
+                    resolved_version = split.version
+            key = make_key(name, resolved_version)
+            replicas = self._effective_replicas(name, key)
             # replica-normalized admission: each request charges 1/replicas
             # of a slot against the *shared* per-worker-calibrated budget, so
             # a replicated model admits proportionally more work while other
@@ -1586,6 +1880,7 @@ class ClusterRouter:
             weight = len(xs) / replicas
             if not self.policy.admits(priority, self._pending_weight, weight):
                 self._shed[priority] += len(xs)
+                self._shed_by_key[key] = self._shed_by_key.get(key, 0) + len(xs)
                 raise AdmissionError(
                     f"{priority.name} admission limit "
                     f"({self.policy.admit_limit(priority)} of "
@@ -1607,7 +1902,7 @@ class ClusterRouter:
             encoded = self.pool.encode_burst(xs)
             with self._lock:
                 name_, version_ = split_key(key)
-                if version_ not in self._images.get(name_, {}):  # removed meanwhile
+                if not self._catalog.has_version(name_, version_):  # removed meanwhile
                     raise RoutingError(f"model {key!r} was removed during submit")
                 replica_set = self._place(key)
                 self._placements.touch(key)
@@ -1716,8 +2011,8 @@ class ClusterRouter:
             for key, count in self._completions_by_key.items()
         }
 
-    def stats(self) -> ClusterStats:
-        """Cluster-wide counters as one consistent snapshot."""
+    def snapshot(self) -> ClusterStats:
+        """Cluster-wide counters as one consistent immutable snapshot."""
         with self._lock:
             per_worker_models: Dict[int, List[str]] = {}
             per_worker_bytes: Dict[int, int] = {}
@@ -1729,7 +2024,10 @@ class ClusterRouter:
                 key: replica_set.snapshot()
                 for key, replica_set in self._placements.items()
             }
-            current_versions = dict(self._current)
+            current_versions = {
+                model: self._catalog.current_version(model)
+                for model in self._catalog.names()
+            }
             shed = dict(self._shed)
             evictions = self._evictions
             pending = self._pending
@@ -1737,6 +2035,12 @@ class ClusterRouter:
             latency = self._latency_stats()
             latency_by_version = self._version_stats()
             resident = self._resident_bytes()
+            errors_by_version = dict(self._errors_by_key)
+            shed_by_version = dict(self._shed_by_key)
+            scale_events = tuple(self._scale_events)
+            canary_state = {
+                model: split.snapshot() for model, split in self._splits.items()
+            }
         workers = tuple(
             WorkerStats(
                 worker_id=row["worker_id"],
@@ -1766,4 +2070,18 @@ class ClusterRouter:
             replicas=replicas,
             latency_by_version=latency_by_version,
             current_versions=current_versions,
+            errors_by_version=errors_by_version,
+            shed_by_version=shed_by_version,
+            scale_events=scale_events,
+            canary_state=canary_state,
         )
+
+    def stats(self) -> ClusterStats:
+        """Deprecated alias for :meth:`snapshot` (the unified stats name)."""
+        warnings.warn(
+            "ClusterRouter.stats() is deprecated; use snapshot() — the "
+            "unified stats accessor across the serving layer",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.snapshot()

@@ -1,0 +1,582 @@
+"""Self-driving control plane: autoscaling and canary deploys.
+
+The placement subsystem (PR 5) made replication, versioned placement and
+rolling deploys *possible* but left them manual: someone had to notice a
+hot model, pick a replica count, and decide whether a new version was good
+enough to flip routing to.  This module closes both loops with feedback
+controllers that read :class:`~repro.serving.cluster.ClusterStats` and act
+through the router's control surface:
+
+* :class:`Autoscaler` watches each placed key's per-replica in-flight load
+  (and optionally its p99 latency) and grows/shrinks its
+  :class:`~repro.serving.placement.ReplicaSet` between configurable
+  low/high watermarks via :meth:`~repro.serving.cluster.ClusterRouter.resize`
+  — new replicas are warmed through the pool's load replay before they can
+  be picked, removed replicas drain in pipe order, and every change
+  respects the cluster byte budget (N copies cost N × size) and the
+  replica-scaled admission limits.
+* :class:`CanaryController` drives a *earned* deploy flip on top of
+  :class:`~repro.serving.placement.DeployManager`: a
+  :class:`CanaryPolicy` fraction of ``version=None`` traffic routes to the
+  newly staged version, its latency/error/shed counters are compared
+  against the policy's SLOs over a decision window, and the version is
+  auto-promoted (the same atomic flip + old-version unload as a plain
+  deploy) or auto-rolled-back on breach — routing never leaves the
+  incumbent until the canary has proven itself.
+* :class:`ControlLoop` runs both as one background daemon thread
+  (``ControlLoop(router, interval_s=...)``), with a deterministic
+  :meth:`ControlLoop.step` so tests and benchmarks can drive the exact
+  same decision code without timing races.
+
+Decisions are observable: scale events and canary verdicts surface in
+:meth:`ClusterRouter.snapshot <repro.serving.cluster.ClusterRouter.snapshot>`
+(``scale_events``, ``canary_state``, ``errors_by_version``) and in
+:meth:`ControlLoop.snapshot`.  End to end, the whole plane is reachable
+from :class:`~repro.serving.frontend.AsyncServingFrontend` as
+``await frontend.deploy(name, image, version, canary=CanaryPolicy(...))``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.errors import ConfigError, RoutingError
+from repro.serving.catalog import make_key, split_key
+from repro.serving.cluster import ClusterRouter, ClusterStats, ScaleEvent
+
+
+def _p99_breach(p99_ms: float, limit: Optional[float]) -> bool:
+    """True when a p99 SLO is configured, measured, and exceeded."""
+    return limit is not None and not math.isnan(p99_ms) and p99_ms > limit
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Watermarks and bounds for one :class:`Autoscaler`.
+
+    ``low_load``/``high_load`` are *per-replica* mean in-flight request
+    watermarks: a key whose replicas average more than ``high_load``
+    in-flight requests grows by ``step``, one averaging less than
+    ``low_load`` shrinks by ``step`` (never past ``min_replicas`` /
+    ``max_replicas``; ``None`` = the pool size).  ``max_p99_ms`` adds a
+    latency trigger: a key whose p99 exceeds it grows even below the load
+    watermark, and is never shrunk while in breach.  After acting on a key
+    the autoscaler leaves it alone for ``cooldown_steps`` further steps so
+    the previous decision's effect is measured before the next one.
+    """
+
+    low_load: float = 0.5
+    high_load: float = 4.0
+    max_p99_ms: Optional[float] = None
+    min_replicas: int = 1
+    max_replicas: Optional[int] = None
+    step: int = 1
+    cooldown_steps: int = 1
+
+    def __post_init__(self) -> None:
+        """Validate watermark ordering and bounds."""
+        if self.low_load < 0:
+            raise ConfigError("low_load must be >= 0")
+        if self.high_load <= self.low_load:
+            raise ConfigError("high_load must be > low_load")
+        if self.max_p99_ms is not None and self.max_p99_ms <= 0:
+            raise ConfigError("max_p99_ms must be > 0 (or None to disable)")
+        if self.min_replicas < 1:
+            raise ConfigError("min_replicas must be >= 1")
+        if self.max_replicas is not None and self.max_replicas < self.min_replicas:
+            raise ConfigError("max_replicas must be >= min_replicas (or None)")
+        if self.step < 1:
+            raise ConfigError("step must be >= 1")
+        if self.cooldown_steps < 0:
+            raise ConfigError("cooldown_steps must be >= 0")
+
+
+class Autoscaler:
+    """Grow/shrink placed replica sets from observed load (one router).
+
+    Stateless between keys, stateful per key only for cooldown accounting.
+    :meth:`step` is deterministic given the router's stats — the
+    :class:`ControlLoop` calls it on a timer, tests call it directly.
+    Mutating calls that lose a race with a concurrent deploy or hit the
+    byte budget (:class:`~repro.errors.RoutingError` /
+    :class:`~repro.errors.ConfigError` from ``resize``) skip that key for
+    the round rather than failing the loop: the control plane must never
+    take the data plane down with it.
+    """
+
+    def __init__(
+        self, router: ClusterRouter, policy: Optional[AutoscalePolicy] = None
+    ) -> None:
+        self.router = router
+        self.policy = policy or AutoscalePolicy()
+        self._cooldown: Dict[str, int] = {}  # key -> steps left untouched
+
+    def _load_of(self, key: str, stats: ClusterStats, workers: Tuple[int, ...]) -> float:
+        """Mean in-flight requests per replica of one placed key.
+
+        Uses the replica workers' whole-worker in-flight counters (the same
+        load signal dispatch uses): colocated keys share the blame for a
+        busy worker, which errs toward spreading hot workers out — the
+        direction that helps.
+        """
+        in_flight = {row.worker_id: row.in_flight for row in stats.workers}
+        if not workers:
+            return 0.0
+        return sum(in_flight.get(wid, 0) for wid in workers) / len(workers)
+
+    def step(self) -> List[ScaleEvent]:
+        """One scaling pass over every placed key; returns applied events."""
+        policy = self.policy
+        stats = self.router.snapshot()
+        placements = self.router.placements()
+        events: List[ScaleEvent] = []
+        for key, workers in placements.items():
+            cooldown = self._cooldown.get(key, 0)
+            if cooldown > 0:
+                self._cooldown[key] = cooldown - 1
+                continue
+            replicas = len(workers)
+            load = self._load_of(key, stats, workers)
+            latency = stats.latency_by_version.get(key)
+            p99 = latency.p99_ms if latency is not None else float("nan")
+            breach = _p99_breach(p99, policy.max_p99_ms)
+            max_replicas = policy.max_replicas or self.router.pool.num_workers
+            name, version = split_key(key)
+            target: Optional[int] = None
+            reason = ""
+            if (load > policy.high_load or breach) and replicas < max_replicas:
+                target = min(replicas + policy.step, max_replicas)
+                reason = (
+                    f"p99 {p99:.1f} ms > {policy.max_p99_ms} ms"
+                    if breach and load <= policy.high_load
+                    else f"load {load:.2f}/replica > high watermark {policy.high_load}"
+                )
+            elif (
+                load < policy.low_load
+                and replicas > policy.min_replicas
+                and not breach
+            ):
+                target = max(replicas - policy.step, policy.min_replicas)
+                reason = f"load {load:.2f}/replica < low watermark {policy.low_load}"
+            if target is None:
+                continue
+            try:
+                event = self.router.resize(
+                    name, target, version=version, reason=reason
+                )
+            except (RoutingError, ConfigError):
+                # deploy-pinned key, byte budget exhausted, or the key was
+                # removed since the snapshot: skip this round, re-evaluate
+                # next step against fresh stats
+                continue
+            if event is not None:
+                events.append(event)
+                self._cooldown[key] = policy.cooldown_steps
+        return events
+
+
+@dataclass(frozen=True)
+class CanaryPolicy:
+    """SLOs and decision window for one canary deploy.
+
+    ``fraction`` of ``version=None`` traffic routes to the canary while it
+    is observed; the verdict waits for ``min_requests`` canary requests
+    (served + failed).  Breach conditions — any one rolls back: error rate
+    above ``max_error_rate``, p50/p99 above ``max_p50_ms``/``max_p99_ms``,
+    p99 above ``max_p99_ratio`` × the incumbent's live p99, or more than
+    ``max_shed`` admission sheds attributed to the canary version
+    (``None`` disables a condition; ``max_error_rate`` defaults to 0.0 —
+    by default *any* canary error rolls back).  A canary with no verdict
+    after ``decision_timeout_s`` is rolled back too: silence is not
+    consent.  ``poll_interval_s`` paces the synchronous decision loop in
+    :meth:`DeployManager.deploy <repro.serving.placement.DeployManager.deploy>`.
+    """
+
+    fraction: float = 0.1
+    min_requests: int = 50
+    max_p50_ms: Optional[float] = None
+    max_p99_ms: Optional[float] = None
+    max_p99_ratio: Optional[float] = None
+    max_error_rate: float = 0.0
+    max_shed: Optional[int] = None
+    decision_timeout_s: float = 60.0
+    poll_interval_s: float = 0.02
+
+    def __post_init__(self) -> None:
+        """Validate the traffic fraction, window, and SLO bounds."""
+        if not 0.0 < self.fraction < 1.0:
+            raise ConfigError(f"canary fraction must be in (0, 1), got {self.fraction!r}")
+        if self.min_requests < 1:
+            raise ConfigError("min_requests must be >= 1")
+        for label, value in (
+            ("max_p50_ms", self.max_p50_ms),
+            ("max_p99_ms", self.max_p99_ms),
+            ("max_p99_ratio", self.max_p99_ratio),
+        ):
+            if value is not None and value <= 0:
+                raise ConfigError(f"{label} must be > 0 (or None to disable)")
+        if self.max_error_rate < 0:
+            raise ConfigError("max_error_rate must be >= 0")
+        if self.max_shed is not None and self.max_shed < 0:
+            raise ConfigError("max_shed must be >= 0 (or None to disable)")
+        if self.decision_timeout_s <= 0:
+            raise ConfigError("decision_timeout_s must be > 0")
+        if self.poll_interval_s <= 0:
+            raise ConfigError("poll_interval_s must be > 0")
+
+
+@dataclass(frozen=True)
+class CanaryStatus:
+    """One canary's progress at a :meth:`CanaryController.step` boundary.
+
+    ``phase`` walks ``"observing"`` → (``"draining"`` →) ``"promoted"`` or
+    ``"rolled_back"``; ``baseline`` names the incumbent version the canary
+    was judged against.  ``observed``/``errors``/``shed`` count only
+    traffic since the split opened (baseline counters are subtracted), and
+    the percentiles are the canary version's live window (``nan`` before
+    its first completion).  ``reason`` names the SLO breach on a rollback.
+    """
+
+    name: str
+    version: str
+    baseline: Optional[str]
+    phase: str
+    observed: int
+    errors: int
+    shed: int
+    p50_ms: float
+    p99_ms: float
+    reason: Optional[str] = None
+
+    @property
+    def done(self) -> bool:
+        """True once the canary reached a terminal verdict."""
+        return self.phase in ("promoted", "rolled_back")
+
+
+class CanaryController:
+    """Observe one staged version under a traffic split and settle it.
+
+    Construct *after* the canary version is registered and warmed (the
+    :class:`~repro.serving.placement.DeployManager` does both): baseline
+    counters are captured at construction so pre-split traffic to the
+    version (a previous aborted canary, explicit pins) is not charged to
+    this decision.  :meth:`begin` opens the router split; each
+    :meth:`step` re-reads the router stats and advances the phase machine:
+
+    * ``observing`` — until ``min_requests`` canary requests settle, then
+      breach → ``rolled_back`` (split cleared, canary plans unloaded,
+      routing untouched) or healthy → atomic flip + ``draining``;
+    * ``draining`` — until the old version's in-flight requests resolve,
+      then its plans unload and the phase settles at ``promoted``.
+
+    ``drained`` reports how many old-version requests were in flight at
+    the flip (the :class:`~repro.serving.placement.DeployReport` field).
+    """
+
+    def __init__(
+        self,
+        router: ClusterRouter,
+        name: str,
+        version: str,
+        policy: Optional[CanaryPolicy] = None,
+    ) -> None:
+        self.router = router
+        self.name = name
+        self.version = version
+        self.policy = policy or CanaryPolicy()
+        self.drained = 0
+        self._old = router.current_version(name)
+        if self._old == version:
+            raise ConfigError(
+                f"version {version!r} is already current for model {name!r}; "
+                f"a canary needs a staged, non-current version"
+            )
+        key = make_key(name, version)
+        stats = router.snapshot()
+        latency = stats.latency_by_version.get(key)
+        self._base_served = latency.count if latency is not None else 0
+        self._base_errors = stats.errors_by_version.get(key, 0)
+        self._base_shed = stats.shed_by_version.get(key, 0)
+        self._phase = "staged"
+        self._last = self._status(stats)
+
+    # -- phase machine ------------------------------------------------------ #
+
+    def begin(self) -> None:
+        """Open the traffic split and start observing (idempotent)."""
+        if self._phase != "staged":
+            return
+        self.router.set_split(self.name, self.version, self.policy.fraction)
+        self._phase = "observing"
+        self._last = self._status(self.router.snapshot())
+
+    def step(self) -> CanaryStatus:
+        """Advance the phase machine one deterministic move; returns status."""
+        if self._phase in ("promoted", "rolled_back"):
+            return self._last
+        if self._phase == "staged":
+            self.begin()
+        if self._phase == "observing":
+            self._last = self._observe()
+        elif self._phase == "draining":
+            self._last = self._drain()
+        return self._last
+
+    def abort(self, reason: str) -> CanaryStatus:
+        """Force a verdict now (decision timeout, caller shutdown).
+
+        Before the flip this is a full rollback — split cleared, canary
+        plans unloaded, routing untouched.  After the flip (``draining``)
+        routing already moved, so the abort only unpins: the new version
+        stays current and the old version's plans stay loaded for its
+        straggling pinned requests, exactly like a plain deploy's drain
+        timeout.
+        """
+        if self._phase in ("promoted", "rolled_back"):
+            return self._last
+        if self._phase == "draining":
+            self.router.unpin(self.name)
+            self._phase = "promoted"
+        else:
+            self._rollback()
+        self._last = self._status(self.router.snapshot(), reason=reason)
+        return self._last
+
+    # -- internals ---------------------------------------------------------- #
+
+    def _counters(self, stats: ClusterStats) -> Tuple[int, int, int, float, float]:
+        """(served, errors, shed, p50_ms, p99_ms) since the split opened."""
+        key = make_key(self.name, self.version)
+        latency = stats.latency_by_version.get(key)
+        served = (latency.count if latency is not None else 0) - self._base_served
+        errors = stats.errors_by_version.get(key, 0) - self._base_errors
+        shed = stats.shed_by_version.get(key, 0) - self._base_shed
+        p50 = latency.p50_ms if latency is not None else float("nan")
+        p99 = latency.p99_ms if latency is not None else float("nan")
+        return served, errors, shed, p50, p99
+
+    def _status(self, stats: ClusterStats, reason: Optional[str] = None) -> CanaryStatus:
+        """Freeze the current counters into a :class:`CanaryStatus`."""
+        served, errors, shed, p50, p99 = self._counters(stats)
+        return CanaryStatus(
+            name=self.name,
+            version=self.version,
+            baseline=self._old,
+            phase=self._phase,
+            observed=served + errors,
+            errors=errors,
+            shed=shed,
+            p50_ms=p50,
+            p99_ms=p99,
+            reason=reason if reason is not None else self._last_reason(),
+        )
+
+    def _last_reason(self) -> Optional[str]:
+        """Carry a terminal reason forward across status snapshots."""
+        last = getattr(self, "_last", None)
+        return last.reason if last is not None else None
+
+    def _breach(self, stats: ClusterStats) -> Optional[str]:
+        """The first violated SLO, or ``None`` while the canary is healthy."""
+        policy = self.policy
+        served, errors, shed, p50, p99 = self._counters(stats)
+        error_rate = errors / max(1, served + errors)
+        if error_rate > policy.max_error_rate:
+            return (
+                f"error rate {error_rate:.3f} > {policy.max_error_rate:.3f} "
+                f"({errors} of {served + errors} canary requests failed)"
+            )
+        if policy.max_shed is not None and shed > policy.max_shed:
+            return f"{shed} canary sheds > max_shed {policy.max_shed}"
+        if _p99_breach(p50, policy.max_p50_ms):
+            return f"canary p50 {p50:.1f} ms > {policy.max_p50_ms} ms"
+        if _p99_breach(p99, policy.max_p99_ms):
+            return f"canary p99 {p99:.1f} ms > {policy.max_p99_ms} ms"
+        if policy.max_p99_ratio is not None:
+            incumbent = stats.latency_by_version.get(make_key(self.name, self._old))
+            if (
+                incumbent is not None
+                and not math.isnan(incumbent.p99_ms)
+                and not math.isnan(p99)
+                and p99 > policy.max_p99_ratio * incumbent.p99_ms
+            ):
+                return (
+                    f"canary p99 {p99:.1f} ms > {policy.max_p99_ratio}x "
+                    f"incumbent p99 {incumbent.p99_ms:.1f} ms"
+                )
+        return None
+
+    def _rollback(self) -> None:
+        """Settle at ``rolled_back``: clear the split, unload the canary."""
+        self.router.clear_split(self.name, "rolled_back")
+        self.router.release_version(self.name, self.version)
+        self.router.unpin(self.name)
+        self._phase = "rolled_back"
+
+    def _observe(self) -> CanaryStatus:
+        """Observing phase: wait for the window, then judge the canary."""
+        stats = self.router.snapshot()
+        served, errors, shed, _, _ = self._counters(stats)
+        breach = self._breach(stats)
+        if breach is not None:
+            # breaches settle immediately, even before the full window —
+            # an error budget of zero must not wait for min_requests
+            self._rollback()
+            return self._status(self.router.snapshot(), reason=breach)
+        if served + errors < self.policy.min_requests:
+            return self._status(stats)
+        # healthy over a full window: earn the flip.  Pending old-version
+        # work at this instant is what the promotion must drain.
+        self.drained = self.router.version_pending(self.name, self._old)
+        self.router.set_current(self.name, self.version)
+        self.router.clear_split(self.name, "promoted")
+        self._phase = "draining"
+        return self._drain()
+
+    def _drain(self) -> CanaryStatus:
+        """Draining phase: unload the old version once its pins resolve."""
+        if self.router.version_pending(self.name, self._old) == 0:
+            self.router.release_version(self.name, self._old)
+            self.router.unpin(self.name)
+            self._phase = "promoted"
+        return self._status(self.router.snapshot())
+
+
+@dataclass(frozen=True)
+class ControlStats:
+    """One :class:`ControlLoop`'s activity snapshot.
+
+    ``steps`` counts completed control rounds (manual and background),
+    ``errors`` background rounds that raised (and were contained),
+    ``scale_events`` every event this loop's autoscaler applied, and
+    ``canaries`` the latest :class:`CanaryStatus` per watched model —
+    terminal verdicts persist after the controller is pruned.
+    """
+
+    steps: int
+    errors: int
+    scale_events: Tuple[ScaleEvent, ...]
+    canaries: Mapping[str, CanaryStatus] = field(default_factory=dict)
+
+
+class ControlLoop:
+    """One background thread driving autoscaling + watched canaries.
+
+    ``autoscaler`` accepts an :class:`Autoscaler`, an
+    :class:`AutoscalePolicy` (wrapped over ``router``), or ``None`` for
+    the default policy.  :meth:`step` runs one deterministic round —
+    exactly what the background thread does every ``interval_s`` — so
+    tests drive the loop without waiting on wall clocks.  Exceptions in
+    background rounds are contained and counted (``snapshot().errors``):
+    a control-plane bug degrades to "no scaling" rather than an unhandled
+    thread death.
+    """
+
+    def __init__(
+        self,
+        router: ClusterRouter,
+        *,
+        interval_s: float = 0.25,
+        autoscaler: Union[Autoscaler, AutoscalePolicy, None] = None,
+    ) -> None:
+        if interval_s <= 0:
+            raise ConfigError("interval_s must be > 0")
+        self.router = router
+        self.interval_s = interval_s
+        if isinstance(autoscaler, AutoscalePolicy):
+            autoscaler = Autoscaler(router, autoscaler)
+        self.autoscaler = autoscaler or Autoscaler(router)
+        self._lock = threading.RLock()
+        self._canaries: Dict[str, CanaryController] = {}
+        self._verdicts: Dict[str, CanaryStatus] = {}
+        self._events: List[ScaleEvent] = []
+        self._steps = 0
+        self._errors = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def watch(self, controller: CanaryController) -> None:
+        """Adopt a canary: subsequent steps drive it to a verdict.
+
+        An undecided controller already watched for the same model is
+        aborted first — one canary per model at a time.
+        """
+        with self._lock:
+            stale = self._canaries.pop(controller.name, None)
+            if stale is not None:
+                self._verdicts[stale.name] = stale.abort(
+                    "superseded by a newer canary"
+                )
+            controller.begin()
+            self._canaries[controller.name] = controller
+
+    def step(self) -> List[ScaleEvent]:
+        """One control round: scale every key, advance every canary."""
+        with self._lock:
+            events = self.autoscaler.step()
+            self._events.extend(events)
+            for name, controller in list(self._canaries.items()):
+                status = controller.step()
+                self._verdicts[name] = status
+                if status.done:
+                    del self._canaries[name]
+            self._steps += 1
+            return events
+
+    def snapshot(self) -> ControlStats:
+        """Immutable copy of the loop's counters and canary verdicts."""
+        with self._lock:
+            return ControlStats(
+                steps=self._steps,
+                errors=self._errors,
+                scale_events=tuple(self._events),
+                canaries=dict(self._verdicts),
+            )
+
+    # -- background thread --------------------------------------------------- #
+
+    def start(self) -> "ControlLoop":
+        """Start the background control thread (idempotent); returns self."""
+        with self._lock:
+            if self._thread is not None:
+                return self
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-control-loop", daemon=True
+            )
+            self._thread.start()
+            return self
+
+    def stop(self) -> None:
+        """Stop the background thread (idempotent); waits for it to exit."""
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join()
+
+    def _run(self) -> None:
+        """Background body: step, sleep, repeat until stopped."""
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.step()
+            except Exception:
+                # contain control-plane bugs: the data plane keeps serving
+                # and the next round retries against fresh stats
+                with self._lock:
+                    self._errors += 1
+
+    def __enter__(self) -> "ControlLoop":
+        """Run the control loop for the duration of a ``with`` block."""
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        """Stop the background thread on block exit."""
+        self.stop()

@@ -40,6 +40,7 @@ processes.
 from __future__ import annotations
 
 import asyncio
+import functools
 import threading
 from concurrent.futures import Future
 from typing import Callable, List, Optional, Sequence, Union
@@ -139,15 +140,16 @@ class AsyncServingFrontend:
         depth (``queue_depth_by_priority``), completion-latency percentiles
         (``latency_by_priority``) and data-plane counters (``transport``)."""
         if self.cluster is not None:
-            return self.cluster.stats()
+            return self.cluster.snapshot()
         return self.engine.stats
 
     def snapshot(self) -> Union[EngineStats, ClusterStats]:
         """Race-free counters copy: the engine's locked
         :meth:`~repro.serving.batching.BatchingEngine.snapshot`, or the
-        cluster's :meth:`~repro.serving.cluster.ClusterRouter.stats`."""
+        cluster's :meth:`~repro.serving.cluster.ClusterRouter.snapshot` —
+        the unified stats accessor across the serving layer."""
         if self.cluster is not None:
-            return self.cluster.stats()
+            return self.cluster.snapshot()
         return self.engine.snapshot()
 
     @property
@@ -349,16 +351,29 @@ class AsyncServingFrontend:
             )
         return self._deploy_manager
 
-    async def deploy(self, name: str, image, version: str) -> DeployReport:
+    async def deploy(
+        self, name: str, image, version: str, *, canary: Optional[object] = None
+    ) -> DeployReport:
         """Rolling-deploy ``name`` to a new ``version`` without shedding.
 
         Runs the blocking warm → flip → drain → unload sequence
         (:class:`~repro.serving.placement.DeployManager`) on a worker
         thread so the event loop keeps serving traffic throughout — which
-        is the point of a *rolling* deploy.  Returns the
+        is the point of a *rolling* deploy.  With
+        ``canary=CanaryPolicy(...)`` the flip is earned instead of
+        unconditional: the new version serves a traffic fraction first and
+        auto-promotes or auto-rolls-back on its observed SLOs (see
+        :class:`~repro.serving.control.CanaryController`; concurrent
+        ``await predict(...)`` calls keep flowing throughout — they *are*
+        the canary's decision traffic).  Returns the
         :class:`~repro.serving.placement.DeployReport`.
         """
-        return await asyncio.to_thread(self._deploys().deploy, name, image, version)
+        return await asyncio.to_thread(
+            functools.partial(self._deploys().deploy, canary=canary),
+            name,
+            image,
+            version,
+        )
 
     async def rollback(self, name: str) -> DeployReport:
         """Roll ``name`` back to the previously deployed version."""

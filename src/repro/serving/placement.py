@@ -57,34 +57,15 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, 
 
 from repro.errors import ConfigError, DeployError
 
-#: separator joining model name and version into a worker-side model key
-KEY_SEPARATOR = "@"
-
-#: version assigned when a model is registered without an explicit one
-DEFAULT_VERSION = "v1"
-
-
-def make_key(name: str, version: str) -> str:
-    """Compose the worker-side model key for one ``(name, version)`` pair."""
-    return f"{name}{KEY_SEPARATOR}{version}"
-
-
-def split_key(key: str) -> Tuple[str, str]:
-    """Inverse of :func:`make_key`: ``"name@version" → (name, version)``."""
-    name, _, version = key.rpartition(KEY_SEPARATOR)
-    return name, version
-
-
-def validate_identifier(kind: str, value: str) -> str:
-    """Reject names/versions that would make ``name@version`` keys ambiguous."""
-    if not value:
-        raise ConfigError(f"{kind} must be a non-empty string")
-    if KEY_SEPARATOR in value:
-        raise ConfigError(
-            f"{kind} {value!r} may not contain {KEY_SEPARATOR!r} "
-            f"(reserved for model keys)"
-        )
-    return value
+# the "name@version" key grammar now lives in the shared versioned catalog
+# (repro.serving.catalog); re-exported here for the pre-catalog import paths
+from repro.serving.catalog import (  # noqa: F401  (re-exports)
+    DEFAULT_VERSION,
+    KEY_SEPARATOR,
+    make_key,
+    split_key,
+    validate_identifier,
+)
 
 
 #: load probe: worker id -> in-flight request count (pipe + engine queues)
@@ -131,6 +112,37 @@ class ReplicaSet:
     def pick(self, load: LoadFn) -> int:
         """Choose the replica for one request burst (delegates to the policy)."""
         return self.policy.pick(self, load)
+
+    def add_replica(self, worker_id: int) -> None:
+        """Grow the set by one worker (idempotent), counters starting at zero.
+
+        Called under the router lock by
+        :meth:`~repro.serving.cluster.ClusterRouter.resize` — the caller is
+        responsible for loading the key's plans on the new worker *before*
+        dispatch can pick it (the pipe-order guarantee makes load-then-add
+        under the router lock sufficient).
+        """
+        if worker_id not in self._dispatched:
+            self.workers.append(worker_id)
+            self._dispatched[worker_id] = 0
+            self._completed[worker_id] = 0
+
+    def remove_replica(self, worker_id: int) -> None:
+        """Shrink the set by one worker; the last replica cannot be removed.
+
+        The removed replica's counters are dropped with it; completions of
+        its still-in-flight requests are recorded harmlessly (they no longer
+        appear in :meth:`snapshot`, which iterates the live workers).
+        """
+        if worker_id not in self._dispatched:
+            raise ConfigError(
+                f"worker {worker_id} is not a replica of {self.key!r}"
+            )
+        if len(self.workers) == 1:
+            raise ConfigError(f"replica set for {self.key!r} needs at least one worker")
+        self.workers.remove(worker_id)
+        self._dispatched.pop(worker_id, None)
+        self._completed.pop(worker_id, None)
 
     def record_dispatch(self, worker_id: int, n: int = 1) -> None:
         """Count ``n`` requests routed to one replica."""
@@ -244,8 +256,16 @@ class StickyPolicy(PlacementPolicy, spec="sticky"):
     replicas = 1
 
     def pick(self, replica_set: ReplicaSet, load: LoadFn) -> int:
-        """The single replica (sticky placement has no dispatch choice)."""
-        return replica_set.workers[0]
+        """The single replica — or, when an autoscaler grew the set past its
+        one-replica target, the least-loaded replica: sticky describes the
+        *placement* target, and a grown set must still spread dispatch or
+        the extra replicas would never serve a request."""
+        workers = replica_set.workers
+        if len(workers) == 1:
+            return workers[0]
+        return min(
+            workers, key=lambda wid: (load(wid), replica_set.dispatched(wid), wid)
+        )
 
 
 class ReplicatedPolicy(PlacementPolicy, spec="replicated"):
@@ -371,6 +391,14 @@ class DeployReport:
     ``drained`` counts the old version's requests that were still in flight
     at the routing flip and were served (never shed) before its plans were
     unloaded; ``warm_s``/``drain_s`` time the two waiting phases.
+
+    Canary deploys (``deploy(..., canary=CanaryPolicy(...))``) additionally
+    report the verdict: ``canary_outcome`` is ``"promoted"`` or
+    ``"rolled_back"`` (``None`` for plain deploys), ``canary_reason`` names
+    the SLO breach on a rollback, and ``canary_observed`` counts the canary
+    requests the decision was based on.  A rolled-back canary is a *normal
+    return*, not an exception: ``new_version`` names the rejected version
+    while routing stays on ``old_version``.
     """
 
     name: str
@@ -380,6 +408,9 @@ class DeployReport:
     drained: int
     warm_s: float
     drain_s: float
+    canary_outcome: Optional[str] = None
+    canary_reason: Optional[str] = None
+    canary_observed: int = 0
 
 
 class DeployManager:
@@ -431,14 +462,32 @@ class DeployManager:
 
     # -- public API --------------------------------------------------------- #
 
-    def deploy(self, name: str, image, version: str) -> DeployReport:
+    def deploy(
+        self, name: str, image, version: str, *, canary: Optional[object] = None
+    ) -> DeployReport:
         """Roll ``name`` from its current version to ``version`` (new image).
 
         Registers the image under ``(name, version)`` and performs the full
         warm → flip → drain → unload sequence.  Deploying a name the router
         has never seen is a **first-time deploy**: the version is
         registered, its plans are warmed, and it starts serving — there is
-        no old version to drain.
+        no old version to drain (and ``canary`` is meaningless without an
+        incumbent, so it is ignored).
+
+        With ``canary=CanaryPolicy(...)`` the flip is *earned* instead of
+        unconditional: after warming, a configurable fraction of
+        ``version=None`` traffic is routed to the new version and its
+        latency/error/shed stats are compared against the policy's SLOs
+        over a decision window (:class:`~repro.serving.control.CanaryController`).
+        A healthy canary auto-promotes (atomic flip + old-version unload,
+        exactly like a plain deploy); an SLO breach auto-rolls-back —
+        routing stays on the old version, the canary's plans are unloaded,
+        and the report returns normally with ``canary_outcome ==
+        "rolled_back"`` (the rejected image stays registered, staged and
+        unplaced, for diagnosis or redeploy).  A canary that cannot reach a
+        verdict within ``decision_timeout_s`` is rolled back and raises
+        :class:`~repro.errors.DeployError` — an undecided canary must not
+        promote by default.
 
         Raises :class:`~repro.errors.DeployError` if the target version is
         already current, warming times out, or the old version never
@@ -458,6 +507,8 @@ class DeployManager:
             fresh = version not in self.router.versions(name)
             self.router.register(name, image, version=version, activate=False)
             try:
+                if canary is not None:
+                    return self._canary_roll(name, version, canary)
                 return self._roll(name, version)
             except BaseException:
                 # a failed deploy leaves no half-registered version — unless
@@ -566,6 +617,70 @@ class DeployManager:
             drained=drained,
             warm_s=warm_s,
             drain_s=time.monotonic() - t1,
+        )
+
+    def _canary_roll(self, name: str, version: str, policy) -> DeployReport:
+        """Warm → split → observe → promote-or-rollback (manager lock held).
+
+        The decision loop polls a
+        :class:`~repro.serving.control.CanaryController` (the same
+        ``step()`` the background :class:`~repro.serving.control.ControlLoop`
+        drives) until it reaches a terminal phase or the policy's
+        ``decision_timeout_s`` elapses — in which case the canary is rolled
+        back and :class:`~repro.errors.DeployError` raised: silence is not
+        consent.
+        """
+        # late import: control builds *on* the deploy/cluster layers, so the
+        # dependency must point this way only when a canary is actually used
+        from repro.serving.control import CanaryController
+
+        old = self._current(name)
+        t0 = time.monotonic()
+        workers = self.router.warm(name, version)
+        try:
+            self._await_warm(name, version, workers)
+        except BaseException:
+            self.router.release_version(name, version)
+            self.router.unpin(name)
+            raise
+        warm_s = time.monotonic() - t0
+        controller = CanaryController(self.router, name, version, policy)
+        controller.begin()  # opens the traffic split
+        deadline = time.monotonic() + policy.decision_timeout_s
+        t1 = time.monotonic()
+        try:
+            while True:
+                status = controller.step()
+                if status.done:
+                    break
+                if time.monotonic() >= deadline:
+                    status = controller.abort(
+                        f"no canary verdict after {policy.decision_timeout_s:.1f} s "
+                        f"({status.observed} of {policy.min_requests} decision "
+                        f"requests observed)"
+                    )
+                    raise DeployError(str(status.reason))
+                time.sleep(self.poll_interval_s)
+        except DeployError:
+            raise
+        except BaseException:
+            controller.abort("canary aborted by error")
+            raise
+        if status.phase == "promoted":
+            history = self._history.setdefault(name, [])
+            if not history or history[-1] != version:
+                history.append(version)
+        return DeployReport(
+            name=name,
+            old_version=old,
+            new_version=version,
+            replicas=tuple(workers),
+            drained=controller.drained,
+            warm_s=warm_s,
+            drain_s=time.monotonic() - t1,
+            canary_outcome=status.phase,
+            canary_reason=status.reason,
+            canary_observed=status.observed,
         )
 
     def _await_warm(self, name: str, version: str, workers: Sequence[int]) -> None:

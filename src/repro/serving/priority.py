@@ -78,6 +78,14 @@ class PriorityPolicy:
         fractional occupancy): equivalent to the scaled ceiling for one
         model's traffic, while other models' watermarks — and HIGH's
         reserved headroom — still hold on the shared queue.
+
+        Under autoscaling (:mod:`repro.serving.control`) ``replicas`` is
+        the **live** replica-set size, not the placement policy's static
+        target: when the :class:`~repro.serving.control.Autoscaler` grows
+        a hot model the admission budget expands with it in the same
+        locked router step, and contracts again on scale-down — capacity
+        and admission can never disagree about how many workers serve a
+        model.
         """
         budget = self.max_pending * max(1, replicas)
         if priority == Priority.HIGH:

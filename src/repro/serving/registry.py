@@ -38,8 +38,8 @@ import numpy as np
 
 from repro.deploy.image import ModelImage
 from repro.errors import ConfigError
+from repro.serving.catalog import VersionedCatalog, catalog_errors, make_key
 from repro.serving.packed import PackedModel
-from repro.serving.placement import DEFAULT_VERSION, make_key, validate_identifier
 
 #: internal registry key: (model name, version)
 ModelKey = Tuple[str, str]
@@ -103,8 +103,11 @@ class ModelRegistry:
         self.capacity = capacity
         self.capacity_bytes = capacity_bytes
         self.stats = RegistryStats()
-        self._images: "OrderedDict[ModelKey, ModelImage]" = OrderedDict()
-        self._current: Dict[str, str] = {}  # name -> current version
+        #: versioned bookkeeping lives in the shared catalog; entries are
+        #: the ModelImage objects (see repro.serving.catalog for the
+        #: CatalogError -> ConfigError mapping policy — the registry keeps
+        #: its historical everything-is-ConfigError surface)
+        self._catalog = VersionedCatalog()
         self._decoded: "OrderedDict[ModelKey, PackedModel]" = OrderedDict()
         self._inflight: Dict[ModelKey, threading.Event] = {}  # single-flight decodes
         self._lock = threading.RLock()
@@ -130,23 +133,15 @@ class ModelRegistry:
         ``activate`` — a registered model always has a current version.
         Replacing an existing key drops any stale plan.
         """
-        validate_identifier("model name", name)
-        if version is not None:
-            validate_identifier("version", version)
-        elif not activate:
-            # version=None resolves to the CURRENT version — replacing the
-            # live image can never be "inactive"
-            raise ConfigError(
-                "activate=False stages a new version and needs an explicit "
-                "version= (version=None replaces the current version)"
-            )
+        with catalog_errors(ConfigError, ConfigError):
+            # validate the full spec before deserializing the image bytes
+            self._catalog.check_spec(name, version=version, activate=activate)
         if isinstance(image, (bytes, bytearray)):
             image = ModelImage.from_bytes(bytes(image))
-        with self._lock:
-            version = version or self._current.get(name, DEFAULT_VERSION)
-            self._images[(name, version)] = image
-            if activate or name not in self._current:
-                self._current[name] = version
+        with self._lock, catalog_errors(ConfigError, ConfigError):
+            version = self._catalog.register(
+                name, image, version=version, activate=activate
+            )
             self._drop_plan((name, version))
 
     def remove(self, name: str, *, version: Optional[str] = None) -> None:
@@ -158,51 +153,20 @@ class ModelRegistry:
         names/versions raise.
         """
         with self._lock:
-            versions = self._versions_of(name)
-            if not versions:
-                raise ConfigError(f"unknown model {name!r}")
-            if version is None:
-                doomed = versions
-            elif version not in versions:
-                raise ConfigError(f"unknown version {version!r} of model {name!r}")
-            elif version == self._current[name] and len(versions) > 1:
-                raise ConfigError(
-                    f"version {version!r} is current for model {name!r}; "
-                    f"set_current() to another version before removing it"
-                )
-            else:
-                doomed = [version]
+            with catalog_errors(ConfigError, ConfigError):
+                doomed = self._catalog.remove(name, version=version)
             for doomed_version in doomed:
-                del self._images[(name, doomed_version)]
                 self._drop_plan((name, doomed_version))
-            if not self._versions_of(name):
-                self._current.pop(name, None)
 
     def set_current(self, name: str, version: str) -> None:
         """Atomically flip which version ``get(name)`` resolves to."""
-        with self._lock:
-            if (name, version) not in self._images:
-                raise ConfigError(f"unknown version {version!r} of model {name!r}")
-            self._current[name] = version
-
-    def _versions_of(self, name: str) -> List[str]:
-        """Registered versions of ``name`` in insertion order (under lock)."""
-        return [v for n, v in self._images if n == name]
+        with self._lock, catalog_errors(ConfigError, ConfigError):
+            self._catalog.set_current(name, version)
 
     def _resolve(self, name: str, version: Optional[str]) -> ModelKey:
         """Resolve ``(name, version)`` with ``None`` meaning current (under lock)."""
-        if version is None:
-            current = self._current.get(name)
-            if current is None:
-                known = ", ".join(sorted({n for n, _ in self._images})) or "<empty>"
-                raise ConfigError(f"unknown model {name!r}; known: {known}")
-            return (name, current)
-        if (name, version) not in self._images:
-            known = ", ".join(self._versions_of(name)) or "<none>"
-            raise ConfigError(
-                f"unknown version {version!r} of model {name!r}; known: {known}"
-            )
-        return (name, version)
+        with catalog_errors(ConfigError, ConfigError):
+            return (name, self._catalog.resolve_version(name, version))
 
     def _drop_plan(self, key: ModelKey) -> None:
         """Discard ``key``'s decoded plan (if resident), keeping byte accounts."""
@@ -235,7 +199,7 @@ class ModelRegistry:
         while True:
             with self._lock:
                 key = self._resolve(name, version)
-                image = self._images[key]
+                image = self._catalog.get(key[0], key[1])
                 model = self._decoded.get(key)
                 if model is not None:
                     self.stats.hits += 1
@@ -258,7 +222,7 @@ class ModelRegistry:
             # cache *before* releasing the latch (atomically with it), so a
             # woken follower always finds the plan and can never become a
             # second leader decoding the same image
-            if self._images.get(key) is image:  # not re-registered/removed mid-decode
+            if self._catalog.find(*key) is image:  # not re-registered/removed mid-decode
                 self._cache(key, model)
             self._inflight.pop(key, None)
             waiter.set()
@@ -301,20 +265,17 @@ class ModelRegistry:
     def names(self) -> List[str]:
         """All registered model names, sorted."""
         with self._lock:
-            return sorted({name for name, _ in self._images})
+            return self._catalog.names()
 
     def versions(self, name: str) -> List[str]:
         """Registered versions of ``name``, sorted (empty for unknown names)."""
         with self._lock:
-            return sorted(self._versions_of(name))
+            return self._catalog.versions(name)
 
     def current_version(self, name: str) -> str:
         """The version ``get(name)`` resolves to; unknown names raise."""
-        with self._lock:
-            version = self._current.get(name)
-            if version is None:
-                raise ConfigError(f"unknown model {name!r}")
-            return version
+        with self._lock, catalog_errors(ConfigError, ConfigError):
+            return self._catalog.current_version(name)
 
     def decoded_names(self) -> List[str]:
         """Model keys (``"name@version"``) resident in decoded form, LRU first."""
@@ -343,23 +304,34 @@ class ModelRegistry:
         with self._lock:
             return self.stats.resident_bytes
 
-    def stats_snapshot(self) -> RegistryStats:
+    def snapshot(self) -> RegistryStats:
         """Atomic copy of the counters, taken under the registry lock.
 
         Mirrors :meth:`BatchingEngine.snapshot
-        <repro.serving.batching.BatchingEngine.snapshot>`: concurrent readers
+        <repro.serving.batching.BatchingEngine.snapshot>` — the unified
+        stats accessor name across the serving layer: concurrent readers
         (monitoring, tests asserting budget invariants mid-traffic) get one
         consistent state instead of fields from different moments.
         """
         with self._lock:
             return replace(self.stats)
 
+    def stats_snapshot(self) -> RegistryStats:
+        """Deprecated alias for :meth:`snapshot` (the unified stats name)."""
+        warnings.warn(
+            "ModelRegistry.stats_snapshot() is deprecated; use snapshot() — "
+            "the unified stats accessor across the serving layer",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.snapshot()
+
     def __contains__(self, name: str) -> bool:
         """True when ``name`` is a registered model (any version)."""
         with self._lock:
-            return name in self._current
+            return name in self._catalog
 
     def __len__(self) -> int:
         """Number of registered images across all versions (decoded or not)."""
         with self._lock:
-            return len(self._images)
+            return self._catalog.entry_count()

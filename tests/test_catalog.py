@@ -1,0 +1,252 @@
+"""Shared versioned catalog: unit semantics + router/registry lockstep.
+
+`VersionedCatalog` is the single implementation of the versioned
+name → version → entry bookkeeping behind both `ClusterRouter` and
+`ModelRegistry`.  The unit tests pin its contract (error families,
+activate semantics, mutation return values); the lockstep property test
+drives the router and the registry through identical interleaved
+register/remove/set_current sequences and asserts their catalogs can
+never drift apart — the regression the extraction exists to prevent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hybrid import HybridConfig, STHybridNet
+from repro.core.strassen import freeze_all
+from repro.deploy import build_image
+from repro.errors import CatalogError, ConfigError, RoutingError
+from repro.serving import ClusterRouter, ModelRegistry, VersionedCatalog
+from repro.serving.catalog import (
+    DEFAULT_VERSION,
+    catalog_errors,
+    make_key,
+    split_key,
+)
+
+
+def frozen_image(width: int = 8, rng: int = 0):
+    """A small frozen ST-Hybrid image (weights random, arithmetic real)."""
+    model = STHybridNet(HybridConfig(width=width), rng=rng)
+    freeze_all(model)
+    model.eval()
+    return build_image(model)
+
+
+class TestKeys:
+    def test_round_trip(self):
+        assert split_key(make_key("kws", "v2")) == ("kws", "v2")
+
+    def test_name_may_not_contain_separator(self):
+        catalog = VersionedCatalog()
+        with pytest.raises(CatalogError) as exc_info:
+            catalog.register("a@b", object())
+        assert exc_info.value.invalid_spec
+
+
+class TestVersionedCatalog:
+    def test_register_defaults_and_returns_resolved_version(self):
+        catalog = VersionedCatalog()
+        assert catalog.register("kws", "blob1") == DEFAULT_VERSION
+        assert catalog.current_version("kws") == DEFAULT_VERSION
+        # version=None replaces the current version
+        assert catalog.register("kws", "blob2") == DEFAULT_VERSION
+        assert catalog.get("kws") == "blob2"
+
+    def test_activate_false_stages_without_flipping(self):
+        catalog = VersionedCatalog()
+        catalog.register("kws", "old", version="v1")
+        catalog.register("kws", "new", version="v2", activate=False)
+        assert catalog.current_version("kws") == "v1"
+        assert catalog.versions("kws") == ["v1", "v2"]
+        assert catalog.get("kws") == "old"
+        assert catalog.get("kws", "v2") == "new"
+
+    def test_activate_false_requires_explicit_version(self):
+        catalog = VersionedCatalog()
+        with pytest.raises(CatalogError, match="explicit") as exc_info:
+            catalog.register("kws", "blob", activate=False)
+        assert exc_info.value.invalid_spec
+
+    def test_first_version_is_always_current(self):
+        catalog = VersionedCatalog()
+        catalog.register("kws", "blob", version="v9", activate=False)
+        assert catalog.current_version("kws") == "v9"
+
+    def test_remove_returns_doomed_versions(self):
+        catalog = VersionedCatalog()
+        catalog.register("kws", "b1", version="v1")
+        catalog.register("kws", "b2", version="v2", activate=False)
+        assert catalog.remove("kws", version="v2") == ["v2"]
+        catalog.register("kws", "b2", version="v2", activate=False)
+        assert sorted(catalog.remove("kws")) == ["v1", "v2"]
+        assert not catalog.has("kws")
+
+    def test_remove_current_version_is_guarded(self):
+        catalog = VersionedCatalog()
+        catalog.register("kws", "b1", version="v1")
+        catalog.register("kws", "b2", version="v2", activate=False)
+        with pytest.raises(CatalogError, match="current") as exc_info:
+            catalog.remove("kws", version="v1")
+        assert not exc_info.value.invalid_spec  # state-dependent family
+        catalog.set_current("kws", "v2")
+        assert catalog.remove("kws", version="v1") == ["v1"]
+
+    def test_unknown_lookups_are_state_family(self):
+        catalog = VersionedCatalog()
+        catalog.register("kws", "blob")
+        for fail in (
+            lambda: catalog.remove("ghost"),
+            lambda: catalog.remove("kws", version="v9"),
+            lambda: catalog.set_current("kws", "v9"),
+            lambda: catalog.current_version("ghost"),
+            lambda: catalog.resolve_version("kws", "v9"),
+            lambda: catalog.resolve_name("ghost"),
+        ):
+            with pytest.raises(CatalogError) as exc_info:
+                fail()
+            assert not exc_info.value.invalid_spec
+
+    def test_resolve_name_lone_model_needs_no_name(self):
+        catalog = VersionedCatalog()
+        with pytest.raises(CatalogError, match="no models registered"):
+            catalog.resolve_name(None)
+        catalog.register("kws", "blob")
+        assert catalog.resolve_name(None) == "kws"
+        catalog.register("vad", "blob")
+        with pytest.raises(CatalogError, match="model name required"):
+            catalog.resolve_name(None)
+
+    def test_find_never_raises(self):
+        catalog = VersionedCatalog()
+        assert catalog.find("ghost", "v1") is None
+        entry = object()
+        catalog.register("kws", entry)
+        assert catalog.find("kws", DEFAULT_VERSION) is entry
+
+    def test_counts(self):
+        catalog = VersionedCatalog()
+        catalog.register("kws", "b1", version="v1")
+        catalog.register("kws", "b2", version="v2", activate=False)
+        catalog.register("vad", "b3")
+        assert catalog.name_count() == 2
+        assert catalog.entry_count() == 3
+        assert "kws" in catalog and "ghost" not in catalog
+
+
+class TestErrorMapping:
+    def test_spec_family_maps_to_spec_exception(self):
+        with pytest.raises(ConfigError):
+            with catalog_errors(ConfigError, RoutingError):
+                raise CatalogError("bad spec", invalid_spec=True)
+
+    def test_state_family_maps_to_state_exception(self):
+        with pytest.raises(RoutingError) as exc_info:
+            with catalog_errors(ConfigError, RoutingError):
+                raise CatalogError("unknown thing")
+        assert isinstance(exc_info.value.__cause__, CatalogError)
+
+    def test_router_surface(self):
+        router = ClusterRouter(workers=2, transport=False)
+        image = frozen_image()
+        router.register("kws", image)
+        # state family -> RoutingError at the router surface
+        with pytest.raises(RoutingError, match="unknown model"):
+            router.current_version("ghost")
+        with pytest.raises(RoutingError, match="unknown version"):
+            router.set_current("kws", "v9")
+        # spec family -> ConfigError at the router surface
+        with pytest.raises(ConfigError, match="explicit"):
+            router.register("kws", image, activate=False)
+        with pytest.raises(ConfigError):
+            router.register("a@b", image)
+
+    def test_registry_surface(self):
+        registry = ModelRegistry()
+        registry.register("kws", frozen_image())
+        # both families -> ConfigError at the registry surface
+        with pytest.raises(ConfigError, match="unknown model"):
+            registry.current_version("ghost")
+        with pytest.raises(ConfigError, match="unknown version"):
+            registry.set_current("kws", "v9")
+        with pytest.raises(ConfigError, match="explicit"):
+            registry.register("kws", frozen_image(), activate=False)
+
+
+# --------------------------------------------------------------------------- #
+# lockstep property test: router and registry can never drift
+# --------------------------------------------------------------------------- #
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+NAMES = ["m1", "m2"]
+VERSIONS = ["v1", "v2", "v3"]
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("register"),
+            st.sampled_from(NAMES),
+            st.sampled_from(VERSIONS + [None]),
+            st.booleans(),
+        ),
+        st.tuples(
+            st.just("remove"),
+            st.sampled_from(NAMES),
+            st.sampled_from(VERSIONS + [None]),
+        ),
+        st.tuples(
+            st.just("set_current"),
+            st.sampled_from(NAMES),
+            st.sampled_from(VERSIONS),
+        ),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@pytest.fixture(scope="module")
+def lockstep_image():
+    """One image reused for every lockstep registration (content is moot)."""
+    return frozen_image()
+
+
+class TestLockstep:
+    @settings(max_examples=25, deadline=None)
+    @given(ops=OPS)
+    def test_router_and_registry_expose_identical_catalogs(
+        self, ops, lockstep_image
+    ):
+        """Same op sequence → same success/failure and same catalog view."""
+        router = ClusterRouter(workers=2, transport=False)  # never started
+        registry = ModelRegistry()
+        for op in ops:
+            outcomes = []
+            for target in (router, registry):
+                try:
+                    if op[0] == "register":
+                        _, name, version, activate = op
+                        if version is None and not activate:
+                            activate = True  # spec error either way; keep ops valid
+                        target.register(
+                            name, lockstep_image, version=version, activate=activate
+                        )
+                    elif op[0] == "remove":
+                        _, name, version = op
+                        target.remove(name, version=version)
+                    else:
+                        _, name, version = op
+                        target.set_current(name, version)
+                    outcomes.append(None)
+                except (ConfigError, RoutingError) as exc:
+                    outcomes.append(type(exc))
+            # both surfaces accept or both reject (their exception types
+            # legitimately differ: that is the documented mapping policy)
+            assert (outcomes[0] is None) == (outcomes[1] is None), op
+            assert router.names() == registry.names()
+            for name in router.names():
+                assert router.versions(name) == registry.versions(name)
+                assert router.current_version(name) == registry.current_version(name)

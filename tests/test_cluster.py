@@ -152,7 +152,7 @@ class TestRouting:
             router.submit(requests_batch[0], model="a")
 
     def test_stats_rollup(self, cluster):
-        stats = cluster.stats()
+        stats = cluster.snapshot()
         assert stats.served >= 1
         assert stats.pending == 0
         assert stats.resident_bytes == sum(w.resident_bytes for w in stats.workers)
@@ -172,7 +172,7 @@ class TestRouting:
             assert report["restarts"] == 0
         # the workers' own resident accounting matches the router's
         reported = sum(h["resident_bytes"] for h in health.values())
-        assert reported == cluster.stats().resident_bytes
+        assert reported == cluster.snapshot().resident_bytes
 
 
 class TestByteBudget:
@@ -195,7 +195,7 @@ class TestByteBudget:
         budget_cluster.predict(x, model="c")  # evicts "a", the LRU placement
         placements = budget_cluster.placements()
         assert sorted(placements) == ["b@v1", "c@v1"]
-        stats = budget_cluster.stats()
+        stats = budget_cluster.snapshot()
         assert stats.evictions >= 1
         assert stats.resident_bytes <= budget_cluster.capacity_bytes
 
@@ -205,7 +205,7 @@ class TestByteBudget:
         x = requests_batch[1]
         got = budget_cluster.predict(x, model="a")  # re-places and re-decodes
         np.testing.assert_array_equal(got, PackedModel(images["a"])(x[None])[0])
-        assert budget_cluster.stats().resident_bytes <= budget_cluster.capacity_bytes
+        assert budget_cluster.snapshot().resident_bytes <= budget_cluster.capacity_bytes
 
     def test_oversized_model_rejected_at_register(self, images):
         router = ClusterRouter(workers=1, capacity_bytes=1)
@@ -238,7 +238,7 @@ class TestPriorityAdmission:
         rises 1→4 while LOW, then NORMAL, then HIGH hit their limits."""
         cluster = tiny_cluster
         cluster.pool.inject_sleep(0, 0.5)  # stall so admitted requests stay pending
-        before = cluster.stats()
+        before = cluster.snapshot()
         admitted = [cluster.submit(requests_batch[0], priority=Priority.LOW)]
         with pytest.raises(AdmissionError, match="LOW"):
             cluster.submit(requests_batch[0], priority=Priority.LOW)
@@ -253,7 +253,7 @@ class TestPriorityAdmission:
         # was attached, so shedding is the *only* way load was controlled
         for future in admitted:
             assert future.result(timeout=15.0).shape == (12,)
-        stats = cluster.stats()
+        stats = cluster.snapshot()
         shed = {
             p: stats.shed_by_priority[p] - before.shed_by_priority[p] for p in Priority
         }
@@ -288,14 +288,14 @@ class TestCrashRecovery:
         for future in doomed:
             with pytest.raises(WorkerCrashed):
                 future.result(timeout=15.0)
-        assert wait_until(lambda: cluster.stats().crashes == 1)
+        assert wait_until(lambda: cluster.snapshot().crashes == 1)
         # transparent restart-and-redecode: the same model serves again,
         # bitwise identical, without any re-registration
         got = cluster.predict(requests_batch[0], model="a")
         np.testing.assert_array_equal(
             got, PackedModel(images["a"])(requests_batch[0][None])[0]
         )
-        stats = cluster.stats()
+        stats = cluster.snapshot()
         assert stats.crashes == 1
         assert stats.workers[0].restarts == 1
         assert stats.workers[0].alive

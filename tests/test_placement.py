@@ -403,7 +403,7 @@ class TestReplication:
     def test_both_replicas_serve_traffic(self, replicated_cluster, requests_batch):
         for x in requests_batch:
             replicated_cluster.predict(x, model="kws")
-        stats = replicated_cluster.stats()
+        stats = replicated_cluster.snapshot()
         per_replica = {r.worker_id: r for r in stats.replicas["kws@v1"]}
         assert set(per_replica) == {0, 1}
         # sequential traffic alternates under load-aware dispatch: both
@@ -422,7 +422,7 @@ class TestReplication:
 
     def test_resident_bytes_count_every_replica(self, replicated_cluster, requests_batch):
         replicated_cluster.predict(requests_batch[0], model="kws")
-        stats = replicated_cluster.stats()
+        stats = replicated_cluster.snapshot()
         per_worker = [w.resident_bytes for w in stats.workers]
         # both replicas account the full plan: equal non-zero footprint
         assert per_worker[0] == per_worker[1] > 0
@@ -588,7 +588,7 @@ class TestRollingDeploy:
         self, deploy_cluster, images, requests_batch
     ):
         manager = DeployManager(deploy_cluster)
-        before = deploy_cluster.stats()
+        before = deploy_cluster.snapshot()
         report = manager.deploy("kws", images["v2"], "v2")
         assert report.old_version == "v1" and report.new_version == "v2"
         assert deploy_cluster.current_version("kws") == "v2"
@@ -600,7 +600,7 @@ class TestRollingDeploy:
         )
         # the old version's plans are gone; only v2 is placed
         assert set(deploy_cluster.placements()) == {"kws@v2"}
-        after = deploy_cluster.stats()
+        after = deploy_cluster.snapshot()
         assert after.shed == before.shed  # deploys shed nothing
         assert after.current_versions["kws"] == "v2"
         # old version's image is retained for rollback
@@ -618,15 +618,15 @@ class TestRollingDeploy:
         router.register("kws", images["v1"], version="v1")
         with router:
             router.predict(requests_batch[0], model="kws")
-            assert router.stats().resident_bytes == size1
+            assert router.snapshot().resident_bytes == size1
             manager = DeployManager(router)
             manager.deploy("kws", images["v2"], "v2")
-            stats = router.stats()
+            stats = router.snapshot()
             # old bytes fully released: only v2's plan remains resident
             assert stats.resident_bytes == size2
             assert stats.resident_bytes <= router.capacity_bytes
             router.predict(requests_batch[0], model="kws")
-            assert router.stats().resident_bytes <= router.capacity_bytes
+            assert router.snapshot().resident_bytes <= router.capacity_bytes
 
     def test_deploy_drains_inflight_old_version(self, deploy_cluster, images, requests_batch):
         # stall the workers so admitted v1 requests are still pending when
@@ -643,7 +643,7 @@ class TestRollingDeploy:
         want = PackedModel(images["v1"])(np.stack(requests_batch[:4]))
         got = np.stack([f.result(timeout=30.0) for f in held])
         np.testing.assert_array_equal(got, want)
-        assert deploy_cluster.stats().shed == 0
+        assert deploy_cluster.snapshot().shed == 0
         assert report.drained >= 0  # the flip may land after the stall ends
 
     def test_rollback_restores_previous_version(
@@ -731,7 +731,7 @@ class TestRollingDeploy:
         assert pinned, "pinned v1 traffic never completed"
         for row in pinned:  # every pinned request was served on v1, bitwise
             np.testing.assert_array_equal(row, want)
-        assert deploy_cluster.stats().shed == 0
+        assert deploy_cluster.snapshot().shed == 0
         report = manager.rollback("kws")  # the flipped version is on record
         assert report.new_version == "v1"
 
@@ -787,7 +787,7 @@ class TestCrashDuringDeploy:
                 stop.set()
                 thread.join(timeout=30.0)
             assert report.new_version == "v2"
-            assert router.stats().crashes >= 1
+            assert router.snapshot().crashes >= 1
             # the old version served traffic while the deploy recovered
             assert served_v1, "old version never served during the deploy"
             want = PackedModel(images["v1"])(requests_batch[1][None])[0]

@@ -114,7 +114,7 @@ class TestConcurrentBudget:
         def watcher():
             barrier.wait()
             while not stop.is_set():
-                snap = registry.stats_snapshot()
+                snap = registry.snapshot()
                 if snap.resident_bytes > budget or snap.peak_resident_bytes > budget:
                     violations.append(snap)
 
@@ -129,7 +129,7 @@ class TestConcurrentBudget:
         observer.join()
         assert not errors
         assert not violations, f"budget exceeded: {violations[0]}"
-        snap = registry.stats_snapshot()
+        snap = registry.snapshot()
         assert snap.resident_bytes == registry.decoded_bytes() <= budget
         assert snap.evictions > 0  # rotation over 4 models really evicted
         # single-flight bounds decodes: every miss is one real decode, and
@@ -139,7 +139,7 @@ class TestConcurrentBudget:
     def test_stats_snapshot_is_decoupled(self, images):
         registry = ModelRegistry()
         registry.register("m", images[0])
-        snap = registry.stats_snapshot()
+        snap = registry.snapshot()
         registry.get("m")
         assert snap.misses == 0 and registry.stats.misses == 1
 

@@ -165,7 +165,7 @@ class TestClusterFallbacks:
         got = np.stack([f.result(timeout=30.0) for f in futures])
         want = PackedModel(image)(np.stack(requests_batch * 4))
         np.testing.assert_array_equal(got, want)  # both planes bitwise agree
-        transport = tiny_ring.stats().transport
+        transport = tiny_ring.snapshot().transport
         assert transport["shm_requests"] >= 2
         assert transport["fallbacks_exhausted"] > 0
         assert transport["pipe_requests"] == transport["fallbacks_exhausted"]
@@ -179,7 +179,7 @@ class TestClusterFallbacks:
         with router:
             got = router.predict(x, model="kws")
             np.testing.assert_array_equal(got, PackedModel(image)(x[None])[0])
-            transport = router.stats().transport
+            transport = router.snapshot().transport
             assert transport["fallbacks_oversize"] == 1
             assert transport["shm_requests"] == 0
         assert router.pool.transport_snapshot()["leased"] == 0
@@ -191,7 +191,7 @@ class TestClusterFallbacks:
             futures = router.submit_many(requests_batch, model="kws")
             got = np.stack([f.result(timeout=30.0) for f in futures])
             np.testing.assert_array_equal(got, PackedModel(image)(np.stack(requests_batch)))
-            transport = router.stats().transport
+            transport = router.snapshot().transport
             assert not transport["shm_enabled"]
             assert transport["pipe_requests"] == len(requests_batch)
 
@@ -204,7 +204,7 @@ class TestClusterFallbacks:
         ragged = [[1.0, 2.0], [3.0]]
         with pytest.raises(ValueError):
             tiny_ring.submit_many([requests_batch[0], ragged], model="kws")
-        stats = tiny_ring.stats()
+        stats = tiny_ring.snapshot()
         assert stats.pending == 0
         assert all(v == 0 for v in stats.queue_depth_by_priority.values())
         assert stats.transport["leased"] == 0
@@ -230,7 +230,7 @@ class TestCrashReclaim:
             assert wait_until(
                 lambda: router.pool.transport_snapshot()["leased"] == 0
             ), "crashed worker's slab leases were never reclaimed"
-            assert router.stats().crashes == 1
+            assert router.snapshot().crashes == 1
             # the restarted worker serves from the same ring, bitwise intact
             got = router.predict(requests_batch[1], model="kws")
             np.testing.assert_array_equal(
@@ -262,19 +262,19 @@ class TestPriorityMetrics:
             requests_batch[:3], model="kws", priority=Priority.HIGH
         )
         low = cluster.submit(requests_batch[3], priority=Priority.LOW)
-        stats = cluster.stats()
+        stats = cluster.snapshot()
         assert stats.queue_depth_by_priority[Priority.HIGH] == 3
         assert stats.queue_depth_by_priority[Priority.LOW] == 1
         assert stats.pending == sum(stats.queue_depth_by_priority.values())
         for future in [*high, low]:
             assert future.result(timeout=15.0).shape == (12,)
-        stats = cluster.stats()
+        stats = cluster.snapshot()
         assert all(v == 0 for v in stats.queue_depth_by_priority.values())
 
     def test_latency_percentiles_per_class(self, cluster, requests_batch):
         for x in requests_batch:
             cluster.predict(x, model="kws", priority=Priority.HIGH)
-        stats = cluster.stats()
+        stats = cluster.snapshot()
         high = stats.latency_by_priority[Priority.HIGH]
         assert high.count >= len(requests_batch)
         assert 0.0 < high.p50_ms <= high.p99_ms
@@ -284,10 +284,10 @@ class TestPriorityMetrics:
 
     def test_burst_shed_is_all_or_nothing(self, cluster, requests_batch):
         # LOW limit is 4 of 16: a 6-burst cannot fit, and nothing of it lands
-        before = cluster.stats()
+        before = cluster.snapshot()
         with pytest.raises(AdmissionError, match="LOW"):
             cluster.submit_many(requests_batch, model="kws", priority=Priority.LOW)
-        stats = cluster.stats()
+        stats = cluster.snapshot()
         assert stats.pending == 0
         assert (
             stats.shed_by_priority[Priority.LOW]
