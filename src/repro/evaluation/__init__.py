@@ -11,10 +11,13 @@ used by the small-footprint KWS literature the paper builds on.
 
 from repro.evaluation.streaming import (
     DetectionEvent,
+    PosteriorSmoother,
     StreamingConfig,
     StreamingDetector,
     StreamingMetrics,
+    detect_events,
     make_stream,
+    num_windows,
     score_detections,
 )
 
@@ -22,7 +25,10 @@ __all__ = [
     "StreamingConfig",
     "StreamingDetector",
     "DetectionEvent",
+    "PosteriorSmoother",
     "StreamingMetrics",
+    "detect_events",
     "make_stream",
+    "num_windows",
     "score_detections",
 ]

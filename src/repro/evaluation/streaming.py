@@ -12,8 +12,10 @@ against ground-truth keyword placements with a tolerance, yielding the
 
 from __future__ import annotations
 
+import itertools
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -56,6 +58,88 @@ class DetectionEvent:
     label: int
     time_seconds: float
     score: float
+
+
+def num_windows(config: StreamingConfig, num_samples: int) -> int:
+    """Analysis windows a stream of ``num_samples`` samples yields.
+
+    Same arithmetic as :meth:`~repro.audio.mfcc.MFCCConfig.num_frames`, one
+    level up: 0 when the stream is shorter than one window, else
+    ``1 + (num_samples - window_samples) // hop_samples``.
+    """
+    if num_samples < config.window_samples:
+        return 0
+    return 1 + (num_samples - config.window_samples) // config.hop_samples
+
+
+class PosteriorSmoother:
+    """Trailing moving average over the last ``smoothing_windows`` rows.
+
+    The posterior-smoothing stage of the streaming pipeline (Chen et al.
+    2014), extracted into an incremental, per-stream object so a session
+    manager (:mod:`repro.serving.streams`) can hold one smoother per live
+    audio session.  :meth:`StreamingDetector.posteriors` pushes its window
+    rows through this same class, so batch and sessionful paths are bitwise
+    identical by construction.
+
+    ``total_windows`` preserves the batch-path edge case: when the whole
+    stream is shorter than ``smoothing_windows`` windows the effective
+    averaging span is the stream length.  Pass it when the stream length is
+    known up front (the batch path, or sessions opened on a full waveform);
+    leave it ``None`` for open-ended feeds.
+    """
+
+    def __init__(self, smoothing_windows: int, total_windows: Optional[int] = None) -> None:
+        if smoothing_windows < 1:
+            raise ConfigError("smoothing_windows must be >= 1")
+        span = smoothing_windows
+        if total_windows is not None:
+            span = max(1, min(span, total_windows))
+        self.span = span
+        self._inv_span = 1.0 / span
+        self._history: Deque[np.ndarray] = deque(maxlen=span)
+
+    def push(self, row: np.ndarray) -> np.ndarray:
+        """Smooth one posterior row; returns the trailing average (float64).
+
+        Each row is scaled by ``1/span`` once on entry and the retained
+        terms are summed oldest-first, so a given window sequence always
+        produces the same bits regardless of how the rows arrived.
+        """
+        self._history.append(np.asarray(row, dtype=np.float64) * self._inv_span)
+        smoothed = self._history[0].copy()
+        for term in itertools.islice(self._history, 1, None):
+            smoothed += term
+        return smoothed
+
+    def reset(self) -> None:
+        """Forget all retained windows (new stream, same config)."""
+        self._history.clear()
+
+
+def detect_events(
+    times: np.ndarray, probs: np.ndarray, config: StreamingConfig
+) -> List[DetectionEvent]:
+    """Threshold smoothed posteriors into detection events.
+
+    The decision stage shared by :meth:`StreamingDetector.detect` and
+    per-session detection in :mod:`repro.serving.streams`: only
+    target-keyword labels fire (``silence`` / ``unknown`` never produce
+    events), and after a firing the detector is refractory for
+    ``refractory_ms``.
+    """
+    refractory = config.refractory_ms / 1000.0
+    events: List[DetectionEvent] = []
+    last_fire = -np.inf
+    for t, row in zip(times, probs):
+        if t - last_fire < refractory:
+            continue
+        label = int(np.argmax(row[2:]) + 2)  # skip silence/unknown
+        score = float(row[label])
+        if score >= config.threshold:
+            events.append(DetectionEvent(label=label, time_seconds=float(t), score=score))
+            last_fire = t
+    return events
 
 
 @dataclass
@@ -221,12 +305,11 @@ class StreamingDetector:
         shifted = logits - logits.max(axis=1, keepdims=True)
         probs = np.exp(shifted)
         probs /= probs.sum(axis=1, keepdims=True)
-        # moving average over the trailing smoothing_windows windows
-        k = min(cfg.smoothing_windows, len(probs))
-        kernel = np.ones(k) / k
-        smoothed = np.apply_along_axis(
-            lambda col: np.convolve(col, kernel)[: len(col)], 0, probs
-        )
+        # moving average over the trailing smoothing_windows windows —
+        # the same incremental smoother the session manager holds per
+        # stream, so batch and sessionful posteriors share their bits
+        smoother = PosteriorSmoother(cfg.smoothing_windows, total_windows=len(probs))
+        smoothed = np.stack([smoother.push(row) for row in probs])
         times = (starts + cfg.window_samples / 2) / cfg.sample_rate
         return times, smoothed
 
@@ -236,20 +319,8 @@ class StreamingDetector:
         Only target-keyword labels fire (``silence`` / ``unknown`` never
         produce events).
         """
-        cfg = self.config
         times, probs = self.posteriors(waveform)
-        refractory = cfg.refractory_ms / 1000.0
-        events: List[DetectionEvent] = []
-        last_fire = -np.inf
-        for t, row in zip(times, probs):
-            if t - last_fire < refractory:
-                continue
-            label = int(np.argmax(row[2:]) + 2)  # skip silence/unknown
-            score = float(row[label])
-            if score >= cfg.threshold:
-                events.append(DetectionEvent(label=label, time_seconds=float(t), score=score))
-                last_fire = t
-        return events
+        return detect_events(times, probs, self.config)
 
 
 def score_detections(

@@ -38,6 +38,12 @@ it *fast to serve*:
   payloads live in reusable fixed-size slabs of one
   ``multiprocessing.shared_memory`` segment while the pipes carry only
   control frames (the pickle path survives as an automatic fallback);
+* :mod:`repro.serving.streams`  — :class:`StreamSessionManager`, the
+  sessionful streaming layer: N concurrent KWS sessions (per-stream MFCC
+  featurizer + posterior smoother) whose analysis windows are coalesced
+  *across* sessions into ``submit_many`` cluster bursts, with
+  :mod:`repro.serving.loadgen` replaying synthesised keyword streams as
+  timed session arrivals;
 * :mod:`repro.serving.catalog`  — :class:`VersionedCatalog`, the single
   implementation of the versioned name → version → entry bookkeeping (and
   the ``"name@version"`` key grammar) that both :class:`ClusterRouter`
@@ -86,6 +92,12 @@ from repro.serving.placement import (
 from repro.serving.priority import Priority, PriorityPolicy
 from repro.serving.registry import ModelRegistry, RegistryStats
 from repro.serving.shm import SlabClient, SlabConfig, SlabPool
+from repro.serving.streams import (
+    ManagerStats,
+    SessionStats,
+    StreamSession,
+    StreamSessionManager,
+)
 
 __all__ = [
     "AsyncServingFrontend",
@@ -114,10 +126,14 @@ __all__ = [
     "ReplicaSet",
     "ReplicaStats",
     "ReplicatedPolicy",
+    "SessionStats",
+    "ManagerStats",
     "SlabClient",
     "SlabConfig",
     "SlabPool",
     "StickyPolicy",
+    "StreamSession",
+    "StreamSessionManager",
     "TernaryPlanes",
     "WorkerPool",
     "WorkerStats",

@@ -1,0 +1,211 @@
+"""Deterministic load generation for the sessionful streaming layer.
+
+Synthesises keyword-spotting streams (:func:`~repro.evaluation.streaming.
+make_stream` clips from :mod:`repro.datasets.synthesizer`), degrades them
+through :mod:`repro.audio.augment` noise scenarios, and replays them as
+timed session arrivals against a :class:`~repro.serving.streams.
+StreamSessionManager`.  Everything is seeded: the same ``build_arrivals``
+call produces bit-identical waveforms, truth placements and arrival times,
+so a load run is a *replayable* experiment, not a one-off.
+
+``benchmarks/bench_streams.py`` drives this harness for its sessions/sec
+and latency gates; tests reuse it for deterministic multi-session setups.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.audio.augment import add_background_noise
+from repro.datasets.noise import pink_noise
+from repro.errors import ConfigError
+from repro.evaluation.streaming import make_stream
+from repro.serving.streams import ManagerStats, StreamSessionManager
+from repro.utils.rng import new_rng
+
+
+@dataclass(frozen=True)
+class NoiseScenario:
+    """One degradation applied to a synthesised stream.
+
+    ``gap_noise`` is the noise floor inside the inter-keyword gaps (the
+    synthesiser's own parameter); ``background_volume`` mixes a pink-noise
+    bed over the *whole* stream relative to its RMS (0 disables), which is
+    the SNR knob deployments care about.
+    """
+
+    name: str
+    gap_noise: float = 0.005
+    background_volume: float = 0.0
+
+
+#: quiet room → noticeable background → keyword barely above the bed
+DEFAULT_SCENARIOS: Tuple[NoiseScenario, ...] = (
+    NoiseScenario("clean"),
+    NoiseScenario("office", gap_noise=0.01, background_volume=0.1),
+    NoiseScenario("street", gap_noise=0.02, background_volume=0.3),
+)
+
+
+@dataclass(frozen=True)
+class SessionArrival:
+    """One scheduled session: when it starts and what audio it streams."""
+
+    index: int
+    at_s: float
+    scenario: str
+    waveform: np.ndarray
+    truth: Tuple[Tuple[str, float], ...]
+
+
+def build_arrivals(
+    num_sessions: int,
+    *,
+    keywords: Sequence[str] = ("yes", "no"),
+    scenarios: Sequence[NoiseScenario] = DEFAULT_SCENARIOS,
+    arrivals_per_s: float = 64.0,
+    pool_size: int = 8,
+    gap_seconds: Tuple[float, float] = (1.0, 2.5),
+    sample_rate: int = 16_000,
+    seed: int = 0,
+) -> List[SessionArrival]:
+    """Deterministic arrival schedule of ``num_sessions`` sessions.
+
+    Streams are synthesised into a pool of ``pool_size`` distinct waveforms
+    (keyword clips + noise gaps, then the scenario's background bed) and
+    cycled across arrivals — synthesis cost stays bounded while every
+    scenario keeps appearing.  Arrival ``i`` starts at ``i /
+    arrivals_per_s`` seconds; the whole schedule is a pure function of the
+    arguments.
+    """
+    if num_sessions < 1:
+        raise ConfigError("need at least one session")
+    if arrivals_per_s <= 0:
+        raise ConfigError("arrivals_per_s must be > 0")
+    if pool_size < 1:
+        raise ConfigError("pool_size must be >= 1")
+    pool: List[Tuple[str, np.ndarray, Tuple[Tuple[str, float], ...]]] = []
+    for i in range(min(pool_size, num_sessions)):
+        scenario = scenarios[i % len(scenarios)]
+        rng = new_rng([seed, i])
+        waveform, truth = make_stream(
+            keywords,
+            gap_seconds=gap_seconds,
+            noise_level=scenario.gap_noise,
+            rng=rng,
+            sample_rate=sample_rate,
+        )
+        if scenario.background_volume > 0.0:
+            bed = pink_noise(len(waveform), rng)
+            waveform = add_background_noise(
+                waveform, bed, scenario.background_volume, rng
+            )
+        pool.append((scenario.name, waveform, tuple(truth)))
+    return [
+        SessionArrival(
+            index=i,
+            at_s=i / arrivals_per_s,
+            scenario=pool[i % len(pool)][0],
+            waveform=pool[i % len(pool)][1],
+            truth=pool[i % len(pool)][2],
+        )
+        for i in range(num_sessions)
+    ]
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """What one replay run measured."""
+
+    sessions: int
+    windows_served: int
+    windows_failed: int
+    deadline_misses: int
+    gaps: int
+    wall_s: float
+    sessions_per_s: float
+    windows_per_s: float
+    p50_ms: float
+    p99_ms: float
+    stats: ManagerStats
+
+
+def replay(
+    manager: StreamSessionManager,
+    arrivals: Sequence[SessionArrival],
+    *,
+    realtime: bool = False,
+    pump_every: int = 8,
+    timeout_s: float = 300.0,
+) -> ReplayReport:
+    """Replay an arrival schedule through the session manager.
+
+    ``realtime=False`` (the default) replays as fast as the backend can
+    absorb — the throughput-measurement mode; ``realtime=True`` honours
+    each arrival's ``at_s`` with wall-clock sleeps.  ``pump_every`` bounds
+    how many sessions open between pump/collect cycles so ready windows
+    keep flowing into cross-session bursts instead of accumulating.
+    """
+    if pump_every < 1:
+        raise ConfigError("pump_every must be >= 1")
+    start = time.monotonic()
+    for opened, arrival in enumerate(arrivals, start=1):
+        if realtime:
+            delay = arrival.at_s - (time.monotonic() - start)
+            if delay > 0:
+                time.sleep(delay)
+        manager.open(arrival.waveform, session_id=f"load-{arrival.index}")
+        if opened % pump_every == 0:
+            manager.pump()
+            manager.collect(wait=False)
+    stats = manager.drain(timeout_s=timeout_s)
+    wall = time.monotonic() - start
+    latencies = manager.latencies_s()
+    p50, p99 = (
+        np.percentile(latencies, [50, 99]) if latencies else (float("nan"), float("nan"))
+    )
+    return ReplayReport(
+        sessions=len(arrivals),
+        windows_served=stats.windows_served,
+        windows_failed=stats.windows_failed,
+        deadline_misses=stats.deadline_misses,
+        gaps=stats.gaps,
+        wall_s=wall,
+        sessions_per_s=len(arrivals) / wall if wall else float("inf"),
+        windows_per_s=stats.windows_served / wall if wall else float("inf"),
+        p50_ms=float(p50) * 1e3,
+        p99_ms=float(p99) * 1e3,
+        stats=stats,
+    )
+
+
+def score_replay(
+    manager: StreamSessionManager, arrivals: Sequence[SessionArrival]
+) -> Tuple[int, int]:
+    """(sessions with ≥1 detection, total detections) after a replay.
+
+    A coarse health signal for load runs — detailed operating points come
+    from :func:`repro.evaluation.streaming.score_detections` per session.
+    """
+    fired_sessions = 0
+    total = 0
+    for arrival in arrivals:
+        events = manager.session(f"load-{arrival.index}").detect()
+        fired_sessions += bool(events)
+        total += len(events)
+    return fired_sessions, total
+
+
+__all__ = [
+    "NoiseScenario",
+    "DEFAULT_SCENARIOS",
+    "SessionArrival",
+    "ReplayReport",
+    "build_arrivals",
+    "replay",
+    "score_replay",
+]

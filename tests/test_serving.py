@@ -142,6 +142,30 @@ class TestPackedModel:
         singles = np.concatenate([model(x[i : i + 1]) for i in range(len(x))])
         np.testing.assert_array_equal(batched, singles)
 
+    def test_depthwise_kind_bitwise_matches_conv_reference(self, image, rng):
+        # integer-valued activations make every ±1 gather sum an exact
+        # integer, so the packed dw kernel and the autodiff depthwise conv
+        # must agree bitwise regardless of their summation order
+        from repro.autodiff.ops_conv import depthwise_conv2d
+
+        packed = PackedModel(image)
+        plan = packed._plans["ds0.dw"]
+        record = image.layer("ds0.dw")
+        channels = record.wb_shape[0]
+        x = rng.integers(-4, 5, size=(3, channels, 25, 5)).astype(np.float32)
+        got = packed._depthwise(plan, x)
+        with no_grad():
+            hidden = depthwise_conv2d(
+                Tensor(x),
+                Tensor(record.wb().astype(np.float32)),
+                stride=tuple(plan.meta["stride"]),
+                padding=tuple(plan.meta["padding"]),
+            ).data
+        scale = (plan.a_hat * plan.wc_vector * plan.out_scale).reshape(1, channels, 1, 1)
+        reference = hidden * scale + plan.out_shift.reshape(1, channels, 1, 1)
+        reference = np.maximum(reference, 0.0)
+        np.testing.assert_array_equal(got, reference)
+
     def test_decoded_bytes(self, image):
         assert PackedModel(image, cache=True).decoded_bytes() > 0
         assert PackedModel(image, cache=False).decoded_bytes() == 0
