@@ -1,8 +1,9 @@
 """Micro-benchmarks of the substrate kernels.
 
 Not a paper table — these keep the building blocks honest: MFCC extraction,
-conv forward/backward, strassenified vs dense matmul layers, and the
-synthetic-corpus generator.
+conv forward/backward, strassenified vs dense matmul layers, the
+synthetic-corpus generator, and the packed bit-plane kernels' per-kind
+gather breakdown (via :func:`repro.serving.telemetry.profile_kernels`).
 """
 
 from __future__ import annotations
@@ -14,9 +15,13 @@ from conftest import record_metrics
 from repro.audio.mfcc import MFCC
 from repro.autodiff.ops_conv import conv2d, depthwise_conv2d
 from repro.autodiff.tensor import Tensor, no_grad
+from repro.core.hybrid import HybridConfig, STHybridNet
+from repro.core.strassen import freeze_all
 from repro.core.strassen.layers import StrassenLinear
 from repro.datasets.synthesizer import keyword_spec, synthesize
+from repro.deploy import build_image
 from repro.nn.linear import Linear
+from repro.serving import PackedModel, profile_kernels
 
 RNG = np.random.default_rng(0)
 
@@ -32,6 +37,7 @@ record_metrics(
             "depthwise_forward",
             "conv2d_backward",
             "linear_kinds",
+            "packed_profile",
         ],
         "batch": 32,
     },
@@ -93,6 +99,44 @@ def test_benchmark_conv2d_backward(benchmark):
 
     grad = benchmark(step)
     assert grad.shape == (64, 1, 10, 4)
+
+
+def test_packed_kernel_gather_breakdown():
+    """Per-kind gather share of a packed forward, bitwise-unperturbed.
+
+    ``profile_kernels`` attributes the two ``_plane_sums`` passes behind
+    every ternary matmul to the active layer kind — the latency-accounting
+    substrate for bit-plane kernel work.  Profiling must never change the
+    result, every kind must report, and a kind's gather time can never
+    exceed its layer time.
+    """
+    model = STHybridNet(HybridConfig(width=8), rng=0)
+    freeze_all(model)
+    model.eval()
+    packed = PackedModel(build_image(model))
+    x = RNG.standard_normal((32, 49, 10)).astype(np.float32)
+    want = packed(x)
+    with profile_kernels() as profile:
+        got = packed(x)
+    np.testing.assert_array_equal(got, want)
+    breakdown = profile.snapshot()
+    assert {"conv", "dw", "pw", "linear"} <= set(breakdown)
+    for kind, row in breakdown.items():
+        assert row["layers"] > 0 and row["gather_calls"] > 0, kind
+        assert 0.0 <= row["gather_s"] <= row["layer_s"], kind
+    record_metrics(
+        "kernels",
+        packed_profile={
+            kind: {
+                "layer_ms": row["layer_s"] * 1e3,
+                "gather_ms": row["gather_s"] * 1e3,
+                "gather_share": row["gather_s"] / row["layer_s"]
+                if row["layer_s"]
+                else 0.0,
+            }
+            for kind, row in breakdown.items()
+        },
+    )
 
 
 @pytest.mark.parametrize("layer_kind", ["dense", "strassen"])

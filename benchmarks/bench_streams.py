@@ -125,7 +125,7 @@ def _cut_windows(arrivals, config: StreamingConfig) -> List[List[np.ndarray]]:
     for arrival in arrivals:
         session = StreamSession(f"cut-{arrival.index}", config, None, None)
         session.feed(arrival.waveform)
-        per_session.append([features for _, features in session.ready])
+        per_session.append([features for _, features, _ in session.ready])
     return per_session
 
 

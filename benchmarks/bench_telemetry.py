@@ -1,0 +1,272 @@
+"""Telemetry-plane benchmark: tracing overhead under cluster load.
+
+Not a paper table — this guards the observability plane
+(:mod:`repro.serving.telemetry`) on its one load-bearing promise:
+watching the system must not slow the system down.
+
+* **tracing overhead**: sustained sliding-window traffic against a
+  :data:`WORKERS`-worker cluster with ``trace_sample_rate=0.01`` (one
+  request in a hundred carries a :class:`~repro.serving.telemetry.Trace`
+  through the control frames) must sustain at least ``1 -``
+  :data:`OVERHEAD_CEILING` of the throughput of the identical run with
+  tracing disabled.  The throughput gate needs real parallel hardware,
+  so it is skipped on machines with < 4 CPUs;
+* **traced-path invariants** (always on): at ``trace_sample_rate=1.0``
+  every response stays bitwise-equal to
+  :class:`~repro.serving.packed.PackedModel`, every request produces a
+  finished trace, and each trace tiles the request lifetime (span sum
+  bounded by trace wall clock).
+
+Runs standalone (``python benchmarks/bench_telemetry.py [--quick]``) and
+as pytest assertions guarding the ceiling in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import threading
+import time
+from typing import Dict, List, Tuple
+
+import numpy as np
+import pytest
+
+from conftest import record_metrics, write_bench_json
+from repro.core.hybrid import HybridConfig, STHybridNet
+from repro.core.strassen import freeze_all
+from repro.deploy import build_image
+from repro.deploy.image import ModelImage
+from repro.serving import ClusterRouter, MicroBatchConfig, PackedModel
+
+WORKERS = 4
+#: traced throughput may lose at most this fraction vs. tracing disabled
+OVERHEAD_CEILING = 0.05
+SAMPLE_RATE = 0.01
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def hot_image(width: int = 8, rng: int = 0) -> ModelImage:
+    """One frozen ST-Hybrid image."""
+    model = STHybridNet(HybridConfig(width=width), rng=rng)
+    freeze_all(model)
+    model.eval()
+    return build_image(model)
+
+
+def run_traffic(
+    image: ModelImage,
+    sample_rate: float,
+    clients: int = 4,
+    requests_per_client: int = 128,
+    window: int = 8,
+    workers: int = WORKERS,
+) -> Dict[str, float]:
+    """Sliding-window traffic at one ``trace_sample_rate``; returns metrics.
+
+    Identical traffic shape to ``bench_control``'s clients: each thread
+    keeps ``window`` requests in flight and checks every response bitwise
+    against :class:`PackedModel`.  The only knob between runs is the
+    sample rate, so the throughput delta *is* the telemetry overhead.
+    """
+    rng = np.random.default_rng(3)
+    xs = [rng.standard_normal((49, 10)).astype(np.float32) for _ in range(16)]
+    want = PackedModel(image)(np.stack(xs))
+    total = clients * requests_per_client
+    router = ClusterRouter(
+        workers=workers,
+        config=MicroBatchConfig(max_batch_size=32, max_delay_ms=2.0),
+        trace_sample_rate=sample_rate,
+    )
+    router.register("hot", image)
+    failures: List[str] = []
+    mismatches: List[int] = []
+    lock = threading.Lock()
+
+    def client(seed: int) -> None:
+        """One traffic thread: a sliding window of in-flight requests."""
+        inflight: List[Tuple[int, object]] = []
+
+        def resolve(idx: int, future) -> None:
+            try:
+                row = future.result(timeout=120.0)
+            except Exception as exc:
+                with lock:
+                    failures.append(f"{type(exc).__name__}: {exc}")
+                return
+            if not np.array_equal(row, want[idx]):
+                with lock:
+                    mismatches.append(idx)
+
+        for i in range(requests_per_client):
+            idx = (seed * 31 + i) % len(xs)
+            try:
+                future = router.submit(xs[idx], model="hot")
+            except Exception as exc:
+                with lock:
+                    failures.append(f"submit {type(exc).__name__}: {exc}")
+                continue
+            inflight.append((idx, future))
+            if len(inflight) >= window:
+                resolve(*inflight.pop(0))
+        for idx, future in inflight:
+            resolve(idx, future)
+
+    with router:
+        router.predict(xs[0], model="hot")  # place + decode before timing
+        threads = [
+            threading.Thread(target=client, args=(seed,), daemon=True)
+            for seed in range(clients)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300.0)
+        elapsed = time.perf_counter() - start
+        tree = router.telemetry.snapshot()
+        traces = router.traces()
+        crashes = router.snapshot().crashes
+    if failures:
+        raise SystemExit(f"FAIL: {len(failures)} request failures: {failures[:3]}")
+    if mismatches:
+        raise SystemExit(f"FAIL: {len(mismatches)} responses not bitwise-identical")
+    assert crashes == 0, f"{crashes} worker crash(es) under telemetry load"
+    span_overrun = sum(
+        1 for t in traces if t.spans and t.total_span_s() > t.wall_s + 1e-6
+    )
+    assert span_overrun == 0, f"{span_overrun} trace(s) with span sum > wall clock"
+    sampled = int(tree.get("traces", {}).get("sampled", 0))
+    return {
+        "throughput_rps": total / elapsed,
+        "elapsed_s": elapsed,
+        "requests": total,
+        "sample_rate": sample_rate,
+        "sampled": sampled,
+        "finished_traces": len(traces),
+    }
+
+
+def best_of(
+    image: ModelImage, sample_rate: float, repeats: int, **kwargs: int
+) -> Dict[str, float]:
+    """Best throughput over ``repeats`` runs — the noise damper for the gate."""
+    runs = [run_traffic(image, sample_rate, **kwargs) for _ in range(repeats)]
+    return max(runs, key=lambda m: m["throughput_rps"])
+
+
+# -- pytest entry points ----------------------------------------------------- #
+
+
+def test_traced_path_invariants() -> None:
+    """At 100% sampling every response is bitwise-identical, every request
+    yields a trace whose spans stay within its wall clock."""
+    metrics = run_traffic(
+        hot_image(), sample_rate=1.0, clients=2, requests_per_client=32, workers=2
+    )
+    record_metrics("telemetry", traced_full=metrics)
+    # +1 for the warm-up predict; keep=256 bounds what is retained
+    assert metrics["sampled"] == metrics["requests"] + 1
+    assert metrics["finished_traces"] > 0
+
+
+def test_sampling_counts_every_nth_request() -> None:
+    """1% sampling traces ~1/100 requests (counter-based, not probabilistic)."""
+    metrics = run_traffic(
+        hot_image(),
+        sample_rate=SAMPLE_RATE,
+        clients=2,
+        requests_per_client=128,
+        workers=2,
+    )
+    record_metrics("telemetry", traced_sampled=metrics)
+    expect = (metrics["requests"] + 1) * SAMPLE_RATE
+    assert 0 < metrics["sampled"] <= expect + 1
+
+
+@pytest.mark.skipif(
+    available_cpus() < WORKERS,
+    reason=f"overhead gate needs >= {WORKERS} CPUs (have {available_cpus()})",
+)
+def test_tracing_overhead_ceiling() -> None:
+    """1% sampling must cost < 5% throughput vs. telemetry disabled."""
+    image = hot_image()
+    baseline = best_of(image, 0.0, repeats=3)
+    traced = best_of(image, SAMPLE_RATE, repeats=3)
+    overhead = 1.0 - traced["throughput_rps"] / baseline["throughput_rps"]
+    record_metrics(
+        "telemetry",
+        baseline_rps=baseline["throughput_rps"],
+        traced_rps=traced["throughput_rps"],
+        overhead=overhead,
+    )
+    assert overhead < OVERHEAD_CEILING, (
+        f"tracing at {SAMPLE_RATE:.0%} sampling cost {overhead:.1%} throughput "
+        f"({traced['throughput_rps']:.0f} vs {baseline['throughput_rps']:.0f} "
+        f"req/s; ceiling {OVERHEAD_CEILING:.0%})"
+    )
+
+
+# -- standalone report ------------------------------------------------------- #
+
+
+def main() -> None:
+    """Measure the tracing overhead and enforce the ceiling."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="fewer requests (CI smoke)")
+    parser.add_argument("--width", type=int, default=8, help="model channel width")
+    args = parser.parse_args()
+    if args.width < 1:
+        parser.error("--width must be >= 1")
+    per_client = 64 if args.quick else 128
+    repeats = 1 if args.quick else 3
+
+    image = hot_image(width=args.width)
+    cpus = available_cpus()
+    print(f"one hot ST-Hybrid model, width={args.width}; {cpus} CPU(s) available")
+
+    full = run_traffic(
+        image, sample_rate=1.0, clients=2, requests_per_client=32, workers=2
+    )
+    print("\ntraced path (100% sampling, 2 workers):")
+    print(f"  requests           {full['requests']:6.0f} (all bitwise-identical)")
+    print(f"  traces sampled     {full['sampled']:6.0f}")
+
+    payload: Dict[str, object] = {"traced_full": full, "ceiling": OVERHEAD_CEILING}
+    if cpus >= WORKERS:
+        baseline = best_of(image, 0.0, repeats=repeats, requests_per_client=per_client)
+        traced = best_of(
+            image, SAMPLE_RATE, repeats=repeats, requests_per_client=per_client
+        )
+        overhead = 1.0 - traced["throughput_rps"] / baseline["throughput_rps"]
+        print(f"\ntracing overhead ({WORKERS}-worker pool, best of {repeats}):")
+        print(f"  disabled           {baseline['throughput_rps']:6.0f} req/s")
+        print(
+            f"  {SAMPLE_RATE:4.0%} sampled       {traced['throughput_rps']:6.0f} req/s "
+            f"({traced['sampled']:.0f} traces)"
+        )
+        note = "OK" if overhead < OVERHEAD_CEILING else "ABOVE CEILING"
+        print(
+            f"  overhead           {overhead:6.1%}  (ceiling {OVERHEAD_CEILING:.0%}) {note}"
+        )
+        payload.update(
+            baseline=baseline, traced=traced, overhead=overhead, workers=WORKERS
+        )
+        if overhead >= OVERHEAD_CEILING:
+            raise SystemExit(f"FAIL: tracing overhead {overhead:.1%} above ceiling")
+    else:
+        print(f"\n< {WORKERS} CPUs: overhead gate skipped; invariants checked")
+        payload.update(ceiling_skipped=True, workers=WORKERS)
+
+    write_bench_json("telemetry", payload)
+    print("\nwrote BENCH_telemetry.json")
+
+
+if __name__ == "__main__":
+    main()

@@ -122,12 +122,15 @@ def _benchmark_timings(config) -> Dict[str, list]:
         stats = getattr(bench, "stats", None)
         if stats is None:
             continue
+        # pytest-benchmark exposes the numbers on bench.stats.stats in some
+        # versions and directly on bench.stats in others
+        inner = getattr(stats, "stats", stats)
         grouped.setdefault(_bench_name(bench.fullname.split("::")[0]), []).append(
             {
                 "test": bench.name,
-                "mean_s": stats.stats.mean,
-                "stddev_s": stats.stats.stddev,
-                "rounds": stats.stats.rounds,
+                "mean_s": getattr(inner, "mean", float("nan")),
+                "stddev_s": getattr(inner, "stddev", float("nan")),
+                "rounds": getattr(inner, "rounds", getattr(stats, "rounds", 0)),
             }
         )
     return grouped

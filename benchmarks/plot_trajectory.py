@@ -14,19 +14,30 @@ Usage::
     python benchmarks/plot_trajectory.py                  # scan CWD
     python benchmarks/plot_trajectory.py --dir artifacts  # downloaded artifacts
     python benchmarks/plot_trajectory.py --out report.md
+    python benchmarks/plot_trajectory.py --snapshot pr8   # archive this run
 
 Directories are scanned recursively, so pointing ``--dir`` at an unpacked
 multi-artifact download (one subdirectory per CI matrix entry) merges them
 all, with the subdirectory recorded as the row's source.
+
+Prior runs live in ``benchmarks/history/<label>/BENCH_*.json`` (committed,
+exempt from the ``BENCH_*.json`` gitignore): every report appends a
+**prior runs** section comparing each bench's headline metrics across the
+archived runs, and ``--snapshot <label>`` archives the current scan into
+the history — the perf *trajectory*, not just the latest point.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import shutil
 import time
 from pathlib import Path
 from typing import Dict, List, Tuple
+
+#: committed prior-run artifacts, one subdirectory per archived run
+DEFAULT_HISTORY = Path(__file__).resolve().parent / "history"
 
 #: top-level keys that make a bench's one-line summary, in display order
 HEADLINE_KEYS = (
@@ -37,6 +48,8 @@ HEADLINE_KEYS = (
     "requests_per_s",
     "p50_ms",
     "p99_ms",
+    "overhead",
+    "ceiling",
 )
 
 
@@ -96,25 +109,18 @@ def render_table(header: List[str], rows: List[List[str]]) -> List[str]:
     return lines
 
 
-def build_markdown(found: List[Tuple[str, Path]]) -> str:
-    """Render the merged trajectory report for the collected files."""
-    stamp = time.strftime("%Y-%m-%d %H:%M:%S UTC", time.gmtime())
-    lines = [
-        "# Bench trajectory",
-        "",
-        f"Merged from {len(found)} `BENCH_*.json` artifact(s) at {stamp}.",
-        "",
-    ]
-    if not found:
-        lines.append("_No artifacts found — run the benches first._")
-        return "\n".join(lines) + "\n"
-    summary_rows = []
-    details: List[Tuple[str, str, Dict[str, object]]] = []
+def load_rows(found: List[Tuple[str, Path]]) -> List[Tuple[str, str, str, object]]:
+    """``(bench, source, recorded, flat-or-error)`` per artifact file.
+
+    ``flat`` is the flattened metric dict, or an error string when the
+    file is unreadable — callers render both without dying.
+    """
+    rows: List[Tuple[str, str, str, object]] = []
     for source, path in found:
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError) as exc:
-            summary_rows.append([path.name, source, "?", f"unreadable: {exc}"])
+            rows.append((path.name, source, "?", f"unreadable: {exc}"))
             continue
         bench = str(payload.get("bench", path.stem.removeprefix("BENCH_")))
         recorded = payload.get("unix_time")
@@ -126,6 +132,49 @@ def build_markdown(found: List[Tuple[str, Path]]) -> str:
         flat = flatten(
             {k: v for k, v in payload.items() if k not in ("bench", "schema", "unix_time")}
         )
+        rows.append((bench, source, when, flat))
+    return rows
+
+
+def history_section(history_found: List[Tuple[str, Path]]) -> List[str]:
+    """The prior-runs comparison: one headline row per archived artifact."""
+    lines = ["", "## Prior runs", ""]
+    if not history_found:
+        lines.append(
+            "_No archived runs — `--snapshot <label>` stores the current "
+            "artifacts under `benchmarks/history/`._"
+        )
+        return lines
+    rows = []
+    for bench, run, when, flat in sorted(load_rows(history_found), key=lambda r: (r[0], r[2], r[1])):
+        summary = flat if isinstance(flat, str) else headline(flat)
+        rows.append([bench, run, when, summary])
+    lines.extend(render_table(["bench", "run", "recorded (UTC)", "headline"], rows))
+    return lines
+
+
+def build_markdown(
+    found: List[Tuple[str, Path]],
+    history_found: List[Tuple[str, Path]] = (),
+) -> str:
+    """Render the merged trajectory report for the collected files."""
+    stamp = time.strftime("%Y-%m-%d %H:%M:%S UTC", time.gmtime())
+    lines = [
+        "# Bench trajectory",
+        "",
+        f"Merged from {len(found)} `BENCH_*.json` artifact(s) at {stamp}.",
+        "",
+    ]
+    if not found:
+        lines.append("_No artifacts found — run the benches first._")
+        lines.extend(history_section(list(history_found)))
+        return "\n".join(lines) + "\n"
+    summary_rows = []
+    details: List[Tuple[str, str, Dict[str, object]]] = []
+    for bench, source, when, flat in load_rows(found):
+        if isinstance(flat, str):  # unreadable artifact: surface, don't die
+            summary_rows.append([bench, source, when, flat])
+            continue
         summary_rows.append([bench, source, when, headline(flat)])
         details.append((bench, source, flat))
     lines.extend(render_table(["bench", "source", "recorded (UTC)", "headline"], summary_rows))
@@ -136,7 +185,17 @@ def build_markdown(found: List[Tuple[str, Path]]) -> str:
                 ["metric", "value"], [[key, str(flat[key])] for key in sorted(flat)]
             )
         )
+    lines.extend(history_section(list(history_found)))
     return "\n".join(lines) + "\n"
+
+
+def snapshot(found: List[Tuple[str, Path]], history: Path, label: str) -> Path:
+    """Archive the current artifacts under ``history/<label>/``."""
+    target = history / label
+    target.mkdir(parents=True, exist_ok=True)
+    for _, path in found:
+        shutil.copy2(path, target / path.name)
+    return target
 
 
 def main() -> None:
@@ -155,14 +214,41 @@ def main() -> None:
         default=Path("BENCH_TRAJECTORY.md"),
         help="output markdown path (default: BENCH_TRAJECTORY.md)",
     )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=DEFAULT_HISTORY,
+        help="prior-run archive to compare against (default: benchmarks/history)",
+    )
+    parser.add_argument(
+        "--snapshot",
+        metavar="LABEL",
+        default=None,
+        help="also archive the scanned artifacts under <history>/<LABEL>/",
+    )
     args = parser.parse_args()
     dirs = args.dir or [Path(".")]
     for root in dirs:
         if not root.is_dir():
             parser.error(f"--dir {root} is not a directory")
-    found = collect(dirs)
-    args.out.write_text(build_markdown(found), encoding="utf-8")
-    print(f"merged {len(found)} artifact(s) into {args.out}")
+    history = args.history.resolve()
+    # the archive is reported in its own section — keep it out of the scan
+    found = [
+        (source, path)
+        for source, path in collect(dirs)
+        if history not in path.resolve().parents
+    ]
+    history_found = collect([args.history]) if args.history.is_dir() else []
+    args.out.write_text(build_markdown(found, history_found), encoding="utf-8")
+    print(
+        f"merged {len(found)} artifact(s) into {args.out} "
+        f"({len(history_found)} prior-run artifact(s))"
+    )
+    if args.snapshot is not None:
+        if not found:
+            parser.error("--snapshot needs at least one scanned artifact")
+        target = snapshot(found, args.history, args.snapshot)
+        print(f"archived {len(found)} artifact(s) under {target}")
 
 
 if __name__ == "__main__":

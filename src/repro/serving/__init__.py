@@ -53,7 +53,16 @@ it *fast to serve*:
   :class:`Autoscaler` (grow/shrink replica sets between load watermarks),
   :class:`CanaryController`/:class:`CanaryPolicy` (earned deploy flips —
   observe a traffic fraction, auto-promote or auto-roll-back on SLO
-  breach) and the background :class:`ControlLoop` driving both.
+  breach) and the background :class:`ControlLoop` driving both — all
+  reading their signals from the telemetry snapshot;
+* :mod:`repro.serving.telemetry` — the unified telemetry plane:
+  :class:`MetricsRegistry` (one ``snapshot()`` tree spanning engine,
+  cluster, shm, placement, control and streams), sampled per-request
+  :class:`Trace` spans threaded through the cluster control frames
+  (``trace_sample_rate=``), Prometheus / JSON-lines / chrome-trace
+  exporters with a tiny ``/metrics`` + ``/healthz`` HTTP endpoint, and
+  opt-in :class:`KernelProfile` timing of the packed kernels' gather
+  passes per layer kind.
 """
 
 from repro.serving.batching import BatchingEngine, EngineStats, MicroBatchConfig
@@ -98,6 +107,16 @@ from repro.serving.streams import (
     StreamSession,
     StreamSessionManager,
 )
+from repro.serving.telemetry import (
+    KernelProfile,
+    MetricsRegistry,
+    TelemetryServer,
+    Trace,
+    Tracer,
+    get_registry,
+    profile_kernels,
+)
+from repro.serving import telemetry
 
 __all__ = [
     "AsyncServingFrontend",
@@ -144,4 +163,12 @@ __all__ = [
     "decode_layer",
     "ModelRegistry",
     "RegistryStats",
+    "KernelProfile",
+    "MetricsRegistry",
+    "TelemetryServer",
+    "Trace",
+    "Tracer",
+    "get_registry",
+    "profile_kernels",
+    "telemetry",
 ]

@@ -39,6 +39,7 @@ from typing import Callable, Deque, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ConfigError, DeadlineExceeded
+from repro.serving.telemetry import get_registry
 
 #: one queued request: (input, result future, absolute monotonic deadline or None)
 Request = Tuple[np.ndarray, Future, Optional[float]]
@@ -118,6 +119,23 @@ class BatchingEngine:
         self._lifecycle = threading.Lock()  # serialises start()/stop() pairs
         self._stop = threading.Event()
         self._worker: Optional[threading.Thread] = None
+        # mount on the process-wide metrics plane (latest engine wins the
+        # "engine" prefix; the registry holds the method weakly, so a
+        # dropped engine unmounts itself)
+        get_registry().register_source("engine", self.telemetry_tree)
+
+    def telemetry_tree(self) -> dict:
+        """The engine's counters as a plain metrics subtree."""
+        stats = self.snapshot()
+        return {
+            "requests": stats.requests,
+            "served": stats.served,
+            "batches": stats.batches,
+            "deadline_misses": stats.deadline_misses,
+            "shed": stats.shed,
+            "mean_batch_size": stats.mean_batch_size,
+            "pending": self.pending(),
+        }
 
     # -- request side ---------------------------------------------------- #
 

@@ -93,6 +93,7 @@ from repro.serving.catalog import (
     make_key,
     split_key,
 )
+from repro.serving.kernels import get_kernel_profile, set_kernel_profile
 from repro.serving.packed import PackedModel
 from repro.serving.placement import (
     PlacementPolicy,
@@ -102,6 +103,13 @@ from repro.serving.placement import (
 )
 from repro.serving.priority import Priority, PriorityPolicy
 from repro.serving.shm import SlabClient, SlabConfig, SlabPool
+from repro.serving.telemetry import (
+    KernelProfile,
+    MetricsRegistry,
+    Trace,
+    Tracer,
+    get_registry,
+)
 
 #: how long lifecycle operations wait on a worker process before escalating
 _JOIN_TIMEOUT_S = 5.0
@@ -125,25 +133,36 @@ def _serve_burst(
 ) -> None:
     """Coalesce one drained burst of predict requests through the engines.
 
-    Each burst entry is ``(req_id, name, payload, deadline, priority)`` where
-    ``payload`` is either ``("pipe", ndarray)`` or ``("shm", slab_id, shape,
-    dtype)`` — a shm payload is read as a zero-copy view into the slab the
-    parent leased to this request, and its result is written back into the
-    *same* slab (one slab per request for its whole round trip).
+    Each burst entry is ``(req_id, name, payload, deadline, priority,
+    trace)`` where ``payload`` is either ``("pipe", ndarray)`` or ``("shm",
+    slab_id, shape, dtype)`` — a shm payload is read as a zero-copy view
+    into the slab the parent leased to this request, and its result is
+    written back into the *same* slab (one slab per request for its whole
+    round trip).
 
     Requests are submitted in priority order (stable within a class), so a
     HIGH request admitted in the same burst as LOW ones is batched — and
     deadline-checked — first.  Each model's engine then runs one
     deterministic ``flush()``, and every request gets exactly one reply.
 
+    ``trace`` is ``None`` on the hot path; for a sampled request it is
+    ``(send_s, recv_s)`` from the control frame and this worker's drain
+    loop, and the request's lifecycle spans (``transport`` / ``queue`` /
+    ``kernel`` / ``decode``, all ``time.monotonic`` so they compare across
+    the process boundary) are shipped back in a ``("spans", ...)`` reply
+    *before* the result, for the parent to merge.  Timing never touches
+    the numerics — traced and untraced requests are bitwise identical.
+
     ``lags`` is the chaos-hook lag map (model key → injected seconds): a
     burst touching a lagged model stalls before its flush, inflating every
     latency the burst carries — the worker-side fault canary tests and
     benchmarks use to provoke an SLO breach without perturbing results.
     """
-    submitted: List[tuple] = []  # (req_id, slab_id, future)
+    submitted: List[tuple] = []  # (req_id, slab_id, future, trace)
     touched = set()
-    for req_id, name, payload, deadline, priority in sorted(burst, key=lambda m: m[4]):
+    for req_id, name, payload, deadline, priority, trace in sorted(
+        burst, key=lambda m: m[4]
+    ):
         engine = engines.get(name)
         if engine is None:
             conn.send(("error", req_id, "routing", f"model {name!r} is not loaded on this worker"))
@@ -154,23 +173,43 @@ def _serve_burst(
         else:
             slab_id, x = None, payload[1]
         deadline_s = None if deadline is None else deadline - time.monotonic()
-        submitted.append((req_id, slab_id, engine.submit(x, deadline_s=deadline_s)))
+        if trace is not None:
+            trace = (*trace, time.monotonic())  # + engine submit timestamp
+        submitted.append((req_id, slab_id, engine.submit(x, deadline_s=deadline_s), trace))
         touched.add(name)
     if lags:
         delay = max((lags.get(name, 0.0) for name in touched), default=0.0)
         if delay > 0:
             time.sleep(delay)
+    flush_start = time.monotonic()
     for name in touched:
         engines[name].flush()
-    for req_id, slab_id, future in submitted:
+    flush_end = time.monotonic()
+    for req_id, slab_id, future, trace in submitted:
         try:
             result = np.ascontiguousarray(future.result())
+            decode_start = time.monotonic()
             # the engine stacked (copied) the input at dispatch, so the slab
             # is dead weight by now — reuse it for the response payload
             if slab_id is not None and client.fits(result.nbytes):
-                conn.send(("sresult", req_id, *client.write(slab_id, result)))
+                reply = ("sresult", req_id, *client.write(slab_id, result))
             else:
-                conn.send(("result", req_id, result))
+                reply = ("result", req_id, result)
+            if trace is not None:
+                send_s, recv_s, submit_s = trace
+                conn.send(
+                    (
+                        "spans",
+                        req_id,
+                        (
+                            ("transport", send_s, recv_s),
+                            ("queue", submit_s, flush_start),
+                            ("kernel", flush_start, flush_end),
+                            ("decode", decode_start, time.monotonic()),
+                        ),
+                    )
+                )
+            conn.send(reply)
         except DeadlineExceeded:
             conn.send(("deadline", req_id))
         except Exception as exc:  # delivered to exactly this request's caller
@@ -247,6 +286,12 @@ def _worker_main(
                 lags[msg[1]] = msg[2]
             else:
                 lags.pop(msg[1], None)
+        elif op == "kprofile":  # enable/disable per-kind kernel timing
+            set_kernel_profile(KernelProfile() if msg[1] else None)
+        elif op == "kprofile_snap":  # ship the per-kind breakdown back
+            profile = get_kernel_profile()
+            data = profile.snapshot() if isinstance(profile, KernelProfile) else {}
+            conn.send(("kprofile", msg[1], data))
         elif op == "exit":  # chaos hook: die without cleanup, like a real crash
             os._exit(msg[1])
         elif op == "stop":
@@ -266,8 +311,11 @@ def _worker_main(
             for msg in messages:
                 if msg[0] == "predict_many":
                     # the one request frame: single submits are 1-bursts,
-                    # larger bursts amortise pipe syscalls across a batch
-                    _, name, deadline, priority, replica, entries = msg
+                    # larger bursts amortise pipe syscalls across a batch;
+                    # `traced` is None except for a sampled burst, where it
+                    # is (req_id, send_s) naming the burst's traced request
+                    _, name, deadline, priority, replica, entries, traced = msg
+                    recv_s = time.monotonic() if traced is not None else 0.0
                     if replica != worker_id:
                         # misaddressed frame: the resolved replica id in the
                         # control frame names another worker's plan copy
@@ -280,7 +328,12 @@ def _worker_main(
                             ))
                         continue
                     for req_id, payload in entries:
-                        burst.append((req_id, name, payload, deadline, priority))
+                        trace = (
+                            (traced[1], recv_s)
+                            if traced is not None and req_id == traced[0]
+                            else None
+                        )
+                        burst.append((req_id, name, payload, deadline, priority, trace))
                     continue
                 if burst:  # keep pipe order around control commands
                     _serve_burst(conn, engines, _attach(burst, shm_client), burst, lags)
@@ -316,6 +369,8 @@ class _WorkerHandle:
         #: req_id -> (future, leased slab id or None for pipe payloads)
         self.inflight: Dict[int, Tuple[Future, Optional[int]]] = {}
         self.pings: Dict[int, list] = {}
+        #: req_id -> parent-side Trace awaiting its worker spans
+        self.traces: Dict[int, Trace] = {}
         self.reader: Optional[threading.Thread] = None
         self.stopping = False
         self.served = 0
@@ -494,11 +549,60 @@ class ClusterStats:
     shed_by_version: Mapping[str, int] = field(default_factory=dict)
     scale_events: Tuple[ScaleEvent, ...] = ()
     canary_state: Mapping[str, CanarySplitStats] = field(default_factory=dict)
+    kernel_profile: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
 
     @property
     def shed(self) -> int:
         """Total requests rejected at admission, all priority classes."""
         return sum(self.shed_by_priority.values())
+
+    def as_tree(self) -> Dict[str, object]:
+        """Plain-dict mirror of this snapshot for the telemetry plane.
+
+        Every mapping is string-keyed (Priority enums by name) and every
+        nested dataclass flattened, so the tree JSON-exports cleanly and
+        the control plane can read it through
+        :meth:`~repro.serving.telemetry.MetricsRegistry.snapshot`.
+        """
+        from dataclasses import asdict
+
+        def lat(row: LatencyStats) -> Dict[str, float]:
+            return {"count": row.count, "p50_ms": row.p50_ms, "p99_ms": row.p99_ms}
+
+        return {
+            "served": self.served,
+            "deadline_misses": self.deadline_misses,
+            "shed": self.shed,
+            "shed_by_priority": {p.name: n for p, n in self.shed_by_priority.items()},
+            "resident_bytes": self.resident_bytes,
+            "evictions": self.evictions,
+            "crashes": self.crashes,
+            "pending": self.pending,
+            "queue_depth_by_priority": {
+                p.name: n for p, n in self.queue_depth_by_priority.items()
+            },
+            "latency_by_priority": {
+                p.name: lat(row) for p, row in self.latency_by_priority.items()
+            },
+            "workers": [asdict(row) for row in self.workers],
+            "replicas": {
+                key: [asdict(row) for row in rows]
+                for key, rows in self.replicas.items()
+            },
+            "latency_by_version": {
+                key: lat(row) for key, row in self.latency_by_version.items()
+            },
+            "current_versions": dict(self.current_versions),
+            "errors_by_version": dict(self.errors_by_version),
+            "shed_by_version": dict(self.shed_by_version),
+            "scale_events": [asdict(event) for event in self.scale_events],
+            "canary_state": {
+                name: asdict(row) for name, row in self.canary_state.items()
+            },
+            "kernel_profile": {
+                kind: dict(row) for kind, row in self.kernel_profile.items()
+            },
+        }
 
 
 class WorkerPool:
@@ -728,6 +832,7 @@ class WorkerPool:
             self._release_slab(slab_id)
             dead.append(future)
         handle.inflight.clear()
+        handle.traces.clear()  # a dead worker's spans are never coming
         return dead
 
     def submit(
@@ -815,8 +920,15 @@ class WorkerPool:
         *,
         deadline: Optional[float] = None,
         priority: Priority = Priority.NORMAL,
+        trace: Optional[Trace] = None,
     ) -> List["Future[np.ndarray]"]:
         """Register and send an already-encoded burst (:meth:`encode_burst`).
+
+        ``trace`` attaches a sampled :class:`~repro.serving.telemetry.Trace`
+        to the burst's first request: the control frame carries its request
+        id plus the send timestamp, and the worker's lifecycle spans merge
+        into the trace when its ``("spans", ...)`` reply arrives — before
+        the result resolves, since both ride the same pipe in order.
 
         Raises :class:`~repro.errors.RoutingError` when the pool is not
         running — the caller still owns the encoded leases then and must
@@ -828,6 +940,7 @@ class WorkerPool:
         futures: List["Future[np.ndarray]"] = []
         entries: List[Tuple[int, tuple]] = []
         slabs: List[Optional[int]] = []
+        dispatch_start = time.monotonic() if trace is not None else 0.0
         with self._lock:
             handle = self._handle(worker_id)
             for payload, slab_id, reason in encoded:
@@ -845,11 +958,18 @@ class WorkerPool:
                 futures.append(future)
                 entries.append((req_id, payload))
                 slabs.append(slab_id)
+            traced = None
+            if trace is not None:
+                send_s = time.monotonic()
+                trace.add("dispatch", dispatch_start, send_s)
+                traced = (entries[0][0], send_s)  # the burst's traced request
+                handle.traces[traced[0]] = trace
         try:
             # the control frame carries the resolved replica id so a frame
             # that lands on the wrong worker is rejected, never mis-served
             self._send(
-                handle, ("predict_many", name, deadline, int(priority), worker_id, entries)
+                handle,
+                ("predict_many", name, deadline, int(priority), worker_id, entries, traced),
             )
         except OSError:
             # Fail exactly the futures this call still owns: the reader's
@@ -858,6 +978,8 @@ class WorkerPool:
             # FINISHED future.
             orphaned: List[Future] = []
             with self._lock:
+                if traced is not None:
+                    handle.traces.pop(traced[0], None)
                 for (req_id, _), slab_id, future in zip(entries, slabs, futures):
                     if handle.inflight.pop(req_id, None) is not None:
                         self._release_slab(slab_id)
@@ -939,6 +1061,57 @@ class WorkerPool:
             }
         return report
 
+    # -- kernel profiling -------------------------------------------------- #
+
+    def set_kernel_profiling(self, enabled: bool) -> None:
+        """Broadcast opt-in per-kind kernel timing to every worker.
+
+        Enabling installs a fresh
+        :class:`~repro.serving.telemetry.KernelProfile` in each worker
+        (re-enabling resets the counters); disabling removes the hook so
+        the gather passes are back to a single global load.  Not replayed
+        across a crash restart — a fresh worker starts unprofiled.
+        """
+        with self._lock:
+            handles = list(self._handles.values())
+        for handle in handles:
+            try:
+                self._send(handle, ("kprofile", bool(enabled)))
+            except OSError:
+                pass  # dying worker; its replacement starts unprofiled anyway
+
+    def kernel_profile_snapshot(
+        self, timeout: float = _JOIN_TIMEOUT_S
+    ) -> Dict[str, Dict[str, float]]:
+        """Collect and merge every worker's per-kind kernel breakdown.
+
+        Round-trips a ``kprofile_snap`` probe to each worker (same
+        mechanics as :meth:`ping`); workers that time out, died, or have
+        profiling disabled contribute nothing.  The merged tree is
+        ``{kind: {layers, layer_s, gather_calls, gather_s}}``.
+        """
+        merged = KernelProfile()
+        for worker_id in self.worker_ids():
+            event = threading.Event()
+            entry = [event, None]
+            with self._lock:
+                handle = self._handles.get(worker_id)
+                if handle is None or not self._started:
+                    continue
+                token = next(self._req_ids)
+                handle.pings[token] = entry
+            try:
+                self._send(handle, ("kprofile_snap", token))
+            except OSError:
+                continue
+            if not event.wait(timeout):
+                with self._lock:
+                    handle.pings.pop(token, None)
+                continue
+            if entry[1]:
+                merged.merge(entry[1])
+        return merged.snapshot()
+
     # -- chaos hooks (used by tests and benchmarks) ------------------------ #
 
     def inject_crash(self, worker_id: int, code: int = 13) -> None:
@@ -982,6 +1155,11 @@ class WorkerPool:
     def _pop_inflight(self, handle: _WorkerHandle, req_id: int) -> Tuple[Optional[Future], Optional[int]]:
         """Claim the (future, slab) for one request id (None if unknown)."""
         with self._lock:
+            # an errored/expired traced request never gets worker spans, so
+            # its pending trace is dropped here with the in-flight entry (a
+            # served request's trace was already claimed by its "spans"
+            # reply, which the worker sends first)
+            handle.traces.pop(req_id, None)
             return handle.inflight.pop(req_id, (None, None))
 
     def _on_message(self, handle: _WorkerHandle, msg: tuple) -> None:
@@ -1030,11 +1208,26 @@ class WorkerPool:
                     else RuntimeError(f"worker {handle.worker_id}: {text}")
                 )
                 future.set_exception(exc)
+        elif op == "spans":
+            # worker-side lifecycle spans for a sampled request; the worker
+            # sends them before the result, so the merge happens-before the
+            # future resolves (same pipe, same reader thread)
+            with self._lock:
+                trace = handle.traces.pop(msg[1], None)
+            if trace is not None:
+                for span_name, start_s, end_s in msg[2]:
+                    trace.add(span_name, start_s, end_s)
         elif op == "pong":
             with self._lock:
                 entry = handle.pings.pop(msg[1], None)
             if entry is not None:
                 entry[1] = (msg[2], tuple(msg[3]))
+                entry[0].set()
+        elif op == "kprofile":
+            with self._lock:
+                entry = handle.pings.pop(msg[1], None)
+            if entry is not None:
+                entry[1] = msg[2]
                 entry[0].set()
         # "loaded" / "unloaded" / "load_error" acknowledgements need no action:
         # the router keeps the authoritative placement + size accounting.
@@ -1170,6 +1363,21 @@ class ClusterRouter:
         :data:`DEFAULT_LATENCY_WINDOW`).  Larger windows smooth the
         percentiles over more history; smaller ones track load shifts
         faster at the cost of noisier tails.
+    trace_sample_rate:
+        Fraction of request bursts to trace end-to-end (``0.0`` default =
+        tracing off, zero hot-path cost; ``1.0`` = every burst).  A
+        sampled burst's first request carries a trace id through the
+        control frame and comes back with its full lifecycle spans
+        (admission → encode → dispatch → transport → queue → kernel →
+        decode → completion); finished traces are kept on
+        :attr:`tracer` and exported via :meth:`dump_trace`.
+    telemetry:
+        :class:`~repro.serving.telemetry.MetricsRegistry` to report
+        through (default: a private registry per router).  The router
+        mounts ``cluster`` / ``shm`` / ``placement`` sources on it — and
+        mirrors the same sources onto the process-default registry, so
+        module-level :func:`repro.serving.telemetry.snapshot` sees the
+        latest router without holding it alive.
     """
 
     def __init__(
@@ -1183,6 +1391,8 @@ class ClusterRouter:
         start_method: str = "spawn",
         transport: Union[SlabConfig, bool, None] = True,
         latency_window: int = DEFAULT_LATENCY_WINDOW,
+        trace_sample_rate: float = 0.0,
+        telemetry: Optional[MetricsRegistry] = None,
     ) -> None:
         if isinstance(workers, WorkerPool):
             if config is not None:
@@ -1227,6 +1437,14 @@ class ClusterRouter:
         self._scale_events: Deque[ScaleEvent] = deque(maxlen=SCALE_EVENT_WINDOW)
         self._lags: Dict[str, float] = {}  # key -> injected worker-side lag (chaos)
         self._evictions = 0
+        #: last merged per-kind kernel breakdown (kernel_profile() refreshes)
+        self._kernel_profile: Dict[str, Dict[str, float]] = {}
+        self.telemetry = telemetry if telemetry is not None else MetricsRegistry()
+        self.tracer = Tracer(trace_sample_rate, registry=self.telemetry)
+        for registry in (self.telemetry, get_registry()):
+            registry.register_source("cluster", self._telemetry_tree)
+            registry.register_source("shm", self.pool.transport_snapshot)
+            registry.register_source("placement", self._placement_tree)
 
     # -- catalog ----------------------------------------------------------- #
 
@@ -1515,6 +1733,7 @@ class ClusterRouter:
         worker_id: int,
         weight: float,
         started: float,
+        trace: Optional[Trace],
         future: "Future[np.ndarray]",
     ) -> None:
         """Done-callback: free one admission slot and record the latency.
@@ -1524,6 +1743,12 @@ class ClusterRouter:
         failures would skew the percentiles with error-path timing.  The
         per-version rollup and the serving replica's completion counter are
         updated alongside the per-class one.
+
+        ``trace`` is non-None only on the traced request of a sampled
+        burst: its worker spans merged when the ``("spans", ...)`` reply
+        arrived (same reader thread, strictly before the future resolved),
+        so closing with the ``completion`` span here and handing the trace
+        to the tracer observes a fully assembled timeline.
         """
         with self._lock:
             self._pending -= 1
@@ -1542,7 +1767,14 @@ class ClusterRouter:
                 # version the burst resolved to
                 self._errors_by_key[key] = self._errors_by_key.get(key, 0) + 1
                 return
-            elapsed = time.monotonic() - started
+            now = time.monotonic()
+            if trace is not None:
+                # completion: from the last worker-side span back to this
+                # resolve — the return pipe hop plus reader dispatch
+                last_end = max((s.end_s for s in trace.spans), default=started)
+                trace.add("completion", last_end, now)
+                self.tracer.finish(trace)
+            elapsed = now - started
             self._completions[priority] += 1
             self._latency_by_class[priority].append(elapsed)
             self._completions_by_key[key] = self._completions_by_key.get(key, 0) + 1
@@ -1860,6 +2092,10 @@ class ClusterRouter:
             return []
         priority = Priority(priority)
         deadline = None if deadline_s is None else time.monotonic() + deadline_s
+        # sampled tracing: with trace_sample_rate=0 this returns None before
+        # touching any state, so the control-frame hot path stays allocation-free
+        trace = self.tracer.maybe_trace()
+        admit_start = time.monotonic() if trace is not None else 0.0
         with self._lock:
             name = self._resolve(model)
             resolved_version = self._resolve_version(name, version)
@@ -1895,11 +2131,15 @@ class ClusterRouter:
             self._key_pending[key] = self._key_pending.get(key, 0) + len(xs)
         encoded = None
         started = time.monotonic()
+        if trace is not None:
+            trace.add("admission", admit_start, started)
         try:
             # encode outside the router lock: the burst's slab memcpys (or
             # its pipe-fallback pickling) never stall completion callbacks,
             # stats readers, or concurrent submitters
             encoded = self.pool.encode_burst(xs)
+            if trace is not None:
+                trace.add("encode", started, time.monotonic())
             with self._lock:
                 name_, version_ = split_key(key)
                 if not self._catalog.has_version(name_, version_):  # removed meanwhile
@@ -1913,7 +2153,8 @@ class ClusterRouter:
                 # into the worker's pipe between our placement decision and
                 # our burst frame
                 futures = self.pool.submit_encoded(
-                    worker_id, key, encoded, deadline=deadline, priority=priority
+                    worker_id, key, encoded, deadline=deadline, priority=priority,
+                    trace=trace,
                 )
         except BaseException:
             # nothing was registered: hand back the leases and the slots
@@ -1931,10 +2172,23 @@ class ClusterRouter:
                     self._key_pending.pop(key, None)
             raise
         release = functools.partial(
-            self._complete, priority, key, replica_set, worker_id, 1.0 / replicas, started
+            self._complete, priority, key, replica_set, worker_id, 1.0 / replicas,
+            started, None,
         )
-        for future in futures:
-            future.add_done_callback(release)
+        if trace is not None:
+            # the burst's first request carries the trace; only its
+            # completion closes and retains it (one trace per burst)
+            futures[0].add_done_callback(
+                functools.partial(
+                    self._complete, priority, key, replica_set, worker_id,
+                    1.0 / replicas, started, trace,
+                )
+            )
+            for future in futures[1:]:
+                future.add_done_callback(release)
+        else:
+            for future in futures:
+                future.add_done_callback(release)
         return futures
 
     def predict(
@@ -1972,6 +2226,57 @@ class ClusterRouter:
     def __exit__(self, *exc_info) -> None:
         """Stop the cluster, draining in-flight work first."""
         self.stop()
+
+    # -- telemetry / profiling --------------------------------------------- #
+
+    def _telemetry_tree(self) -> Dict[str, object]:
+        """The ``cluster`` namespace: :meth:`snapshot` as a plain tree."""
+        return self.snapshot().as_tree()
+
+    def _placement_tree(self) -> Dict[str, object]:
+        """The ``placement`` namespace: live replica sets per model key."""
+        with self._lock:
+            return {
+                key: {
+                    "workers": list(replica_set.workers),
+                    "replicas": len(replica_set.workers),
+                }
+                for key, replica_set in self._placements.items()
+            }
+
+    def profile_kernels(self, enabled: bool = True) -> None:
+        """Toggle opt-in per-kind kernel timing on every worker.
+
+        While enabled, each worker attributes its ``_plane_sums`` gather
+        passes to the active layer kind (``conv`` / ``dw`` / ``pw`` /
+        ``fc``); :meth:`kernel_profile` collects the merged breakdown.
+        Disabled (the default) the kernels pay a single global load.
+        """
+        self.pool.set_kernel_profiling(enabled)
+        if not enabled:
+            return
+        with self._lock:
+            self._kernel_profile = {}
+
+    def kernel_profile(self) -> Dict[str, Dict[str, float]]:
+        """Fetch + merge the per-kind kernel breakdown across workers.
+
+        The merged tree (``{kind: {layers, layer_s, gather_calls,
+        gather_s}}``) is also cached so :meth:`snapshot` surfaces the last
+        collected breakdown without a worker round-trip.
+        """
+        merged = self.pool.kernel_profile_snapshot()
+        with self._lock:
+            self._kernel_profile = merged
+        return merged
+
+    def traces(self) -> Tuple[Trace, ...]:
+        """Finished sampled traces, oldest first (see ``trace_sample_rate``)."""
+        return self.tracer.traces()
+
+    def dump_trace(self, path: Optional[str] = None) -> Dict[str, object]:
+        """Chrome-trace-event export of the finished traces (see ``tracer``)."""
+        return self.tracer.dump_trace(path)
 
     # -- introspection ----------------------------------------------------- #
 
@@ -2041,6 +2346,9 @@ class ClusterRouter:
             canary_state = {
                 model: split.snapshot() for model, split in self._splits.items()
             }
+            kernel_profile = {
+                kind: dict(row) for kind, row in self._kernel_profile.items()
+            }
         workers = tuple(
             WorkerStats(
                 worker_id=row["worker_id"],
@@ -2074,6 +2382,7 @@ class ClusterRouter:
             shed_by_version=shed_by_version,
             scale_events=scale_events,
             canary_state=canary_state,
+            kernel_profile=kernel_profile,
         )
 
     def stats(self) -> ClusterStats:

@@ -4,8 +4,8 @@ The placement subsystem (PR 5) made replication, versioned placement and
 rolling deploys *possible* but left them manual: someone had to notice a
 hot model, pick a replica count, and decide whether a new version was good
 enough to flip routing to.  This module closes both loops with feedback
-controllers that read :class:`~repro.serving.cluster.ClusterStats` and act
-through the router's control surface:
+controllers that read the router's telemetry snapshot and act through its
+control surface:
 
 * :class:`Autoscaler` watches each placed key's per-replica in-flight load
   (and optionally its p99 latency) and grows/shrinks its
@@ -28,6 +28,13 @@ through the router's control surface:
   :meth:`ControlLoop.step` so tests and benchmarks can drive the exact
   same decision code without timing races.
 
+Both controllers read their load/latency/error signals from the router's
+**telemetry snapshot** (``router.telemetry.snapshot()["cluster"]`` — the
+:meth:`ClusterStats.as_tree <repro.serving.cluster.ClusterStats.as_tree>`
+dict the registry mounts), not from bespoke stats fields: the metrics
+plane is load-bearing, so anything it misreports the control plane
+misdecides, and tests catch it.
+
 Decisions are observable: scale events and canary verdicts surface in
 :meth:`ClusterRouter.snapshot <repro.serving.cluster.ClusterRouter.snapshot>`
 (``scale_events``, ``canary_state``, ``errors_by_version``) and in
@@ -41,12 +48,42 @@ from __future__ import annotations
 import math
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.errors import ConfigError, RoutingError
 from repro.serving.catalog import make_key, split_key
-from repro.serving.cluster import ClusterRouter, ClusterStats, ScaleEvent
+from repro.serving.cluster import ClusterRouter, ScaleEvent
+from repro.serving.telemetry import get_registry
+
+
+def _cluster_tree(router: ClusterRouter) -> Mapping[str, object]:
+    """The ``cluster`` namespace of the router's telemetry snapshot.
+
+    One snapshot per control decision: every signal the controllers act on
+    (in-flight load, version latency windows, error/shed counters) comes
+    from the same metrics tree operators see, so a decision can always be
+    replayed from an exported snapshot.
+    """
+    tree = router.telemetry.snapshot().get("cluster", {})
+    return tree if isinstance(tree, Mapping) else {}
+
+
+def _version_latency(
+    tree: Mapping[str, object], key: str
+) -> Optional[Mapping[str, float]]:
+    """One placed key's ``{count, p50_ms, p99_ms}`` row, if it has one."""
+    by_version = tree.get("latency_by_version", {})
+    entry = by_version.get(key) if isinstance(by_version, Mapping) else None
+    return entry if isinstance(entry, Mapping) else None
+
+
+def _version_count(tree: Mapping[str, object], field_name: str, key: str) -> int:
+    """A per-version counter (``errors_by_version`` etc.) from the tree."""
+    counters = tree.get(field_name, {})
+    if not isinstance(counters, Mapping):
+        return 0
+    return int(counters.get(key, 0))
 
 
 def _p99_breach(p99_ms: float, limit: Optional[float]) -> bool:
@@ -115,7 +152,9 @@ class Autoscaler:
         self.policy = policy or AutoscalePolicy()
         self._cooldown: Dict[str, int] = {}  # key -> steps left untouched
 
-    def _load_of(self, key: str, stats: ClusterStats, workers: Tuple[int, ...]) -> float:
+    def _load_of(
+        self, key: str, tree: Mapping[str, object], workers: Tuple[int, ...]
+    ) -> float:
         """Mean in-flight requests per replica of one placed key.
 
         Uses the replica workers' whole-worker in-flight counters (the same
@@ -123,7 +162,8 @@ class Autoscaler:
         busy worker, which errs toward spreading hot workers out — the
         direction that helps.
         """
-        in_flight = {row.worker_id: row.in_flight for row in stats.workers}
+        rows = tree.get("workers", ())
+        in_flight = {row["worker_id"]: row["in_flight"] for row in rows}
         if not workers:
             return 0.0
         return sum(in_flight.get(wid, 0) for wid in workers) / len(workers)
@@ -131,7 +171,7 @@ class Autoscaler:
     def step(self) -> List[ScaleEvent]:
         """One scaling pass over every placed key; returns applied events."""
         policy = self.policy
-        stats = self.router.snapshot()
+        tree = _cluster_tree(self.router)
         placements = self.router.placements()
         events: List[ScaleEvent] = []
         for key, workers in placements.items():
@@ -140,9 +180,9 @@ class Autoscaler:
                 self._cooldown[key] = cooldown - 1
                 continue
             replicas = len(workers)
-            load = self._load_of(key, stats, workers)
-            latency = stats.latency_by_version.get(key)
-            p99 = latency.p99_ms if latency is not None else float("nan")
+            load = self._load_of(key, tree, workers)
+            latency = _version_latency(tree, key)
+            p99 = latency["p99_ms"] if latency is not None else float("nan")
             breach = _p99_breach(p99, policy.max_p99_ms)
             max_replicas = policy.max_replicas or self.router.pool.num_workers
             name, version = split_key(key)
@@ -297,13 +337,13 @@ class CanaryController:
                 f"a canary needs a staged, non-current version"
             )
         key = make_key(name, version)
-        stats = router.snapshot()
-        latency = stats.latency_by_version.get(key)
-        self._base_served = latency.count if latency is not None else 0
-        self._base_errors = stats.errors_by_version.get(key, 0)
-        self._base_shed = stats.shed_by_version.get(key, 0)
+        tree = _cluster_tree(router)
+        latency = _version_latency(tree, key)
+        self._base_served = int(latency["count"]) if latency is not None else 0
+        self._base_errors = _version_count(tree, "errors_by_version", key)
+        self._base_shed = _version_count(tree, "shed_by_version", key)
         self._phase = "staged"
-        self._last = self._status(stats)
+        self._last = self._status(tree)
 
     # -- phase machine ------------------------------------------------------ #
 
@@ -313,7 +353,7 @@ class CanaryController:
             return
         self.router.set_split(self.name, self.version, self.policy.fraction)
         self._phase = "observing"
-        self._last = self._status(self.router.snapshot())
+        self._last = self._status(_cluster_tree(self.router))
 
     def step(self) -> CanaryStatus:
         """Advance the phase machine one deterministic move; returns status."""
@@ -344,25 +384,29 @@ class CanaryController:
             self._phase = "promoted"
         else:
             self._rollback()
-        self._last = self._status(self.router.snapshot(), reason=reason)
+        self._last = self._status(_cluster_tree(self.router), reason=reason)
         return self._last
 
     # -- internals ---------------------------------------------------------- #
 
-    def _counters(self, stats: ClusterStats) -> Tuple[int, int, int, float, float]:
+    def _counters(
+        self, tree: Mapping[str, object]
+    ) -> Tuple[int, int, int, float, float]:
         """(served, errors, shed, p50_ms, p99_ms) since the split opened."""
         key = make_key(self.name, self.version)
-        latency = stats.latency_by_version.get(key)
-        served = (latency.count if latency is not None else 0) - self._base_served
-        errors = stats.errors_by_version.get(key, 0) - self._base_errors
-        shed = stats.shed_by_version.get(key, 0) - self._base_shed
-        p50 = latency.p50_ms if latency is not None else float("nan")
-        p99 = latency.p99_ms if latency is not None else float("nan")
+        latency = _version_latency(tree, key)
+        served = (int(latency["count"]) if latency is not None else 0) - self._base_served
+        errors = _version_count(tree, "errors_by_version", key) - self._base_errors
+        shed = _version_count(tree, "shed_by_version", key) - self._base_shed
+        p50 = latency["p50_ms"] if latency is not None else float("nan")
+        p99 = latency["p99_ms"] if latency is not None else float("nan")
         return served, errors, shed, p50, p99
 
-    def _status(self, stats: ClusterStats, reason: Optional[str] = None) -> CanaryStatus:
+    def _status(
+        self, tree: Mapping[str, object], reason: Optional[str] = None
+    ) -> CanaryStatus:
         """Freeze the current counters into a :class:`CanaryStatus`."""
-        served, errors, shed, p50, p99 = self._counters(stats)
+        served, errors, shed, p50, p99 = self._counters(tree)
         return CanaryStatus(
             name=self.name,
             version=self.version,
@@ -381,10 +425,10 @@ class CanaryController:
         last = getattr(self, "_last", None)
         return last.reason if last is not None else None
 
-    def _breach(self, stats: ClusterStats) -> Optional[str]:
+    def _breach(self, tree: Mapping[str, object]) -> Optional[str]:
         """The first violated SLO, or ``None`` while the canary is healthy."""
         policy = self.policy
-        served, errors, shed, p50, p99 = self._counters(stats)
+        served, errors, shed, p50, p99 = self._counters(tree)
         error_rate = errors / max(1, served + errors)
         if error_rate > policy.max_error_rate:
             return (
@@ -398,16 +442,16 @@ class CanaryController:
         if _p99_breach(p99, policy.max_p99_ms):
             return f"canary p99 {p99:.1f} ms > {policy.max_p99_ms} ms"
         if policy.max_p99_ratio is not None:
-            incumbent = stats.latency_by_version.get(make_key(self.name, self._old))
+            incumbent = _version_latency(tree, make_key(self.name, self._old))
             if (
                 incumbent is not None
-                and not math.isnan(incumbent.p99_ms)
+                and not math.isnan(incumbent["p99_ms"])
                 and not math.isnan(p99)
-                and p99 > policy.max_p99_ratio * incumbent.p99_ms
+                and p99 > policy.max_p99_ratio * incumbent["p99_ms"]
             ):
                 return (
                     f"canary p99 {p99:.1f} ms > {policy.max_p99_ratio}x "
-                    f"incumbent p99 {incumbent.p99_ms:.1f} ms"
+                    f"incumbent p99 {incumbent['p99_ms']:.1f} ms"
                 )
         return None
 
@@ -420,16 +464,16 @@ class CanaryController:
 
     def _observe(self) -> CanaryStatus:
         """Observing phase: wait for the window, then judge the canary."""
-        stats = self.router.snapshot()
-        served, errors, shed, _, _ = self._counters(stats)
-        breach = self._breach(stats)
+        tree = _cluster_tree(self.router)
+        served, errors, shed, _, _ = self._counters(tree)
+        breach = self._breach(tree)
         if breach is not None:
             # breaches settle immediately, even before the full window —
             # an error budget of zero must not wait for min_requests
             self._rollback()
-            return self._status(self.router.snapshot(), reason=breach)
+            return self._status(_cluster_tree(self.router), reason=breach)
         if served + errors < self.policy.min_requests:
-            return self._status(stats)
+            return self._status(tree)
         # healthy over a full window: earn the flip.  Pending old-version
         # work at this instant is what the promotion must drain.
         self.drained = self.router.version_pending(self.name, self._old)
@@ -444,7 +488,7 @@ class CanaryController:
             self.router.release_version(self.name, self._old)
             self.router.unpin(self.name)
             self._phase = "promoted"
-        return self._status(self.router.snapshot())
+        return self._status(_cluster_tree(self.router))
 
 
 @dataclass(frozen=True)
@@ -499,6 +543,22 @@ class ControlLoop:
         self._errors = 0
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        # the loop's own activity is part of the same metrics plane it
+        # reads from; the registry holds the bound method weakly, so a
+        # dropped loop unmounts itself
+        get_registry().register_source("control", self._telemetry_tree)
+
+    def _telemetry_tree(self) -> Dict[str, object]:
+        """This loop's :class:`ControlStats` as a plain metrics subtree."""
+        stats = self.snapshot()
+        return {
+            "steps": stats.steps,
+            "errors": stats.errors,
+            "scale_events": [asdict(event) for event in stats.scale_events],
+            "canaries": {
+                name: asdict(status) for name, status in stats.canaries.items()
+            },
+        }
 
     def watch(self, controller: CanaryController) -> None:
         """Adopt a canary: subsequent steps drive it to a verdict.

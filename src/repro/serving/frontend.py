@@ -52,6 +52,7 @@ from repro.serving.batching import BatchingEngine, EngineStats, MicroBatchConfig
 from repro.serving.cluster import ClusterRouter, ClusterStats
 from repro.serving.placement import DeployManager, DeployReport
 from repro.serving.priority import Priority
+from repro.serving.telemetry import MetricsRegistry, TelemetryServer
 
 #: sentinel distinguishing "deadline_s not passed" (use the frontend default)
 #: from an explicit ``deadline_s=None`` ("this request has no deadline").
@@ -129,6 +130,7 @@ class AsyncServingFrontend:
         self._deploy_manager: Optional[DeployManager] = (
             DeployManager(self.cluster) if self.cluster is not None else None
         )
+        self._metrics_server: Optional[TelemetryServer] = None
 
     # -- introspection ---------------------------------------------------- #
 
@@ -379,6 +381,27 @@ class AsyncServingFrontend:
         """Roll ``name`` back to the previously deployed version."""
         return await asyncio.to_thread(self._deploys().rollback, name)
 
+    # -- observability ----------------------------------------------------- #
+
+    def serve_metrics(
+        self, *, host: str = "127.0.0.1", port: int = 0
+    ) -> "tuple[str, int]":
+        """Expose ``/metrics`` + ``/healthz`` over HTTP; returns (host, port).
+
+        Serves the cluster router's telemetry registry when cluster-backed
+        (the ``cluster``/``shm``/``placement`` namespaces plus trace
+        counters), else the process-wide registry.  ``port=0`` binds an
+        ephemeral port.  Idempotent — a second call returns the already
+        bound address; :meth:`stop` shuts the endpoint down with the
+        backend.
+        """
+        if self._metrics_server is None:
+            registry: Optional[MetricsRegistry] = (
+                self.cluster.telemetry if self.cluster is not None else None
+            )
+            self._metrics_server = TelemetryServer(registry, host=host, port=port).start()
+        return self._metrics_server.address
+
     # -- lifecycle -------------------------------------------------------- #
 
     def start(self) -> "AsyncServingFrontend":
@@ -391,7 +414,10 @@ class AsyncServingFrontend:
         return self
 
     def stop(self) -> None:
-        """Stop the backend and drain anything still queued."""
+        """Stop the backend (draining anything queued) and the metrics endpoint."""
+        server, self._metrics_server = self._metrics_server, None
+        if server is not None:
+            server.stop()
         if self.cluster is not None:
             self.cluster.stop()
         else:

@@ -18,12 +18,30 @@ modes agree exactly.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.deploy.packing import CODE_MINUS, CODE_PLUS, unpack_codes
+
+#: opt-in profiling hook (a ``telemetry.KernelProfile`` or anything with a
+#: ``record_gather(elapsed_s)`` method); ``None`` keeps the hot path at a
+#: single global load per gather pass.  Install via
+#: :func:`repro.serving.telemetry.profile_kernels`.
+_PROFILE = None
+
+
+def set_kernel_profile(profile: Optional[object]) -> None:
+    """Install (or with ``None`` remove) the global gather-timing hook."""
+    global _PROFILE
+    _PROFILE = profile
+
+
+def get_kernel_profile() -> Optional[object]:
+    """The currently installed gather-timing hook, if any."""
+    return _PROFILE
 
 
 @dataclass(frozen=True)
@@ -135,6 +153,8 @@ def _plane_sums(x: np.ndarray, indices: np.ndarray, ptr: np.ndarray) -> np.ndarr
     is untouched — so the output is bitwise identical to the unchunked
     gather.
     """
+    profile = _PROFILE
+    start = time.perf_counter() if profile is not None else 0.0
     rows = len(ptr) - 1
     out = np.zeros((x.shape[0], rows), dtype=x.dtype)
     starts, ends = ptr[:-1], ptr[1:]
@@ -146,6 +166,8 @@ def _plane_sums(x: np.ndarray, indices: np.ndarray, ptr: np.ndarray) -> np.ndarr
         for lo in range(0, x.shape[0], chunk):
             gathered = x[lo : lo + chunk, indices]
             out[lo : lo + chunk, nonempty] = np.add.reduceat(gathered, bounds, axis=1)
+    if profile is not None:
+        profile.record_gather(time.perf_counter() - start)
     return out
 
 

@@ -117,9 +117,49 @@ def build_arrivals(
     ]
 
 
+def _percentiles_ms(values: Sequence[float]) -> Tuple[float, float]:
+    """(p50, p99) of a list of seconds, in milliseconds; nan when empty."""
+    if not values:
+        return float("nan"), float("nan")
+    p50, p99 = np.percentile(values, [50, 99])
+    return float(p50) * 1e3, float(p99) * 1e3
+
+
+@dataclass(frozen=True)
+class SessionBreakdown:
+    """One session's window-to-decision latency, split by where it went.
+
+    ``queue_*`` is the featurize→submit wait (manager-side: burst
+    coalescing, admission sheds); ``compute_*`` is submit→resolve (the
+    backend's share: cluster queueing + kernel time).  The two lists are
+    per-window, so their means add up to the mean window-to-decision time
+    — the attribution the pooled p50/p99 in :class:`ReplayReport` cannot
+    give.
+    """
+
+    session_id: str
+    windows_served: int
+    windows_failed: int
+    deadline_misses: int
+    gaps: int
+    queue_p50_ms: float
+    queue_p99_ms: float
+    compute_p50_ms: float
+    compute_p99_ms: float
+    mean_queue_ms: float
+    mean_compute_ms: float
+
+
 @dataclass(frozen=True)
 class ReplayReport:
-    """What one replay run measured."""
+    """What one replay run measured.
+
+    The pooled ``p50_ms``/``p99_ms`` are submit→resolve across every
+    window of every session (the historical fields); ``queue_p50_ms``/
+    ``queue_p99_ms`` pool the featurize→submit waits, and ``per_session``
+    carries one :class:`SessionBreakdown` per replayed session so a run
+    can attribute its window-to-decision time to queueing vs. compute.
+    """
 
     sessions: int
     windows_served: int
@@ -132,6 +172,9 @@ class ReplayReport:
     p50_ms: float
     p99_ms: float
     stats: ManagerStats
+    queue_p50_ms: float = float("nan")
+    queue_p99_ms: float = float("nan")
+    per_session: Tuple[SessionBreakdown, ...] = ()
 
 
 def replay(
@@ -164,10 +207,30 @@ def replay(
             manager.collect(wait=False)
     stats = manager.drain(timeout_s=timeout_s)
     wall = time.monotonic() - start
-    latencies = manager.latencies_s()
-    p50, p99 = (
-        np.percentile(latencies, [50, 99]) if latencies else (float("nan"), float("nan"))
-    )
+    p50, p99 = _percentiles_ms(manager.latencies_s())
+    queue_p50, queue_p99 = _percentiles_ms(manager.queue_s())
+    per_session = []
+    for session in manager.sessions:
+        s = session.stats
+        q50, q99 = _percentiles_ms(s.queue_s)
+        c50, c99 = _percentiles_ms(s.latencies_s)
+        per_session.append(
+            SessionBreakdown(
+                session_id=session.session_id,
+                windows_served=s.windows_served,
+                windows_failed=s.windows_failed,
+                deadline_misses=s.deadline_misses,
+                gaps=s.gaps,
+                queue_p50_ms=q50,
+                queue_p99_ms=q99,
+                compute_p50_ms=c50,
+                compute_p99_ms=c99,
+                mean_queue_ms=float(np.mean(s.queue_s)) * 1e3 if s.queue_s else float("nan"),
+                mean_compute_ms=(
+                    float(np.mean(s.latencies_s)) * 1e3 if s.latencies_s else float("nan")
+                ),
+            )
+        )
     return ReplayReport(
         sessions=len(arrivals),
         windows_served=stats.windows_served,
@@ -177,9 +240,12 @@ def replay(
         wall_s=wall,
         sessions_per_s=len(arrivals) / wall if wall else float("inf"),
         windows_per_s=stats.windows_served / wall if wall else float("inf"),
-        p50_ms=float(p50) * 1e3,
-        p99_ms=float(p99) * 1e3,
+        p50_ms=p50,
+        p99_ms=p99,
         stats=stats,
+        queue_p50_ms=queue_p50,
+        queue_p99_ms=queue_p99,
+        per_session=tuple(per_session),
     )
 
 
@@ -204,6 +270,7 @@ __all__ = [
     "NoiseScenario",
     "DEFAULT_SCENARIOS",
     "SessionArrival",
+    "SessionBreakdown",
     "ReplayReport",
     "build_arrivals",
     "replay",

@@ -15,6 +15,7 @@ when decoding happens.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -24,7 +25,34 @@ from numpy.lib.stride_tricks import sliding_window_view
 from repro.deploy.image import LayerRecord, ModelImage
 from repro.deploy.packing import unpack_ternary
 from repro.errors import ConfigError
-from repro.serving.kernels import TernaryPlanes, as_block_diagonal, decode_planes, ternary_matmul
+from repro.serving.kernels import (
+    TernaryPlanes,
+    as_block_diagonal,
+    decode_planes,
+    get_kernel_profile,
+    ternary_matmul,
+)
+
+
+def _profiled(method):
+    """Attribute a layer method's gather passes to its plan kind.
+
+    With no profile installed this is one global load per layer call;
+    with one, the wrapped call runs under ``profile.layer(plan.kind)``
+    so nested ``_plane_sums`` timings land on the right kind.  Timing
+    never touches the numerics — profiled and unprofiled calls are
+    bitwise identical.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, plan, x):
+        profile = get_kernel_profile()
+        if profile is None:
+            return method(self, plan, x)
+        with profile.layer(plan.kind):
+            return method(self, plan, x)
+
+    return wrapper
 
 
 @dataclass(frozen=True)
@@ -124,6 +152,7 @@ class PackedModel:
 
     # -- layer kernels --------------------------------------------------- #
 
+    @_profiled
     def _conv(self, plan: LayerPlan, x: np.ndarray) -> np.ndarray:
         """Strassen conv/pointwise: patches → ternary W_b → ⊙â → ternary W_c."""
         kh, kw = plan.kernel
@@ -137,6 +166,7 @@ class PackedModel:
         out = out.reshape(n, oh, ow, -1).transpose(0, 3, 1, 2)
         return np.maximum(out, 0.0) if meta.get("relu") else out
 
+    @_profiled
     def _depthwise(self, plan: LayerPlan, x: np.ndarray) -> np.ndarray:
         """Grouped-SPN depthwise: ternary per-channel filter → ⊙(â·w_c)."""
         kh, kw = plan.kernel
@@ -152,6 +182,7 @@ class PackedModel:
         out = hidden * scale + plan.out_shift.reshape(1, c, 1, 1)
         return np.maximum(out, 0.0) if meta.get("relu") else out
 
+    @_profiled
     def _linear(self, plan: LayerPlan, z: np.ndarray) -> np.ndarray:
         """Strassen matmul on feature vectors (tree nodes)."""
         hidden = ternary_matmul(z, plan.wb) * plan.a_hat

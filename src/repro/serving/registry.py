@@ -40,6 +40,7 @@ from repro.deploy.image import ModelImage
 from repro.errors import ConfigError
 from repro.serving.catalog import VersionedCatalog, catalog_errors, make_key
 from repro.serving.packed import PackedModel
+from repro.serving.telemetry import get_registry
 
 #: internal registry key: (model name, version)
 ModelKey = Tuple[str, str]
@@ -111,6 +112,23 @@ class ModelRegistry:
         self._decoded: "OrderedDict[ModelKey, PackedModel]" = OrderedDict()
         self._inflight: Dict[ModelKey, threading.Event] = {}  # single-flight decodes
         self._lock = threading.RLock()
+        # latest registry wins the "registry" prefix on the process-wide
+        # metrics plane; held weakly, so a dropped registry unmounts itself
+        get_registry().register_source("registry", self.telemetry_tree)
+
+    def telemetry_tree(self) -> Dict[str, object]:
+        """The decode-cache counters as a plain metrics subtree."""
+        with self._lock:
+            stats = self.stats
+            return {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+                "resident_bytes": stats.resident_bytes,
+                "peak_resident_bytes": stats.peak_resident_bytes,
+                "models": self._catalog.entry_count(),
+                "decoded": len(self._decoded),
+            }
 
     # -- mutation ---------------------------------------------------------- #
 

@@ -48,6 +48,7 @@ from repro.evaluation.streaming import (
     num_windows,
 )
 from repro.serving.priority import Priority
+from repro.serving.telemetry import get_registry
 
 
 @dataclass
@@ -69,6 +70,11 @@ class SessionStats:
     windows_failed: int = 0
     deadline_misses: int = 0
     gap_windows: List[int] = field(default_factory=list)
+    #: per-window featurize→submit wait (manager-side queueing: burst
+    #: coalescing, admission sheds) — window-to-decision time splits as
+    #: ``queue_s[i] + latencies_s[i]``
+    queue_s: List[float] = field(default_factory=list)
+    #: per-window submit→resolve latency (the backend's share)
     latencies_s: List[float] = field(default_factory=list)
 
     @property
@@ -108,8 +114,9 @@ class StreamSession:
         self._features_only = False
         self._raw_audio = False
         self._emitted = 0  # windows featurized so far
-        #: featurized windows awaiting submission: (window index, features)
-        self.ready: Deque[Tuple[int, np.ndarray]] = deque()
+        #: featurized windows awaiting submission:
+        #: (window index, features, monotonic time the window became ready)
+        self.ready: Deque[Tuple[int, np.ndarray, float]] = deque()
         #: submitted windows awaiting results: (index, future, submit time)
         self.inflight: Deque[Tuple[int, "Future[np.ndarray]", float]] = deque()
         self._times: List[float] = []
@@ -145,7 +152,7 @@ class StreamSession:
             features = self._extractor(frame)
             if self._feature_mean is not None:
                 features = (features - self._feature_mean) / self._feature_std
-            self.ready.append((self._emitted, features.astype(np.float32)))
+            self.ready.append((self._emitted, features.astype(np.float32), time.monotonic()))
             self._emitted += 1
             self.stats.windows_featurized += 1
             cut += 1
@@ -171,7 +178,9 @@ class StreamSession:
         self._features_only = True
         count = 0
         for window in features:
-            self.ready.append((self._emitted, np.asarray(window, dtype=np.float32)))
+            self.ready.append(
+                (self._emitted, np.asarray(window, dtype=np.float32), time.monotonic())
+            )
             self._emitted += 1
             self.stats.windows_featurized += 1
             count += 1
@@ -292,6 +301,25 @@ class StreamSessionManager:
         self.stats = ManagerStats()
         self._sessions: Dict[str, StreamSession] = {}
         self._next_id = 0
+        # latest manager wins the "streams" prefix on the process-wide
+        # metrics plane; held weakly, so a dropped manager unmounts itself
+        get_registry().register_source("streams", self.telemetry_tree)
+
+    def telemetry_tree(self) -> Dict[str, object]:
+        """The aggregate session counters as a plain metrics subtree."""
+        stats = self.snapshot()
+        return {
+            "sessions": stats.sessions,
+            "sessions_done": stats.sessions_done,
+            "windows_featurized": stats.windows_featurized,
+            "windows_submitted": stats.windows_submitted,
+            "windows_served": stats.windows_served,
+            "windows_failed": stats.windows_failed,
+            "deadline_misses": stats.deadline_misses,
+            "gap_windows": stats.gaps,
+            "bursts": stats.bursts,
+            "bursts_shed": stats.bursts_shed,
+        }
 
     # -- session lifecycle ------------------------------------------------- #
 
@@ -338,21 +366,21 @@ class StreamSessionManager:
 
     # -- dispatch ----------------------------------------------------------- #
 
-    def _gather(self) -> List[Tuple[StreamSession, int, np.ndarray]]:
+    def _gather(self) -> List[Tuple[StreamSession, int, np.ndarray, float]]:
         """Round-robin up to ``max_burst`` ready windows across sessions."""
-        batch: List[Tuple[StreamSession, int, np.ndarray]] = []
+        batch: List[Tuple[StreamSession, int, np.ndarray, float]] = []
         queue: Deque[StreamSession] = deque(s for s in self._sessions.values() if s.ready)
         while queue and len(batch) < self.max_burst:
             session = queue.popleft()
-            index, features = session.ready.popleft()
-            batch.append((session, index, features))
+            index, features, ready_t = session.ready.popleft()
+            batch.append((session, index, features, ready_t))
             if session.ready:
                 queue.append(session)
         return batch
 
-    def _submit(self, batch: List[Tuple[StreamSession, int, np.ndarray]]) -> bool:
+    def _submit(self, batch: List[Tuple[StreamSession, int, np.ndarray, float]]) -> bool:
         """Ship one gathered burst; False when admission shed it."""
-        xs = [features for _, _, features in batch]
+        xs = [features for _, _, features, _ in batch]
         if self.cluster is not None:
             try:
                 futures = self.cluster.submit_many(
@@ -363,8 +391,10 @@ class StreamSessionManager:
                     deadline_s=self.deadline_s,
                 )
             except AdmissionError:
-                for session, index, features in reversed(batch):
-                    session.ready.appendleft((index, features))
+                # a shed window keeps its original ready timestamp, so the
+                # retry's queue_s still covers the whole wait
+                for session, index, features, ready_t in reversed(batch):
+                    session.ready.appendleft((index, features, ready_t))
                 self.stats.bursts_shed += 1
                 return False
         else:
@@ -372,9 +402,10 @@ class StreamSessionManager:
             if not self.engine.running:
                 self.engine.flush()
         submitted = time.monotonic()
-        for (session, index, _), future in zip(batch, futures):
+        for (session, index, _, ready_t), future in zip(batch, futures):
             session.inflight.append((index, future, submitted))
             session.stats.windows_submitted += 1
+            session.stats.queue_s.append(submitted - ready_t)
             future.add_done_callback(
                 lambda _f, t0=submitted, stats=session.stats: stats.latencies_s.append(
                     time.monotonic() - t0
@@ -444,6 +475,13 @@ class StreamSessionManager:
         pooled: List[float] = []
         for session in self._sessions.values():
             pooled.extend(session.stats.latencies_s)
+        return pooled
+
+    def queue_s(self) -> List[float]:
+        """Window featurize→submit waits pooled across sessions."""
+        pooled: List[float] = []
+        for session in self._sessions.values():
+            pooled.extend(session.stats.queue_s)
         return pooled
 
     def snapshot(self) -> ManagerStats:

@@ -80,3 +80,35 @@ class TestPlotTrajectory:
     def test_missing_directory_errors(self, tmp_path):
         result = run_tool("--dir", "nope", cwd=tmp_path)
         assert result.returncode != 0
+
+    def test_snapshot_archives_and_reports_prior_runs(self, tmp_path):
+        hist = tmp_path / "history"
+        write_artifact(tmp_path / "BENCH_cluster.json", "cluster", speedup=2.0)
+        result = run_tool("--history", str(hist), "--snapshot", "run1", cwd=tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert (hist / "run1" / "BENCH_cluster.json").is_file()
+        # a later, faster run renders next to the archived number
+        write_artifact(tmp_path / "BENCH_cluster.json", "cluster", speedup=2.5)
+        result = run_tool("--history", str(hist), cwd=tmp_path)
+        assert result.returncode == 0, result.stderr
+        report = (tmp_path / "BENCH_TRAJECTORY.md").read_text(encoding="utf-8")
+        assert "## Prior runs" in report
+        assert "run1" in report and "speedup=2.0" in report  # the archive
+        assert "speedup=2.5" in report  # the current scan
+
+    def test_archive_is_excluded_from_the_current_scan(self, tmp_path):
+        # history lives under CWD: its artifacts must not double-count
+        hist = tmp_path / "history"
+        write_artifact(hist / "old" / "BENCH_kernels.json", "kernels", speedup=1.0)
+        write_artifact(tmp_path / "BENCH_kernels.json", "kernels", speedup=2.0)
+        result = run_tool("--history", str(hist), cwd=tmp_path)
+        assert result.returncode == 0, result.stderr
+        report = (tmp_path / "BENCH_TRAJECTORY.md").read_text(encoding="utf-8")
+        assert report.count("speedup=1.0") == 1  # prior-runs section only
+        assert "merged 1 artifact" in result.stdout
+
+    def test_snapshot_without_artifacts_errors(self, tmp_path):
+        result = run_tool(
+            "--history", str(tmp_path / "h"), "--snapshot", "x", cwd=tmp_path
+        )
+        assert result.returncode != 0

@@ -166,6 +166,46 @@ class TestPackedModel:
         reference = np.maximum(reference, 0.0)
         np.testing.assert_array_equal(got, reference)
 
+    @pytest.mark.parametrize("layer", ["conv1", "ds0.pw"])
+    def test_conv_and_pw_kinds_bitwise_match_conv_reference(self, image, rng, layer):
+        # same discipline as the dw test: integer-valued activations make
+        # every ±1 gather sum an exact integer, so the packed W_b stage and
+        # the dense autodiff conv2d must agree bitwise regardless of their
+        # summation order.  The W_c stage then runs on bitwise-equal hidden
+        # activations, making the whole layer bitwise-comparable end to end.
+        from repro.autodiff.ops_conv import conv2d
+        from repro.serving.packed import _conv_patches
+
+        packed = PackedModel(image)
+        plan = packed._plans[layer]
+        record = image.layer(layer)
+        r, channels, kh, kw = record.wb_shape
+        assert plan.kind == ("conv" if layer == "conv1" else "pw")
+        x = rng.integers(-4, 5, size=(3, channels, 49, 10)).astype(np.float32)
+        stride = tuple(plan.meta["stride"])
+        padding = tuple(plan.meta["padding"])
+        patches = _conv_patches(x, kh, kw, stride, padding)
+        n, oh, ow, d = patches.shape
+        hidden = ternary_matmul(patches.reshape(-1, d), plan.wb)
+        with no_grad():
+            reference = conv2d(
+                Tensor(x),
+                Tensor(record.wb().astype(np.float32)),
+                stride=stride,
+                padding=padding,
+            ).data
+        np.testing.assert_array_equal(
+            hidden.reshape(n, oh, ow, r).transpose(0, 3, 1, 2), reference
+        )
+        # full layer: W_b reference pipeline → ⊙â → ternary W_c → scale/shift
+        got = packed._conv(plan, x)
+        ref_hidden = reference.transpose(0, 2, 3, 1).reshape(-1, r) * plan.a_hat
+        out = ternary_matmul(ref_hidden, plan.wc) * plan.out_scale + plan.out_shift
+        out = out.reshape(n, oh, ow, -1).transpose(0, 3, 1, 2)
+        if plan.meta.get("relu"):
+            out = np.maximum(out, 0.0)
+        np.testing.assert_array_equal(got, out)
+
     def test_decoded_bytes(self, image):
         assert PackedModel(image, cache=True).decoded_bytes() > 0
         assert PackedModel(image, cache=False).decoded_bytes() == 0
