@@ -1,0 +1,365 @@
+"""Resilience benchmark: a seeded chaos scenario retries must fully mask.
+
+Not a paper table — this guards the fault-masking layer
+(:mod:`repro.serving.resilience` + :mod:`repro.serving.chaos`) end to end.
+One deterministic :class:`~repro.serving.chaos.FaultPlan` runs against a
+4-worker cluster serving two models: ``hot`` (replicated across every
+worker, the latency-sensitive traffic) and ``flaky`` (sticky on one
+worker, whose scripted sleep+crash *and* poisoned re-decode turn that
+worker into a crash loop).  The identical scenario runs three ways —
+fault-free, chaos with the resilience stack, chaos without retries — and
+the gates are:
+
+* **success**: >= :data:`SUCCESS_FLOOR` of requests succeed under chaos
+  with retries, and *strictly more* than the same scenario without them
+  (the no-retry run must actually lose requests — the faults are real);
+* **bitwise**: every successful response in every run equals the
+  :class:`~repro.serving.packed.PackedModel` reference — chaos delays and
+  kills, it never perturbs results;
+* **bounded p99**: the hot model's p99 under chaos stays within
+  :data:`P99_INFLATION` x the fault-free p99 (+ a fixed allowance for the
+  retry backoff floor);
+* **isolation**: zero HIGH-priority sheds, zero slab-lease leaks after
+  shutdown (``leased == 0``, ``acquired == released``);
+* **visibility**: the crash-looping worker shows up in telemetry — its
+  circuit breaker opened and the restart backoff held at least one
+  respawn with a crash streak >= 2.
+
+Runs standalone (``python benchmarks/bench_resilience.py [--quick]``) and
+as pytest assertions guarding the floors in CI (skipped below 4 CPUs —
+the scenario needs real parallel workers for its latency gate to mean
+anything).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+from concurrent.futures import wait
+from typing import Dict, List, Tuple
+
+import numpy as np
+import pytest
+
+from conftest import record_metrics, write_bench_json
+from repro.core.hybrid import HybridConfig, STHybridNet
+from repro.core.strassen import freeze_all
+from repro.deploy import build_image
+from repro.deploy.image import ModelImage
+from repro.serving import (
+    BreakerPolicy,
+    ChaosHarness,
+    ClusterRouter,
+    FaultPlan,
+    MicroBatchConfig,
+    PackedModel,
+    Priority,
+    PriorityPolicy,
+    RestartBackoffPolicy,
+    RetryPolicy,
+    ScriptStep,
+    WorkerScript,
+)
+
+WORKERS = 4
+SUCCESS_FLOOR = 0.999
+P99_INFLATION = 10.0  # chaos p99 <= this x fault-free p99 (+ fixed allowance)
+P99_ALLOWANCE_MS = 500.0  # covers the retry backoff floor on small baselines
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def hot_image(width: int = 8, rng: int = 0) -> ModelImage:
+    """One frozen ST-Hybrid image."""
+    model = STHybridNet(HybridConfig(width=width), rng=rng)
+    freeze_all(model)
+    model.eval()
+    return build_image(model)
+
+
+def _crash_loop_plan(victim: int, crash_tick: int) -> FaultPlan:
+    """Sleep-then-crash the flaky model's worker at ``crash_tick``.
+
+    The sleep stalls the worker so the crash control frame — and every
+    request submitted after it — queues behind in-flight work; when the
+    worker dies, those queued requests die with it (the deterministic
+    in-flight-kill recipe).  The poisoned re-decode armed by the run turns
+    the single crash into a crash *loop*.
+    """
+    return FaultPlan(
+        seed=7,
+        scripts=(
+            WorkerScript(
+                worker_id=victim,
+                steps=(
+                    ScriptStep(at=crash_tick, action="sleep", seconds=0.3),
+                    ScriptStep(at=crash_tick, action="crash"),
+                ),
+            ),
+        ),
+    )
+
+
+def run_scenario(
+    images: Tuple[ModelImage, ModelImage],
+    *,
+    chaos: bool,
+    retries: bool,
+    ticks: int = 48,
+    hot_burst: int = 8,
+    flaky_burst: int = 2,
+) -> Dict[str, object]:
+    """One tick-driven traffic run; returns its metrics.
+
+    Every tick submits a ``hot`` burst (replicated, NORMAL) plus one HIGH
+    single request, and every 4th tick a small ``flaky`` burst (sticky on
+    the victim worker).  With ``chaos=True`` the fault plan sleeps+crashes
+    the victim a quarter of the way in and poisons its next two re-decodes
+    of the flaky model, so the worker crash-loops under restart backoff
+    while retries (when enabled) steer the dead requests to recovery.
+    """
+    image_hot, image_flaky = images
+    rng = np.random.default_rng(1)
+    xs = [rng.standard_normal((49, 10)).astype(np.float32) for _ in range(16)]
+    want_hot = PackedModel(image_hot)(np.stack(xs))
+    want_flaky = PackedModel(image_flaky)(np.stack(xs))
+    router = ClusterRouter(
+        workers=WORKERS,
+        policy=PriorityPolicy(max_pending=100_000),
+        config=MicroBatchConfig(max_batch_size=16, max_delay_ms=1.0),
+        retry=RetryPolicy(
+            max_attempts=8,
+            base_backoff_s=0.3,
+            multiplier=2.0,
+            max_backoff_s=2.0,
+            jitter=0.1,
+            seed=7,
+            budget_fraction=0.5,
+            budget_burst=128,
+        )
+        if retries
+        else None,
+        breakers=BreakerPolicy(failure_threshold=3, reset_timeout_s=0.5),
+        restart_backoff=RestartBackoffPolicy(
+            base_s=0.5, multiplier=2.0, max_s=2.0,
+            stable_after_s=60.0, free_restarts=0,
+        ),
+    )
+    router.register("hot", image_hot, placement="replicated")
+    router.register("flaky", image_flaky)  # sticky: one replica to kill
+    crash_tick = max(2, ticks // 4)
+    #: (model, expected_row_index, future) for every submitted request
+    submitted: List[Tuple[str, int, object]] = []
+    hot_latencies: List[float] = []
+    with router:
+        router.predict(xs[0], model="hot")
+        router.predict(xs[0], model="flaky")
+        (victim,) = router.placements()["flaky@v1"]
+        harness = None
+        if chaos:
+            # the scripted crash plus two poisoned re-decodes = a worker
+            # that dies three times in a row before it heals
+            router.pool.inject_crash_on_load(victim, "flaky@v1", times=2)
+            harness = ChaosHarness(router, _crash_loop_plan(victim, crash_tick))
+
+        def note_hot_latency(t0: float):
+            def _record(future) -> None:
+                if not future.cancelled() and future.exception() is None:
+                    hot_latencies.append(time.perf_counter() - t0)
+
+            return _record
+
+        for t in range(1, ticks + 1):
+            idx = t % len(xs)
+            t0 = time.perf_counter()
+            for i, future in enumerate(
+                router.submit_many([xs[(idx + i) % len(xs)] for i in range(hot_burst)],
+                                   model="hot")
+            ):
+                future.add_done_callback(note_hot_latency(t0))
+                submitted.append(("hot", (idx + i) % len(xs), future))
+            high = router.submit(xs[idx], model="hot", priority=Priority.HIGH)
+            high.add_done_callback(note_hot_latency(t0))
+            submitted.append(("hot", idx, high))
+            if t % 4 == 0:
+                for i in range(flaky_burst):
+                    submitted.append(
+                        (
+                            "flaky",
+                            (idx + i) % len(xs),
+                            router.submit(xs[(idx + i) % len(xs)], model="flaky"),
+                        )
+                    )
+            if harness is not None:
+                harness.tick()
+            time.sleep(0.01)  # pace the ticks so faults land mid-traffic
+        failures: List[str] = []
+        mismatches = 0
+        wait([future for _, _, future in submitted], timeout=180.0)
+        for model, idx, future in submitted:
+            try:
+                row = future.result(timeout=60.0)
+            except Exception as exc:  # noqa: BLE001 — every failure kind counts
+                failures.append(f"{model}: {type(exc).__name__}")
+                continue
+            want = want_hot if model == "hot" else want_flaky
+            if not np.array_equal(row, want[idx]):
+                mismatches += 1
+        if harness is not None:
+            harness.quiesce()
+        stats = router.snapshot()
+        restart = router.pool.restart_snapshot()
+        resilience = stats.resilience.as_tree()
+        shed_high = stats.shed_by_priority[Priority.HIGH]
+    transport = router.pool.transport_snapshot()
+    total = len(submitted)
+    p99_ms = (
+        float(np.percentile(hot_latencies, 99)) * 1e3 if hot_latencies else float("nan")
+    )
+    return {
+        "total": total,
+        "failures": len(failures),
+        "failure_kinds": sorted(set(failures)),
+        "mismatches": mismatches,
+        "success_rate": (total - len(failures)) / total,
+        "hot_p99_ms": p99_ms,
+        "shed_high": shed_high,
+        "retries_attempted": resilience["retries_attempted"],
+        "retries_succeeded": resilience["retries_succeeded"],
+        "retries_exhausted": resilience["retries_exhausted"],
+        "breaker_opens": sum(
+            int(row["opens"]) for row in resilience["breakers"].values()
+        ),
+        "delayed_restarts": restart["delayed_restarts"],
+        "max_crash_streak": max(
+            (int(row["streak"]) for row in restart["workers"].values()), default=0
+        ),
+        "leased": transport.get("leased", 0),
+        "slab_leak": transport.get("acquired", 0) - transport.get("released", 0),
+    }
+
+
+def run_all(quick: bool = False) -> Dict[str, Dict[str, object]]:
+    """Fault-free baseline, chaos+retries, chaos-without — same seeds."""
+    ticks = 24 if quick else 48
+    images = (hot_image(rng=0), hot_image(rng=1))
+    return {
+        "baseline": run_scenario(images, chaos=False, retries=True, ticks=ticks),
+        "with_retries": run_scenario(images, chaos=True, retries=True, ticks=ticks),
+        "without_retries": run_scenario(images, chaos=True, retries=False, ticks=ticks),
+    }
+
+
+def check_gates(runs: Dict[str, Dict[str, object]]) -> None:
+    """Assert every resilience floor on a completed three-run comparison."""
+    baseline, masked, bare = (
+        runs["baseline"], runs["with_retries"], runs["without_retries"],
+    )
+    for name, run in runs.items():
+        assert run["mismatches"] == 0, (
+            f"{name}: {run['mismatches']} responses not bitwise-identical"
+        )
+        assert run["leased"] == 0 and run["slab_leak"] == 0, (
+            f"{name}: slab leases leaked ({run['leased']} live, "
+            f"{run['slab_leak']} unreturned)"
+        )
+    assert baseline["failures"] == 0, (
+        f"fault-free baseline lost requests: {baseline['failure_kinds']}"
+    )
+    assert masked["success_rate"] >= SUCCESS_FLOOR, (
+        f"with retries only {masked['success_rate']:.4%} succeeded "
+        f"({masked['failure_kinds']}; floor {SUCCESS_FLOOR:.1%})"
+    )
+    assert bare["failures"] >= 1, (
+        "the no-retry run lost nothing — the fault plan injected no real faults"
+    )
+    assert bare["success_rate"] < masked["success_rate"], (
+        f"retries did not improve success: {bare['success_rate']:.4%} without vs "
+        f"{masked['success_rate']:.4%} with"
+    )
+    assert masked["shed_high"] == 0, f"{masked['shed_high']} HIGH shed(s) under chaos"
+    bound_ms = max(
+        P99_INFLATION * baseline["hot_p99_ms"],
+        baseline["hot_p99_ms"] + P99_ALLOWANCE_MS,
+    )
+    assert masked["hot_p99_ms"] <= bound_ms, (
+        f"hot p99 inflated beyond bound: {masked['hot_p99_ms']:.1f} ms under chaos "
+        f"vs {baseline['hot_p99_ms']:.1f} ms fault-free (bound {bound_ms:.1f} ms)"
+    )
+    assert masked["retries_attempted"] > 0 and masked["retries_succeeded"] > 0
+    assert masked["breaker_opens"] >= 1, "crash loop never opened a breaker"
+    assert masked["delayed_restarts"] >= 1, "restart backoff never held a respawn"
+    assert masked["max_crash_streak"] >= 2, "crash streak not visible in telemetry"
+
+
+# -- pytest entry points ----------------------------------------------------- #
+
+
+@pytest.mark.skipif(
+    available_cpus() < WORKERS,
+    reason=f"resilience gate needs >= {WORKERS} CPUs (have {available_cpus()})",
+)
+def test_retries_mask_the_chaos_scenario() -> None:
+    """Under the seeded crash-loop plan, retries lift success to
+    >= 99.9% (strictly above the no-retry run), every response stays
+    bitwise-identical, HIGH is never shed, nothing leaks, and the flapping
+    worker is visibly quarantined (breaker opens + delayed respawns)."""
+    runs = run_all(quick=True)
+    record_metrics("resilience", **runs)
+    check_gates(runs)
+
+
+# -- standalone report ------------------------------------------------------- #
+
+
+def main() -> None:
+    """Run the three-way comparison and enforce every floor."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="fewer ticks (CI smoke)")
+    args = parser.parse_args()
+
+    cpus = available_cpus()
+    print(
+        f"seeded crash-loop chaos on a {WORKERS}-worker cluster; "
+        f"{cpus} CPU(s) available"
+    )
+    if cpus < WORKERS:
+        print(f"note: < {WORKERS} CPUs — numbers are indicative, gates still run")
+    runs = run_all(quick=args.quick)
+    for name in ("baseline", "with_retries", "without_retries"):
+        run = runs[name]
+        print(f"\n{name.replace('_', ' ')}:")
+        print(f"  requests           {run['total']:6d}")
+        print(f"  success            {run['success_rate']:8.4%}")
+        print(f"  hot p99            {run['hot_p99_ms']:8.1f} ms")
+        print(f"  retries            {run['retries_attempted']:6d} attempted, "
+              f"{run['retries_succeeded']} succeeded")
+        print(f"  breaker opens      {run['breaker_opens']:6d}")
+        print(f"  delayed respawns   {run['delayed_restarts']:6d} "
+              f"(max streak {run['max_crash_streak']})")
+    check_gates(runs)
+    print(
+        f"\nPASS: chaos success {runs['with_retries']['success_rate']:.4%} with "
+        f"retries (floor {SUCCESS_FLOOR:.1%}) vs "
+        f"{runs['without_retries']['success_rate']:.4%} without; bitwise-identical "
+        f"throughout; zero HIGH sheds; zero slab leaks"
+    )
+    write_bench_json(
+        "resilience",
+        {
+            **runs,
+            "success_floor": SUCCESS_FLOOR,
+            "p99_inflation_bound": P99_INFLATION,
+            "workers": WORKERS,
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

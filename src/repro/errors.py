@@ -89,7 +89,9 @@ class TransportError(ReproError, RuntimeError):
     writing a payload larger than the slab, or touching a pool after it was
     destroyed.  Capacity pressure is *not* an error — an exhausted pool or
     an oversized payload makes the cluster fall back to the pipe transport
-    transparently.
+    transparently.  Like :class:`WorkerCrashed`, this failure happens
+    before any result is produced, so the resilience layer classifies it
+    as retryable (:data:`repro.serving.resilience.RETRYABLE`).
     """
 
 
@@ -111,7 +113,21 @@ class WorkerCrashed(ReproError, RuntimeError):
     """A cluster worker process died while requests were in flight on it.
 
     The affected requests fail with this error; the pool restarts the worker
-    and re-decodes its models transparently, so *subsequent* requests are
-    served normally.  Callers that need at-most-once semantics can simply
-    resubmit — inference is pure.
+    (with capped exponential backoff when it is crash-looping, see
+    :class:`repro.serving.resilience.RestartBackoffPolicy`) and re-decodes
+    its models transparently, so *subsequent* requests are served normally.
+    Inference is pure, so a resubmit is always safe — a router configured
+    with a :class:`repro.serving.resilience.RetryPolicy` does it
+    automatically, re-dispatching to a *different* replica; callers only
+    see this error once every attempt (or the retry budget) is exhausted.
+    """
+
+
+class ChaosError(ReproError, RuntimeError):
+    """A chaos harness was used incorrectly.
+
+    Raised by :class:`repro.serving.chaos.ChaosHarness` for harness misuse
+    (e.g. ticking a harness that was already quiesced) — never for fault
+    injections that merely found their target dead; those are counted and
+    skipped, because chaos must not take the harness down with it.
     """

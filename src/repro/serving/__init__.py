@@ -62,11 +62,33 @@ it *fast to serve*:
   (``trace_sample_rate=``), Prometheus / JSON-lines / chrome-trace
   exporters with a tiny ``/metrics`` + ``/healthz`` HTTP endpoint, and
   opt-in :class:`KernelProfile` timing of the packed kernels' gather
-  passes per layer kind.
+  passes per layer kind;
+* :mod:`repro.serving.resilience` — the fault-masking policy layer:
+  :class:`RetryPolicy` (bounded seeded-backoff retries to a different
+  replica, under a global :class:`RetryBudget`), per-worker
+  :class:`CircuitBreaker` quarantine, :class:`RestartBackoffPolicy`
+  (capped exponential respawn delay for crash-looping workers),
+  :class:`HedgePolicy` (HIGH-priority tail-latency hedging) and
+  :class:`BrownoutController` (auto-shed LOW traffic on sustained
+  p99/error breach) — all opt-in :class:`ClusterRouter` kwargs;
+* :mod:`repro.serving.chaos`    — seeded, replayable fault injection:
+  a :class:`FaultPlan` of crash/lag/slab-squeeze/scripted faults driven
+  tick-by-tick by a :class:`ChaosHarness` over the cluster's existing
+  ``inject_*`` hooks, with an event log that makes two runs of the same
+  plan byte-comparable.
 """
 
 from repro.serving.batching import BatchingEngine, EngineStats, MicroBatchConfig
 from repro.serving.catalog import VersionedCatalog
+from repro.serving.chaos import (
+    ChaosHarness,
+    CrashFault,
+    FaultPlan,
+    LagFault,
+    ScriptStep,
+    SlabSqueeze,
+    WorkerScript,
+)
 from repro.serving.cluster import (
     CanarySplitStats,
     ClusterRouter,
@@ -100,6 +122,19 @@ from repro.serving.placement import (
 )
 from repro.serving.priority import Priority, PriorityPolicy
 from repro.serving.registry import ModelRegistry, RegistryStats
+from repro.serving.resilience import (
+    BreakerBoard,
+    BreakerPolicy,
+    BrownoutController,
+    BrownoutPolicy,
+    BrownoutStatus,
+    CircuitBreaker,
+    HedgePolicy,
+    ResilienceStats,
+    RestartBackoffPolicy,
+    RetryBudget,
+    RetryPolicy,
+)
 from repro.serving.shm import SlabClient, SlabConfig, SlabPool
 from repro.serving.streams import (
     ManagerStats,
@@ -123,14 +158,32 @@ __all__ = [
     "AutoscalePolicy",
     "Autoscaler",
     "BatchingEngine",
+    "BreakerBoard",
+    "BreakerPolicy",
+    "BrownoutController",
+    "BrownoutPolicy",
+    "BrownoutStatus",
     "CanaryController",
     "CanaryPolicy",
     "CanarySplitStats",
     "CanaryStatus",
+    "ChaosHarness",
+    "CircuitBreaker",
     "ClusterRouter",
     "ClusterStats",
     "ControlLoop",
     "ControlStats",
+    "CrashFault",
+    "FaultPlan",
+    "HedgePolicy",
+    "LagFault",
+    "ResilienceStats",
+    "RestartBackoffPolicy",
+    "RetryBudget",
+    "RetryPolicy",
+    "ScriptStep",
+    "SlabSqueeze",
+    "WorkerScript",
     "DeployManager",
     "DeployReport",
     "ScaleEvent",

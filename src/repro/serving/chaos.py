@@ -1,0 +1,397 @@
+"""Deterministic chaos harness: seeded, replayable fault plans.
+
+The cluster grew chaos *hooks* organically — ``inject_crash`` /
+``inject_sleep`` / ``inject_lag`` on the pool, ``inject_version_lag`` on
+the router — but every test wired them by hand, so no two resilience
+scenarios were comparable and none was replayable.  This module layers a
+declarative, seeded :class:`FaultPlan` over those hooks:
+
+* :class:`CrashFault` — kill a (seeded-RNG-chosen) worker every Nth tick;
+* :class:`LagFault` — a worker-side latency window on one model version;
+* :class:`SlabSqueeze` — hold slab leases for a window, forcing the
+  data plane onto its pipe fallback (ring exhaustion without real load);
+* :class:`WorkerScript` — an explicit per-worker schedule of crash /
+  sleep / lag actions for scenarios the periodic faults cannot express.
+
+A :class:`ChaosHarness` binds one plan to one
+:class:`~repro.serving.cluster.ClusterRouter` and advances on an explicit
+**tick** counter — driven once per submitted burst in a benchmark loop, or
+once per opened session via ``loadgen.replay(chaos=...)`` — never on wall
+clock.  Same plan + same seed + same tick sequence ⇒ the same injections
+in the same order (the harness keeps the event log to prove it), so a
+resilience result is a *scenario* you can rerun, not an anecdote.
+
+Faults only ever delay or kill — they never perturb results.  Replicas
+are bitwise identical, so a run under any plan must produce byte-identical
+responses to a fault-free run; ``benchmarks/bench_resilience.py`` gates
+exactly that.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ChaosError, ConfigError, RoutingError
+from repro.serving.catalog import make_key
+from repro.serving.cluster import ClusterRouter
+
+__all__ = [
+    "CrashFault",
+    "LagFault",
+    "SlabSqueeze",
+    "ScriptStep",
+    "WorkerScript",
+    "FaultPlan",
+    "ChaosHarness",
+]
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Kill one worker every ``every_n`` ticks (``os._exit``, like an OOM).
+
+    The victim is drawn from ``workers`` (default: every worker) by the
+    plan's seeded RNG — deterministic per event index.  ``limit`` caps the
+    total kills (``None`` = unbounded); ``start`` delays the first kill.
+    """
+
+    every_n: int
+    workers: Optional[Tuple[int, ...]] = None
+    limit: Optional[int] = None
+    start: int = 0
+
+    def __post_init__(self) -> None:
+        """Validate the period, cap and offset."""
+        if self.every_n < 1:
+            raise ConfigError("every_n must be >= 1")
+        if self.limit is not None and self.limit < 0:
+            raise ConfigError("limit must be >= 0 (or None for unbounded)")
+        if self.start < 0:
+            raise ConfigError("start must be >= 0")
+        if self.workers is not None and not self.workers:
+            raise ConfigError("workers must be non-empty (or None for all)")
+
+
+@dataclass(frozen=True)
+class LagFault:
+    """Inject worker-side lag on one model version for a tick window.
+
+    At tick ``at`` every replica of ``(model, version)`` starts stalling
+    its bursts by ``seconds``; the lag clears ``duration`` ticks later
+    (results are delayed, never changed).  ``model=None`` resolves the
+    router's lone registered model, ``version=None`` its current version —
+    both resolved at injection time.
+    """
+
+    at: int
+    seconds: float
+    duration: int
+    model: Optional[str] = None
+    version: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        """Validate the window and lag magnitude."""
+        if self.at < 1:
+            raise ConfigError("at must be >= 1 (ticks are 1-based)")
+        if self.seconds <= 0:
+            raise ConfigError("seconds must be > 0")
+        if self.duration < 1:
+            raise ConfigError("duration must be >= 1")
+
+
+@dataclass(frozen=True)
+class SlabSqueeze:
+    """Exhaust part of the slab ring for a tick window.
+
+    At tick ``at`` the harness acquires up to ``slabs`` leases directly
+    from the pool's ring and holds them for ``duration`` ticks, so live
+    traffic sees a smaller ring and exercises its per-request pipe
+    fallback.  Held leases are always returned (at expiry or
+    :meth:`ChaosHarness.quiesce`), preserving the transport no-leak
+    invariant.
+    """
+
+    at: int
+    slabs: int
+    duration: int
+
+    def __post_init__(self) -> None:
+        """Validate the window and lease count."""
+        if self.at < 1:
+            raise ConfigError("at must be >= 1 (ticks are 1-based)")
+        if self.slabs < 1:
+            raise ConfigError("slabs must be >= 1")
+        if self.duration < 1:
+            raise ConfigError("duration must be >= 1")
+
+
+@dataclass(frozen=True)
+class ScriptStep:
+    """One scripted action: ``crash`` / ``sleep`` / ``lag`` at tick ``at``.
+
+    ``seconds`` is the sleep length or lag magnitude (``lag`` with
+    ``seconds=0`` clears a previous lag); ``model``/``version`` name the
+    lagged key for ``lag`` steps (resolved like :class:`LagFault`).
+    """
+
+    at: int
+    action: str
+    seconds: float = 0.0
+    model: Optional[str] = None
+    version: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        """Validate the action name and timing."""
+        if self.at < 1:
+            raise ConfigError("at must be >= 1 (ticks are 1-based)")
+        if self.action not in ("crash", "sleep", "lag"):
+            raise ConfigError(
+                f"unknown script action {self.action!r} "
+                f"(expected 'crash', 'sleep' or 'lag')"
+            )
+        if self.action == "sleep" and self.seconds <= 0:
+            raise ConfigError("sleep steps need seconds > 0")
+        if self.seconds < 0:
+            raise ConfigError("seconds must be >= 0")
+
+
+@dataclass(frozen=True)
+class WorkerScript:
+    """An explicit fault schedule for one worker."""
+
+    worker_id: int
+    steps: Tuple[ScriptStep, ...] = ()
+
+    def __post_init__(self) -> None:
+        """Validate the target worker id."""
+        if self.worker_id < 0:
+            raise ConfigError("worker_id must be >= 0")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, replayable set of faults over a tick counter.
+
+    The plan is pure data: binding it to a router (and a tick source)
+    happens in :class:`ChaosHarness`.  ``seed`` drives every random
+    choice (crash-victim selection), so two harnesses running the same
+    plan over the same tick sequence inject identically.
+    """
+
+    seed: int = 0
+    crashes: Tuple[CrashFault, ...] = ()
+    lags: Tuple[LagFault, ...] = ()
+    squeezes: Tuple[SlabSqueeze, ...] = ()
+    scripts: Tuple[WorkerScript, ...] = ()
+
+    def __post_init__(self) -> None:
+        """Coerce fault sequences to tuples so plans stay hashable-ish."""
+        for name in ("crashes", "lags", "squeezes", "scripts"):
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+
+
+class ChaosHarness:
+    """Bind one :class:`FaultPlan` to one router and drive it by ticks.
+
+    :meth:`tick` advances the counter and applies every fault due at the
+    crossed tick numbers — call it once per request burst (benchmarks) or
+    let ``loadgen.replay(chaos=...)`` call it once per opened session.
+    Injections that find their target already dead (a crash racing a
+    restart backoff) are counted as ``skipped`` rather than raised: chaos
+    must never take the *harness* down.  :meth:`quiesce` clears every
+    lingering fault (held slab leases, live lags) so a drain can finish
+    and the transport no-leak invariant holds at shutdown.
+
+    The harness records ``(tick, action, detail)`` rows in :attr:`events`
+    — the proof of determinism tests compare across runs.
+    """
+
+    def __init__(self, router: ClusterRouter, plan: Optional[FaultPlan] = None) -> None:
+        self.router = router
+        self.plan = plan or FaultPlan()
+        self._tick = 0
+        self._rng = random.Random(self.plan.seed)
+        self._held: List[Tuple[int, int]] = []  # (slab_id, release_at_tick)
+        #: live injected lags: (model, version) resolved key -> clear tick
+        self._lag_clears: List[Tuple[str, Optional[str], Optional[str], int]] = []
+        self._crash_counts: Dict[int, int] = {}  # fault index -> kills so far
+        self._quiesced = False
+        self.events: List[Tuple[int, str, str]] = []
+        self.counters: Dict[str, int] = {
+            "crashes": 0,
+            "lags_set": 0,
+            "lags_cleared": 0,
+            "slabs_held": 0,
+            "slabs_released": 0,
+            "sleeps": 0,
+            "skipped": 0,
+        }
+
+    # -- tick engine -------------------------------------------------------- #
+
+    @property
+    def tick_count(self) -> int:
+        """Ticks advanced so far."""
+        return self._tick
+
+    def tick(self, n: int = 1) -> None:
+        """Advance ``n`` ticks, applying every fault due along the way."""
+        if n < 0:
+            raise ConfigError("tick(n) needs n >= 0")
+        if self._quiesced:
+            raise ChaosError("harness already quiesced; build a fresh one")
+        for _ in range(n):
+            self._tick += 1
+            self._apply(self._tick)
+
+    def _apply(self, t: int) -> None:
+        """Fire every fault due at tick ``t`` (deterministic order)."""
+        self._expire(t)
+        for index, fault in enumerate(self.plan.crashes):
+            if t <= fault.start or (t - fault.start) % fault.every_n != 0:
+                continue
+            done = self._crash_counts.get(index, 0)
+            if fault.limit is not None and done >= fault.limit:
+                continue
+            candidates = (
+                list(fault.workers)
+                if fault.workers is not None
+                else self.router.pool.worker_ids()
+            )
+            victim = candidates[self._rng.randrange(len(candidates))]
+            self._crash_counts[index] = done + 1
+            self._inject_crash(t, victim)
+        for fault in self.plan.lags:
+            if t == fault.at:
+                self._inject_lag(t, fault.model, fault.version, fault.seconds)
+                self._lag_clears.append(
+                    (f"lag@{t}", fault.model, fault.version, t + fault.duration)
+                )
+        for fault in self.plan.squeezes:
+            if t == fault.at:
+                self._squeeze(t, fault.slabs, t + fault.duration)
+        for script in self.plan.scripts:
+            for step in script.steps:
+                if step.at != t:
+                    continue
+                if step.action == "crash":
+                    self._inject_crash(t, script.worker_id)
+                elif step.action == "sleep":
+                    self._inject_sleep(t, script.worker_id, step.seconds)
+                else:  # lag (seconds=0 clears a previous scripted lag)
+                    self._inject_lag(t, step.model, step.version, step.seconds)
+
+    def _expire(self, t: int) -> None:
+        """Release squeezed slabs / clear lag windows whose time is up."""
+        still_held = []
+        for slab_id, release_at in self._held:
+            if t >= release_at:
+                self._release_slab(slab_id)
+            else:
+                still_held.append((slab_id, release_at))
+        self._held = still_held
+        remaining = []
+        for label, model, version, clear_at in self._lag_clears:
+            if t >= clear_at:
+                self._inject_lag(t, model, version, 0.0, clearing=True)
+            else:
+                remaining.append((label, model, version, clear_at))
+        self._lag_clears = remaining
+
+    # -- individual injections ---------------------------------------------- #
+
+    def _inject_crash(self, t: int, worker_id: int) -> None:
+        try:
+            self.router.pool.inject_crash(worker_id)
+        except (RoutingError, OSError):
+            # already dead, respawning, or held in restart backoff
+            self.counters["skipped"] += 1
+            self.events.append((t, "crash_skipped", f"worker={worker_id}"))
+            return
+        self.counters["crashes"] += 1
+        self.events.append((t, "crash", f"worker={worker_id}"))
+
+    def _inject_sleep(self, t: int, worker_id: int, seconds: float) -> None:
+        try:
+            self.router.pool.inject_sleep(worker_id, seconds)
+        except (RoutingError, OSError):
+            self.counters["skipped"] += 1
+            self.events.append((t, "sleep_skipped", f"worker={worker_id}"))
+            return
+        self.counters["sleeps"] += 1
+        self.events.append((t, "sleep", f"worker={worker_id} s={seconds:g}"))
+
+    def _inject_lag(
+        self,
+        t: int,
+        model: Optional[str],
+        version: Optional[str],
+        seconds: float,
+        *,
+        clearing: bool = False,
+    ) -> None:
+        try:
+            self.router.inject_version_lag(model, version, seconds)
+        except (RoutingError, ConfigError):
+            self.counters["skipped"] += 1
+            self.events.append((t, "lag_skipped", f"model={model} v={version}"))
+            return
+        if seconds > 0:
+            self.counters["lags_set"] += 1
+            self.events.append((t, "lag", f"model={model} v={version} s={seconds:g}"))
+        else:
+            self.counters["lags_cleared"] += 1
+            kind = "lag_expired" if clearing else "lag_cleared"
+            self.events.append((t, kind, f"model={model} v={version}"))
+
+    def _squeeze(self, t: int, slabs: int, release_at: int) -> None:
+        pool = getattr(self.router.pool, "_slab_pool", None)
+        if pool is None:
+            self.counters["skipped"] += 1
+            self.events.append((t, "squeeze_skipped", "shm transport disabled"))
+            return
+        taken = 0
+        for _ in range(slabs):
+            slab_id = pool.try_acquire()
+            if slab_id is None:
+                break  # ring already drier than the squeeze asked for
+            self._held.append((slab_id, release_at))
+            taken += 1
+        self.counters["slabs_held"] += taken
+        self.events.append((t, "squeeze", f"held={taken}/{slabs}"))
+
+    def _release_slab(self, slab_id: int) -> None:
+        pool = getattr(self.router.pool, "_slab_pool", None)
+        if pool is not None:
+            pool.release(slab_id)
+            self.counters["slabs_released"] += 1
+
+    # -- teardown / introspection ------------------------------------------- #
+
+    def quiesce(self) -> None:
+        """Clear every lingering fault (idempotent): release held slab
+        leases and clear live lag windows.  Call before draining so the
+        no-leak invariant (``leased == 0`` after stop) holds."""
+        for slab_id, _ in self._held:
+            self._release_slab(slab_id)
+        self._held = []
+        for _, model, version, _ in self._lag_clears:
+            self._inject_lag(self._tick, model, version, 0.0, clearing=True)
+        self._lag_clears = []
+        self._quiesced = True
+
+    def __enter__(self) -> "ChaosHarness":
+        """Use the harness for a ``with`` block; quiesces on exit."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Quiesce on block exit so no fault outlives the scenario."""
+        self.quiesce()
+
+    def snapshot(self) -> Dict[str, object]:
+        """Counters + tick for the telemetry tree / bench reports."""
+        return {"tick": self._tick, **self.counters}

@@ -34,7 +34,20 @@ a router in front:
   EOF, its in-flight requests fail with
   :class:`~repro.errors.WorkerCrashed`, and the pool transparently restarts
   the process and re-decodes every model that was placed on it — subsequent
-  traffic is served normally.
+  traffic is served normally.  A crash-looping worker is held back by
+  capped exponential restart backoff
+  (:class:`~repro.serving.resilience.RestartBackoffPolicy`) instead of
+  hot-looping re-decodes.
+* A **resilience layer** (:mod:`repro.serving.resilience`), all opt-in via
+  router kwargs: ``retry=RetryPolicy(...)`` transparently re-dispatches
+  retryable failures to a *different* replica (safe — replicas are bitwise
+  identical) under a global retry budget; ``breakers=BreakerPolicy(...)``
+  quarantines flapping workers out of replica choice until a half-open
+  probe succeeds; ``hedge=HedgePolicy(...)`` duplicates slow HIGH-priority
+  single requests after a p99-derived delay, first result wins; and
+  :meth:`ClusterRouter.set_brownout` sheds LOW traffic while a
+  :class:`~repro.serving.resilience.BrownoutController` observes sustained
+  overload in the telemetry snapshot.
 * A **zero-copy shared-memory data plane** (:mod:`repro.serving.shm`): by
   default request payloads are written once into a slab of a
   ``multiprocessing.shared_memory`` ring and workers read them as zero-copy
@@ -84,6 +97,7 @@ from repro.errors import (
     ConfigError,
     DeadlineExceeded,
     RoutingError,
+    TransportError,
     WorkerCrashed,
 )
 from repro.serving.batching import BatchingEngine, MicroBatchConfig
@@ -102,6 +116,14 @@ from repro.serving.placement import (
     ReplicaStats,
 )
 from repro.serving.priority import Priority, PriorityPolicy
+from repro.serving.resilience import (
+    BreakerBoard,
+    BreakerPolicy,
+    HedgePolicy,
+    ResilienceStats,
+    RestartBackoffPolicy,
+    RetryPolicy,
+)
 from repro.serving.shm import SlabClient, SlabConfig, SlabPool
 from repro.serving.telemetry import (
     KernelProfile,
@@ -250,6 +272,7 @@ def _worker_main(
     models: Dict[str, PackedModel] = {}
     engines: Dict[str, BatchingEngine] = {}
     lags: Dict[str, float] = {}  # chaos hook: model key -> injected seconds
+    poisoned: set = set()  # chaos hook: model keys that kill the next load
     client: Optional[SlabClient] = None
 
     def shm_client() -> SlabClient:
@@ -264,6 +287,11 @@ def _worker_main(
         op = msg[0]
         if op == "load":
             _, name, blob = msg
+            if name in poisoned:
+                # chaos hook: a poisoned image kills the worker mid-decode,
+                # exactly like a real bad build would — used to manufacture
+                # deterministic crash loops for the restart-backoff tests
+                os._exit(13)
             try:
                 model = PackedModel(ModelImage.from_bytes(blob), cache=True)
             except Exception as exc:
@@ -292,6 +320,8 @@ def _worker_main(
             profile = get_kernel_profile()
             data = profile.snapshot() if isinstance(profile, KernelProfile) else {}
             conn.send(("kprofile", msg[1], data))
+        elif op == "poison":  # chaos hook: arm a crash on the next load of a model
+            poisoned.add(msg[1])
         elif op == "exit":  # chaos hook: die without cleanup, like a real crash
             os._exit(msg[1])
         elif op == "stop":
@@ -379,7 +409,14 @@ class _WorkerHandle:
 
 @dataclass(frozen=True)
 class WorkerStats:
-    """One worker's slice of :class:`ClusterStats`."""
+    """One worker's slice of :class:`ClusterStats`.
+
+    ``backing_off`` is True while the worker is dead and its respawn is
+    deliberately delayed by the pool's
+    :class:`~repro.serving.resilience.RestartBackoffPolicy`;
+    ``crash_streak`` counts consecutive short-lived crashes (reset once a
+    spawn survives past the policy's stability horizon).
+    """
 
     worker_id: int
     alive: bool
@@ -389,6 +426,8 @@ class WorkerStats:
     deadline_misses: int
     resident_bytes: int
     models: Tuple[str, ...]
+    backing_off: bool = False
+    crash_streak: int = 0
 
 
 @dataclass(frozen=True)
@@ -529,6 +568,14 @@ class ClusterStats:
     ``scale_events`` is the trailing window of :class:`ScaleEvent` rows
     (most recent last), and ``canary_state`` maps each model name with a
     live or settled traffic split to its :class:`CanarySplitStats`.
+
+    Resilience rollups: ``errors_by_type`` counts every failed *attempt*
+    by exception class name (``WorkerCrashed``, ``TransportError``,
+    ``DeadlineExceeded``, ``AdmissionError``, ...) — attempts, not
+    requests, so retry efficacy is observable as the gap between
+    ``errors_by_type`` growth and caller-visible failures — and
+    ``resilience`` is the :class:`~repro.serving.resilience.ResilienceStats`
+    rollup of retry / hedge / breaker / brownout state.
     """
 
     workers: Tuple[WorkerStats, ...]
@@ -550,6 +597,8 @@ class ClusterStats:
     scale_events: Tuple[ScaleEvent, ...] = ()
     canary_state: Mapping[str, CanarySplitStats] = field(default_factory=dict)
     kernel_profile: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
+    errors_by_type: Mapping[str, int] = field(default_factory=dict)
+    resilience: ResilienceStats = field(default_factory=ResilienceStats)
 
     @property
     def shed(self) -> int:
@@ -602,6 +651,8 @@ class ClusterStats:
             "kernel_profile": {
                 kind: dict(row) for kind, row in self.kernel_profile.items()
             },
+            "errors_by_type": dict(self.errors_by_type),
+            "resilience": self.resilience.as_tree(),
         }
 
 
@@ -623,6 +674,17 @@ class WorkerPool:
     every payload on the pickle-over-pipe path.  Payloads that do not fit a
     slab — or arrive while the ring is exhausted — fall back to the pipe
     per request, transparently and bitwise-identically.
+
+    ``restart_backoff`` delays the respawn of a *crash-looping* worker by
+    a capped exponential
+    (:class:`~repro.serving.resilience.RestartBackoffPolicy`): a worker
+    that keeps dying shortly after spawn would otherwise hot-loop model
+    re-decodes and burn a core.  While a slot is backing off its dead
+    handle stays published, so submits to it fail fast with
+    :class:`~repro.errors.WorkerCrashed` (which the router's retry layer
+    steers to another replica) rather than queueing against a corpse.
+    The first crash (``free_restarts``) always respawns immediately —
+    one-off crashes keep today's instant-restart behaviour.
     """
 
     def __init__(
@@ -632,6 +694,7 @@ class WorkerPool:
         config: Optional[MicroBatchConfig] = None,
         start_method: str = "spawn",
         transport: Union[SlabConfig, bool, None] = True,
+        restart_backoff: Optional[RestartBackoffPolicy] = None,
     ) -> None:
         if workers < 1:
             raise ConfigError("a worker pool needs at least 1 worker")
@@ -652,6 +715,13 @@ class WorkerPool:
         self._req_ids = itertools.count()
         self._started = False
         self._crashes = 0
+        self.restart_backoff = restart_backoff
+        self._restart_timers: Dict[int, threading.Timer] = {}
+        self._spawn_times: Dict[int, float] = {}  # wid -> last spawn monotonic
+        self._crash_streaks: Dict[int, int] = {}  # wid -> consecutive fast crashes
+        self._backoff_until: Dict[int, float] = {}  # wid -> respawn monotonic
+        self._poison: Dict[int, Dict[str, int]] = {}  # wid -> key -> loads to poison
+        self._delayed_restarts = 0
         self._retired_served = 0
         self._retired_misses = 0
         self._shm_requests = 0
@@ -698,6 +768,13 @@ class WorkerPool:
                 handles = list(self._handles.values())
                 for handle in handles:
                     handle.stopping = True
+                # pending restart backoffs must never delay shutdown: cancel
+                # the timers; a timer that already fired sees _started False
+                # (or handle.stopping) under the lock and bails
+                for timer in self._restart_timers.values():
+                    timer.cancel()
+                self._restart_timers.clear()
+                self._backoff_until.clear()
             for handle in handles:
                 try:
                     self._send(handle, ("stop",))
@@ -755,6 +832,7 @@ class WorkerPool:
         )
         proc.start()
         child_conn.close()  # parent keeps one end only, so EOF means death
+        self._spawn_times[worker_id] = time.monotonic()
         handle = _WorkerHandle(worker_id, proc, parent_conn, restarts)
         handle.reader = threading.Thread(
             target=self._read_loop,
@@ -1127,6 +1205,26 @@ class WorkerPool:
             handle = self._handle(worker_id)
         self._send(handle, ("sleep", float(seconds)))
 
+    def inject_crash_on_load(self, worker_id: int, name: str, times: int = 1) -> None:
+        """Chaos hook: arm ``times`` restart-replay loads of ``name`` on one
+        worker slot to kill the (re)spawned process mid-decode.
+
+        The live worker is untouched — the poison is spent by
+        :meth:`_replay_loads` when a *replacement* re-decodes the model, so
+        pairing this with :meth:`inject_crash` manufactures a deterministic
+        crash loop: each respawn dies decoding the poisoned image until the
+        arming count runs out, which is exactly the shape a corrupt model
+        build produces in production.  ``times <= 0`` disarms.
+        """
+        with self._lock:
+            if worker_id not in range(self.num_workers):
+                raise RoutingError(f"worker {worker_id} does not exist")
+            slot = self._poison.setdefault(worker_id, {})
+            if times <= 0:
+                slot.pop(name, None)
+            else:
+                slot[name] = int(times)
+
     def inject_lag(self, worker_id: int, name: str, seconds: float) -> None:
         """Chaos hook: stall every burst touching model ``name`` on one worker.
 
@@ -1234,7 +1332,13 @@ class WorkerPool:
 
     def _on_exit(self, handle: _WorkerHandle) -> None:
         """Reader saw EOF: fail in-flight work, reclaim the dead worker's
-        slab leases, and restart the process unless the pool is stopping."""
+        slab leases, and restart the process unless the pool is stopping.
+
+        With a ``restart_backoff`` policy, a worker that keeps dying soon
+        after spawn respawns after a capped exponential delay instead of
+        immediately; its dead handle stays published meanwhile so submits
+        fail fast with :class:`~repro.errors.WorkerCrashed`.
+        """
         with self._lock:
             current = self._handles.get(handle.worker_id)
             if current is not handle:
@@ -1252,19 +1356,70 @@ class WorkerPool:
         if stopping:
             return
         with self._lock:
+            if not self._started or handle.stopping:
+                return  # stop() won the race after the unlocked join
             self._crashes += 1
             self._retire_counters([handle])
-            replacement = self._spawn(handle.worker_id, restarts=handle.restarts + 1)
-            # Replay the worker's model loads into the fresh pipe *before*
-            # publishing the handle: a caller resubmitting right after its
-            # WorkerCrashed cannot race ahead of the re-decode.  Image blobs
-            # are ~KBs, so these sends cannot fill the pipe buffer.
-            for name, blob in self._worker_loads.get(handle.worker_id, {}).items():
-                try:
-                    replacement.conn.send(("load", name, blob))
-                except OSError:
-                    break  # the replacement died instantly; its reader recurses
-            self._handles[handle.worker_id] = replacement
+            wid = handle.worker_id
+            delay = 0.0
+            policy = self.restart_backoff
+            if policy is not None:
+                lifetime = time.monotonic() - self._spawn_times.get(wid, 0.0)
+                if lifetime < policy.stable_after_s:
+                    streak = self._crash_streaks.get(wid, 0) + 1
+                else:
+                    streak = 1  # the previous spawn was stable; start over
+                self._crash_streaks[wid] = streak
+                delay = policy.delay_s(streak)
+            if delay <= 0.0:
+                replacement = self._spawn(wid, restarts=handle.restarts + 1)
+                self._replay_loads(replacement, wid)
+                self._handles[wid] = replacement
+                return
+            # crash loop: hold the slot in backoff.  The dead handle stays
+            # published so submits fail fast (broken pipe -> WorkerCrashed)
+            # and the retry layer steers around it via its breaker.
+            self._delayed_restarts += 1
+            self._backoff_until[wid] = time.monotonic() + delay
+            timer = threading.Timer(delay, self._respawn_after_backoff, args=(handle,))
+            timer.daemon = True
+            self._restart_timers[wid] = timer
+            timer.start()
+
+    def _respawn_after_backoff(self, handle: _WorkerHandle) -> None:
+        """Backoff timer fired: respawn the slot unless the pool stopped."""
+        with self._lock:
+            wid = handle.worker_id
+            self._restart_timers.pop(wid, None)
+            self._backoff_until.pop(wid, None)
+            if not self._started or handle.stopping:
+                return
+            if self._handles.get(wid) is not handle:
+                return  # slot already moved on (stop/start cycle)
+            replacement = self._spawn(wid, restarts=handle.restarts + 1)
+            self._replay_loads(replacement, wid)
+            self._handles[wid] = replacement
+
+    def _replay_loads(self, replacement: _WorkerHandle, worker_id: int) -> None:
+        """Replay a crashed worker's model loads into its replacement's pipe.
+
+        Runs *before* the handle is published: a caller resubmitting right
+        after its WorkerCrashed cannot race ahead of the re-decode.  Image
+        blobs are ~KBs, so these sends cannot fill the pipe buffer.  Armed
+        load poisons (:meth:`inject_crash_on_load`) are spent here, one
+        per replay, so a poisoned model keeps killing replacements until
+        the arming count runs out — the deterministic crash loop the
+        restart-backoff tests are built on.
+        """
+        poisons = self._poison.get(worker_id, {})
+        for name, blob in self._worker_loads.get(worker_id, {}).items():
+            try:
+                if poisons.get(name, 0) > 0:
+                    poisons[name] -= 1
+                    replacement.conn.send(("poison", name))
+                replacement.conn.send(("load", name, blob))
+            except OSError:
+                break  # the replacement died instantly; its reader recurses
 
     # -- introspection ----------------------------------------------------- #
 
@@ -1314,9 +1469,37 @@ class WorkerPool:
                     "in_flight": len(handle.inflight),
                     "served": handle.served,
                     "deadline_misses": handle.deadline_misses,
+                    "backing_off": wid in self._restart_timers,
+                    "crash_streak": self._crash_streaks.get(wid, 0),
                 }
                 for wid, handle in sorted(self._handles.items())
             ]
+
+    def restart_snapshot(self) -> Dict[str, object]:
+        """Restart-backoff state for the telemetry plane.
+
+        ``workers`` maps each slot with a crash streak or a pending delayed
+        respawn to ``{streak, backing_off, resume_in_s}``; ``delayed_restarts``
+        is the lifetime count of respawns the backoff policy held back.
+        """
+        with self._lock:
+            now = time.monotonic()
+            rows: Dict[str, Dict[str, float]] = {}
+            for wid in range(self.num_workers):
+                streak = self._crash_streaks.get(wid, 0)
+                backing_off = wid in self._restart_timers
+                if streak == 0 and not backing_off:
+                    continue
+                rows[str(wid)] = {
+                    "streak": streak,
+                    "backing_off": int(backing_off),
+                    "resume_in_s": max(0.0, self._backoff_until.get(wid, now) - now),
+                }
+            return {
+                "enabled": int(self.restart_backoff is not None),
+                "delayed_restarts": self._delayed_restarts,
+                "workers": rows,
+            }
 
 
 # --------------------------------------------------------------------------- #
@@ -1378,6 +1561,28 @@ class ClusterRouter:
         mirrors the same sources onto the process-default registry, so
         module-level :func:`repro.serving.telemetry.snapshot` sees the
         latest router without holding it alive.
+    retry:
+        :class:`~repro.serving.resilience.RetryPolicy` (default ``None`` =
+        off): retryable failures (:data:`~repro.serving.resilience.RETRYABLE`)
+        are transparently re-dispatched to a *different* replica with
+        seeded exponential backoff, under the policy's global
+        :class:`~repro.serving.resilience.RetryBudget`.  Safe because
+        inference is pure and replicas are bitwise identical.
+    breakers:
+        Per-worker circuit breakers
+        (:class:`~repro.serving.resilience.BreakerPolicy` instance, or
+        ``True`` for defaults; default ``None`` = off): a worker with N
+        consecutive failures is quarantined out of replica choice until a
+        half-open probe succeeds.
+    hedge:
+        :class:`~repro.serving.resilience.HedgePolicy` (default ``None`` =
+        off): a HIGH-priority single request still unresolved after a
+        p99-derived delay is duplicated to another replica; first result
+        wins, the loser is cancelled and never double-counted in stats.
+    restart_backoff:
+        :class:`~repro.serving.resilience.RestartBackoffPolicy` forwarded
+        to a pool built here — crash-looping workers respawn under capped
+        exponential delay instead of hot-looping re-decodes.
     """
 
     def __init__(
@@ -1393,14 +1598,27 @@ class ClusterRouter:
         latency_window: int = DEFAULT_LATENCY_WINDOW,
         trace_sample_rate: float = 0.0,
         telemetry: Optional[MetricsRegistry] = None,
+        retry: Optional[RetryPolicy] = None,
+        breakers: Union[BreakerPolicy, bool, None] = None,
+        hedge: Optional[HedgePolicy] = None,
+        restart_backoff: Optional[RestartBackoffPolicy] = None,
     ) -> None:
         if isinstance(workers, WorkerPool):
             if config is not None:
                 raise ConfigError("pass config only when the router builds its own pool")
+            if restart_backoff is not None:
+                raise ConfigError(
+                    "pass restart_backoff only when the router builds its own pool "
+                    "(a prebuilt WorkerPool takes it directly)"
+                )
             self.pool = workers
         else:
             self.pool = WorkerPool(
-                workers, config=config, start_method=start_method, transport=transport
+                workers,
+                config=config,
+                start_method=start_method,
+                transport=transport,
+                restart_backoff=restart_backoff,
             )
         if capacity_bytes is not None and capacity_bytes < 1:
             raise ConfigError("capacity_bytes must be >= 1 (or None for unbounded)")
@@ -1439,6 +1657,23 @@ class ClusterRouter:
         self._evictions = 0
         #: last merged per-kind kernel breakdown (kernel_profile() refreshes)
         self._kernel_profile: Dict[str, Dict[str, float]] = {}
+        # -- resilience state (all opt-in; None/zeroed when off) ----------- #
+        self.retry_policy = retry
+        self._retry_budget = retry.make_budget() if retry is not None else None
+        self._retry_tokens = itertools.count()
+        if breakers is True:
+            breakers = BreakerPolicy()
+        self.breakers = BreakerBoard(breakers) if isinstance(breakers, BreakerPolicy) else None
+        self.hedge_policy = hedge
+        self._brownout = False
+        self._brownout_sheds = 0
+        self._errors_by_type: Dict[str, int] = {}
+        self._retries_attempted = 0
+        self._retries_succeeded = 0
+        self._retries_exhausted = 0
+        self._retries_budget_denied = 0
+        self._hedges = 0
+        self._hedges_won = 0
         self.telemetry = telemetry if telemetry is not None else MetricsRegistry()
         self.tracer = Tracer(trace_sample_rate, registry=self.telemetry)
         for registry in (self.telemetry, get_registry()):
@@ -1734,6 +1969,7 @@ class ClusterRouter:
         weight: float,
         started: float,
         trace: Optional[Trace],
+        record: bool,
         future: "Future[np.ndarray]",
     ) -> None:
         """Done-callback: free one admission slot and record the latency.
@@ -1749,6 +1985,13 @@ class ClusterRouter:
         arrived (same reader thread, strictly before the future resolved),
         so closing with the ``completion`` span here and handing the trace
         to the tracer observes a fully assembled timeline.
+
+        ``record=False`` marks a hedge leg: its admission slots and replica
+        dispatch are still released/credited (they were really held), but
+        latency, completion and error counters are skipped so a hedged
+        request is never double-counted.  The per-worker circuit breaker
+        observes *every* resolved attempt either way — a hedge leg hitting
+        a dying worker is evidence the breaker must not miss.
         """
         with self._lock:
             self._pending -= 1
@@ -1761,11 +2004,25 @@ class ClusterRouter:
                 self._key_pending.pop(key, None)
             if future.cancelled():
                 return
-            if future.exception() is not None:
-                # per-version error feed for the canary controller: crashes,
-                # deadline misses and routing failures all count against the
-                # version the burst resolved to
-                self._errors_by_key[key] = self._errors_by_key.get(key, 0) + 1
+            exc = future.exception()
+            if self.breakers is not None:
+                if exc is None:
+                    self.breakers.record(worker_id, True)
+                elif isinstance(exc, (WorkerCrashed, TransportError)):
+                    self.breakers.record(worker_id, False)
+            if exc is not None:
+                if record:
+                    # per-version error feed for the canary controller:
+                    # crashes, deadline misses and routing failures all count
+                    # against the version the burst resolved to; the by-type
+                    # rollup counts every failed *attempt* for the
+                    # resilience plane
+                    self._errors_by_key[key] = self._errors_by_key.get(key, 0) + 1
+                    kind = type(exc).__name__
+                    self._errors_by_type[kind] = self._errors_by_type.get(kind, 0) + 1
+                return
+            if not record:  # hedge leg: slots freed above, stats untouched
+                replica_set.record_completion(worker_id)
                 return
             now = time.monotonic()
             if trace is not None:
@@ -2084,6 +2341,17 @@ class ClusterRouter:
         crosses the worker pipe as a single message
         (:meth:`WorkerPool.submit_many`), so large batch shapes cost one
         syscall, not one per request.
+
+        With a router-level :class:`~repro.serving.resilience.RetryPolicy`
+        the returned futures are *retry-wrapped*: a retryable failure
+        (:data:`~repro.serving.resilience.RETRYABLE`) is transparently
+        re-submitted — per request, version-pinned to this burst's resolved
+        version, steered away from every replica that already failed it,
+        after seeded exponential backoff, within the deadline and the
+        global retry budget — and the caller's future only fails once the
+        policy gives up.  With a :class:`~repro.serving.resilience.HedgePolicy`
+        a ``HIGH``-priority *single* request is additionally hedge-wrapped
+        (duplicate dispatch after a p99-derived delay, first result wins).
         """
         if not self.pool.running:
             raise RoutingError("cluster not started; call start() or use a with block")
@@ -2092,9 +2360,59 @@ class ClusterRouter:
             return []
         priority = Priority(priority)
         deadline = None if deadline_s is None else time.monotonic() + deadline_s
+        futures, key, worker_id = self._submit_once(
+            xs, model=model, version=version, priority=priority, deadline=deadline
+        )
+        # version is pinned for re-dispatch: a retry/hedge leg must be
+        # bitwise identical to the first attempt even across a concurrent
+        # activate/canary flip, so it targets the resolved key, not `model`
+        name_, version_ = split_key(key)
+        if self.retry_policy is not None:
+            self._retry_budget.note(len(xs))
+            futures = [
+                self._wrap_retry(
+                    future, x, name=name_, version=version_, priority=priority,
+                    deadline=deadline, worker_id=worker_id,
+                )
+                for future, x in zip(futures, xs)
+            ]
+        if (
+            self.hedge_policy is not None
+            and priority == Priority.HIGH
+            and len(futures) == 1
+        ):
+            futures = [
+                self._wrap_hedge(
+                    futures[0], xs[0], name=name_, version=version_,
+                    deadline=deadline, primary_worker=worker_id,
+                )
+            ]
+        return futures
+
+    def _submit_once(
+        self,
+        xs: List[np.ndarray],
+        *,
+        model: Optional[str],
+        version: Optional[str],
+        priority: Priority,
+        deadline: Optional[float],
+        avoid: frozenset = frozenset(),
+        record: bool = True,
+    ) -> Tuple[List["Future[np.ndarray]"], str, int]:
+        """One admission + placement + dispatch attempt (no retry/hedge).
+
+        The single dispatch primitive every caller-visible path reduces to:
+        first attempts, retry re-dispatches (``avoid`` steers placement off
+        the replicas that already failed the request) and hedge legs
+        (``record=False`` keeps them out of latency/error stats) all pay
+        full admission here — a retry storm is subject to exactly the same
+        watermarks as first-time traffic.  Returns ``(futures, resolved
+        key, dispatched worker id)``; ``deadline`` is absolute monotonic.
+        """
         # sampled tracing: with trace_sample_rate=0 this returns None before
         # touching any state, so the control-frame hot path stays allocation-free
-        trace = self.tracer.maybe_trace()
+        trace = self.tracer.maybe_trace() if record else None
         admit_start = time.monotonic() if trace is not None else 0.0
         with self._lock:
             name = self._resolve(model)
@@ -2114,9 +2432,20 @@ class ClusterRouter:
             # a replicated model admits proportionally more work while other
             # models' watermarks (and HIGH's reserved headroom) still hold
             weight = len(xs) / replicas
-            if not self.policy.admits(priority, self._pending_weight, weight):
+            if not self.policy.admits(
+                priority, self._pending_weight, weight, brownout=self._brownout
+            ):
                 self._shed[priority] += len(xs)
                 self._shed_by_key[key] = self._shed_by_key.get(key, 0) + len(xs)
+                self._errors_by_type["AdmissionError"] = (
+                    self._errors_by_type.get("AdmissionError", 0) + len(xs)
+                )
+                if self._brownout and priority == Priority.LOW:
+                    self._brownout_sheds += len(xs)
+                    raise AdmissionError(
+                        f"brownout active: LOW burst of {len(xs)} shed "
+                        f"(graceful degradation, see resilience.BrownoutController)"
+                    )
                 raise AdmissionError(
                     f"{priority.name} admission limit "
                     f"({self.policy.admit_limit(priority)} of "
@@ -2146,7 +2475,7 @@ class ClusterRouter:
                     raise RoutingError(f"model {key!r} was removed during submit")
                 replica_set = self._place(key)
                 self._placements.touch(key)
-                worker_id = replica_set.pick(self.pool.in_flight)
+                worker_id = self._pick_replica(replica_set, avoid)
                 replica_set.record_dispatch(worker_id, len(xs))
                 # the send happens under the router lock: a concurrent
                 # placement evicting this model cannot slip its `unload`
@@ -2173,7 +2502,7 @@ class ClusterRouter:
             raise
         release = functools.partial(
             self._complete, priority, key, replica_set, worker_id, 1.0 / replicas,
-            started, None,
+            started, None, record,
         )
         if trace is not None:
             # the burst's first request carries the trace; only its
@@ -2181,7 +2510,7 @@ class ClusterRouter:
             futures[0].add_done_callback(
                 functools.partial(
                     self._complete, priority, key, replica_set, worker_id,
-                    1.0 / replicas, started, trace,
+                    1.0 / replicas, started, trace, record,
                 )
             )
             for future in futures[1:]:
@@ -2189,7 +2518,343 @@ class ClusterRouter:
         else:
             for future in futures:
                 future.add_done_callback(release)
-        return futures
+        return futures, key, worker_id
+
+    def _pick_replica(self, replica_set: ReplicaSet, avoid: frozenset) -> int:
+        """Choose the serving replica, steering around quarantined workers.
+
+        Merges the caller's ``avoid`` set (replicas that already failed
+        this request) with every replica whose circuit breaker is open;
+        :meth:`~repro.serving.placement.ReplicaSet.pick` falls back to the
+        plain placement policy when that excludes the whole set, so a
+        fully-broken replica set still receives (probe) traffic rather
+        than deadlocking.  The chosen worker's breaker is told about the
+        dispatch — that consumes its half-open probe slot, so exactly one
+        trial request goes through per reset timeout.
+        """
+        full_avoid = set(avoid)
+        if self.breakers is not None:
+            for wid in replica_set.workers:
+                if wid not in full_avoid and not self.breakers.admits(wid):
+                    full_avoid.add(wid)
+        worker_id = replica_set.pick(self.pool.in_flight, frozenset(full_avoid))
+        if self.breakers is not None:
+            self.breakers.note_dispatch(worker_id)
+        return worker_id
+
+    # -- resilience: retries ------------------------------------------------ #
+
+    def _wrap_retry(
+        self,
+        future: "Future[np.ndarray]",
+        x: np.ndarray,
+        *,
+        name: str,
+        version: str,
+        priority: Priority,
+        deadline: Optional[float],
+        worker_id: int,
+    ) -> "Future[np.ndarray]":
+        """Wrap one dispatched future in the transparent-retry state machine.
+
+        The caller holds the wrapper; each underlying attempt reports into
+        :meth:`_retry_done`, which either settles the wrapper or schedules
+        the next attempt.  ``state["avoid"]`` accumulates every replica
+        that failed this request, so each re-dispatch is steered to a
+        fresh one; ``state["token"]`` seeds this request's deterministic
+        backoff schedule (:meth:`RetryPolicy.backoff_s`).
+        """
+        wrapper: "Future[np.ndarray]" = Future()
+        state = {
+            "attempt": 0,
+            "avoid": {worker_id},
+            "token": next(self._retry_tokens),
+        }
+        future.add_done_callback(
+            functools.partial(
+                self._retry_done, wrapper, state, x, name, version, priority, deadline
+            )
+        )
+        return wrapper
+
+    def _retry_done(
+        self,
+        wrapper: "Future[np.ndarray]",
+        state: dict,
+        x: np.ndarray,
+        name: str,
+        version: str,
+        priority: Priority,
+        deadline: Optional[float],
+        future: "Future[np.ndarray]",
+    ) -> None:
+        """One attempt resolved: settle the wrapper or schedule a retry.
+
+        Gives up (failing the wrapper with the attempt's error) when the
+        error is not retryable, attempts are exhausted, the pool stopped,
+        the backoff would overrun the deadline, or the global retry budget
+        denies the spend — each terminal path leaves the *original*
+        exception on the wrapper, so callers see the same error types with
+        or without a retry policy.
+        """
+        if future.cancelled():
+            wrapper.cancel()
+            return
+        exc = future.exception()
+        if exc is None:
+            if state["attempt"] > 0:
+                with self._lock:
+                    self._retries_succeeded += 1
+            if wrapper.set_running_or_notify_cancel():
+                wrapper.set_result(future.result())
+            return
+        policy = self.retry_policy
+        attempt = state["attempt"] + 1  # 1-based index of the retry to schedule
+        delay = 0.0
+        give_up = not policy.retryable(exc) or not self.pool.running
+        if not give_up and attempt >= policy.max_attempts:
+            give_up = True
+            with self._lock:
+                self._retries_exhausted += 1
+        if not give_up:
+            delay = policy.backoff_s(state["token"], attempt)
+            if deadline is not None and time.monotonic() + delay >= deadline:
+                give_up = True  # the retry could never beat the deadline
+        if not give_up and not self._retry_budget.try_spend(1):
+            give_up = True
+            with self._lock:
+                self._retries_budget_denied += 1
+        if give_up:
+            if wrapper.set_running_or_notify_cancel():
+                wrapper.set_exception(exc)
+            return
+        state["attempt"] = attempt
+        with self._lock:
+            self._retries_attempted += 1
+        timer = threading.Timer(
+            delay,
+            self._retry_fire,
+            args=(wrapper, state, x, name, version, priority, deadline, exc),
+        )
+        timer.daemon = True
+        timer.start()
+
+    def _retry_fire(
+        self,
+        wrapper: "Future[np.ndarray]",
+        state: dict,
+        x: np.ndarray,
+        name: str,
+        version: str,
+        priority: Priority,
+        deadline: Optional[float],
+        prior_exc: BaseException,
+    ) -> None:
+        """Backoff elapsed: re-dispatch the request to a fresh replica.
+
+        The re-submit pays full admission again (a retry storm is shed
+        exactly like first-time traffic); if admission, routing or the
+        pool reject it, the wrapper fails with that error chained onto the
+        attempt's original failure.
+        """
+        if wrapper.cancelled():
+            return
+        try:
+            futures, _, worker_id = self._submit_once(
+                [x], model=name, version=version, priority=priority,
+                deadline=deadline, avoid=frozenset(state["avoid"]),
+            )
+        except BaseException as exc:  # admission/routing/pool rejection
+            exc.__cause__ = prior_exc
+            if wrapper.set_running_or_notify_cancel():
+                wrapper.set_exception(exc)
+            return
+        state["avoid"].add(worker_id)
+        futures[0].add_done_callback(
+            functools.partial(
+                self._retry_done, wrapper, state, x, name, version, priority, deadline
+            )
+        )
+
+    # -- resilience: hedging ------------------------------------------------ #
+
+    def _high_p99_s(self) -> float:
+        """Observed p99 completion latency of the HIGH class, in seconds
+        (``nan`` before the first completion — the hedge policy falls back
+        to its fixed ``delay_s``)."""
+        with self._lock:
+            window = tuple(self._latency_by_class[Priority.HIGH])
+        if not window:
+            return float("nan")
+        return float(np.percentile(np.asarray(window, dtype=np.float64), 99))
+
+    def _wrap_hedge(
+        self,
+        primary: "Future[np.ndarray]",
+        x: np.ndarray,
+        *,
+        name: str,
+        version: str,
+        deadline: Optional[float],
+        primary_worker: int,
+    ) -> "Future[np.ndarray]":
+        """Wrap a HIGH single dispatch in a first-result-wins hedge.
+
+        A timer armed at the policy's p99-derived delay launches a
+        duplicate dispatch (``record=False``, steered off the primary's
+        replica) if the primary has not resolved by then; whichever leg
+        succeeds first settles the outer future and cancels the loser.
+        Hedging is strictly best-effort: a hedge leg that cannot even be
+        dispatched (admission, routing) is dropped silently and the
+        request rides on its remaining leg(s).
+        """
+        outer: "Future[np.ndarray]" = Future()
+        state = {
+            "lock": threading.Lock(),
+            "done": False,
+            "pending": 1,  # legs that could still deliver a result
+            "primary": primary,
+            "primary_worker": primary_worker,
+            "hedge": None,
+            "timer": None,
+            "last_exc": None,
+        }
+        delay = self.hedge_policy.effective_delay_s(self._high_p99_s())
+        timer = threading.Timer(
+            delay, self._hedge_fire, args=(outer, state, x, name, version, deadline)
+        )
+        timer.daemon = True
+        state["timer"] = timer
+        primary.add_done_callback(
+            functools.partial(self._hedge_settle, outer, state, False)
+        )
+        timer.start()
+        return outer
+
+    def _hedge_fire(
+        self,
+        outer: "Future[np.ndarray]",
+        state: dict,
+        x: np.ndarray,
+        name: str,
+        version: str,
+        deadline: Optional[float],
+    ) -> None:
+        """Hedge delay elapsed with the primary unresolved: launch the leg."""
+        with state["lock"]:
+            if state["done"] or outer.cancelled() or state["primary"].done():
+                return
+            # claim the slot before dispatching: a primary failure arriving
+            # mid-dispatch must wait for this leg instead of failing outer
+            state["pending"] += 1
+        try:
+            futures, _, _ = self._submit_once(
+                [x], model=name, version=version, priority=Priority.HIGH,
+                deadline=deadline, avoid=frozenset({state["primary_worker"]}),
+                record=False,
+            )
+        except BaseException:
+            settle = False
+            with state["lock"]:
+                state["pending"] -= 1
+                if state["pending"] == 0 and not state["done"]:
+                    state["done"] = True  # primary already failed; nothing left
+                    settle = True
+            if settle and outer.set_running_or_notify_cancel():
+                outer.set_exception(state["last_exc"])
+            return
+        hedge = futures[0]
+        with self._lock:
+            self._hedges += 1
+        cancel_now = False
+        with state["lock"]:
+            if state["done"]:
+                cancel_now = True  # the primary won while we dispatched
+            else:
+                state["hedge"] = hedge
+        if cancel_now:
+            hedge.cancel()
+            return
+        hedge.add_done_callback(
+            functools.partial(self._hedge_settle, outer, state, True)
+        )
+
+    def _hedge_settle(
+        self,
+        outer: "Future[np.ndarray]",
+        state: dict,
+        is_hedge: bool,
+        future: "Future[np.ndarray]",
+    ) -> None:
+        """One hedge leg resolved: first success wins, last failure loses."""
+        if future.cancelled():
+            return  # the loser leg, cancelled by the winner below
+        exc = future.exception()
+        loser = None
+        with state["lock"]:
+            if state["done"]:
+                return
+            if exc is not None:
+                state["last_exc"] = exc
+                state["pending"] -= 1
+                if state["pending"] > 0:
+                    return  # the other leg may still win
+                # no dispatched leg left, and no hedge can still launch:
+                # _hedge_fire claims its pending slot under this same lock
+                # before dispatching, and bails once `done` is set below
+            state["done"] = True
+            timer = state["timer"]
+            loser = state["hedge"] if not is_hedge else state["primary"]
+        if timer is not None:
+            timer.cancel()
+        if exc is not None:
+            if outer.set_running_or_notify_cancel():
+                outer.set_exception(exc)
+            return
+        if loser is not None and loser is not future:
+            loser.cancel()  # best-effort; a resolved loser is simply dropped
+        if is_hedge:
+            with self._lock:
+                self._hedges_won += 1
+        if outer.set_running_or_notify_cancel():
+            outer.set_result(future.result())
+
+    # -- resilience: brownout ----------------------------------------------- #
+
+    def set_brownout(self, active: bool) -> None:
+        """Engage or lift brownout mode: while active, every LOW request is
+        shed at admission (counted in ``resilience.brownout_sheds``) and
+        NORMAL/HIGH admission is unchanged.  Driven by a
+        :class:`~repro.serving.resilience.BrownoutController`, but callable
+        directly for manual degradation."""
+        with self._lock:
+            self._brownout = bool(active)
+
+    @property
+    def brownout_active(self) -> bool:
+        """True while LOW traffic is being shed for graceful degradation."""
+        with self._lock:
+            return self._brownout
+
+    def _resilience_stats(self) -> ResilienceStats:
+        """Roll the retry/hedge/breaker/brownout state into one snapshot."""
+        with self._lock:
+            stats = ResilienceStats(
+                retries_attempted=self._retries_attempted,
+                retries_succeeded=self._retries_succeeded,
+                retries_exhausted=self._retries_exhausted,
+                retries_budget_denied=self._retries_budget_denied,
+                hedges=self._hedges,
+                hedges_won=self._hedges_won,
+                brownout_active=self._brownout,
+                brownout_sheds=self._brownout_sheds,
+                retry_budget=(
+                    self._retry_budget.snapshot() if self._retry_budget is not None else {}
+                ),
+                breakers=self.breakers.snapshot() if self.breakers is not None else {},
+                restart_backoffs=self.pool.restart_snapshot(),
+            )
+        return stats
 
     def predict(
         self,
@@ -2349,6 +3014,7 @@ class ClusterRouter:
             kernel_profile = {
                 kind: dict(row) for kind, row in self._kernel_profile.items()
             }
+            errors_by_type = dict(self._errors_by_type)
         workers = tuple(
             WorkerStats(
                 worker_id=row["worker_id"],
@@ -2359,6 +3025,8 @@ class ClusterRouter:
                 deadline_misses=row["deadline_misses"],
                 resident_bytes=per_worker_bytes.get(row["worker_id"], 0),
                 models=tuple(sorted(per_worker_models.get(row["worker_id"], []))),
+                backing_off=row["backing_off"],
+                crash_streak=row["crash_streak"],
             )
             for row in self.pool.worker_snapshot()
         )
@@ -2383,6 +3051,8 @@ class ClusterRouter:
             scale_events=scale_events,
             canary_state=canary_state,
             kernel_profile=kernel_profile,
+            errors_by_type=errors_by_type,
+            resilience=self._resilience_stats(),
         )
 
     def stats(self) -> ClusterStats:

@@ -26,7 +26,11 @@ control surface:
 * :class:`ControlLoop` runs both as one background daemon thread
   (``ControlLoop(router, interval_s=...)``), with a deterministic
   :meth:`ControlLoop.step` so tests and benchmarks can drive the exact
-  same decision code without timing races.
+  same decision code without timing races.  It optionally also steps a
+  :class:`~repro.serving.resilience.BrownoutController`
+  (``ControlLoop(router, brownout=BrownoutPolicy(...))``), closing the
+  graceful-degradation loop: sustained p99/error breaches read from the
+  same telemetry tree shed LOW traffic until the cluster recovers.
 
 Both controllers read their load/latency/error signals from the router's
 **telemetry snapshot** (``router.telemetry.snapshot()["cluster"]`` — the
@@ -54,6 +58,7 @@ from typing import Dict, List, Mapping, Optional, Tuple, Union
 from repro.errors import ConfigError, RoutingError
 from repro.serving.catalog import make_key, split_key
 from repro.serving.cluster import ClusterRouter, ScaleEvent
+from repro.serving.resilience import BrownoutController, BrownoutPolicy, BrownoutStatus
 from repro.serving.telemetry import get_registry
 
 
@@ -500,12 +505,16 @@ class ControlStats:
     ``scale_events`` every event this loop's autoscaler applied, and
     ``canaries`` the latest :class:`CanaryStatus` per watched model —
     terminal verdicts persist after the controller is pruned.
+    ``brownout`` is the watched
+    :class:`~repro.serving.resilience.BrownoutController`'s latest status
+    (``None`` when the loop has no brownout controller).
     """
 
     steps: int
     errors: int
     scale_events: Tuple[ScaleEvent, ...]
     canaries: Mapping[str, CanaryStatus] = field(default_factory=dict)
+    brownout: Optional[BrownoutStatus] = None
 
 
 class ControlLoop:
@@ -513,10 +522,15 @@ class ControlLoop:
 
     ``autoscaler`` accepts an :class:`Autoscaler`, an
     :class:`AutoscalePolicy` (wrapped over ``router``), or ``None`` for
-    the default policy.  :meth:`step` runs one deterministic round —
-    exactly what the background thread does every ``interval_s`` — so
-    tests drive the loop without waiting on wall clocks.  Exceptions in
-    background rounds are contained and counted (``snapshot().errors``):
+    the default policy.  ``brownout`` accepts a
+    :class:`~repro.serving.resilience.BrownoutController`, a
+    :class:`~repro.serving.resilience.BrownoutPolicy` (wrapped over
+    ``router``), or ``None`` (default) for no brownout watching; when set,
+    every round also steps the controller, which sheds LOW traffic during
+    sustained p99/error breaches.  :meth:`step` runs one deterministic
+    round — exactly what the background thread does every ``interval_s``
+    — so tests drive the loop without waiting on wall clocks.  Exceptions
+    in background rounds are contained and counted (``snapshot().errors``):
     a control-plane bug degrades to "no scaling" rather than an unhandled
     thread death.
     """
@@ -527,6 +541,7 @@ class ControlLoop:
         *,
         interval_s: float = 0.25,
         autoscaler: Union[Autoscaler, AutoscalePolicy, None] = None,
+        brownout: Union[BrownoutController, BrownoutPolicy, None] = None,
     ) -> None:
         if interval_s <= 0:
             raise ConfigError("interval_s must be > 0")
@@ -535,6 +550,9 @@ class ControlLoop:
         if isinstance(autoscaler, AutoscalePolicy):
             autoscaler = Autoscaler(router, autoscaler)
         self.autoscaler = autoscaler or Autoscaler(router)
+        if isinstance(brownout, BrownoutPolicy):
+            brownout = BrownoutController(router, brownout)
+        self.brownout = brownout
         self._lock = threading.RLock()
         self._canaries: Dict[str, CanaryController] = {}
         self._verdicts: Dict[str, CanaryStatus] = {}
@@ -551,7 +569,7 @@ class ControlLoop:
     def _telemetry_tree(self) -> Dict[str, object]:
         """This loop's :class:`ControlStats` as a plain metrics subtree."""
         stats = self.snapshot()
-        return {
+        tree: Dict[str, object] = {
             "steps": stats.steps,
             "errors": stats.errors,
             "scale_events": [asdict(event) for event in stats.scale_events],
@@ -559,6 +577,9 @@ class ControlLoop:
                 name: asdict(status) for name, status in stats.canaries.items()
             },
         }
+        if stats.brownout is not None:
+            tree["brownout"] = asdict(stats.brownout)
+        return tree
 
     def watch(self, controller: CanaryController) -> None:
         """Adopt a canary: subsequent steps drive it to a verdict.
@@ -576,7 +597,8 @@ class ControlLoop:
             self._canaries[controller.name] = controller
 
     def step(self) -> List[ScaleEvent]:
-        """One control round: scale every key, advance every canary."""
+        """One control round: scale every key, advance every canary, and
+        (when watched) re-evaluate the brownout controller."""
         with self._lock:
             events = self.autoscaler.step()
             self._events.extend(events)
@@ -585,6 +607,8 @@ class ControlLoop:
                 self._verdicts[name] = status
                 if status.done:
                     del self._canaries[name]
+            if self.brownout is not None:
+                self.brownout.step()
             self._steps += 1
             return events
 
@@ -596,6 +620,9 @@ class ControlLoop:
                 errors=self._errors,
                 scale_events=tuple(self._events),
                 canaries=dict(self._verdicts),
+                brownout=(
+                    self.brownout.snapshot() if self.brownout is not None else None
+                ),
             )
 
     # -- background thread --------------------------------------------------- #

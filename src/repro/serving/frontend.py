@@ -52,6 +52,7 @@ from repro.serving.batching import BatchingEngine, EngineStats, MicroBatchConfig
 from repro.serving.cluster import ClusterRouter, ClusterStats
 from repro.serving.placement import DeployManager, DeployReport
 from repro.serving.priority import Priority
+from repro.serving.resilience import ResilienceStats
 from repro.serving.telemetry import MetricsRegistry, TelemetryServer
 
 #: sentinel distinguishing "deadline_s not passed" (use the frontend default)
@@ -161,6 +162,20 @@ class AsyncServingFrontend:
             return self.cluster.pending
         with self._lock:
             return self._pending
+
+    def resilience(self) -> "ResilienceStats":
+        """The cluster's retry/hedge/breaker/brownout rollup
+        (:class:`~repro.serving.resilience.ResilienceStats`) — the
+        frontend-level view of how much fault masking the resilience layer
+        is doing underneath ``await predict(...)``.  Cluster-backed only:
+        a single-engine frontend has no replicas to retry against.
+        """
+        if self.cluster is None:
+            raise ConfigError(
+                "resilience stats require a cluster-backed frontend "
+                "(AsyncServingFrontend(ClusterRouter(...)))"
+            )
+        return self.cluster.snapshot().resilience
 
     # -- admission -------------------------------------------------------- #
 

@@ -184,6 +184,7 @@ def replay(
     realtime: bool = False,
     pump_every: int = 8,
     timeout_s: float = 300.0,
+    chaos=None,
 ) -> ReplayReport:
     """Replay an arrival schedule through the session manager.
 
@@ -192,6 +193,13 @@ def replay(
     each arrival's ``at_s`` with wall-clock sleeps.  ``pump_every`` bounds
     how many sessions open between pump/collect cycles so ready windows
     keep flowing into cross-session bursts instead of accumulating.
+
+    ``chaos`` accepts a :class:`~repro.serving.chaos.ChaosHarness`: its
+    plan is ticked once per opened session — fault injections land at
+    deterministic points in the arrival schedule, making a chaos run as
+    replayable as a clean one — and quiesced (lags cleared, held slab
+    leases released) before the drain, so the no-leak transport invariant
+    still holds at the end of a faulted replay.
     """
     if pump_every < 1:
         raise ConfigError("pump_every must be >= 1")
@@ -202,9 +210,13 @@ def replay(
             if delay > 0:
                 time.sleep(delay)
         manager.open(arrival.waveform, session_id=f"load-{arrival.index}")
+        if chaos is not None:
+            chaos.tick()
         if opened % pump_every == 0:
             manager.pump()
             manager.collect(wait=False)
+    if chaos is not None:
+        chaos.quiesce()
     stats = manager.drain(timeout_s=timeout_s)
     wall = time.monotonic() - start
     p50, p99 = _percentiles_ms(manager.latencies_s())

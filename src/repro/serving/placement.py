@@ -53,7 +53,7 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+from typing import AbstractSet, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import ConfigError, DeployError
 
@@ -109,8 +109,29 @@ class ReplicaSet:
         """Number of replicas in the set."""
         return len(self.workers)
 
-    def pick(self, load: LoadFn) -> int:
-        """Choose the replica for one request burst (delegates to the policy)."""
+    def pick(self, load: LoadFn, avoid: AbstractSet[int] = frozenset()) -> int:
+        """Choose the replica for one request burst (delegates to the policy).
+
+        ``avoid`` excludes workers from the choice — the resilience layer
+        passes the replica a retried request just failed on plus any
+        breaker-open workers, steering the re-dispatch to a *different*
+        (bitwise-identical) replica.  Exclusion filters rather than
+        delegates: the eligible workers are ranked least-loaded (ties by
+        fewest dispatches from this set, then id), the same rule every
+        built-in policy uses for restricted choices.  When exclusion would
+        empty the set — every replica failed or is quarantined — the plain
+        policy pick runs instead: a fully-broken set still receives probe
+        traffic rather than failing fast forever.
+        """
+        if avoid:
+            eligible = [wid for wid in self.workers if wid not in avoid]
+            if len(eligible) == 1:
+                return eligible[0]
+            if eligible:
+                return min(
+                    eligible,
+                    key=lambda wid: (load(wid), self.dispatched(wid), wid),
+                )
         return self.policy.pick(self, load)
 
     def add_replica(self, worker_id: int) -> None:

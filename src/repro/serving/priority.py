@@ -95,7 +95,14 @@ class PriorityPolicy:
         )
         return max(1, int(budget * fraction))
 
-    def admits(self, priority: Priority, pending: float, n: float = 1) -> bool:
+    def admits(
+        self,
+        priority: Priority,
+        pending: float,
+        n: float = 1,
+        *,
+        brownout: bool = False,
+    ) -> bool:
         """True when ``n`` requests of ``priority`` may be admitted at
         ``pending`` unresolved requests.
 
@@ -107,5 +114,15 @@ class PriorityPolicy:
         Burst admission is all-or-nothing: the whole burst fits under the
         class watermark or none of it is admitted (``n=1`` reproduces the
         single-request rule exactly).
+
+        ``brownout=True`` sheds every ``LOW`` request regardless of
+        occupancy — the graceful-degradation mode a
+        :class:`~repro.serving.resilience.BrownoutController` engages when
+        it reads a sustained p99 / error-rate breach from telemetry.
+        ``NORMAL`` and ``HIGH`` admission is unchanged: brownout trades
+        background work for interactive headroom, it never tightens the
+        classes it is protecting.
         """
+        if brownout and priority == Priority.LOW:
+            return False
         return pending + n <= self.admit_limit(priority)

@@ -1,0 +1,659 @@
+"""Resilience policies: retries, circuit breakers, hedging, brownout.
+
+The cluster (PR 4-8) detects faults — pipe-EOF crash detection, slab-lease
+reclamation, transparent restart — but until now every detected fault
+surfaced to the caller: a :class:`~repro.errors.WorkerCrashed` failed the
+request even though bitwise-identical replicas were sitting idle, and a
+worker with a poisoned model image re-decoded it in a hot restart loop.
+This module is the *policy* layer that turns detected faults into retries,
+quarantines and graceful degradation:
+
+* :class:`RetryPolicy` — bounded attempts with exponential backoff and
+  deterministic seeded jitter, guarded by a :class:`RetryBudget` that caps
+  the retried fraction of traffic (a crash storm must not amplify itself
+  into a retry storm).  Applied inside
+  :meth:`~repro.serving.cluster.ClusterRouter.submit_many` for retryable
+  failures (:class:`~repro.errors.WorkerCrashed`,
+  :class:`~repro.errors.TransportError`); the re-dispatch is steered to a
+  *different* replica — safe because replicas are bitwise identical (the
+  deterministic bit-plane execution the paper stack is built on).
+* :class:`CircuitBreaker` / :class:`BreakerBoard` — per-worker
+  closed → open → half-open state machines that quarantine flapping
+  workers out of replica choice until a probe succeeds.
+* :class:`RestartBackoffPolicy` — capped exponential delay between a
+  worker's crash and its respawn, so a crash-looping worker stops burning
+  re-decode CPU (the pool applies it in its crash path).
+* :class:`HedgePolicy` — optional tail-latency hedging for HIGH-priority
+  single requests: a duplicate dispatch to another replica after a
+  p99-derived delay, first result wins, the loser is cancelled and never
+  double-counted in router stats.
+* :class:`BrownoutController` — auto-sheds LOW traffic while a sustained
+  p99 / error-rate breach is read from the telemetry snapshot, and lifts
+  the brownout after sustained recovery.
+
+Every knob is deterministic given its seed and inputs: backoff schedules
+are reproducible (property-tested), breakers take an injectable clock, and
+the brownout controller is a pure function of the telemetry tree it reads
+— the same replayability discipline as :mod:`repro.serving.chaos`.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import ConfigError, TransportError, WorkerCrashed
+from repro.utils.rng import new_rng
+
+__all__ = [
+    "RetryPolicy",
+    "RetryBudget",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "BreakerBoard",
+    "RestartBackoffPolicy",
+    "HedgePolicy",
+    "BrownoutPolicy",
+    "BrownoutController",
+    "BrownoutStatus",
+    "ResilienceStats",
+]
+
+#: exception types a retry may safely re-dispatch: the request never
+#: produced observable side effects (inference is pure and the worker died
+#: or the transport failed before a result was recorded)
+RETRYABLE = (WorkerCrashed, TransportError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter.
+
+    ``max_attempts`` counts the first dispatch: ``3`` means up to two
+    retries.  Retry *i* (1-based) waits
+    ``min(base_backoff_s * multiplier**(i-1), max_backoff_s)`` scaled by a
+    jitter factor drawn uniformly from ``[1-jitter, 1+jitter]``.  The
+    jitter stream is seeded per ``(seed, token, attempt)`` — the router
+    assigns each request a token — so a fixed seed reproduces the exact
+    backoff schedule across runs (property-tested), while distinct
+    requests still de-synchronise their retries.
+
+    ``budget_fraction``/``budget_burst`` parameterise the
+    :class:`RetryBudget` the router builds from this policy: retries are
+    globally capped at ``fraction`` of first-attempt traffic plus a fixed
+    ``burst`` allowance, so a correlated failure cannot double the offered
+    load.  A budget-denied retry fails with the original error.
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 0.01
+    multiplier: float = 2.0
+    max_backoff_s: float = 1.0
+    jitter: float = 0.1
+    seed: int = 0
+    budget_fraction: float = 0.2
+    budget_burst: int = 32
+
+    def __post_init__(self) -> None:
+        """Validate attempt bounds, backoff shape and budget parameters."""
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+        if self.base_backoff_s < 0:
+            raise ConfigError("base_backoff_s must be >= 0")
+        if self.multiplier < 1.0:
+            raise ConfigError("multiplier must be >= 1")
+        if self.max_backoff_s < self.base_backoff_s:
+            raise ConfigError("max_backoff_s must be >= base_backoff_s")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigError("jitter must be in [0, 1)")
+        if self.seed < 0:
+            raise ConfigError("seed must be >= 0 (it feeds a SeedSequence)")
+        if self.budget_fraction < 0:
+            raise ConfigError("budget_fraction must be >= 0")
+        if self.budget_burst < 0:
+            raise ConfigError("budget_burst must be >= 0")
+
+    @staticmethod
+    def retryable(exc: BaseException) -> bool:
+        """True for failures a re-dispatch can heal (crash / transport)."""
+        return isinstance(exc, RETRYABLE)
+
+    def backoff_s(self, token: int, attempt: int) -> float:
+        """Delay before retry ``attempt`` (1-based) of request ``token``.
+
+        Deterministic: the jitter factor comes from a fresh RNG seeded
+        with ``[seed, token, attempt]``, so the schedule depends only on
+        those three integers, never on call order or wall clock.
+        """
+        if attempt < 1:
+            raise ConfigError("attempt is 1-based: the first retry is attempt 1")
+        raw = min(
+            self.base_backoff_s * self.multiplier ** (attempt - 1),
+            self.max_backoff_s,
+        )
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        factor = float(
+            new_rng([self.seed, int(token), int(attempt)]).uniform(
+                1.0 - self.jitter, 1.0 + self.jitter
+            )
+        )
+        return raw * factor
+
+    def schedule(self, token: int) -> Tuple[float, ...]:
+        """The full backoff schedule for one request token (len = retries)."""
+        return tuple(
+            self.backoff_s(token, attempt)
+            for attempt in range(1, self.max_attempts)
+        )
+
+    def make_budget(self) -> "RetryBudget":
+        """The global budget instance the router guards retries with."""
+        return RetryBudget(self.budget_fraction, self.budget_burst)
+
+
+class RetryBudget:
+    """Global cap on retried traffic: ``fraction`` of requests plus ``burst``.
+
+    ``note(n)`` records first-attempt traffic; ``try_spend(n)`` admits a
+    retry only while lifetime retries stay within
+    ``fraction * requests + burst``.  Thread-safe; counters are monotonic
+    so the invariant is easy to audit from a snapshot.
+    """
+
+    def __init__(self, fraction: float = 0.2, burst: int = 32) -> None:
+        if fraction < 0:
+            raise ConfigError("fraction must be >= 0")
+        if burst < 0:
+            raise ConfigError("burst must be >= 0")
+        self.fraction = float(fraction)
+        self.burst = int(burst)
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._retries = 0
+        self._denied = 0
+
+    def note(self, n: int = 1) -> None:
+        """Record ``n`` first-attempt requests (they grow the budget)."""
+        with self._lock:
+            self._requests += n
+
+    def try_spend(self, n: int = 1) -> bool:
+        """Reserve budget for ``n`` retries; False (and counted) when spent."""
+        with self._lock:
+            if self._retries + n <= self.fraction * self._requests + self.burst:
+                self._retries += n
+                return True
+            self._denied += n
+            return False
+
+    def snapshot(self) -> Dict[str, float]:
+        """Budget counters for the telemetry tree."""
+        with self._lock:
+            return {
+                "fraction": self.fraction,
+                "burst": self.burst,
+                "requests": self._requests,
+                "retries": self._retries,
+                "denied": self._denied,
+            }
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Thresholds for one :class:`CircuitBreaker`.
+
+    ``failure_threshold`` consecutive failures open the breaker;
+    ``reset_timeout_s`` later it admits a single half-open probe whose
+    outcome closes it again (success) or re-opens it for another timeout
+    (failure).
+    """
+
+    failure_threshold: int = 5
+    reset_timeout_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        """Validate the failure threshold and probe timeout."""
+        if self.failure_threshold < 1:
+            raise ConfigError("failure_threshold must be >= 1")
+        if self.reset_timeout_s <= 0:
+            raise ConfigError("reset_timeout_s must be > 0")
+
+
+class CircuitBreaker:
+    """Closed → open → half-open failure quarantine for one worker.
+
+    ``closed``: all traffic admitted, consecutive failures counted.
+    ``open``: no traffic; after ``reset_timeout_s`` the next
+    :meth:`admits` check reports half-open.  ``half_open``: exactly one
+    probe dispatch is admitted (:meth:`note_dispatch` consumes it); its
+    recorded outcome closes or re-opens the breaker.  The clock is
+    injectable so the full state walk is testable without sleeping.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[BreakerPolicy] = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy or BreakerPolicy()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0  # consecutive, while closed
+        self._opened_at: Optional[float] = None
+        self._probing = False  # a half-open probe is in flight
+        self._opens = 0
+
+    def _state_locked(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if self._probing:
+            return "half_open"
+        if self._clock() - self._opened_at >= self.policy.reset_timeout_s:
+            return "half_open"
+        return "open"
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half_open"`` (time-dependent)."""
+        with self._lock:
+            return self._state_locked()
+
+    def admits(self) -> bool:
+        """True when a dispatch to this worker is currently allowed.
+
+        Non-consuming: callers may probe several breakers while choosing a
+        replica; only the chosen worker's :meth:`note_dispatch` consumes
+        the half-open probe slot.
+        """
+        with self._lock:
+            state = self._state_locked()
+            if state == "closed":
+                return True
+            if state == "half_open":
+                return not self._probing
+            return False
+
+    def note_dispatch(self) -> None:
+        """Record that a dispatch was actually sent to this worker.
+
+        In half-open state this consumes the single probe slot so the
+        breaker admits no further traffic until the probe's outcome is
+        recorded.
+        """
+        with self._lock:
+            if self._opened_at is not None and self._state_locked() == "half_open":
+                self._probing = True
+
+    def record_success(self) -> None:
+        """A request on this worker resolved: close (and reset) the breaker."""
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self) -> None:
+        """A request on this worker failed: count it, maybe (re-)open."""
+        with self._lock:
+            if self._opened_at is not None:
+                # open or probing half-open: any failure re-arms the timeout
+                self._opened_at = self._clock()
+                self._probing = False
+                return
+            self._failures += 1
+            if self._failures >= self.policy.failure_threshold:
+                self._opened_at = self._clock()
+                self._probing = False
+                self._opens += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """State + counters for the telemetry tree (``open`` is 0/1-able)."""
+        with self._lock:
+            state = self._state_locked()
+            return {
+                "state": state,
+                "open": int(state != "closed"),
+                "consecutive_failures": self._failures,
+                "opens": self._opens,
+            }
+
+
+class BreakerBoard:
+    """One :class:`CircuitBreaker` per worker id, created lazily.
+
+    The router consults the board when choosing a replica (open breakers
+    are excluded from the candidate set, degrading to the plain pick when
+    *every* replica is quarantined — a fully-broken set still gets its
+    probe traffic rather than failing fast forever) and feeds it every
+    completion outcome.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[BreakerPolicy] = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy or BreakerPolicy()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: Dict[int, CircuitBreaker] = {}
+
+    def for_worker(self, worker_id: int) -> CircuitBreaker:
+        """The breaker guarding one worker (created on first use)."""
+        with self._lock:
+            breaker = self._breakers.get(worker_id)
+            if breaker is None:
+                breaker = CircuitBreaker(self.policy, clock=self._clock)
+                self._breakers[worker_id] = breaker
+            return breaker
+
+    def admits(self, worker_id: int) -> bool:
+        """True when the worker's breaker currently admits traffic."""
+        with self._lock:
+            breaker = self._breakers.get(worker_id)
+        return breaker is None or breaker.admits()
+
+    def note_dispatch(self, worker_id: int) -> None:
+        """Consume the half-open probe slot of the chosen worker, if any."""
+        with self._lock:
+            breaker = self._breakers.get(worker_id)
+        if breaker is not None:
+            breaker.note_dispatch()
+
+    def record(self, worker_id: int, ok: bool) -> None:
+        """Feed one completion outcome into the worker's breaker."""
+        breaker = self.for_worker(worker_id)
+        if ok:
+            breaker.record_success()
+        else:
+            breaker.record_failure()
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Per-worker breaker state for the telemetry tree."""
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {str(wid): breaker.snapshot() for wid, breaker in sorted(breakers.items())}
+
+
+@dataclass(frozen=True)
+class RestartBackoffPolicy:
+    """Capped exponential delay between a worker crash and its respawn.
+
+    A crash after a life shorter than ``stable_after_s`` extends the
+    worker's *crash streak*; a longer life resets it.  The first
+    ``free_restarts`` crashes of a streak respawn immediately (a lone
+    crash should recover at full speed), after which the delay grows
+    ``base_s * multiplier**k`` capped at ``max_s`` — so a worker whose
+    model image crashes every decode settles into one re-decode per
+    ``max_s`` instead of a hot loop.  :meth:`WorkerPool.stop
+    <repro.serving.cluster.WorkerPool.stop>` cancels any pending delay;
+    shutdown is never held hostage by a backoff timer.
+    """
+
+    base_s: float = 0.05
+    multiplier: float = 2.0
+    max_s: float = 2.0
+    stable_after_s: float = 5.0
+    free_restarts: int = 1
+
+    def __post_init__(self) -> None:
+        """Validate delay shape and streak parameters."""
+        if self.base_s < 0:
+            raise ConfigError("base_s must be >= 0")
+        if self.multiplier < 1.0:
+            raise ConfigError("multiplier must be >= 1")
+        if self.max_s < self.base_s:
+            raise ConfigError("max_s must be >= base_s")
+        if self.stable_after_s < 0:
+            raise ConfigError("stable_after_s must be >= 0")
+        if self.free_restarts < 0:
+            raise ConfigError("free_restarts must be >= 0")
+
+    def delay_s(self, streak: int) -> float:
+        """Respawn delay for the ``streak``-th consecutive short life (1-based)."""
+        if streak <= self.free_restarts:
+            return 0.0
+        exponent = streak - self.free_restarts - 1
+        return min(self.base_s * self.multiplier**exponent, self.max_s)
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """Tail-latency hedging for HIGH-priority single requests.
+
+    If the primary dispatch has not resolved after the hedge delay, a
+    duplicate is dispatched to a *different* replica; the first result
+    wins and the loser is cancelled.  The delay tracks the HIGH class's
+    live p99 (``p99_factor`` × p99, clamped to
+    ``[min_delay_s, max_delay_s]``), falling back to ``delay_s`` before
+    any completions exist.  Only single-request HIGH submits hedge —
+    hedging is a tail-latency tool for interactive traffic, and
+    duplicating whole bursts would double worst-case load for no p99 win.
+    Replicas are bitwise identical, so whichever dispatch wins returns the
+    same bytes; the duplicate's stats are not double-counted by the
+    router.
+    """
+
+    delay_s: float = 0.05
+    p99_factor: float = 1.0
+    min_delay_s: float = 0.002
+    max_delay_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        """Validate the delay bounds and p99 factor."""
+        if self.delay_s <= 0:
+            raise ConfigError("delay_s must be > 0")
+        if self.p99_factor <= 0:
+            raise ConfigError("p99_factor must be > 0")
+        if not 0 < self.min_delay_s <= self.max_delay_s:
+            raise ConfigError("need 0 < min_delay_s <= max_delay_s")
+
+    def effective_delay_s(self, p99_s: float) -> float:
+        """The hedge delay given the HIGH class's live p99 (NaN = no data)."""
+        if math.isnan(p99_s):
+            return min(max(self.delay_s, self.min_delay_s), self.max_delay_s)
+        return min(max(p99_s * self.p99_factor, self.min_delay_s), self.max_delay_s)
+
+
+@dataclass(frozen=True)
+class BrownoutPolicy:
+    """When to shed LOW traffic preemptively, and when to recover.
+
+    A step *breaches* when the watched priority class's p99 exceeds
+    ``max_p99_ms`` or the step-over-step error rate exceeds
+    ``max_error_rate`` (``None`` disables a condition).  After
+    ``breach_steps`` consecutive breaching steps the brownout engages —
+    the router sheds every LOW request at admission — and after
+    ``recover_steps`` consecutive healthy steps it lifts.  Both
+    thresholds are in *steps* so the controller stays deterministic under
+    test-driven stepping.
+    """
+
+    max_p99_ms: Optional[float] = None
+    max_error_rate: Optional[float] = 0.5
+    watch: str = "HIGH"
+    breach_steps: int = 3
+    recover_steps: int = 5
+
+    def __post_init__(self) -> None:
+        """Validate thresholds and step counts."""
+        if self.max_p99_ms is not None and self.max_p99_ms <= 0:
+            raise ConfigError("max_p99_ms must be > 0 (or None to disable)")
+        if self.max_error_rate is not None and not 0 < self.max_error_rate <= 1:
+            raise ConfigError("max_error_rate must be in (0, 1] (or None)")
+        if self.max_p99_ms is None and self.max_error_rate is None:
+            raise ConfigError("a brownout needs at least one breach condition")
+        if self.breach_steps < 1:
+            raise ConfigError("breach_steps must be >= 1")
+        if self.recover_steps < 1:
+            raise ConfigError("recover_steps must be >= 1")
+
+
+@dataclass(frozen=True)
+class BrownoutStatus:
+    """One :meth:`BrownoutController.step` outcome (telemetry row)."""
+
+    active: bool
+    breach_streak: int
+    recover_streak: int
+    engaged_total: int
+    last_p99_ms: float
+    last_error_rate: float
+    reason: Optional[str] = None
+
+
+class BrownoutController:
+    """Auto-shed LOW under sustained overload, read from telemetry.
+
+    Each :meth:`step` reads the router's ``cluster`` telemetry namespace —
+    the same tree operators export, so decisions replay from a snapshot —
+    computes the watched class's p99 and the error rate over the counters
+    since the previous step, and walks the breach/recover streaks of its
+    :class:`BrownoutPolicy`.  Engaging calls
+    :meth:`ClusterRouter.set_brownout
+    <repro.serving.cluster.ClusterRouter.set_brownout>`, which sheds LOW
+    at admission (counted separately from watermark sheds); recovery
+    lifts it.  Deterministic given the sequence of snapshots: the
+    :class:`~repro.serving.control.ControlLoop` drives it on its timer,
+    tests call :meth:`step` directly.
+    """
+
+    def __init__(self, router, policy: Optional[BrownoutPolicy] = None) -> None:
+        self.router = router
+        self.policy = policy or BrownoutPolicy()
+        self._breach_streak = 0
+        self._recover_streak = 0
+        self._engaged = 0
+        self._last_served: Optional[int] = None
+        self._last_errors: Optional[int] = None
+        self._last = BrownoutStatus(
+            active=False,
+            breach_streak=0,
+            recover_streak=0,
+            engaged_total=0,
+            last_p99_ms=float("nan"),
+            last_error_rate=0.0,
+        )
+
+    def _signals(self, tree) -> Tuple[float, float]:
+        """(watched p99_ms, error rate since last step) from the tree."""
+        latency = tree.get("latency_by_priority", {})
+        row = latency.get(self.policy.watch, {}) if isinstance(latency, dict) else {}
+        p99 = float(row.get("p99_ms", float("nan"))) if isinstance(row, dict) else float("nan")
+        served = int(tree.get("served", 0))
+        errors_by_type = tree.get("errors_by_type", {})
+        errors = (
+            sum(int(n) for n in errors_by_type.values())
+            if isinstance(errors_by_type, dict)
+            else 0
+        )
+        if self._last_served is None:
+            delta_served, delta_errors = served, errors
+        else:
+            delta_served = max(0, served - self._last_served)
+            delta_errors = max(0, errors - self._last_errors)
+        self._last_served, self._last_errors = served, errors
+        total = delta_served + delta_errors
+        rate = delta_errors / total if total else 0.0
+        return p99, rate
+
+    def step(self) -> BrownoutStatus:
+        """One deterministic decision round; returns the new status."""
+        policy = self.policy
+        tree = self.router.telemetry.snapshot().get("cluster", {})
+        if not isinstance(tree, dict):
+            tree = {}
+        p99, error_rate = self._signals(tree)
+        reasons = []
+        if (
+            policy.max_p99_ms is not None
+            and not math.isnan(p99)
+            and p99 > policy.max_p99_ms
+        ):
+            reasons.append(f"{policy.watch} p99 {p99:.1f} ms > {policy.max_p99_ms} ms")
+        if policy.max_error_rate is not None and error_rate > policy.max_error_rate:
+            reasons.append(
+                f"error rate {error_rate:.3f} > {policy.max_error_rate:.3f}"
+            )
+        active = self.router.brownout_active
+        if reasons:
+            self._breach_streak += 1
+            self._recover_streak = 0
+            if not active and self._breach_streak >= policy.breach_steps:
+                self.router.set_brownout(True)
+                self._engaged += 1
+                active = True
+        else:
+            self._recover_streak += 1
+            self._breach_streak = 0
+            if active and self._recover_streak >= policy.recover_steps:
+                self.router.set_brownout(False)
+                active = False
+        self._last = BrownoutStatus(
+            active=active,
+            breach_streak=self._breach_streak,
+            recover_streak=self._recover_streak,
+            engaged_total=self._engaged,
+            last_p99_ms=p99,
+            last_error_rate=error_rate,
+            reason="; ".join(reasons) if reasons else None,
+        )
+        return self._last
+
+    def snapshot(self) -> BrownoutStatus:
+        """The most recent step's status (initial status before any step)."""
+        return self._last
+
+
+@dataclass(frozen=True)
+class ResilienceStats:
+    """Router-level resilience counters (one consistent snapshot).
+
+    ``retries_*`` track the retry pipeline end to end: ``attempted``
+    re-dispatches launched, ``succeeded`` wrapped requests that resolved
+    on a retry attempt, ``exhausted`` requests that failed after their
+    last attempt, ``budget_denied`` retries refused by the global
+    :class:`RetryBudget`.  ``hedges``/``hedges_won`` count duplicate
+    HIGH-priority dispatches and how many beat their primary.
+    ``brownout_sheds`` counts LOW requests shed *by the brownout*
+    specifically (watermark sheds are counted in ``shed_by_priority``).
+    """
+
+    retries_attempted: int = 0
+    retries_succeeded: int = 0
+    retries_exhausted: int = 0
+    retries_budget_denied: int = 0
+    hedges: int = 0
+    hedges_won: int = 0
+    brownout_active: bool = False
+    brownout_sheds: int = 0
+    retry_budget: Dict[str, float] = field(default_factory=dict)
+    breakers: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    restart_backoffs: Dict[str, object] = field(default_factory=dict)
+
+    def as_tree(self) -> Dict[str, object]:
+        """Plain-dict mirror for the telemetry plane (JSON/Prometheus safe)."""
+
+        def copy_tree(node):
+            if isinstance(node, dict):
+                return {key: copy_tree(value) for key, value in node.items()}
+            return node
+
+        return {
+            "retries_attempted": self.retries_attempted,
+            "retries_succeeded": self.retries_succeeded,
+            "retries_exhausted": self.retries_exhausted,
+            "retries_budget_denied": self.retries_budget_denied,
+            "hedges": self.hedges,
+            "hedges_won": self.hedges_won,
+            "brownout_active": int(self.brownout_active),
+            "brownout_sheds": self.brownout_sheds,
+            "retry_budget": dict(self.retry_budget),
+            "breakers": {wid: dict(row) for wid, row in self.breakers.items()},
+            "restart_backoffs": copy_tree(self.restart_backoffs),
+        }

@@ -22,6 +22,15 @@ This module gives them one roof:
 * :class:`KernelProfile` — opt-in per-layer-kind timing of the packed
   kernels' gather passes, installed with :func:`profile_kernels`.
 
+The ``cluster`` namespace carries the resilience plane's state along
+with the serving counters: ``cluster.errors_by_type`` (failed attempts
+by exception class) and the ``cluster.resilience`` subtree
+(retry/hedge counters, retry-budget occupancy, per-worker circuit
+breaker state, restart-backoff holds — see
+:meth:`repro.serving.resilience.ResilienceStats.as_tree`).  String
+leaves like a breaker's ``state`` name are snapshot/JSONL-only; the
+Prometheus exporter ships the numeric ``open`` 0/1 gauge next to them.
+
 Nothing in here imports the rest of :mod:`repro.serving`, so every
 serving module can depend on it without cycles.
 """

@@ -1,0 +1,334 @@
+"""Chaos harness: seeded fault plans, replayable injections, clean teardown.
+
+The plan/harness mechanics (validation, determinism, expiry, quiesce) run
+against fake routers so two runs are byte-comparable without process
+spawns; one live-cluster scenario then proves the injections really land
+and that a faulted run still satisfies the transport no-leak invariant.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.hybrid import HybridConfig, STHybridNet
+from repro.core.strassen import freeze_all
+from repro.deploy import build_image
+from repro.errors import ChaosError, ConfigError, RoutingError
+from repro.serving import (
+    ChaosHarness,
+    ClusterRouter,
+    CrashFault,
+    FaultPlan,
+    LagFault,
+    RetryPolicy,
+    ScriptStep,
+    SlabSqueeze,
+    WorkerScript,
+)
+from repro.serving.loadgen import build_arrivals, replay
+from repro.serving.streams import ManagerStats
+
+
+def frozen_image(width: int = 8, rng: int = 0):
+    """A small frozen ST-Hybrid image."""
+    model = STHybridNet(HybridConfig(width=width), rng=rng)
+    freeze_all(model)
+    model.eval()
+    return build_image(model)
+
+
+# --------------------------------------------------------------------------- #
+# fakes: a router the harness can inject into without spawning processes
+# --------------------------------------------------------------------------- #
+
+
+class _FakeSlabPool:
+    """A bounded ring of slab ids with the acquire/release the harness uses."""
+
+    def __init__(self, slabs: int = 4) -> None:
+        self.free = list(range(slabs))
+        self.released = []
+
+    def try_acquire(self):
+        return self.free.pop(0) if self.free else None
+
+    def release(self, slab_id: int) -> None:
+        self.free.append(slab_id)
+        self.released.append(slab_id)
+
+
+class _FakePool:
+    def __init__(self, workers: int = 4, slab_pool=None) -> None:
+        self._workers = list(range(workers))
+        self._slab_pool = slab_pool
+        self.crashed = []
+        self.slept = []
+        self.dead = set()
+
+    def worker_ids(self):
+        return list(self._workers)
+
+    def inject_crash(self, worker_id: int, code: int = 13) -> None:
+        if worker_id in self.dead:
+            raise RoutingError(f"worker {worker_id} is down")
+        self.crashed.append(worker_id)
+
+    def inject_sleep(self, worker_id: int, seconds: float) -> None:
+        self.slept.append((worker_id, seconds))
+
+
+class _FakeRouter:
+    def __init__(self, workers: int = 4, slab_pool=None) -> None:
+        self.pool = _FakePool(workers, slab_pool)
+        self.lags = []
+
+    def inject_version_lag(self, model, version, seconds) -> None:
+        self.lags.append((model, version, seconds))
+
+
+# --------------------------------------------------------------------------- #
+# plan validation + determinism
+# --------------------------------------------------------------------------- #
+
+
+class TestFaultValidation:
+    def test_crash_fault(self):
+        with pytest.raises(ConfigError):
+            CrashFault(every_n=0)
+        with pytest.raises(ConfigError):
+            CrashFault(every_n=1, limit=-1)
+        with pytest.raises(ConfigError):
+            CrashFault(every_n=1, start=-1)
+        with pytest.raises(ConfigError):
+            CrashFault(every_n=1, workers=())
+
+    def test_lag_fault(self):
+        with pytest.raises(ConfigError):
+            LagFault(at=0, seconds=0.1, duration=1)
+        with pytest.raises(ConfigError):
+            LagFault(at=1, seconds=0.0, duration=1)
+        with pytest.raises(ConfigError):
+            LagFault(at=1, seconds=0.1, duration=0)
+
+    def test_slab_squeeze(self):
+        with pytest.raises(ConfigError):
+            SlabSqueeze(at=0, slabs=1, duration=1)
+        with pytest.raises(ConfigError):
+            SlabSqueeze(at=1, slabs=0, duration=1)
+        with pytest.raises(ConfigError):
+            SlabSqueeze(at=1, slabs=1, duration=0)
+
+    def test_script_step(self):
+        with pytest.raises(ConfigError):
+            ScriptStep(at=0, action="crash")
+        with pytest.raises(ConfigError):
+            ScriptStep(at=1, action="reboot")
+        with pytest.raises(ConfigError):
+            ScriptStep(at=1, action="sleep", seconds=0.0)
+        with pytest.raises(ConfigError):
+            ScriptStep(at=1, action="lag", seconds=-1.0)
+        with pytest.raises(ConfigError):
+            WorkerScript(worker_id=-1)
+
+    def test_plan_coerces_sequences_to_tuples(self):
+        plan = FaultPlan(crashes=[CrashFault(every_n=3)], lags=[])
+        assert isinstance(plan.crashes, tuple) and isinstance(plan.lags, tuple)
+
+
+def _demo_plan(seed: int = 11) -> FaultPlan:
+    return FaultPlan(
+        seed=seed,
+        crashes=(CrashFault(every_n=2, limit=3),),
+        lags=(LagFault(at=3, seconds=0.05, duration=2, model="m"),),
+        scripts=(
+            WorkerScript(
+                worker_id=1,
+                steps=(ScriptStep(at=5, action="sleep", seconds=0.01),),
+            ),
+        ),
+    )
+
+
+class TestHarnessMechanics:
+    def test_same_plan_same_seed_same_ticks_replays_identically(self):
+        runs = []
+        for _ in range(2):
+            router = _FakeRouter(workers=4)
+            harness = ChaosHarness(router, _demo_plan())
+            harness.tick(10)
+            runs.append((harness.events, harness.counters, router.pool.crashed))
+        assert runs[0] == runs[1]
+        events, counters, crashed = runs[0]
+        assert counters["crashes"] == 3  # limit honoured
+        assert counters["lags_set"] == 1 and counters["lags_cleared"] == 1
+        assert counters["sleeps"] == 1
+        assert len(crashed) == 3
+
+    def test_different_seed_may_pick_different_victims_but_same_shape(self):
+        def run(seed):
+            router = _FakeRouter(workers=4)
+            harness = ChaosHarness(router, _demo_plan(seed))
+            harness.tick(10)
+            return harness
+
+        a, b = run(1), run(2)
+        assert a.counters == b.counters  # the *schedule* is seed-independent
+        assert [kind for _, kind, _ in a.events] == [k for _, k, _ in b.events]
+
+    def test_restricted_victim_set(self):
+        router = _FakeRouter(workers=4)
+        plan = FaultPlan(crashes=(CrashFault(every_n=1, workers=(2,), limit=5),))
+        ChaosHarness(router, plan).tick(5)
+        assert router.pool.crashed == [2] * 5
+
+    def test_lag_window_expires_on_schedule(self):
+        router = _FakeRouter()
+        harness = ChaosHarness(
+            router, FaultPlan(lags=(LagFault(at=2, seconds=0.5, duration=3, model="m"),))
+        )
+        harness.tick(4)
+        assert router.lags == [("m", None, 0.5)]  # set at tick 2, still live
+        harness.tick(1)  # tick 5 = at + duration: cleared
+        assert router.lags[-1] == ("m", None, 0.0)
+        assert any(kind == "lag_expired" for _, kind, _ in harness.events)
+
+    def test_squeeze_holds_then_releases_and_quiesce_returns_everything(self):
+        slab_pool = _FakeSlabPool(slabs=4)
+        router = _FakeRouter(slab_pool=slab_pool)
+        harness = ChaosHarness(
+            router,
+            FaultPlan(
+                squeezes=(
+                    SlabSqueeze(at=1, slabs=2, duration=5),
+                    SlabSqueeze(at=2, slabs=10, duration=1),  # drains the rest
+                )
+            ),
+        )
+        harness.tick(1)
+        assert len(slab_pool.free) == 2
+        harness.tick(1)  # second squeeze takes whatever is left (2 of 10)
+        assert len(slab_pool.free) == 0
+        harness.tick(1)  # tick 3: the second squeeze's window expired
+        assert len(slab_pool.free) == 2
+        harness.quiesce()
+        assert len(slab_pool.free) == 4  # nothing leaked
+        assert harness.counters["slabs_held"] == harness.counters["slabs_released"]
+
+    def test_squeeze_without_shm_is_skipped_not_raised(self):
+        router = _FakeRouter(slab_pool=None)
+        harness = ChaosHarness(router, FaultPlan(squeezes=(SlabSqueeze(at=1, slabs=1, duration=1),)))
+        harness.tick(1)
+        assert harness.counters["skipped"] == 1
+
+    def test_crash_on_dead_worker_is_skipped_not_raised(self):
+        router = _FakeRouter(workers=2)
+        router.pool.dead.add(0)
+        plan = FaultPlan(crashes=(CrashFault(every_n=1, workers=(0,), limit=1),))
+        harness = ChaosHarness(router, plan)
+        harness.tick(1)
+        assert harness.counters["skipped"] == 1 and harness.counters["crashes"] == 0
+        assert any(kind == "crash_skipped" for _, kind, _ in harness.events)
+
+    def test_tick_and_quiesce_contracts(self):
+        harness = ChaosHarness(_FakeRouter(), FaultPlan())
+        with pytest.raises(ConfigError):
+            harness.tick(-1)
+        harness.tick(3)
+        assert harness.tick_count == 3
+        assert harness.snapshot()["tick"] == 3
+        harness.quiesce()
+        harness.quiesce()  # idempotent
+        with pytest.raises(ChaosError):
+            harness.tick()
+
+    def test_context_manager_quiesces(self):
+        router = _FakeRouter()
+        with ChaosHarness(router, FaultPlan()) as harness:
+            harness.tick(2)
+        with pytest.raises(ChaosError):
+            harness.tick()
+
+
+# --------------------------------------------------------------------------- #
+# loadgen.replay drives the harness once per opened session
+# --------------------------------------------------------------------------- #
+
+
+class _FakeManager:
+    """The slice of StreamSessionManager that loadgen.replay touches."""
+
+    def __init__(self) -> None:
+        self.calls = []
+        self.sessions = []
+
+    def open(self, waveform, session_id=None):
+        self.calls.append(("open", session_id))
+
+    def pump(self):
+        self.calls.append(("pump",))
+
+    def collect(self, wait=False, timeout_s=300.0):
+        self.calls.append(("collect",))
+
+    def drain(self, timeout_s=300.0):
+        self.calls.append(("drain",))
+        return ManagerStats(sessions=len([c for c in self.calls if c[0] == "open"]))
+
+    def latencies_s(self):
+        return []
+
+    def queue_s(self):
+        return []
+
+
+class TestReplayIntegration:
+    def test_replay_ticks_per_session_and_quiesces_before_drain(self):
+        arrivals = build_arrivals(5, arrivals_per_s=1000.0, pool_size=2, seed=3)
+        manager = _FakeManager()
+        harness = ChaosHarness(_FakeRouter(), _demo_plan())
+        replay(manager, arrivals, chaos=harness)
+        assert harness.tick_count == 5
+        with pytest.raises(ChaosError):  # quiesced by replay, before the drain
+            harness.tick()
+        assert manager.calls[-1] == ("drain",)
+
+
+# --------------------------------------------------------------------------- #
+# one live scenario: faults land, retries mask them, nothing leaks
+# --------------------------------------------------------------------------- #
+
+
+class TestLiveChaos:
+    def test_faulted_run_is_bitwise_clean_and_leak_free(self):
+        image = frozen_image()
+        router = ClusterRouter(
+            2,
+            retry=RetryPolicy(max_attempts=4, base_backoff_s=0.1, jitter=0.0),
+        )
+        with router:
+            router.register("m", image)
+            rng = np.random.default_rng(5)
+            x = rng.standard_normal((49, 10)).astype(np.float32)
+            ref = router.predict(x, model="m")
+            plan = FaultPlan(
+                seed=2,
+                crashes=(CrashFault(every_n=5, limit=1),),
+                lags=(LagFault(at=2, seconds=0.05, duration=3),),
+            )
+            with ChaosHarness(router, plan) as harness:
+                results = []
+                for _ in range(10):
+                    futures = router.submit_many([x, x], model="m")
+                    harness.tick()
+                    results.extend(f.result(timeout=30) for f in futures)
+            assert all(np.array_equal(ref, out) for out in results)
+            assert harness.counters["crashes"] == 1
+            assert harness.counters["lags_set"] == 1
+            # crash recovery happened under traffic
+            assert any(kind == "crash" for _, kind, _ in harness.events)
+            transport = router.pool.transport_snapshot()
+        # after stop, the no-leak invariant: every slab lease returned
+        assert transport.get("leased", 0) == 0
