@@ -8,6 +8,9 @@ gather breakdown (via :func:`repro.serving.telemetry.profile_kernels`).
 
 from __future__ import annotations
 
+import os
+import time
+
 import numpy as np
 import pytest
 
@@ -20,8 +23,21 @@ from repro.core.strassen import freeze_all
 from repro.core.strassen.layers import StrassenLinear
 from repro.datasets.synthesizer import keyword_spec, synthesize
 from repro.deploy import build_image
+from repro.deploy.packing import pack_ternary
 from repro.nn.linear import Linear
-from repro.serving import PackedModel, profile_kernels
+from repro.serving import (
+    PackedModel,
+    available_backends,
+    decode_planes,
+    get_backend,
+    profile_kernels,
+    ternary_matmul,
+)
+
+#: fused backend must beat the reference by this factor on linear+pw kinds
+FUSED_SPEEDUP_FLOOR = 1.3
+#: the speedup gate needs quiet parallel hardware, like the cluster benches
+MIN_GATE_CPUS = 4
 
 RNG = np.random.default_rng(0)
 
@@ -38,6 +54,7 @@ record_metrics(
             "conv2d_backward",
             "linear_kinds",
             "packed_profile",
+            "backend_speedups",
         ],
         "batch": 32,
     },
@@ -121,9 +138,14 @@ def test_packed_kernel_gather_breakdown():
     np.testing.assert_array_equal(got, want)
     breakdown = profile.snapshot()
     assert {"conv", "dw", "pw", "linear"} <= set(breakdown)
+    backend_name = packed.kernel_backend.name
     for kind, row in breakdown.items():
         assert row["layers"] > 0 and row["gather_calls"] > 0, kind
         assert 0.0 <= row["gather_s"] <= row["layer_s"], kind
+        # every gather pass is attributed to the backend that ran it
+        per_backend = row["backends"]
+        assert backend_name in per_backend, (kind, per_backend)
+        assert sum(b["gather_calls"] for b in per_backend.values()) == row["gather_calls"]
     record_metrics(
         "kernels",
         packed_profile={
@@ -137,6 +159,87 @@ def test_packed_kernel_gather_breakdown():
             for kind, row in breakdown.items()
         },
     )
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def _ternary_values(rng, rows: int, cols: int, density: float) -> np.ndarray:
+    """Random {-1, 0, +1} matrix with the requested nonzero density."""
+    mask = rng.random((rows, cols)) < density
+    signs = rng.choice(np.array([-1, 1], dtype=np.int8), size=(rows, cols))
+    return (mask * signs).astype(np.int8)
+
+
+def _best_seconds(fn, repeats: int = 5, inner: int = 4) -> float:
+    """Best-of-``repeats`` mean over ``inner`` calls (noise-resistant)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, (time.perf_counter() - start) / inner)
+    return best
+
+
+#: per-kind plane geometries shaped like the packed model's hot layers:
+#: (batch rows M, activation cols C, transform rows R, nonzero density).
+#: ``linear`` is the tree layers' 64-feature -> r=12 transform at serving
+#: batch; ``pw`` is a pointwise conv over its N*OH*OW patch rows; ``dw``
+#: is the block-diagonal depthwise gather (9-tap rows in a C*K space).
+BACKEND_CASES = {
+    "linear": (256, 64, 12, 0.9),
+    "pw": (4000, 64, 64, 0.9),
+    "dw": (2000, 576, 64, 9 / 576),
+}
+
+
+def test_backend_speedups():
+    """Every registered backend: bitwise identity plus timed speedup.
+
+    Identity against :func:`ternary_matmul` is asserted unconditionally on
+    every kind; the fused-backend speedup floor on the linear and pw kinds
+    only gates on >= ``MIN_GATE_CPUS`` machines (like the cluster benches)
+    — below that the timings are still recorded, just not enforced.
+    """
+    rng = np.random.default_rng(7)
+    results: dict = {}
+    for kind, (m, cols, rows, density) in BACKEND_CASES.items():
+        blob, shape = pack_ternary(_ternary_values(rng, rows, cols, density))
+        planes = decode_planes(blob, shape)
+        x = rng.standard_normal((m, cols)).astype(np.float32)
+        want = ternary_matmul(x, planes)
+        ref_s = _best_seconds(lambda: ternary_matmul(x, planes))
+        for name in sorted(available_backends()):
+            backend = get_backend(name)
+            prepared = backend.prepare(planes)
+            got = backend.matmul(x, prepared)
+            np.testing.assert_array_equal(got, want, err_msg=f"{name}/{kind}")
+            best = _best_seconds(lambda: backend.matmul(x, prepared))
+            results.setdefault(name, {})[kind] = {
+                "ms": best * 1e3,
+                "speedup_vs_reference": ref_s / best,
+            }
+    cpus = available_cpus()
+    enforced = cpus >= MIN_GATE_CPUS
+    record_metrics(
+        "kernels",
+        backends=results,
+        backend_gate={
+            "floor": FUSED_SPEEDUP_FLOOR,
+            "kinds": ["linear", "pw"],
+            "cpus": cpus,
+            "enforced": enforced,
+        },
+    )
+    if enforced:
+        for kind in ("linear", "pw"):
+            speedup = results["fused"][kind]["speedup_vs_reference"]
+            assert speedup >= FUSED_SPEEDUP_FLOOR, (kind, speedup)
 
 
 @pytest.mark.parametrize("layer_kind", ["dense", "strassen"])

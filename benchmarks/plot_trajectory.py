@@ -109,18 +109,23 @@ def render_table(header: List[str], rows: List[List[str]]) -> List[str]:
     return lines
 
 
-def load_rows(found: List[Tuple[str, Path]]) -> List[Tuple[str, str, str, object]]:
-    """``(bench, source, recorded, flat-or-error)`` per artifact file.
+def load_rows(
+    found: List[Tuple[str, Path]]
+) -> List[Tuple[str, str, str, object, object]]:
+    """``(bench, source, recorded, flat-or-error, raw)`` per artifact file.
 
     ``flat`` is the flattened metric dict, or an error string when the
-    file is unreadable — callers render both without dying.
+    file is unreadable — callers render both without dying.  ``raw`` is
+    the unflattened payload (``None`` when unreadable) for sections that
+    need deeper nesting than the depth-2 flatten keeps, like the
+    per-backend kernel speedups.
     """
-    rows: List[Tuple[str, str, str, object]] = []
+    rows: List[Tuple[str, str, str, object, object]] = []
     for source, path in found:
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError) as exc:
-            rows.append((path.name, source, "?", f"unreadable: {exc}"))
+            rows.append((path.name, source, "?", f"unreadable: {exc}", None))
             continue
         bench = str(payload.get("bench", path.stem.removeprefix("BENCH_")))
         recorded = payload.get("unix_time")
@@ -132,8 +137,33 @@ def load_rows(found: List[Tuple[str, Path]]) -> List[Tuple[str, str, str, object
         flat = flatten(
             {k: v for k, v in payload.items() if k not in ("bench", "schema", "unix_time")}
         )
-        rows.append((bench, source, when, flat))
+        rows.append((bench, source, when, flat, payload))
     return rows
+
+
+def backend_section(backends: Dict[str, dict]) -> List[str]:
+    """Per-backend kernel speedup table (one column per layer kind).
+
+    ``backends`` is the ``bench_kernels`` sweep payload: backend name →
+    layer kind → ``{"ms", "speedup_vs_reference"}``.  The flatten step
+    collapses it to an entry count, so the trajectory report renders it
+    here as its own table.
+    """
+    kinds = sorted({kind for per_kind in backends.values() for kind in per_kind})
+    header = ["backend"] + [f"{kind} speedup" for kind in kinds]
+    rows = []
+    for name in sorted(backends):
+        row = [name]
+        for kind in kinds:
+            cell = backends[name].get(kind)
+            if isinstance(cell, dict) and "speedup_vs_reference" in cell:
+                row.append(f"{cell['speedup_vs_reference']:.2f}x")
+            else:
+                row.append("–")
+        rows.append(row)
+    lines = ["", "### Kernel backend speedups (vs reference)", ""]
+    lines.extend(render_table(header, rows))
+    return lines
 
 
 def history_section(history_found: List[Tuple[str, Path]]) -> List[str]:
@@ -146,7 +176,9 @@ def history_section(history_found: List[Tuple[str, Path]]) -> List[str]:
         )
         return lines
     rows = []
-    for bench, run, when, flat in sorted(load_rows(history_found), key=lambda r: (r[0], r[2], r[1])):
+    for bench, run, when, flat, _ in sorted(
+        load_rows(history_found), key=lambda r: (r[0], r[2], r[1])
+    ):
         summary = flat if isinstance(flat, str) else headline(flat)
         rows.append([bench, run, when, summary])
     lines.extend(render_table(["bench", "run", "recorded (UTC)", "headline"], rows))
@@ -170,21 +202,24 @@ def build_markdown(
         lines.extend(history_section(list(history_found)))
         return "\n".join(lines) + "\n"
     summary_rows = []
-    details: List[Tuple[str, str, Dict[str, object]]] = []
-    for bench, source, when, flat in load_rows(found):
+    details: List[Tuple[str, str, Dict[str, object], object]] = []
+    for bench, source, when, flat, raw in load_rows(found):
         if isinstance(flat, str):  # unreadable artifact: surface, don't die
             summary_rows.append([bench, source, when, flat])
             continue
         summary_rows.append([bench, source, when, headline(flat)])
-        details.append((bench, source, flat))
+        details.append((bench, source, flat, raw))
     lines.extend(render_table(["bench", "source", "recorded (UTC)", "headline"], summary_rows))
-    for bench, source, flat in details:
+    for bench, source, flat, raw in details:
         lines.extend(["", f"## {bench} ({source})", ""])
         lines.extend(
             render_table(
                 ["metric", "value"], [[key, str(flat[key])] for key in sorted(flat)]
             )
         )
+        backends = raw.get("backends") if isinstance(raw, dict) else None
+        if isinstance(backends, dict) and backends:
+            lines.extend(backend_section(backends))
     lines.extend(history_section(list(history_found)))
     return "\n".join(lines) + "\n"
 

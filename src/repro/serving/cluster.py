@@ -108,6 +108,7 @@ from repro.serving.catalog import (
     split_key,
 )
 from repro.serving.kernels import get_kernel_profile, set_kernel_profile
+from repro.serving.kernels_fast import KernelBackend, resolve_backend
 from repro.serving.packed import PackedModel
 from repro.serving.placement import (
     PlacementPolicy,
@@ -250,6 +251,7 @@ def _worker_main(
     config: MicroBatchConfig,
     shm_spec: Optional[Tuple[str, SlabConfig]] = None,
     worker_id: int = 0,
+    kernel: Optional[str] = None,
 ) -> None:
     """Entry point of one worker process.
 
@@ -268,6 +270,12 @@ def _worker_main(
     carries the replica id the router resolved, and a frame addressed to a
     different replica is rejected per request instead of silently served by
     the wrong plan copy.
+
+    ``kernel`` is the execution-backend name every model loaded into this
+    worker runs on (:mod:`repro.serving.kernels_fast`).  The parent pool
+    resolves it once and ships the *name* in the spawn args, so all
+    replicas of a cluster execute the same kernels regardless of the
+    workers' own environment.
     """
     models: Dict[str, PackedModel] = {}
     engines: Dict[str, BatchingEngine] = {}
@@ -293,7 +301,7 @@ def _worker_main(
                 # deterministic crash loops for the restart-backoff tests
                 os._exit(13)
             try:
-                model = PackedModel(ModelImage.from_bytes(blob), cache=True)
+                model = PackedModel(ModelImage.from_bytes(blob), cache=True, kernel=kernel)
             except Exception as exc:
                 conn.send(("load_error", name, f"{type(exc).__name__}: {exc}"))
                 return False
@@ -685,6 +693,14 @@ class WorkerPool:
     steers to another replica) rather than queueing against a corpse.
     The first crash (``free_restarts``) always respawns immediately —
     one-off crashes keep today's instant-restart behaviour.
+
+    ``kernel`` pins the execution backend every worker decodes and runs
+    models on (:mod:`repro.serving.kernels_fast`).  It is resolved to a
+    registered backend *name* eagerly — in the parent, at construction —
+    and that name rides the worker-init spawn args, so all replicas (and
+    every crash-restart replacement) execute identical kernels even if
+    the worker processes inherit a different ``$REPRO_KERNEL_BACKEND``.
+    ``None`` resolves the parent's process default.
     """
 
     def __init__(
@@ -695,11 +711,15 @@ class WorkerPool:
         start_method: str = "spawn",
         transport: Union[SlabConfig, bool, None] = True,
         restart_backoff: Optional[RestartBackoffPolicy] = None,
+        kernel: Union[str, "KernelBackend", None] = None,
     ) -> None:
         if workers < 1:
             raise ConfigError("a worker pool needs at least 1 worker")
         self.num_workers = workers
         self.config = config or MicroBatchConfig()
+        # resolved to a plain name now: validates the choice in the parent
+        # and keeps the spawn args picklable for the spawn start method
+        self.kernel = resolve_backend(kernel).name
         if transport is True:
             self._transport_config: Optional[SlabConfig] = SlabConfig()
         elif transport is False or transport is None:
@@ -826,7 +846,7 @@ class WorkerPool:
         )
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(child_conn, self.config, shm_spec, worker_id),
+            args=(child_conn, self.config, shm_spec, worker_id, self.kernel),
             name=f"cluster-worker-{worker_id}",
             daemon=True,
         )
@@ -1583,6 +1603,14 @@ class ClusterRouter:
         :class:`~repro.serving.resilience.RestartBackoffPolicy` forwarded
         to a pool built here — crash-looping workers respawn under capped
         exponential delay instead of hot-looping re-decodes.
+    kernel:
+        Execution backend every worker decodes and serves models on — a
+        :mod:`repro.serving.kernels_fast` registry name, a
+        :class:`~repro.serving.kernels_fast.KernelBackend` instance, or
+        ``None`` for the process default.  Resolved eagerly to a backend
+        *name* and forwarded to the pool built here, so the whole cluster
+        is homogeneous: every replica (including crash-restart
+        replacements) runs bitwise-identical kernels.
     """
 
     def __init__(
@@ -1602,6 +1630,7 @@ class ClusterRouter:
         breakers: Union[BreakerPolicy, bool, None] = None,
         hedge: Optional[HedgePolicy] = None,
         restart_backoff: Optional[RestartBackoffPolicy] = None,
+        kernel: Union[str, KernelBackend, None] = None,
     ) -> None:
         if isinstance(workers, WorkerPool):
             if config is not None:
@@ -1609,6 +1638,11 @@ class ClusterRouter:
             if restart_backoff is not None:
                 raise ConfigError(
                     "pass restart_backoff only when the router builds its own pool "
+                    "(a prebuilt WorkerPool takes it directly)"
+                )
+            if kernel is not None:
+                raise ConfigError(
+                    "pass kernel only when the router builds its own pool "
                     "(a prebuilt WorkerPool takes it directly)"
                 )
             self.pool = workers
@@ -1619,7 +1653,10 @@ class ClusterRouter:
                 start_method=start_method,
                 transport=transport,
                 restart_backoff=restart_backoff,
+                kernel=kernel,
             )
+        #: resolved backend name every worker in the cluster executes on
+        self.kernel = self.pool.kernel
         if capacity_bytes is not None and capacity_bytes < 1:
             raise ConfigError("capacity_bytes must be >= 1 (or None for unbounded)")
         if latency_window < 1:

@@ -25,9 +25,11 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.deploy.packing import CODE_MINUS, CODE_PLUS, unpack_codes
+from repro.errors import ConfigError
 
 #: opt-in profiling hook (a ``telemetry.KernelProfile`` or anything with a
-#: ``record_gather(elapsed_s)`` method); ``None`` keeps the hot path at a
+#: ``record_gather(elapsed_s, backend)`` method, ``backend`` naming the
+#: kernel backend that ran the pass); ``None`` keeps the hot path at a
 #: single global load per gather pass.  Install via
 #: :func:`repro.serving.telemetry.profile_kernels`.
 _PROFILE = None
@@ -91,7 +93,14 @@ def decode_planes(blob: bytes, shape: Tuple[int, ...]) -> TernaryPlanes:
     ``(shape[0], prod(shape[1:]))`` — matching how the ternary transforms
     are applied (each output row gathers over the flattened remainder).
     """
-    rows = int(shape[0]) if shape else 0
+    if not shape:
+        raise ConfigError(
+            "decode_planes needs a non-empty shape: shape=() has no rows to "
+            "decode (a scalar cannot be a ternary transform)"
+        )
+    if any(dim < 0 for dim in shape):
+        raise ConfigError(f"decode_planes shape {shape!r} has a negative dimension")
+    rows = int(shape[0])
     cols = int(np.prod(shape[1:])) if len(shape) > 1 else 1
     codes = unpack_codes(blob, rows * cols).reshape(rows, cols)
     plus_idx, plus_ptr = _csr_planes(codes == CODE_PLUS)
@@ -139,6 +148,21 @@ def as_block_diagonal(planes: TernaryPlanes, block_cols: int) -> TernaryPlanes:
 GATHER_SCRATCH_BYTES = 8 * 1024 * 1024
 
 
+def gather_chunk_rows(scratch_cols: int, itemsize: int) -> int:
+    """Batch rows per gather chunk so scratch stays under the byte budget.
+
+    ``scratch_cols`` counts *every* scratch element a single batch row
+    materialises during one chunk — the gathered ``(chunk, nnz)`` slab
+    **plus** the ``reduceat`` output that coexists with it before being
+    written into the result.  The previous bound counted only the gather
+    slab, so peak scratch could overshoot :data:`GATHER_SCRATCH_BYTES` by
+    the reduce output's size; this helper is the single corrected formula
+    shared by the reference kernel and every
+    :mod:`repro.serving.kernels_fast` backend.
+    """
+    return max(1, GATHER_SCRATCH_BYTES // max(1, scratch_cols * itemsize))
+
+
 def _plane_sums(x: np.ndarray, indices: np.ndarray, ptr: np.ndarray) -> np.ndarray:
     """Per-row gather-accumulate: ``out[:, j] = x[:, idx in row j].sum()``.
 
@@ -148,10 +172,11 @@ def _plane_sums(x: np.ndarray, indices: np.ndarray, ptr: np.ndarray) -> np.ndarr
 
     The gather materialises an ``(M, nnz)`` scratch array, which for a
     large-batch × large-nnz layer can dwarf the model itself, so the batch
-    axis is processed in chunks bounded by :data:`GATHER_SCRATCH_BYTES`.
-    Chunking splits only the batch dimension — each row's summation order
-    is untouched — so the output is bitwise identical to the unchunked
-    gather.
+    axis is processed in chunks bounded by :data:`GATHER_SCRATCH_BYTES` —
+    the bound counts both the gathered slab and the ``reduceat`` output
+    that coexists with it (:func:`gather_chunk_rows`).  Chunking splits
+    only the batch dimension — each row's summation order is untouched —
+    so the output is bitwise identical to the unchunked gather.
     """
     profile = _PROFILE
     start = time.perf_counter() if profile is not None else 0.0
@@ -160,14 +185,13 @@ def _plane_sums(x: np.ndarray, indices: np.ndarray, ptr: np.ndarray) -> np.ndarr
     starts, ends = ptr[:-1], ptr[1:]
     nonempty = np.flatnonzero(ends > starts)
     if nonempty.size:
-        scratch_row = indices.size * x.dtype.itemsize
-        chunk = max(1, GATHER_SCRATCH_BYTES // max(1, scratch_row))
+        chunk = gather_chunk_rows(indices.size + nonempty.size, x.dtype.itemsize)
         bounds = starts[nonempty]
         for lo in range(0, x.shape[0], chunk):
             gathered = x[lo : lo + chunk, indices]
             out[lo : lo + chunk, nonempty] = np.add.reduceat(gathered, bounds, axis=1)
     if profile is not None:
-        profile.record_gather(time.perf_counter() - start)
+        profile.record_gather(time.perf_counter() - start, "reference")
     return out
 
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
@@ -26,12 +26,11 @@ from repro.deploy.image import LayerRecord, ModelImage
 from repro.deploy.packing import unpack_ternary
 from repro.errors import ConfigError
 from repro.serving.kernels import (
-    TernaryPlanes,
     as_block_diagonal,
     decode_planes,
     get_kernel_profile,
-    ternary_matmul,
 )
+from repro.serving.kernels_fast import KernelBackend, get_backend, resolve_backend
 
 
 def _profiled(method):
@@ -57,13 +56,19 @@ def _profiled(method):
 
 @dataclass(frozen=True)
 class LayerPlan:
-    """One decoded layer: bit-plane transforms + float tables, forward-ready."""
+    """One decoded layer: bit-plane transforms + float tables, forward-ready.
+
+    ``wb`` / ``wc`` hold the *backend-prepared* plane layout — the plain
+    CSR :class:`~repro.serving.kernels.TernaryPlanes` for the reference
+    backend, a fused or popcount layout for the fast backends — so a plan
+    only ever executes on the backend that decoded it.
+    """
 
     kind: str  # "conv" | "dw" | "pw" | "linear"
     meta: Dict[str, object]
-    wb: TernaryPlanes
+    wb: object  # backend-prepared planes
     kernel: Tuple[int, int]  # (KH, KW); (1, 1) for linear
-    wc: Optional[TernaryPlanes]  # None for depthwise (per-channel scalar w_c)
+    wc: Optional[object]  # None for depthwise (per-channel scalar w_c)
     wc_vector: Optional[np.ndarray]  # the depthwise per-channel ternary w_c
     a_hat: np.ndarray
     out_scale: np.ndarray
@@ -78,8 +83,15 @@ class LayerPlan:
         return total + self.a_hat.nbytes + self.out_scale.nbytes + self.out_shift.nbytes
 
 
-def decode_layer(record: LayerRecord) -> LayerPlan:
-    """Decode one :class:`LayerRecord` into an executable :class:`LayerPlan`."""
+def decode_layer(record: LayerRecord, backend: Optional[KernelBackend] = None) -> LayerPlan:
+    """Decode one :class:`LayerRecord` into an executable :class:`LayerPlan`.
+
+    ``backend`` prepares the decoded planes into its execution layout; the
+    default is the reference backend, whose prepared layout *is* the CSR
+    planes — existing callers keep seeing ``TernaryPlanes`` on the plan.
+    """
+    if backend is None:
+        backend = get_backend("reference")
     if record.kind == "dw":
         # (C, KH, KW): block-diagonal planes over the (M, C*K) patch matrix.
         c, kh, kw = record.wb_shape
@@ -95,9 +107,9 @@ def decode_layer(record: LayerRecord) -> LayerPlan:
     return LayerPlan(
         kind=record.kind,
         meta=record.meta,
-        wb=wb,
+        wb=backend.prepare(wb),
         kernel=(kh, kw),
-        wc=wc_planes,
+        wc=None if wc_planes is None else backend.prepare(wc_planes),
         wc_vector=wc_vector,
         a_hat=record.a_hat,
         out_scale=record.out_scale,
@@ -122,19 +134,34 @@ class PackedModel:
     """Executes an ST-HybridNet model image from packed bit-planes.
 
     ``cache=True`` decodes every layer once at construction; ``cache=False``
-    re-decodes per call (the deploy-image reference semantics).  Instances
-    are read-only after construction and safe to share across threads.
+    re-decodes per call (the deploy-image reference semantics).  ``kernel``
+    selects the execution backend from the
+    :mod:`repro.serving.kernels_fast` registry — a registered name, a
+    :class:`~repro.serving.kernels_fast.KernelBackend` instance, or
+    ``None`` for the process default (``$REPRO_KERNEL_BACKEND``, falling
+    back to the fused single-pass backend).  Every registered backend is
+    bitwise identical to the reference, so the choice only moves latency.
+    Instances are read-only after construction and safe to share across
+    threads.
     """
 
-    def __init__(self, image: ModelImage, cache: bool = True) -> None:
+    def __init__(
+        self,
+        image: ModelImage,
+        cache: bool = True,
+        kernel: Union[str, KernelBackend, None] = None,
+    ) -> None:
         if image.header.get("arch") != "st-hybrid":
             raise ConfigError(f"unsupported arch {image.header.get('arch')!r}")
         self.image = image
         self.header = image.header
         self.cache = cache
+        self.kernel_backend = resolve_backend(kernel)
         self._records: Dict[str, LayerRecord] = {r.name: r for r in image.layers}
         self._plans: Optional[Dict[str, LayerPlan]] = (
-            {name: decode_layer(r) for name, r in self._records.items()} if cache else None
+            {name: decode_layer(r, self.kernel_backend) for name, r in self._records.items()}
+            if cache
+            else None
         )
         # plans are fixed for the instance's lifetime, so the size is too
         self._decoded_bytes = (
@@ -144,7 +171,7 @@ class PackedModel:
     def _plan(self, name: str) -> LayerPlan:
         if self._plans is not None:
             return self._plans[name]
-        return decode_layer(self._records[name])
+        return decode_layer(self._records[name], self.kernel_backend)
 
     def decoded_bytes(self) -> int:
         """Resident size of all cached plans (0 in on-the-fly mode)."""
@@ -157,11 +184,12 @@ class PackedModel:
         """Strassen conv/pointwise: patches → ternary W_b → ⊙â → ternary W_c."""
         kh, kw = plan.kernel
         meta = plan.meta
+        matmul = self.kernel_backend.matmul
         patches = _conv_patches(x, kh, kw, meta["stride"], meta["padding"])
         n, oh, ow, d = patches.shape
-        hidden = ternary_matmul(patches.reshape(-1, d), plan.wb)  # additions only
+        hidden = matmul(patches.reshape(-1, d), plan.wb)  # additions only
         hidden *= plan.a_hat  # the r multiplications
-        out = ternary_matmul(hidden, plan.wc)  # additions only
+        out = matmul(hidden, plan.wc)  # additions only
         out = out * plan.out_scale + plan.out_shift
         out = out.reshape(n, oh, ow, -1).transpose(0, 3, 1, 2)
         return np.maximum(out, 0.0) if meta.get("relu") else out
@@ -176,7 +204,7 @@ class PackedModel:
         # restrict each channel's gather to its own K columns
         patches = _conv_patches(x, kh, kw, meta["stride"], meta["padding"])
         n, oh, ow, _ = patches.shape
-        hidden = ternary_matmul(patches.reshape(n * oh * ow, -1), plan.wb)
+        hidden = self.kernel_backend.matmul(patches.reshape(n * oh * ow, -1), plan.wb)
         hidden = hidden.reshape(n, oh, ow, c).transpose(0, 3, 1, 2)
         scale = (plan.a_hat * plan.wc_vector * plan.out_scale).reshape(1, c, 1, 1)
         out = hidden * scale + plan.out_shift.reshape(1, c, 1, 1)
@@ -185,8 +213,9 @@ class PackedModel:
     @_profiled
     def _linear(self, plan: LayerPlan, z: np.ndarray) -> np.ndarray:
         """Strassen matmul on feature vectors (tree nodes)."""
-        hidden = ternary_matmul(z, plan.wb) * plan.a_hat
-        out = ternary_matmul(hidden, plan.wc)
+        matmul = self.kernel_backend.matmul
+        hidden = matmul(z, plan.wb) * plan.a_hat
+        out = matmul(hidden, plan.wc)
         return out * plan.out_scale + plan.out_shift
 
     # -- full network ----------------------------------------------------- #

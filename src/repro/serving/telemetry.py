@@ -574,8 +574,16 @@ class KernelProfile:
                 row["layers"] += 1
                 row["layer_s"] += elapsed
 
-    def record_gather(self, elapsed_s: float) -> None:
-        """Record one ``_plane_sums`` pass under the active layer kind."""
+    def record_gather(self, elapsed_s: float, backend: str = "reference") -> None:
+        """Record one gather pass under the active layer kind.
+
+        ``backend`` names the kernel backend that executed the pass
+        (``"reference"`` for the classic two-pass kernel, a
+        :mod:`repro.serving.kernels_fast` registry name otherwise); the
+        per-backend sub-rows are what lets a mixed-backend process — or a
+        cluster mid-rollout — attribute gather time to the code that spent
+        it.
+        """
         with self._lock:
             row = self._kinds.setdefault(
                 self._kind,
@@ -583,6 +591,11 @@ class KernelProfile:
             )
             row["gather_calls"] += 1
             row["gather_s"] += elapsed_s
+            per_backend = row.setdefault("backends", {}).setdefault(
+                backend, {"gather_calls": 0, "gather_s": 0.0}
+            )
+            per_backend["gather_calls"] += 1
+            per_backend["gather_s"] += elapsed_s
 
     def merge(self, other: Mapping[str, Mapping[str, Any]]) -> None:
         """Fold another profile's snapshot in (cross-worker aggregation)."""
@@ -593,12 +606,31 @@ class KernelProfile:
                     {"layers": 0, "layer_s": 0.0, "gather_calls": 0, "gather_s": 0.0},
                 )
                 for key, value in stats.items():
-                    row[key] = row.get(key, 0) + value
+                    if key == "backends":
+                        mine = row.setdefault("backends", {})
+                        for backend, sub in value.items():
+                            target = mine.setdefault(
+                                backend, {"gather_calls": 0, "gather_s": 0.0}
+                            )
+                            for sub_key, sub_value in sub.items():
+                                target[sub_key] = target.get(sub_key, 0) + sub_value
+                    else:
+                        row[key] = row.get(key, 0) + value
 
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
-        """``{kind: {layers, layer_s, gather_calls, gather_s}}`` copy."""
+        """``{kind: {layers, layer_s, gather_calls, gather_s, backends}}`` copy."""
         with self._lock:
-            return {kind: dict(stats) for kind, stats in self._kinds.items()}
+            return {
+                kind: {
+                    key: (
+                        {backend: dict(sub) for backend, sub in value.items()}
+                        if key == "backends"
+                        else value
+                    )
+                    for key, value in stats.items()
+                }
+                for kind, stats in self._kinds.items()
+            }
 
 
 @contextmanager

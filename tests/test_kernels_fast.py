@@ -1,0 +1,410 @@
+"""Pluggable kernel backends: bitwise identity, gating, cluster homogeneity.
+
+The contract under test is the one the serving stack leans on everywhere:
+every registered backend in :mod:`repro.serving.kernels_fast` produces
+**bit-for-bit** the reference kernel's output on the dtypes it supports —
+across shapes, sparsities, layouts and gather-chunk boundaries — and a
+cluster's ``kernel=`` choice survives worker spawn *and* crash restart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deploy.packing import pack_ternary
+from repro.errors import ConfigError
+from repro.serving import kernels
+from repro.serving.kernels import (
+    TernaryPlanes,
+    decode_planes,
+    gather_chunk_rows,
+    ternary_matmul,
+)
+from repro.serving.kernels_fast import (
+    DEFAULT_BACKEND_NAME,
+    FusedBackend,
+    FusedPlanes,
+    KernelBackend,
+    NarrowBackend,
+    PopcountBackend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+
+
+def ternary(rng: np.random.Generator, rows: int, cols: int, density: float) -> np.ndarray:
+    """Random {-1, 0, +1} matrix with roughly the requested density."""
+    mask = rng.random((rows, cols)) < density
+    signs = rng.choice(np.array([-1, 1], dtype=np.int8), size=(rows, cols))
+    return (mask * signs).astype(np.int8)
+
+
+def planes_for(values: np.ndarray) -> TernaryPlanes:
+    """Pack + decode a ternary matrix into reference CSR planes."""
+    blob, shape = pack_ternary(values)
+    return decode_planes(blob, shape)
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert {"reference", "fused", "narrow", "popcount"} <= set(available_backends())
+
+    def test_unknown_backend_is_config_error(self):
+        with pytest.raises(ConfigError, match="unknown kernel backend"):
+            get_backend("warp-drive")
+
+    def test_duplicate_registration_needs_replace(self):
+        class Dup(FusedBackend):
+            name = "fused"
+
+        with pytest.raises(ConfigError, match="already registered"):
+            register_backend(Dup())
+        register_backend(Dup(), replace=True)  # explicit shadowing allowed
+        register_backend(FusedBackend(), replace=True)  # restore
+
+    def test_resolve_precedence(self, monkeypatch):
+        assert resolve_backend("narrow").name == "narrow"
+        instance = FusedBackend(layout="batch")
+        assert resolve_backend(instance) is instance
+        monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+        assert default_backend_name() == DEFAULT_BACKEND_NAME
+        assert resolve_backend(None).name == DEFAULT_BACKEND_NAME
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "reference")
+        assert resolve_backend(None).name == "reference"
+        with pytest.raises(ConfigError, match="kernel must be"):
+            resolve_backend(3.14)
+
+    def test_bad_fused_layout_is_config_error(self):
+        with pytest.raises(ConfigError, match="unknown fused layout"):
+            FusedBackend(layout="diagonal")
+
+
+class TestDecodeValidation:
+    def test_scalar_shape_is_config_error(self):
+        """Satellite: shape=() must fail loud, not die on prod(())."""
+        with pytest.raises(ConfigError, match=r"shape=\(\) has no rows"):
+            decode_planes(b"", ())
+
+    def test_negative_dim_is_config_error(self):
+        with pytest.raises(ConfigError, match="negative dimension"):
+            decode_planes(b"", (4, -1))
+
+
+class TestEdgeShapes:
+    """0-row / 0-col transforms must work identically on every backend."""
+
+    @pytest.mark.parametrize("name", ["reference", "fused", "narrow", "popcount"])
+    @pytest.mark.parametrize("rows,cols", [(0, 5), (5, 0), (0, 0)])
+    def test_degenerate_planes(self, name, rows, cols):
+        planes = planes_for(np.zeros((rows, cols), dtype=np.int8))
+        x = np.ones((3, cols), dtype=np.float32)
+        want = ternary_matmul(x, planes)
+        backend = get_backend(name)
+        got = backend.matmul(x, backend.prepare(planes))
+        assert got.shape == (3, rows)
+        np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("name", ["reference", "fused", "narrow", "popcount"])
+    def test_empty_batch(self, name):
+        planes = planes_for(ternary(np.random.default_rng(0), 4, 6, 0.5))
+        x = np.empty((0, 6), dtype=np.float32)
+        backend = get_backend(name)
+        got = backend.matmul(x, backend.prepare(planes))
+        assert got.shape == (0, 4)
+        np.testing.assert_array_equal(got, ternary_matmul(x, planes))
+
+    @pytest.mark.parametrize("name", ["fused", "narrow", "popcount"])
+    def test_feature_mismatch_matches_reference_error(self, name):
+        planes = planes_for(ternary(np.random.default_rng(0), 4, 6, 0.5))
+        backend = get_backend(name)
+        prepared = backend.prepare(planes)
+        with pytest.raises(ValueError, match="planes expect 6"):
+            backend.matmul(np.ones((2, 7), dtype=np.float32), prepared)
+
+
+class TestScratchBound:
+    """Satellite: the chunk bound counts gather slab + reduceat output."""
+
+    def test_gather_chunk_rows_counts_coexisting_scratch(self):
+        itemsize = 4
+        scratch_cols = 1000
+        chunk = gather_chunk_rows(scratch_cols, itemsize)
+        assert chunk * scratch_cols * itemsize <= kernels.GATHER_SCRATCH_BYTES
+        # regression: a bound that only counted the gathered slab would
+        # admit more rows than the budget once the reduce output coexists
+        assert gather_chunk_rows(scratch_cols, itemsize) <= (
+            kernels.GATHER_SCRATCH_BYTES // (scratch_cols * itemsize)
+        )
+        assert gather_chunk_rows(10**9, 8) == 1  # never zero rows
+
+    def test_reference_peak_scratch_respects_budget(self, monkeypatch):
+        """Peak scratch of `_plane_sums` = gathered + reduceat out <= budget."""
+        rng = np.random.default_rng(3)
+        planes = planes_for(ternary(rng, 16, 64, 0.8))
+        x = rng.standard_normal((64, 64)).astype(np.float32)
+        want = ternary_matmul(x, planes)
+        budget = 4096
+        monkeypatch.setattr(kernels, "GATHER_SCRATCH_BYTES", budget)
+        nnz_plus = planes.plus_indices.size
+        chunk = gather_chunk_rows(nnz_plus + 16, x.dtype.itemsize)
+        peak = chunk * (nnz_plus + 16) * x.dtype.itemsize
+        assert 1 <= chunk and peak <= budget
+        np.testing.assert_array_equal(ternary_matmul(x, planes), want)
+
+    @pytest.mark.parametrize("name", ["fused", "narrow", "popcount"])
+    def test_backends_identical_under_tiny_budget(self, name, monkeypatch):
+        """Chunk boundaries at every few rows never change a bit."""
+        rng = np.random.default_rng(4)
+        planes = planes_for(ternary(rng, 12, 40, 0.6))
+        x = rng.standard_normal((37, 40)).astype(np.float32)
+        want = ternary_matmul(x, planes)
+        backend = get_backend(name)
+        prepared = backend.prepare(planes)
+        monkeypatch.setattr(kernels, "GATHER_SCRATCH_BYTES", 512)
+        np.testing.assert_array_equal(backend.matmul(x, prepared), want)
+
+
+DTYPES = {
+    "float32": np.float32,
+    "float64": np.float64,
+    "int64": np.int64,
+    "int32": np.int32,
+}
+
+
+class TestBitwiseIdentity:
+    """Tentpole: every backend == reference, bit for bit, on supported dtypes."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rows=st.integers(min_value=1, max_value=24),
+        cols=st.integers(min_value=1, max_value=48),
+        batch=st.integers(min_value=1, max_value=17),
+        density=st.sampled_from([0.0, 0.05, 0.3, 0.7, 1.0]),
+        dtype=st.sampled_from(sorted(DTYPES)),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        scratch=st.sampled_from([None, 256, 4096]),
+    )
+    def test_property_identity(self, rows, cols, batch, density, dtype, seed, scratch):
+        rng = np.random.default_rng(seed)
+        planes = planes_for(ternary(rng, rows, cols, density))
+        np_dtype = DTYPES[dtype]
+        if np.issubdtype(np_dtype, np.floating):
+            x = (rng.standard_normal((batch, cols)) * 10).astype(np_dtype)
+        else:
+            x = rng.integers(-1000, 1000, size=(batch, cols)).astype(np_dtype)
+        with pytest.MonkeyPatch.context() as mp:
+            if scratch is not None:
+                mp.setattr(kernels, "GATHER_SCRATCH_BYTES", scratch)
+            want = ternary_matmul(x, planes)
+            for name in available_backends():
+                backend = get_backend(name)
+                got = backend.matmul(x, backend.prepare(planes))
+                assert got.dtype == want.dtype, (name, dtype)
+                np.testing.assert_array_equal(got, want, err_msg=f"{name}/{dtype}")
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        layout=st.sampled_from(["batch", "feature"]),
+    )
+    def test_forced_layouts_identical(self, seed, layout):
+        """Both fused orientations keep the exact summation order."""
+        rng = np.random.default_rng(seed)
+        planes = planes_for(ternary(rng, 10, 30, 0.5))
+        x = rng.standard_normal((13, 30)).astype(np.float32)
+        backend = FusedBackend(layout=layout)
+        np.testing.assert_array_equal(
+            backend.matmul(x, backend.prepare(planes)), ternary_matmul(x, planes)
+        )
+
+    def test_binary_activations_popcount_identity(self):
+        """The popcount fast path itself (not the fallback) is bitwise."""
+        rng = np.random.default_rng(11)
+        planes = planes_for(ternary(rng, 9, 70, 0.4))
+        backend = PopcountBackend()
+        prepared = backend.prepare(planes)
+        for np_dtype in (np.float32, np.float64, np.int64, np.int32):
+            x = (rng.random((21, 70)) < 0.5).astype(np_dtype)
+            assert backend._binary(x, prepared)  # the fast path engages
+            np.testing.assert_array_equal(
+                backend.matmul(x, prepared), ternary_matmul(x, planes)
+            )
+
+
+class TestNarrowAccumulation:
+    def test_int64_narrows_when_provably_safe(self):
+        rng = np.random.default_rng(5)
+        planes = planes_for(ternary(rng, 8, 32, 0.7))
+        backend = NarrowBackend()
+        prepared = backend.prepare(planes)
+        bound = backend.int32_amax_bound(prepared)
+        assert bound * prepared.max_segment <= np.iinfo(np.int32).max
+        x = rng.integers(-bound, bound + 1, size=(9, 32)).astype(np.int64)
+        got = backend.matmul(x, prepared)
+        assert got.dtype == np.int64
+        np.testing.assert_array_equal(got, ternary_matmul(x, planes))
+
+    def test_int64_overflow_risk_stays_wide(self):
+        """Values past the decode-time bound must not narrow (and stay exact)."""
+        planes = planes_for(np.ones((1, 4), dtype=np.int8))
+        backend = NarrowBackend()
+        prepared = backend.prepare(planes)
+        big = np.full((2, 4), np.iinfo(np.int32).max, dtype=np.int64)
+        got = backend.matmul(big, prepared)
+        assert got.dtype == np.int64
+        np.testing.assert_array_equal(got, ternary_matmul(big, planes))
+        assert got[0, 0] == 4 * int(np.iinfo(np.int32).max)  # would wrap in int32
+
+    def test_narrow_floats_is_opt_in_and_not_default(self):
+        assert NarrowBackend().narrow_floats is False
+        assert get_backend("narrow").narrow_floats is False
+        rng = np.random.default_rng(6)
+        planes = planes_for(ternary(rng, 6, 24, 0.8))
+        x = rng.standard_normal((5, 24)).astype(np.float64)
+        opted = NarrowBackend(narrow_floats=True)
+        got = opted.matmul(x, opted.prepare(planes))
+        assert got.dtype == np.float64
+        # f32 accumulation is close but deliberately NOT bitwise
+        want = ternary_matmul(x, planes)
+        np.testing.assert_allclose(got, want, rtol=1e-5, atol=1e-5)
+        assert not np.array_equal(got, want)
+
+
+class TestPopcountGating:
+    def test_non_binary_delegates_to_fused(self):
+        rng = np.random.default_rng(8)
+        planes = planes_for(ternary(rng, 7, 20, 0.5))
+        backend = PopcountBackend()
+        prepared = backend.prepare(planes)
+        x = rng.standard_normal((6, 20)).astype(np.float32)
+        assert not backend._binary(x, prepared)
+        np.testing.assert_array_equal(
+            backend.matmul(x, prepared), ternary_matmul(x, planes)
+        )
+
+    def test_binary_with_minus_one_is_not_binary(self):
+        planes = planes_for(np.ones((2, 8), dtype=np.int8))
+        backend = PopcountBackend()
+        prepared = backend.prepare(planes)
+        x = np.array([[1, -1, 0, 1, 0, 1, 1, 0]], dtype=np.float32)
+        assert not backend._binary(x, prepared)
+        np.testing.assert_array_equal(
+            backend.matmul(x, prepared), ternary_matmul(x, planes)
+        )
+
+    def test_wide_cols_pack_past_word_boundary(self):
+        """cols > 64 spans multiple uint64 words; identity must hold."""
+        rng = np.random.default_rng(9)
+        planes = planes_for(ternary(rng, 5, 130, 0.5))
+        backend = PopcountBackend()
+        prepared = backend.prepare(planes)
+        assert prepared.words == 3
+        x = (rng.random((8, 130)) < 0.4).astype(np.float32)
+        np.testing.assert_array_equal(
+            backend.matmul(x, prepared), ternary_matmul(x, planes)
+        )
+
+
+class TestPlanAccounting:
+    def test_fused_planes_nbytes_and_nnz(self):
+        planes = planes_for(ternary(np.random.default_rng(10), 6, 12, 0.5))
+        prepared = FusedBackend().prepare(planes)
+        assert isinstance(prepared, FusedPlanes)
+        assert prepared.nnz == planes.nnz
+        assert prepared.nbytes > 0
+        pop = PopcountBackend().prepare(planes)
+        assert pop.nbytes > prepared.nbytes  # masks ride on top
+        assert (pop.rows, pop.cols, pop.nnz) == (6, 12, planes.nnz)
+
+    def test_packed_model_kernel_selection(self):
+        from repro.core.hybrid import HybridConfig, STHybridNet
+        from repro.core.strassen import freeze_all
+        from repro.deploy import build_image
+        from repro.serving import PackedModel
+
+        model = STHybridNet(HybridConfig(width=8), rng=0)
+        freeze_all(model)
+        model.eval()
+        image = build_image(model)
+        rng = np.random.default_rng(12)
+        x = rng.standard_normal((3, 49, 10)).astype(np.float32)
+        want = PackedModel(image, kernel="reference")(x)
+        for name in available_backends():
+            packed = PackedModel(image, kernel=name)
+            assert packed.kernel_backend.name == name
+            np.testing.assert_array_equal(packed(x), want, err_msg=name)
+            assert packed.decoded_bytes() > 0
+        custom = PackedModel(image, kernel=FusedBackend(layout="feature"))
+        np.testing.assert_array_equal(custom(x), want)
+        with pytest.raises(ConfigError, match="unknown kernel backend"):
+            PackedModel(image, kernel="warp-drive")
+
+
+class TestClusterKernelRoundTrip:
+    """Satellite: ``kernel=`` rides worker init and survives crash restart."""
+
+    def test_kernel_survives_spawn_and_restart(self):
+        import time
+
+        from repro.core.hybrid import HybridConfig, STHybridNet
+        from repro.core.strassen import freeze_all
+        from repro.deploy import build_image
+        from repro.errors import WorkerCrashed
+        from repro.serving import ClusterRouter, PackedModel
+
+        model = STHybridNet(HybridConfig(width=8), rng=0)
+        freeze_all(model)
+        model.eval()
+        image = build_image(model)
+        rng = np.random.default_rng(13)
+        x = rng.standard_normal((49, 10)).astype(np.float32)
+        want = PackedModel(image, kernel="reference")(x[None])[0]
+
+        def observed_backends(router):
+            """Backend names the workers' kernel profiles attribute to."""
+            profile = router.kernel_profile()
+            return {b for row in profile.values() for b in row.get("backends", {})}
+
+        # "reference" is distinct from the process default ("fused"), so the
+        # profile proves the name rode the spawn args, not the environment
+        assert default_backend_name() != "reference"
+        router = ClusterRouter(workers=1, kernel="reference")
+        assert router.kernel == "reference"
+        router.register("m", image)
+        with router:
+            router.profile_kernels(True)
+            np.testing.assert_array_equal(router.predict(x, model="m"), want)
+            assert observed_backends(router) == {"reference"}
+
+            router.pool.inject_crash(0)
+            deadline = time.monotonic() + 15.0
+            while True:  # the retry loop a real client would run
+                try:
+                    got = router.predict(x, model="m")
+                    break
+                except WorkerCrashed:
+                    assert time.monotonic() < deadline, "restart never came up"
+                    time.sleep(0.01)
+            np.testing.assert_array_equal(got, want)
+            # profiling is per-process state, so re-arm on the replacement;
+            # the replacement must have inherited the same backend name
+            router.profile_kernels(True)
+            np.testing.assert_array_equal(router.predict(x, model="m"), want)
+            assert observed_backends(router) == {"reference"}
+
+    def test_prebuilt_pool_rejects_router_kernel(self):
+        from repro.serving import ClusterRouter, WorkerPool
+
+        pool = WorkerPool(1, kernel="narrow")
+        assert pool.kernel == "narrow"
+        with pytest.raises(ConfigError, match="pass kernel only when"):
+            ClusterRouter(pool, kernel="narrow")
+        router = ClusterRouter(pool)
+        assert router.kernel == "narrow"  # adopted from the prebuilt pool

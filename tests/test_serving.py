@@ -176,7 +176,10 @@ class TestPackedModel:
         from repro.autodiff.ops_conv import conv2d
         from repro.serving.packed import _conv_patches
 
-        packed = PackedModel(image)
+        # pin the reference backend: this test runs ternary_matmul directly
+        # against the plan's CSR planes (backend identity is property-tested
+        # in test_kernels_fast.py)
+        packed = PackedModel(image, kernel="reference")
         plan = packed._plans[layer]
         record = image.layer(layer)
         r, channels, kh, kw = record.wb_shape
