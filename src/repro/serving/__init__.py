@@ -126,6 +126,7 @@ from repro.serving.kernels_fast import (
     available_backends,
     get_backend,
     register_backend,
+    registered_backend_name,
     resolve_backend,
 )
 from repro.serving.packed import LayerPlan, PackedModel, decode_layer
@@ -238,6 +239,7 @@ __all__ = [
     "available_backends",
     "get_backend",
     "register_backend",
+    "registered_backend_name",
     "resolve_backend",
     "LayerPlan",
     "PackedModel",

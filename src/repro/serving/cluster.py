@@ -108,7 +108,7 @@ from repro.serving.catalog import (
     split_key,
 )
 from repro.serving.kernels import get_kernel_profile, set_kernel_profile
-from repro.serving.kernels_fast import KernelBackend, resolve_backend
+from repro.serving.kernels_fast import KernelBackend, registered_backend_name
 from repro.serving.packed import PackedModel
 from repro.serving.placement import (
     PlacementPolicy,
@@ -700,7 +700,11 @@ class WorkerPool:
     and that name rides the worker-init spawn args, so all replicas (and
     every crash-restart replacement) execute identical kernels even if
     the worker processes inherit a different ``$REPRO_KERNEL_BACKEND``.
-    ``None`` resolves the parent's process default.
+    ``None`` resolves the parent's process default.  Because only the
+    name crosses the process boundary, a :class:`KernelBackend` instance
+    is accepted only when it is the registered backend for its name —
+    anything else raises :class:`~repro.errors.ConfigError` up front
+    rather than silently running a different configuration per worker.
     """
 
     def __init__(
@@ -718,8 +722,10 @@ class WorkerPool:
         self.num_workers = workers
         self.config = config or MicroBatchConfig()
         # resolved to a plain name now: validates the choice in the parent
-        # and keeps the spawn args picklable for the spawn start method
-        self.kernel = resolve_backend(kernel).name
+        # and keeps the spawn args picklable for the spawn start method;
+        # instances that aren't the registered backend for their name are
+        # rejected — workers could only re-resolve the name, not the config
+        self.kernel = registered_backend_name(kernel)
         if transport is True:
             self._transport_config: Optional[SlabConfig] = SlabConfig()
         elif transport is False or transport is None:
@@ -1605,12 +1611,16 @@ class ClusterRouter:
         exponential delay instead of hot-looping re-decodes.
     kernel:
         Execution backend every worker decodes and serves models on — a
-        :mod:`repro.serving.kernels_fast` registry name, a
+        :mod:`repro.serving.kernels_fast` registry name, a *registered*
         :class:`~repro.serving.kernels_fast.KernelBackend` instance, or
         ``None`` for the process default.  Resolved eagerly to a backend
         *name* and forwarded to the pool built here, so the whole cluster
         is homogeneous: every replica (including crash-restart
-        replacements) runs bitwise-identical kernels.
+        replacements) runs bitwise-identical kernels.  Instances that are
+        not the registered backend for their name (e.g. a configured
+        ``FusedBackend(layout="feature")``) are rejected with
+        :class:`~repro.errors.ConfigError` — workers re-resolve the name
+        in their own process and would silently drop the configuration.
     """
 
     def __init__(

@@ -85,6 +85,8 @@ class FusedPlanes:
     segment ``rows + j`` its −1 columns, delimited by ``bounds`` (the 2 ×
     rows segment starts).  ``empty`` lists the segments with no entries —
     ``reduceat`` emits a stray element for those, which the matmul zeroes —
+    with ``nonempty`` / ``nonempty_bounds`` the prepare-time complement the
+    hot path reduces over (fixed per layout, so never recomputed per call),
     and ``max_segment`` (the longest single segment) is the decode-time
     bound the narrow/popcount overflow checks are derived from.
     """
@@ -94,6 +96,8 @@ class FusedPlanes:
     indices: np.ndarray
     bounds: np.ndarray
     empty: np.ndarray
+    nonempty: np.ndarray
+    nonempty_bounds: np.ndarray
     max_segment: int
 
     @property
@@ -104,7 +108,13 @@ class FusedPlanes:
     @property
     def nbytes(self) -> int:
         """Decoded in-memory footprint of the fused layout."""
-        return self.indices.nbytes + self.bounds.nbytes + self.empty.nbytes
+        return (
+            self.indices.nbytes
+            + self.bounds.nbytes
+            + self.empty.nbytes
+            + self.nonempty.nbytes
+            + self.nonempty_bounds.nbytes
+        )
 
 
 @dataclass(frozen=True)
@@ -151,12 +161,15 @@ def _fuse(planes: TernaryPlanes) -> FusedPlanes:
         [planes.plus_ptr[1:], planes.plus_indices.size + planes.minus_ptr[1:]]
     ).astype(np.intp)
     lengths = ends - starts
+    nonempty = np.flatnonzero(lengths)
     return FusedPlanes(
         rows=planes.rows,
         cols=planes.cols,
         indices=np.ascontiguousarray(indices, dtype=np.intp),
         bounds=np.ascontiguousarray(starts),
         empty=np.flatnonzero(lengths == 0),
+        nonempty=nonempty,
+        nonempty_bounds=np.ascontiguousarray(starts[nonempty]),
         max_segment=int(lengths.max()) if lengths.size else 0,
     )
 
@@ -297,8 +310,8 @@ class FusedBackend(KernelBackend):
         # empty segments would make reduceat read past the index array (a
         # trailing empty bound equals nnz) or emit strays — reduce only the
         # populated segments and scatter, exactly like the reference
-        nonempty = np.setdiff1d(np.arange(segments), prepared.empty, assume_unique=True)
-        bounds = prepared.bounds[nonempty]
+        nonempty = prepared.nonempty
+        bounds = prepared.nonempty_bounds
         out[:] = 0
         for lo in range(0, x.shape[0], chunk):
             gathered = x[lo : lo + chunk, prepared.indices]
@@ -323,10 +336,8 @@ class FusedBackend(KernelBackend):
             nonempty = None
             bounds = prepared.bounds
         else:
-            nonempty = np.setdiff1d(
-                np.arange(segments), prepared.empty, assume_unique=True
-            )
-            bounds = prepared.bounds[nonempty]
+            nonempty = prepared.nonempty
+            bounds = prepared.nonempty_bounds
             out[:] = 0
         for lo in range(0, x.shape[0], chunk):
             xt = np.ascontiguousarray(x[lo : lo + chunk].T)
@@ -343,11 +354,15 @@ class NarrowBackend(FusedBackend):
     """Fused execution with narrow accumulators where exactness allows.
 
     ``int64`` activations gather and accumulate in ``int32`` — halving
-    scratch bandwidth — whenever ``max(|x|) * max_segment`` provably fits,
-    then cast back (exact, so bitwise).  The decode-time half of the check
-    is ``int32_amax_bound``: the largest activation magnitude the longest
-    segment can absorb without overflow; the call-time half is one cheap
-    ``abs().max()`` over the activations.
+    scratch bandwidth — whenever ``2 * max(|x|) * max_segment`` provably
+    fits, then cast back (exact, so bitwise).  The factor of 2 covers the
+    signed combine: each plane half is bounded by ``max(|x|) *
+    max_segment``, but ``plus - minus`` spans twice that.  The decode-time
+    half of the check is ``int32_amax_bound``: the largest activation
+    magnitude the longest segment (and the combine) can absorb without
+    overflow; the call-time half is one ``min()``/``max()`` pass over the
+    activations, compared in Python ints so ``INT64_MIN`` (whose ``np.abs``
+    wraps to itself) is measured exactly and stays wide.
 
     ``narrow_floats=True`` additionally accumulates ``float64`` inputs in
     ``float32``.  That path is **not** bitwise identical to the reference —
@@ -363,14 +378,21 @@ class NarrowBackend(FusedBackend):
         self.narrow_floats = narrow_floats
 
     def int32_amax_bound(self, prepared: FusedPlanes) -> int:
-        """Largest ``|x|`` the longest segment can sum without overflow."""
-        return int(np.iinfo(np.int32).max) // max(1, prepared.max_segment)
+        """Largest ``|x|`` the segment sums *and* the combine can absorb.
+
+        Each plane half is bounded by ``amax * max_segment``; the final
+        ``plus - minus`` doubles that, so the bound halves again — without
+        the factor of 2 the combine itself can wrap int32.
+        """
+        return int(np.iinfo(np.int32).max) // (2 * max(1, prepared.max_segment))
 
     def matmul(self, x: np.ndarray, prepared: FusedPlanes) -> np.ndarray:
         """Narrow when provably exact (or opted in); else fused-wide."""
         _check_cols(x, prepared)
         if x.dtype == np.int64 and prepared.nnz and x.size:
-            amax = int(np.abs(x).max())
+            # Python-int magnitude: np.abs(INT64_MIN) wraps to INT64_MIN,
+            # which would read as negative and falsely pass the gate
+            amax = max(int(x.max()), -int(x.min()))
             if amax <= self.int32_amax_bound(prepared):
                 narrow = super().matmul(x.astype(np.int32), prepared)
                 return narrow.astype(np.int64)
@@ -521,6 +543,29 @@ def resolve_backend(kernel: Union[str, KernelBackend, None] = None) -> KernelBac
     )
 
 
+def registered_backend_name(kernel: Union[str, KernelBackend, None] = None) -> str:
+    """Resolve ``kernel`` to a name that re-resolves identically elsewhere.
+
+    Worker pools ship the backend across the process boundary as a registry
+    *name* (instances don't survive spawn pickling), so an instance is only
+    acceptable when it **is** the registered backend for its name — a
+    configured instance (``FusedBackend(layout="feature")``,
+    ``NarrowBackend(narrow_floats=True)``) would otherwise silently run as
+    the registered default in every worker, and an unregistered custom
+    backend would fail every model load.
+    """
+    backend = resolve_backend(kernel)
+    if isinstance(kernel, KernelBackend) and _REGISTRY.get(backend.name) is not backend:
+        raise ConfigError(
+            f"worker pools ship kernel backends by registered name, and "
+            f"{backend.name!r} does not resolve back to the instance passed: "
+            "pass a registered backend name instead (workers re-resolve the "
+            "name in their own process, so a configured instance would not "
+            "survive the trip)"
+        )
+    return backend.name
+
+
 register_backend(ReferenceBackend())
 register_backend(FusedBackend())
 register_backend(NarrowBackend())
@@ -541,5 +586,6 @@ __all__ = [
     "default_backend_name",
     "get_backend",
     "register_backend",
+    "registered_backend_name",
     "resolve_backend",
 ]

@@ -245,7 +245,9 @@ class TestNarrowAccumulation:
         backend = NarrowBackend()
         prepared = backend.prepare(planes)
         bound = backend.int32_amax_bound(prepared)
-        assert bound * prepared.max_segment <= np.iinfo(np.int32).max
+        # the bound must leave room for the signed combine (plus - minus
+        # spans twice a single plane half), not just one plane's sum
+        assert 2 * bound * prepared.max_segment <= np.iinfo(np.int32).max
         x = rng.integers(-bound, bound + 1, size=(9, 32)).astype(np.int64)
         got = backend.matmul(x, prepared)
         assert got.dtype == np.int64
@@ -261,6 +263,32 @@ class TestNarrowAccumulation:
         assert got.dtype == np.int64
         np.testing.assert_array_equal(got, ternary_matmul(big, planes))
         assert got[0, 0] == 4 * int(np.iinfo(np.int32).max)  # would wrap in int32
+
+    def test_signed_combine_cannot_wrap_int32(self):
+        """Regression: plus − minus can reach 2 × int32max; the gate must
+        account for it, not just bound one plane's sum."""
+        planes = planes_for(np.array([[1, -1]], dtype=np.int8))
+        backend = NarrowBackend()
+        prepared = backend.prepare(planes)
+        i32max = int(np.iinfo(np.int32).max)
+        x = np.array([[i32max, -i32max]], dtype=np.int64)
+        got = backend.matmul(x, prepared)
+        assert got.dtype == np.int64
+        np.testing.assert_array_equal(got, ternary_matmul(x, planes))
+        assert got[0, 0] == 2 * i32max  # would wrap to -2 in int32
+
+    def test_int64_min_stays_wide(self):
+        """Regression: np.abs(INT64_MIN) wraps to itself, which must not
+        read as a tiny magnitude and falsely pass the narrow gate."""
+        planes = planes_for(np.array([[1, 0]], dtype=np.int8))
+        backend = NarrowBackend()
+        prepared = backend.prepare(planes)
+        i64min = int(np.iinfo(np.int64).min)
+        x = np.array([[i64min, 0]], dtype=np.int64)
+        got = backend.matmul(x, prepared)
+        assert got.dtype == np.int64
+        np.testing.assert_array_equal(got, ternary_matmul(x, planes))
+        assert got[0, 0] == i64min  # narrowing would have produced 0
 
     def test_narrow_floats_is_opt_in_and_not_default(self):
         assert NarrowBackend().narrow_floats is False
@@ -322,6 +350,20 @@ class TestPlanAccounting:
         pop = PopcountBackend().prepare(planes)
         assert pop.nbytes > prepared.nbytes  # masks ride on top
         assert (pop.rows, pop.cols, pop.nnz) == (6, 12, planes.nnz)
+
+    def test_nonempty_segments_precomputed_at_fuse_time(self):
+        """The hot path reads prepare-time arrays, never re-derives them."""
+        values = np.zeros((5, 9), dtype=np.int8)
+        values[0, :3] = 1
+        values[2, 4:6] = -1  # rows 1, 3, 4 (and their sign twins) are empty
+        prepared = FusedBackend().prepare(planes_for(values))
+        segments = 2 * prepared.rows
+        want = np.setdiff1d(np.arange(segments), prepared.empty, assume_unique=True)
+        np.testing.assert_array_equal(prepared.nonempty, want)
+        np.testing.assert_array_equal(
+            prepared.nonempty_bounds, prepared.bounds[prepared.nonempty]
+        )
+        assert prepared.nonempty.size + prepared.empty.size == segments
 
     def test_packed_model_kernel_selection(self):
         from repro.core.hybrid import HybridConfig, STHybridNet
@@ -408,3 +450,22 @@ class TestClusterKernelRoundTrip:
             ClusterRouter(pool, kernel="narrow")
         router = ClusterRouter(pool)
         assert router.kernel == "narrow"  # adopted from the prebuilt pool
+
+    def test_pool_rejects_unregistered_backend_instances(self):
+        """Pools ship names: a configured instance would silently run as
+        the registered default in every worker, so reject it up front."""
+        from repro.serving import ClusterRouter, WorkerPool
+
+        with pytest.raises(ConfigError, match="by registered name"):
+            WorkerPool(1, kernel=FusedBackend(layout="feature"))
+        with pytest.raises(ConfigError, match="by registered name"):
+            ClusterRouter(workers=1, kernel=NarrowBackend(narrow_floats=True))
+
+        class Custom(KernelBackend):
+            name = "custom-unregistered"
+
+        with pytest.raises(ConfigError, match="by registered name"):
+            WorkerPool(1, kernel=Custom())
+        # the registered instance itself still round-trips by identity
+        pool = WorkerPool(1, kernel=get_backend("narrow"))
+        assert pool.kernel == "narrow"
